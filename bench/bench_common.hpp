@@ -1,0 +1,41 @@
+// bench_common.hpp — shared helpers for the experiment binaries.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/input.hpp"
+#include "core/params.hpp"
+#include "hash/random_oracle.hpp"
+#include "mpc/simulation.hpp"
+#include "util/table.hpp"
+
+namespace mpch::bench {
+
+inline void header(const std::string& id, const std::string& paper_object,
+                   const std::string& claim) {
+  std::cout << "\n==================================================================\n"
+            << id << " — " << paper_object << "\n"
+            << "claim: " << claim << "\n"
+            << "==================================================================\n";
+}
+
+/// Run one MPC strategy to completion and return the result; wires up the
+/// standard config from the strategy's own memory requirement.
+template <typename Strategy>
+mpc::MpcRunResult run_strategy(Strategy& strategy, const core::LineInput& input,
+                               std::shared_ptr<hash::RandomOracle> oracle, std::uint64_t machines,
+                               std::uint64_t query_budget = 1ULL << 20,
+                               std::uint64_t max_rounds = 1ULL << 22) {
+  mpc::MpcConfig c;
+  c.machines = machines;
+  c.local_memory_bits = strategy.required_local_memory();
+  c.query_budget = query_budget;
+  c.max_rounds = max_rounds;
+  c.tape_seed = 0xBE7C;
+  mpc::MpcSimulation sim(c, std::move(oracle));
+  return sim.run(strategy, strategy.make_initial_memory(input));
+}
+
+}  // namespace mpch::bench

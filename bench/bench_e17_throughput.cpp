@@ -1,0 +1,67 @@
+// E17 — latency vs throughput: what the theorem does NOT forbid.
+//
+// Theorem 3.1 bounds the rounds to finish ONE chain; it does not stop a
+// cluster from walking many independent chains concurrently. This bench
+// batches k instances of Line over the same machines and shows rounds stay
+// ~flat in k while the sequential baseline grows k-fold — MPC parallelism
+// survives as a throughput tool exactly where the paper leaves room for it.
+#include "bench_common.hpp"
+#include "core/line.hpp"
+#include "strategies/batch_pointer_chasing.hpp"
+#include "util/rng.hpp"
+
+using namespace mpch;
+
+int main() {
+  bench::header("E17", "Latency vs throughput (what Theorem 3.1 leaves open)",
+                "k batched chains finish in ~1x rounds, not k x — the bound is per-chain "
+                "latency only");
+
+  const std::uint64_t n = 64, u = 16, v = 8, m = 4, w = 1024;
+  core::LineParams p = core::LineParams::make(n, u, v, w);
+
+  util::Table t({"instances_k", "batched_rounds", "sequential_kx_baseline",
+                 "rounds_per_chain", "total_queries", "all_outputs_ok"});
+  std::uint64_t single_rounds = 0;
+  for (std::uint64_t k : {1, 2, 4, 8, 16}) {
+    auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 40 + k);
+    core::LineFunction f(p);
+    std::vector<core::LineInput> inputs;
+    std::vector<util::BitString> expected;
+    for (std::uint64_t i = 0; i < k; ++i) {
+      util::Rng rng(50 * k + i);
+      inputs.push_back(core::LineInput::random(p, rng));
+      expected.push_back(f.evaluate(*oracle, inputs.back()));
+    }
+
+    strategies::BatchPointerChasingStrategy strat(
+        p, strategies::OwnershipPlan::round_robin(p, m), k);
+    mpc::MpcConfig c;
+    c.machines = m;
+    c.local_memory_bits = strat.required_local_memory();
+    c.query_budget = 1 << 20;
+    c.max_rounds = 100000;
+    mpc::MpcSimulation sim(c, oracle);
+    auto result = sim.run(strat, strat.make_initial_memory(inputs));
+    if (!result.completed) {
+      std::cerr << "batch did not complete\n";
+      return 1;
+    }
+    auto answers =
+        strategies::BatchPointerChasingStrategy::parse_outputs(p, result.output, k);
+    bool ok = true;
+    for (std::uint64_t i = 0; i < k; ++i) ok = ok && answers[i] == expected[i];
+    if (k == 1) single_rounds = result.rounds_used;
+    t.add(k, result.rounds_used, k * single_rounds,
+          util::format_double(static_cast<double>(result.rounds_used) / k, 1),
+          result.trace.total_oracle_queries(), ok);
+  }
+  t.print(std::cout);
+
+  std::cout << "\ninterpretation: batched rounds stay within ~1.2x of a single chain while\n"
+               "the per-chain amortised latency falls like 1/k — the cluster's parallelism\n"
+               "is fully useful for throughput. Theorem 3.1 kills only the hope of making\n"
+               "ONE long sequential computation finish faster. (Note s scales with k here:\n"
+               "the machines hold k inputs; the per-chain storage fraction f is unchanged.)\n";
+  return 0;
+}

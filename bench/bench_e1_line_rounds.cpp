@@ -1,0 +1,90 @@
+// E1 — Theorem 3.1 / Lemma 3.2: Line^RO round complexity when s <= S/c.
+//
+// Sweeps the per-machine storage fraction f = s-blocks/v (i.e. c = 1/f) and
+// the chain length w. Measured rounds of the best honest strategy
+// (pointer-chasing with replication) are printed against:
+//   * the geometric model 1 + (w-1)(1-f)  — expected behaviour,
+//   * the paper's lower bound w/log²w     — which no strategy may beat,
+//   * the SimLine-style target w·u/s      — what parallelism WOULD buy if
+//     the schedule were public (for contrast; see E2).
+#include "bench_common.hpp"
+#include "core/line.hpp"
+#include "strategies/colluding.hpp"
+#include "strategies/pointer_chasing.hpp"
+#include "theory/bounds.hpp"
+#include "util/rng.hpp"
+
+using namespace mpch;
+
+int main() {
+  bench::header("E1", "Theorem 3.1 / Lemma 3.2 (Line round complexity)",
+                "any MPC algorithm with s <= S/c needs ~Omega(w/log^2 w) rounds; the honest "
+                "strategy needs ~w(1-f)");
+
+  const std::uint64_t n = 64, u = 16, v = 64, m = 16;
+  util::Table sweep_f({"c=S/s", "f=s/S", "w", "measured_rounds", "model_w(1-f)",
+                       "paper_lb_w/log2w", "rounds/w"});
+  for (std::uint64_t c : {2, 4, 8, 16}) {
+    const std::uint64_t w = 4096;
+    core::LineParams p = core::LineParams::make(n, u, v, w);
+    double f = 1.0 / static_cast<double>(c);
+    std::uint64_t per_machine = v / c;
+    strategies::PointerChasingStrategy strat(
+        p, strategies::OwnershipPlan::replicated(p, m, per_machine));
+    auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 100 + c);
+    util::Rng rng(200 + c);
+    core::LineInput input = core::LineInput::random(p, rng);
+    auto result = bench::run_strategy(strat, input, oracle, m);
+    long double model = theory::pointer_chasing_expected_rounds(p, f);
+    long double paper_lb = theory::lemma32_round_lower_bound(p);
+    sweep_f.add(c, util::format_double(f, 4), w, result.rounds_used,
+                util::format_double(static_cast<double>(model), 1),
+                util::format_double(static_cast<double>(paper_lb), 1),
+                util::format_double(static_cast<double>(result.rounds_used) / w, 3));
+  }
+  sweep_f.print(std::cout);
+
+  std::cout << "\nscaling in w at fixed c = 4 (rounds must grow ~linearly in w = T):\n";
+  util::Table sweep_w({"w", "measured_rounds", "model_w(1-f)", "paper_lb_w/log2w", "rounds/w"});
+  for (std::uint64_t w : {512, 1024, 2048, 4096, 8192}) {
+    core::LineParams p = core::LineParams::make(n, u, v, w);
+    strategies::PointerChasingStrategy strat(
+        p, strategies::OwnershipPlan::replicated(p, m, v / 4));
+    auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 300 + w);
+    util::Rng rng(400 + w);
+    core::LineInput input = core::LineInput::random(p, rng);
+    auto result = bench::run_strategy(strat, input, oracle, m);
+    long double model = theory::pointer_chasing_expected_rounds(p, 0.25L);
+    long double paper_lb = theory::lemma32_round_lower_bound(p);
+    sweep_w.add(w, result.rounds_used, util::format_double(static_cast<double>(model), 1),
+                util::format_double(static_cast<double>(paper_lb), 1),
+                util::format_double(static_cast<double>(result.rounds_used) / w, 3));
+  }
+  sweep_w.print(std::cout);
+
+  std::cout << "\ncommunication-pattern ablation at c = 4, w = 2048 (unicast hand-off vs\n"
+               "full frontier broadcast):\n";
+  util::Table ablate({"pattern", "rounds", "communicated_bits"});
+  {
+    const std::uint64_t w = 2048;
+    core::LineParams p = core::LineParams::make(n, u, v, w);
+    util::Rng rng(901);
+    core::LineInput input = core::LineInput::random(p, rng);
+    strategies::PointerChasingStrategy unicast(
+        p, strategies::OwnershipPlan::round_robin(p, m));
+    auto o1 = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 902);
+    auto r1 = bench::run_strategy(unicast, input, o1, m);
+    strategies::ColludingStrategy collude(p, strategies::OwnershipPlan::round_robin(p, m));
+    auto o2 = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 902);
+    auto r2 = bench::run_strategy(collude, input, o2, m);
+    ablate.add("unicast hand-off", r1.rounds_used, r1.trace.total_communicated_bits());
+    ablate.add("frontier broadcast", r2.rounds_used, r2.trace.total_communicated_bits());
+  }
+  ablate.print(std::cout);
+
+  std::cout << "\ninterpretation: measured rounds scale linearly in w and exceed the paper's\n"
+               "w/log^2 w lower bound at every point; shrinking s (growing c) pushes rounds\n"
+               "toward w, and changing the communication pattern changes communication\n"
+               "volume but not rounds — the bound is about local memory, nothing else.\n";
+  return 0;
+}

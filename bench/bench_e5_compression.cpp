@@ -1,0 +1,118 @@
+// E5 — Claims 3.7/3.8 and A.4/A.5: the compression argument, executed.
+//
+// Runs the literal Enc/Dec schemes, verifies bit-exact round-trips, and
+// prints the measured codeword breakdown against the paper's length bounds
+// and the information-theoretic floor. The "contradiction" is visible as
+// the implied log2(eps) dropping linearly in the covered-block count alpha.
+#include "bench_common.hpp"
+#include "compress/line_codec.hpp"
+#include "compress/simline_codec.hpp"
+#include "core/line.hpp"
+#include "core/simline.hpp"
+#include "theory/bounds.hpp"
+#include "util/rng.hpp"
+
+using namespace mpch;
+
+int main() {
+  bench::header("E5", "Claims 3.7/3.8 & A.4/A.5 (compression argument)",
+                "Enc/Dec round-trips exactly; |Enc| <= paper bound; savings grow "
+                "linearly in alpha, forcing eps <= 2^{-(alpha(u-logq-logv)-s-1)}");
+
+  // SimLine scheme (Claim A.4) at n = 16, u = 6, v = 4.
+  std::cout << "\nClaim A.4 Enc/Dec (SimLine), n = 16, u = 6, v = 4, q = 8:\n";
+  core::LineParams p = core::LineParams::make(16, 6, 4, 8);
+  util::Rng rng(1);
+  hash::ExhaustiveRandomOracle oracle(p.n, p.n, rng);
+  core::LineInput input = core::LineInput::random(p, rng);
+  core::SimLineFunction fn(p);
+  core::SimLineChain chain = fn.evaluate_chain(oracle, input);
+
+  util::Table t({"alpha", "roundtrip_ok", "|Enc|_total", "oracle", "memory", "pointers",
+                 "residual", "overhead", "paperA4_bound", "savings_vs_trivial",
+                 "implied_log2_eps"});
+  for (std::uint64_t alpha = 0; alpha <= 4; ++alpha) {
+    std::vector<std::pair<std::uint64_t, util::BitString>> blocks;
+    std::vector<util::BitString> entries;
+    std::vector<std::uint64_t> target_blocks;
+    for (std::uint64_t i = 1; i <= alpha; ++i) {
+      std::uint64_t b = fn.scheduled_block(i);
+      blocks.emplace_back(b, input.block(b));
+      entries.push_back(chain.nodes[i - 1].query);
+      target_blocks.push_back(b);
+    }
+    util::BitString memory =
+        compress::SimLineWindowProgram::make_memory(p, 1, chain.nodes[0].r, blocks);
+    compress::SimLineCompressor comp(p, 8);
+    compress::SimLineWindowProgram program(p);
+    auto enc = comp.encode(oracle, input, memory, program, entries, target_blocks);
+    auto dec = comp.decode(enc.message, program);
+    bool ok = dec.input_bits == input.bits();
+
+    theory::MpcBoundParams mp;
+    mp.q = 8;
+    mp.s = memory.size();
+    long double bound = theory::claimA4_encoding_bound_bits(
+        p, mp, static_cast<long double>(enc.covered),
+        static_cast<long double>(oracle.table_bits()));
+    t.add(enc.covered, ok, enc.breakdown.total(), enc.breakdown.oracle_bits,
+          enc.breakdown.memory_bits, enc.breakdown.pointer_bits, enc.breakdown.residual_bits,
+          enc.breakdown.overhead_bits, util::format_double(static_cast<double>(bound), 0),
+          compress::savings_bits(p, enc.breakdown),
+          util::format_double(static_cast<double>(compress::implied_log2_eps(p, enc.breakdown)),
+                              1));
+  }
+  t.print(std::cout);
+
+  // Line scheme (Claim 3.7) with the Definition 3.4 rewiring.
+  std::cout << "\nClaim 3.7 Enc/Dec (Line, oracle rewiring over [v]^depth), n = 12, u = 3, "
+               "v = 4, depth = 2:\n";
+  core::LineParams tp = core::LineParams::make(12, 3, 4, 8);
+  util::Table t2({"stored_blocks", "roundtrip_ok", "|B|", "recorded_seqs/enumerated",
+                  "|Enc|_total", "pointers", "residual", "claim37_bound"});
+  for (std::uint64_t stored : {0ULL, 2ULL, 4ULL}) {
+    util::Rng trng(50 + stored);
+    hash::ExhaustiveRandomOracle toracle(tp.n, tp.n, trng);
+    core::LineInput tinput = core::LineInput::random(tp, trng);
+    core::LineChain tchain = core::LineFunction(tp).evaluate_chain(toracle, tinput);
+    compress::RewireAnchor anchor;
+    anchor.j_k = 1;
+    anchor.ell_next = tchain.nodes[1].ell;
+    anchor.r_next = tchain.nodes[1].r;
+
+    std::vector<std::uint64_t> candidates = {anchor.ell_next};
+    for (std::uint64_t b = 1; b <= tp.v; ++b) {
+      if (b != anchor.ell_next) candidates.push_back(b);
+    }
+    std::vector<std::pair<std::uint64_t, util::BitString>> blocks;
+    for (std::uint64_t pick : candidates) {
+      if (blocks.size() >= stored) break;
+      blocks.emplace_back(pick, tinput.block(pick));
+    }
+    util::BitString memory = compress::LineWindowProgram::make_memory(
+        tp, anchor.j_k + 1, anchor.ell_next, anchor.r_next, blocks);
+    compress::LineCompressor comp(tp, 64, 2);
+    compress::LineWindowProgram program(tp);
+    auto enc = comp.encode(toracle, tinput, memory, program, anchor);
+    auto dec = comp.decode(enc.message, program);
+    bool ok = dec.input_bits == tinput.bits();
+
+    theory::MpcBoundParams mp;
+    mp.q = 64;
+    mp.s = memory.size();
+    long double bound = theory::claim37_encoding_bound_bits(
+        tp, mp, static_cast<long double>(enc.b_set.size()),
+        static_cast<long double>(toracle.table_bits()));
+    t2.add(blocks.size(), ok, enc.b_set.size(),
+           std::to_string(enc.recorded_seqs) + "/" + std::to_string(enc.enumerated_seqs),
+           enc.breakdown.total(), enc.breakdown.pointer_bits, enc.breakdown.residual_bits,
+           util::format_double(static_cast<double>(bound), 0));
+  }
+  t2.print(std::cout);
+
+  std::cout << "\ninterpretation: every Enc/Dec round-trip is bit-exact; each covered block\n"
+               "removes u bits from the residual at a pointer cost of (log q + log v) bits,\n"
+               "so the implied eps shrinks by 2^{-(u-logq-logv)} per unit of alpha — the\n"
+               "exact contradiction mechanism of Lemma A.3 / Lemma 3.6.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// E8 — the q < 2^{n/4} side condition: what a per-round query budget buys.
+//
+// A charitably-verified block-guessing adversary spends q oracle queries per
+// stall trying to jump the walk past an unowned block. Each guess succeeds
+// with probability 2^{-u}, so rounds collapse only once q approaches 2^u —
+// the paper's "u is assumed to be large enough as otherwise, machine may
+// guess it locally with non-trivial probability", and the reason Theorem
+// 3.1 caps q at 2^{n/4} = 2^{3u/4} << 2^u... per *chain step* the attack
+// still needs 2^u expected work.
+#include "bench_common.hpp"
+#include "core/line.hpp"
+#include "strategies/pointer_chasing.hpp"
+#include "strategies/speculative.hpp"
+#include "util/rng.hpp"
+
+using namespace mpch;
+
+int main() {
+  bench::header("E8", "Theorem 3.1's q budget (speculative block-guessing)",
+                "guessing escapes a stall w.p. ~q/2^u: rounds collapse iff q >= 2^u");
+
+  const std::uint64_t v = 8, m = 4, w = 512;
+  util::Table t({"u", "2^u", "guess_budget_q", "measured_rounds", "honest_rounds",
+                 "lucky_escapes", "rounds_ratio"});
+  for (std::uint64_t u : {4, 6, 8, 10}) {
+    core::LineParams p = core::LineParams::make(3 * u + 16, u, v, w);
+
+    // Honest baseline.
+    util::Rng rng_in(3000 + u);
+    core::LineInput input = core::LineInput::random(p, rng_in);
+    strategies::PointerChasingStrategy honest(p, strategies::OwnershipPlan::round_robin(p, m));
+    auto oracle_h = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 4000 + u);
+    auto r_honest = bench::run_strategy(honest, input, oracle_h, m);
+
+    for (std::uint64_t q : {4, 16, 64, 256, 1024}) {
+      strategies::SpeculativeConfig cfg;
+      cfg.guesses_per_stall = q;
+      cfg.enumerate = true;  // strongest attack: systematic enumeration
+      strategies::SpeculativeStrategy spec(p, strategies::OwnershipPlan::round_robin(p, m), cfg,
+                                           input);
+      auto oracle_s = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 4000 + u);
+      auto r_spec = bench::run_strategy(spec, input, oracle_s, m, 1ULL << 20);
+      t.add(u, 1ULL << u, q, r_spec.rounds_used, r_honest.rounds_used, spec.lucky_escapes(),
+            util::format_double(static_cast<double>(r_spec.rounds_used) /
+                                    static_cast<double>(r_honest.rounds_used),
+                                3));
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\ninterpretation: the rounds_ratio cliff sits exactly at q >= 2^u — below it\n"
+               "the budget buys nothing (ratio ~1), at or above it the adversary walks the\n"
+               "whole chain in one round (ratio ~1/honest). At cryptographic u (= n/3) no\n"
+               "feasible q reaches 2^u, which is why the model may allow q < 2^{n/4} for\n"
+               "free. The adversary here is charitably verified: a real attacker would do\n"
+               "strictly worse.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// compression_demo — the proof's Enc/Dec scheme, step by step.
+//
+//   ./compression_demo [--alpha 4] [--seed 1]
+//
+// Walks through Claim A.4's encoding of a (random oracle, input) pair: a
+// machine whose round-k queries cover `alpha` correct SimLine entries lets
+// the encoder drop those alpha blocks from the message and recover them from
+// the query stream during decoding. The demo prints the byte accounting and
+// verifies the bit-exact round trip — the entire lower-bound argument in one
+// screen of output.
+#include <iostream>
+
+#include "compress/simline_codec.hpp"
+#include "core/simline.hpp"
+#include "theory/bounds.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace mpch;
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const std::uint64_t alpha = std::min<std::uint64_t>(args.get_u64("alpha", 4), 8);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  // Tiny parameters so the oracle table is fully materialisable.
+  core::LineParams p = core::LineParams::make(18, 6, 8, 16);
+  std::cout << "SimLine with " << p.to_string() << "\n"
+            << "oracle table: 2^" << p.n << " entries x " << p.n << " bits = "
+            << (p.n << p.n) << " bits\n"
+            << "input X: " << p.v << " blocks x " << p.u << " bits = " << p.input_bits()
+            << " bits\n\n";
+
+  util::Rng rng(seed);
+  hash::ExhaustiveRandomOracle oracle(p.n, p.n, rng);
+  core::LineInput input = core::LineInput::random(p, rng);
+  core::SimLineFunction fn(p);
+  core::SimLineChain chain = fn.evaluate_chain(oracle, input);
+
+  // The machine: holds the chain frontier plus `alpha` scheduled blocks.
+  std::vector<std::pair<std::uint64_t, util::BitString>> blocks;
+  std::vector<util::BitString> entries;
+  std::vector<std::uint64_t> target_blocks;
+  for (std::uint64_t i = 1; i <= alpha; ++i) {
+    std::uint64_t b = fn.scheduled_block(i);
+    blocks.emplace_back(b, input.block(b));
+    entries.push_back(chain.nodes[i - 1].query);
+    target_blocks.push_back(b);
+  }
+  util::BitString memory =
+      compress::SimLineWindowProgram::make_memory(p, 1, chain.nodes[0].r, blocks);
+  std::cout << "machine state M: " << memory.size() << " bits (frontier + " << alpha
+            << " blocks)\n";
+
+  compress::SimLineCompressor comp(p, 32);
+  compress::SimLineWindowProgram program(p);
+  auto enc = comp.encode(oracle, input, memory, program, entries, target_blocks);
+
+  std::cout << "running A2(M): covered alpha = " << enc.covered << " correct entries\n\n";
+  util::Table t({"component", "bits", "note"});
+  t.add("oracle table", enc.breakdown.oracle_bits, "the n*2^n term (both sides of the bound)");
+  t.add("machine state M", enc.breakdown.memory_bits, "s bits");
+  t.add("pointer records P", enc.breakdown.pointer_bits,
+        "alpha x (log q + log v) = " + std::to_string(enc.covered) + " x " +
+            std::to_string(comp.pointer_field_bits()));
+  t.add("residual X'", enc.breakdown.residual_bits,
+        "(v - alpha) x u uncovered blocks, verbatim");
+  t.add("framing overhead", enc.breakdown.overhead_bits, "length/count fields (implementation)");
+  t.add("TOTAL", enc.breakdown.total(), "");
+  t.print(std::cout);
+
+  std::int64_t savings = compress::savings_bits(p, enc.breakdown);
+  std::cout << "\nvs trivial encoding (oracle + M + all of X): "
+            << (savings >= 0 ? "saves " : "costs ") << std::abs(savings) << " bits\n"
+            << "per covered block: trades u = " << p.u << " bits of X for "
+            << comp.pointer_field_bits() << " pointer bits\n";
+
+  auto dec = comp.decode(enc.message, program);
+  bool ok = dec.input_bits == input.bits();
+  std::cout << "\ndecode: re-ran A2(M) against the stored oracle, pulled " << enc.covered
+            << " blocks out of its query stream\n"
+            << "round-trip exact: " << (ok ? "YES" : "NO -- BUG") << "\n\n";
+
+  std::cout << "why this is a lower bound: if an s-bit machine could cover alpha blocks\n"
+               "with alpha(u - log q - log v) > s + 1, this encoding would compress the\n"
+               "uniformly random pair (RO, X) below its entropy (Claim A.5) — impossible.\n"
+               "Hence |Q ∩ C| <= s/(u - log q - log v) + 1 per round: Lemma A.3.\n";
+
+  for (const auto& unused : args.unused()) {
+    std::cerr << "warning: unused flag --" << unused << "\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+// kdf_timelock — Line^h as a parallelization-resistant key-derivation /
+// time-lock function.
+//
+//   ./kdf_timelock --password hunter2 [--difficulty 50000] [--salt 42]
+//
+// The paper's related-work section ties Line^RO to memory-hard functions and
+// time-lock puzzles ([4, 5, 52]): the chain's sequential oracle dependency
+// means an attacker with thousands of machines can brute-force candidate
+// passwords no faster per-candidate than a laptop. This example instantiates
+// the oracle with SHA-256 (the random-oracle-methodology step), derives the
+// input blocks from the password, and outputs the final chain value as the
+// key. It also demonstrates the asymmetry experimentally: doubling the
+// difficulty doubles the wall-clock derivation time.
+#include <chrono>
+#include <iostream>
+
+#include "core/line.hpp"
+#include "hash/random_oracle.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace mpch;
+
+namespace {
+
+/// Expand (password, salt) into the uv-bit Line input via SHA-256.
+core::LineInput derive_input(const core::LineParams& p, const std::string& password,
+                             std::uint64_t salt) {
+  std::vector<std::uint8_t> prefix;
+  prefix.push_back('K');
+  prefix.push_back('D');
+  prefix.push_back('F');
+  for (int i = 0; i < 8; ++i) prefix.push_back(static_cast<std::uint8_t>(salt >> (i * 8)));
+  prefix.insert(prefix.end(), password.begin(), password.end());
+  return core::LineInput(p, hash::sha256_expand(prefix, p.input_bits()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const std::string password = args.get_string("password", "correct horse battery staple");
+  const std::uint64_t difficulty = args.get_u64("difficulty", 50000);  // chain length T
+  const std::uint64_t salt = args.get_u64("salt", 42);
+
+  const std::uint64_t n = 256, u = 64, v = 64;
+  core::LineParams p = core::LineParams::make(n, u, v, difficulty);
+  hash::Sha256Oracle oracle(p.n, p.n);  // public hash: anyone can re-derive
+  core::LineInput input = derive_input(p, password, salt);
+
+  auto start = std::chrono::steady_clock::now();
+  util::BitString key = core::LineFunction(p).evaluate(oracle, input);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+
+  std::cout << "derived key : " << key.to_hex_string() << "\n"
+            << "difficulty  : " << difficulty << " sequential SHA-256 chain steps\n"
+            << "derivation  : " << elapsed << " ms\n\n";
+
+  std::cout << "sequentiality check (time must scale linearly in difficulty — no\n"
+               "parallel shortcut exists by Theorem 3.1):\n";
+  util::Table t({"difficulty_T", "derive_ms", "ms_per_1k_steps"});
+  for (std::uint64_t d : {difficulty / 4, difficulty / 2, difficulty}) {
+    if (d == 0) continue;
+    core::LineParams pd = core::LineParams::make(n, u, v, d);
+    auto t0 = std::chrono::steady_clock::now();
+    core::LineFunction(pd).evaluate(oracle, derive_input(pd, password, salt));
+    double ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+                    .count();
+    t.add(d, util::format_double(ms, 1), util::format_double(ms * 1000.0 / d, 2));
+  }
+  t.print(std::cout);
+
+  std::cout << "\nms_per_1k_steps is flat: an attacker must pay the full sequential cost\n"
+               "per password candidate, regardless of how many machines they own (as long\n"
+               "as each has local memory below the input size).\n";
+
+  for (const auto& unused : args.unused()) {
+    std::cerr << "warning: unused flag --" << unused << "\n";
+  }
+  return 0;
+}

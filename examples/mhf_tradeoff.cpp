@@ -1,0 +1,60 @@
+// mhf_tradeoff — memory-hardness on the same oracle substrate (Section 1.2).
+//
+//   ./mhf_tradeoff [--cost 512] [--block 64] [--seed 1]
+//
+// Runs scrypt's ROMix core against the library's random oracle and walks the
+// classic memory/time trade-off curve: halve the stored checkpoints, pay in
+// recomputation hashes. The cumulative memory complexity (CMC) — the cost
+// that MHF lower bounds protect — stays high on every point of the curve,
+// which is the defence. Contrast with the Line function (see quickstart):
+// there the protected cost is MPC *rounds* and no trade-off exists at all.
+#include <iostream>
+
+#include "hash/random_oracle.hpp"
+#include "mhf/romix.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace mpch;
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const std::uint64_t cost = args.get_u64("cost", 512);
+  const std::uint64_t block = args.get_u64("block", 64);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  mhf::RoMix romix(block, cost);
+  util::Rng rng(seed);
+  util::BitString password_block =
+      util::BitString::random(block, [&rng] { return rng.next_u64(); });
+
+  std::cout << "ROMix with N = " << cost << ", block = " << block << " bits\n\n";
+
+  util::Table t({"stride", "peak_memory_bits", "oracle_calls", "CMC_bit_steps",
+                 "CMC_vs_honest", "output"});
+  std::uint64_t honest_cmc = 0;
+  for (std::uint64_t stride : {1, 2, 4, 8, 16, 32}) {
+    hash::LazyRandomOracle oracle(block, block, seed);
+    mhf::CmcMeter meter;
+    util::BitString out = romix.evaluate_with_stride(oracle, password_block, stride, &meter);
+    if (stride == 1) honest_cmc = meter.cumulative_bit_steps();
+    t.add(stride, meter.peak_bits(), meter.oracle_calls(), meter.cumulative_bit_steps(),
+          util::format_double(static_cast<double>(meter.cumulative_bit_steps()) /
+                                  static_cast<double>(honest_cmc),
+                              2),
+          out.slice(0, std::min<std::uint64_t>(block, 32)).to_hex_string());
+  }
+  t.print(std::cout);
+
+  std::cout << "\nEvery row computes the same output. Peak memory falls with the stride,\n"
+               "oracle calls rise — but the CMC (memory x time area) never drops much\n"
+               "below the honest point: that area is what the MHF lower bounds of [4, 5]\n"
+               "protect, using the same compression technique this repository implements\n"
+               "for the MPC model in src/compress.\n";
+
+  for (const auto& unused : args.unused()) {
+    std::cerr << "warning: unused flag --" << unused << "\n";
+  }
+  return 0;
+}

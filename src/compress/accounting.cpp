@@ -1,0 +1,29 @@
+#include "compress/accounting.hpp"
+
+#include <sstream>
+
+namespace mpch::compress {
+
+std::string EncodingBreakdown::to_string() const {
+  std::ostringstream ss;
+  ss << "EncodingBreakdown{oracle=" << oracle_bits << ", memory=" << memory_bits
+     << ", pointers=" << pointer_bits << ", residual=" << residual_bits
+     << ", overhead=" << overhead_bits << ", total=" << total() << "}";
+  return ss.str();
+}
+
+std::int64_t savings_bits(const core::LineParams& p, const EncodingBreakdown& b) {
+  std::uint64_t trivial = b.oracle_bits + b.memory_bits + p.u * p.v;
+  return static_cast<std::int64_t>(trivial) - static_cast<std::int64_t>(b.total());
+}
+
+long double implied_log2_eps(const core::LineParams& p, const EncodingBreakdown& b) {
+  // Claim A.5 / 3.8: max |Enc| >= log|F| - 1 with |F| = eps·2^{oracle + uv}.
+  // Rearranged: log2(eps) <= total - (oracle + uv) + 1.
+  return static_cast<long double>(b.total()) -
+         (static_cast<long double>(b.oracle_bits) +
+          static_cast<long double>(p.u) * static_cast<long double>(p.v)) +
+         1.0L;
+}
+
+}  // namespace mpch::compress

@@ -1,0 +1,47 @@
+// accounting.hpp — bit accounting for the compression argument.
+//
+// The compression argument wins or loses on arithmetic: the encoding must be
+// *provably shorter* than the information-theoretic floor whenever the bad
+// event happens. This module holds the measured breakdown of an encoding and
+// the comparisons against Claim A.4 / Claim 3.7's bounds and the Claim
+// A.5 / 3.8 floor. Implementation overheads (explicit count fields, ceil'd
+// bit widths) are tracked separately so the comparison against the paper's
+// idealised formula is honest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/params.hpp"
+#include "theory/bounds.hpp"
+
+namespace mpch::compress {
+
+struct EncodingBreakdown {
+  std::uint64_t oracle_bits = 0;     ///< serialised oracle table (the n·2^n term)
+  std::uint64_t memory_bits = 0;     ///< the machine state M (s bits)
+  std::uint64_t pointer_bits = 0;    ///< the P records / a-seq hit lists
+  std::uint64_t residual_bits = 0;   ///< X' — blocks stored verbatim
+  std::uint64_t overhead_bits = 0;   ///< counts, headers, chain seeds
+
+  std::uint64_t total() const {
+    return oracle_bits + memory_bits + pointer_bits + residual_bits + overhead_bits;
+  }
+
+  std::string to_string() const;
+};
+
+/// Savings relative to the trivial encoding (oracle + M + all of X):
+/// trivial = oracle_bits + memory_bits + u·v; savings = trivial − total.
+/// Positive savings are what contradict the information floor when the
+/// covered-block count is large.
+std::int64_t savings_bits(const core::LineParams& p, const EncodingBreakdown& b);
+
+/// The contradiction check of Lemma A.3: if Pr[|Q∩C| >= alpha] = eps, the
+/// encoding of the good set F beats the floor unless
+///   eps <= 2^{-(alpha(u − log q − log v) − s − 1)}.
+/// Returns the log2 of the largest eps consistent with the measured encoding
+/// length (floor-derived): log2_eps_max = total − (oracle_bits + uv) + 1.
+long double implied_log2_eps(const core::LineParams& p, const EncodingBreakdown& b);
+
+}  // namespace mpch::compress

@@ -1,0 +1,366 @@
+#include "compress/line_codec.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/math.hpp"
+#include "util/serialize.hpp"
+
+namespace mpch::compress {
+
+namespace {
+
+/// A patched view over an exhaustive oracle: answers from the patch map when
+/// present, otherwise from the base table.
+class PatchedOracle final : public hash::RandomOracle {
+ public:
+  PatchedOracle(hash::ExhaustiveRandomOracle& base,
+                const std::unordered_map<util::BitString, util::BitString, util::BitStringHash>&
+                    patches)
+      : base_(&base), patches_(&patches) {}
+
+  util::BitString query(const util::BitString& input) override {
+    ++total_;
+    auto it = patches_->find(input);
+    if (it != patches_->end()) return it->second;
+    return base_->query(input);
+  }
+
+  std::size_t input_bits() const override { return base_->input_bits(); }
+  std::size_t output_bits() const override { return base_->output_bits(); }
+  std::uint64_t total_queries() const override { return total_; }
+
+ private:
+  hash::ExhaustiveRandomOracle* base_;
+  const std::unordered_map<util::BitString, util::BitString, util::BitStringHash>* patches_;
+  std::uint64_t total_ = 0;
+};
+
+/// Enumerate [1,v]^depth in lexicographic order, invoking fn(seq).
+template <typename Fn>
+void for_each_sequence(std::uint64_t v, std::uint64_t depth, Fn&& fn) {
+  std::vector<std::uint64_t> seq(depth, 1);
+  for (;;) {
+    fn(const_cast<const std::vector<std::uint64_t>&>(seq));
+    std::uint64_t pos = depth;
+    while (pos > 0) {
+      if (seq[pos - 1] < v) {
+        ++seq[pos - 1];
+        break;
+      }
+      seq[pos - 1] = 1;
+      --pos;
+    }
+    if (pos == 0) break;
+  }
+}
+
+}  // namespace
+
+LineCompressor::LineCompressor(const core::LineParams& params, std::uint64_t max_queries,
+                               std::uint64_t depth)
+    : params_(params), codec_(params), max_queries_(max_queries), depth_(depth) {
+  if (params_.n > 20) {
+    throw std::invalid_argument("LineCompressor: exhaustive oracle mode requires n <= 20");
+  }
+  if (depth_ == 0) throw std::invalid_argument("LineCompressor: depth must be >= 1");
+  if (util::pow_sat(params_.v, depth_, 1ULL << 20) >= (1ULL << 20)) {
+    throw std::invalid_argument("LineCompressor: v^depth too large to enumerate");
+  }
+  qpos_bits_ = util::ceil_log2(max_queries_ + 1);
+  step_bits_ = util::ceil_log2(depth_ + 1);
+}
+
+std::uint64_t LineCompressor::revealed_block(const RewireAnchor& anchor,
+                                             const std::vector<std::uint64_t>& seq,
+                                             std::uint64_t step) {
+  return step == 1 ? anchor.ell_next : seq[step - 2];
+}
+
+std::vector<LineCompressor::Patch> LineCompressor::build_patches(
+    const hash::ExhaustiveRandomOracle& oracle, const core::LineInput& input,
+    const RewireAnchor& anchor, const std::vector<std::uint64_t>& seq) const {
+  std::vector<Patch> patches;
+  patches.reserve(depth_);
+  hash::ExhaustiveRandomOracle scratch = oracle;  // query() is non-const
+
+  std::uint64_t c_prev = anchor.ell_next;
+  util::BitString rho = anchor.r_next;
+  for (std::uint64_t t = 1; t <= depth_; ++t) {
+    std::uint64_t node = anchor.j_k + t;
+    if (node > params_.w) break;  // window clipped at the chain end
+    util::BitString point = codec_.encode_query(node, input.block(c_prev), rho);
+    core::LineAnswer orig = codec_.decode_answer(scratch.query(point));
+    Patch patch;
+    patch.point = point;
+    patch.answer = codec_.encode_answer(seq[t - 1] - 1, orig.r, orig.z);
+    patch.step = t;
+    patches.push_back(std::move(patch));
+    rho = orig.r;
+    c_prev = seq[t - 1];
+  }
+  return patches;
+}
+
+LineEncoding LineCompressor::encode(const hash::ExhaustiveRandomOracle& oracle,
+                                    const core::LineInput& input, const util::BitString& memory,
+                                    RoundProgram& program, const RewireAnchor& anchor) const {
+  struct SeqRecord {
+    std::vector<std::uint64_t> seq;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> hits;  // (query pos, step)
+  };
+  std::vector<SeqRecord> records;
+  std::set<std::uint64_t> covered;
+  std::uint64_t enumerated = 0;
+
+  for_each_sequence(params_.v, depth_, [&](const std::vector<std::uint64_t>& seq) {
+    ++enumerated;
+    std::vector<Patch> patches = build_patches(oracle, input, anchor, seq);
+    std::unordered_map<util::BitString, util::BitString, util::BitStringHash> patch_map;
+    std::unordered_map<util::BitString, std::uint64_t, util::BitStringHash> point_step;
+    for (const auto& p : patches) {
+      patch_map[p.point] = p.answer;
+      point_step[p.point] = p.step;
+    }
+
+    hash::ExhaustiveRandomOracle base = oracle;
+    PatchedOracle patched(base, patch_map);
+    LoggingOracle logger(patched);
+    program.run(memory, logger);
+    if (logger.log().size() > max_queries_) {
+      throw std::logic_error("LineCompressor::encode: A2 exceeded the q bound");
+    }
+
+    SeqRecord rec;
+    rec.seq = seq;
+    bool has_new = false;
+    for (std::size_t pos = 0; pos < logger.log().size(); ++pos) {
+      auto it = point_step.find(logger.log()[pos]);
+      if (it == point_step.end()) continue;
+      rec.hits.emplace_back(pos, it->second);
+      std::uint64_t block = revealed_block(anchor, seq, it->second);
+      if (covered.insert(block).second) has_new = true;
+    }
+    if (has_new) records.push_back(std::move(rec));
+  });
+
+  // Serialise.
+  util::BitWriter w;
+  EncodingBreakdown bd;
+
+  for (const auto& entry : oracle.table()) w.write_bits(entry);
+  bd.oracle_bits = oracle.table_bits();
+
+  w.write_uint(anchor.j_k, params_.index_bits);
+  w.write_uint(anchor.ell_next, params_.ell_bits);
+  w.write_bits(anchor.r_next);
+  bd.overhead_bits += params_.index_bits + params_.ell_bits + params_.u;
+
+  w.write_uint(memory.size(), 32);
+  bd.overhead_bits += 32;
+  w.write_bits(memory);
+  bd.memory_bits = memory.size();
+
+  w.write_uint(records.size(), 32);
+  bd.overhead_bits += 32;
+  for (const auto& rec : records) {
+    for (std::uint64_t a : rec.seq) w.write_uint(a, params_.ell_bits);
+    w.write_uint(rec.hits.size(), 16);
+    bd.overhead_bits += 16;
+    for (const auto& [pos, step] : rec.hits) {
+      w.write_uint(pos, qpos_bits_);
+      w.write_uint(step, step_bits_);
+    }
+    bd.pointer_bits += depth_ * params_.ell_bits + rec.hits.size() * (qpos_bits_ + step_bits_);
+  }
+
+  for (std::uint64_t b = 1; b <= params_.v; ++b) {
+    if (!covered.count(b)) w.write_bits(input.block(b));
+  }
+  bd.residual_bits = (params_.v - covered.size()) * params_.u;
+
+  LineEncoding enc;
+  enc.message = w.take();
+  enc.breakdown = bd;
+  enc.b_set = std::move(covered);
+  enc.recorded_seqs = records.size();
+  enc.enumerated_seqs = enumerated;
+  if (enc.message.size() != bd.total()) {
+    throw std::logic_error("LineCompressor::encode: breakdown does not match message size");
+  }
+  return enc;
+}
+
+LineDecoded LineCompressor::decode(const util::BitString& message, RoundProgram& program) const {
+  util::BitReader r(message);
+
+  std::uint64_t entries = 1ULL << params_.n;
+  std::vector<util::BitString> table;
+  table.reserve(entries);
+  for (std::uint64_t i = 0; i < entries; ++i) table.push_back(r.read_bits(params_.n));
+  util::Rng dummy(0);
+  hash::ExhaustiveRandomOracle oracle(params_.n, params_.n, dummy);
+  for (std::uint64_t i = 0; i < entries; ++i) oracle.set_entry(i, table[i]);
+
+  RewireAnchor anchor;
+  anchor.j_k = r.read_uint(params_.index_bits);
+  anchor.ell_next = r.read_uint(params_.ell_bits);
+  anchor.r_next = r.read_bits(params_.u);
+
+  std::uint64_t mem_len = r.read_uint(32);
+  util::BitString memory = r.read_bits(mem_len);
+
+  std::uint64_t num_records = r.read_uint(32);
+  std::vector<bool> recovered(params_.v + 1, false);
+  std::vector<util::BitString> blocks(params_.v + 1);
+
+  for (std::uint64_t rec = 0; rec < num_records; ++rec) {
+    std::vector<std::uint64_t> seq(depth_);
+    for (std::uint64_t t = 0; t < depth_; ++t) seq[t] = r.read_uint(params_.ell_bits);
+    std::uint64_t num_hits = r.read_uint(16);
+    // pos -> step for this sequence's replay.
+    std::unordered_map<std::uint64_t, std::uint64_t> hit_at;
+    for (std::uint64_t h = 0; h < num_hits; ++h) {
+      std::uint64_t pos = r.read_uint(qpos_bits_);
+      std::uint64_t step = r.read_uint(step_bits_);
+      hit_at[pos] = step;
+    }
+
+    // Replay A2 with the answers revised at the recorded positions: the
+    // revised answer is the base answer with its ℓ-field forced to a_t.
+    class ReplayOracle final : public hash::RandomOracle {
+     public:
+      ReplayOracle(hash::ExhaustiveRandomOracle& base, const core::LineCodec& codec,
+                   const std::unordered_map<std::uint64_t, std::uint64_t>& hit_at,
+                   const std::vector<std::uint64_t>& seq, const RewireAnchor& anchor,
+                   std::vector<bool>& recovered, std::vector<util::BitString>& blocks,
+                   const core::LineParams& params)
+          : base_(&base),
+            codec_(&codec),
+            hit_at_(&hit_at),
+            seq_(&seq),
+            anchor_(&anchor),
+            recovered_(&recovered),
+            blocks_(&blocks),
+            params_(&params) {}
+
+      util::BitString query(const util::BitString& input) override {
+        std::uint64_t pos = pos_++;
+        util::BitString base_answer = base_->query(input);
+        auto it = hit_at_->find(pos);
+        if (it == hit_at_->end()) return base_answer;
+        std::uint64_t step = it->second;
+        // Extract the revealed block from the query's x-field.
+        core::LineQuery q = codec_->decode_query(input);
+        std::uint64_t block = step == 1 ? anchor_->ell_next : (*seq_)[step - 2];
+        (*blocks_)[block] = q.x;
+        (*recovered_)[block] = true;
+        // Revise the answer's ℓ-field to a_step.
+        core::LineAnswer a = codec_->decode_answer(base_answer);
+        return codec_->encode_answer((*seq_)[step - 1] - 1, a.r, a.z);
+      }
+
+      std::size_t input_bits() const override { return base_->input_bits(); }
+      std::size_t output_bits() const override { return base_->output_bits(); }
+      std::uint64_t total_queries() const override { return pos_; }
+
+     private:
+      hash::ExhaustiveRandomOracle* base_;
+      const core::LineCodec* codec_;
+      const std::unordered_map<std::uint64_t, std::uint64_t>* hit_at_;
+      const std::vector<std::uint64_t>* seq_;
+      const RewireAnchor* anchor_;
+      std::vector<bool>* recovered_;
+      std::vector<util::BitString>* blocks_;
+      const core::LineParams* params_;
+      std::uint64_t pos_ = 0;
+    };
+
+    ReplayOracle replay(oracle, codec_, hit_at, seq, anchor, recovered, blocks, params_);
+    program.run(memory, replay);
+  }
+
+  for (std::uint64_t b = 1; b <= params_.v; ++b) {
+    if (!recovered[b]) blocks[b] = r.read_bits(params_.u);
+  }
+
+  LineDecoded out;
+  out.oracle_table = std::move(table);
+  for (std::uint64_t b = 1; b <= params_.v; ++b) out.input_bits += blocks[b];
+  return out;
+}
+
+std::set<std::uint64_t> LineCompressor::compute_b_set(const hash::ExhaustiveRandomOracle& oracle,
+                                                      const core::LineInput& input,
+                                                      const util::BitString& memory,
+                                                      RoundProgram& program,
+                                                      const RewireAnchor& anchor) const {
+  std::set<std::uint64_t> covered;
+  for_each_sequence(params_.v, depth_, [&](const std::vector<std::uint64_t>& seq) {
+    std::vector<Patch> patches = build_patches(oracle, input, anchor, seq);
+    std::unordered_map<util::BitString, util::BitString, util::BitStringHash> patch_map;
+    std::unordered_map<util::BitString, std::uint64_t, util::BitStringHash> point_step;
+    for (const auto& p : patches) {
+      patch_map[p.point] = p.answer;
+      point_step[p.point] = p.step;
+    }
+    hash::ExhaustiveRandomOracle base = oracle;
+    PatchedOracle patched(base, patch_map);
+    LoggingOracle logger(patched);
+    program.run(memory, logger);
+    for (const auto& q : logger.log()) {
+      auto it = point_step.find(q);
+      if (it != point_step.end()) covered.insert(revealed_block(anchor, seq, it->second));
+    }
+  });
+  return covered;
+}
+
+// ------------------------------------------------------ honest A2 for Line
+
+util::BitString LineWindowProgram::make_memory(
+    const core::LineParams& params, std::uint64_t next_index, std::uint64_t ell,
+    const util::BitString& r,
+    const std::vector<std::pair<std::uint64_t, util::BitString>>& blocks) {
+  util::BitWriter w;
+  w.write_uint(next_index, params.index_bits);
+  w.write_uint(ell, params.ell_bits);
+  if (r.size() != params.u) {
+    throw std::invalid_argument("LineWindowProgram::make_memory: r must be u bits");
+  }
+  w.write_bits(r);
+  w.write_uint(blocks.size(), 16);
+  for (const auto& [idx, x] : blocks) {
+    w.write_uint(idx, params.ell_bits);
+    if (x.size() != params.u) {
+      throw std::invalid_argument("LineWindowProgram::make_memory: block must be u bits");
+    }
+    w.write_bits(x);
+  }
+  return w.take();
+}
+
+void LineWindowProgram::run(const util::BitString& memory, hash::RandomOracle& oracle) {
+  util::BitReader reader(memory);
+  std::uint64_t i = reader.read_uint(params_.index_bits);
+  std::uint64_t ell = reader.read_uint(params_.ell_bits);
+  util::BitString r = reader.read_bits(params_.u);
+  std::uint64_t count = reader.read_uint(16);
+  std::unordered_map<std::uint64_t, util::BitString> owned;
+  for (std::uint64_t b = 0; b < count; ++b) {
+    std::uint64_t idx = reader.read_uint(params_.ell_bits);
+    owned.emplace(idx, reader.read_bits(params_.u));
+  }
+
+  while (i <= params_.w) {
+    auto it = owned.find(ell);
+    if (it == owned.end()) break;
+    util::BitString answer = oracle.query(codec_.encode_query(i, it->second, r));
+    core::LineAnswer a = codec_.decode_answer(answer);
+    ell = a.ell;
+    r = a.r;
+    ++i;
+  }
+}
+
+}  // namespace mpch::compress

@@ -1,0 +1,121 @@
+// line_codec.hpp — the Claim 3.7 encoding scheme with Definition 3.4's
+// oracle rewiring, executable.
+//
+// The novel step of the paper: to decorrelate the machine's stored blocks
+// from the oracle-chosen indices ℓ, the encoder enumerates *every* sequence
+// (a_1, ..., a_p) ∈ [v]^p, builds the rewired oracle RO^{(k)}_{a_1..a_p}
+// (identical to RO except the ℓ-fields along the chain window are forced to
+// the sequence), and re-runs the machine's round-k program A2 against each.
+// Every block of X the machine manages to query under *some* rewiring is
+// recoverable from its query stream, so those blocks can be dropped from the
+// encoding — that set is exactly Definition 3.5's B_i^{(k)}, and Lemma 3.6
+// bounds it because the encoding would otherwise beat the information floor.
+//
+// Indexing convention: the window rewires nodes j_k+1 .. j_k+p. Step t's
+// patch point is P_t = (j_k+t, x_{c_{t-1}}, ρ_{t-1}, 0*) with c_0 = ℓ_{j_k+1},
+// ρ_0 = r_{j_k+1}, c_t = a_t, and ρ_t = the r-field of RO(P_t); the patched
+// answer replaces the ℓ-field of RO(P_t) with a_t. (The paper's Definition
+// 3.4 writes the same chain with indices shifted by one.)
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "compress/accounting.hpp"
+#include "compress/round_program.hpp"
+#include "core/codec.hpp"
+#include "core/input.hpp"
+#include "core/params.hpp"
+#include "hash/random_oracle.hpp"
+#include "util/bitstring.hpp"
+
+namespace mpch::compress {
+
+struct LineEncoding {
+  util::BitString message;
+  EncodingBreakdown breakdown;
+  std::set<std::uint64_t> b_set;      ///< Definition 3.5's B_i^{(k)} (covered blocks)
+  std::uint64_t recorded_seqs = 0;    ///< sequences with non-empty new coverage
+  std::uint64_t enumerated_seqs = 0;  ///< v^depth
+};
+
+struct LineDecoded {
+  std::vector<util::BitString> oracle_table;
+  util::BitString input_bits;
+};
+
+/// The window anchor: where the chain stands at the start of round k.
+struct RewireAnchor {
+  std::uint64_t j_k = 0;       ///< last queried chain index (window starts at j_k+1)
+  std::uint64_t ell_next = 1;  ///< ℓ_{j_k+1}
+  util::BitString r_next;      ///< r_{j_k+1} (u bits)
+};
+
+class LineCompressor {
+ public:
+  /// `depth` is the proof's log²w window length p (kept a free parameter so
+  /// tiny-parameter tests stay exhaustive: the enumeration costs v^depth A2
+  /// runs).
+  LineCompressor(const core::LineParams& params, std::uint64_t max_queries, std::uint64_t depth);
+
+  LineEncoding encode(const hash::ExhaustiveRandomOracle& oracle, const core::LineInput& input,
+                      const util::BitString& memory, RoundProgram& program,
+                      const RewireAnchor& anchor) const;
+
+  LineDecoded decode(const util::BitString& message, RoundProgram& program) const;
+
+  /// Compute only Definition 3.5's B-set (no serialisation) — the E4
+  /// measurement path.
+  std::set<std::uint64_t> compute_b_set(const hash::ExhaustiveRandomOracle& oracle,
+                                        const core::LineInput& input,
+                                        const util::BitString& memory, RoundProgram& program,
+                                        const RewireAnchor& anchor) const;
+
+  std::uint64_t depth() const { return depth_; }
+
+ private:
+  struct Patch {
+    util::BitString point;   ///< P_t
+    util::BitString answer;  ///< rewired answer
+    std::uint64_t step = 0;  ///< t in [1, depth]
+  };
+
+  /// Build the patch list for one a-sequence (needs the true input).
+  std::vector<Patch> build_patches(const hash::ExhaustiveRandomOracle& oracle,
+                                   const core::LineInput& input, const RewireAnchor& anchor,
+                                   const std::vector<std::uint64_t>& seq) const;
+
+  /// Block revealed by the step-t patch-point query: c_{t-1}.
+  static std::uint64_t revealed_block(const RewireAnchor& anchor,
+                                      const std::vector<std::uint64_t>& seq, std::uint64_t step);
+
+  core::LineParams params_;
+  core::LineCodec codec_;
+  std::uint64_t max_queries_;
+  std::uint64_t depth_;
+  std::uint64_t qpos_bits_;
+  std::uint64_t step_bits_;
+};
+
+/// Honest A2 for Line: a frontier plus a set of owned blocks; advances the
+/// chain while the (rewired) oracle's ℓ points at an owned block. Memory:
+///   [i : index_bits][ell : ell_bits][r : u][count : 16]
+///   [(block_idx : ell_bits)(x : u)]*count
+class LineWindowProgram final : public RoundProgram {
+ public:
+  explicit LineWindowProgram(const core::LineParams& params) : params_(params), codec_(params) {}
+
+  void run(const util::BitString& memory, hash::RandomOracle& oracle) override;
+
+  static util::BitString make_memory(
+      const core::LineParams& params, std::uint64_t next_index, std::uint64_t ell,
+      const util::BitString& r,
+      const std::vector<std::pair<std::uint64_t, util::BitString>>& blocks);
+
+ private:
+  core::LineParams params_;
+  core::LineCodec codec_;
+};
+
+}  // namespace mpch::compress

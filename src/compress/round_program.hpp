@@ -1,0 +1,48 @@
+// round_program.hpp — the A2 abstraction of the compression proofs.
+//
+// Both Claim A.4 and Claim 3.7 factor the MPC computation as A1 (everything
+// before round k, producing machine i's s-bit state M) and A2 (machine i's
+// round-k computation, which makes oracle queries from M). The encoding
+// schemes treat A2 as a deterministic black box that is *re-run* during
+// decoding; RoundProgram is that black box. Determinism contract: the query
+// sequence must be a pure function of (memory, answers received so far).
+#pragma once
+
+#include "hash/random_oracle.hpp"
+#include "util/bitstring.hpp"
+
+namespace mpch::compress {
+
+class RoundProgram {
+ public:
+  virtual ~RoundProgram() = default;
+
+  /// Run one round from `memory`, issuing queries to `oracle`. Any result of
+  /// the computation is irrelevant to the encoding schemes — only the query
+  /// stream matters.
+  virtual void run(const util::BitString& memory, hash::RandomOracle& oracle) = 0;
+};
+
+/// Oracle decorator that logs the query stream (inputs in order). Used by
+/// both encoders (to examine A2's queries) and decoders (to replay them).
+class LoggingOracle final : public hash::RandomOracle {
+ public:
+  explicit LoggingOracle(hash::RandomOracle& inner) : inner_(&inner) {}
+
+  util::BitString query(const util::BitString& input) override {
+    log_.push_back(input);
+    return inner_->query(input);
+  }
+
+  std::size_t input_bits() const override { return inner_->input_bits(); }
+  std::size_t output_bits() const override { return inner_->output_bits(); }
+  std::uint64_t total_queries() const override { return log_.size(); }
+
+  const std::vector<util::BitString>& log() const { return log_; }
+
+ private:
+  hash::RandomOracle* inner_;
+  std::vector<util::BitString> log_;
+};
+
+}  // namespace mpch::compress

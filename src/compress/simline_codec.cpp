@@ -1,0 +1,205 @@
+#include "compress/simline_codec.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/math.hpp"
+#include "util/serialize.hpp"
+
+namespace mpch::compress {
+
+SimLineCompressor::SimLineCompressor(const core::LineParams& params, std::uint64_t max_queries)
+    : params_(params), codec_(params), max_queries_(max_queries) {
+  if (params_.n > 22) {
+    throw std::invalid_argument("SimLineCompressor: exhaustive oracle mode requires n <= 22");
+  }
+  qpos_bits_ = util::ceil_log2(std::max<std::uint64_t>(max_queries_, 2));
+  block_bits_ = util::ceil_log2(std::max<std::uint64_t>(params_.v, 2));
+}
+
+SimLineEncoding SimLineCompressor::encode(const hash::ExhaustiveRandomOracle& oracle,
+                                          const core::LineInput& input,
+                                          const util::BitString& memory, RoundProgram& program,
+                                          const std::vector<util::BitString>& target_entries,
+                                          const std::vector<std::uint64_t>& target_blocks) const {
+  if (target_entries.size() != target_blocks.size()) {
+    throw std::invalid_argument("SimLineCompressor::encode: C entries/blocks size mismatch");
+  }
+
+  // Step 3 of Enc: run A2 and examine its queries.
+  hash::ExhaustiveRandomOracle oracle_copy = oracle;  // value copy; query() is non-const
+  LoggingOracle logger(oracle_copy);
+  program.run(memory, logger);
+  const auto& queries = logger.log();
+  if (queries.size() > max_queries_) {
+    throw std::logic_error("SimLineCompressor::encode: A2 exceeded the q bound");
+  }
+
+  // For each target entry that appears among the queries, record
+  // (query position, block index). First match wins; one record per block.
+  std::unordered_map<util::BitString, std::uint64_t, util::BitStringHash> first_pos;
+  for (std::size_t p = 0; p < queries.size(); ++p) {
+    first_pos.emplace(queries[p], p);  // keeps the earliest position
+  }
+
+  struct Pointer {
+    std::uint64_t pos;
+    std::uint64_t block;
+  };
+  std::vector<Pointer> pointers;
+  std::vector<bool> recovered(params_.v + 1, false);
+  for (std::size_t c = 0; c < target_entries.size(); ++c) {
+    auto it = first_pos.find(target_entries[c]);
+    if (it == first_pos.end()) continue;
+    std::uint64_t block = target_blocks[c];
+    if (block == 0 || block > params_.v) {
+      throw std::invalid_argument("SimLineCompressor::encode: block index out of range");
+    }
+    if (recovered[block]) continue;
+    recovered[block] = true;
+    pointers.push_back({it->second, block});
+  }
+
+  // Serialise: [oracle table][M length:32][M][|P|:32][(pos, block)*][X'].
+  util::BitWriter w;
+  EncodingBreakdown bd;
+
+  for (const auto& entry : oracle.table()) w.write_bits(entry);
+  bd.oracle_bits = oracle.table_bits();
+
+  w.write_uint(memory.size(), 32);
+  bd.overhead_bits += 32;
+  w.write_bits(memory);
+  bd.memory_bits = memory.size();
+
+  w.write_uint(pointers.size(), 32);
+  bd.overhead_bits += 32;
+  for (const auto& ptr : pointers) {
+    w.write_uint(ptr.pos, qpos_bits_);
+    w.write_uint(ptr.block - 1, block_bits_);
+  }
+  bd.pointer_bits = pointers.size() * (qpos_bits_ + block_bits_);
+
+  for (std::uint64_t b = 1; b <= params_.v; ++b) {
+    if (!recovered[b]) w.write_bits(input.block(b));
+  }
+  bd.residual_bits = (params_.v - pointers.size()) * params_.u;
+
+  SimLineEncoding enc;
+  enc.message = w.take();
+  enc.breakdown = bd;
+  enc.covered = pointers.size();
+  if (enc.message.size() != bd.total()) {
+    throw std::logic_error("SimLineCompressor::encode: breakdown does not match message size");
+  }
+  return enc;
+}
+
+SimLineDecoded SimLineCompressor::decode(const util::BitString& message,
+                                         RoundProgram& program) const {
+  util::BitReader r(message);
+
+  // 1. Oracle table.
+  std::uint64_t entries = 1ULL << params_.n;
+  std::vector<util::BitString> table;
+  table.reserve(entries);
+  for (std::uint64_t i = 0; i < entries; ++i) table.push_back(r.read_bits(params_.n));
+
+  // Wrap the table as a queryable oracle for the replay.
+  util::Rng dummy(0);
+  hash::ExhaustiveRandomOracle oracle(params_.n, params_.n, dummy);
+  for (std::uint64_t i = 0; i < entries; ++i) oracle.set_entry(i, table[i]);
+
+  // 2. M, then replay A2 to regenerate the query stream.
+  std::uint64_t mem_len = r.read_uint(32);
+  util::BitString memory = r.read_bits(mem_len);
+  LoggingOracle logger(oracle);
+  program.run(memory, logger);
+  const auto& queries = logger.log();
+
+  // 3. Recover pointed-to blocks from the queries' x-fields.
+  std::uint64_t num_pointers = r.read_uint(32);
+  std::vector<bool> recovered(params_.v + 1, false);
+  std::vector<util::BitString> blocks(params_.v + 1);
+  for (std::uint64_t i = 0; i < num_pointers; ++i) {
+    std::uint64_t pos = r.read_uint(qpos_bits_);
+    std::uint64_t block = r.read_uint(block_bits_) + 1;
+    if (pos >= queries.size()) {
+      throw std::invalid_argument("SimLineCompressor::decode: pointer past query stream");
+    }
+    core::SimLineQuery q = codec_.decode_query(queries[pos]);
+    blocks[block] = q.x;
+    recovered[block] = true;
+  }
+
+  // 4. Residual blocks in index order.
+  for (std::uint64_t b = 1; b <= params_.v; ++b) {
+    if (!recovered[b]) blocks[b] = r.read_bits(params_.u);
+  }
+
+  SimLineDecoded out;
+  out.oracle_table = std::move(table);
+  for (std::uint64_t b = 1; b <= params_.v; ++b) out.input_bits += blocks[b];
+  return out;
+}
+
+// ------------------------------------------------------- window program
+
+util::BitString SimLineWindowProgram::make_memory(
+    const core::LineParams& params, std::uint64_t j, const util::BitString& r,
+    const std::vector<std::pair<std::uint64_t, util::BitString>>& blocks) {
+  util::BitWriter w;
+  w.write_uint(j, params.index_bits);
+  if (r.size() != params.u) {
+    throw std::invalid_argument("SimLineWindowProgram::make_memory: r must be u bits");
+  }
+  w.write_bits(r);
+  w.write_uint(blocks.size(), 16);
+  for (const auto& [idx, x] : blocks) {
+    w.write_uint(idx, params.ell_bits);
+    if (x.size() != params.u) {
+      throw std::invalid_argument("SimLineWindowProgram::make_memory: block must be u bits");
+    }
+    w.write_bits(x);
+  }
+  return w.take();
+}
+
+void SimLineWindowProgram::run(const util::BitString& memory, hash::RandomOracle& oracle) {
+  util::BitReader reader(memory);
+  std::uint64_t j = reader.read_uint(params_.index_bits);
+  util::BitString r = reader.read_bits(params_.u);
+  std::uint64_t count = reader.read_uint(16);
+  std::unordered_map<std::uint64_t, util::BitString> window;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t idx = reader.read_uint(params_.ell_bits);
+    window.emplace(idx, reader.read_bits(params_.u));
+  }
+
+  // Advance the SimLine chain from node j while the scheduled block is in
+  // the window.
+  std::uint64_t i = j;
+  while (i <= params_.w) {
+    std::uint64_t block = (i - 1) % params_.v + 1;
+    auto it = window.find(block);
+    if (it == window.end()) break;
+    util::BitString answer = oracle.query(codec_.encode_query(it->second, r));
+    r = codec_.decode_answer(answer).r;
+    ++i;
+  }
+}
+
+void SimLineObliviousProgram::run(const util::BitString& memory, hash::RandomOracle& oracle) {
+  // Query a fixed pseudo-random set of points derived from the memory hash —
+  // deterministic, but (w.h.p.) disjoint from the correct chain.
+  std::uint64_t seed = memory.hash() ^ 0x0B115C0DEULL;
+  util::Rng rng(seed);
+  for (std::uint64_t i = 0; i < queries_; ++i) {
+    util::BitString point =
+        util::BitString::random(params_.n, [&rng] { return rng.next_u64(); });
+    oracle.query(point);
+  }
+}
+
+}  // namespace mpch::compress

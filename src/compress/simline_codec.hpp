@@ -1,0 +1,108 @@
+// simline_codec.hpp — the Claim A.4 encoding scheme, executable.
+//
+// Enc(RO, X):
+//   1. the entire oracle table;
+//   2. M = the machine's s-bit round-k state;
+//   3. P = {(p_i, I_i)}: for every correct SimLine entry in the target set C
+//      that appears among A2's queries, the query's position p_i (⌈log q⌉
+//      bits) and the block index I_i (⌈log v⌉ bits);
+//   4. X' = the blocks of X not recovered via P, verbatim, in index order.
+//
+// Dec(msg): rebuild the oracle, re-run A2(M) against it (the query stream is
+// identical by determinism), extract block I_i from the x-field of query
+// p_i, fill the rest from X'. The round-trip is bit-exact, and the codeword
+// length realises the claim's bound — each recovered block trades u bits of
+// X for (log q + log v) bits of pointer, which is the entire engine of the
+// lower bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "compress/accounting.hpp"
+#include "compress/round_program.hpp"
+#include "core/codec.hpp"
+#include "core/input.hpp"
+#include "core/params.hpp"
+#include "hash/random_oracle.hpp"
+#include "util/bitstring.hpp"
+
+namespace mpch::compress {
+
+struct SimLineEncoding {
+  util::BitString message;      ///< the full serialised codeword
+  EncodingBreakdown breakdown;  ///< measured component sizes
+  std::uint64_t covered = 0;    ///< α = |Q ∩ C| (distinct blocks recovered)
+};
+
+struct SimLineDecoded {
+  std::vector<util::BitString> oracle_table;  ///< reconstructed table, index = input value
+  util::BitString input_bits;                 ///< reconstructed X (uv bits)
+};
+
+class SimLineCompressor {
+ public:
+  /// `max_queries` is the q that sizes the pointer fields; A2 must issue at
+  /// most this many queries.
+  SimLineCompressor(const core::LineParams& params, std::uint64_t max_queries);
+
+  /// Encode (oracle, X). `memory` is A1's output (machine state fed to A2);
+  /// `target_entries[i]` is the correct entry for block `target_blocks[i]` —
+  /// the set C of Lemma A.3 with the block index each entry reveals.
+  SimLineEncoding encode(const hash::ExhaustiveRandomOracle& oracle, const core::LineInput& input,
+                         const util::BitString& memory, RoundProgram& program,
+                         const std::vector<util::BitString>& target_entries,
+                         const std::vector<std::uint64_t>& target_blocks) const;
+
+  /// Decode; re-runs `program` (must be the same A2).
+  SimLineDecoded decode(const util::BitString& message, RoundProgram& program) const;
+
+  const core::LineParams& params() const { return params_; }
+  std::uint64_t pointer_field_bits() const { return qpos_bits_ + block_bits_; }
+
+ private:
+  core::LineParams params_;
+  core::SimLineCodec codec_;
+  std::uint64_t max_queries_;
+  std::uint64_t qpos_bits_;   ///< ⌈log q⌉ (positions are < q)
+  std::uint64_t block_bits_;  ///< ⌈log v⌉ (blocks stored zero-based)
+};
+
+/// The canonical honest A2 for SimLine: memory holds a frontier (node j,
+/// r_j) plus a window of blocks; the program advances the chain while its
+/// window supplies the scheduled block. Memory layout:
+///   [j : index_bits][r : u][count : 16][(block_idx : ell_bits)(x : u)]*count
+class SimLineWindowProgram final : public RoundProgram {
+ public:
+  explicit SimLineWindowProgram(const core::LineParams& params)
+      : params_(params), codec_(params) {}
+
+  void run(const util::BitString& memory, hash::RandomOracle& oracle) override;
+
+  /// Build a memory image for this program: frontier at node `j` with value
+  /// `r`, carrying the given (index, value) blocks.
+  static util::BitString make_memory(const core::LineParams& params, std::uint64_t j,
+                                     const util::BitString& r,
+                                     const std::vector<std::pair<std::uint64_t, util::BitString>>&
+                                         blocks);
+
+ private:
+  core::LineParams params_;
+  core::SimLineCodec codec_;
+};
+
+/// An A2 that queries only junk (uniform-looking non-chain points) — the
+/// zero-coverage control: encoding degenerates to the trivial one.
+class SimLineObliviousProgram final : public RoundProgram {
+ public:
+  SimLineObliviousProgram(const core::LineParams& params, std::uint64_t queries)
+      : params_(params), queries_(queries) {}
+
+  void run(const util::BitString& memory, hash::RandomOracle& oracle) override;
+
+ private:
+  core::LineParams params_;
+  std::uint64_t queries_;
+};
+
+}  // namespace mpch::compress

@@ -1,0 +1,103 @@
+#include "core/codec.hpp"
+
+#include <stdexcept>
+
+namespace mpch::core {
+
+namespace {
+
+void require_width(const util::BitString& s, std::uint64_t width, const char* what) {
+  if (s.size() != width) {
+    throw std::invalid_argument(std::string("codec: ") + what + " has " +
+                                std::to_string(s.size()) + " bits, expected " +
+                                std::to_string(width));
+  }
+}
+
+}  // namespace
+
+util::BitString LineCodec::encode_query(std::uint64_t index, const util::BitString& x,
+                                        const util::BitString& r) const {
+  if (index == 0 || index > p_.w + 1) {
+    throw std::invalid_argument("LineCodec::encode_query: index " + std::to_string(index) +
+                                " out of [1, w+1]");
+  }
+  require_width(x, p_.u, "x");
+  require_width(r, p_.u, "r");
+  util::BitString out(p_.n);
+  out.set_uint(0, p_.index_bits, index);
+  out.splice(p_.index_bits, x);
+  out.splice(p_.index_bits + p_.u, r);
+  // Remaining bits are the 0* padding (already zero).
+  return out;
+}
+
+LineQuery LineCodec::decode_query(const util::BitString& bits, bool* valid_padding) const {
+  require_width(bits, p_.n, "query");
+  LineQuery q;
+  q.index = bits.get_uint(0, p_.index_bits);
+  q.x = bits.slice(p_.index_bits, p_.u);
+  q.r = bits.slice(p_.index_bits + p_.u, p_.u);
+  if (valid_padding != nullptr) {
+    std::uint64_t pad_start = p_.index_bits + 2 * p_.u;
+    util::BitString pad = bits.slice(pad_start, p_.n - pad_start);
+    *valid_padding = (pad.popcount() == 0);
+  }
+  return q;
+}
+
+LineAnswer LineCodec::decode_answer(const util::BitString& bits) const {
+  require_width(bits, p_.n, "answer");
+  LineAnswer a;
+  std::uint64_t raw = bits.get_uint(0, p_.ell_bits);
+  a.ell = (raw % p_.v) + 1;  // map the ⌈log v⌉-bit field into [1, v]
+  a.r = bits.slice(p_.ell_bits, p_.u);
+  a.z = bits.slice(p_.ell_bits + p_.u, p_.n - p_.ell_bits - p_.u);
+  return a;
+}
+
+util::BitString LineCodec::encode_answer(std::uint64_t ell_field, const util::BitString& r,
+                                         const util::BitString& z) const {
+  require_width(r, p_.u, "r");
+  require_width(z, p_.n - p_.ell_bits - p_.u, "z");
+  if (p_.ell_bits < 64 && (ell_field >> p_.ell_bits) != 0) {
+    throw std::invalid_argument("LineCodec::encode_answer: ell field overflow");
+  }
+  util::BitString out(p_.n);
+  out.set_uint(0, p_.ell_bits, ell_field);
+  out.splice(p_.ell_bits, r);
+  out.splice(p_.ell_bits + p_.u, z);
+  return out;
+}
+
+util::BitString SimLineCodec::encode_query(const util::BitString& x,
+                                           const util::BitString& r) const {
+  require_width(x, p_.u, "x");
+  require_width(r, p_.u, "r");
+  util::BitString out(p_.n);
+  out.splice(0, x);
+  out.splice(p_.u, r);
+  return out;
+}
+
+SimLineQuery SimLineCodec::decode_query(const util::BitString& bits, bool* valid_padding) const {
+  require_width(bits, p_.n, "query");
+  SimLineQuery q;
+  q.x = bits.slice(0, p_.u);
+  q.r = bits.slice(p_.u, p_.u);
+  if (valid_padding != nullptr) {
+    util::BitString pad = bits.slice(2 * p_.u, p_.n - 2 * p_.u);
+    *valid_padding = (pad.popcount() == 0);
+  }
+  return q;
+}
+
+SimLineAnswer SimLineCodec::decode_answer(const util::BitString& bits) const {
+  require_width(bits, p_.n, "answer");
+  SimLineAnswer a;
+  a.r = bits.slice(0, p_.u);
+  a.z = bits.slice(p_.u, p_.n - p_.u);
+  return a;
+}
+
+}  // namespace mpch::core

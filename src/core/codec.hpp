@@ -1,0 +1,91 @@
+// codec.hpp — bit layout of oracle queries and answers for Line / SimLine.
+//
+// The paper writes a correct Line query as (i, x_{ℓ_i}, r_i, 0*) and an
+// answer as (ℓ_{i+1}, r_{i+1}, z_{i+1}); both are n-bit strings. This codec
+// makes the packing/parsing explicit and total (round-trip tested), so every
+// component — RAM evaluator, MPC strategies, the compression Enc/Dec, and
+// the adversaries — agrees on the exact same bit layout.
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+#include "util/bitstring.hpp"
+
+namespace mpch::core {
+
+/// Parsed Line answer (ℓ, r, z).
+struct LineAnswer {
+  std::uint64_t ell = 0;   ///< next input index, in [1, v]
+  util::BitString r;       ///< u bits fed into the next query
+  util::BitString z;       ///< redundant output bits
+};
+
+/// Parsed Line query (i, x, r).
+struct LineQuery {
+  std::uint64_t index = 0;  ///< node index i, in [1, w]
+  util::BitString x;        ///< u bits — the selected input block
+  util::BitString r;        ///< u bits — previous answer's r
+};
+
+class LineCodec {
+ public:
+  explicit LineCodec(const LineParams& params) : p_(params) {}
+
+  /// Pack (i, x, r, 0*) into an n-bit oracle input.
+  util::BitString encode_query(std::uint64_t index, const util::BitString& x,
+                               const util::BitString& r) const;
+
+  /// Parse an n-bit oracle input back into (i, x, r); also verifies the 0*
+  /// padding (returns false in `*valid_padding` if nonzero, when provided).
+  LineQuery decode_query(const util::BitString& bits, bool* valid_padding = nullptr) const;
+
+  /// Parse an n-bit oracle answer into (ℓ, r, z). The ℓ field is mapped into
+  /// [1, v] by modulo (exact when v is a power of two).
+  LineAnswer decode_answer(const util::BitString& bits) const;
+
+  /// Build an n-bit answer from components (used by Definition 3.4's oracle
+  /// rewiring, where the decoder substitutes a chosen ℓ' = a_t). `ell_field`
+  /// is the raw field value; callers wanting a specific ℓ in [1,v] should
+  /// pass ell-1 when v is a power of two.
+  util::BitString encode_answer(std::uint64_t ell_field, const util::BitString& r,
+                                const util::BitString& z) const;
+
+  const LineParams& params() const { return p_; }
+
+ private:
+  LineParams p_;
+};
+
+/// SimLine layouts: query (x, r, 0*), answer (r, z). The index is *not* part
+/// of the query — that is exactly why SimLine is only Ω(T·u/s) hard while
+/// Line is Ω̃(T) hard (a machine holding x_{i mod v} for many i can pipeline).
+struct SimLineQuery {
+  util::BitString x;
+  util::BitString r;
+};
+
+struct SimLineAnswer {
+  util::BitString r;
+  util::BitString z;
+};
+
+class SimLineCodec {
+ public:
+  explicit SimLineCodec(const LineParams& params) : p_(params) {
+    if (2 * p_.u > p_.n) {
+      throw std::invalid_argument("SimLineCodec: 2u > n, query does not fit");
+    }
+  }
+
+  util::BitString encode_query(const util::BitString& x, const util::BitString& r) const;
+  SimLineQuery decode_query(const util::BitString& bits, bool* valid_padding = nullptr) const;
+  SimLineAnswer decode_answer(const util::BitString& bits) const;
+
+  const LineParams& params() const { return p_; }
+
+ private:
+  LineParams p_;
+};
+
+}  // namespace mpch::core

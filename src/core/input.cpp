@@ -1,0 +1,33 @@
+#include "core/input.hpp"
+
+#include <stdexcept>
+
+namespace mpch::core {
+
+LineInput::LineInput(const LineParams& params, util::BitString bits)
+    : params_(params), bits_(std::move(bits)) {
+  if (bits_.size() != params_.input_bits()) {
+    throw std::invalid_argument("LineInput: got " + std::to_string(bits_.size()) +
+                                " bits, expected uv = " + std::to_string(params_.input_bits()));
+  }
+  blocks_.reserve(params_.v);
+  for (std::uint64_t i = 0; i < params_.v; ++i) {
+    blocks_.push_back(bits_.slice(i * params_.u, params_.u));
+  }
+}
+
+LineInput LineInput::random(const LineParams& params, util::Rng& rng) {
+  util::BitString bits =
+      util::BitString::random(params.input_bits(), [&rng] { return rng.next_u64(); });
+  return LineInput(params, std::move(bits));
+}
+
+const util::BitString& LineInput::block(std::uint64_t i) const {
+  if (i == 0 || i > params_.v) {
+    throw std::out_of_range("LineInput::block: index " + std::to_string(i) + " out of [1, v=" +
+                            std::to_string(params_.v) + "]");
+  }
+  return blocks_[i - 1];
+}
+
+}  // namespace mpch::core

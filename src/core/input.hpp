@@ -1,0 +1,43 @@
+// input.hpp — the input X = x_1, ..., x_v of u bits each.
+//
+// Wraps the uv-bit input with block accessors and uniform sampling (the
+// average-case distribution of Definition 2.5 draws X uniformly).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.hpp"
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace mpch::core {
+
+class LineInput {
+ public:
+  /// Parse a uv-bit string as v blocks of u bits.
+  LineInput(const LineParams& params, util::BitString bits);
+
+  /// Uniformly random input (Definition 2.5's average case).
+  static LineInput random(const LineParams& params, util::Rng& rng);
+
+  /// Block x_i for i in [1, v] (1-based, as in the paper).
+  const util::BitString& block(std::uint64_t i) const;
+
+  std::uint64_t num_blocks() const { return params_.v; }
+  std::uint64_t block_bits() const { return params_.u; }
+
+  /// The full uv-bit input string.
+  const util::BitString& bits() const { return bits_; }
+
+  const LineParams& params() const { return params_; }
+
+  bool operator==(const LineInput& rhs) const { return bits_ == rhs.bits_; }
+
+ private:
+  LineParams params_;
+  util::BitString bits_;
+  std::vector<util::BitString> blocks_;  // cached slices, index 0 = x_1
+};
+
+}  // namespace mpch::core

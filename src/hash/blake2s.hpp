@@ -1,0 +1,70 @@
+// blake2s.hpp — from-scratch BLAKE2s (RFC 7693), unkeyed, 32-byte digest.
+//
+// A second, structurally different hash (ARX core vs SHA-256's
+// majority/choice network) for the random-oracle-methodology experiments:
+// if the behaviour of Line^h depended on the hash's internals, swapping
+// SHA-256 for BLAKE2s would show it. Validated against the RFC 7693 test
+// vector and the reference implementation's known answers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hash/random_oracle.hpp"
+
+namespace mpch::hash {
+
+class Blake2s {
+ public:
+  static constexpr std::size_t kDigestBytes = 32;
+  using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+  Blake2s() { reset(); }
+
+  void reset();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const std::vector<std::uint8_t>& data) { update(data.data(), data.size()); }
+  void update(const std::string& data) {
+    update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+  Digest digest();
+
+  static Digest hash(const std::uint8_t* data, std::size_t len);
+  static Digest hash(const std::string& data) {
+    return hash(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+  static std::string to_hex(const Digest& d);
+
+ private:
+  void compress(bool last);
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_ = 0;
+  bool finalized_ = false;
+};
+
+/// Counter-mode expansion over BLAKE2s (mirror of sha256_expand).
+util::BitString blake2s_expand(const std::vector<std::uint8_t>& prefix, std::size_t out_bits);
+
+/// Public-hash oracle over BLAKE2s — the alternative instantiation for E9.
+class Blake2sOracle final : public RandomOracle {
+ public:
+  Blake2sOracle(std::size_t in_bits, std::size_t out_bits);
+
+  util::BitString query(const util::BitString& input) override;
+  std::size_t input_bits() const override { return in_bits_; }
+  std::size_t output_bits() const override { return out_bits_; }
+  std::uint64_t total_queries() const override { return total_queries_; }
+
+ private:
+  std::size_t in_bits_;
+  std::size_t out_bits_;
+  std::uint64_t total_queries_ = 0;
+};
+
+}  // namespace mpch::hash

@@ -1,0 +1,36 @@
+#include "hash/oracle_transcript.hpp"
+
+#include <unordered_set>
+
+namespace mpch::hash {
+
+std::vector<util::BitString> OracleTranscript::queries_of(std::uint64_t machine,
+                                                          std::uint64_t round) const {
+  std::vector<util::BitString> out;
+  for (const auto& r : records_) {
+    if (r.machine == machine && r.round == round) out.push_back(r.input);
+  }
+  return out;
+}
+
+std::vector<util::BitString> OracleTranscript::queries_up_to(std::uint64_t round) const {
+  std::vector<util::BitString> out;
+  for (const auto& r : records_) {
+    if (r.round <= round) out.push_back(r.input);
+  }
+  return out;
+}
+
+std::size_t OracleTranscript::intersect_count(
+    const std::vector<util::BitString>& transcript_inputs,
+    const std::vector<util::BitString>& targets) const {
+  std::unordered_set<util::BitString, util::BitStringHash> seen(transcript_inputs.begin(),
+                                                                transcript_inputs.end());
+  std::size_t count = 0;
+  for (const auto& t : targets) {
+    if (seen.count(t)) ++count;
+  }
+  return count;
+}
+
+}  // namespace mpch::hash

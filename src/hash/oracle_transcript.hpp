@@ -1,0 +1,115 @@
+// oracle_transcript.hpp — query accounting and the proof's Q-sets.
+//
+// The lower-bound proof reasons entirely about *who queried what, when*:
+// Q_i^{(k)} (queries of machine i in round k), Q^{(<=k)} (all queries up to
+// round k), and their intersections with the correct-chain sets C^{(k)}.
+// CountingOracle is the enforcement + recording decorator every simulated
+// machine talks through; OracleTranscript is the queryable log.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "hash/random_oracle.hpp"
+#include "util/bitstring.hpp"
+
+namespace mpch::hash {
+
+/// One logged oracle query.
+struct QueryRecord {
+  std::uint64_t round = 0;
+  std::uint64_t machine = 0;
+  util::BitString input;
+  util::BitString output;
+};
+
+/// Append-only log of queries across an entire MPC execution.
+class OracleTranscript {
+ public:
+  void record(std::uint64_t round, std::uint64_t machine, const util::BitString& input,
+              const util::BitString& output) {
+    records_.push_back({round, machine, input, output});
+  }
+
+  const std::vector<QueryRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Q_i^{(k)}: inputs queried by `machine` in round `round`.
+  std::vector<util::BitString> queries_of(std::uint64_t machine, std::uint64_t round) const;
+
+  /// Q^{(<=k)}: all inputs queried in rounds 0..round inclusive.
+  std::vector<util::BitString> queries_up_to(std::uint64_t round) const;
+
+  /// Count of log entries whose input appears in `targets` (multi-hits of the
+  /// same target count once per distinct target — the proof's |Q ∩ C|).
+  std::size_t intersect_count(const std::vector<util::BitString>& transcript_inputs,
+                              const std::vector<util::BitString>& targets) const;
+
+ private:
+  std::vector<QueryRecord> records_;
+};
+
+/// Thrown when a machine exceeds its per-round query budget q.
+class QueryBudgetExceeded : public std::runtime_error {
+ public:
+  explicit QueryBudgetExceeded(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Per-machine oracle view: enforces the per-round budget q of Definition 2.2
+/// / Theorem 3.1 (q < 2^{n/4}) and records every query into the shared
+/// transcript. The underlying oracle is shared by all machines (it is *the*
+/// RO of the model).
+class CountingOracle final : public RandomOracle {
+ public:
+  CountingOracle(std::shared_ptr<RandomOracle> inner, std::uint64_t machine_id,
+                 std::uint64_t per_round_budget,
+                 std::shared_ptr<OracleTranscript> transcript)
+      : inner_(std::move(inner)),
+        machine_id_(machine_id),
+        budget_(per_round_budget),
+        transcript_(std::move(transcript)) {
+    if (!inner_) throw std::invalid_argument("CountingOracle: null inner oracle");
+  }
+
+  /// Reset the per-round counter; the simulation calls this at round start.
+  void begin_round(std::uint64_t round) {
+    round_ = round;
+    used_this_round_ = 0;
+  }
+
+  util::BitString query(const util::BitString& input) override {
+    if (used_this_round_ >= budget_) {
+      throw QueryBudgetExceeded("machine " + std::to_string(machine_id_) + " exceeded q=" +
+                                std::to_string(budget_) + " queries in round " +
+                                std::to_string(round_));
+    }
+    ++used_this_round_;
+    ++total_;
+    util::BitString out = inner_->query(input);
+    if (transcript_) transcript_->record(round_, machine_id_, input, out);
+    return out;
+  }
+
+  std::size_t input_bits() const override { return inner_->input_bits(); }
+  std::size_t output_bits() const override { return inner_->output_bits(); }
+  std::uint64_t total_queries() const override { return total_; }
+
+  std::uint64_t queries_this_round() const { return used_this_round_; }
+  std::uint64_t budget() const { return budget_; }
+  std::uint64_t remaining_budget() const { return budget_ - used_this_round_; }
+
+ private:
+  std::shared_ptr<RandomOracle> inner_;
+  std::uint64_t machine_id_;
+  std::uint64_t budget_;
+  std::shared_ptr<OracleTranscript> transcript_;
+  std::uint64_t round_ = 0;
+  std::uint64_t used_this_round_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mpch::hash

@@ -1,0 +1,138 @@
+// random_oracle.hpp — the oracle substrate of the paper (Definition 2.2).
+//
+// The paper's RO : {0,1}^n -> {0,1}^n is a uniformly random function all
+// parties can query. We provide three implementations behind one interface:
+//
+//  * LazyRandomOracle     — the "true" RO for simulations: answers are
+//                           derived per-input from a *secret* seed through a
+//                           counter-mode SHA-256 PRF, so they are
+//                           (a) order-independent (two strategies querying in
+//                           different orders see the same function — required
+//                           when comparing algorithms on one (RO, X) pair),
+//                           (b) reproducible from the seed, and
+//                           (c) indistinguishable-from-random to strategies
+//                           that do not know the seed. Touched entries are
+//                           memoised so transcripts/serialisation can see
+//                           exactly the queried sub-function.
+//  * ExhaustiveRandomOracle — a genuinely i.i.d.-uniform table over the full
+//                           domain, for tiny n (<= 22). Used by the
+//                           compression argument's self-contained round-trip
+//                           mode, where "add the entire RO to the encoding"
+//                           is executed literally.
+//  * Sha256Oracle         — the random-oracle-methodology instantiation:
+//                           RO(x) := SHA-256-CTR(x) with *no* secret, i.e. a
+//                           public hash function h. Experiment E9 compares
+//                           behaviour under LazyRandomOracle vs Sha256Oracle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitstring.hpp"
+#include "util/rng.hpp"
+
+namespace mpch::hash {
+
+/// Abstract random oracle RO : {0,1}^in_bits -> {0,1}^out_bits.
+class RandomOracle {
+ public:
+  virtual ~RandomOracle() = default;
+
+  /// Query the oracle. `input.size()` must equal input_bits().
+  virtual util::BitString query(const util::BitString& input) = 0;
+
+  virtual std::size_t input_bits() const = 0;
+  virtual std::size_t output_bits() const = 0;
+
+  /// Total queries answered (including repeats) over the oracle's lifetime.
+  virtual std::uint64_t total_queries() const = 0;
+
+ protected:
+  void check_input(const util::BitString& input) const;
+};
+
+/// Secret-seeded PRF oracle; see file comment. The default RO for all
+/// strategy and round-complexity experiments.
+class LazyRandomOracle final : public RandomOracle {
+ public:
+  LazyRandomOracle(std::size_t in_bits, std::size_t out_bits, std::uint64_t seed);
+
+  util::BitString query(const util::BitString& input) override;
+  std::size_t input_bits() const override { return in_bits_; }
+  std::size_t output_bits() const override { return out_bits_; }
+  std::uint64_t total_queries() const override { return total_queries_; }
+
+  /// Number of distinct inputs seen so far (the lazily-materialised table).
+  std::size_t touched_entries() const { return table_.size(); }
+
+  /// The materialised sub-function, ordered by input, for serialisation and
+  /// for the compression argument's by-reference oracle part.
+  std::vector<std::pair<util::BitString, util::BitString>> touched_table() const;
+
+ private:
+  util::BitString derive(const util::BitString& input) const;
+
+  std::size_t in_bits_;
+  std::size_t out_bits_;
+  std::uint64_t seed_;
+  std::uint64_t total_queries_ = 0;
+  std::unordered_map<util::BitString, util::BitString, util::BitStringHash> table_;
+};
+
+/// Fully materialised uniform table over {0,1}^in_bits. in_bits <= 22.
+class ExhaustiveRandomOracle final : public RandomOracle {
+ public:
+  ExhaustiveRandomOracle(std::size_t in_bits, std::size_t out_bits, util::Rng& rng);
+
+  util::BitString query(const util::BitString& input) override;
+  std::size_t input_bits() const override { return in_bits_; }
+  std::size_t output_bits() const override { return out_bits_; }
+  std::uint64_t total_queries() const override { return total_queries_; }
+
+  /// Direct table access (index = input value, MSB-first). Mutable so the
+  /// compression decoder can reconstruct an oracle from an encoding and so
+  /// Definition 3.4's rewired oracle RO^{(k)}_{a_1..a_p} can be materialised.
+  const std::vector<util::BitString>& table() const { return table_; }
+  void set_entry(std::uint64_t index, util::BitString value);
+
+  /// Bit-size of the full table: out_bits * 2^in_bits — the paper's n·2^n
+  /// term in every encoding-length bound.
+  std::uint64_t table_bits() const;
+
+  bool operator==(const ExhaustiveRandomOracle& rhs) const {
+    return in_bits_ == rhs.in_bits_ && out_bits_ == rhs.out_bits_ && table_ == rhs.table_;
+  }
+
+ private:
+  std::size_t in_bits_;
+  std::size_t out_bits_;
+  std::uint64_t total_queries_ = 0;
+  std::vector<util::BitString> table_;
+};
+
+/// Public-hash instantiation h(x) = SHA-256-CTR(x): the random oracle
+/// methodology step of Section 1 ("replace the random oracle by a good
+/// cryptographic hashing function").
+class Sha256Oracle final : public RandomOracle {
+ public:
+  Sha256Oracle(std::size_t in_bits, std::size_t out_bits);
+
+  util::BitString query(const util::BitString& input) override;
+  std::size_t input_bits() const override { return in_bits_; }
+  std::size_t output_bits() const override { return out_bits_; }
+  std::uint64_t total_queries() const override { return total_queries_; }
+
+ private:
+  std::size_t in_bits_;
+  std::size_t out_bits_;
+  std::uint64_t total_queries_ = 0;
+};
+
+/// Expand (domain-separated) SHA-256 output to an arbitrary number of bits by
+/// counter mode: out = SHA(prefix||0) || SHA(prefix||1) || ... truncated.
+util::BitString sha256_expand(const std::vector<std::uint8_t>& prefix, std::size_t out_bits);
+
+}  // namespace mpch::hash

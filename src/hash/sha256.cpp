@@ -1,0 +1,148 @@
+#include "hash/sha256.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace mpch::hash {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 64> kRoundConstants = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
+    0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
+    0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
+    0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116,
+    0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
+    0xc67178f2};
+
+constexpr std::array<std::uint32_t, 8> kInitState = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                                     0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                                     0x1f83d9ab, 0x5be0cd19};
+
+inline std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+inline std::uint32_t big_sigma0(std::uint32_t x) { return rotr(x, 2) ^ rotr(x, 13) ^ rotr(x, 22); }
+inline std::uint32_t big_sigma1(std::uint32_t x) { return rotr(x, 6) ^ rotr(x, 11) ^ rotr(x, 25); }
+inline std::uint32_t small_sigma0(std::uint32_t x) { return rotr(x, 7) ^ rotr(x, 18) ^ (x >> 3); }
+inline std::uint32_t small_sigma1(std::uint32_t x) { return rotr(x, 17) ^ rotr(x, 19) ^ (x >> 10); }
+inline std::uint32_t ch(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return (x & y) ^ (~x & z);
+}
+inline std::uint32_t maj(std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+  return (x & y) ^ (x & z) ^ (y & z);
+}
+
+}  // namespace
+
+void Sha256::reset() {
+  state_ = kInitState;
+  buffer_len_ = 0;
+  total_bytes_ = 0;
+  finalized_ = false;
+}
+
+void Sha256::update(const std::uint8_t* data, std::size_t len) {
+  if (finalized_) throw std::logic_error("Sha256::update after digest(); call reset() first");
+  total_bytes_ += len;
+  while (len > 0) {
+    std::size_t take = std::min<std::size_t>(64 - buffer_len_, len);
+    std::memcpy(buffer_.data() + buffer_len_, data, take);
+    buffer_len_ += take;
+    data += take;
+    len -= take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+}
+
+void Sha256::process_block(const std::uint8_t* block) {
+  std::array<std::uint32_t, 64> w{};
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    w[i] = small_sigma1(w[i - 2]) + w[i - 7] + small_sigma0(w[i - 15]) + w[i - 16];
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t t1 = h + big_sigma1(e) + ch(e, f, g) + kRoundConstants[i] + w[i];
+    std::uint32_t t2 = big_sigma0(a) + maj(a, b, c);
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+Sha256::Digest Sha256::digest() {
+  if (finalized_) throw std::logic_error("Sha256::digest called twice; call reset() first");
+  finalized_ = true;
+
+  std::uint64_t bit_len = total_bytes_ * 8;
+  // Padding: 0x80, zeros, then 64-bit big-endian length.
+  std::uint8_t pad = 0x80;
+  std::size_t blen = buffer_len_;
+  buffer_[blen++] = pad;
+  if (blen > 56) {
+    while (blen < 64) buffer_[blen++] = 0;
+    process_block(buffer_.data());
+    blen = 0;
+  }
+  while (blen < 56) buffer_[blen++] = 0;
+  for (int i = 0; i < 8; ++i) {
+    buffer_[56 + i] = static_cast<std::uint8_t>(bit_len >> (56 - i * 8));
+  }
+  process_block(buffer_.data());
+
+  Digest out{};
+  for (int i = 0; i < 8; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+Sha256::Digest Sha256::hash(const std::uint8_t* data, std::size_t len) {
+  Sha256 h;
+  h.update(data, len);
+  return h.digest();
+}
+
+std::string Sha256::to_hex(const Digest& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(kDigestBytes * 2);
+  for (std::uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace mpch::hash

@@ -1,0 +1,58 @@
+// sha256.hpp — from-scratch SHA-256 (FIPS 180-4).
+//
+// Role in the reproduction: the paper's final step is the *random oracle
+// methodology* — replace RO by "a good cryptographic hash function h" to get
+// a concrete hard function f^h. Sha256 is that h. It is implemented from
+// scratch (no external crypto dependency) and validated against the FIPS
+// 180-4 test vectors in tests/hash_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mpch::hash {
+
+/// Incremental SHA-256. Usage: update(...) any number of times, then
+/// digest(); the object can be reset() and reused.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestBytes = 32;
+  using Digest = std::array<std::uint8_t, kDigestBytes>;
+
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const std::vector<std::uint8_t>& data) { update(data.data(), data.size()); }
+  void update(const std::string& data) {
+    update(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+
+  /// Finalize and return the digest. The object must be reset() before reuse.
+  Digest digest();
+
+  /// One-shot convenience.
+  static Digest hash(const std::uint8_t* data, std::size_t len);
+  static Digest hash(const std::vector<std::uint8_t>& data) {
+    return hash(data.data(), data.size());
+  }
+  static Digest hash(const std::string& data) {
+    return hash(reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  }
+
+  static std::string to_hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace mpch::hash

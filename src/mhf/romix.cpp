@@ -1,0 +1,65 @@
+#include "mhf/romix.hpp"
+
+#include <stdexcept>
+
+namespace mpch::mhf {
+
+RoMix::RoMix(std::uint64_t block_bits, std::uint64_t cost_n)
+    : block_bits_(block_bits), n_(cost_n) {
+  if (block_bits_ == 0 || n_ == 0) throw std::invalid_argument("RoMix: zero parameter");
+  if (block_bits_ < 16) {
+    throw std::invalid_argument("RoMix: block must be >= 16 bits to index N");
+  }
+}
+
+util::BitString RoMix::call(hash::RandomOracle& oracle, const util::BitString& x,
+                            CmcMeter* meter) const {
+  if (oracle.input_bits() != block_bits_ || oracle.output_bits() != block_bits_) {
+    throw std::invalid_argument("RoMix: oracle width must equal block_bits");
+  }
+  util::BitString out = oracle.query(x);
+  if (meter != nullptr) meter->tick();
+  return out;
+}
+
+util::BitString RoMix::evaluate(hash::RandomOracle& oracle, const util::BitString& input,
+                                CmcMeter* meter) const {
+  return evaluate_with_stride(oracle, input, 1, meter);
+}
+
+util::BitString RoMix::evaluate_with_stride(hash::RandomOracle& oracle,
+                                            const util::BitString& input, std::uint64_t stride,
+                                            CmcMeter* meter) const {
+  if (stride == 0) throw std::invalid_argument("RoMix: stride must be >= 1");
+  if (input.size() != block_bits_) {
+    throw std::invalid_argument("RoMix: input must be block_bits wide");
+  }
+
+  // Phase 1: fill. Keep every stride-th block (plus the final running
+  // block); account stored bits in the meter.
+  std::vector<util::BitString> stored;  // stored[t] = V_{t*stride}
+  stored.reserve(n_ / stride + 1);
+  util::BitString v = call(oracle, input, meter);  // V_0
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    if (i % stride == 0) {
+      stored.push_back(v);
+      if (meter != nullptr) meter->allocate_bits(block_bits_);
+    }
+    if (i + 1 < n_) v = call(oracle, v, meter);
+  }
+
+  // Phase 2: mix. X = H(V_{N-1}); each step needs V_j which may have to be
+  // recomputed from the nearest stored checkpoint.
+  util::BitString x = call(oracle, v, meter);
+  for (std::uint64_t i = 0; i < n_; ++i) {
+    std::uint64_t j = x.get_uint(0, std::min<std::uint64_t>(block_bits_, 64)) % n_;
+    util::BitString vj = stored[j / stride];
+    for (std::uint64_t k = 0; k < j % stride; ++k) vj = call(oracle, vj, meter);
+    x = call(oracle, x ^ vj, meter);
+  }
+
+  if (meter != nullptr) meter->free_bits(stored.size() * block_bits_);
+  return x;
+}
+
+}  // namespace mpch::mhf

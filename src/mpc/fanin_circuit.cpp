@@ -1,0 +1,167 @@
+#include "mpc/fanin_circuit.hpp"
+
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace mpch::mpc {
+
+FaninCircuit::FaninCircuit(std::vector<std::uint64_t> input_bits, std::uint64_t fanin_budget)
+    : input_bits_(std::move(input_bits)), s_(fanin_budget) {
+  if (input_bits_.empty()) throw std::invalid_argument("FaninCircuit: no inputs");
+  if (s_ == 0) throw std::invalid_argument("FaninCircuit: zero fan-in budget");
+  for (std::uint64_t b : input_bits_) {
+    if (b == 0) throw std::invalid_argument("FaninCircuit: zero-width input");
+  }
+}
+
+std::uint64_t FaninCircuit::wire_bits(const Wire& w) const {
+  if (w.level == 0) {
+    if (w.index >= input_bits_.size()) throw std::out_of_range("FaninCircuit: bad input wire");
+    return input_bits_[w.index];
+  }
+  if (w.level > levels_.size()) throw std::out_of_range("FaninCircuit: bad wire level");
+  const auto& level = levels_[w.level - 1];
+  if (w.index >= level.size()) throw std::out_of_range("FaninCircuit: bad wire index");
+  return level[w.index].output_bits;
+}
+
+std::uint64_t FaninCircuit::add_level(std::vector<FaninGate> gates) {
+  if (gates.empty()) throw std::invalid_argument("FaninCircuit: empty level");
+  std::uint64_t new_level = levels_.size() + 1;
+  for (const auto& gate : gates) {
+    if (!gate.compute) throw std::invalid_argument("FaninCircuit: gate without function");
+    if (gate.output_bits == 0) throw std::invalid_argument("FaninCircuit: zero-width gate");
+    std::uint64_t total = 0;
+    for (const auto& w : gate.inputs) {
+      if (w.level >= new_level) {
+        throw std::invalid_argument("FaninCircuit: gate reads a non-earlier level");
+      }
+      total += wire_bits(w);
+    }
+    if (total > s_) {
+      throw std::invalid_argument("FaninCircuit: gate fan-in " + std::to_string(total) +
+                                  " bits exceeds s = " + std::to_string(s_));
+    }
+  }
+  levels_.push_back(std::move(gates));
+  return new_level;
+}
+
+std::vector<util::BitString> FaninCircuit::evaluate(
+    const std::vector<util::BitString>& inputs) const {
+  if (inputs.size() != input_bits_.size()) {
+    throw std::invalid_argument("FaninCircuit::evaluate: wrong input count");
+  }
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].size() != input_bits_[i]) {
+      throw std::invalid_argument("FaninCircuit::evaluate: input " + std::to_string(i) +
+                                  " has wrong width");
+    }
+  }
+
+  std::vector<std::vector<util::BitString>> values;
+  values.push_back(inputs);
+  for (const auto& level : levels_) {
+    std::vector<util::BitString> out;
+    out.reserve(level.size());
+    for (const auto& gate : level) {
+      util::BitString in;
+      for (const auto& w : gate.inputs) in += values[w.level][w.index];
+      util::BitString result = gate.compute(in);
+      if (result.size() != gate.output_bits) {
+        throw std::logic_error("FaninCircuit: gate produced wrong output width");
+      }
+      out.push_back(std::move(result));
+    }
+    values.push_back(std::move(out));
+  }
+  return values.back();
+}
+
+std::set<std::uint64_t> FaninCircuit::dependency_cone(const Wire& w) const {
+  if (w.level == 0) return {w.index};
+  const FaninGate& gate = levels_.at(w.level - 1).at(w.index);
+  std::set<std::uint64_t> cone;
+  for (const auto& in : gate.inputs) {
+    std::set<std::uint64_t> sub = dependency_cone(in);
+    cone.insert(sub.begin(), sub.end());
+  }
+  return cone;
+}
+
+std::uint64_t FaninCircuit::min_depth_for_full_dependence(std::uint64_t num_inputs,
+                                                          std::uint64_t fanin_budget) {
+  if (num_inputs <= 1) return num_inputs == 0 ? 0 : 1;
+  if (fanin_budget <= 1) throw std::invalid_argument("min_depth: s must be >= 2");
+  // Smallest d with s^d >= N.
+  std::uint64_t d = 0;
+  std::uint64_t reach = 1;
+  while (reach < num_inputs) {
+    reach = util::pow_sat(fanin_budget, ++d, UINT64_MAX / 2);
+  }
+  return d;
+}
+
+bool FaninCircuit::cone_growth_bound_holds() const {
+  for (std::uint64_t level = 1; level <= levels_.size(); ++level) {
+    std::uint64_t cap = util::pow_sat(s_, level, UINT64_MAX / 2);
+    for (std::uint64_t g = 0; g < levels_[level - 1].size(); ++g) {
+      if (dependency_cone({level, g}).size() > cap) return false;
+    }
+  }
+  return true;
+}
+
+FaninCircuit make_reduction_tree(
+    std::uint64_t num_inputs, std::uint64_t word_bits, std::uint64_t fanin_budget,
+    const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>& combine) {
+  if (word_bits == 0 || word_bits > 64) {
+    throw std::invalid_argument("make_reduction_tree: word_bits in [1, 64]");
+  }
+  std::uint64_t arity = fanin_budget / word_bits;
+  if (arity < 2) {
+    throw std::invalid_argument("make_reduction_tree: fan-in budget below two words");
+  }
+
+  FaninCircuit circuit(std::vector<std::uint64_t>(num_inputs, word_bits), fanin_budget);
+  auto gate_fn = [word_bits, combine](const util::BitString& in) {
+    std::uint64_t acc = in.get_uint(0, word_bits);
+    for (std::uint64_t pos = word_bits; pos < in.size(); pos += word_bits) {
+      acc = combine(acc, in.get_uint(pos, word_bits));
+    }
+    util::BitString out(word_bits);
+    out.set_uint(0, word_bits, acc & (word_bits == 64 ? ~0ULL : ((1ULL << word_bits) - 1)));
+    return out;
+  };
+
+  std::uint64_t level = 0;
+  std::uint64_t width = num_inputs;
+  while (width > 1) {
+    std::uint64_t next_width = util::ceil_div(width, arity);
+    std::vector<FaninGate> gates;
+    gates.reserve(next_width);
+    for (std::uint64_t g = 0; g < next_width; ++g) {
+      FaninGate gate;
+      for (std::uint64_t i = g * arity; i < std::min(width, (g + 1) * arity); ++i) {
+        gate.inputs.push_back({level, i});
+      }
+      gate.output_bits = word_bits;
+      gate.compute = gate_fn;
+      gates.push_back(std::move(gate));
+    }
+    level = circuit.add_level(std::move(gates));
+    width = next_width;
+  }
+  if (num_inputs == 1) {
+    // Degenerate: a single pass-through gate so depth >= 1.
+    FaninGate gate;
+    gate.inputs.push_back({0, 0});
+    gate.output_bits = word_bits;
+    gate.compute = gate_fn;
+    circuit.add_level({std::move(gate)});
+  }
+  return circuit;
+}
+
+}  // namespace mpch::mpc

@@ -1,0 +1,95 @@
+// fanin_circuit.hpp — the fan-in-bounded circuit abstraction of the
+// s-shuffle model of Roughgarden, Vassilvitskii & Wang [64].
+//
+// The paper's Section 1 frames its contribution against [64]'s result:
+// unconditionally, any function that depends on all N input bits requires
+// ⌊log_s N⌋ rounds in the s-shuffle model, because a round-d gate can see
+// at most s bits of round-(d-1) data and its input-dependency cone therefore
+// grows by at most a factor s per level. That is a *constant* bound for the
+// usual s = N^ε, which is exactly why the paper turns to the random-oracle
+// methodology for its Ω̃(T) bound. This module makes the baseline
+// executable:
+//   * circuits of levels of gates, each gate consuming ≤ s bits from the
+//     previous level (inputs are level 0), computing an arbitrary function;
+//   * structural validation of the fan-in budget;
+//   * exact dependency-cone computation, verifying |cone| ≤ s^depth;
+//   * the log_s N depth bound, plus builders for tree circuits that meet it
+//     with equality (the bound is tight).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "util/bitstring.hpp"
+
+namespace mpch::mpc {
+
+/// A wire is (level, index): level 0 wires are the circuit inputs.
+struct Wire {
+  std::uint64_t level = 0;
+  std::uint64_t index = 0;
+
+  bool operator<(const Wire& rhs) const {
+    return level != rhs.level ? level < rhs.level : index < rhs.index;
+  }
+  bool operator==(const Wire& rhs) const { return level == rhs.level && index == rhs.index; }
+};
+
+/// One gate: reads the listed wires (all from strictly earlier levels),
+/// concatenates their bits in order, applies `compute`, emits `output_bits`.
+struct FaninGate {
+  std::vector<Wire> inputs;
+  std::uint64_t output_bits = 1;
+  std::function<util::BitString(const util::BitString&)> compute;
+};
+
+class FaninCircuit {
+ public:
+  /// `input_bits[i]` is the width of input wire (0, i); `fanin_budget` is
+  /// the model's s (bits a single gate may consume).
+  FaninCircuit(std::vector<std::uint64_t> input_bits, std::uint64_t fanin_budget);
+
+  /// Append a level of gates. Validates every gate: wires exist, come from
+  /// earlier levels, and total input width ≤ s. Returns the new level index.
+  std::uint64_t add_level(std::vector<FaninGate> gates);
+
+  /// Evaluate on concrete inputs (sizes must match input_bits). Returns the
+  /// outputs of the last level, concatenated per gate.
+  std::vector<util::BitString> evaluate(const std::vector<util::BitString>& inputs) const;
+
+  /// The set of level-0 input indices wire `w` depends on (structurally).
+  std::set<std::uint64_t> dependency_cone(const Wire& w) const;
+
+  /// Depth (number of gate levels).
+  std::uint64_t depth() const { return levels_.size(); }
+  std::uint64_t fanin_budget() const { return s_; }
+  std::uint64_t num_inputs() const { return input_bits_.size(); }
+
+  /// The [64] bound: any wire depending on all N inputs has level
+  /// ≥ ceil(log_s N) (in gate levels), since |cone| ≤ s^level.
+  static std::uint64_t min_depth_for_full_dependence(std::uint64_t num_inputs,
+                                                     std::uint64_t fanin_budget);
+
+  /// Structural theorem check for this circuit: every wire's cone size is
+  /// at most s^level (counting each input wire as one unit).
+  bool cone_growth_bound_holds() const;
+
+ private:
+  std::uint64_t wire_bits(const Wire& w) const;
+
+  std::vector<std::uint64_t> input_bits_;
+  std::uint64_t s_;
+  std::vector<std::vector<FaninGate>> levels_;
+};
+
+/// Builder: a fan-in-s aggregation tree over N single-word inputs computing
+/// an associative reduction (e.g. sum/xor); depth = ceil(log_{s/word} N),
+/// meeting the [64] bound up to the word-size factor.
+FaninCircuit make_reduction_tree(std::uint64_t num_inputs, std::uint64_t word_bits,
+                                 std::uint64_t fanin_budget,
+                                 const std::function<std::uint64_t(std::uint64_t, std::uint64_t)>&
+                                     combine);
+
+}  // namespace mpch::mpc

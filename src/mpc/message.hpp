@@ -1,0 +1,24 @@
+// message.hpp — inter-machine messages of the MPC model.
+//
+// In Definition 2.1, machine i's round-(k+1) memory is exactly the union of
+// messages sent to it in round k (M_i^{k+1} = ∪_j M_{j,i}^k). The simulator
+// enforces that literally: algorithms carry *all* state between rounds in
+// messages (including messages-to-self), and the per-machine inbox total is
+// capped at s bits.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitstring.hpp"
+
+namespace mpch::mpc {
+
+struct Message {
+  std::uint64_t from = 0;
+  std::uint64_t to = 0;
+  util::BitString payload;
+
+  std::size_t bits() const { return payload.size(); }
+};
+
+}  // namespace mpch::mpc

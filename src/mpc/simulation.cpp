@@ -1,0 +1,125 @@
+#include "mpc/simulation.hpp"
+
+#include <algorithm>
+
+namespace mpch::mpc {
+
+MpcSimulation::MpcSimulation(MpcConfig config, std::shared_ptr<hash::RandomOracle> oracle)
+    : config_(config), oracle_(std::move(oracle)) {
+  if (config_.machines == 0) throw std::invalid_argument("MpcSimulation: zero machines");
+  if (config_.local_memory_bits == 0) {
+    throw std::invalid_argument("MpcSimulation: zero local memory");
+  }
+}
+
+MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
+                                const std::vector<util::BitString>& initial_memory) {
+  if (initial_memory.size() > config_.machines) {
+    throw std::invalid_argument("MpcSimulation::run: more input shares than machines");
+  }
+
+  MpcRunResult result;
+  result.transcript = std::make_shared<hash::OracleTranscript>();
+  SharedTape tape(config_.tape_seed);
+
+  // Per-machine budgeted oracle views, all over the one shared RO.
+  std::vector<std::unique_ptr<hash::CountingOracle>> oracles;
+  if (oracle_) {
+    oracles.reserve(config_.machines);
+    for (std::uint64_t i = 0; i < config_.machines; ++i) {
+      oracles.push_back(std::make_unique<hash::CountingOracle>(
+          oracle_, i, config_.query_budget, result.transcript));
+    }
+  }
+
+  // Round-0 memory: the input partition (Definition 2.1: "the given input is
+  // arbitrarily split and distributed among all the machines").
+  std::vector<std::vector<Message>> inboxes(config_.machines);
+  for (std::uint64_t i = 0; i < initial_memory.size(); ++i) {
+    if (initial_memory[i].size() > config_.local_memory_bits) {
+      throw MemoryViolation("input share for machine " + std::to_string(i) + " has " +
+                            std::to_string(initial_memory[i].size()) + " bits > s=" +
+                            std::to_string(config_.local_memory_bits));
+    }
+    if (!initial_memory[i].empty()) {
+      inboxes[i].push_back({i, i, initial_memory[i]});
+    }
+  }
+
+  std::vector<util::BitString> outputs;
+  bool any_output = false;
+
+  for (std::uint64_t round = 0; round < config_.max_rounds; ++round) {
+    result.trace.begin_round(round);
+    std::vector<std::vector<Message>> next_inboxes(config_.machines);
+    std::uint64_t queries_before = oracle_ ? oracle_->total_queries() : 0;
+
+    for (std::uint64_t i = 0; i < config_.machines; ++i) {
+      MachineIo io;
+      io.round = round;
+      io.machine = i;
+      io.inbox = &inboxes[i];
+      hash::CountingOracle* mo = oracle_ ? oracles[i].get() : nullptr;
+      if (mo) mo->begin_round(round);
+
+      algo.run_machine(io, mo, tape, result.trace);
+
+      if (io.output.has_value()) {
+        outputs.push_back(*io.output);
+        any_output = true;
+      }
+      for (auto& msg : io.outbox) {
+        if (msg.to >= config_.machines) {
+          throw std::invalid_argument("MpcSimulation: message to machine " +
+                                      std::to_string(msg.to) + " >= m");
+        }
+        msg.from = i;
+        result.trace.current().messages += 1;
+        result.trace.current().communicated_bits += msg.bits();
+        next_inboxes[msg.to].push_back(std::move(msg));
+      }
+    }
+
+    // Enforce the inbox capacity: "each machine receives no more
+    // communication than its memory".
+    for (std::uint64_t j = 0; j < config_.machines; ++j) {
+      std::uint64_t total = 0;
+      for (const auto& msg : next_inboxes[j]) total += msg.bits();
+      result.trace.current().max_inbox_bits =
+          std::max(result.trace.current().max_inbox_bits, total);
+      if (total > config_.local_memory_bits) {
+        throw MemoryViolation("machine " + std::to_string(j) + " would receive " +
+                              std::to_string(total) + " bits > s=" +
+                              std::to_string(config_.local_memory_bits) + " after round " +
+                              std::to_string(round));
+      }
+    }
+
+    if (oracle_) {
+      result.trace.current().oracle_queries = oracle_->total_queries() - queries_before;
+    }
+
+    result.rounds_used = round + 1;
+    if (any_output) {
+      result.completed = true;
+      break;
+    }
+    inboxes = std::move(next_inboxes);
+  }
+
+  // "the union of outputs of all the machines" — concatenated in machine
+  // order of emission.
+  for (const auto& o : outputs) result.output += o;
+  return result;
+}
+
+std::vector<util::BitString> partition_blocks_round_robin(
+    const std::vector<util::BitString>& tagged_blocks, std::uint64_t machines) {
+  std::vector<util::BitString> shares(machines);
+  for (std::size_t b = 0; b < tagged_blocks.size(); ++b) {
+    shares[b % machines] += tagged_blocks[b];
+  }
+  return shares;
+}
+
+}  // namespace mpch::mpc

@@ -1,0 +1,105 @@
+// simulation.hpp — the Massively Parallel Computation model, executable.
+//
+// A faithful implementation of Definitions 2.1/2.2:
+//   * m machines, each with local memory of size s bits — enforced: a
+//     machine's entire cross-round state is the union of messages addressed
+//     to it, and that union may not exceed s bits;
+//   * synchronous rounds; within a round a machine sees only its own memory
+//     (inbox), the shared random tape, and its (budgeted) oracle;
+//   * per-round per-machine oracle query budget q (Definition 2.2 /
+//     Theorem 3.1's q < 2^{n/4}) — enforced by CountingOracle;
+//   * the input is split across machines before round 0, each share also
+//     bounded by s.
+//
+// Algorithms implement MpcAlgorithm. They must be *stateless across rounds*
+// apart from what they put in messages; the harness gives them no other
+// channel. (Read-only configuration — parameters, codecs — is part of the
+// algorithm description and is allowed, exactly as the model allows each
+// machine to run an arbitrary known program.)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "hash/oracle_transcript.hpp"
+#include "hash/random_oracle.hpp"
+#include "mpc/message.hpp"
+#include "mpc/shared_tape.hpp"
+#include "mpc/trace.hpp"
+#include "util/bitstring.hpp"
+
+namespace mpch::mpc {
+
+/// Thrown when a machine's round-start memory (inbox union) exceeds s bits.
+class MemoryViolation : public std::runtime_error {
+ public:
+  explicit MemoryViolation(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct MpcConfig {
+  std::uint64_t machines = 0;           ///< m
+  std::uint64_t local_memory_bits = 0;  ///< s
+  std::uint64_t query_budget = 0;       ///< q, per machine per round
+  std::uint64_t max_rounds = 1 << 20;   ///< safety cap for non-terminating algorithms
+  std::uint64_t tape_seed = 0;          ///< seed of the shared random tape
+};
+
+/// Per-machine, per-round context handed to the algorithm.
+struct MachineIo {
+  std::uint64_t round = 0;
+  std::uint64_t machine = 0;
+  const std::vector<Message>* inbox = nullptr;  ///< this machine's memory M_i^k
+  std::vector<Message> outbox;                  ///< messages to deliver next round
+  std::optional<util::BitString> output;        ///< set to contribute to the final output
+
+  void send(std::uint64_t to, util::BitString payload) {
+    outbox.push_back({machine, to, std::move(payload)});
+  }
+};
+
+class MpcAlgorithm {
+ public:
+  virtual ~MpcAlgorithm() = default;
+
+  /// Run machine `io.machine` for round `io.round`. Oracle may be null for
+  /// plain-model (Definition 2.1) algorithms.
+  virtual void run_machine(MachineIo& io, hash::CountingOracle* oracle, const SharedTape& tape,
+                           RoundTrace& trace) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+struct MpcRunResult {
+  bool completed = false;             ///< some machine produced output
+  std::uint64_t rounds_used = 0;      ///< R of "R-round MPC computation"
+  util::BitString output;             ///< union (concatenation) of machine outputs
+  RoundTrace trace;
+  std::shared_ptr<hash::OracleTranscript> transcript;
+};
+
+class MpcSimulation {
+ public:
+  /// `oracle` may be null for plain-model algorithms.
+  MpcSimulation(MpcConfig config, std::shared_ptr<hash::RandomOracle> oracle);
+
+  /// Run `algo` from the given input partition (initial_memory[i] = M_i^0).
+  /// Each share must fit in s bits; shares beyond `machines` are an error.
+  MpcRunResult run(MpcAlgorithm& algo, const std::vector<util::BitString>& initial_memory);
+
+  const MpcConfig& config() const { return config_; }
+
+ private:
+  MpcConfig config_;
+  std::shared_ptr<hash::RandomOracle> oracle_;
+};
+
+/// Helper: split a LineInput-style block vector across machines round-robin,
+/// tagging each block with its ⌈log v⌉+1-bit index so receivers know which
+/// x_i they hold. Used by strategies and examples.
+std::vector<util::BitString> partition_blocks_round_robin(
+    const std::vector<util::BitString>& tagged_blocks, std::uint64_t machines);
+
+}  // namespace mpch::mpc

@@ -1,0 +1,63 @@
+// trace.hpp — per-round observability for MPC executions.
+//
+// Experiments read round counts, communication volume, query usage, and
+// strategy-specific annotations (e.g. "nodes advanced this round") out of
+// the trace. Annotations are observational only — they are recorded by
+// algorithms for measurement and never fed back into the computation, so
+// they do not smuggle state around the s-bit memory cap.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mpch::mpc {
+
+struct RoundStats {
+  std::uint64_t round = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t communicated_bits = 0;
+  std::uint64_t oracle_queries = 0;
+  std::uint64_t max_inbox_bits = 0;  ///< largest per-machine delivery this round
+};
+
+class RoundTrace {
+ public:
+  void begin_round(std::uint64_t round) {
+    stats_.push_back({});
+    stats_.back().round = round;
+  }
+
+  RoundStats& current() { return stats_.back(); }
+  const std::vector<RoundStats>& rounds() const { return stats_; }
+
+  /// Strategy-defined counters, e.g. "advance" -> nodes walked per round.
+  void annotate(const std::string& key, std::uint64_t value) {
+    annotations_[key].push_back(value);
+  }
+
+  const std::vector<std::uint64_t>& annotation(const std::string& key) const {
+    static const std::vector<std::uint64_t> kEmpty;
+    auto it = annotations_.find(key);
+    return it == annotations_.end() ? kEmpty : it->second;
+  }
+
+  std::uint64_t total_communicated_bits() const {
+    std::uint64_t total = 0;
+    for (const auto& r : stats_) total += r.communicated_bits;
+    return total;
+  }
+
+  std::uint64_t total_oracle_queries() const {
+    std::uint64_t total = 0;
+    for (const auto& r : stats_) total += r.oracle_queries;
+    return total;
+  }
+
+ private:
+  std::vector<RoundStats> stats_;
+  std::map<std::string, std::vector<std::uint64_t>> annotations_;
+};
+
+}  // namespace mpch::mpc

@@ -1,0 +1,172 @@
+#include "mpclib/connectivity.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace mpch::mpclib {
+
+std::vector<util::BitString> LabelPropagationCC::make_initial_memory(
+    std::uint64_t machines, std::uint64_t /*num_vertices*/, const std::vector<Edge>& edges) {
+  // Edges round-robin; labels are implicit (owner initialises label(v) = v).
+  std::vector<std::vector<std::uint64_t>> edge_lists(machines);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    edge_lists[e % machines].push_back(edges[e].a);
+    edge_lists[e % machines].push_back(edges[e].b);
+  }
+  std::vector<util::BitString> shares;
+  shares.reserve(machines);
+  for (const auto& list : edge_lists) shares.push_back(pack_u64s(kEdges, list));
+  return shares;
+}
+
+std::vector<std::uint64_t> LabelPropagationCC::parse_labels(const util::BitString& output,
+                                                            std::uint64_t num_vertices) {
+  std::vector<std::uint64_t> labels(num_vertices, UINT64_MAX);
+  util::BitReader r(output);
+  while (r.remaining() > 0) {
+    std::uint64_t tag = r.read_uint(4);
+    if (tag != kLabels) throw std::invalid_argument("CC output: unexpected tag");
+    std::uint64_t count = r.read_uint(32);
+    for (std::uint64_t i = 0; i + 1 < count; i += 2) {
+      std::uint64_t v = r.read_uint(64);
+      std::uint64_t label = r.read_uint(64);
+      labels.at(v) = label;
+    }
+  }
+  return labels;
+}
+
+void LabelPropagationCC::run_machine(mpc::MachineIo& io, hash::CountingOracle* /*oracle*/,
+                                     const mpc::SharedTape& /*tape*/,
+                                     mpc::RoundTrace& /*trace*/) {
+  // Parse inbox.
+  std::vector<std::uint64_t> edges;  // flattened pairs
+  std::map<std::uint64_t, std::uint64_t> all_labels;
+  std::map<std::uint64_t, std::uint64_t> my_labels;   // labels this machine owns
+  std::map<std::uint64_t, std::uint64_t> proposals;   // vertex -> min proposal
+  std::uint64_t votes = 0;
+  bool any_vote = false;
+  bool have_decision = false;
+  std::uint64_t decision = 1;
+  for (const auto& msg : *io.inbox) {
+    auto [tag, payload] = unpack_u64s(msg.payload);
+    switch (tag) {
+      case kEdges:
+        edges.insert(edges.end(), payload.begin(), payload.end());
+        break;
+      case kLabels:
+        for (std::size_t i = 0; i + 1 < payload.size(); i += 2) {
+          std::uint64_t v = payload[i];
+          std::uint64_t label = payload[i + 1];
+          all_labels[v] = label;
+          if (owner_of(v) == io.machine) my_labels[v] = label;
+        }
+        break;
+      case kProposal:
+        for (std::size_t i = 0; i + 1 < payload.size(); i += 2) {
+          auto it = proposals.find(payload[i]);
+          if (it == proposals.end() || payload[i + 1] < it->second) {
+            proposals[payload[i]] = payload[i + 1];
+          }
+        }
+        break;
+      case kVote:
+        any_vote = true;
+        votes += payload.at(0);
+        break;
+      case kDecision:
+        have_decision = true;
+        decision = payload.at(0);
+        break;
+      default:
+        throw std::invalid_argument("LabelPropagationCC: unknown payload tag");
+    }
+  }
+
+  auto persist_edges = [&] { io.send(io.machine, pack_u64s(kEdges, edges)); };
+  auto labels_payload = [&](const std::map<std::uint64_t, std::uint64_t>& labels) {
+    std::vector<std::uint64_t> flat;
+    flat.reserve(labels.size() * 2);
+    for (const auto& [v, label] : labels) {
+      flat.push_back(v);
+      flat.push_back(label);
+    }
+    return pack_u64s(kLabels, flat);
+  };
+  auto broadcast_labels = [&](const std::map<std::uint64_t, std::uint64_t>& labels) {
+    util::BitString payload = labels_payload(labels);
+    for (std::uint64_t j = 0; j < machines_; ++j) io.send(j, payload);
+  };
+
+  if (io.round == 0) {
+    // Initialise owned labels to vertex ids and broadcast them.
+    for (std::uint64_t v = io.machine; v < vertices_; v += machines_) my_labels[v] = v;
+    broadcast_labels(my_labels);
+    persist_edges();
+    return;
+  }
+
+  std::uint64_t phase = (io.round - 1) % 3;
+  if (phase == 0) {
+    // Propose: we hold the full label map and our edges.
+    std::map<std::uint64_t, std::uint64_t> out_proposals;
+    bool changed = false;
+    for (std::size_t i = 0; i + 1 < edges.size(); i += 2) {
+      std::uint64_t a = edges[i];
+      std::uint64_t b = edges[i + 1];
+      std::uint64_t la = all_labels.at(a);
+      std::uint64_t lb = all_labels.at(b);
+      std::uint64_t cand = std::min(la, lb);
+      if (cand < la) {
+        auto it = out_proposals.find(a);
+        if (it == out_proposals.end() || cand < it->second) out_proposals[a] = cand;
+        changed = true;
+      }
+      if (cand < lb) {
+        auto it = out_proposals.find(b);
+        if (it == out_proposals.end() || cand < it->second) out_proposals[b] = cand;
+        changed = true;
+      }
+    }
+    // Group proposals by owner.
+    std::map<std::uint64_t, std::vector<std::uint64_t>> by_owner;
+    for (const auto& [v, label] : out_proposals) {
+      by_owner[owner_of(v)].push_back(v);
+      by_owner[owner_of(v)].push_back(label);
+    }
+    for (const auto& [owner, flat] : by_owner) io.send(owner, pack_u64s(kProposal, flat));
+    io.send(0, pack_u64s(kVote, {changed ? 1ULL : 0ULL}));
+    // Owners persist their current labels for the apply phase.
+    if (!my_labels.empty()) io.send(io.machine, labels_payload(my_labels));
+    persist_edges();
+    return;
+  }
+  if (phase == 1) {
+    // Apply proposals; coordinator tallies votes and broadcasts the decision.
+    for (const auto& [v, label] : proposals) {
+      auto it = my_labels.find(v);
+      if (it != my_labels.end() && label < it->second) it->second = label;
+    }
+    if (io.machine == 0) {
+      if (!any_vote) throw std::logic_error("LabelPropagationCC: coordinator got no votes");
+      std::uint64_t d = votes > 0 ? 1 : 0;
+      for (std::uint64_t j = 0; j < machines_; ++j) io.send(j, pack_u64s(kDecision, {d}));
+    }
+    if (!my_labels.empty()) io.send(io.machine, labels_payload(my_labels));
+    persist_edges();
+    return;
+  }
+  // phase == 2: act on the decision.
+  if (!have_decision) throw std::logic_error("LabelPropagationCC: no decision received");
+  if (decision == 0) {
+    io.output = labels_payload(my_labels);  // converged: owners emit labels
+    return;
+  }
+  broadcast_labels(my_labels);
+  persist_edges();
+}
+
+}  // namespace mpch::mpclib

@@ -1,0 +1,63 @@
+// connectivity.hpp — connected components by label propagation on the MPC
+// simulator.
+//
+// Graph problems are the flagship MPC workload (the paper's related-work
+// section cites a dozen CC/matching papers). This is the simple
+// O(diameter)-round label-propagation algorithm: vertices live on machines
+// by range, each round every edge pushes the smaller endpoint label to the
+// larger endpoint's owner, and the run converges when a round changes no
+// label (detected by a coordinator reduction).
+//
+// Rounds: each propagation step costs 2 MPC rounds (push labels, apply +
+// convergence vote), so total ≈ 2·(label diameter) + 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/simulation.hpp"
+#include "mpclib/primitives.hpp"
+
+namespace mpch::mpclib {
+
+struct Edge {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class LabelPropagationCC final : public mpc::MpcAlgorithm {
+ public:
+  /// Vertices [0, num_vertices) are owned by machine v % machines (matching
+  /// make_initial_memory). Every machine also re-holds its edge list.
+  LabelPropagationCC(std::uint64_t machines, std::uint64_t num_vertices)
+      : machines_(machines), vertices_(num_vertices) {}
+
+  void run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle, const mpc::SharedTape& tape,
+                   mpc::RoundTrace& trace) override;
+
+  std::string name() const override { return "label-propagation-cc"; }
+
+  /// Round-0 shares: edges are distributed round-robin; vertex labels start
+  /// as the vertex id and live with their owner.
+  static std::vector<util::BitString> make_initial_memory(std::uint64_t machines,
+                                                          std::uint64_t num_vertices,
+                                                          const std::vector<Edge>& edges);
+
+  /// Output: (vertex, label) pairs flattened; parse into a label vector.
+  static std::vector<std::uint64_t> parse_labels(const util::BitString& output,
+                                                 std::uint64_t num_vertices);
+
+ private:
+  std::uint64_t owner_of(std::uint64_t vertex) const { return vertex % machines_; }
+
+  std::uint64_t machines_;
+  std::uint64_t vertices_;
+
+  static constexpr std::uint64_t kEdges = 1;      // this machine's edges (u,v pairs)
+  static constexpr std::uint64_t kLabels = 2;     // (vertex, label) pairs owned here
+  static constexpr std::uint64_t kProposal = 3;   // (vertex, candidate label) pairs
+  static constexpr std::uint64_t kVote = 4;       // 1 if something changed
+  static constexpr std::uint64_t kDecision = 5;   // 1 = continue, 0 = finish
+};
+
+}  // namespace mpch::mpclib

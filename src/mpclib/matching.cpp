@@ -1,0 +1,237 @@
+#include "mpclib/matching.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace mpch::mpclib {
+
+namespace {
+constexpr std::uint64_t kVote = 4;
+constexpr std::uint64_t kDecision = 6;
+constexpr std::uint64_t kElect = 7;
+constexpr std::uint64_t kMatchUpdate = 8;
+}  // namespace
+
+std::vector<util::BitString> MaximalMatchingAlgorithm::make_initial_memory(
+    std::uint64_t machines, std::uint64_t /*num_vertices*/, const std::vector<Edge>& edges) {
+  std::vector<std::vector<std::uint64_t>> edge_lists(machines);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    edge_lists[e % machines].push_back(edges[e].a);
+    edge_lists[e % machines].push_back(edges[e].b);
+  }
+  std::vector<util::BitString> shares;
+  shares.reserve(machines);
+  for (const auto& list : edge_lists) shares.push_back(pack_u64s(kEdges, list));
+  return shares;
+}
+
+std::vector<Edge> MaximalMatchingAlgorithm::parse_matching(const util::BitString& output) {
+  std::vector<Edge> matching;
+  util::BitReader r(output);
+  while (r.remaining() > 0) {
+    std::uint64_t tag = r.read_uint(4);
+    if (tag != kPicked) throw std::invalid_argument("Matching output: unexpected tag");
+    std::uint64_t count = r.read_uint(32);
+    for (std::uint64_t i = 0; i + 1 < count; i += 2) {
+      Edge e;
+      e.a = r.read_uint(64);
+      e.b = r.read_uint(64);
+      matching.push_back(e);
+    }
+  }
+  return matching;
+}
+
+bool MaximalMatchingAlgorithm::verify_matching(const std::vector<Edge>& matching,
+                                               std::uint64_t num_vertices,
+                                               const std::vector<Edge>& edges) {
+  std::vector<bool> used(num_vertices, false);
+  for (const auto& e : matching) {
+    if (e.a == e.b) return false;
+    if (used[e.a] || used[e.b]) return false;  // not vertex-disjoint
+    used[e.a] = used[e.b] = true;
+  }
+  // Maximality: every non-loop edge must touch a matched vertex.
+  for (const auto& e : edges) {
+    if (e.a != e.b && !used[e.a] && !used[e.b]) return false;
+  }
+  return true;
+}
+
+void MaximalMatchingAlgorithm::run_machine(mpc::MachineIo& io, hash::CountingOracle* /*oracle*/,
+                                           const mpc::SharedTape& tape,
+                                           mpc::RoundTrace& /*trace*/) {
+  std::vector<std::uint64_t> edges;
+  std::map<std::uint64_t, std::uint64_t> matched;     // full flag map
+  std::map<std::uint64_t, std::uint64_t> my_matched;  // owned slice
+  std::vector<std::uint64_t> picked;                  // flattened matched edges held here
+  // elect[v] -> (pri, a, b) proposals; winner[(a,b)] count of electing endpoints.
+  struct Proposal {
+    std::uint64_t pri = 0, a = 0, b = 0;
+  };
+  std::map<std::uint64_t, Proposal> best_at;  // per owned vertex, best incident edge
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> elected;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> match_updates;
+  std::uint64_t votes = 0;
+  bool any_vote = false;
+  bool have_decision = false;
+  std::uint64_t decision = 1;
+
+  for (const auto& msg : *io.inbox) {
+    auto [tag, payload] = unpack_u64s(msg.payload);
+    switch (tag) {
+      case kEdges:
+        edges.insert(edges.end(), payload.begin(), payload.end());
+        break;
+      case kMatched:
+        for (std::size_t i = 0; i + 1 < payload.size(); i += 2) {
+          matched[payload[i]] = payload[i + 1];
+          if (owner_of(payload[i]) == io.machine) my_matched[payload[i]] = payload[i + 1];
+        }
+        break;
+      case kWinner:  // (v, pri, a, b) proposals for owned vertices
+        for (std::size_t i = 0; i + 3 < payload.size(); i += 4) {
+          std::uint64_t v = payload[i];
+          Proposal p{payload[i + 1], payload[i + 2], payload[i + 3]};
+          auto it = best_at.find(v);
+          if (it == best_at.end() || p.pri > it->second.pri ||
+              (p.pri == it->second.pri &&
+               std::make_pair(p.a, p.b) < std::make_pair(it->second.a, it->second.b))) {
+            best_at[v] = p;
+          }
+        }
+        break;
+      case kElect:  // (a, b) elected by one endpoint, sent to the coordinator
+        for (std::size_t i = 0; i + 1 < payload.size(); i += 2) {
+          ++elected[{payload[i], payload[i + 1]}];
+        }
+        break;
+      case kMatchUpdate:
+        for (std::size_t i = 0; i + 1 < payload.size(); i += 2) {
+          match_updates.insert({payload[i], payload[i + 1]});
+        }
+        break;
+      case kPicked:
+        picked.insert(picked.end(), payload.begin(), payload.end());
+        break;
+      case kVote:
+        any_vote = true;
+        votes += payload.at(0);
+        break;
+      case kDecision:
+        have_decision = true;
+        decision = payload.at(0);
+        break;
+      default:
+        throw std::invalid_argument("MaximalMatchingAlgorithm: unknown payload tag");
+    }
+  }
+
+  auto flags_payload = [&](const std::map<std::uint64_t, std::uint64_t>& flags) {
+    std::vector<std::uint64_t> flat;
+    for (const auto& [v, f] : flags) {
+      flat.push_back(v);
+      flat.push_back(f);
+    }
+    return pack_u64s(kMatched, flat);
+  };
+  auto broadcast_flags = [&] {
+    util::BitString payload = flags_payload(my_matched);
+    for (std::uint64_t j = 0; j < machines_; ++j) io.send(j, payload);
+  };
+  auto persist = [&] {
+    io.send(io.machine, pack_u64s(kEdges, edges));
+    if (!picked.empty()) io.send(io.machine, pack_u64s(kPicked, picked));
+  };
+  auto priority = [&](std::uint64_t a, std::uint64_t b, std::uint64_t phase) {
+    if (a > b) std::swap(a, b);
+    return tape.word((phase + 1) * vertices_ * vertices_ + a * vertices_ + b);
+  };
+
+  if (io.round == 0) {
+    for (std::uint64_t v = io.machine; v < vertices_; v += machines_) my_matched[v] = 0;
+    broadcast_flags();
+    persist();
+    return;
+  }
+
+  std::uint64_t phase = (io.round - 1) / 4;
+  std::uint64_t step = (io.round - 1) % 4;
+
+  if (step == 0) {
+    // Propose: for each live edge, send (v, pri, a, b) to both endpoint
+    // owners; vote on liveness.
+    std::map<std::uint64_t, std::vector<std::uint64_t>> by_owner;
+    bool has_live = false;
+    for (std::size_t i = 0; i + 1 < edges.size(); i += 2) {
+      std::uint64_t a = edges[i], b = edges[i + 1];
+      if (a == b || matched.at(a) != 0 || matched.at(b) != 0) continue;
+      has_live = true;
+      std::uint64_t pri = priority(a, b, phase);
+      for (std::uint64_t v : {a, b}) {
+        auto& vec = by_owner[owner_of(v)];
+        vec.push_back(v);
+        vec.push_back(pri);
+        vec.push_back(a);
+        vec.push_back(b);
+      }
+    }
+    for (const auto& [owner, flat] : by_owner) io.send(owner, pack_u64s(kWinner, flat));
+    io.send(0, pack_u64s(kVote, {has_live ? 1ULL : 0ULL}));
+    if (!my_matched.empty()) io.send(io.machine, flags_payload(my_matched));
+    persist();
+    return;
+  }
+  if (step == 1) {
+    // Elect: per owned unmatched vertex, forward its best edge to the
+    // coordinator (owner of the edge's smaller endpoint). Coordinator of the
+    // votes broadcasts the continue/stop decision.
+    std::map<std::uint64_t, std::vector<std::uint64_t>> by_coord;
+    for (const auto& [v, p] : best_at) {
+      std::uint64_t coord = owner_of(std::min(p.a, p.b));
+      by_coord[coord].push_back(p.a);
+      by_coord[coord].push_back(p.b);
+    }
+    for (const auto& [coord, flat] : by_coord) io.send(coord, pack_u64s(kElect, flat));
+    if (io.machine == 0) {
+      if (!any_vote) throw std::logic_error("MaximalMatching: coordinator got no votes");
+      std::uint64_t d = votes > 0 ? 1 : 0;
+      for (std::uint64_t j = 0; j < machines_; ++j) io.send(j, pack_u64s(kDecision, {d}));
+    }
+    if (!my_matched.empty()) io.send(io.machine, flags_payload(my_matched));
+    persist();
+    return;
+  }
+  if (step == 2) {
+    if (!have_decision) throw std::logic_error("MaximalMatching: no decision received");
+    if (decision == 0) {
+      io.output = pack_u64s(kPicked, picked);
+      return;
+    }
+    // Resolve: an edge elected by both endpoints is matched.
+    for (const auto& [edge, count] : elected) {
+      if (count >= 2) {
+        picked.push_back(edge.first);
+        picked.push_back(edge.second);
+        for (std::uint64_t v : {edge.first, edge.second}) {
+          io.send(owner_of(v), pack_u64s(kMatchUpdate, {v, 1ULL}));
+        }
+      }
+    }
+    if (!my_matched.empty()) io.send(io.machine, flags_payload(my_matched));
+    persist();
+    return;
+  }
+  // step == 3: apply updates and broadcast for the next phase.
+  for (const auto& [v, flag] : match_updates) {
+    auto it = my_matched.find(v);
+    if (it != my_matched.end()) it->second = flag;
+  }
+  broadcast_flags();
+  persist();
+}
+
+}  // namespace mpch::mpclib

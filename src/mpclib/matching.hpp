@@ -1,0 +1,56 @@
+// matching.hpp — maximal matching by random edge priorities on the MPC
+// simulator (the [20, 21, 32, 41] workload family of the paper's related
+// work).
+//
+// Each phase: every live edge draws a priority from the shared tape; an
+// edge joins the matching if it beats every adjacent live edge; matched
+// vertices (and their incident edges) die. O(log n) phases w.h.p., three
+// MPC rounds per phase (propose -> resolve -> apply/broadcast).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/simulation.hpp"
+#include "mpclib/connectivity.hpp"  // Edge
+#include "mpclib/primitives.hpp"
+
+namespace mpch::mpclib {
+
+class MaximalMatchingAlgorithm final : public mpc::MpcAlgorithm {
+ public:
+  MaximalMatchingAlgorithm(std::uint64_t machines, std::uint64_t num_vertices)
+      : machines_(machines), vertices_(num_vertices) {}
+
+  void run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle, const mpc::SharedTape& tape,
+                   mpc::RoundTrace& trace) override;
+
+  std::string name() const override { return "maximal-matching"; }
+
+  /// Edges round-robin across machines; vertex "matched" flags live with
+  /// owner v % machines.
+  static std::vector<util::BitString> make_initial_memory(std::uint64_t machines,
+                                                          std::uint64_t num_vertices,
+                                                          const std::vector<Edge>& edges);
+
+  /// Output: flattened (a, b) pairs of matched edges.
+  static std::vector<Edge> parse_matching(const util::BitString& output);
+
+  /// Host-side check: `matching` is a matching (vertex-disjoint) and
+  /// maximal (every edge touches a matched vertex).
+  static bool verify_matching(const std::vector<Edge>& matching, std::uint64_t num_vertices,
+                              const std::vector<Edge>& edges);
+
+ private:
+  std::uint64_t owner_of(std::uint64_t v) const { return v % machines_; }
+
+  std::uint64_t machines_;
+  std::uint64_t vertices_;
+
+  static constexpr std::uint64_t kEdges = 1;     // this machine's edge list
+  static constexpr std::uint64_t kMatched = 2;   // (vertex, flag) pairs
+  static constexpr std::uint64_t kWinner = 3;    // (a, b) claimed edges
+  static constexpr std::uint64_t kPicked = 5;    // edges this machine has matched
+};
+
+}  // namespace mpch::mpclib

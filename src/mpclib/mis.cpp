@@ -1,0 +1,188 @@
+#include "mpclib/mis.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace mpch::mpclib {
+
+namespace {
+
+constexpr std::uint64_t kLive = 0;
+constexpr std::uint64_t kMis = 1;
+constexpr std::uint64_t kDead = 2;
+
+}  // namespace
+
+std::vector<util::BitString> LubyMisAlgorithm::make_initial_memory(
+    std::uint64_t machines, std::uint64_t /*num_vertices*/, const std::vector<Edge>& edges) {
+  std::vector<std::vector<std::uint64_t>> edge_lists(machines);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    edge_lists[e % machines].push_back(edges[e].a);
+    edge_lists[e % machines].push_back(edges[e].b);
+  }
+  std::vector<util::BitString> shares;
+  shares.reserve(machines);
+  for (const auto& list : edge_lists) shares.push_back(pack_u64s(kEdges, list));
+  return shares;
+}
+
+std::vector<bool> LubyMisAlgorithm::parse_membership(const util::BitString& output,
+                                                     std::uint64_t num_vertices) {
+  std::vector<bool> mis(num_vertices, false);
+  util::BitReader r(output);
+  while (r.remaining() > 0) {
+    std::uint64_t tag = r.read_uint(4);
+    if (tag != kStatus) throw std::invalid_argument("MIS output: unexpected tag");
+    std::uint64_t count = r.read_uint(32);
+    for (std::uint64_t i = 0; i + 1 < count; i += 2) {
+      std::uint64_t v = r.read_uint(64);
+      std::uint64_t state = r.read_uint(64);
+      mis.at(v) = (state == kMis);
+    }
+  }
+  return mis;
+}
+
+bool LubyMisAlgorithm::verify_mis(const std::vector<bool>& mis, std::uint64_t num_vertices,
+                                  const std::vector<Edge>& edges) {
+  // Independence: no edge with both endpoints in the set.
+  for (const auto& e : edges) {
+    if (e.a != e.b && mis[e.a] && mis[e.b]) return false;
+  }
+  // Maximality: every non-member has a member neighbour.
+  std::vector<bool> covered(num_vertices, false);
+  for (const auto& e : edges) {
+    if (mis[e.a]) covered[e.b] = true;
+    if (mis[e.b]) covered[e.a] = true;
+  }
+  for (std::uint64_t v = 0; v < num_vertices; ++v) {
+    if (!mis[v] && !covered[v]) return false;
+  }
+  return true;
+}
+
+void LubyMisAlgorithm::run_machine(mpc::MachineIo& io, hash::CountingOracle* /*oracle*/,
+                                   const mpc::SharedTape& tape, mpc::RoundTrace& /*trace*/) {
+  std::vector<std::uint64_t> edges;
+  std::map<std::uint64_t, std::uint64_t> status;     // full map (from broadcasts)
+  std::map<std::uint64_t, std::uint64_t> my_status;  // owned slice
+  std::set<std::uint64_t> blocked;
+  std::set<std::uint64_t> kills;
+  for (const auto& msg : *io.inbox) {
+    auto [tag, payload] = unpack_u64s(msg.payload);
+    if (tag == kEdges) {
+      edges.insert(edges.end(), payload.begin(), payload.end());
+    } else if (tag == kStatus) {
+      for (std::size_t i = 0; i + 1 < payload.size(); i += 2) {
+        status[payload[i]] = payload[i + 1];
+        if (owner_of(payload[i]) == io.machine) my_status[payload[i]] = payload[i + 1];
+      }
+    } else if (tag == 3) {  // blocked notice
+      for (std::uint64_t v : payload) blocked.insert(v);
+    } else if (tag == 4) {  // kill notice
+      for (std::uint64_t v : payload) kills.insert(v);
+    } else {
+      throw std::invalid_argument("LubyMisAlgorithm: unknown payload tag");
+    }
+  }
+
+  auto status_payload = [&](const std::map<std::uint64_t, std::uint64_t>& s) {
+    std::vector<std::uint64_t> flat;
+    flat.reserve(s.size() * 2);
+    for (const auto& [v, st] : s) {
+      flat.push_back(v);
+      flat.push_back(st);
+    }
+    return pack_u64s(kStatus, flat);
+  };
+  auto broadcast_status = [&] {
+    util::BitString payload = status_payload(my_status);
+    for (std::uint64_t j = 0; j < machines_; ++j) io.send(j, payload);
+  };
+  auto persist_edges = [&] { io.send(io.machine, pack_u64s(kEdges, edges)); };
+  auto priority = [&](std::uint64_t v, std::uint64_t phase) {
+    return tape.word(phase * vertices_ + v);
+  };
+  auto beats = [&](std::uint64_t a, std::uint64_t b, std::uint64_t phase) {
+    std::uint64_t pa = priority(a, phase), pb = priority(b, phase);
+    return pa != pb ? pa > pb : a > b;
+  };
+
+  if (io.round == 0) {
+    for (std::uint64_t v = io.machine; v < vertices_; v += machines_) my_status[v] = kLive;
+    broadcast_status();
+    persist_edges();
+    return;
+  }
+
+  std::uint64_t phase = (io.round - 1) / 4;
+  std::uint64_t step = (io.round - 1) % 4;
+
+  if (step == 0) {
+    // Everyone sees the full status. Terminate when nothing is live.
+    bool any_live = false;
+    for (const auto& [v, st] : status) {
+      if (st == kLive) any_live = true;
+    }
+    if (!any_live) {
+      io.output = status_payload(my_status);
+      return;
+    }
+    // Edge machines report the losing endpoint of each live-live edge.
+    std::map<std::uint64_t, std::set<std::uint64_t>> blocked_by_owner;
+    for (std::size_t i = 0; i + 1 < edges.size(); i += 2) {
+      std::uint64_t a = edges[i], b = edges[i + 1];
+      if (a == b) continue;
+      if (status.at(a) == kLive && status.at(b) == kLive) {
+        std::uint64_t loser = beats(a, b, phase) ? b : a;
+        blocked_by_owner[owner_of(loser)].insert(loser);
+      }
+    }
+    for (const auto& [owner, vs] : blocked_by_owner) {
+      io.send(owner, pack_u64s(3, std::vector<std::uint64_t>(vs.begin(), vs.end())));
+    }
+    if (!my_status.empty()) io.send(io.machine, status_payload(my_status));
+    persist_edges();
+    return;
+  }
+  if (step == 1) {
+    // Owners: unblocked live vertices join the MIS; broadcast.
+    for (auto& [v, st] : my_status) {
+      if (st == kLive && !blocked.count(v)) st = kMis;
+    }
+    broadcast_status();
+    persist_edges();
+    return;
+  }
+  if (step == 2) {
+    // Edge machines: live neighbours of fresh MIS members must die.
+    std::map<std::uint64_t, std::set<std::uint64_t>> kills_by_owner;
+    for (std::size_t i = 0; i + 1 < edges.size(); i += 2) {
+      std::uint64_t a = edges[i], b = edges[i + 1];
+      if (a == b) continue;
+      if (status.at(a) == kMis && status.at(b) == kLive) {
+        kills_by_owner[owner_of(b)].insert(b);
+      }
+      if (status.at(b) == kMis && status.at(a) == kLive) {
+        kills_by_owner[owner_of(a)].insert(a);
+      }
+    }
+    for (const auto& [owner, vs] : kills_by_owner) {
+      io.send(owner, pack_u64s(4, std::vector<std::uint64_t>(vs.begin(), vs.end())));
+    }
+    if (!my_status.empty()) io.send(io.machine, status_payload(my_status));
+    persist_edges();
+    return;
+  }
+  // step == 3: owners apply kills and broadcast for the next phase.
+  for (auto& [v, st] : my_status) {
+    if (st == kLive && kills.count(v)) st = kDead;
+  }
+  broadcast_status();
+  persist_edges();
+}
+
+}  // namespace mpch::mpclib

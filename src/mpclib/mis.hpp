@@ -1,0 +1,54 @@
+// mis.hpp — Luby's maximal independent set on the MPC simulator.
+//
+// MIS is one of the flagship problems of the MPC literature the paper cites
+// ([20, 41]); Luby's algorithm finishes in O(log n) phases w.h.p. Each phase
+// here: every live vertex draws a priority from the shared random tape
+// (Definition 2.1's shared randomness, used for real); vertices that beat
+// all live neighbours join the MIS; their neighbourhoods die. Each phase
+// costs 2 MPC rounds (priorities + join/kill resolution).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/simulation.hpp"
+#include "mpclib/connectivity.hpp"  // Edge
+#include "mpclib/primitives.hpp"
+
+namespace mpch::mpclib {
+
+class LubyMisAlgorithm final : public mpc::MpcAlgorithm {
+ public:
+  LubyMisAlgorithm(std::uint64_t machines, std::uint64_t num_vertices)
+      : machines_(machines), vertices_(num_vertices) {}
+
+  void run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle, const mpc::SharedTape& tape,
+                   mpc::RoundTrace& trace) override;
+
+  std::string name() const override { return "luby-mis"; }
+
+  /// Vertices are owned by v % machines; edges round-robin, re-held by every
+  /// machine across rounds.
+  static std::vector<util::BitString> make_initial_memory(std::uint64_t machines,
+                                                          std::uint64_t num_vertices,
+                                                          const std::vector<Edge>& edges);
+
+  /// Output: per-owner lists of (vertex, in_mis) pairs -> membership vector.
+  static std::vector<bool> parse_membership(const util::BitString& output,
+                                            std::uint64_t num_vertices);
+
+  /// Host-side verification: `mis` is independent and maximal in the graph.
+  static bool verify_mis(const std::vector<bool>& mis, std::uint64_t num_vertices,
+                         const std::vector<Edge>& edges);
+
+ private:
+  std::uint64_t owner_of(std::uint64_t v) const { return v % machines_; }
+
+  std::uint64_t machines_;
+  std::uint64_t vertices_;
+
+  static constexpr std::uint64_t kEdges = 1;   // flattened edge list
+  static constexpr std::uint64_t kStatus = 2;  // (vertex, state) pairs: 0 live, 1 mis, 2 dead
+};
+
+}  // namespace mpch::mpclib

@@ -1,0 +1,227 @@
+#include "mpclib/primitives.hpp"
+
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace mpch::mpclib {
+
+util::BitString pack_u64s(std::uint64_t tag, const std::vector<std::uint64_t>& values) {
+  util::BitWriter w;
+  w.write_uint(tag, 4);
+  w.write_uint(values.size(), 32);
+  for (std::uint64_t v : values) w.write_uint(v, 64);
+  return w.take();
+}
+
+std::pair<std::uint64_t, std::vector<std::uint64_t>> unpack_u64s(const util::BitString& payload) {
+  util::BitReader r(payload);
+  std::uint64_t tag = r.read_uint(4);
+  std::uint64_t count = r.read_uint(32);
+  std::vector<std::uint64_t> values;
+  values.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) values.push_back(r.read_uint(64));
+  return {tag, std::move(values)};
+}
+
+// ----------------------------------------------------------------- broadcast
+
+std::uint64_t BroadcastAlgorithm::predicted_rounds(std::uint64_t machines, std::uint64_t fanout) {
+  std::uint64_t known = 1;
+  std::uint64_t rounds = 1;  // the output round itself
+  while (known < machines) {
+    known = std::min(machines, known + known * fanout);
+    ++rounds;
+  }
+  return rounds;
+}
+
+void BroadcastAlgorithm::run_machine(mpc::MachineIo& io, hash::CountingOracle* /*oracle*/,
+                                     const mpc::SharedTape& /*tape*/,
+                                     mpc::RoundTrace& /*trace*/) {
+  // Deterministic schedule: before round k, machines [0, c_k) know the value.
+  std::uint64_t c = 1;
+  for (std::uint64_t k = 0; k < io.round; ++k) c = std::min(machines_, c + c * fanout_);
+  std::uint64_t c_next = std::min(machines_, c + c * fanout_);
+
+  if (io.machine >= c) return;  // does not know the value yet
+
+  // Extract the value from the inbox (initial memory or forwarded copy).
+  if (io.inbox->empty()) {
+    throw std::logic_error("BroadcastAlgorithm: knower with empty inbox");
+  }
+  const util::BitString& value = io.inbox->front().payload;
+
+  if (c == machines_) {
+    io.output = value;  // dissemination complete: everyone outputs
+    return;
+  }
+  // Forward to our fanout share of the newly informed machines, keep a copy.
+  for (std::uint64_t j = 0; j < fanout_; ++j) {
+    std::uint64_t target = c + io.machine * fanout_ + j;
+    if (target < c_next) io.send(target, value);
+  }
+  io.send(io.machine, value);
+}
+
+// ------------------------------------------------------------ all-reduce sum
+
+namespace {
+
+std::uint64_t tree_depth_of(std::uint64_t id, std::uint64_t fanout) {
+  if (fanout == 1) return id;
+  std::uint64_t depth = 0;
+  while (id != 0) {
+    id = (id - 1) / fanout;
+    ++depth;
+  }
+  return depth;
+}
+
+std::uint64_t tree_max_depth(std::uint64_t machines, std::uint64_t fanout) {
+  std::uint64_t best = 0;
+  for (std::uint64_t i = 0; i < machines; ++i) {
+    best = std::max(best, tree_depth_of(i, fanout));
+  }
+  return best;
+}
+
+}  // namespace
+
+void AllReduceSumAlgorithm::run_machine(mpc::MachineIo& io, hash::CountingOracle* /*oracle*/,
+                                        const mpc::SharedTape& /*tape*/,
+                                        mpc::RoundTrace& /*trace*/) {
+  std::uint64_t depth = tree_depth_of(io.machine, fanout_);
+  std::uint64_t max_depth = tree_max_depth(machines_, fanout_);
+  std::uint64_t send_up_round = max_depth - depth;
+
+  // Gather inbox: pending own/partial values and any global sum.
+  std::uint64_t pending = 0;
+  bool have_global = false;
+  std::uint64_t global = 0;
+  for (const auto& msg : *io.inbox) {
+    auto [tag, values] = unpack_u64s(msg.payload);
+    if (tag == kDown) {
+      have_global = true;
+      global = values.at(0);
+    } else {  // kUp or kHold: partial sums to accumulate
+      for (std::uint64_t v : values) pending += v;
+    }
+  }
+
+  if (have_global) {
+    // Down phase: forward once, then hold until the common output round 2D.
+    if (io.round < 2 * max_depth) {
+      if (io.round == max_depth + depth) {  // just received: forward to children
+        for (std::uint64_t j = 1; j <= fanout_; ++j) {
+          std::uint64_t child = io.machine * fanout_ + j;
+          if (child < machines_) io.send(child, pack_u64s(kDown, {global}));
+        }
+      }
+      io.send(io.machine, pack_u64s(kDown, {global}));
+    } else {
+      io.output = pack_u64s(kDown, {global});
+    }
+    return;
+  }
+
+  if (io.round < send_up_round) {
+    // Not our turn yet: hold the accumulated partial.
+    io.send(io.machine, pack_u64s(kHold, {pending}));
+    return;
+  }
+  if (io.round == send_up_round) {
+    if (io.machine == 0) {
+      // Root: `pending` is the global sum; start the down phase.
+      if (max_depth == 0) {
+        io.output = pack_u64s(kDown, {pending});
+        return;
+      }
+      for (std::uint64_t j = 1; j <= fanout_; ++j) {
+        std::uint64_t child = io.machine * fanout_ + j;
+        if (child < machines_) io.send(child, pack_u64s(kDown, {pending}));
+      }
+      io.send(io.machine, pack_u64s(kDown, {pending}));
+    } else {
+      std::uint64_t parent = (io.machine - 1) / fanout_;
+      io.send(parent, pack_u64s(kUp, {pending}));
+    }
+  }
+  // After our send round we carry nothing until the global sum arrives.
+}
+
+// --------------------------------------------------------------- prefix sum
+
+std::vector<util::BitString> PrefixSumAlgorithm::make_initial_memory(
+    const std::vector<std::vector<std::uint64_t>>& per_machine_values) {
+  std::vector<util::BitString> shares;
+  shares.reserve(per_machine_values.size());
+  for (const auto& values : per_machine_values) {
+    shares.push_back(pack_u64s(kValues, values));
+  }
+  return shares;
+}
+
+std::vector<std::uint64_t> PrefixSumAlgorithm::parse_output(const util::BitString& output) {
+  std::vector<std::uint64_t> all;
+  util::BitReader r(output);
+  while (r.remaining() > 0) {
+    std::uint64_t tag = r.read_uint(4);
+    if (tag != kValues) throw std::invalid_argument("PrefixSum output: unexpected tag");
+    std::uint64_t count = r.read_uint(32);
+    for (std::uint64_t i = 0; i < count; ++i) all.push_back(r.read_uint(64));
+  }
+  return all;
+}
+
+void PrefixSumAlgorithm::run_machine(mpc::MachineIo& io, hash::CountingOracle* /*oracle*/,
+                                     const mpc::SharedTape& /*tape*/,
+                                     mpc::RoundTrace& /*trace*/) {
+  std::vector<std::uint64_t> values;
+  std::vector<std::uint64_t> local_sums(machines_, 0);
+  bool have_offsets = false;
+  std::uint64_t my_offset = 0;
+  for (const auto& msg : *io.inbox) {
+    auto [tag, payload] = unpack_u64s(msg.payload);
+    if (tag == kValues) {
+      values = payload;
+    } else if (tag == kLocal) {
+      local_sums.at(msg.from) = payload.at(0);
+    } else if (tag == kOffset) {
+      have_offsets = true;
+      my_offset = payload.at(0);
+    }
+  }
+
+  if (io.round == 0) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : values) sum += v;
+    io.send(0, pack_u64s(kLocal, {sum}));
+    io.send(io.machine, pack_u64s(kValues, values));
+    return;
+  }
+  if (io.round == 1) {
+    if (io.machine == 0) {
+      std::uint64_t running = 0;
+      for (std::uint64_t i = 0; i < machines_; ++i) {
+        io.send(i, pack_u64s(kOffset, {running}));
+        running += local_sums[i];
+      }
+    }
+    io.send(io.machine, pack_u64s(kValues, values));
+    return;
+  }
+  if (io.round == 2) {
+    if (!have_offsets) throw std::logic_error("PrefixSum: no offset received by round 2");
+    std::vector<std::uint64_t> prefixed;
+    prefixed.reserve(values.size());
+    std::uint64_t running = my_offset;
+    for (std::uint64_t v : values) {
+      running += v;
+      prefixed.push_back(running);  // inclusive prefix sums in global order
+    }
+    io.output = pack_u64s(kValues, prefixed);
+  }
+}
+
+}  // namespace mpch::mpclib

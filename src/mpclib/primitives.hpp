@@ -1,0 +1,96 @@
+// primitives.hpp — classic MPC building blocks on the simulator.
+//
+// These algorithms have nothing to do with the hard function; they exist to
+// demonstrate (and test) that src/mpc is a genuine MPC substrate with the
+// textbook round counts: broadcast/all-reduce in O(log_k m) rounds, prefix
+// sum in O(1) rounds of converge-cast. They also serve experiment E12.
+//
+// Wire format for numeric payloads: [tag:4][count:32][value:64]*count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/simulation.hpp"
+#include "util/bitstring.hpp"
+
+namespace mpch::mpclib {
+
+/// Pack/unpack a vector of u64 values with a 4-bit algorithm-defined tag.
+util::BitString pack_u64s(std::uint64_t tag, const std::vector<std::uint64_t>& values);
+std::pair<std::uint64_t, std::vector<std::uint64_t>> unpack_u64s(const util::BitString& payload);
+
+/// Bits needed to carry `count` values in this format.
+constexpr std::uint64_t u64_payload_bits(std::uint64_t count) { return 4 + 32 + 64 * count; }
+
+/// Tree broadcast: machine 0 holds one value; after O(log_fanout m) rounds
+/// every machine outputs it.
+class BroadcastAlgorithm final : public mpc::MpcAlgorithm {
+ public:
+  BroadcastAlgorithm(std::uint64_t machines, std::uint64_t fanout)
+      : machines_(machines), fanout_(fanout) {}
+
+  void run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle, const mpc::SharedTape& tape,
+                   mpc::RoundTrace& trace) override;
+
+  std::string name() const override { return "broadcast"; }
+
+  /// Rounds a fanout-ary dissemination takes to reach all m machines.
+  static std::uint64_t predicted_rounds(std::uint64_t machines, std::uint64_t fanout);
+
+ private:
+  std::uint64_t machines_;
+  std::uint64_t fanout_;
+};
+
+/// All-reduce (sum): every machine holds one value; after an aggregation
+/// tree up and a broadcast down, every machine outputs the global sum.
+class AllReduceSumAlgorithm final : public mpc::MpcAlgorithm {
+ public:
+  AllReduceSumAlgorithm(std::uint64_t machines, std::uint64_t fanout)
+      : machines_(machines), fanout_(fanout) {}
+
+  void run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle, const mpc::SharedTape& tape,
+                   mpc::RoundTrace& trace) override;
+
+  std::string name() const override { return "all-reduce-sum"; }
+
+ private:
+  std::uint64_t machines_;
+  std::uint64_t fanout_;
+
+  // Payload tags.
+  static constexpr std::uint64_t kUp = 1;    // partial sums moving up the tree
+  static constexpr std::uint64_t kDown = 2;  // the global sum moving down
+  static constexpr std::uint64_t kHold = 3;  // a machine's own pending value
+};
+
+/// Exclusive prefix sum across machine-held sequences: machine i holds a
+/// run of values; afterwards machine i outputs the prefix-summed run
+/// (global order = machine order). Three rounds: local sums to the
+/// coordinator, offsets back, local completion.
+class PrefixSumAlgorithm final : public mpc::MpcAlgorithm {
+ public:
+  explicit PrefixSumAlgorithm(std::uint64_t machines) : machines_(machines) {}
+
+  void run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle, const mpc::SharedTape& tape,
+                   mpc::RoundTrace& trace) override;
+
+  std::string name() const override { return "prefix-sum"; }
+
+  /// Round-0 shares: machine i's payload carries values[i].
+  static std::vector<util::BitString> make_initial_memory(
+      const std::vector<std::vector<std::uint64_t>>& per_machine_values);
+
+  /// Parse the concatenated outputs back into one flat sequence.
+  static std::vector<std::uint64_t> parse_output(const util::BitString& output);
+
+ private:
+  std::uint64_t machines_;
+
+  static constexpr std::uint64_t kValues = 1;   // held values (self messages)
+  static constexpr std::uint64_t kLocal = 2;    // local sums to coordinator
+  static constexpr std::uint64_t kOffset = 3;   // offsets from coordinator
+};
+
+}  // namespace mpch::mpclib

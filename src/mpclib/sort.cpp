@@ -1,0 +1,115 @@
+#include "mpclib/sort.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace mpch::mpclib {
+
+std::vector<util::BitString> SampleSortAlgorithm::make_initial_memory(
+    const std::vector<std::vector<std::uint64_t>>& per_machine_keys) {
+  std::vector<util::BitString> shares;
+  shares.reserve(per_machine_keys.size());
+  for (const auto& keys : per_machine_keys) shares.push_back(pack_u64s(kKeys, keys));
+  return shares;
+}
+
+std::vector<std::uint64_t> SampleSortAlgorithm::parse_output(const util::BitString& output) {
+  std::vector<std::uint64_t> all;
+  util::BitReader r(output);
+  while (r.remaining() > 0) {
+    std::uint64_t tag = r.read_uint(4);
+    if (tag != kKeys) throw std::invalid_argument("SampleSort output: unexpected tag");
+    std::uint64_t count = r.read_uint(32);
+    for (std::uint64_t i = 0; i < count; ++i) all.push_back(r.read_uint(64));
+  }
+  return all;
+}
+
+void SampleSortAlgorithm::run_machine(mpc::MachineIo& io, hash::CountingOracle* /*oracle*/,
+                                      const mpc::SharedTape& /*tape*/,
+                                      mpc::RoundTrace& /*trace*/) {
+  std::vector<std::uint64_t> keys;
+  std::vector<std::uint64_t> samples;
+  std::vector<std::uint64_t> splitters;
+  std::vector<std::uint64_t> bucket_keys;
+  for (const auto& msg : *io.inbox) {
+    auto [tag, payload] = unpack_u64s(msg.payload);
+    switch (tag) {
+      case kKeys:
+        keys = payload;
+        break;
+      case kSample:
+        samples.insert(samples.end(), payload.begin(), payload.end());
+        break;
+      case kSplitters:
+        splitters = payload;
+        break;
+      case kBucket:
+        bucket_keys.insert(bucket_keys.end(), payload.begin(), payload.end());
+        break;
+      default:
+        throw std::invalid_argument("SampleSort: unknown payload tag");
+    }
+  }
+
+  switch (io.round) {
+    case 0: {
+      // Local sort; send an evenly spaced sample to the coordinator.
+      std::sort(keys.begin(), keys.end());
+      std::vector<std::uint64_t> sample;
+      if (!keys.empty()) {
+        std::uint64_t take = std::min<std::uint64_t>(sample_, keys.size());
+        for (std::uint64_t i = 0; i < take; ++i) {
+          sample.push_back(keys[i * keys.size() / take]);
+        }
+      }
+      io.send(0, pack_u64s(kSample, sample));
+      io.send(io.machine, pack_u64s(kKeys, keys));
+      break;
+    }
+    case 1: {
+      if (io.machine == 0) {
+        // Choose m-1 splitters from the pooled sample; broadcast.
+        std::sort(samples.begin(), samples.end());
+        std::vector<std::uint64_t> chosen;
+        for (std::uint64_t b = 1; b < machines_; ++b) {
+          if (!samples.empty()) {
+            chosen.push_back(samples[b * samples.size() / machines_]);
+          }
+        }
+        for (std::uint64_t i = 0; i < machines_; ++i) {
+          io.send(i, pack_u64s(kSplitters, chosen));
+        }
+      }
+      io.send(io.machine, pack_u64s(kKeys, keys));
+      break;
+    }
+    case 2: {
+      // Route each key to its bucket: bucket b holds keys in
+      // (splitter[b-1], splitter[b]].
+      std::vector<std::vector<std::uint64_t>> buckets(machines_);
+      for (std::uint64_t k : keys) {
+        std::uint64_t b =
+            std::upper_bound(splitters.begin(), splitters.end(), k) - splitters.begin();
+        buckets[b].push_back(k);
+      }
+      for (std::uint64_t b = 0; b < machines_; ++b) {
+        if (!buckets[b].empty() || b == io.machine) {
+          io.send(b, pack_u64s(kBucket, buckets[b]));
+        }
+      }
+      break;
+    }
+    case 3: {
+      std::sort(bucket_keys.begin(), bucket_keys.end());
+      io.output = pack_u64s(kKeys, bucket_keys);
+      break;
+    }
+    default:
+      throw std::logic_error("SampleSort: unexpected round");
+  }
+}
+
+}  // namespace mpch::mpclib

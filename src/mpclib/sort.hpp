@@ -1,0 +1,48 @@
+// sort.hpp — distributed sample sort on the MPC simulator.
+//
+// The classic constant-round MPC sort (cf. TeraSort / [47]'s motivating
+// workloads): (0) machines sort locally and send a sample to the
+// coordinator; (1) the coordinator picks m−1 splitters and broadcasts them;
+// (2) machines route each key to its bucket machine; (3) bucket machines
+// sort and output. Four rounds for any input that fits, exercising
+// all-to-all communication and the inbox-capacity enforcement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/simulation.hpp"
+#include "mpclib/primitives.hpp"
+
+namespace mpch::mpclib {
+
+class SampleSortAlgorithm final : public mpc::MpcAlgorithm {
+ public:
+  /// `sample_per_machine` keys are sent to the coordinator in round 0.
+  SampleSortAlgorithm(std::uint64_t machines, std::uint64_t sample_per_machine)
+      : machines_(machines), sample_(sample_per_machine) {}
+
+  void run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle, const mpc::SharedTape& tape,
+                   mpc::RoundTrace& trace) override;
+
+  std::string name() const override { return "sample-sort"; }
+
+  static std::vector<util::BitString> make_initial_memory(
+      const std::vector<std::vector<std::uint64_t>>& per_machine_keys);
+
+  /// Concatenated per-bucket outputs -> the globally sorted sequence.
+  static std::vector<std::uint64_t> parse_output(const util::BitString& output);
+
+  static constexpr std::uint64_t kRounds = 4;
+
+ private:
+  std::uint64_t machines_;
+  std::uint64_t sample_;
+
+  static constexpr std::uint64_t kKeys = 1;       // a machine's held keys
+  static constexpr std::uint64_t kSample = 2;     // samples to the coordinator
+  static constexpr std::uint64_t kSplitters = 3;  // splitters from coordinator
+  static constexpr std::uint64_t kBucket = 4;     // routed keys
+};
+
+}  // namespace mpch::mpclib

@@ -1,0 +1,114 @@
+#include "ram/machine.hpp"
+
+namespace mpch::ram {
+
+RamMachine::RamMachine(std::vector<Instruction> program, std::vector<std::uint64_t> memory)
+    : program_(std::move(program)), memory_(std::move(memory)) {
+  if (program_.empty()) throw std::invalid_argument("RamMachine: empty program");
+}
+
+StepEffect RamMachine::step(const std::vector<Instruction>& program, const RamState& state) {
+  if (state.halted) throw std::logic_error("RamMachine::step: machine already halted");
+  if (state.pc >= program.size()) {
+    throw std::out_of_range("RamMachine::step: pc " + std::to_string(state.pc) +
+                            " past program end");
+  }
+  const Instruction& ins = program[state.pc];
+  auto check_reg = [](std::uint8_t r) {
+    if (r >= kNumRegisters) throw std::out_of_range("RamMachine: bad register");
+  };
+  check_reg(ins.a);
+  check_reg(ins.b);
+  check_reg(ins.c);
+
+  StepEffect eff;
+  eff.next = state;
+  eff.next.pc = state.pc + 1;
+  auto& regs = eff.next.regs;
+
+  switch (ins.op) {
+    case Opcode::kLoadImm:
+      regs[ins.a] = ins.imm;
+      break;
+    case Opcode::kLoad:
+      eff.is_load = true;
+      eff.mem_addr = state.regs[ins.b];
+      eff.load_target = ins.a;
+      break;
+    case Opcode::kStore:
+      eff.is_store = true;
+      eff.mem_addr = state.regs[ins.b];
+      eff.store_value = state.regs[ins.a];
+      break;
+    case Opcode::kMov:
+      regs[ins.a] = state.regs[ins.b];
+      break;
+    case Opcode::kAdd:
+      regs[ins.a] = state.regs[ins.b] + state.regs[ins.c];
+      break;
+    case Opcode::kSub:
+      regs[ins.a] = state.regs[ins.b] - state.regs[ins.c];
+      break;
+    case Opcode::kMul:
+      regs[ins.a] = state.regs[ins.b] * state.regs[ins.c];
+      break;
+    case Opcode::kAnd:
+      regs[ins.a] = state.regs[ins.b] & state.regs[ins.c];
+      break;
+    case Opcode::kOr:
+      regs[ins.a] = state.regs[ins.b] | state.regs[ins.c];
+      break;
+    case Opcode::kXor:
+      regs[ins.a] = state.regs[ins.b] ^ state.regs[ins.c];
+      break;
+    case Opcode::kShl:
+      regs[ins.a] = state.regs[ins.b] << (state.regs[ins.c] & 63);
+      break;
+    case Opcode::kShr:
+      regs[ins.a] = state.regs[ins.b] >> (state.regs[ins.c] & 63);
+      break;
+    case Opcode::kLessThan:
+      regs[ins.a] = state.regs[ins.b] < state.regs[ins.c] ? 1 : 0;
+      break;
+    case Opcode::kJump:
+      eff.next.pc = ins.imm;
+      break;
+    case Opcode::kJumpIfZero:
+      if (state.regs[ins.a] == 0) eff.next.pc = ins.imm;
+      break;
+    case Opcode::kJumpIfNotZero:
+      if (state.regs[ins.a] != 0) eff.next.pc = ins.imm;
+      break;
+    case Opcode::kHalt:
+      eff.next.halted = true;
+      eff.next.pc = state.pc;
+      break;
+  }
+  return eff;
+}
+
+std::uint64_t RamMachine::run(std::uint64_t max_steps) {
+  std::uint64_t executed = 0;
+  while (!state_.halted && executed < max_steps) {
+    StepEffect eff = step(program_, state_);
+    if (eff.is_load) {
+      if (eff.mem_addr >= memory_.size()) {
+        throw std::out_of_range("RamMachine: load address " + std::to_string(eff.mem_addr) +
+                                " out of memory of " + std::to_string(memory_.size()));
+      }
+      eff.next.regs[eff.load_target] = memory_[eff.mem_addr];
+    }
+    if (eff.is_store) {
+      if (eff.mem_addr >= memory_.size()) {
+        throw std::out_of_range("RamMachine: store address out of memory");
+      }
+      memory_[eff.mem_addr] = eff.store_value;
+    }
+    state_ = eff.next;
+    ++executed;
+    ++steps_;
+  }
+  return executed;
+}
+
+}  // namespace mpch::ram

@@ -1,0 +1,137 @@
+// machine.hpp — a small word-RAM, executable both natively and under MPC.
+//
+// The paper's introduction observes the trivial upper bound: "an MPC
+// algorithm can compute the function in T rounds by emulating the RAM
+// computation step by step, even when each machine has O(log S) local
+// memory size." To make that remark checkable we need an actual RAM: this
+// is a minimal 64-bit word machine (8 registers, load/store/ALU/branch)
+// with deterministic semantics and step accounting. strategies/ram_emulation
+// runs the same programs distributed across MPC machines, one instruction
+// per round-trip, and tests assert bit-identical final states.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mpch::ram {
+
+enum class Opcode : std::uint8_t {
+  kLoadImm,   ///< reg[a] = imm
+  kLoad,      ///< reg[a] = mem[reg[b]]
+  kStore,     ///< mem[reg[b]] = reg[a]
+  kMov,       ///< reg[a] = reg[b]
+  kAdd,       ///< reg[a] = reg[b] + reg[c]
+  kSub,       ///< reg[a] = reg[b] - reg[c]
+  kMul,       ///< reg[a] = reg[b] * reg[c]
+  kAnd,       ///< reg[a] = reg[b] & reg[c]
+  kOr,        ///< reg[a] = reg[b] | reg[c]
+  kXor,       ///< reg[a] = reg[b] ^ reg[c]
+  kShl,       ///< reg[a] = reg[b] << (reg[c] & 63)
+  kShr,       ///< reg[a] = reg[b] >> (reg[c] & 63)
+  kLessThan,  ///< reg[a] = reg[b] < reg[c] ? 1 : 0
+  kJump,      ///< pc = imm
+  kJumpIfZero,     ///< if (reg[a] == 0) pc = imm
+  kJumpIfNotZero,  ///< if (reg[a] != 0) pc = imm
+  kHalt,
+};
+
+struct Instruction {
+  Opcode op = Opcode::kHalt;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+  std::uint8_t c = 0;
+  std::uint64_t imm = 0;
+};
+
+/// Assembly-ish helpers so programs read decently in tests/benches.
+namespace asm_ops {
+inline Instruction loadi(std::uint8_t r, std::uint64_t imm) {
+  return {Opcode::kLoadImm, r, 0, 0, imm};
+}
+inline Instruction load(std::uint8_t dst, std::uint8_t addr_reg) {
+  return {Opcode::kLoad, dst, addr_reg, 0, 0};
+}
+inline Instruction store(std::uint8_t src, std::uint8_t addr_reg) {
+  return {Opcode::kStore, src, addr_reg, 0, 0};
+}
+inline Instruction mov(std::uint8_t dst, std::uint8_t src) {
+  return {Opcode::kMov, dst, src, 0, 0};
+}
+inline Instruction add(std::uint8_t d, std::uint8_t x, std::uint8_t y) {
+  return {Opcode::kAdd, d, x, y, 0};
+}
+inline Instruction sub(std::uint8_t d, std::uint8_t x, std::uint8_t y) {
+  return {Opcode::kSub, d, x, y, 0};
+}
+inline Instruction mul(std::uint8_t d, std::uint8_t x, std::uint8_t y) {
+  return {Opcode::kMul, d, x, y, 0};
+}
+inline Instruction band(std::uint8_t d, std::uint8_t x, std::uint8_t y) {
+  return {Opcode::kAnd, d, x, y, 0};
+}
+inline Instruction bxor(std::uint8_t d, std::uint8_t x, std::uint8_t y) {
+  return {Opcode::kXor, d, x, y, 0};
+}
+inline Instruction lt(std::uint8_t d, std::uint8_t x, std::uint8_t y) {
+  return {Opcode::kLessThan, d, x, y, 0};
+}
+inline Instruction jmp(std::uint64_t target) { return {Opcode::kJump, 0, 0, 0, target}; }
+inline Instruction jz(std::uint8_t r, std::uint64_t target) {
+  return {Opcode::kJumpIfZero, r, 0, 0, target};
+}
+inline Instruction jnz(std::uint8_t r, std::uint64_t target) {
+  return {Opcode::kJumpIfNotZero, r, 0, 0, target};
+}
+inline Instruction halt() { return {Opcode::kHalt, 0, 0, 0, 0}; }
+}  // namespace asm_ops
+
+constexpr std::size_t kNumRegisters = 8;
+
+struct RamState {
+  std::uint64_t pc = 0;
+  std::array<std::uint64_t, kNumRegisters> regs{};
+  bool halted = false;
+
+  bool operator==(const RamState& rhs) const {
+    return pc == rhs.pc && regs == rhs.regs && halted == rhs.halted;
+  }
+};
+
+/// Effect of one instruction, separated so the MPC emulator can apply the
+/// same transition function remotely.
+struct StepEffect {
+  RamState next;                 ///< register/pc state after the step
+  bool is_load = false;          ///< needs mem[load_addr] folded into next.regs[a]
+  bool is_store = false;         ///< writes store_value to mem[store_addr]
+  std::uint64_t mem_addr = 0;
+  std::uint64_t store_value = 0;
+  std::uint8_t load_target = 0;  ///< register receiving a loaded value
+};
+
+class RamMachine {
+ public:
+  RamMachine(std::vector<Instruction> program, std::vector<std::uint64_t> memory);
+
+  /// The pure transition function: compute the effect of executing the
+  /// instruction at `state.pc` (memory reads are deferred into the effect).
+  static StepEffect step(const std::vector<Instruction>& program, const RamState& state);
+
+  /// Run natively until halt or `max_steps`; returns the executed step count.
+  std::uint64_t run(std::uint64_t max_steps = 1 << 24);
+
+  const RamState& state() const { return state_; }
+  const std::vector<std::uint64_t>& memory() const { return memory_; }
+  const std::vector<Instruction>& program() const { return program_; }
+  std::uint64_t steps_executed() const { return steps_; }
+
+ private:
+  std::vector<Instruction> program_;
+  std::vector<std::uint64_t> memory_;
+  RamState state_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace mpch::ram

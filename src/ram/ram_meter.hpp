@@ -1,0 +1,58 @@
+// ram_meter.hpp — cost accounting for the sequential RAM model.
+//
+// Theorem 3.1's upper-bound side says Line^RO is computable "using memory of
+// size O(S) in O(T·n) time by a RAM computation". RamMeter is how the
+// library *measures* that: evaluators charge oracle queries (each costs n
+// time units — "making a query to RO takes O(n) time"), word operations, and
+// live memory, and the meter tracks totals and the peak. Experiment E7
+// checks the measured totals scale as T·n and S.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace mpch::ram {
+
+struct RamCosts {
+  std::uint64_t oracle_queries = 0;  ///< number of RO queries
+  std::uint64_t time_units = 0;      ///< n per query + 1 per word op
+  std::uint64_t word_ops = 0;        ///< plain RAM operations
+  std::uint64_t peak_memory_bits = 0;
+};
+
+class RamMeter {
+ public:
+  /// `oracle_query_cost` is the paper's n (time per RO query).
+  explicit RamMeter(std::uint64_t oracle_query_cost) : query_cost_(oracle_query_cost) {}
+
+  void charge_query() {
+    ++costs_.oracle_queries;
+    costs_.time_units += query_cost_;
+  }
+
+  void charge_ops(std::uint64_t ops = 1) {
+    costs_.word_ops += ops;
+    costs_.time_units += ops;
+  }
+
+  /// Track live memory; allocate/free must balance.
+  void allocate_bits(std::uint64_t bits) {
+    live_bits_ += bits;
+    if (live_bits_ > costs_.peak_memory_bits) costs_.peak_memory_bits = live_bits_;
+  }
+
+  void free_bits(std::uint64_t bits) {
+    if (bits > live_bits_) throw std::logic_error("RamMeter: freeing more bits than live");
+    live_bits_ -= bits;
+  }
+
+  std::uint64_t live_bits() const { return live_bits_; }
+  const RamCosts& costs() const { return costs_; }
+
+ private:
+  std::uint64_t query_cost_;
+  std::uint64_t live_bits_ = 0;
+  RamCosts costs_;
+};
+
+}  // namespace mpch::ram

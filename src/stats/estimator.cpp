@@ -1,0 +1,95 @@
+#include "stats/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mpch::stats {
+
+namespace {
+double wilson_center(double p, double n, double z) { return (p + z * z / (2 * n)) / (1 + z * z / n); }
+double wilson_margin(double p, double n, double z) {
+  return (z / (1 + z * z / n)) * std::sqrt(p * (1 - p) / n + z * z / (4 * n * n));
+}
+}  // namespace
+
+double Proportion::wilson_low(double z) const {
+  if (trials == 0) return 0.0;
+  double p = rate();
+  double n = static_cast<double>(trials);
+  return std::max(0.0, wilson_center(p, n, z) - wilson_margin(p, n, z));
+}
+
+double Proportion::wilson_high(double z) const {
+  if (trials == 0) return 1.0;
+  double p = rate();
+  double n = static_cast<double>(trials);
+  return std::min(1.0, wilson_center(p, n, z) + wilson_margin(p, n, z));
+}
+
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument("fit_line: need >=2 paired points");
+  }
+  double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  double denom = n * sxx - sx * sx;
+  if (denom == 0.0) throw std::invalid_argument("fit_line: degenerate x values");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += r * r;
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Histogram::add(std::uint64_t value) {
+  ++total_;
+  if (value >= counts_.size()) {
+    ++overflow_;
+  } else {
+    ++counts_[value];
+  }
+}
+
+double Histogram::tail_probability(std::uint64_t x) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t above = overflow_;  // all overflow values exceed every bin index
+  for (std::size_t b = static_cast<std::size_t>(x) + 1; b < counts_.size(); ++b) {
+    above += counts_[b];
+  }
+  return static_cast<double>(above) / static_cast<double>(total_);
+}
+
+}  // namespace mpch::stats

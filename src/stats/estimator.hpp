@@ -1,0 +1,82 @@
+// estimator.hpp — empirical probability estimation and curve fitting.
+//
+// The probability-regime experiments (E3, E4) compare measured event rates
+// against the paper's 2^{-u}-type bounds. Estimates come with Wilson score
+// intervals (robust at the tiny rates we measure), and the exponential-decay
+// claims are checked by fitting log2(rate) against the parameter and reading
+// off the slope.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mpch::stats {
+
+/// Wilson score interval for a binomial proportion.
+struct Proportion {
+  std::uint64_t successes = 0;
+  std::uint64_t trials = 0;
+
+  double rate() const { return trials == 0 ? 0.0 : static_cast<double>(successes) / trials; }
+
+  /// Wilson interval at `z` standard deviations (default 1.96 ~ 95%).
+  double wilson_low(double z = 1.96) const;
+  double wilson_high(double z = 1.96) const;
+
+  /// Does the interval contain `p`?
+  bool contains(double p, double z = 1.96) const {
+    return wilson_low(z) <= p && p <= wilson_high(z);
+  }
+};
+
+/// Ordinary least squares y = slope·x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit fit_line(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Running mean/variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< sample variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [0, bins).
+class Histogram {
+ public:
+  explicit Histogram(std::size_t bins) : counts_(bins, 0) {}
+
+  /// Values >= bins land in the last bin (tracked separately as overflow).
+  void add(std::uint64_t value);
+
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+
+  /// Empirical tail probability Pr[X > x].
+  double tail_probability(std::uint64_t x) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mpch::stats

@@ -1,0 +1,34 @@
+// trials.hpp — deterministic, thread-parallel Monte-Carlo driver.
+//
+// Trials are partitioned into ordered chunks, each chunk derives its Rng
+// substream from (seed, chunk index), so the aggregate result is independent
+// of thread count and scheduling — the benches' numbers are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "stats/estimator.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mpch::stats {
+
+/// Run `trials` independent boolean trials of `trial(rng)` in parallel and
+/// count successes. `trial` must be thread-safe with respect to captured
+/// state (best: capture only immutable config).
+Proportion run_boolean_trials(std::uint64_t trials, std::uint64_t seed,
+                              const std::function<bool(util::Rng&)>& trial,
+                              util::ThreadPool* pool = nullptr);
+
+/// Run `trials` independent numeric trials and return aggregate stats.
+RunningStats run_numeric_trials(std::uint64_t trials, std::uint64_t seed,
+                                const std::function<double(util::Rng&)>& trial,
+                                util::ThreadPool* pool = nullptr);
+
+/// Run `trials` independent integer trials and histogram the outcomes.
+Histogram run_histogram_trials(std::uint64_t trials, std::uint64_t seed, std::size_t bins,
+                               const std::function<std::uint64_t(util::Rng&)>& trial,
+                               util::ThreadPool* pool = nullptr);
+
+}  // namespace mpch::stats

@@ -1,0 +1,216 @@
+#include "strategies/batch_pointer_chasing.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace mpch::strategies {
+
+namespace {
+constexpr std::uint64_t kDoneTag = 2;       // (inst, answer) to the collector
+constexpr std::uint64_t kCollectedTag = 3;  // collector's running answer set
+constexpr std::uint64_t kInstBits = 16;
+}  // namespace
+
+BatchPointerChasingStrategy::BatchPointerChasingStrategy(const core::LineParams& params,
+                                                         OwnershipPlan plan,
+                                                         std::uint64_t instances)
+    : params_(params), codec_(params), plan_(std::move(plan)), instances_(instances) {
+  if (instances_ == 0 || instances_ >= (1ULL << kInstBits)) {
+    throw std::invalid_argument("BatchPointerChasingStrategy: instances out of range");
+  }
+}
+
+std::vector<util::BitString> BatchPointerChasingStrategy::make_initial_memory(
+    const std::vector<core::LineInput>& inputs) const {
+  if (inputs.size() != instances_) {
+    throw std::invalid_argument("BatchPointerChasingStrategy: wrong input count");
+  }
+  std::vector<util::BitString> shares(plan_.machines());
+  for (std::uint64_t j = 0; j < plan_.machines(); ++j) {
+    for (std::uint64_t inst = 0; inst < instances_; ++inst) {
+      BlockSet set(params_);
+      for (std::uint64_t b : plan_.owned_by(j)) set.add(b, inputs[inst].block(b));
+      util::BitWriter w;
+      w.write_uint(static_cast<std::uint64_t>(PayloadTag::kBlocks), kTagBits);
+      w.write_uint(inst, kInstBits);
+      w.write_bits(set.encode());
+      shares[j] += w.take();
+    }
+  }
+  // Shares are concatenations of per-instance payloads; re-split on parse by
+  // framing: simpler to deliver one message per instance instead.
+  return shares;
+}
+
+std::uint64_t BatchPointerChasingStrategy::required_local_memory() const {
+  std::uint64_t per_instance_blocks =
+      kTagBits + kInstBits + BlockSet::encoded_bits(params_, plan_.max_owned());
+  std::uint64_t frontiers = instances_ * (kTagBits + kInstBits + Frontier::encoded_bits(params_));
+  std::uint64_t done = instances_ * (kTagBits + kInstBits + params_.n);
+  std::uint64_t collected = kTagBits + 16 + instances_ * (kInstBits + params_.n);
+  return instances_ * per_instance_blocks + frontiers + done + collected;
+}
+
+std::vector<util::BitString> BatchPointerChasingStrategy::parse_outputs(
+    const core::LineParams& params, const util::BitString& output, std::uint64_t instances) {
+  std::vector<util::BitString> answers(instances);
+  util::BitReader r(output);
+  if (r.read_uint(kTagBits) != kCollectedTag) {
+    throw std::invalid_argument("BatchPointerChasing output: unexpected tag");
+  }
+  std::uint64_t count = r.read_uint(16);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t inst = r.read_uint(kInstBits);
+    answers.at(inst) = r.read_bits(params.n);
+  }
+  return answers;
+}
+
+void BatchPointerChasingStrategy::run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle,
+                                              const mpc::SharedTape& /*tape*/,
+                                              mpc::RoundTrace& trace) {
+  if (oracle == nullptr) {
+    throw std::invalid_argument("BatchPointerChasingStrategy requires an oracle");
+  }
+
+  // Parse the inbox. Round-0 shares concatenate per-instance block payloads
+  // into one message; later rounds carry one message per payload. The block
+  // payload format is self-delimiting, so parse sequentially either way.
+  std::map<std::uint64_t, std::pair<util::BitString, std::shared_ptr<const BlockSet>>> blocks;
+  std::map<std::uint64_t, Frontier> frontiers;
+  std::map<std::uint64_t, util::BitString> collected;  // inst -> answer
+  for (const auto& msg : *io.inbox) {
+    // Messages may concatenate several records (round-0 shares do); `rest`
+    // always holds the unparsed suffix and every slice is relative to it.
+    util::BitString rest = msg.payload;
+    while (rest.size() > 0) {
+      util::BitReader r(rest);
+      auto tag = r.read_uint(kTagBits);
+      if (tag == static_cast<std::uint64_t>(PayloadTag::kBlocks)) {
+        std::uint64_t inst = r.read_uint(kInstBits);
+        std::uint64_t start = r.position();
+        util::BitString body = rest.slice(start, rest.size() - start);
+        std::size_t consumed = 0;
+        BlockSet set = BlockSet::decode(params_, body, &consumed);
+        // Keep the exact framed record for cheap re-sending.
+        util::BitWriter w;
+        w.write_uint(tag, kTagBits);
+        w.write_uint(inst, kInstBits);
+        w.write_bits(body.slice(0, consumed));
+        util::BitString exact = w.take();
+        std::uint64_t key = exact.hash();
+        auto it = parse_cache_.find(key);
+        std::shared_ptr<const BlockSet> parsed;
+        if (it != parse_cache_.end()) {
+          parsed = it->second;
+        } else {
+          parsed = std::make_shared<const BlockSet>(std::move(set));
+          parse_cache_.emplace(key, parsed);
+        }
+        blocks[inst] = {std::move(exact), parsed};
+        rest = body.slice(consumed, body.size() - consumed);
+        continue;
+      }
+      if (tag == static_cast<std::uint64_t>(PayloadTag::kFrontier)) {
+        std::uint64_t inst = r.read_uint(kInstBits);
+        std::size_t consumed = 0;
+        util::BitString body = rest.slice(r.position(), rest.size() - r.position());
+        frontiers[inst] = Frontier::decode(params_, body, &consumed);
+        rest = body.slice(consumed, body.size() - consumed);
+        continue;
+      }
+      if (tag == kDoneTag) {
+        std::uint64_t inst = r.read_uint(kInstBits);
+        collected[inst] = r.read_bits(params_.n);
+        rest = rest.slice(r.position(), rest.size() - r.position());
+        continue;
+      }
+      if (tag == kCollectedTag) {
+        std::uint64_t count = r.read_uint(16);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          std::uint64_t inst = r.read_uint(kInstBits);
+          collected[inst] = r.read_bits(params_.n);
+        }
+        rest = rest.slice(r.position(), rest.size() - r.position());
+        continue;
+      }
+      throw std::invalid_argument("BatchPointerChasingStrategy: unknown payload tag");
+    }
+  }
+
+  // Bootstrap every instance whose first block we own.
+  if (io.round == 0 && plan_.owner_of(1) == io.machine) {
+    for (std::uint64_t inst = 0; inst < instances_; ++inst) {
+      Frontier f;
+      f.next_index = 1;
+      f.ell = 1;
+      f.r = util::BitString(params_.u);
+      frontiers.emplace(inst, f);
+    }
+  }
+
+  // Advance every frontier we hold (instances interleave in one round).
+  std::uint64_t advanced = 0;
+  for (auto& [inst, f] : frontiers) {
+    auto bit = blocks.find(inst);
+    if (bit == blocks.end()) continue;
+    const BlockSet& own = *bit->second.second;
+    util::BitString last_answer;
+    bool have_answer = false;
+    while (f.next_index <= params_.w && own.contains(f.ell) &&
+           oracle->remaining_budget() > 0) {
+      last_answer = oracle->query(codec_.encode_query(f.next_index, *own.find(f.ell), f.r));
+      have_answer = true;
+      core::LineAnswer a = codec_.decode_answer(last_answer);
+      f.next_index += 1;
+      f.ell = a.ell;
+      f.r = a.r;
+      ++advanced;
+    }
+    if (f.next_index > params_.w && have_answer) {
+      util::BitWriter w;
+      w.write_uint(kDoneTag, kTagBits);
+      w.write_uint(inst, kInstBits);
+      w.write_bits(last_answer);
+      io.send(0, w.take());
+    } else {
+      auto owner = plan_.owner_of(f.ell);
+      if (!owner.has_value()) {
+        throw std::logic_error("BatchPointerChasingStrategy: uncovered block");
+      }
+      util::BitWriter w;
+      w.write_uint(static_cast<std::uint64_t>(PayloadTag::kFrontier), kTagBits);
+      w.write_uint(inst, kInstBits);
+      w.write_bits(f.encode(params_));
+      io.send(*owner, w.take());
+    }
+  }
+  trace.annotate("advance", advanced);
+
+  // Collector duty on machine 0.
+  bool finished = false;
+  if (io.machine == 0 && !collected.empty()) {
+    util::BitWriter w;
+    w.write_uint(kCollectedTag, kTagBits);
+    w.write_uint(collected.size(), 16);
+    for (const auto& [inst, answer] : collected) {
+      w.write_uint(inst, kInstBits);
+      w.write_bits(answer);
+    }
+    if (collected.size() == instances_) {
+      io.output = w.take();
+      finished = true;
+    } else {
+      io.send(0, w.take());
+    }
+  }
+
+  if (!finished) {
+    for (const auto& [inst, payload] : blocks) io.send(io.machine, payload.first);
+  }
+}
+
+}  // namespace mpch::strategies

@@ -1,0 +1,153 @@
+#include "strategies/block_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace mpch::strategies {
+
+void BlockSet::add(std::uint64_t index, util::BitString value) {
+  if (index == 0 || index > params_.v) {
+    throw std::out_of_range("BlockSet::add: block index out of [1, v]");
+  }
+  if (value.size() != params_.u) {
+    throw std::invalid_argument("BlockSet::add: block must be u bits");
+  }
+  blocks_[index] = std::move(value);
+}
+
+const util::BitString* BlockSet::find(std::uint64_t index) const {
+  auto it = blocks_.find(index);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint64_t> BlockSet::indices() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(blocks_.size());
+  for (const auto& [idx, _] : blocks_) out.push_back(idx);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+util::BitString BlockSet::encode() const {
+  util::BitWriter w;
+  w.write_uint(blocks_.size(), 32);
+  for (std::uint64_t idx : indices()) {
+    w.write_uint(idx, params_.ell_bits);
+    w.write_bits(blocks_.at(idx));
+  }
+  return w.take();
+}
+
+BlockSet BlockSet::decode(const core::LineParams& params, const util::BitString& bits,
+                          std::size_t* consumed_bits) {
+  util::BitReader r(bits);
+  std::uint64_t count = r.read_uint(32);
+  BlockSet out(params);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t idx = r.read_uint(params.ell_bits);
+    out.add(idx, r.read_bits(params.u));
+  }
+  if (consumed_bits != nullptr) *consumed_bits = r.position();
+  return out;
+}
+
+std::uint64_t BlockSet::encoded_bits(const core::LineParams& params, std::uint64_t count) {
+  return 32 + count * (params.ell_bits + params.u);
+}
+
+util::BitString Frontier::encode(const core::LineParams& params) const {
+  util::BitWriter w;
+  w.write_uint(next_index, params.index_bits);
+  w.write_uint(ell, params.ell_bits);
+  if (r.size() != params.u) throw std::invalid_argument("Frontier::encode: r must be u bits");
+  w.write_bits(r);
+  return w.take();
+}
+
+Frontier Frontier::decode(const core::LineParams& params, const util::BitString& bits,
+                          std::size_t* consumed_bits) {
+  util::BitReader reader(bits);
+  Frontier f;
+  f.next_index = reader.read_uint(params.index_bits);
+  f.ell = reader.read_uint(params.ell_bits);
+  f.r = reader.read_bits(params.u);
+  if (consumed_bits != nullptr) *consumed_bits = reader.position();
+  return f;
+}
+
+std::uint64_t Frontier::encoded_bits(const core::LineParams& params) {
+  return params.index_bits + params.ell_bits + params.u;
+}
+
+OwnershipPlan OwnershipPlan::round_robin(const core::LineParams& params, std::uint64_t machines) {
+  OwnershipPlan plan;
+  plan.owners_.resize(machines);
+  for (std::uint64_t b = 1; b <= params.v; ++b) {
+    std::uint64_t owner = (b - 1) % machines;
+    plan.owners_[owner].push_back(b);
+    plan.lookup_.emplace(b, owner);
+  }
+  return plan;
+}
+
+OwnershipPlan OwnershipPlan::windows(const core::LineParams& params, std::uint64_t machines,
+                                     std::uint64_t window) {
+  if (window == 0) throw std::invalid_argument("OwnershipPlan::windows: zero window");
+  OwnershipPlan plan;
+  plan.owners_.resize(machines);
+  std::uint64_t num_windows = util::ceil_div(params.v, window);
+  for (std::uint64_t wi = 0; wi < num_windows; ++wi) {
+    std::uint64_t owner = wi % machines;
+    for (std::uint64_t b = wi * window + 1; b <= std::min(params.v, (wi + 1) * window); ++b) {
+      plan.owners_[owner].push_back(b);
+      plan.lookup_.emplace(b, owner);
+    }
+  }
+  for (auto& blocks : plan.owners_) std::sort(blocks.begin(), blocks.end());
+  return plan;
+}
+
+OwnershipPlan OwnershipPlan::replicated(const core::LineParams& params, std::uint64_t machines,
+                                        std::uint64_t per_machine) {
+  per_machine = std::min(per_machine, params.v);
+  OwnershipPlan plan;
+  plan.owners_.resize(machines);
+  // Rotate starting offsets so the union covers as much of [v] as possible.
+  std::uint64_t stride = std::max<std::uint64_t>(1, params.v / machines);
+  for (std::uint64_t j = 0; j < machines; ++j) {
+    for (std::uint64_t t = 0; t < per_machine; ++t) {
+      std::uint64_t b = (j * stride + t) % params.v + 1;
+      plan.owners_[j].push_back(b);
+      plan.lookup_.emplace(b, j);  // keeps the first owner; any owner works
+    }
+    std::sort(plan.owners_[j].begin(), plan.owners_[j].end());
+    plan.owners_[j].erase(std::unique(plan.owners_[j].begin(), plan.owners_[j].end()),
+                          plan.owners_[j].end());
+  }
+  // A replication plan must still cover every block or pointer-chasing can
+  // strand the frontier; fail loudly rather than at hand-off time.
+  for (std::uint64_t b = 1; b <= params.v; ++b) {
+    if (!plan.lookup_.count(b)) {
+      throw std::invalid_argument(
+          "OwnershipPlan::replicated: block " + std::to_string(b) +
+          " uncovered (need machines*per_machine >= v with overlapping strides)");
+    }
+  }
+  return plan;
+}
+
+std::optional<std::uint64_t> OwnershipPlan::owner_of(std::uint64_t index) const {
+  auto it = lookup_.find(index);
+  if (it == lookup_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t OwnershipPlan::max_owned() const {
+  std::uint64_t best = 0;
+  for (const auto& blocks : owners_) best = std::max<std::uint64_t>(best, blocks.size());
+  return best;
+}
+
+}  // namespace mpch::strategies

@@ -1,0 +1,103 @@
+// block_store.hpp — how MPC machines carry input blocks in messages.
+//
+// The model forces every bit of cross-round state through messages, so the
+// strategies need a canonical wire format for "a set of tagged input blocks"
+// and for the walk frontier. All strategy payloads are built from the two
+// record types here:
+//
+//   BlockSet:  [count : 32][ (index : ell_bits)(x : u) ]*count
+//   Frontier:  [i : index_bits][ell : ell_bits][r : u]
+//
+// Bit accounting is intentional: a machine holding σ blocks pays
+// σ·(ell_bits + u) bits of its s-bit memory, which is the "a machine can
+// only store a constant fraction of x_i's" mechanism of the lower bound.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/params.hpp"
+#include "util/bitstring.hpp"
+
+namespace mpch::strategies {
+
+/// An owned collection of (index, value) input blocks with wire (de)coding.
+class BlockSet {
+ public:
+  explicit BlockSet(const core::LineParams& params) : params_(params) {}
+
+  void add(std::uint64_t index, util::BitString value);
+  bool contains(std::uint64_t index) const { return blocks_.count(index) != 0; }
+  const util::BitString* find(std::uint64_t index) const;
+  std::size_t size() const { return blocks_.size(); }
+
+  /// Indices in ascending order.
+  std::vector<std::uint64_t> indices() const;
+
+  /// Serialise to the wire format above.
+  util::BitString encode() const;
+
+  /// Parse from the wire format. Throws on malformed input.
+  static BlockSet decode(const core::LineParams& params, const util::BitString& bits,
+                         std::size_t* consumed_bits = nullptr);
+
+  /// Wire size of a set holding `count` blocks.
+  static std::uint64_t encoded_bits(const core::LineParams& params, std::uint64_t count);
+
+ private:
+  core::LineParams params_;
+  std::unordered_map<std::uint64_t, util::BitString> blocks_;
+};
+
+/// The walk frontier: "we have evaluated the chain through node i-1 and the
+/// next query is (i, x_ell, r)".
+struct Frontier {
+  std::uint64_t next_index = 1;  ///< i, in [1, w+1]; w+1 means finished
+  std::uint64_t ell = 1;         ///< ℓ_i
+  util::BitString r;             ///< r_i (u bits)
+
+  util::BitString encode(const core::LineParams& params) const;
+  static Frontier decode(const core::LineParams& params, const util::BitString& bits,
+                         std::size_t* consumed_bits = nullptr);
+  static std::uint64_t encoded_bits(const core::LineParams& params);
+};
+
+/// Deterministic block-ownership plans shared by the strategies.
+class OwnershipPlan {
+ public:
+  /// Partition: block i goes to machine (i-1) mod m (no replication).
+  static OwnershipPlan round_robin(const core::LineParams& params, std::uint64_t machines);
+
+  /// Contiguous windows of `window` blocks per machine, wrapping; used by the
+  /// pipelined SimLine strategy. Machine j owns blocks in windows
+  /// {j, j+m, j+2m, ...}.
+  static OwnershipPlan windows(const core::LineParams& params, std::uint64_t machines,
+                               std::uint64_t window);
+
+  /// Replicated: every machine stores the first `per_machine` blocks it can
+  /// fit, chosen by a rotation so coverage is spread: machine j owns blocks
+  /// {(j·stride + t) mod v + 1 : t < per_machine}.
+  static OwnershipPlan replicated(const core::LineParams& params, std::uint64_t machines,
+                                  std::uint64_t per_machine);
+
+  std::uint64_t machines() const { return owners_.size(); }
+
+  /// Blocks owned by machine j (ascending indices in [1, v]).
+  const std::vector<std::uint64_t>& owned_by(std::uint64_t machine) const {
+    return owners_.at(machine);
+  }
+
+  /// Some machine owning block `index`; nullopt if nobody does.
+  std::optional<std::uint64_t> owner_of(std::uint64_t index) const;
+
+  /// Max blocks owned by any machine (for memory sizing).
+  std::uint64_t max_owned() const;
+
+ private:
+  std::vector<std::vector<std::uint64_t>> owners_;           // machine -> blocks
+  std::unordered_map<std::uint64_t, std::uint64_t> lookup_;  // block -> some owner
+};
+
+}  // namespace mpch::strategies

@@ -1,0 +1,55 @@
+// colluding.hpp — the communication-pattern ablation for Line^RO.
+//
+// The lower bound holds for machines that "collaborate in an arbitrary
+// way"; the honest pointer-chaser uses the stingiest pattern (unicast
+// hand-off). This strategy uses the most generous one: the carrier
+// broadcasts the frontier to *every* machine each round, and every machine
+// owning the needed block advances in parallel (duplicating the oracle
+// work). Round counts are provably identical — the frontier still advances
+// by one geometric run per round — while communication inflates by a factor
+// m. Experiment E17 measures both, demonstrating that the bound is about
+// local memory, not about who talks to whom.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/line.hpp"
+#include "mpc/simulation.hpp"
+#include "strategies/block_store.hpp"
+#include "strategies/pointer_chasing.hpp"
+
+namespace mpch::strategies {
+
+class ColludingStrategy final : public mpc::MpcAlgorithm {
+ public:
+  ColludingStrategy(const core::LineParams& params, OwnershipPlan plan);
+
+  void run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle, const mpc::SharedTape& tape,
+                   mpc::RoundTrace& trace) override;
+
+  std::string name() const override { return "colluding-broadcast"; }
+
+  std::vector<util::BitString> make_initial_memory(const core::LineInput& input) const;
+
+  /// Inbox worst case: own blocks + one frontier from every machine.
+  std::uint64_t required_local_memory() const;
+
+ private:
+  struct ParsedInbox {
+    std::shared_ptr<const BlockSet> blocks;
+    util::BitString blocks_payload;
+    bool has_frontier = false;
+    Frontier frontier;  // furthest frontier among received copies
+  };
+  ParsedInbox parse_inbox(const std::vector<mpc::Message>& inbox);
+
+  core::LineParams params_;
+  core::LineCodec codec_;
+  OwnershipPlan plan_;
+  std::uint64_t machines_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const BlockSet>> parse_cache_;
+};
+
+}  // namespace mpch::strategies

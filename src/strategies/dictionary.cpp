@@ -1,0 +1,142 @@
+#include "strategies/dictionary.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/serialize.hpp"
+
+namespace mpch::strategies {
+
+namespace {
+constexpr std::uint64_t kDictTag = 2;  // distinct from kBlocks/kFrontier
+}
+
+DictionaryStrategy::DictionaryStrategy(const core::LineParams& params, std::uint64_t machines)
+    : params_(params), codec_(params), machines_(machines) {
+  if (machines_ == 0) throw std::invalid_argument("DictionaryStrategy: zero machines");
+}
+
+std::uint64_t DictionaryStrategy::distinct_blocks(const core::LineInput& input) {
+  std::unordered_map<util::BitString, std::uint64_t, util::BitStringHash> dict;
+  for (std::uint64_t b = 1; b <= input.num_blocks(); ++b) dict.emplace(input.block(b), 0);
+  return dict.size();
+}
+
+std::vector<util::BitString> DictionaryStrategy::make_initial_memory(
+    const core::LineInput& input) const {
+  // Build the global dictionary (deterministic id order: first occurrence).
+  std::unordered_map<util::BitString, std::uint64_t, util::BitStringHash> ids;
+  std::vector<util::BitString> dict;
+  std::vector<std::uint64_t> mapping(params_.v + 1, 0);
+  for (std::uint64_t b = 1; b <= params_.v; ++b) {
+    auto [it, inserted] = ids.emplace(input.block(b), dict.size());
+    if (inserted) dict.push_back(input.block(b));
+    mapping[b] = it->second;
+  }
+  if (dict.size() >= (1ULL << 16)) {
+    throw std::invalid_argument("DictionaryStrategy: more than 2^16 distinct blocks");
+  }
+
+  // Split: machine j gets dictionary entries j, j+m, ... and mapping entries
+  // for blocks j+1, j+1+m, ... — shares are roughly equal encodings.
+  std::vector<util::BitString> shares;
+  shares.reserve(machines_);
+  for (std::uint64_t j = 0; j < machines_; ++j) {
+    util::BitWriter w;
+    w.write_uint(kDictTag, kTagBits);
+    std::vector<std::pair<std::uint64_t, util::BitString>> dict_part;
+    for (std::uint64_t d = j; d < dict.size(); d += machines_) dict_part.emplace_back(d, dict[d]);
+    w.write_uint(dict_part.size(), 16);
+    for (const auto& [id, value] : dict_part) {
+      w.write_uint(id, 16);
+      w.write_bits(value);
+    }
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> map_part;
+    for (std::uint64_t b = j + 1; b <= params_.v; b += machines_) {
+      map_part.emplace_back(b, mapping[b]);
+    }
+    w.write_uint(map_part.size(), 16);
+    for (const auto& [b, id] : map_part) {
+      w.write_uint(b, params_.ell_bits);
+      w.write_uint(id, 16);
+    }
+    shares.push_back(w.take());
+  }
+  return shares;
+}
+
+std::uint64_t DictionaryStrategy::gathered_bits(std::uint64_t distinct) const {
+  // dict entries + mapping + per-share headers.
+  return distinct * (16 + params_.u) + params_.v * (params_.ell_bits + 16) +
+         machines_ * (kTagBits + 32);
+}
+
+void DictionaryStrategy::run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle,
+                                     const mpc::SharedTape& /*tape*/, mpc::RoundTrace& trace) {
+  if (oracle == nullptr) throw std::invalid_argument("DictionaryStrategy requires an oracle");
+
+  if (io.round == 0) {
+    for (const auto& msg : *io.inbox) io.send(0, msg.payload);
+    trace.annotate("advance", 0);
+    return;
+  }
+  if (io.machine != 0) {
+    trace.annotate("advance", 0);
+    return;
+  }
+
+  // Machine 0: reassemble dictionary + mapping, then walk the whole chain.
+  std::map<std::uint64_t, util::BitString> dict;
+  std::vector<std::uint64_t> mapping(params_.v + 1, UINT64_MAX);
+  for (const auto& msg : *io.inbox) {
+    util::BitReader r(msg.payload);
+    if (r.read_uint(kTagBits) != kDictTag) {
+      throw std::invalid_argument("DictionaryStrategy: unexpected payload tag");
+    }
+    std::uint64_t dict_count = r.read_uint(16);
+    for (std::uint64_t i = 0; i < dict_count; ++i) {
+      std::uint64_t id = r.read_uint(16);
+      dict[id] = r.read_bits(params_.u);
+    }
+    std::uint64_t map_count = r.read_uint(16);
+    for (std::uint64_t i = 0; i < map_count; ++i) {
+      std::uint64_t b = r.read_uint(params_.ell_bits);
+      mapping.at(b) = r.read_uint(16);
+    }
+  }
+  for (std::uint64_t b = 1; b <= params_.v; ++b) {
+    if (mapping[b] == UINT64_MAX || !dict.count(mapping[b])) {
+      throw std::logic_error("DictionaryStrategy: incomplete gather");
+    }
+  }
+
+  std::uint64_t ell = 1;
+  util::BitString r(params_.u);
+  util::BitString answer;
+  for (std::uint64_t i = 1; i <= params_.w; ++i) {
+    answer = oracle->query(codec_.encode_query(i, dict.at(mapping[ell]), r));
+    core::LineAnswer a = codec_.decode_answer(answer);
+    ell = a.ell;
+    r = a.r;
+  }
+  trace.annotate("advance", params_.w);
+  io.output = answer;
+}
+
+core::LineInput make_low_entropy_input(const core::LineParams& params, std::uint64_t distinct,
+                                       util::Rng& rng) {
+  if (distinct == 0 || distinct > params.v) {
+    throw std::invalid_argument("make_low_entropy_input: distinct must be in [1, v]");
+  }
+  std::vector<util::BitString> values;
+  values.reserve(distinct);
+  for (std::uint64_t d = 0; d < distinct; ++d) {
+    values.push_back(util::BitString::random(params.u, [&rng] { return rng.next_u64(); }));
+  }
+  util::BitString bits;
+  for (std::uint64_t b = 0; b < params.v; ++b) bits += values[b % distinct];
+  return core::LineInput(params, std::move(bits));
+}
+
+}  // namespace mpch::strategies

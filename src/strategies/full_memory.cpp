@@ -1,0 +1,80 @@
+#include "strategies/full_memory.hpp"
+
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace mpch::strategies {
+
+FullMemoryStrategy::FullMemoryStrategy(const core::LineParams& params, OwnershipPlan plan)
+    : params_(params), codec_(params), plan_(std::move(plan)) {}
+
+std::vector<util::BitString> FullMemoryStrategy::make_initial_memory(
+    const core::LineInput& input) const {
+  std::vector<util::BitString> shares;
+  shares.reserve(plan_.machines());
+  for (std::uint64_t j = 0; j < plan_.machines(); ++j) {
+    BlockSet set(params_);
+    for (std::uint64_t b : plan_.owned_by(j)) set.add(b, input.block(b));
+    util::BitWriter w;
+    w.write_uint(static_cast<std::uint64_t>(PayloadTag::kBlocks), kTagBits);
+    w.write_bits(set.encode());
+    shares.push_back(w.take());
+  }
+  return shares;
+}
+
+std::uint64_t FullMemoryStrategy::required_local_memory() const {
+  // Worst case the gather target receives one tagged BlockSet per machine.
+  return plan_.machines() * (kTagBits + 32) + params_.v * (params_.ell_bits + params_.u);
+}
+
+void FullMemoryStrategy::run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle,
+                                     const mpc::SharedTape& /*tape*/, mpc::RoundTrace& trace) {
+  if (oracle == nullptr) throw std::invalid_argument("FullMemoryStrategy requires an oracle");
+
+  if (io.round == 0) {
+    // Ship our share to machine 0 verbatim.
+    for (const auto& msg : *io.inbox) {
+      io.send(0, msg.payload);
+    }
+    trace.annotate("advance", 0);
+    return;
+  }
+
+  if (io.machine != 0) {
+    trace.annotate("advance", 0);
+    return;
+  }
+
+  // Machine 0: merge all block sets, then walk the whole chain locally.
+  BlockSet all(params_);
+  for (const auto& msg : *io.inbox) {
+    util::BitReader r(msg.payload);
+    auto tag = static_cast<PayloadTag>(r.read_uint(kTagBits));
+    if (tag != PayloadTag::kBlocks) {
+      throw std::invalid_argument("FullMemoryStrategy: unexpected payload tag");
+    }
+    util::BitString body = msg.payload.slice(kTagBits, msg.payload.size() - kTagBits);
+    BlockSet part = BlockSet::decode(params_, body);
+    for (std::uint64_t idx : part.indices()) all.add(idx, *part.find(idx));
+  }
+  if (all.size() != params_.v) {
+    throw std::logic_error("FullMemoryStrategy: gathered " + std::to_string(all.size()) +
+                           " blocks, expected v=" + std::to_string(params_.v));
+  }
+
+  std::uint64_t ell = 1;
+  util::BitString r(params_.u);
+  util::BitString answer;
+  for (std::uint64_t i = 1; i <= params_.w; ++i) {
+    answer = oracle->query(codec_.encode_query(i, *all.find(ell), r));
+    core::LineAnswer a = codec_.decode_answer(answer);
+    ell = a.ell;
+    r = a.r;
+  }
+  trace.annotate("advance", params_.w);
+  io.output = answer;
+}
+
+}  // namespace mpch::strategies

@@ -1,0 +1,199 @@
+#include "strategies/ram_emulation.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "util/math.hpp"
+#include "util/serialize.hpp"
+
+namespace mpch::strategies {
+
+namespace {
+
+constexpr std::uint64_t kTagBits = 4;
+
+util::BitString encode_state(std::uint64_t tag, const ram::RamState& state,
+                             std::uint8_t load_target = 0) {
+  util::BitWriter w;
+  w.write_uint(tag, kTagBits);
+  w.write_uint(state.pc, 64);
+  w.write_bool(state.halted);
+  for (std::uint64_t r : state.regs) w.write_uint(r, 64);
+  w.write_uint(load_target, 8);
+  return w.take();
+}
+
+ram::RamState decode_state(util::BitReader& r, std::uint8_t* load_target) {
+  ram::RamState s;
+  s.pc = r.read_uint(64);
+  s.halted = r.read_bool();
+  for (auto& reg : s.regs) reg = r.read_uint(64);
+  std::uint8_t target = static_cast<std::uint8_t>(r.read_uint(8));
+  if (load_target != nullptr) *load_target = target;
+  return s;
+}
+
+util::BitString encode_words(std::uint64_t tag,
+                             const std::map<std::uint64_t, std::uint64_t>& words) {
+  util::BitWriter w;
+  w.write_uint(tag, kTagBits);
+  w.write_uint(words.size(), 32);
+  for (const auto& [addr, value] : words) {
+    w.write_uint(addr, 64);
+    w.write_uint(value, 64);
+  }
+  return w.take();
+}
+
+}  // namespace
+
+RamEmulationStrategy::RamEmulationStrategy(std::vector<ram::Instruction> program,
+                                           std::uint64_t machines,
+                                           std::uint64_t steps_per_round)
+    : program_(std::move(program)), machines_(machines), steps_per_round_(steps_per_round) {
+  if (machines_ < 2) {
+    throw std::invalid_argument("RamEmulationStrategy: need a CPU plus >= 1 memory server");
+  }
+  if (program_.empty()) throw std::invalid_argument("RamEmulationStrategy: empty program");
+}
+
+std::vector<util::BitString> RamEmulationStrategy::make_initial_memory(
+    const std::vector<std::uint64_t>& memory) const {
+  std::vector<util::BitString> shares(machines_);
+  shares[0] = encode_state(kCpuState, ram::RamState{});
+  std::vector<std::map<std::uint64_t, std::uint64_t>> per_server(machines_ - 1);
+  for (std::uint64_t addr = 0; addr < memory.size(); ++addr) {
+    per_server[addr % (machines_ - 1)][addr] = memory[addr];
+  }
+  for (std::uint64_t j = 1; j < machines_; ++j) {
+    shares[j] = encode_words(kMemWords, per_server[j - 1]);
+  }
+  return shares;
+}
+
+std::uint64_t RamEmulationStrategy::required_local_memory(std::uint64_t memory_words) const {
+  std::uint64_t cpu_bits = kTagBits + 64 + 1 + 64 * ram::kNumRegisters + 8 +
+                           (kTagBits + 64);  // state + one load reply
+  std::uint64_t per_server = util::ceil_div(memory_words, machines_ - 1);
+  std::uint64_t server_bits = kTagBits + 32 + per_server * 128 +
+                              2 * (kTagBits + 128);  // words + in-flight req/store
+  return std::max(cpu_bits, server_bits);
+}
+
+ram::RamState RamEmulationStrategy::parse_output(const util::BitString& output) {
+  util::BitReader r(output);
+  std::uint64_t tag = r.read_uint(kTagBits);
+  if (tag != kCpuState) throw std::invalid_argument("RamEmulation output: unexpected tag");
+  return decode_state(r, nullptr);
+}
+
+void RamEmulationStrategy::run_machine(mpc::MachineIo& io, hash::CountingOracle* /*oracle*/,
+                                       const mpc::SharedTape& /*tape*/,
+                                       mpc::RoundTrace& trace) {
+  if (io.machine == 0) {
+    // --- CPU ---
+    bool have_state = false;
+    bool waiting = false;
+    std::uint8_t load_target = 0;
+    ram::RamState state;
+    std::optional<std::uint64_t> load_reply;
+    for (const auto& msg : *io.inbox) {
+      util::BitReader r(msg.payload);
+      std::uint64_t tag = r.read_uint(kTagBits);
+      if (tag == kCpuState || tag == kCpuWait) {
+        state = decode_state(r, &load_target);
+        waiting = (tag == kCpuWait);
+        have_state = true;
+      } else if (tag == kLoadReply) {
+        load_reply = r.read_uint(64);
+      } else {
+        throw std::invalid_argument("RamEmulation CPU: unexpected tag");
+      }
+    }
+    if (!have_state) return;  // not yet bootstrapped (cannot happen in practice)
+
+    if (waiting) {
+      if (!load_reply.has_value()) {
+        // Reply still in flight (request sent last round): hold position.
+        io.send(0, encode_state(kCpuWait, state, load_target));
+        trace.annotate("ram_steps", 0);
+        return;
+      }
+      state.regs[load_target] = *load_reply;
+    }
+
+    // Execute until a LOAD, HALT, or the per-round step cap.
+    std::uint64_t executed = 0;
+    while (!state.halted) {
+      if (steps_per_round_ != 0 && executed >= steps_per_round_) break;
+      ram::StepEffect eff = ram::RamMachine::step(program_, state);
+      ++executed;
+      if (eff.is_store) {
+        util::BitWriter w;
+        w.write_uint(kStoreMsg, kTagBits);
+        w.write_uint(eff.mem_addr, 64);
+        w.write_uint(eff.store_value, 64);
+        io.send(owner_of(eff.mem_addr), w.take());
+        state = eff.next;
+        continue;
+      }
+      if (eff.is_load) {
+        util::BitWriter w;
+        w.write_uint(kLoadReq, kTagBits);
+        w.write_uint(eff.mem_addr, 64);
+        io.send(owner_of(eff.mem_addr), w.take());
+        io.send(0, encode_state(kCpuWait, eff.next, eff.load_target));
+        trace.annotate("ram_steps", executed);
+        return;
+      }
+      state = eff.next;
+    }
+    trace.annotate("ram_steps", executed);
+    if (state.halted) {
+      io.output = encode_state(kCpuState, state);
+    } else {
+      io.send(0, encode_state(kCpuState, state));
+    }
+    return;
+  }
+
+  // --- memory server ---
+  std::map<std::uint64_t, std::uint64_t> words;
+  std::vector<std::uint64_t> load_requests;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stores;
+  for (const auto& msg : *io.inbox) {
+    util::BitReader r(msg.payload);
+    std::uint64_t tag = r.read_uint(kTagBits);
+    if (tag == kMemWords) {
+      std::uint64_t count = r.read_uint(32);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t addr = r.read_uint(64);
+        words[addr] = r.read_uint(64);
+      }
+    } else if (tag == kLoadReq) {
+      load_requests.push_back(r.read_uint(64));
+    } else if (tag == kStoreMsg) {
+      std::uint64_t addr = r.read_uint(64);
+      stores.emplace_back(addr, r.read_uint(64));
+    } else {
+      throw std::invalid_argument("RamEmulation server: unexpected tag");
+    }
+  }
+  // Apply stores before serving loads: both arrived this round, and the CPU
+  // issued the store strictly earlier (it blocks on every load).
+  for (const auto& [addr, value] : stores) words[addr] = value;
+  for (std::uint64_t addr : load_requests) {
+    auto it = words.find(addr);
+    if (it == words.end()) {
+      throw std::out_of_range("RamEmulation server: load of unmapped address " +
+                              std::to_string(addr));
+    }
+    util::BitWriter w;
+    w.write_uint(kLoadReply, kTagBits);
+    w.write_uint(it->second, 64);
+    io.send(0, w.take());
+  }
+  io.send(io.machine, encode_words(kMemWords, words));
+}
+
+}  // namespace mpch::strategies

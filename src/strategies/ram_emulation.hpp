@@ -1,0 +1,61 @@
+// ram_emulation.hpp — MPC emulation of the word-RAM, step by step.
+//
+// The paper's trivial upper bound made executable: machine 0 is the "CPU"
+// and carries only the O(1)-word register state across rounds (O(log S)
+// bits); machines 1..m-1 are memory servers, each holding the words with
+// address ≡ its id (mod m-1). Every LOAD costs a request/reply round trip;
+// STOREs are fire-and-forget (ordering is safe because a later LOAD's
+// request can never overtake an earlier STORE in this synchronous model).
+//
+// `steps_per_round` caps how many non-memory instructions the CPU executes
+// per round: 1 reproduces the paper's "T rounds" statement literally;
+// unlimited (=0) shows rounds collapse to ~2x the number of LOADs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mpc/simulation.hpp"
+#include "ram/machine.hpp"
+
+namespace mpch::strategies {
+
+class RamEmulationStrategy final : public mpc::MpcAlgorithm {
+ public:
+  /// `machines` must be >= 2 (one CPU + at least one memory server).
+  RamEmulationStrategy(std::vector<ram::Instruction> program, std::uint64_t machines,
+                       std::uint64_t steps_per_round = 1);
+
+  void run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle, const mpc::SharedTape& tape,
+                   mpc::RoundTrace& trace) override;
+
+  std::string name() const override { return "ram-emulation"; }
+
+  /// Round-0 shares: the CPU gets a fresh register state; each server gets
+  /// its residue class of `memory`.
+  std::vector<util::BitString> make_initial_memory(
+      const std::vector<std::uint64_t>& memory) const;
+
+  /// s needed: max(CPU state, largest server share) for `memory_words`.
+  std::uint64_t required_local_memory(std::uint64_t memory_words) const;
+
+  /// Parse the CPU's final output back into a RamState.
+  static ram::RamState parse_output(const util::BitString& output);
+
+ private:
+  std::uint64_t owner_of(std::uint64_t addr) const { return 1 + addr % (machines_ - 1); }
+
+  std::vector<ram::Instruction> program_;
+  std::uint64_t machines_;
+  std::uint64_t steps_per_round_;
+
+  // Payload tags.
+  static constexpr std::uint64_t kCpuState = 0;   // running CPU state
+  static constexpr std::uint64_t kCpuWait = 1;    // CPU blocked on a load
+  static constexpr std::uint64_t kMemWords = 2;   // a server's word map
+  static constexpr std::uint64_t kLoadReq = 3;    // {addr}
+  static constexpr std::uint64_t kLoadReply = 4;  // {value}
+  static constexpr std::uint64_t kStoreMsg = 5;   // {addr, value}
+};
+
+}  // namespace mpch::strategies

@@ -1,0 +1,146 @@
+#include "theory/bounds.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace mpch::theory {
+
+namespace {
+
+long double log2u(std::uint64_t x) { return std::log2(static_cast<long double>(x)); }
+
+/// The paper's log²w (natural reading: (log2 w)²).
+long double log_sq_w(const core::LineParams& p) {
+  long double lw = log2u(p.w);
+  return lw * lw;
+}
+
+}  // namespace
+
+long double lemma33_log2_prob(const core::LineParams& p, const MpcBoundParams& mp,
+                              std::uint64_t k) {
+  // log2( w · v^{log²w} · (k+1) · m · q · 2^{-u} )
+  long double lp = log2u(p.w) + log_sq_w(p) * log2u(p.v) + log2u(k + 1) + log2u(mp.m) +
+                   log2u(mp.q) - static_cast<long double>(p.u);
+  return util::clamp_log2_prob(lp);
+}
+
+long double lemma36_denominator(const core::LineParams& p, const MpcBoundParams& mp) {
+  return static_cast<long double>(p.u) - (log_sq_w(p) + 2.0L) * log2u(p.v) - log2u(mp.q);
+}
+
+long double lemma36_h(const core::LineParams& p, const MpcBoundParams& mp) {
+  long double denom = lemma36_denominator(p, mp);
+  if (denom <= 0.0L) return static_cast<long double>(p.v) + 1.0L;  // vacuous
+  return static_cast<long double>(mp.s) / denom + 1.0L;
+}
+
+long double lemma36_log2_prob(const core::LineParams& p, const MpcBoundParams& mp) {
+  long double denom = lemma36_denominator(p, mp);
+  return util::clamp_log2_prob(-denom);
+}
+
+long double claim39_log2_prob(const core::LineParams& p, const MpcBoundParams& mp,
+                              std::uint64_t k) {
+  long double h = lemma36_h(p, mp);
+  long double term1;  // (h/v)^{log²w}
+  if (h >= static_cast<long double>(p.v)) {
+    term1 = 0.0L;  // probability 1, bound vacuous
+  } else {
+    term1 = log_sq_w(p) * (std::log2(h) - log2u(p.v));
+  }
+  long double term2 = log2u(p.w) + log_sq_w(p) * log2u(p.v) + log2u(mp.q) -
+                      static_cast<long double>(p.u);  // w·v^{log²w}·q·2^{-u}
+  long double term3 = -lemma36_denominator(p, mp);
+  long double sum = util::log2_add(util::log2_add(term1, term2), term3);
+  long double lp = log2u(k + 1) + log2u(mp.m) + sum;
+  return util::clamp_log2_prob(lp);
+}
+
+long double lemma32_success_log2_prob(const core::LineParams& p, const MpcBoundParams& mp) {
+  // Success <= (w/log²w) · m · ( (h/v)^{log²w} + v^{log²w}·q·2^{-u}
+  //                              + 2^{-(u-(log²w+2)logv-logq)} )
+  long double h = lemma36_h(p, mp);
+  long double term1 = h >= static_cast<long double>(p.v)
+                          ? 0.0L
+                          : log_sq_w(p) * (std::log2(h) - log2u(p.v));
+  long double term2 =
+      log_sq_w(p) * log2u(p.v) + log2u(mp.q) - static_cast<long double>(p.u);
+  long double term3 = -lemma36_denominator(p, mp);
+  long double sum = util::log2_add(util::log2_add(term1, term2), term3);
+  long double rounds = lemma32_round_lower_bound(p);
+  long double lp = std::log2(rounds) + log2u(mp.m) + sum;
+  return util::clamp_log2_prob(lp);
+}
+
+long double lemma32_round_lower_bound(const core::LineParams& p) {
+  return static_cast<long double>(p.w) / log_sq_w(p);
+}
+
+long double lemmaA2_h(const core::LineParams& p, const MpcBoundParams& mp) {
+  long double denom = static_cast<long double>(p.u) - log2u(mp.q) - log2u(p.v);
+  if (denom <= 0.0L) return static_cast<long double>(p.v) + 1.0L;
+  return static_cast<long double>(mp.s) / denom + 1.0L;
+}
+
+long double lemmaA2_round_lower_bound(const core::LineParams& p, const MpcBoundParams& mp) {
+  return static_cast<long double>(p.w) / lemmaA2_h(p, mp);
+}
+
+long double lemmaA3_log2_prob(const core::LineParams& p, const MpcBoundParams& mp,
+                              long double alpha) {
+  long double exponent = alpha * (static_cast<long double>(p.u) - log2u(mp.q) - log2u(p.v)) -
+                         static_cast<long double>(mp.s) - 1.0L;
+  return util::clamp_log2_prob(-exponent);
+}
+
+long double lemmaA7_log2_prob(const core::LineParams& p) {
+  return -static_cast<long double>(p.u);
+}
+
+long double claimA8_log2_prob(const core::LineParams& p, const MpcBoundParams& mp,
+                              std::uint64_t k) {
+  long double term1 = log2u(mp.m) - (static_cast<long double>(p.u) - log2u(mp.q) - log2u(p.v));
+  long double term2 = log2u(p.w) + log2u(mp.m) + log2u(mp.q) - static_cast<long double>(p.u);
+  long double lp = log2u(k + 1) + util::log2_add(term1, term2);
+  return util::clamp_log2_prob(lp);
+}
+
+long double lemmaA2_success_log2_prob(const core::LineParams& p, const MpcBoundParams& mp) {
+  long double rounds = lemmaA2_round_lower_bound(p, mp);
+  long double term1 = log2u(mp.m) - (static_cast<long double>(p.u) - log2u(mp.q) - log2u(p.v));
+  long double term2 = log2u(p.w) + log2u(mp.m) + log2u(mp.q) - static_cast<long double>(p.u);
+  long double lp = std::log2(rounds) + util::log2_add(term1, term2);
+  return util::clamp_log2_prob(lp);
+}
+
+long double claim37_encoding_bound_bits(const core::LineParams& p, const MpcBoundParams& mp,
+                                        long double h, long double oracle_table_bits) {
+  long double per_recovered = (log_sq_w(p) + 2.0L) * log2u(p.v) + log2u(mp.q);
+  return static_cast<long double>(mp.s) + h * per_recovered +
+         (static_cast<long double>(p.v) - h) * static_cast<long double>(p.u) +
+         oracle_table_bits;
+}
+
+long double claimA4_encoding_bound_bits(const core::LineParams& p, const MpcBoundParams& mp,
+                                        long double alpha, long double oracle_table_bits) {
+  return static_cast<long double>(mp.s) + alpha * (log2u(mp.q) + log2u(p.v)) +
+         (static_cast<long double>(p.v) - alpha) * static_cast<long double>(p.u) +
+         oracle_table_bits;
+}
+
+long double information_floor_bits(const core::LineParams& p, long double oracle_table_bits,
+                                   long double log2_eps) {
+  return oracle_table_bits + static_cast<long double>(p.u) * static_cast<long double>(p.v) +
+         log2_eps - 1.0L;
+}
+
+long double pointer_chasing_expected_rounds(const core::LineParams& p, long double fraction) {
+  if (fraction >= 1.0L) return 1.0L;
+  // First node is always a hit (the frontier is handed to an owner), so a
+  // round advances 1 + Geometric(1−f) nodes; E[advance] = 1/(1−f).
+  return 1.0L + (static_cast<long double>(p.w) - 1.0L) * (1.0L - fraction);
+}
+
+}  // namespace mpch::theory

@@ -1,0 +1,110 @@
+// bounds.hpp — the paper's inequalities, evaluated exactly.
+//
+// Every quantitative statement in Section 3 and Appendix A is an explicit
+// finite inequality; the asymptotic notation only enters when the authors
+// summarise. This module evaluates each bound exactly, in log2 space (the
+// raw quantities, e.g. v^{log²w}·2^{-u}, overflow any machine float), so
+// benches print `paper_bound` next to `measured` and tests can assert
+// monotonicity / crossover properties.
+//
+// Conventions: all returned probabilities are log2(probability); a value of
+// 0.0 means probability 1 (bounds are clamped — the paper's expressions can
+// exceed 1, where they are vacuous).
+#pragma once
+
+#include <cstdint>
+
+#include "core/params.hpp"
+
+namespace mpch::theory {
+
+/// Common experiment-side parameters of the MPC algorithm being bounded.
+struct MpcBoundParams {
+  std::uint64_t m = 1;  ///< machines
+  std::uint64_t q = 1;  ///< oracle queries per machine per round
+  std::uint64_t s = 1;  ///< local memory bits
+};
+
+// --------------------------------------------------------------- Section 3
+
+/// Lemma 3.3: Pr[E^(k)] <= w · v^{log²w} · (k+1) · m · q · 2^{-u}
+/// (the probability any machine guesses ahead of the chain by round k).
+long double lemma33_log2_prob(const core::LineParams& p, const MpcBoundParams& mp,
+                              std::uint64_t k);
+
+/// Lemma 3.6's denominator u − (log²w + 2)·log v − log q. Positive iff the
+/// lemma's precondition holds.
+long double lemma36_denominator(const core::LineParams& p, const MpcBoundParams& mp);
+
+/// Lemma 3.6's advance cap h = s / denominator + 1; +inf (returned as a
+/// value > v) when the precondition fails.
+long double lemma36_h(const core::LineParams& p, const MpcBoundParams& mp);
+
+/// Lemma 3.6: Pr[|B_i^{(k)}| > h ∧ not E] <= 2^{-(u − (log²w+2)log v − log q)}.
+long double lemma36_log2_prob(const core::LineParams& p, const MpcBoundParams& mp);
+
+/// Claim 3.9: Pr[|Q^{(<=k)} ∩ C^{(k+1)}| > 0] <=
+///   (k+1)·m·( (h/v)^{log²w} + w·v^{log²w}·q·2^{-u} + 2^{-(u−(log²w+2)logv−logq)} ).
+long double claim39_log2_prob(const core::LineParams& p, const MpcBoundParams& mp,
+                              std::uint64_t k);
+
+/// Lemma 3.2's success-probability bound after R = w/log²w rounds
+/// (the final display of the proof).
+long double lemma32_success_log2_prob(const core::LineParams& p, const MpcBoundParams& mp);
+
+/// Lemma 3.2's round lower bound R >= w / log²w.
+long double lemma32_round_lower_bound(const core::LineParams& p);
+
+// -------------------------------------------------------------- Appendix A
+
+/// Lemma A.2's h = s/(u − log q − log v) + 1 (the SimLine advance cap).
+long double lemmaA2_h(const core::LineParams& p, const MpcBoundParams& mp);
+
+/// Lemma A.2's round lower bound R >= w / h >= Ω(T/s).
+long double lemmaA2_round_lower_bound(const core::LineParams& p, const MpcBoundParams& mp);
+
+/// Lemma A.3 / A.6: Pr[|Q ∩ C| >= α] <= 2^{-(α(u − log q − log v) − s − 1)}.
+long double lemmaA3_log2_prob(const core::LineParams& p, const MpcBoundParams& mp,
+                              long double alpha);
+
+/// Lemma A.7: Pr[E_{j,k}] <= 2^{-u}.
+long double lemmaA7_log2_prob(const core::LineParams& p);
+
+/// Claim A.8: Pr[|Q^{(<=k)} ∩ C^{(k+1)}| > 0] <=
+///   (k+1)·(m·2^{-(u−logq−logv)} + w·m·q·2^{-u}).
+long double claimA8_log2_prob(const core::LineParams& p, const MpcBoundParams& mp,
+                              std::uint64_t k);
+
+/// Theorem A.1 success bound after w/h rounds.
+long double lemmaA2_success_log2_prob(const core::LineParams& p, const MpcBoundParams& mp);
+
+// ------------------------------------------------- encoding-length bounds
+
+/// Claim 3.7's codeword-length bound (bits):
+///   s + h((log²w + 2)log v + log q) + (v − h)u + n·2^n.
+/// `oracle_table_bits` substitutes the n·2^n term (callers pass the actual
+/// materialised table size, since tiny-n experiments use exhaustive
+/// oracles).
+long double claim37_encoding_bound_bits(const core::LineParams& p, const MpcBoundParams& mp,
+                                        long double h, long double oracle_table_bits);
+
+/// Claim A.4's codeword-length bound (bits):
+///   s + α(log q + log v) + (v − α)u + oracle_table_bits.
+long double claimA4_encoding_bound_bits(const core::LineParams& p, const MpcBoundParams& mp,
+                                        long double alpha, long double oracle_table_bits);
+
+/// Claim 3.8 / A.5's information floor: any injective encoding of a set of
+/// size |F| = eps·2^{oracle_table_bits + uv} needs max length
+/// >= oracle_table_bits + uv + log2(eps) − 1 bits.
+long double information_floor_bits(const core::LineParams& p, long double oracle_table_bits,
+                                   long double log2_eps);
+
+// ------------------------------------------------------ advance modelling
+
+/// Honest pointer-chasing round-count model: with per-machine storage
+/// fraction f, the expected per-round advance is 1/(1−f) (geometric run of
+/// local hits, >= 1), so E[rounds] ≈ 1 + (w−1)(1−f). Used as the analytic
+/// overlay for E1.
+long double pointer_chasing_expected_rounds(const core::LineParams& p, long double fraction);
+
+}  // namespace mpch::theory

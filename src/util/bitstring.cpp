@@ -1,0 +1,221 @@
+#include "util/bitstring.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace mpch::util {
+
+namespace {
+constexpr std::size_t kByteBits = 8;
+
+std::size_t bytes_for(std::size_t nbits) { return (nbits + kByteBits - 1) / kByteBits; }
+}  // namespace
+
+BitString::BitString(std::size_t nbits) : bytes_(bytes_for(nbits), 0), nbits_(nbits) {}
+
+BitString BitString::from_uint(std::uint64_t value, std::size_t nbits) {
+  if (nbits > 64) throw std::invalid_argument("BitString::from_uint: nbits > 64");
+  BitString out(nbits);
+  out.set_uint(0, nbits, value);
+  return out;
+}
+
+BitString BitString::from_binary_string(const std::string& bits) {
+  BitString out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] == '1') {
+      out.set(i, true);
+    } else if (bits[i] != '0') {
+      throw std::invalid_argument("BitString::from_binary_string: non-binary character");
+    }
+  }
+  return out;
+}
+
+BitString BitString::from_bytes(const std::vector<std::uint8_t>& bytes) {
+  BitString out(bytes.size() * kByteBits);
+  out.bytes_ = bytes;
+  return out;
+}
+
+void BitString::assert_range(std::size_t pos, std::size_t len) const {
+  if (pos + len > nbits_ || pos + len < pos) {
+    throw std::out_of_range("BitString: range [" + std::to_string(pos) + ", " +
+                            std::to_string(pos + len) + ") exceeds size " +
+                            std::to_string(nbits_));
+  }
+}
+
+bool BitString::get(std::size_t i) const {
+  assert_range(i, 1);
+  return (bytes_[i / kByteBits] >> (kByteBits - 1 - i % kByteBits)) & 1U;
+}
+
+void BitString::set(std::size_t i, bool v) {
+  assert_range(i, 1);
+  std::uint8_t mask = static_cast<std::uint8_t>(1U << (kByteBits - 1 - i % kByteBits));
+  if (v) {
+    bytes_[i / kByteBits] |= mask;
+  } else {
+    bytes_[i / kByteBits] &= static_cast<std::uint8_t>(~mask);
+  }
+}
+
+std::uint64_t BitString::get_uint(std::size_t pos, std::size_t len) const {
+  if (len > 64) throw std::invalid_argument("BitString::get_uint: len > 64");
+  assert_range(pos, len);
+  std::uint64_t out = 0;
+  // Byte-at-a-time fast path; bit loop only at the unaligned edges.
+  std::size_t i = pos;
+  std::size_t end = pos + len;
+  while (i < end && (i % kByteBits) != 0) {
+    out = (out << 1) | static_cast<std::uint64_t>(get(i));
+    ++i;
+  }
+  while (i + kByteBits <= end) {
+    out = (out << kByteBits) | bytes_[i / kByteBits];
+    i += kByteBits;
+  }
+  while (i < end) {
+    out = (out << 1) | static_cast<std::uint64_t>(get(i));
+    ++i;
+  }
+  return out;
+}
+
+void BitString::set_uint(std::size_t pos, std::size_t len, std::uint64_t value) {
+  if (len > 64) throw std::invalid_argument("BitString::set_uint: len > 64");
+  assert_range(pos, len);
+  for (std::size_t i = 0; i < len; ++i) {
+    bool bit = (value >> (len - 1 - i)) & 1ULL;
+    set(pos + i, bit);
+  }
+}
+
+BitString BitString::slice(std::size_t pos, std::size_t len) const {
+  assert_range(pos, len);
+  BitString out(len);
+  if (pos % kByteBits == 0) {
+    // Aligned fast path: straight byte copy then mask the tail.
+    std::size_t nb = bytes_for(len);
+    std::copy_n(bytes_.begin() + static_cast<std::ptrdiff_t>(pos / kByteBits), nb,
+                out.bytes_.begin());
+    out.clear_tail_slack();
+  } else {
+    for (std::size_t i = 0; i < len; ++i) out.set(i, get(pos + i));
+  }
+  return out;
+}
+
+void BitString::splice(std::size_t pos, const BitString& other) {
+  assert_range(pos, other.size());
+  for (std::size_t i = 0; i < other.size(); ++i) set(pos + i, other.get(i));
+}
+
+BitString BitString::operator+(const BitString& rhs) const {
+  BitString out(nbits_ + rhs.nbits_);
+  if (nbits_ % kByteBits == 0) {
+    std::copy(bytes_.begin(), bytes_.end(), out.bytes_.begin());
+    for (std::size_t i = 0; i < rhs.nbits_; ++i) out.set(nbits_ + i, rhs.get(i));
+  } else {
+    for (std::size_t i = 0; i < nbits_; ++i) out.set(i, get(i));
+    for (std::size_t i = 0; i < rhs.nbits_; ++i) out.set(nbits_ + i, rhs.get(i));
+  }
+  return out;
+}
+
+BitString& BitString::operator+=(const BitString& rhs) {
+  // In-place append: O(|rhs|), not O(|this| + |rhs|) — BitWriter relies on
+  // this when assembling large encodings (e.g. full oracle tables).
+  std::size_t old_bits = nbits_;
+  nbits_ += rhs.nbits_;
+  bytes_.resize(bytes_for(nbits_), 0);
+  if (old_bits % kByteBits == 0) {
+    std::copy(rhs.bytes_.begin(), rhs.bytes_.end(),
+              bytes_.begin() + static_cast<std::ptrdiff_t>(old_bits / kByteBits));
+    clear_tail_slack();
+  } else {
+    for (std::size_t i = 0; i < rhs.nbits_; ++i) set(old_bits + i, rhs.get(i));
+  }
+  return *this;
+}
+
+void BitString::pad_zeros(std::size_t len) {
+  nbits_ += len;
+  bytes_.resize(bytes_for(nbits_), 0);
+}
+
+void BitString::truncate(std::size_t len) {
+  if (len > nbits_) throw std::out_of_range("BitString::truncate: len > size()");
+  nbits_ = len;
+  bytes_.resize(bytes_for(nbits_));
+  clear_tail_slack();
+}
+
+BitString BitString::operator^(const BitString& rhs) const {
+  if (nbits_ != rhs.nbits_) throw std::invalid_argument("BitString::operator^: length mismatch");
+  BitString out(nbits_);
+  for (std::size_t i = 0; i < bytes_.size(); ++i) out.bytes_[i] = bytes_[i] ^ rhs.bytes_[i];
+  return out;
+}
+
+bool BitString::operator==(const BitString& rhs) const {
+  return nbits_ == rhs.nbits_ && bytes_ == rhs.bytes_;
+}
+
+bool BitString::operator<(const BitString& rhs) const {
+  if (nbits_ != rhs.nbits_) return nbits_ < rhs.nbits_;
+  return bytes_ < rhs.bytes_;
+}
+
+std::size_t BitString::popcount() const {
+  std::size_t count = 0;
+  for (std::uint8_t b : bytes_) count += static_cast<std::size_t>(std::popcount(b));
+  return count;
+}
+
+std::string BitString::to_binary_string() const {
+  std::string out;
+  out.reserve(nbits_);
+  for (std::size_t i = 0; i < nbits_; ++i) out.push_back(get(i) ? '1' : '0');
+  return out;
+}
+
+std::string BitString::to_hex_string() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  std::size_t nibbles = (nbits_ + 3) / 4;
+  out.reserve(nibbles);
+  for (std::size_t i = 0; i < nibbles; ++i) {
+    std::size_t pos = i * 4;
+    std::size_t len = std::min<std::size_t>(4, nbits_ - pos);
+    std::uint64_t val = get_uint(pos, len) << (4 - len);
+    out.push_back(kHex[val & 0xF]);
+  }
+  return out;
+}
+
+std::uint64_t BitString::hash() const {
+  // FNV-1a over (length, bytes). Tail slack is zeroed by invariant, so the
+  // byte buffer is canonical.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  };
+  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(nbits_ >> (i * 8)));
+  for (std::uint8_t b : bytes_) mix(b);
+  return h;
+}
+
+void BitString::clear_tail_slack() {
+  if (nbits_ % kByteBits != 0 && !bytes_.empty()) {
+    std::size_t used = nbits_ % kByteBits;
+    std::uint8_t mask = static_cast<std::uint8_t>(0xFFU << (kByteBits - used));
+    bytes_.back() &= mask;
+  }
+}
+
+}  // namespace mpch::util

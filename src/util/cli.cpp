@@ -1,0 +1,62 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace mpch::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) throw std::invalid_argument("CliArgs: bare '--'");
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";  // boolean flag
+    }
+  }
+}
+
+std::string CliArgs::get_string(const std::string& name, const std::string& fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::uint64_t CliArgs::get_u64(const std::string& name, std::uint64_t fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stoull(it->second);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> CliArgs::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace mpch::util

@@ -1,0 +1,41 @@
+// cli.hpp — minimal flag parsing for example/bench binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--flag`. Unknown
+// flags are an error (typos in experiment sweeps should fail loudly, not
+// silently run the default).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mpch::util {
+
+class CliArgs {
+ public:
+  /// Parse argv; throws std::invalid_argument on malformed input.
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const { return values_.count(name) != 0; }
+
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names that were provided but never queried — call at the end of main to
+  /// reject typos.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mpch::util

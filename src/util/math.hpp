@@ -1,0 +1,72 @@
+// math.hpp — integer/log-space helpers shared by the parameter derivations
+// (Table 3) and the exact bound calculators (src/theory).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace mpch::util {
+
+/// ceil(log2(x)) for x >= 1; the paper's ⌈log v⌉ bit widths.
+constexpr std::uint64_t ceil_log2(std::uint64_t x) {
+  if (x == 0) throw std::invalid_argument("ceil_log2(0)");
+  std::uint64_t bits = 0;
+  std::uint64_t v = x - 1;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits == 0 ? 1 : bits;  // convention: indices over [1] still take 1 bit
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::uint64_t floor_log2(std::uint64_t x) {
+  if (x == 0) throw std::invalid_argument("floor_log2(0)");
+  std::uint64_t bits = 0;
+  while (x > 1) {
+    ++bits;
+    x >>= 1;
+  }
+  return bits;
+}
+
+/// Exact ceiling division for non-negative integers.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  if (b == 0) throw std::invalid_argument("ceil_div by zero");
+  return (a + b - 1) / b;
+}
+
+/// Is x a power of two (x >= 1)?
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// log2 as a real number (long double) — the currency of src/theory, where
+/// probabilities like v^{log^2 w} * 2^{-u} overflow any fixed-width float if
+/// evaluated directly.
+inline long double log2l_of(long double x) { return std::log2(x); }
+
+/// Numerically stable log2(2^a + 2^b): the "union bound" addition in
+/// log-space.
+inline long double log2_add(long double a, long double b) {
+  if (std::isinf(a) && a < 0) return b;
+  if (std::isinf(b) && b < 0) return a;
+  long double hi = a > b ? a : b;
+  long double lo = a > b ? b : a;
+  return hi + std::log2(1.0L + std::exp2(lo - hi));
+}
+
+/// Clamp a log2-probability to at most 0 (probability 1).
+inline long double clamp_log2_prob(long double lp) { return lp > 0.0L ? 0.0L : lp; }
+
+/// Saturating integer exponentiation base^e, capped at cap.
+constexpr std::uint64_t pow_sat(std::uint64_t base, std::uint64_t e, std::uint64_t cap) {
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 0; i < e; ++i) {
+    if (base != 0 && r > cap / base) return cap;
+    r *= base;
+    if (r >= cap) return cap;
+  }
+  return r;
+}
+
+}  // namespace mpch::util

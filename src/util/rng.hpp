@@ -1,0 +1,91 @@
+// rng.hpp — deterministic, splittable pseudo-randomness for simulations.
+//
+// Everything in the library that needs randomness (oracle sampling, input
+// generation, Monte-Carlo trials) takes an explicit Rng so runs are exactly
+// reproducible from a seed. The generator is xoshiro256**, seeded through
+// SplitMix64 per the reference recommendation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace mpch::util {
+
+/// SplitMix64 — used to expand seeds and derive independent substreams.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** — fast, high-quality, 256-bit state PRNG.
+/// Satisfies UniformRandomBitGenerator so it can drive <random> distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDED5EEDED5EEDULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method fallback to
+  /// rejection for exactness).
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling over the largest multiple of bound.
+    std::uint64_t threshold = (0 - bound) % bound;  // == 2^64 mod bound
+    for (;;) {
+      std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  bool next_bool() { return (next_u64() >> 63) != 0; }
+
+  /// Derive an independent child generator (for thread-parallel trials).
+  Rng split() {
+    // Fold the whole state through SplitMix so children of successive splits
+    // are decorrelated from the parent's future output stream.
+    SplitMix64 sm(next_u64() ^ 0xA5A5A5A5DEADBEEFULL);
+    Rng child(sm.next());
+    return child;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mpch::util

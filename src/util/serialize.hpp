@@ -1,0 +1,79 @@
+// serialize.hpp — byte/bit-level writer and reader used by the compression
+// argument (src/compress). The proof's Enc/Dec schemes are literal encodings
+// whose *length in bits* is the whole point, so the writer tracks bit-exact
+// sizes and supports fixed-width fields like "log q bits for a query index".
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/bitstring.hpp"
+
+namespace mpch::util {
+
+/// Appends fixed-width fields into a growing BitString.
+class BitWriter {
+ public:
+  /// Append the low `width` bits of `value` (width <= 64).
+  void write_uint(std::uint64_t value, std::size_t width) {
+    if (width > 64) throw std::invalid_argument("BitWriter::write_uint: width > 64");
+    if (width < 64 && value >> width != 0) {
+      throw std::invalid_argument("BitWriter::write_uint: value does not fit width");
+    }
+    buffer_.pad_zeros(width);
+    buffer_.set_uint(buffer_.size() - width, width, value);
+  }
+
+  void write_bits(const BitString& bits) { buffer_ += bits; }
+
+  void write_bool(bool b) { write_uint(b ? 1 : 0, 1); }
+
+  std::size_t bit_count() const { return buffer_.size(); }
+  const BitString& bits() const { return buffer_; }
+  BitString take() { return std::move(buffer_); }
+
+ private:
+  BitString buffer_;
+};
+
+/// Sequentially consumes fixed-width fields from a BitString.
+class BitReader {
+ public:
+  explicit BitReader(BitString bits) : bits_(std::move(bits)) {}
+
+  std::uint64_t read_uint(std::size_t width) {
+    check(width);
+    std::uint64_t v = bits_.get_uint(pos_, width);
+    pos_ += width;
+    return v;
+  }
+
+  BitString read_bits(std::size_t len) {
+    check(len);
+    BitString v = bits_.slice(pos_, len);
+    pos_ += len;
+    return v;
+  }
+
+  bool read_bool() { return read_uint(1) != 0; }
+
+  std::size_t remaining() const { return bits_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == bits_.size(); }
+
+ private:
+  void check(std::size_t len) const {
+    if (pos_ + len > bits_.size()) {
+      throw std::out_of_range("BitReader: read past end (pos=" + std::to_string(pos_) +
+                              " len=" + std::to_string(len) +
+                              " size=" + std::to_string(bits_.size()) + ")");
+    }
+  }
+
+  BitString bits_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mpch::util

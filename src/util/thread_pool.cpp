@@ -1,0 +1,67 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mpch::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t total, const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+    std::size_t chunks) {
+  if (total == 0) return;
+  if (chunks == 0) chunks = thread_count() * 4;
+  chunks = std::min(chunks, total);
+  std::size_t per = total / chunks;
+  std::size_t extra = total % chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::size_t len = per + (c < extra ? 1 : 0);
+    std::size_t end = begin + len;
+    futures.push_back(submit([&body, c, begin, end] { body(c, begin, end); }));
+    begin = end;
+  }
+  for (auto& f : futures) f.get();
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mpch::util

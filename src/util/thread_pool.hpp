@@ -1,0 +1,65 @@
+// thread_pool.hpp — a small fixed-size worker pool for Monte-Carlo trials.
+//
+// The statistics layer needs to run millions of independent trials (e.g. the
+// 2^-u guessing experiments of Lemma 3.3/A.7); the pool gives near-linear
+// speedup while keeping determinism: work is partitioned into ordered chunks
+// and each chunk derives its own Rng substream, so results are independent of
+// thread scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mpch::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue a nullary task; returns a future for its completion.
+  template <typename Fn>
+  std::future<void> submit(Fn&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<Fn>(fn));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run `body(chunk_index, begin, end)` over [0, total) split into
+  /// roughly-equal contiguous chunks, one task per chunk, and wait for all.
+  /// `chunks == 0` defaults to 4x the thread count for load balance.
+  void parallel_chunks(std::size_t total,
+                       const std::function<void(std::size_t, std::size_t, std::size_t)>& body,
+                       std::size_t chunks = 0);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool for benches/tests that don't want to manage lifetime.
+ThreadPool& global_pool();
+
+}  // namespace mpch::util

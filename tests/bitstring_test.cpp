@@ -1,0 +1,204 @@
+#include "util/bitstring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mpch::util {
+namespace {
+
+TEST(BitString, DefaultIsEmpty) {
+  BitString b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BitString, ZeroInitialised) {
+  BitString b(17);
+  EXPECT_EQ(b.size(), 17u);
+  for (std::size_t i = 0; i < 17; ++i) EXPECT_FALSE(b.get(i)) << i;
+  EXPECT_EQ(b.popcount(), 0u);
+}
+
+TEST(BitString, SetAndGet) {
+  BitString b(10);
+  b.set(0, true);
+  b.set(9, true);
+  b.set(4, true);
+  EXPECT_TRUE(b.get(0));
+  EXPECT_TRUE(b.get(4));
+  EXPECT_TRUE(b.get(9));
+  EXPECT_FALSE(b.get(1));
+  EXPECT_EQ(b.popcount(), 3u);
+  b.set(4, false);
+  EXPECT_FALSE(b.get(4));
+  EXPECT_EQ(b.popcount(), 2u);
+}
+
+TEST(BitString, FromUintMsbFirst) {
+  BitString b = BitString::from_uint(0b1011, 4);
+  EXPECT_TRUE(b.get(0));
+  EXPECT_FALSE(b.get(1));
+  EXPECT_TRUE(b.get(2));
+  EXPECT_TRUE(b.get(3));
+  EXPECT_EQ(b.to_binary_string(), "1011");
+}
+
+TEST(BitString, FromUintRejectsWideWidth) {
+  EXPECT_THROW(BitString::from_uint(0, 65), std::invalid_argument);
+}
+
+TEST(BitString, BinaryStringRoundTrip) {
+  const std::string s = "110100100010111010001";
+  BitString b = BitString::from_binary_string(s);
+  EXPECT_EQ(b.size(), s.size());
+  EXPECT_EQ(b.to_binary_string(), s);
+}
+
+TEST(BitString, BinaryStringRejectsGarbage) {
+  EXPECT_THROW(BitString::from_binary_string("01x"), std::invalid_argument);
+}
+
+TEST(BitString, GetUintSetUintRoundTrip) {
+  BitString b(100);
+  b.set_uint(3, 40, 0xABCDEF1234ULL);
+  EXPECT_EQ(b.get_uint(3, 40), 0xABCDEF1234ULL);
+  // Neighbouring bits untouched.
+  EXPECT_FALSE(b.get(0));
+  EXPECT_FALSE(b.get(1));
+  EXPECT_FALSE(b.get(2));
+  EXPECT_FALSE(b.get(43));
+}
+
+TEST(BitString, GetUint64Full) {
+  BitString b(64);
+  b.set_uint(0, 64, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(b.get_uint(0, 64), 0xDEADBEEFCAFEF00DULL);
+}
+
+TEST(BitString, GetUintOutOfRangeThrows) {
+  BitString b(10);
+  EXPECT_THROW(b.get_uint(5, 6), std::out_of_range);
+  EXPECT_THROW(b.get(10), std::out_of_range);
+}
+
+TEST(BitString, SliceAlignedAndUnaligned) {
+  BitString b = BitString::from_binary_string("1101001000101110");
+  EXPECT_EQ(b.slice(0, 8).to_binary_string(), "11010010");
+  EXPECT_EQ(b.slice(8, 8).to_binary_string(), "00101110");
+  EXPECT_EQ(b.slice(3, 7).to_binary_string(), "1001000");
+  EXPECT_EQ(b.slice(15, 1).to_binary_string(), "0");
+  EXPECT_EQ(b.slice(0, 0).size(), 0u);
+}
+
+TEST(BitString, SpliceOverwrites) {
+  BitString b(12);
+  b.splice(4, BitString::from_binary_string("1111"));
+  EXPECT_EQ(b.to_binary_string(), "000011110000");
+}
+
+TEST(BitString, Concatenation) {
+  BitString a = BitString::from_binary_string("101");
+  BitString b = BitString::from_binary_string("0110");
+  EXPECT_EQ((a + b).to_binary_string(), "1010110");
+  a += b;
+  EXPECT_EQ(a.to_binary_string(), "1010110");
+}
+
+TEST(BitString, PadZerosAndTruncate) {
+  BitString b = BitString::from_binary_string("11");
+  b.pad_zeros(3);
+  EXPECT_EQ(b.to_binary_string(), "11000");
+  b.truncate(2);
+  EXPECT_EQ(b.to_binary_string(), "11");
+  EXPECT_THROW(b.truncate(5), std::out_of_range);
+}
+
+TEST(BitString, XorAndLengthMismatch) {
+  BitString a = BitString::from_binary_string("1100");
+  BitString b = BitString::from_binary_string("1010");
+  EXPECT_EQ((a ^ b).to_binary_string(), "0110");
+  EXPECT_THROW(a ^ BitString::from_binary_string("10"), std::invalid_argument);
+}
+
+TEST(BitString, EqualityRespectsLength) {
+  BitString a = BitString::from_binary_string("10");
+  BitString b = BitString::from_binary_string("100");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, BitString::from_binary_string("10"));
+}
+
+TEST(BitString, OrderingByLengthThenBits) {
+  EXPECT_LT(BitString::from_binary_string("11"), BitString::from_binary_string("000"));
+  EXPECT_LT(BitString::from_binary_string("01"), BitString::from_binary_string("10"));
+}
+
+TEST(BitString, TruncateCanonicalisesTailForEquality) {
+  // Set a bit, then truncate it away: must equal the all-zero string.
+  BitString a(10);
+  a.set(9, true);
+  a.truncate(9);
+  EXPECT_EQ(a, BitString(9));
+  EXPECT_EQ(a.hash(), BitString(9).hash());
+}
+
+TEST(BitString, HexString) {
+  EXPECT_EQ(BitString::from_binary_string("10100001").to_hex_string(), "a1");
+  // Non-nibble lengths pad on the right for display.
+  EXPECT_EQ(BitString::from_binary_string("101").to_hex_string(), "a");
+}
+
+TEST(BitString, HashDiffersAcrossValues) {
+  BitString a = BitString::from_binary_string("1010");
+  BitString b = BitString::from_binary_string("1011");
+  BitString c = BitString::from_binary_string("10100");
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+}
+
+TEST(BitString, RandomHasRequestedLengthAndVariation) {
+  Rng rng(7);
+  BitString a = BitString::random(131, [&] { return rng.next_u64(); });
+  BitString b = BitString::random(131, [&] { return rng.next_u64(); });
+  EXPECT_EQ(a.size(), 131u);
+  EXPECT_NE(a, b);
+  // A uniform 131-bit string has ~65 set bits; allow a generous window.
+  EXPECT_GT(a.popcount(), 30u);
+  EXPECT_LT(a.popcount(), 100u);
+}
+
+TEST(BitString, FromBytes) {
+  BitString b = BitString::from_bytes({0xFF, 0x00, 0xA5});
+  EXPECT_EQ(b.size(), 24u);
+  EXPECT_EQ(b.get_uint(0, 8), 0xFFu);
+  EXPECT_EQ(b.get_uint(16, 8), 0xA5u);
+}
+
+// Property sweep: set_uint/get_uint round-trips across widths and offsets.
+class BitStringWidthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitStringWidthTest, UintRoundTripAtManyOffsets) {
+  std::size_t width = GetParam();
+  Rng rng(width * 977 + 13);
+  for (std::size_t offset : {0UL, 1UL, 7UL, 8UL, 9UL, 63UL, 64UL, 65UL}) {
+    BitString b(offset + width + 17);
+    std::uint64_t value = rng.next_u64();
+    if (width < 64) value &= (1ULL << width) - 1;
+    b.set_uint(offset, width, value);
+    EXPECT_EQ(b.get_uint(offset, width), value) << "width=" << width << " offset=" << offset;
+  }
+}
+
+TEST_P(BitStringWidthTest, SliceConcatIdentity) {
+  std::size_t width = GetParam();
+  Rng rng(width);
+  BitString b = BitString::random(width + 37, [&] { return rng.next_u64(); });
+  BitString rebuilt = b.slice(0, width) + b.slice(width, 37);
+  EXPECT_EQ(rebuilt, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitStringWidthTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64));
+
+}  // namespace
+}  // namespace mpch::util

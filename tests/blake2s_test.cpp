@@ -1,0 +1,88 @@
+#include "hash/blake2s.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpch::hash {
+namespace {
+
+// RFC 7693 Appendix B test vector: BLAKE2s-256("abc").
+TEST(Blake2s, RfcAbcVector) {
+  EXPECT_EQ(Blake2s::to_hex(Blake2s::hash(std::string("abc"))),
+            "508c5e8c327c14e2e1a72ba34eeb452f37458b209ed63a294d999b4c86675982");
+}
+
+// Known-answer vectors from the reference implementation (unkeyed).
+TEST(Blake2s, EmptyString) {
+  EXPECT_EQ(Blake2s::to_hex(Blake2s::hash(std::string(""))),
+            "69217a3079908094e11121d042354a7c1f55b6482ca1a51e1b250dfd1ed0eef9");
+}
+
+TEST(Blake2s, ExactBlockBoundary) {
+  std::string msg(64, 'x');
+  auto once = Blake2s::hash(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size());
+  Blake2s h;
+  h.update(msg.substr(0, 10));
+  h.update(msg.substr(10));
+  EXPECT_EQ(h.digest(), once);
+}
+
+TEST(Blake2s, MultiBlockIncrementalMatchesOneShot) {
+  std::string msg(300, 'q');
+  for (char& c : msg) c = static_cast<char>('a' + (&c - msg.data()) % 26);
+  auto once = Blake2s::hash(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size());
+  for (std::size_t split : {1UL, 63UL, 64UL, 65UL, 128UL, 299UL}) {
+    Blake2s h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.digest(), once) << "split=" << split;
+  }
+}
+
+TEST(Blake2s, ResetReuse) {
+  Blake2s h;
+  h.update(std::string("abc"));
+  auto d1 = h.digest();
+  h.reset();
+  h.update(std::string("abc"));
+  EXPECT_EQ(h.digest(), d1);
+  EXPECT_THROW(h.update(std::string("x")), std::logic_error);
+}
+
+TEST(Blake2s, DistinctFromSha256) {
+  // Different functions entirely.
+  auto b = Blake2s::hash(std::string("abc"));
+  EXPECT_NE(Blake2s::to_hex(b),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Blake2sExpand, DeterministicPrefixProperty) {
+  std::vector<std::uint8_t> prefix = {9, 8, 7};
+  auto a = blake2s_expand(prefix, 500);
+  auto b = blake2s_expand(prefix, 500);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 500u);
+  EXPECT_EQ(a.slice(0, 100), blake2s_expand(prefix, 100));
+  EXPECT_NE(a, blake2s_expand({9, 8, 6}, 500));
+}
+
+TEST(Blake2sOracle, FunctionalAndDistinctFromSha) {
+  Blake2sOracle b2(32, 64);
+  Sha256Oracle sha(32, 64);
+  util::BitString x = util::BitString::from_uint(0x1234, 32);
+  EXPECT_EQ(b2.query(x), b2.query(x));
+  EXPECT_NE(b2.query(x), sha.query(x));
+  EXPECT_EQ(b2.query(x).size(), 64u);
+  EXPECT_THROW(b2.query(util::BitString::from_uint(1, 16)), std::invalid_argument);
+}
+
+TEST(Blake2sOracle, OutputBitBalance) {
+  Blake2sOracle b2(24, 64);
+  std::uint64_t ones = 0;
+  const int kQ = 2000;
+  for (int i = 0; i < kQ; ++i) ones += b2.query(util::BitString::from_uint(i, 24)).popcount();
+  double frac = static_cast<double>(ones) / (64.0 * kQ);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace mpch::hash

@@ -1,0 +1,139 @@
+#include "strategies/block_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mpch::strategies {
+namespace {
+
+using util::BitString;
+
+core::LineParams params() { return core::LineParams::make(64, 16, 8, 100); }
+
+TEST(BlockSet, AddFindContains) {
+  core::LineParams p = params();
+  BlockSet set(p);
+  BitString x = BitString::from_uint(0xABCD, 16);
+  set.add(3, x);
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_FALSE(set.contains(4));
+  ASSERT_NE(set.find(3), nullptr);
+  EXPECT_EQ(*set.find(3), x);
+  EXPECT_EQ(set.find(4), nullptr);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(BlockSet, RejectsBadIndexOrWidth) {
+  core::LineParams p = params();
+  BlockSet set(p);
+  EXPECT_THROW(set.add(0, BitString(16)), std::out_of_range);
+  EXPECT_THROW(set.add(9, BitString(16)), std::out_of_range);
+  EXPECT_THROW(set.add(1, BitString(15)), std::invalid_argument);
+}
+
+TEST(BlockSet, EncodeDecodeRoundTrip) {
+  core::LineParams p = params();
+  util::Rng rng(1);
+  BlockSet set(p);
+  for (std::uint64_t b : {7, 2, 5}) {
+    set.add(b, BitString::random(p.u, [&] { return rng.next_u64(); }));
+  }
+  BitString wire = set.encode();
+  EXPECT_EQ(wire.size(), BlockSet::encoded_bits(p, 3));
+  BlockSet decoded = BlockSet::decode(p, wire);
+  EXPECT_EQ(decoded.size(), 3u);
+  for (std::uint64_t b : {7, 2, 5}) {
+    ASSERT_TRUE(decoded.contains(b));
+    EXPECT_EQ(*decoded.find(b), *set.find(b));
+  }
+}
+
+TEST(BlockSet, EmptyEncode) {
+  core::LineParams p = params();
+  BlockSet set(p);
+  BlockSet decoded = BlockSet::decode(p, set.encode());
+  EXPECT_EQ(decoded.size(), 0u);
+}
+
+TEST(BlockSet, IndicesSorted) {
+  core::LineParams p = params();
+  BlockSet set(p);
+  for (std::uint64_t b : {6, 1, 4}) set.add(b, util::BitString(p.u));
+  EXPECT_EQ(set.indices(), (std::vector<std::uint64_t>{1, 4, 6}));
+}
+
+TEST(Frontier, EncodeDecodeRoundTrip) {
+  core::LineParams p = params();
+  util::Rng rng(2);
+  Frontier f;
+  f.next_index = 57;
+  f.ell = 6;
+  f.r = BitString::random(p.u, [&] { return rng.next_u64(); });
+  BitString wire = f.encode(p);
+  EXPECT_EQ(wire.size(), Frontier::encoded_bits(p));
+  Frontier decoded = Frontier::decode(p, wire);
+  EXPECT_EQ(decoded.next_index, 57u);
+  EXPECT_EQ(decoded.ell, 6u);
+  EXPECT_EQ(decoded.r, f.r);
+}
+
+TEST(OwnershipPlan, RoundRobinCoversAllBlocks) {
+  core::LineParams p = params();
+  OwnershipPlan plan = OwnershipPlan::round_robin(p, 3);
+  EXPECT_EQ(plan.machines(), 3u);
+  std::uint64_t total = 0;
+  for (std::uint64_t j = 0; j < 3; ++j) total += plan.owned_by(j).size();
+  EXPECT_EQ(total, p.v);
+  for (std::uint64_t b = 1; b <= p.v; ++b) {
+    auto owner = plan.owner_of(b);
+    ASSERT_TRUE(owner.has_value()) << b;
+    // The declared owner really owns the block.
+    const auto& owned = plan.owned_by(*owner);
+    EXPECT_NE(std::find(owned.begin(), owned.end(), b), owned.end());
+  }
+}
+
+TEST(OwnershipPlan, WindowsAreContiguous) {
+  core::LineParams p = params();  // v = 8
+  OwnershipPlan plan = OwnershipPlan::windows(p, 2, 3);
+  // Windows: [1..3]->m0, [4..6]->m1, [7..8]->m0.
+  EXPECT_EQ(plan.owned_by(0), (std::vector<std::uint64_t>{1, 2, 3, 7, 8}));
+  EXPECT_EQ(plan.owned_by(1), (std::vector<std::uint64_t>{4, 5, 6}));
+}
+
+TEST(OwnershipPlan, ReplicatedIncreasesPerMachineFraction) {
+  core::LineParams p = params();
+  OwnershipPlan plan = OwnershipPlan::replicated(p, 4, 6);
+  for (std::uint64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(plan.owned_by(j).size(), 6u) << j;
+  }
+  // Coverage: every block has some owner (6 per machine, stride v/m = 2).
+  for (std::uint64_t b = 1; b <= p.v; ++b) {
+    EXPECT_TRUE(plan.owner_of(b).has_value()) << b;
+  }
+}
+
+TEST(OwnershipPlan, ReplicatedClampsToV) {
+  core::LineParams p = params();
+  OwnershipPlan plan = OwnershipPlan::replicated(p, 2, 100);
+  EXPECT_EQ(plan.owned_by(0).size(), p.v);
+  EXPECT_EQ(plan.max_owned(), p.v);
+}
+
+TEST(OwnershipPlan, ReplicatedRejectsUncoverablePlans) {
+  core::LineParams p = core::LineParams::make(64, 16, 64, 100);  // v = 64
+  // 8 machines x 4 blocks = 32 < 64: coverage impossible.
+  EXPECT_THROW(OwnershipPlan::replicated(p, 8, 4), std::invalid_argument);
+  // 16 machines x 4 = 64 with stride 4: exactly covers.
+  EXPECT_NO_THROW(OwnershipPlan::replicated(p, 16, 4));
+}
+
+TEST(OwnershipPlan, MaxOwned) {
+  core::LineParams p = params();
+  OwnershipPlan plan = OwnershipPlan::round_robin(p, 3);
+  EXPECT_EQ(plan.max_owned(), 3u);  // ceil(8/3)
+}
+
+}  // namespace
+}  // namespace mpch::strategies

@@ -1,0 +1,73 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpch::util {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, EqualsForm) {
+  CliArgs args = make({"--w=128", "--name=test"});
+  EXPECT_EQ(args.get_u64("w", 0), 128u);
+  EXPECT_EQ(args.get_string("name", ""), "test");
+}
+
+TEST(CliArgs, SpaceForm) {
+  CliArgs args = make({"--w", "64"});
+  EXPECT_EQ(args.get_u64("w", 0), 64u);
+}
+
+TEST(CliArgs, BooleanFlag) {
+  CliArgs args = make({"--csv"});
+  EXPECT_TRUE(args.get_bool("csv", false));
+  EXPECT_FALSE(args.get_bool("other", false));
+}
+
+TEST(CliArgs, FallbacksUsed) {
+  CliArgs args = make({});
+  EXPECT_EQ(args.get_u64("missing", 7), 7u);
+  EXPECT_EQ(args.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(args.get_string("missing", "dflt"), "dflt");
+}
+
+TEST(CliArgs, PositionalCollected) {
+  CliArgs args = make({"file1", "--flag", "file2"});
+  // "file2" follows a flag without '=', so it binds as its value.
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "file1");
+  EXPECT_EQ(args.get_string("flag", ""), "file2");
+}
+
+TEST(CliArgs, UnusedDetectsTypos) {
+  CliArgs args = make({"--used=1", "--typo=2"});
+  args.get_u64("used", 0);
+  auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(CliArgs, DoubleParsing) {
+  CliArgs args = make({"--frac=0.75"});
+  EXPECT_DOUBLE_EQ(args.get_double("frac", 0), 0.75);
+}
+
+TEST(CliArgs, BoolVariants) {
+  CliArgs args = make({"--a=true", "--b=1", "--c=yes", "--d=no"});
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_TRUE(args.get_bool("b", false));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(CliArgs, RejectsBareDashes) {
+  std::vector<const char*> argv{"prog", "--"};
+  EXPECT_THROW(CliArgs(2, argv.data()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpch::util

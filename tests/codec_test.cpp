@@ -1,0 +1,153 @@
+#include "core/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mpch::core {
+namespace {
+
+using util::BitString;
+
+LineParams small_params() { return LineParams::make(64, 16, 8, 100); }
+
+TEST(LineCodec, QueryRoundTrip) {
+  LineParams p = small_params();
+  LineCodec codec(p);
+  util::Rng rng(1);
+  BitString x = BitString::random(p.u, [&] { return rng.next_u64(); });
+  BitString r = BitString::random(p.u, [&] { return rng.next_u64(); });
+  BitString q = codec.encode_query(37, x, r);
+  EXPECT_EQ(q.size(), p.n);
+
+  bool pad_ok = false;
+  LineQuery parsed = codec.decode_query(q, &pad_ok);
+  EXPECT_EQ(parsed.index, 37u);
+  EXPECT_EQ(parsed.x, x);
+  EXPECT_EQ(parsed.r, r);
+  EXPECT_TRUE(pad_ok);
+}
+
+TEST(LineCodec, PaddingViolationDetected) {
+  LineParams p = small_params();
+  LineCodec codec(p);
+  BitString q = codec.encode_query(1, BitString(p.u), BitString(p.u));
+  q.set(p.n - 1, true);  // corrupt the 0* padding
+  bool pad_ok = true;
+  codec.decode_query(q, &pad_ok);
+  EXPECT_FALSE(pad_ok);
+}
+
+TEST(LineCodec, RejectsIndexOutOfRange) {
+  LineParams p = small_params();
+  LineCodec codec(p);
+  BitString x(p.u), r(p.u);
+  EXPECT_THROW(codec.encode_query(0, x, r), std::invalid_argument);
+  EXPECT_THROW(codec.encode_query(p.w + 2, x, r), std::invalid_argument);
+  EXPECT_NO_THROW(codec.encode_query(p.w + 1, x, r));  // the final answer index
+}
+
+TEST(LineCodec, RejectsWrongFieldWidths) {
+  LineParams p = small_params();
+  LineCodec codec(p);
+  EXPECT_THROW(codec.encode_query(1, BitString(p.u - 1), BitString(p.u)), std::invalid_argument);
+  EXPECT_THROW(codec.encode_query(1, BitString(p.u), BitString(p.u + 1)), std::invalid_argument);
+  EXPECT_THROW(codec.decode_answer(BitString(p.n - 1)), std::invalid_argument);
+}
+
+TEST(LineCodec, AnswerRoundTrip) {
+  LineParams p = small_params();
+  LineCodec codec(p);
+  util::Rng rng(3);
+  BitString r = BitString::random(p.u, [&] { return rng.next_u64(); });
+  BitString z = BitString::random(p.z_bits(), [&] { return rng.next_u64(); });
+  BitString a = codec.encode_answer(5, r, z);
+  LineAnswer parsed = codec.decode_answer(a);
+  EXPECT_EQ(parsed.ell, 5u + 1u);  // field 5 maps to block 6 (mod-v + 1)
+  EXPECT_EQ(parsed.r, r);
+  EXPECT_EQ(parsed.z, z);
+}
+
+TEST(LineCodec, EllMappingCoversFullRangeForPow2V) {
+  LineParams p = small_params();  // v = 8 = 2^3, ell_bits = 4 (ceil_log2(9))
+  LineCodec codec(p);
+  // All 16 field values map into [1, 8], each hit exactly twice.
+  std::vector<int> hits(p.v + 1, 0);
+  for (std::uint64_t f = 0; f < (1ULL << p.ell_bits); ++f) {
+    BitString a = codec.encode_answer(f, BitString(p.u), BitString(p.z_bits()));
+    LineAnswer parsed = codec.decode_answer(a);
+    ASSERT_GE(parsed.ell, 1u);
+    ASSERT_LE(parsed.ell, p.v);
+    ++hits[parsed.ell];
+  }
+  for (std::uint64_t b = 1; b <= p.v; ++b) EXPECT_EQ(hits[b], 2) << b;
+}
+
+TEST(LineCodec, DistinctQueriesDistinctEncodings) {
+  LineParams p = small_params();
+  LineCodec codec(p);
+  BitString x1 = BitString::from_uint(1, p.u);
+  BitString x2 = BitString::from_uint(2, p.u);
+  BitString r(p.u);
+  EXPECT_NE(codec.encode_query(1, x1, r), codec.encode_query(1, x2, r));
+  EXPECT_NE(codec.encode_query(1, x1, r), codec.encode_query(2, x1, r));
+}
+
+TEST(SimLineCodec, QueryRoundTrip) {
+  LineParams p = small_params();
+  SimLineCodec codec(p);
+  util::Rng rng(5);
+  BitString x = BitString::random(p.u, [&] { return rng.next_u64(); });
+  BitString r = BitString::random(p.u, [&] { return rng.next_u64(); });
+  BitString q = codec.encode_query(x, r);
+  EXPECT_EQ(q.size(), p.n);
+  bool pad_ok = false;
+  SimLineQuery parsed = codec.decode_query(q, &pad_ok);
+  EXPECT_EQ(parsed.x, x);
+  EXPECT_EQ(parsed.r, r);
+  EXPECT_TRUE(pad_ok);
+}
+
+TEST(SimLineCodec, AnswerSplit) {
+  LineParams p = small_params();
+  SimLineCodec codec(p);
+  util::Rng rng(6);
+  BitString ans = BitString::random(p.n, [&] { return rng.next_u64(); });
+  SimLineAnswer parsed = codec.decode_answer(ans);
+  EXPECT_EQ(parsed.r, ans.slice(0, p.u));
+  EXPECT_EQ(parsed.z, ans.slice(p.u, p.n - p.u));
+}
+
+TEST(SimLineCodec, RejectsTooNarrowOracle) {
+  // 2u > n must be rejected.
+  LineParams p = LineParams::make(64, 16, 8, 100);
+  p.u = 40;  // tamper to simulate a bad configuration
+  EXPECT_THROW(SimLineCodec{p}, std::invalid_argument);
+}
+
+// Property: encode/decode identity across parameter combinations.
+class CodecSweepTest : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(CodecSweepTest, LineQueryIdentity) {
+  auto [u, v] = GetParam();
+  LineParams p = LineParams::make(3 * u + 16, u, v, 50);
+  LineCodec codec(p);
+  util::Rng rng(u * 31 + v);
+  for (int i = 0; i < 20; ++i) {
+    std::uint64_t idx = 1 + rng.next_below(p.w);
+    BitString x = BitString::random(p.u, [&] { return rng.next_u64(); });
+    BitString r = BitString::random(p.u, [&] { return rng.next_u64(); });
+    LineQuery parsed = codec.decode_query(codec.encode_query(idx, x, r));
+    EXPECT_EQ(parsed.index, idx);
+    EXPECT_EQ(parsed.x, x);
+    EXPECT_EQ(parsed.r, r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CodecSweepTest,
+                         ::testing::Combine(::testing::Values(4, 8, 17, 32),
+                                            ::testing::Values(2, 5, 8, 64)));
+
+}  // namespace
+}  // namespace mpch::core

@@ -1,0 +1,93 @@
+#include "strategies/colluding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/line.hpp"
+#include "hash/random_oracle.hpp"
+#include "strategies/pointer_chasing.hpp"
+#include "util/rng.hpp"
+
+namespace mpch::strategies {
+namespace {
+
+core::LineParams params(std::uint64_t w = 256) {
+  return core::LineParams::make(64, 16, 8, w);
+}
+
+TEST(Colluding, ComputesTheCorrectOutput) {
+  core::LineParams p = params();
+  auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 1);
+  util::Rng rng(2);
+  core::LineInput input = core::LineInput::random(p, rng);
+  util::BitString expected = core::LineFunction(p).evaluate(*oracle, input);
+
+  const std::uint64_t m = 4;
+  ColludingStrategy strat(p, OwnershipPlan::round_robin(p, m));
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = strat.required_local_memory();
+  c.query_budget = 1 << 20;
+  c.max_rounds = 100000;
+  mpc::MpcSimulation sim(c, oracle);
+  auto result = sim.run(strat, strat.make_initial_memory(input));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.output, expected);
+}
+
+TEST(Colluding, RoundCountMatchesUnicastHandoff) {
+  // The communication pattern is irrelevant to the round count: broadcast
+  // collusion and unicast hand-off advance the frontier identically.
+  core::LineParams p = params(512);
+  const std::uint64_t m = 4;
+  auto oracle1 = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 5);
+  auto oracle2 = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 5);
+  util::Rng rng(6);
+  core::LineInput input = core::LineInput::random(p, rng);
+
+  ColludingStrategy collude(p, OwnershipPlan::round_robin(p, m));
+  PointerChasingStrategy unicast(p, OwnershipPlan::round_robin(p, m));
+
+  mpc::MpcConfig c1;
+  c1.machines = m;
+  c1.local_memory_bits = collude.required_local_memory();
+  c1.query_budget = 1 << 20;
+  c1.max_rounds = 100000;
+  mpc::MpcSimulation sim1(c1, oracle1);
+  auto r1 = sim1.run(collude, collude.make_initial_memory(input));
+
+  mpc::MpcConfig c2 = c1;
+  c2.local_memory_bits = unicast.required_local_memory();
+  mpc::MpcSimulation sim2(c2, oracle2);
+  auto r2 = sim2.run(unicast, unicast.make_initial_memory(input));
+
+  ASSERT_TRUE(r1.completed);
+  ASSERT_TRUE(r2.completed);
+  EXPECT_EQ(r1.output, r2.output);
+  EXPECT_EQ(r1.rounds_used, r2.rounds_used);
+  // ...but the colluders pay ~m-fold communication for it.
+  EXPECT_GT(r1.trace.total_communicated_bits(), r2.trace.total_communicated_bits());
+}
+
+TEST(Colluding, ReplicationHelpsExactlyAsMuchAsForUnicast) {
+  core::LineParams p = params(512);
+  const std::uint64_t m = 4;
+  auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 9);
+  util::Rng rng(10);
+  core::LineInput input = core::LineInput::random(p, rng);
+
+  ColludingStrategy repl(p, OwnershipPlan::replicated(p, m, 4));  // f = 1/2
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = repl.required_local_memory();
+  c.query_budget = 1 << 20;
+  c.max_rounds = 100000;
+  mpc::MpcSimulation sim(c, oracle);
+  auto result = sim.run(repl, repl.make_initial_memory(input));
+  ASSERT_TRUE(result.completed);
+  // f = 1/2 => ~w/2 rounds, within noise.
+  EXPECT_GT(result.rounds_used, 150u);
+  EXPECT_LT(result.rounds_used, 350u);
+}
+
+}  // namespace
+}  // namespace mpch::strategies

@@ -1,0 +1,170 @@
+#include "compress/line_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/line.hpp"
+#include "util/rng.hpp"
+
+namespace mpch::compress {
+namespace {
+
+using util::BitString;
+
+// Tiny parameters: n = 12, u = 3, v = 4, w = 8 — the full oracle table is
+// 4096 entries and v^depth enumeration stays small.
+core::LineParams tiny_params() { return core::LineParams::make(12, 3, 4, 8); }
+
+struct Fixture {
+  core::LineParams p = tiny_params();
+  util::Rng rng;
+  hash::ExhaustiveRandomOracle oracle;
+  core::LineInput input;
+  core::LineChain chain;
+
+  explicit Fixture(std::uint64_t seed)
+      : rng(seed),
+        oracle(tiny_params().n, tiny_params().n, rng),
+        input(core::LineInput::random(tiny_params(), rng)),
+        chain(core::LineFunction(tiny_params()).evaluate_chain(oracle, input)) {}
+
+  RewireAnchor anchor_at(std::uint64_t j_k) const {
+    RewireAnchor a;
+    a.j_k = j_k;
+    a.ell_next = chain.nodes[j_k].ell;  // node j_k+1's ℓ (0-indexed vector)
+    a.r_next = chain.nodes[j_k].r;
+    return a;
+  }
+
+  /// Memory for the honest machine: frontier at node j_k+1 holding the given
+  /// blocks.
+  BitString memory_with_blocks(std::uint64_t j_k,
+                               const std::vector<std::uint64_t>& block_ids) const {
+    std::vector<std::pair<std::uint64_t, BitString>> blocks;
+    for (std::uint64_t b : block_ids) blocks.emplace_back(b, input.block(b));
+    return LineWindowProgram::make_memory(p, j_k + 1, chain.nodes[j_k].ell,
+                                          chain.nodes[j_k].r, blocks);
+  }
+};
+
+TEST(LineCompressor, RoundTripsExactlyWithFullBlockSet) {
+  Fixture f(1);
+  LineCompressor comp(f.p, 64, 2);
+  LineWindowProgram program(f.p);
+  BitString memory = f.memory_with_blocks(2, {1, 2, 3, 4});
+  RewireAnchor anchor = f.anchor_at(2);
+
+  LineEncoding enc = comp.encode(f.oracle, f.input, memory, program, anchor);
+  // The machine owns every block, so the rewiring reaches all of [v]:
+  // B = {1, 2, 3, 4}.
+  EXPECT_EQ(enc.b_set.size(), f.p.v);
+  EXPECT_EQ(enc.enumerated_seqs, 16u);  // v^depth = 4^2
+
+  LineDecoded dec = comp.decode(enc.message, program);
+  EXPECT_EQ(dec.input_bits, f.input.bits());
+  for (std::size_t i = 0; i < dec.oracle_table.size(); ++i) {
+    ASSERT_EQ(dec.oracle_table[i], f.oracle.table()[i]) << i;
+  }
+}
+
+TEST(LineCompressor, BSetIsExactlyTheReachableStoredBlocks) {
+  Fixture f(2);
+  LineCompressor comp(f.p, 64, 2);
+  LineWindowProgram program(f.p);
+  RewireAnchor anchor = f.anchor_at(1);
+
+  // Machine stores blocks {ell_next, 3}: step 1 reveals ell_next; step 2
+  // reveals any stored a_1 (the rewiring tries all) — so B = {ell_next, 3}.
+  std::vector<std::uint64_t> stored = {anchor.ell_next, 3};
+  if (anchor.ell_next == 3) stored = {3, 1};
+  BitString memory = f.memory_with_blocks(1, stored);
+  auto b_set = comp.compute_b_set(f.oracle, f.input, memory, program, anchor);
+  std::set<std::uint64_t> expected(stored.begin(), stored.end());
+  EXPECT_EQ(b_set, expected);
+}
+
+TEST(LineCompressor, NoBlocksMeansEmptyBSet) {
+  Fixture f(3);
+  LineCompressor comp(f.p, 64, 2);
+  LineWindowProgram program(f.p);
+  RewireAnchor anchor = f.anchor_at(0);
+  BitString memory = f.memory_with_blocks(0, {});
+  auto b_set = comp.compute_b_set(f.oracle, f.input, memory, program, anchor);
+  EXPECT_TRUE(b_set.empty());
+}
+
+TEST(LineCompressor, MissingFirstBlockBlocksTheWholeWindow) {
+  Fixture f(4);
+  LineCompressor comp(f.p, 64, 2);
+  LineWindowProgram program(f.p);
+  RewireAnchor anchor = f.anchor_at(1);
+  // Machine stores everything EXCEPT ℓ_{j_k+1}: it can never make the first
+  // window query, so no rewiring helps: B is empty.
+  std::vector<std::uint64_t> stored;
+  for (std::uint64_t b = 1; b <= f.p.v; ++b) {
+    if (b != anchor.ell_next) stored.push_back(b);
+  }
+  BitString memory = f.memory_with_blocks(1, stored);
+  auto b_set = comp.compute_b_set(f.oracle, f.input, memory, program, anchor);
+  EXPECT_TRUE(b_set.empty());
+}
+
+TEST(LineCompressor, PartialBlockSetsRoundTrip) {
+  for (std::uint64_t seed = 5; seed < 9; ++seed) {
+    Fixture f(seed);
+    LineCompressor comp(f.p, 64, 2);
+    LineWindowProgram program(f.p);
+    RewireAnchor anchor = f.anchor_at(3);
+    BitString memory = f.memory_with_blocks(3, {anchor.ell_next, (anchor.ell_next % 4) + 1});
+    LineEncoding enc = comp.encode(f.oracle, f.input, memory, program, anchor);
+    LineDecoded dec = comp.decode(enc.message, program);
+    EXPECT_EQ(dec.input_bits, f.input.bits()) << "seed=" << seed;
+  }
+}
+
+TEST(LineCompressor, ResidualShrinksWithCoverage) {
+  Fixture f(10);
+  LineCompressor comp(f.p, 64, 2);
+  LineWindowProgram program(f.p);
+  RewireAnchor anchor = f.anchor_at(2);
+
+  BitString none = f.memory_with_blocks(2, {});
+  BitString all = f.memory_with_blocks(2, {1, 2, 3, 4});
+  LineEncoding enc_none = comp.encode(f.oracle, f.input, none, program, anchor);
+  LineEncoding enc_all = comp.encode(f.oracle, f.input, all, program, anchor);
+  EXPECT_EQ(enc_none.breakdown.residual_bits, f.p.v * f.p.u);
+  EXPECT_EQ(enc_all.breakdown.residual_bits, 0u);
+  EXPECT_EQ(enc_none.b_set.size(), 0u);  // no stored blocks => empty B
+  EXPECT_EQ(enc_all.b_set.size(), f.p.v);
+}
+
+TEST(LineCompressor, Depth1Works) {
+  Fixture f(11);
+  LineCompressor comp(f.p, 64, 1);
+  LineWindowProgram program(f.p);
+  RewireAnchor anchor = f.anchor_at(1);
+  BitString memory = f.memory_with_blocks(1, {anchor.ell_next});
+  LineEncoding enc = comp.encode(f.oracle, f.input, memory, program, anchor);
+  EXPECT_EQ(enc.b_set, std::set<std::uint64_t>{anchor.ell_next});
+  LineDecoded dec = comp.decode(enc.message, program);
+  EXPECT_EQ(dec.input_bits, f.input.bits());
+}
+
+TEST(LineCompressor, RejectsExplosiveEnumeration) {
+  core::LineParams p = core::LineParams::make(20, 4, 64, 8);
+  EXPECT_THROW(LineCompressor(p, 64, 5), std::invalid_argument);  // 64^5 sequences
+}
+
+TEST(LineCompressor, WindowClipsAtChainEnd) {
+  Fixture f(12);
+  LineCompressor comp(f.p, 64, 3);
+  LineWindowProgram program(f.p);
+  // Anchor near the end: j_k = w-2 leaves only 2 window steps.
+  RewireAnchor anchor = f.anchor_at(f.p.w - 2);
+  BitString memory = f.memory_with_blocks(f.p.w - 2, {1, 2, 3, 4});
+  LineEncoding enc = comp.encode(f.oracle, f.input, memory, program, anchor);
+  LineDecoded dec = comp.decode(enc.message, program);
+  EXPECT_EQ(dec.input_bits, f.input.bits());
+}
+
+}  // namespace
+}  // namespace mpch::compress

@@ -1,0 +1,149 @@
+#include "mpc/fanin_circuit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace mpch::mpc {
+namespace {
+
+using util::BitString;
+
+std::uint64_t sum64(std::uint64_t a, std::uint64_t b) { return a + b; }
+
+TEST(FaninCircuit, RejectsBadConstruction) {
+  EXPECT_THROW(FaninCircuit({}, 8), std::invalid_argument);
+  EXPECT_THROW(FaninCircuit({8, 0}, 8), std::invalid_argument);
+  EXPECT_THROW(FaninCircuit({8}, 0), std::invalid_argument);
+}
+
+TEST(FaninCircuit, EnforcesFaninBudget) {
+  FaninCircuit c({8, 8, 8}, 16);  // s = 16 bits: at most two 8-bit wires
+  FaninGate ok;
+  ok.inputs = {{0, 0}, {0, 1}};
+  ok.output_bits = 8;
+  ok.compute = [](const BitString& in) { return in.slice(0, 8); };
+  EXPECT_NO_THROW(c.add_level({ok}));
+
+  FaninGate too_wide;
+  too_wide.inputs = {{0, 0}, {0, 1}, {0, 2}};
+  too_wide.output_bits = 8;
+  too_wide.compute = ok.compute;
+  FaninCircuit c2({8, 8, 8}, 16);
+  EXPECT_THROW(c2.add_level({too_wide}), std::invalid_argument);
+}
+
+TEST(FaninCircuit, RejectsForwardReferences) {
+  FaninCircuit c({8}, 64);
+  FaninGate gate;
+  gate.inputs = {{1, 0}};  // reads its own level
+  gate.output_bits = 8;
+  gate.compute = [](const BitString& in) { return in; };
+  EXPECT_THROW(c.add_level({gate}), std::invalid_argument);
+}
+
+TEST(FaninCircuit, EvaluatesLayeredFunction) {
+  // (a XOR b), then NOT of that.
+  FaninCircuit c({4, 4}, 8);
+  FaninGate x;
+  x.inputs = {{0, 0}, {0, 1}};
+  x.output_bits = 4;
+  x.compute = [](const BitString& in) { return in.slice(0, 4) ^ in.slice(4, 4); };
+  c.add_level({x});
+  FaninGate inv;
+  inv.inputs = {{1, 0}};
+  inv.output_bits = 4;
+  inv.compute = [](const BitString& in) {
+    return in ^ BitString::from_binary_string("1111");
+  };
+  c.add_level({inv});
+
+  auto out = c.evaluate({BitString::from_binary_string("1100"),
+                         BitString::from_binary_string("1010")});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].to_binary_string(), "1001");  // ~(1100 ^ 1010)
+}
+
+TEST(FaninCircuit, DependencyConeTracksStructure) {
+  FaninCircuit c = make_reduction_tree(16, 8, 16, sum64);  // arity 2
+  EXPECT_EQ(c.depth(), 4u);                                // log2(16)
+  std::set<std::uint64_t> cone = c.dependency_cone({c.depth(), 0});
+  EXPECT_EQ(cone.size(), 16u);  // output depends on everything
+  // A first-level gate depends on exactly its two inputs.
+  std::set<std::uint64_t> leaf = c.dependency_cone({1, 3});
+  EXPECT_EQ(leaf, (std::set<std::uint64_t>{6, 7}));
+}
+
+TEST(FaninCircuit, ConeGrowthBoundHolds) {
+  for (std::uint64_t s : {16, 32, 64}) {
+    FaninCircuit c = make_reduction_tree(64, 8, s, sum64);
+    EXPECT_TRUE(c.cone_growth_bound_holds()) << "s=" << s;
+  }
+}
+
+TEST(FaninCircuit, ReductionTreeComputesTheSum) {
+  util::Rng rng(5);
+  FaninCircuit c = make_reduction_tree(20, 16, 64, sum64);  // arity 4
+  std::vector<BitString> inputs;
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 20; ++i) {
+    std::uint64_t v = rng.next_below(1000);
+    expected += v;
+    inputs.push_back(BitString::from_uint(v, 16));
+  }
+  auto out = c.evaluate(inputs);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].get_uint(0, 16), expected & 0xFFFF);
+}
+
+TEST(FaninCircuit, TreeDepthMeetsTheRvwBound) {
+  // Depth = ceil(log_arity N) where arity = s/word; the [64] bound in bit
+  // units is ceil(log_s N·word) <= depth + O(1): tight up to the word factor.
+  struct Case {
+    std::uint64_t n, word, s, expect_depth;
+  };
+  for (const auto& tc : {Case{16, 8, 16, 4}, Case{16, 8, 32, 2}, Case{64, 8, 64, 2},
+                         Case{256, 8, 16, 8}, Case{81, 8, 24, 4}}) {
+    FaninCircuit c = make_reduction_tree(tc.n, tc.word, tc.s, sum64);
+    EXPECT_EQ(c.depth(), tc.expect_depth) << tc.n << "/" << tc.s;
+    // Lower bound in gate levels with arity = s/word inputs per gate:
+    std::uint64_t arity = tc.s / tc.word;
+    EXPECT_GE(c.depth(), FaninCircuit::min_depth_for_full_dependence(tc.n, arity));
+  }
+}
+
+TEST(FaninCircuit, MinDepthFormula) {
+  EXPECT_EQ(FaninCircuit::min_depth_for_full_dependence(1, 4), 1u);
+  EXPECT_EQ(FaninCircuit::min_depth_for_full_dependence(4, 4), 1u);
+  EXPECT_EQ(FaninCircuit::min_depth_for_full_dependence(5, 4), 2u);
+  EXPECT_EQ(FaninCircuit::min_depth_for_full_dependence(16, 4), 2u);
+  EXPECT_EQ(FaninCircuit::min_depth_for_full_dependence(17, 4), 3u);
+  EXPECT_EQ(FaninCircuit::min_depth_for_full_dependence(1 << 20, 2), 20u);
+  EXPECT_THROW(FaninCircuit::min_depth_for_full_dependence(8, 1), std::invalid_argument);
+}
+
+TEST(FaninCircuit, FullDependenceRequiresTheBoundDepth) {
+  // A circuit shallower than log_s N cannot depend on all inputs: verify by
+  // building the widest possible tree and checking the cone at each level.
+  FaninCircuit c = make_reduction_tree(64, 8, 16, sum64);  // arity 2 -> depth 6
+  for (std::uint64_t level = 1; level < c.depth(); ++level) {
+    std::set<std::uint64_t> cone = c.dependency_cone({level, 0});
+    EXPECT_LE(cone.size(), util::pow_sat(2, level, 1 << 30)) << level;
+    EXPECT_LT(cone.size(), 64u) << "full dependence before the bound depth";
+  }
+}
+
+TEST(FaninCircuit, SingleInputDegenerateTree) {
+  FaninCircuit c = make_reduction_tree(1, 8, 16, sum64);
+  EXPECT_EQ(c.depth(), 1u);
+  auto out = c.evaluate({BitString::from_uint(42, 8)});
+  EXPECT_EQ(out[0].get_uint(0, 8), 42u);
+}
+
+TEST(FaninCircuit, RejectsTinyBudgetTrees) {
+  EXPECT_THROW(make_reduction_tree(8, 8, 8, sum64), std::invalid_argument);  // arity 1
+}
+
+}  // namespace
+}  // namespace mpch::mpc

@@ -1,0 +1,94 @@
+#include "strategies/full_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/line.hpp"
+#include "hash/random_oracle.hpp"
+#include "util/rng.hpp"
+
+namespace mpch::strategies {
+namespace {
+
+core::LineParams params(std::uint64_t w = 64) {
+  return core::LineParams::make(64, 16, 8, w);
+}
+
+TEST(FullMemory, TwoRoundsWhenMemoryCoversInput) {
+  core::LineParams p = params();
+  auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 1);
+  util::Rng rng(2);
+  core::LineInput input = core::LineInput::random(p, rng);
+  util::BitString expected = core::LineFunction(p).evaluate(*oracle, input);
+
+  const std::uint64_t m = 4;
+  FullMemoryStrategy strat(p, OwnershipPlan::round_robin(p, m));
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = strat.required_local_memory();
+  c.query_budget = p.w + 1;
+  c.max_rounds = 10;
+  mpc::MpcSimulation sim(c, oracle);
+  auto result = sim.run(strat, strat.make_initial_memory(input));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds_used, 2u);
+  EXPECT_EQ(result.output, expected);
+}
+
+TEST(FullMemory, FailsWhenLocalMemoryBelowInputSize) {
+  // s smaller than the gathered input: the model's inbox check fires —
+  // this IS the s >= S threshold of the introduction.
+  core::LineParams p = params();
+  auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 3);
+  util::Rng rng(4);
+  core::LineInput input = core::LineInput::random(p, rng);
+
+  const std::uint64_t m = 4;
+  FullMemoryStrategy strat(p, OwnershipPlan::round_robin(p, m));
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = p.input_bits();  // < gathered share with tags/indices
+  c.query_budget = p.w + 1;
+  c.max_rounds = 10;
+  mpc::MpcSimulation sim(c, oracle);
+  EXPECT_THROW(sim.run(strat, strat.make_initial_memory(input)), mpc::MemoryViolation);
+}
+
+TEST(FullMemory, RequiresQueryBudgetAtLeastW) {
+  core::LineParams p = params();
+  auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 5);
+  util::Rng rng(6);
+  core::LineInput input = core::LineInput::random(p, rng);
+
+  const std::uint64_t m = 2;
+  FullMemoryStrategy strat(p, OwnershipPlan::round_robin(p, m));
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = strat.required_local_memory();
+  c.query_budget = p.w - 1;  // one too few: the single-round walk needs w
+  c.max_rounds = 10;
+  mpc::MpcSimulation sim(c, oracle);
+  EXPECT_THROW(sim.run(strat, strat.make_initial_memory(input)),
+               hash::QueryBudgetExceeded);
+}
+
+TEST(FullMemory, MatchesPointerChasingOutput) {
+  core::LineParams p = params(100);
+  auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 7);
+  util::Rng rng(8);
+  core::LineInput input = core::LineInput::random(p, rng);
+  util::BitString expected = core::LineFunction(p).evaluate(*oracle, input);
+
+  FullMemoryStrategy strat(p, OwnershipPlan::round_robin(p, 3));
+  mpc::MpcConfig c;
+  c.machines = 3;
+  c.local_memory_bits = strat.required_local_memory();
+  c.query_budget = p.w;
+  c.max_rounds = 10;
+  mpc::MpcSimulation sim(c, oracle);
+  auto result = sim.run(strat, strat.make_initial_memory(input));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.output, expected);
+}
+
+}  // namespace
+}  // namespace mpch::strategies

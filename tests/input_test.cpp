@@ -1,0 +1,56 @@
+#include "core/input.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpch::core {
+namespace {
+
+using util::BitString;
+
+TEST(LineInput, ParsesBlocksInOrder) {
+  LineParams p = LineParams::make(64, 4, 3, 10);
+  BitString bits = BitString::from_binary_string("110100101010");  // 3 blocks of 4
+  LineInput input(p, bits);
+  EXPECT_EQ(input.num_blocks(), 3u);
+  EXPECT_EQ(input.block(1).to_binary_string(), "1101");
+  EXPECT_EQ(input.block(2).to_binary_string(), "0010");
+  EXPECT_EQ(input.block(3).to_binary_string(), "1010");
+  EXPECT_EQ(input.bits(), bits);
+}
+
+TEST(LineInput, RejectsWrongLength) {
+  LineParams p = LineParams::make(64, 4, 3, 10);
+  EXPECT_THROW(LineInput(p, BitString(11)), std::invalid_argument);
+  EXPECT_THROW(LineInput(p, BitString(13)), std::invalid_argument);
+}
+
+TEST(LineInput, BlockIndexBoundsChecked) {
+  LineParams p = LineParams::make(64, 4, 3, 10);
+  LineInput input(p, BitString(12));
+  EXPECT_THROW(input.block(0), std::out_of_range);
+  EXPECT_THROW(input.block(4), std::out_of_range);
+}
+
+TEST(LineInput, RandomIsUniformishAndSeeded) {
+  LineParams p = LineParams::make(96, 16, 64, 10);
+  util::Rng rng1(42), rng2(42), rng3(43);
+  LineInput a = LineInput::random(p, rng1);
+  LineInput b = LineInput::random(p, rng2);
+  LineInput c = LineInput::random(p, rng3);
+  EXPECT_EQ(a, b);        // same seed, same input
+  EXPECT_FALSE(a == c);   // different seed differs
+  double frac = static_cast<double>(a.bits().popcount()) / a.bits().size();
+  EXPECT_NEAR(frac, 0.5, 0.1);
+}
+
+TEST(LineInput, BlocksTileTheInput) {
+  LineParams p = LineParams::make(96, 8, 16, 10);
+  util::Rng rng(7);
+  LineInput input = LineInput::random(p, rng);
+  BitString rebuilt;
+  for (std::uint64_t i = 1; i <= p.v; ++i) rebuilt += input.block(i);
+  EXPECT_EQ(rebuilt, input.bits());
+}
+
+}  // namespace
+}  // namespace mpch::core

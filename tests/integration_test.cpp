@@ -1,0 +1,200 @@
+// integration_test.cpp — cross-module properties tying the whole system to
+// the paper's claims.
+#include <gtest/gtest.h>
+
+#include "core/line.hpp"
+#include "core/simline.hpp"
+#include "hash/random_oracle.hpp"
+#include "mpc/simulation.hpp"
+#include "stats/estimator.hpp"
+#include "strategies/full_memory.hpp"
+#include "strategies/pipelined_simline.hpp"
+#include "strategies/pointer_chasing.hpp"
+#include "theory/bounds.hpp"
+#include "util/rng.hpp"
+
+namespace mpch {
+namespace {
+
+using core::LineParams;
+
+/// End-to-end: the MPC pointer-chasing strategy and the sequential RAM
+/// evaluation compute the same function, under both the seeded true-RO and
+/// the SHA-256 instantiation (the random-oracle methodology step).
+TEST(Integration, MpcAgreesWithRamUnderBothOracles) {
+  LineParams p = LineParams::make(64, 16, 8, 96);
+  for (bool use_sha : {false, true}) {
+    std::shared_ptr<hash::RandomOracle> oracle;
+    if (use_sha) {
+      oracle = std::make_shared<hash::Sha256Oracle>(p.n, p.n);
+    } else {
+      oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 99);
+    }
+    util::Rng rng(3);
+    core::LineInput input = core::LineInput::random(p, rng);
+    util::BitString ram_out = core::LineFunction(p).evaluate(*oracle, input);
+
+    const std::uint64_t m = 4;
+    strategies::PointerChasingStrategy strat(p, strategies::OwnershipPlan::round_robin(p, m));
+    mpc::MpcConfig c;
+    c.machines = m;
+    c.local_memory_bits = strat.required_local_memory();
+    c.query_budget = 1 << 20;
+    c.max_rounds = 10000;
+    mpc::MpcSimulation sim(c, oracle);
+    auto result = sim.run(strat, strat.make_initial_memory(input));
+    ASSERT_TRUE(result.completed) << "sha=" << use_sha;
+    EXPECT_EQ(result.output, ram_out) << "sha=" << use_sha;
+  }
+}
+
+/// The headline contrast: at matched storage fractions, SimLine's pipelined
+/// strategy needs far fewer rounds than Line's pointer-chasing, because
+/// SimLine's schedule is public and Line's is oracle-chosen.
+TEST(Integration, LineIsHarderThanSimLine) {
+  LineParams p = LineParams::make(64, 16, 16, 512);
+  const std::uint64_t m = 4;  // 4 blocks per machine, f = 1/4
+
+  // SimLine, windows of 4 blocks: rounds = w / 4.
+  auto sim_oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 7);
+  util::Rng rng1(4);
+  core::LineInput input1 = core::LineInput::random(p, rng1);
+  strategies::PipelinedSimLineStrategy sim_strat(p, strategies::OwnershipPlan::windows(p, m, 4));
+  mpc::MpcConfig c1;
+  c1.machines = m;
+  c1.local_memory_bits = sim_strat.required_local_memory();
+  c1.query_budget = 1 << 20;
+  c1.max_rounds = 100000;
+  mpc::MpcSimulation msim1(c1, sim_oracle);
+  auto r_sim = msim1.run(sim_strat, sim_strat.make_initial_memory(input1));
+  ASSERT_TRUE(r_sim.completed);
+
+  // Line, same storage: rounds ≈ w(1 - 1/4).
+  auto line_oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 8);
+  util::Rng rng2(5);
+  core::LineInput input2 = core::LineInput::random(p, rng2);
+  strategies::PointerChasingStrategy line_strat(p, strategies::OwnershipPlan::round_robin(p, m));
+  mpc::MpcConfig c2 = c1;
+  c2.local_memory_bits = line_strat.required_local_memory();
+  mpc::MpcSimulation msim2(c2, line_oracle);
+  auto r_line = msim2.run(line_strat, line_strat.make_initial_memory(input2));
+  ASSERT_TRUE(r_line.completed);
+
+  // SimLine: the public schedule pipelines through each 4-block window.
+  EXPECT_EQ(r_sim.rounds_used, p.w / 4);
+  // Line: the oracle-chosen schedule forces ~w(1-f) = 0.75w rounds — about
+  // 3x the SimLine count at the same storage fraction.
+  EXPECT_GT(r_line.rounds_used, r_sim.rounds_used * 2);
+}
+
+/// Measured per-round advance for Line matches the geometric model
+/// E[advance] = 1/(1-f), and measured rounds match the analytic curve.
+TEST(Integration, LineAdvanceMatchesGeometricModel) {
+  LineParams p = LineParams::make(64, 16, 16, 1024);
+  const std::uint64_t m = 4;  // f = 1/4 per machine with round-robin
+  auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 17);
+  util::Rng rng(6);
+  core::LineInput input = core::LineInput::random(p, rng);
+  strategies::PointerChasingStrategy strat(p, strategies::OwnershipPlan::round_robin(p, m));
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = strat.required_local_memory();
+  c.query_budget = 1 << 20;
+  c.max_rounds = 100000;
+  mpc::MpcSimulation sim(c, oracle);
+  auto result = sim.run(strat, strat.make_initial_memory(input));
+  ASSERT_TRUE(result.completed);
+
+  long double predicted = theory::pointer_chasing_expected_rounds(p, 0.25L);
+  double measured = static_cast<double>(result.rounds_used);
+  EXPECT_NEAR(measured, static_cast<double>(predicted), 0.2 * static_cast<double>(predicted));
+}
+
+/// Threshold behaviour: the same function drops from ~w(1-f) rounds to 2
+/// rounds the moment local memory covers the whole input.
+TEST(Integration, MemoryThresholdCollapsesRounds) {
+  LineParams p = LineParams::make(64, 16, 8, 256);
+  const std::uint64_t m = 4;
+  auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 23);
+  util::Rng rng(7);
+  core::LineInput input = core::LineInput::random(p, rng);
+
+  strategies::FullMemoryStrategy full(p, strategies::OwnershipPlan::round_robin(p, m));
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = full.required_local_memory();
+  c.query_budget = p.w + 1;
+  c.max_rounds = 10;
+  mpc::MpcSimulation sim(c, oracle);
+  auto r_full = sim.run(full, full.make_initial_memory(input));
+  ASSERT_TRUE(r_full.completed);
+  EXPECT_EQ(r_full.rounds_used, 2u);
+
+  auto oracle2 = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 23);
+  strategies::PointerChasingStrategy chase(p, strategies::OwnershipPlan::round_robin(p, m));
+  mpc::MpcConfig c2;
+  c2.machines = m;
+  c2.local_memory_bits = chase.required_local_memory();  // ~ S/m
+  c2.query_budget = 1 << 20;
+  c2.max_rounds = 100000;
+  mpc::MpcSimulation sim2(c2, oracle2);
+  auto r_chase = sim2.run(chase, chase.make_initial_memory(input));
+  ASSERT_TRUE(r_chase.completed);
+  EXPECT_EQ(r_chase.output, r_full.output);
+  EXPECT_GT(r_chase.rounds_used, 50u);
+}
+
+/// The transcript machinery reproduces the proof's |Q ∩ C| bookkeeping: an
+/// honest run's queries hit every correct entry exactly once, in order.
+TEST(Integration, TranscriptCoversCorrectChainExactly) {
+  LineParams p = LineParams::make(64, 16, 8, 64);
+  auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 31);
+  util::Rng rng(8);
+  core::LineInput input = core::LineInput::random(p, rng);
+  core::LineChain chain = core::LineFunction(p).evaluate_chain(*oracle, input);
+
+  const std::uint64_t m = 2;
+  strategies::PointerChasingStrategy strat(p, strategies::OwnershipPlan::round_robin(p, m));
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = strat.required_local_memory();
+  c.query_budget = 1 << 20;
+  c.max_rounds = 10000;
+  mpc::MpcSimulation sim(c, oracle);
+  auto result = sim.run(strat, strat.make_initial_memory(input));
+  ASSERT_TRUE(result.completed);
+
+  auto all_queries = result.transcript->queries_up_to(result.rounds_used);
+  auto correct = chain.all_correct_queries();
+  EXPECT_EQ(result.transcript->intersect_count(all_queries, correct), p.w);
+  EXPECT_EQ(all_queries.size(), p.w);  // honest: every query is a chain query
+}
+
+/// Average-case correctness semantics (Definition 2.5): across random
+/// (oracle, input) pairs the strategy computes f with empirical probability
+/// ~1 (far above the 1/3 the definition requires).
+TEST(Integration, AverageCaseCorrectness) {
+  LineParams p = LineParams::make(64, 16, 8, 32);
+  int successes = 0;
+  const int kTrials = 10;
+  for (int t = 0; t < kTrials; ++t) {
+    auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 1000 + t);
+    util::Rng rng(2000 + t);
+    core::LineInput input = core::LineInput::random(p, rng);
+    util::BitString expected = core::LineFunction(p).evaluate(*oracle, input);
+    const std::uint64_t m = 4;
+    strategies::PointerChasingStrategy strat(p, strategies::OwnershipPlan::round_robin(p, m));
+    mpc::MpcConfig c;
+    c.machines = m;
+    c.local_memory_bits = strat.required_local_memory();
+    c.query_budget = 1 << 20;
+    c.max_rounds = 10000;
+    mpc::MpcSimulation sim(c, oracle);
+    auto result = sim.run(strat, strat.make_initial_memory(input));
+    if (result.completed && result.output == expected) ++successes;
+  }
+  EXPECT_EQ(successes, kTrials);
+}
+
+}  // namespace
+}  // namespace mpch

@@ -1,0 +1,83 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpch::util {
+namespace {
+
+TEST(CeilLog2, SmallValues) {
+  EXPECT_EQ(ceil_log2(1), 1u);  // library convention: 1 bit even for [1]
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(8), 3u);
+  EXPECT_EQ(ceil_log2(9), 4u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(CeilLog2, RejectsZero) { EXPECT_THROW(ceil_log2(0), std::invalid_argument); }
+
+TEST(FloorLog2, Values) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(floor_log2(1023), 9u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+}
+
+TEST(CeilDiv, Values) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(0, 5), 0u);
+  EXPECT_EQ(ceil_div(1, 1), 1u);
+  EXPECT_THROW(ceil_div(1, 0), std::invalid_argument);
+}
+
+TEST(IsPow2, Values) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Log2Add, AgreesWithDirectComputation) {
+  // 2^-3 + 2^-3 = 2^-2.
+  EXPECT_NEAR(static_cast<double>(log2_add(-3.0L, -3.0L)), -2.0, 1e-12);
+  // 2^0 + 2^-10 ~ slightly above 0.
+  EXPECT_NEAR(static_cast<double>(log2_add(0.0L, -10.0L)),
+              std::log2(1.0 + std::exp2(-10.0)), 1e-12);
+}
+
+TEST(Log2Add, HandlesVastlyDifferentMagnitudes) {
+  // Adding 2^-10000 to 2^-5 must not change it measurably or produce NaN.
+  long double r = log2_add(-5.0L, -10000.0L);
+  EXPECT_NEAR(static_cast<double>(r), -5.0, 1e-9);
+}
+
+TEST(Log2Add, NegativeInfinityIsIdentity) {
+  long double ninf = -std::numeric_limits<long double>::infinity();
+  EXPECT_EQ(static_cast<double>(log2_add(ninf, -7.0L)), -7.0);
+  EXPECT_EQ(static_cast<double>(log2_add(-7.0L, ninf)), -7.0);
+}
+
+TEST(ClampLog2Prob, Clamps) {
+  EXPECT_EQ(static_cast<double>(clamp_log2_prob(3.5L)), 0.0);
+  EXPECT_EQ(static_cast<double>(clamp_log2_prob(-3.5L)), -3.5);
+}
+
+TEST(PowSat, SaturatesAtCap) {
+  EXPECT_EQ(pow_sat(2, 10, 1ULL << 20), 1024u);
+  EXPECT_EQ(pow_sat(2, 30, 1ULL << 20), 1ULL << 20);
+  EXPECT_EQ(pow_sat(10, 0, 100), 1u);
+  EXPECT_EQ(pow_sat(1, 1000, 100), 1u);
+}
+
+}  // namespace
+}  // namespace mpch::util

@@ -1,0 +1,123 @@
+#include "mhf/romix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mpch::mhf {
+namespace {
+
+using util::BitString;
+
+constexpr std::uint64_t kBlock = 64;
+
+BitString input_block(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return BitString::random(kBlock, [&rng] { return rng.next_u64(); });
+}
+
+TEST(RoMix, DeterministicAndInputSensitive) {
+  RoMix romix(kBlock, 32);
+  hash::LazyRandomOracle oracle(kBlock, kBlock, 1);
+  BitString x = input_block(1);
+  EXPECT_EQ(romix.evaluate(oracle, x), romix.evaluate(oracle, x));
+  EXPECT_NE(romix.evaluate(oracle, x), romix.evaluate(oracle, input_block(2)));
+}
+
+TEST(RoMix, OracleCallCountIsTwoNPlusTwo) {
+  // Fill: 1 + (N-1); transition: 1; mix: N. Total = 2N + 1.
+  RoMix romix(kBlock, 32);
+  hash::LazyRandomOracle oracle(kBlock, kBlock, 2);
+  CmcMeter meter;
+  romix.evaluate(oracle, input_block(3), &meter);
+  EXPECT_EQ(meter.oracle_calls(), 2 * 32 + 1);
+}
+
+TEST(RoMix, PeakMemoryIsNBlocksHonest) {
+  RoMix romix(kBlock, 64);
+  hash::LazyRandomOracle oracle(kBlock, kBlock, 3);
+  CmcMeter meter;
+  romix.evaluate(oracle, input_block(4), &meter);
+  EXPECT_EQ(meter.peak_bits(), 64 * kBlock);
+  EXPECT_EQ(meter.live_bits(), 0u);
+}
+
+TEST(RoMix, StrideTradeoffPreservesOutput) {
+  RoMix romix(kBlock, 64);
+  for (std::uint64_t stride : {1, 2, 4, 8}) {
+    hash::LazyRandomOracle oracle(kBlock, kBlock, 5);
+    BitString honest;
+    {
+      hash::LazyRandomOracle o2(kBlock, kBlock, 5);
+      honest = romix.evaluate(o2, input_block(6));
+    }
+    EXPECT_EQ(romix.evaluate_with_stride(oracle, input_block(6), stride), honest)
+        << "stride=" << stride;
+  }
+}
+
+TEST(RoMix, StrideTradesMemoryForTime) {
+  RoMix romix(kBlock, 128);
+  CmcMeter honest, strided;
+  {
+    hash::LazyRandomOracle oracle(kBlock, kBlock, 7);
+    romix.evaluate(oracle, input_block(8), &honest);
+  }
+  {
+    hash::LazyRandomOracle oracle(kBlock, kBlock, 7);
+    romix.evaluate_with_stride(oracle, input_block(8), 4, &strided);
+  }
+  // Memory drops ~4x; oracle calls rise (recomputation).
+  EXPECT_LT(strided.peak_bits() * 3, honest.peak_bits());
+  EXPECT_GT(strided.oracle_calls(), honest.oracle_calls());
+}
+
+TEST(RoMix, CumulativeComplexityScalesQuadratically) {
+  // Honest CMC ~ (2N)·(N·block/2-ish): quadrupling N should grow CMC by
+  // clearly more than 4x (closer to 16x).
+  CmcMeter small, large;
+  {
+    RoMix romix(kBlock, 32);
+    hash::LazyRandomOracle oracle(kBlock, kBlock, 9);
+    romix.evaluate(oracle, input_block(10), &small);
+  }
+  {
+    RoMix romix(kBlock, 128);
+    hash::LazyRandomOracle oracle(kBlock, kBlock, 9);
+    romix.evaluate(oracle, input_block(10), &large);
+  }
+  double ratio = static_cast<double>(large.cumulative_bit_steps()) /
+                 static_cast<double>(small.cumulative_bit_steps());
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 32.0);
+}
+
+TEST(RoMix, ParameterValidation) {
+  EXPECT_THROW(RoMix(0, 8), std::invalid_argument);
+  EXPECT_THROW(RoMix(kBlock, 0), std::invalid_argument);
+  EXPECT_THROW(RoMix(8, 8), std::invalid_argument);  // block too narrow
+  RoMix romix(kBlock, 8);
+  hash::LazyRandomOracle narrow(32, 32, 1);
+  EXPECT_THROW(romix.evaluate(narrow, input_block(1)), std::invalid_argument);
+  hash::LazyRandomOracle ok(kBlock, kBlock, 1);
+  EXPECT_THROW(romix.evaluate_with_stride(ok, input_block(1), 0), std::invalid_argument);
+  EXPECT_THROW(romix.evaluate(ok, BitString(32)), std::invalid_argument);
+}
+
+TEST(CmcMeter, Accounting) {
+  CmcMeter m;
+  m.allocate_bits(100);
+  m.tick();
+  m.tick();
+  m.allocate_bits(50);
+  m.tick();
+  EXPECT_EQ(m.oracle_calls(), 3u);
+  EXPECT_EQ(m.cumulative_bit_steps(), 100u + 100u + 150u);
+  EXPECT_EQ(m.peak_bits(), 150u);
+  m.free_bits(150);
+  EXPECT_EQ(m.live_bits(), 0u);
+  EXPECT_THROW(m.free_bits(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mpch::mhf

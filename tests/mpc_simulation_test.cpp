@@ -1,0 +1,201 @@
+#include "mpc/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hash/random_oracle.hpp"
+#include "util/serialize.hpp"
+
+namespace mpch::mpc {
+namespace {
+
+using util::BitString;
+
+/// Plain-model test algorithm: pass a token around the ring once, then the
+/// origin outputs the hop count.
+class RingAlgorithm final : public MpcAlgorithm {
+ public:
+  explicit RingAlgorithm(std::uint64_t machines) : machines_(machines) {}
+
+  void run_machine(MachineIo& io, hash::CountingOracle*, const SharedTape&,
+                   RoundTrace&) override {
+    for (const auto& msg : *io.inbox) {
+      util::BitReader r(msg.payload);
+      std::uint64_t hops = r.read_uint(16);
+      if (hops >= machines_) {
+        io.output = BitString::from_uint(hops, 16);
+        return;
+      }
+      util::BitWriter w;
+      w.write_uint(hops + 1, 16);
+      io.send((io.machine + 1) % machines_, w.take());
+    }
+  }
+
+  std::string name() const override { return "ring"; }
+
+ private:
+  std::uint64_t machines_;
+};
+
+/// Algorithm that tries to flood one machine past its memory cap.
+class FloodAlgorithm final : public MpcAlgorithm {
+ public:
+  explicit FloodAlgorithm(std::uint64_t bits) : bits_(bits) {}
+  void run_machine(MachineIo& io, hash::CountingOracle*, const SharedTape&,
+                   RoundTrace&) override {
+    if (io.round == 0 && io.machine == 0) io.send(0, BitString(bits_));
+  }
+  std::string name() const override { return "flood"; }
+
+ private:
+  std::uint64_t bits_;
+};
+
+/// Algorithm that queries the oracle more than q times in a round.
+class GreedyQueryAlgorithm final : public MpcAlgorithm {
+ public:
+  void run_machine(MachineIo& io, hash::CountingOracle* oracle, const SharedTape&,
+                   RoundTrace&) override {
+    if (io.machine != 0 || io.round != 0) return;
+    for (int i = 0; i < 100; ++i) oracle->query(BitString::from_uint(i, 16));
+    io.output = BitString(1);
+  }
+  std::string name() const override { return "greedy"; }
+};
+
+MpcConfig config(std::uint64_t m, std::uint64_t s, std::uint64_t q) {
+  MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = s;
+  c.query_budget = q;
+  c.max_rounds = 100;
+  c.tape_seed = 1;
+  return c;
+}
+
+TEST(MpcSimulation, RingCompletesInMRounds) {
+  const std::uint64_t m = 5;
+  MpcSimulation sim(config(m, 1024, 1), nullptr);
+  RingAlgorithm algo(m);
+  util::BitWriter w;
+  w.write_uint(0, 16);
+  MpcRunResult result = sim.run(algo, {w.take()});
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds_used, m + 1);  // m hops + the output round
+  EXPECT_EQ(result.output.get_uint(0, 16), m);
+}
+
+TEST(MpcSimulation, TraceCountsMessagesAndBits) {
+  const std::uint64_t m = 3;
+  MpcSimulation sim(config(m, 1024, 1), nullptr);
+  RingAlgorithm algo(m);
+  util::BitWriter w;
+  w.write_uint(0, 16);
+  MpcRunResult result = sim.run(algo, {w.take()});
+  // Rounds 0..m-1 each carry one 16-bit message; the final round none.
+  std::uint64_t total_msgs = 0;
+  for (const auto& r : result.trace.rounds()) total_msgs += r.messages;
+  EXPECT_EQ(total_msgs, m);
+  EXPECT_EQ(result.trace.total_communicated_bits(), m * 16);
+}
+
+TEST(MpcSimulation, EnforcesInboxCapacity) {
+  MpcSimulation sim(config(4, 64, 1), nullptr);
+  FloodAlgorithm algo(65);  // one bit over the cap
+  EXPECT_THROW(sim.run(algo, {BitString(1)}), MemoryViolation);
+}
+
+TEST(MpcSimulation, ExactCapacityAllowed) {
+  MpcSimulation sim(config(4, 64, 1), nullptr);
+  FloodAlgorithm algo(64);
+  EXPECT_NO_THROW(sim.run(algo, {BitString(1)}));
+}
+
+TEST(MpcSimulation, RejectsOversizedInputShare) {
+  MpcSimulation sim(config(2, 32, 1), nullptr);
+  RingAlgorithm algo(2);
+  EXPECT_THROW(sim.run(algo, {BitString(33)}), MemoryViolation);
+}
+
+TEST(MpcSimulation, RejectsTooManyShares) {
+  MpcSimulation sim(config(2, 32, 1), nullptr);
+  RingAlgorithm algo(2);
+  std::vector<BitString> shares(3, BitString(1));
+  EXPECT_THROW(sim.run(algo, shares), std::invalid_argument);
+}
+
+TEST(MpcSimulation, EnforcesQueryBudget) {
+  auto oracle = std::make_shared<hash::LazyRandomOracle>(16, 16, 5);
+  MpcSimulation sim(config(2, 128, 10), oracle);
+  GreedyQueryAlgorithm algo;
+  EXPECT_THROW(sim.run(algo, {BitString(1)}), hash::QueryBudgetExceeded);
+}
+
+TEST(MpcSimulation, QueryBudgetSufficientSucceeds) {
+  auto oracle = std::make_shared<hash::LazyRandomOracle>(16, 16, 5);
+  MpcSimulation sim(config(2, 128, 100), oracle);
+  GreedyQueryAlgorithm algo;
+  MpcRunResult result = sim.run(algo, {BitString(1)});
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.transcript->size(), 100u);
+  EXPECT_EQ(result.trace.rounds()[0].oracle_queries, 100u);
+}
+
+TEST(MpcSimulation, StopsAtMaxRoundsWithoutOutput) {
+  MpcConfig c = config(2, 64, 1);
+  c.max_rounds = 7;
+  MpcSimulation sim(c, nullptr);
+
+  class ForeverAlgorithm final : public MpcAlgorithm {
+   public:
+    void run_machine(MachineIo& io, hash::CountingOracle*, const SharedTape&,
+                     RoundTrace&) override {
+      io.send(io.machine, BitString(8));
+    }
+    std::string name() const override { return "forever"; }
+  } algo;
+
+  MpcRunResult result = sim.run(algo, {BitString(1)});
+  EXPECT_FALSE(result.completed);
+  EXPECT_EQ(result.rounds_used, 7u);
+}
+
+TEST(MpcSimulation, RejectsMessageToNonexistentMachine) {
+  MpcSimulation sim(config(2, 64, 1), nullptr);
+  class BadTarget final : public MpcAlgorithm {
+   public:
+    void run_machine(MachineIo& io, hash::CountingOracle*, const SharedTape&,
+                     RoundTrace&) override {
+      if (io.round == 0 && io.machine == 0) io.send(5, BitString(1));
+    }
+    std::string name() const override { return "bad-target"; }
+  } algo;
+  EXPECT_THROW(sim.run(algo, {BitString(1)}), std::invalid_argument);
+}
+
+TEST(MpcSimulation, SharedTapeIsCommonAndDeterministic) {
+  SharedTape t1(99), t2(99), t3(100);
+  EXPECT_EQ(t1.word(0), t2.word(0));
+  EXPECT_EQ(t1.word(12345), t2.word(12345));
+  EXPECT_NE(t1.word(0), t3.word(0));
+  // bits() agrees with bit().
+  util::BitString bits = t1.bits(100, 64);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(bits.get(i), t1.bit(100 + i));
+}
+
+TEST(MpcSimulation, ConfigValidation) {
+  EXPECT_THROW(MpcSimulation(config(0, 64, 1), nullptr), std::invalid_argument);
+  EXPECT_THROW(MpcSimulation(config(2, 0, 1), nullptr), std::invalid_argument);
+}
+
+TEST(PartitionBlocksRoundRobin, SpreadsBlocks) {
+  std::vector<BitString> blocks = {BitString(8), BitString(8), BitString(8), BitString(8),
+                                   BitString(8)};
+  auto shares = partition_blocks_round_robin(blocks, 2);
+  ASSERT_EQ(shares.size(), 2u);
+  EXPECT_EQ(shares[0].size(), 24u);  // 3 blocks
+  EXPECT_EQ(shares[1].size(), 16u);  // 2 blocks
+}
+
+}  // namespace
+}  // namespace mpch::mpc

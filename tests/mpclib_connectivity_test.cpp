@@ -1,0 +1,105 @@
+#include "mpclib/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace mpch::mpclib {
+namespace {
+
+mpc::MpcConfig config(std::uint64_t m, std::uint64_t s = 1 << 18) {
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = s;
+  c.query_budget = 1;
+  c.max_rounds = 500;
+  c.tape_seed = 11;
+  return c;
+}
+
+/// Reference union-find for expected components.
+std::vector<std::uint64_t> reference_labels(std::uint64_t n, const std::vector<Edge>& edges) {
+  std::vector<std::uint64_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<std::uint64_t(std::uint64_t)> find = [&](std::uint64_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  for (const auto& e : edges) {
+    std::uint64_t ra = find(e.a), rb = find(e.b);
+    if (ra != rb) parent[std::max(ra, rb)] = std::min(ra, rb);
+  }
+  // Label = min vertex of the component.
+  std::vector<std::uint64_t> labels(n);
+  for (std::uint64_t v = 0; v < n; ++v) labels[v] = find(v);
+  // Normalise: min-id labelling (find with min-merging already gives it).
+  return labels;
+}
+
+void run_and_check(std::uint64_t machines, std::uint64_t n, const std::vector<Edge>& edges) {
+  mpc::MpcSimulation sim(config(machines), nullptr);
+  LabelPropagationCC algo(machines, n);
+  mpc::MpcRunResult result =
+      sim.run(algo, LabelPropagationCC::make_initial_memory(machines, n, edges));
+  ASSERT_TRUE(result.completed) << "did not converge";
+  EXPECT_EQ(LabelPropagationCC::parse_labels(result.output, n), reference_labels(n, edges));
+}
+
+TEST(LabelPropagationCC, SingleComponentPath) {
+  run_and_check(3, 6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+}
+
+TEST(LabelPropagationCC, TwoComponents) {
+  run_and_check(4, 7, {{0, 1}, {1, 2}, {4, 5}, {5, 6}});
+}
+
+TEST(LabelPropagationCC, IsolatedVerticesKeepOwnLabel) { run_and_check(2, 5, {}); }
+
+TEST(LabelPropagationCC, StarGraphConvergesFast) {
+  std::vector<Edge> star;
+  for (std::uint64_t i = 1; i < 20; ++i) star.push_back({0, i});
+  mpc::MpcSimulation sim(config(4), nullptr);
+  LabelPropagationCC algo(4, 20);
+  auto result = sim.run(algo, LabelPropagationCC::make_initial_memory(4, 20, star));
+  ASSERT_TRUE(result.completed);
+  // One propagation iteration suffices + one no-change iteration: the round
+  // count stays far below the path-graph worst case.
+  EXPECT_LE(result.rounds_used, 10u);
+  EXPECT_EQ(LabelPropagationCC::parse_labels(result.output, 20),
+            std::vector<std::uint64_t>(20, 0));
+}
+
+TEST(LabelPropagationCC, PathRoundsScaleWithDiameter) {
+  // Label diameter for a path rooted at its min id: rounds ~ 3·(length).
+  std::vector<Edge> path;
+  const std::uint64_t n = 12;
+  for (std::uint64_t i = 0; i + 1 < n; ++i) path.push_back({i, i + 1});
+  mpc::MpcSimulation sim(config(3), nullptr);
+  LabelPropagationCC algo(3, n);
+  auto result = sim.run(algo, LabelPropagationCC::make_initial_memory(3, n, path));
+  ASSERT_TRUE(result.completed);
+  EXPECT_GE(result.rounds_used, n);  // at least one iteration per hop (3 rounds/hop)
+}
+
+TEST(LabelPropagationCC, RandomGraphMatchesReference) {
+  util::Rng rng(17);
+  const std::uint64_t n = 40;
+  std::vector<Edge> edges;
+  for (int i = 0; i < 50; ++i) {
+    edges.push_back({rng.next_below(n), rng.next_below(n)});
+  }
+  run_and_check(5, n, edges);
+}
+
+TEST(LabelPropagationCC, SelfLoopsAreHarmless) {
+  run_and_check(2, 4, {{0, 0}, {1, 1}, {2, 3}});
+}
+
+TEST(LabelPropagationCC, MoreMachinesThanVertices) {
+  run_and_check(8, 3, {{0, 2}});
+}
+
+}  // namespace
+}  // namespace mpch::mpclib

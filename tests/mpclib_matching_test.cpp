@@ -1,0 +1,106 @@
+#include "mpclib/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mpch::mpclib {
+namespace {
+
+mpc::MpcConfig config(std::uint64_t m) {
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = 1 << 20;
+  c.query_budget = 1;
+  c.max_rounds = 4000;
+  c.tape_seed = 41;
+  return c;
+}
+
+std::vector<Edge> run_matching(std::uint64_t machines, std::uint64_t n,
+                               const std::vector<Edge>& edges,
+                               std::uint64_t* rounds = nullptr) {
+  mpc::MpcSimulation sim(config(machines), nullptr);
+  MaximalMatchingAlgorithm algo(machines, n);
+  auto result =
+      sim.run(algo, MaximalMatchingAlgorithm::make_initial_memory(machines, n, edges));
+  EXPECT_TRUE(result.completed);
+  if (rounds != nullptr) *rounds = result.rounds_used;
+  return MaximalMatchingAlgorithm::parse_matching(result.output);
+}
+
+TEST(MaximalMatching, EmptyGraph) {
+  auto matching = run_matching(3, 5, {});
+  EXPECT_TRUE(matching.empty());
+  EXPECT_TRUE(MaximalMatchingAlgorithm::verify_matching(matching, 5, {}));
+}
+
+TEST(MaximalMatching, SingleEdge) {
+  std::vector<Edge> edges = {{0, 1}};
+  auto matching = run_matching(2, 2, edges);
+  ASSERT_EQ(matching.size(), 1u);
+  EXPECT_TRUE(MaximalMatchingAlgorithm::verify_matching(matching, 2, edges));
+}
+
+TEST(MaximalMatching, TriangleMatchesOneEdge) {
+  std::vector<Edge> tri = {{0, 1}, {1, 2}, {0, 2}};
+  auto matching = run_matching(2, 3, tri);
+  EXPECT_EQ(matching.size(), 1u);
+  EXPECT_TRUE(MaximalMatchingAlgorithm::verify_matching(matching, 3, tri));
+}
+
+TEST(MaximalMatching, PerfectMatchingOnDisjointEdges) {
+  std::vector<Edge> edges = {{0, 1}, {2, 3}, {4, 5}, {6, 7}};
+  auto matching = run_matching(3, 8, edges);
+  EXPECT_EQ(matching.size(), 4u);
+  EXPECT_TRUE(MaximalMatchingAlgorithm::verify_matching(matching, 8, edges));
+}
+
+TEST(MaximalMatching, PathGraph) {
+  std::vector<Edge> path;
+  const std::uint64_t n = 17;
+  for (std::uint64_t i = 0; i + 1 < n; ++i) path.push_back({i, i + 1});
+  auto matching = run_matching(4, n, path);
+  EXPECT_TRUE(MaximalMatchingAlgorithm::verify_matching(matching, n, path));
+  // A maximal matching on a 16-edge path has >= 6 edges (>= m/ (2*2 - 1)).
+  EXPECT_GE(matching.size(), 6u);
+}
+
+TEST(MaximalMatching, RandomGraphsValidAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    const std::uint64_t n = 40;
+    std::vector<Edge> edges;
+    for (int i = 0; i < 100; ++i) edges.push_back({rng.next_below(n), rng.next_below(n)});
+    auto matching = run_matching(5, n, edges);
+    EXPECT_TRUE(MaximalMatchingAlgorithm::verify_matching(matching, n, edges)) << seed;
+  }
+}
+
+TEST(MaximalMatching, SelfLoopsAndDuplicatesHandled) {
+  std::vector<Edge> edges = {{0, 0}, {1, 2}, {1, 2}, {2, 1}};
+  auto matching = run_matching(3, 3, edges);
+  EXPECT_EQ(matching.size(), 1u);
+  EXPECT_TRUE(MaximalMatchingAlgorithm::verify_matching(matching, 3, edges));
+}
+
+TEST(MaximalMatching, PhasesLogarithmic) {
+  util::Rng rng(7);
+  const std::uint64_t n = 64;
+  std::vector<Edge> edges;
+  for (int i = 0; i < 300; ++i) edges.push_back({rng.next_below(n), rng.next_below(n)});
+  std::uint64_t rounds = 0;
+  auto matching = run_matching(8, n, edges, &rounds);
+  EXPECT_TRUE(MaximalMatchingAlgorithm::verify_matching(matching, n, edges));
+  EXPECT_LT(rounds, 4 * 16);  // ~log phases of 4 rounds
+}
+
+TEST(MaximalMatching, VerifierRejectsBadMatchings) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  EXPECT_FALSE(MaximalMatchingAlgorithm::verify_matching({{0, 1}, {1, 2}}, 3, edges));
+  EXPECT_FALSE(MaximalMatchingAlgorithm::verify_matching({}, 3, edges));
+  EXPECT_TRUE(MaximalMatchingAlgorithm::verify_matching({{0, 1}}, 3, edges));
+}
+
+}  // namespace
+}  // namespace mpch::mpclib

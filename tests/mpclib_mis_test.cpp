@@ -1,0 +1,102 @@
+#include "mpclib/mis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mpch::mpclib {
+namespace {
+
+mpc::MpcConfig config(std::uint64_t m) {
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = 1 << 20;
+  c.query_budget = 1;
+  c.max_rounds = 2000;
+  c.tape_seed = 31;
+  return c;
+}
+
+std::vector<bool> run_mis(std::uint64_t machines, std::uint64_t n,
+                          const std::vector<Edge>& edges, std::uint64_t* rounds = nullptr) {
+  mpc::MpcSimulation sim(config(machines), nullptr);
+  LubyMisAlgorithm algo(machines, n);
+  auto result = sim.run(algo, LubyMisAlgorithm::make_initial_memory(machines, n, edges));
+  EXPECT_TRUE(result.completed);
+  if (rounds != nullptr) *rounds = result.rounds_used;
+  return LubyMisAlgorithm::parse_membership(result.output, n);
+}
+
+TEST(LubyMis, EmptyGraphTakesEveryVertex) {
+  auto mis = run_mis(3, 6, {});
+  for (bool b : mis) EXPECT_TRUE(b);
+}
+
+TEST(LubyMis, TriangleTakesExactlyOne) {
+  std::vector<Edge> tri = {{0, 1}, {1, 2}, {0, 2}};
+  auto mis = run_mis(2, 3, tri);
+  EXPECT_TRUE(LubyMisAlgorithm::verify_mis(mis, 3, tri));
+  EXPECT_EQ(std::count(mis.begin(), mis.end(), true), 1);
+}
+
+TEST(LubyMis, PathGraphValid) {
+  std::vector<Edge> path;
+  const std::uint64_t n = 16;
+  for (std::uint64_t i = 0; i + 1 < n; ++i) path.push_back({i, i + 1});
+  auto mis = run_mis(4, n, path);
+  EXPECT_TRUE(LubyMisAlgorithm::verify_mis(mis, n, path));
+  // A path MIS has at least n/3 vertices.
+  EXPECT_GE(std::count(mis.begin(), mis.end(), true), static_cast<long>(n / 3));
+}
+
+TEST(LubyMis, StarTakesCenterOrAllLeaves) {
+  std::vector<Edge> star;
+  for (std::uint64_t i = 1; i < 12; ++i) star.push_back({0, i});
+  auto mis = run_mis(4, 12, star);
+  EXPECT_TRUE(LubyMisAlgorithm::verify_mis(mis, 12, star));
+  if (mis[0]) {
+    EXPECT_EQ(std::count(mis.begin(), mis.end(), true), 1);
+  } else {
+    EXPECT_EQ(std::count(mis.begin(), mis.end(), true), 11);
+  }
+}
+
+TEST(LubyMis, RandomGraphsValidAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    const std::uint64_t n = 48;
+    std::vector<Edge> edges;
+    for (int i = 0; i < 120; ++i) edges.push_back({rng.next_below(n), rng.next_below(n)});
+    auto mis = run_mis(6, n, edges);
+    EXPECT_TRUE(LubyMisAlgorithm::verify_mis(mis, n, edges)) << "seed=" << seed;
+  }
+}
+
+TEST(LubyMis, SelfLoopsIgnored) {
+  std::vector<Edge> edges = {{0, 0}, {1, 2}};
+  auto mis = run_mis(2, 3, edges);
+  EXPECT_TRUE(LubyMisAlgorithm::verify_mis(mis, 3, edges));
+  EXPECT_TRUE(mis[0]);  // isolated apart from the self-loop
+}
+
+TEST(LubyMis, PhasesAreLogarithmic) {
+  // Dense random graph: rounds (4 per phase) stay far below n.
+  util::Rng rng(9);
+  const std::uint64_t n = 64;
+  std::vector<Edge> edges;
+  for (int i = 0; i < 400; ++i) edges.push_back({rng.next_below(n), rng.next_below(n)});
+  std::uint64_t rounds = 0;
+  auto mis = run_mis(8, n, edges, &rounds);
+  EXPECT_TRUE(LubyMisAlgorithm::verify_mis(mis, n, edges));
+  EXPECT_LT(rounds, 4 * 12);  // ~log n phases, 4 rounds each
+}
+
+TEST(LubyMis, VerifierRejectsBadSets) {
+  std::vector<Edge> edges = {{0, 1}};
+  EXPECT_FALSE(LubyMisAlgorithm::verify_mis({true, true}, 2, edges));   // dependent
+  EXPECT_FALSE(LubyMisAlgorithm::verify_mis({false, false}, 2, edges));  // not maximal
+  EXPECT_TRUE(LubyMisAlgorithm::verify_mis({true, false}, 2, edges));
+}
+
+}  // namespace
+}  // namespace mpch::mpclib

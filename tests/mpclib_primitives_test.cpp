@@ -1,0 +1,127 @@
+#include "mpclib/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/serialize.hpp"
+
+namespace mpch::mpclib {
+namespace {
+
+using util::BitString;
+
+mpc::MpcConfig config(std::uint64_t m, std::uint64_t s = 1 << 16) {
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = s;
+  c.query_budget = 1;
+  c.max_rounds = 200;
+  c.tape_seed = 3;
+  return c;
+}
+
+TEST(PackU64, RoundTrip) {
+  std::vector<std::uint64_t> values = {0, 1, UINT64_MAX, 42};
+  auto [tag, decoded] = unpack_u64s(pack_u64s(5, values));
+  EXPECT_EQ(tag, 5u);
+  EXPECT_EQ(decoded, values);
+}
+
+TEST(PackU64, EmptyVector) {
+  auto [tag, decoded] = unpack_u64s(pack_u64s(2, {}));
+  EXPECT_EQ(tag, 2u);
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(PackU64, PayloadBitsFormula) {
+  EXPECT_EQ(pack_u64s(1, {1, 2, 3}).size(), u64_payload_bits(3));
+}
+
+class BroadcastTest : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(BroadcastTest, AllMachinesReceiveTheValue) {
+  auto [m, fanout] = GetParam();
+  mpc::MpcSimulation sim(config(m), nullptr);
+  BroadcastAlgorithm algo(m, fanout);
+  BitString value = BitString::from_uint(0xBEEF, 16);
+  mpc::MpcRunResult result = sim.run(algo, {value});
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds_used, BroadcastAlgorithm::predicted_rounds(m, fanout));
+  // Union of outputs = m copies of the value.
+  ASSERT_EQ(result.output.size(), m * 16);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    EXPECT_EQ(result.output.get_uint(i * 16, 16), 0xBEEFu) << "machine " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BroadcastTest,
+                         ::testing::Combine(::testing::Values(1, 2, 5, 16, 33),
+                                            ::testing::Values(1, 2, 4)));
+
+TEST(Broadcast, PredictedRoundsGrowLogarithmically) {
+  EXPECT_EQ(BroadcastAlgorithm::predicted_rounds(1, 2), 1u);
+  EXPECT_LT(BroadcastAlgorithm::predicted_rounds(64, 4),
+            BroadcastAlgorithm::predicted_rounds(64, 1));
+  // fanout 1 doubles coverage each round: ceil(log2 m) + 1 rounds.
+  EXPECT_EQ(BroadcastAlgorithm::predicted_rounds(8, 1), 4u);
+}
+
+class AllReduceTest : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(AllReduceTest, EveryMachineOutputsGlobalSum) {
+  auto [m, fanout] = GetParam();
+  mpc::MpcSimulation sim(config(m), nullptr);
+  AllReduceSumAlgorithm algo(m, fanout);
+  std::vector<BitString> shares;
+  std::uint64_t expected = 0;
+  for (std::uint64_t i = 0; i < m; ++i) {
+    shares.push_back(pack_u64s(3 /*kHold*/, {i * 10 + 1}));
+    expected += i * 10 + 1;
+  }
+  mpc::MpcRunResult result = sim.run(algo, shares);
+  ASSERT_TRUE(result.completed);
+  // Parse m concatenated outputs, all equal to the sum.
+  util::BitReader r(result.output);
+  std::uint64_t outputs = 0;
+  while (r.remaining() > 0) {
+    r.read_uint(4);
+    std::uint64_t count = r.read_uint(32);
+    ASSERT_EQ(count, 1u);
+    EXPECT_EQ(r.read_uint(64), expected);
+    ++outputs;
+  }
+  EXPECT_EQ(outputs, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, AllReduceTest,
+                         ::testing::Combine(::testing::Values(1, 2, 7, 16),
+                                            ::testing::Values(2, 3)));
+
+TEST(PrefixSum, ComputesInclusivePrefixInThreeRounds) {
+  const std::uint64_t m = 4;
+  mpc::MpcSimulation sim(config(m), nullptr);
+  PrefixSumAlgorithm algo(m);
+  std::vector<std::vector<std::uint64_t>> values = {{1, 2}, {3}, {}, {4, 5, 6}};
+  mpc::MpcRunResult result = sim.run(algo, PrefixSumAlgorithm::make_initial_memory(values));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds_used, 3u);
+  std::vector<std::uint64_t> prefix = PrefixSumAlgorithm::parse_output(result.output);
+  std::vector<std::uint64_t> expected = {1, 3, 6, 10, 15, 21};
+  EXPECT_EQ(prefix, expected);
+}
+
+TEST(PrefixSum, SingleMachine) {
+  mpc::MpcSimulation sim(config(1), nullptr);
+  PrefixSumAlgorithm algo(1);
+  mpc::MpcRunResult result =
+      sim.run(algo, PrefixSumAlgorithm::make_initial_memory({{5, 5, 5}}));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(PrefixSumAlgorithm::parse_output(result.output),
+            (std::vector<std::uint64_t>{5, 10, 15}));
+}
+
+}  // namespace
+}  // namespace mpch::mpclib

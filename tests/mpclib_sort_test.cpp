@@ -1,0 +1,111 @@
+#include "mpclib/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace mpch::mpclib {
+namespace {
+
+mpc::MpcConfig config(std::uint64_t m, std::uint64_t s = 1 << 18) {
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = s;
+  c.query_budget = 1;
+  c.max_rounds = 16;
+  c.tape_seed = 9;
+  return c;
+}
+
+std::vector<std::vector<std::uint64_t>> random_partition(std::uint64_t total, std::uint64_t m,
+                                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<std::uint64_t>> parts(m);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    parts[rng.next_below(m)].push_back(rng.next_u64() % 100000);
+  }
+  return parts;
+}
+
+class SampleSortTest : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(SampleSortTest, SortsGloballyInFourRounds) {
+  auto [m, total] = GetParam();
+  auto parts = random_partition(total, m, m * 1000 + total);
+  std::vector<std::uint64_t> expected;
+  for (const auto& p : parts) expected.insert(expected.end(), p.begin(), p.end());
+  std::sort(expected.begin(), expected.end());
+
+  mpc::MpcSimulation sim(config(m), nullptr);
+  SampleSortAlgorithm algo(m, 8);
+  mpc::MpcRunResult result = sim.run(algo, SampleSortAlgorithm::make_initial_memory(parts));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds_used, SampleSortAlgorithm::kRounds);
+  EXPECT_EQ(SampleSortAlgorithm::parse_output(result.output), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SampleSortTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                                            ::testing::Values(0, 1, 50, 500)));
+
+TEST(SampleSort, HandlesDuplicateKeys) {
+  const std::uint64_t m = 4;
+  std::vector<std::vector<std::uint64_t>> parts = {
+      {7, 7, 7}, {7, 7}, {7}, {7, 7, 7, 7}};
+  mpc::MpcSimulation sim(config(m), nullptr);
+  SampleSortAlgorithm algo(m, 4);
+  mpc::MpcRunResult result = sim.run(algo, SampleSortAlgorithm::make_initial_memory(parts));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(SampleSortAlgorithm::parse_output(result.output),
+            std::vector<std::uint64_t>(10, 7));
+}
+
+TEST(SampleSort, AlreadySortedAndReversed) {
+  const std::uint64_t m = 3;
+  std::vector<std::vector<std::uint64_t>> parts = {{1, 2, 3}, {4, 5, 6}, {9, 8, 7}};
+  mpc::MpcSimulation sim(config(m), nullptr);
+  SampleSortAlgorithm algo(m, 4);
+  mpc::MpcRunResult result = sim.run(algo, SampleSortAlgorithm::make_initial_memory(parts));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(SampleSortAlgorithm::parse_output(result.output),
+            (std::vector<std::uint64_t>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(SampleSort, SkewedDistributionStillSorts) {
+  // All keys land in one bucket range: the splitters degenerate but the
+  // output must still be sorted.
+  const std::uint64_t m = 4;
+  std::vector<std::vector<std::uint64_t>> parts(m);
+  util::Rng rng(5);
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 100; ++i) {
+    std::uint64_t k = 1000 + rng.next_below(3);  // only 3 distinct keys
+    parts[rng.next_below(m)].push_back(k);
+    expected.push_back(k);
+  }
+  std::sort(expected.begin(), expected.end());
+  mpc::MpcSimulation sim(config(m), nullptr);
+  SampleSortAlgorithm algo(m, 8);
+  mpc::MpcRunResult result = sim.run(algo, SampleSortAlgorithm::make_initial_memory(parts));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(SampleSortAlgorithm::parse_output(result.output), expected);
+}
+
+TEST(SampleSort, CommunicationBoundedByData) {
+  const std::uint64_t m = 4;
+  auto parts = random_partition(200, m, 77);
+  mpc::MpcSimulation sim(config(m), nullptr);
+  SampleSortAlgorithm algo(m, 8);
+  mpc::MpcRunResult result = sim.run(algo, SampleSortAlgorithm::make_initial_memory(parts));
+  ASSERT_TRUE(result.completed);
+  // Each key moves O(1) times: total communication stays within a small
+  // multiple of the data size plus per-message headers.
+  std::uint64_t data_bits = 200 * 64;
+  EXPECT_LT(result.trace.total_communicated_bits(), 6 * data_bits + 8192);
+}
+
+}  // namespace
+}  // namespace mpch::mpclib

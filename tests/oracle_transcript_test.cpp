@@ -1,0 +1,104 @@
+#include "hash/oracle_transcript.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace mpch::hash {
+namespace {
+
+using util::BitString;
+
+std::shared_ptr<RandomOracle> make_inner() {
+  return std::make_shared<LazyRandomOracle>(16, 16, 123);
+}
+
+TEST(CountingOracle, EnforcesPerRoundBudget) {
+  auto transcript = std::make_shared<OracleTranscript>();
+  CountingOracle co(make_inner(), 0, 3, transcript);
+  co.begin_round(0);
+  for (int i = 0; i < 3; ++i) co.query(BitString::from_uint(i, 16));
+  EXPECT_EQ(co.remaining_budget(), 0u);
+  EXPECT_THROW(co.query(BitString::from_uint(9, 16)), QueryBudgetExceeded);
+}
+
+TEST(CountingOracle, BudgetResetsEachRound) {
+  auto transcript = std::make_shared<OracleTranscript>();
+  CountingOracle co(make_inner(), 0, 2, transcript);
+  co.begin_round(0);
+  co.query(BitString::from_uint(1, 16));
+  co.query(BitString::from_uint(2, 16));
+  co.begin_round(1);
+  EXPECT_EQ(co.remaining_budget(), 2u);
+  co.query(BitString::from_uint(3, 16));
+  EXPECT_EQ(co.queries_this_round(), 1u);
+  EXPECT_EQ(co.total_queries(), 3u);
+}
+
+TEST(CountingOracle, RecordsTranscriptWithRoundAndMachine) {
+  auto transcript = std::make_shared<OracleTranscript>();
+  auto inner = make_inner();
+  CountingOracle m0(inner, 0, 10, transcript);
+  CountingOracle m1(inner, 1, 10, transcript);
+  m0.begin_round(0);
+  m1.begin_round(0);
+  m0.query(BitString::from_uint(5, 16));
+  m1.query(BitString::from_uint(6, 16));
+  m0.begin_round(1);
+  m0.query(BitString::from_uint(7, 16));
+
+  ASSERT_EQ(transcript->size(), 3u);
+  EXPECT_EQ(transcript->queries_of(0, 0).size(), 1u);
+  EXPECT_EQ(transcript->queries_of(1, 0).size(), 1u);
+  EXPECT_EQ(transcript->queries_of(0, 1).size(), 1u);
+  EXPECT_EQ(transcript->queries_of(1, 1).size(), 0u);
+  EXPECT_EQ(transcript->queries_up_to(0).size(), 2u);
+  EXPECT_EQ(transcript->queries_up_to(1).size(), 3u);
+}
+
+TEST(CountingOracle, AnswersMatchInnerOracle) {
+  auto inner = make_inner();
+  auto transcript = std::make_shared<OracleTranscript>();
+  CountingOracle co(inner, 0, 10, transcript);
+  co.begin_round(0);
+  BitString x = BitString::from_uint(77, 16);
+  EXPECT_EQ(co.query(x), inner->query(x));
+  // Transcript records the answer too.
+  EXPECT_EQ(transcript->records()[0].output, inner->query(x));
+}
+
+TEST(CountingOracle, SharedInnerOracleIsConsistentAcrossMachines) {
+  auto inner = make_inner();
+  auto transcript = std::make_shared<OracleTranscript>();
+  CountingOracle m0(inner, 0, 10, transcript);
+  CountingOracle m1(inner, 1, 10, transcript);
+  m0.begin_round(0);
+  m1.begin_round(0);
+  BitString x = BitString::from_uint(1000, 16);
+  EXPECT_EQ(m0.query(x), m1.query(x));
+}
+
+TEST(OracleTranscript, IntersectCountDistinctTargets) {
+  OracleTranscript t;
+  std::vector<BitString> inputs = {BitString::from_uint(1, 8), BitString::from_uint(2, 8),
+                                   BitString::from_uint(1, 8)};
+  std::vector<BitString> targets = {BitString::from_uint(1, 8), BitString::from_uint(3, 8)};
+  EXPECT_EQ(t.intersect_count(inputs, targets), 1u);
+  targets.push_back(BitString::from_uint(2, 8));
+  EXPECT_EQ(t.intersect_count(inputs, targets), 2u);
+}
+
+TEST(CountingOracle, NullInnerRejected) {
+  auto transcript = std::make_shared<OracleTranscript>();
+  EXPECT_THROW(CountingOracle(nullptr, 0, 1, transcript), std::invalid_argument);
+}
+
+TEST(CountingOracle, ZeroBudgetRejectsImmediately) {
+  auto transcript = std::make_shared<OracleTranscript>();
+  CountingOracle co(make_inner(), 0, 0, transcript);
+  co.begin_round(0);
+  EXPECT_THROW(co.query(BitString::from_uint(0, 16)), QueryBudgetExceeded);
+}
+
+}  // namespace
+}  // namespace mpch::hash

@@ -1,0 +1,143 @@
+#include "core/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpch::core {
+namespace {
+
+TEST(LineParams, DerivesLayoutWidths) {
+  LineParams p = LineParams::make(64, 16, 32, 1000);
+  EXPECT_EQ(p.n, 64u);
+  EXPECT_EQ(p.u, 16u);
+  EXPECT_EQ(p.v, 32u);
+  EXPECT_EQ(p.w, 1000u);
+  EXPECT_EQ(p.ell_bits, 6u);        // ceil_log2(33)
+  EXPECT_EQ(p.index_bits, 10u);     // ceil_log2(1002)
+  EXPECT_EQ(p.input_bits(), 512u);  // u*v
+  EXPECT_EQ(p.output_bits(), 64u);
+  EXPECT_EQ(p.z_bits(), 64u - 6u - 16u);
+}
+
+TEST(LineParams, RejectsZeroParameters) {
+  EXPECT_THROW(LineParams::make(0, 1, 1, 1), std::invalid_argument);
+  EXPECT_THROW(LineParams::make(64, 0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(LineParams::make(64, 1, 0, 1), std::invalid_argument);
+  EXPECT_THROW(LineParams::make(64, 1, 1, 0), std::invalid_argument);
+}
+
+TEST(LineParams, RejectsOverfullQueryLayout) {
+  // 2u + index_bits > n.
+  EXPECT_THROW(LineParams::make(32, 16, 4, 100), std::invalid_argument);
+}
+
+TEST(LineParams, RejectsOverfullAnswerLayout) {
+  // ell_bits + u > n: u = 30, n = 32, v large.
+  EXPECT_THROW(LineParams::make(32, 30, 1 << 10, 2), std::invalid_argument);
+}
+
+TEST(LineParams, ToStringMentionsAllFields) {
+  LineParams p = LineParams::make(64, 16, 8, 100);
+  std::string s = p.to_string();
+  EXPECT_NE(s.find("n=64"), std::string::npos);
+  EXPECT_NE(s.find("u=16"), std::string::npos);
+  EXPECT_NE(s.find("v=8"), std::string::npos);
+  EXPECT_NE(s.find("w=100"), std::string::npos);
+}
+
+TEST(PaperRegime, DerivesTable3Parameters) {
+  PaperRegime r;
+  r.n = 3000;
+  r.S = 100000;
+  r.T = 1000000;
+  r.q = 1 << 20;
+  r.m = 1024;
+  r.s = 25000;
+  LineParams p = r.derive_line_params();
+  EXPECT_EQ(p.u, 1000u);       // n/3
+  EXPECT_EQ(p.v, 100u);        // S/u
+  EXPECT_EQ(p.w, 1000000u);    // T
+}
+
+TEST(PaperRegime, AllChecksPassInTheoremRegime) {
+  // n = 3000: 2^{n^{1/4}} = 2^7.4 ~ huge... n^{1/4} ~ 7.4 so bound = 2^7.4 ~
+  // 169. Use a larger n so the regime genuinely holds.
+  PaperRegime r;
+  r.n = 65536 * 16;  // n^{1/4} = 32 -> bound 2^32
+  r.S = 1 << 20;
+  r.T = 1 << 24;
+  r.q = 1 << 10;
+  r.m = 1 << 10;
+  r.s = (1 << 20) / 4;
+  EXPECT_TRUE(r.all_satisfied(2.0)) << [&] {
+    std::string out;
+    for (const auto& c : r.checks()) {
+      if (!c.satisfied) out += c.name + " (" + c.detail + "); ";
+    }
+    return out;
+  }();
+}
+
+TEST(PaperRegime, DetectsViolations) {
+  PaperRegime r;
+  r.n = 65536 * 16;
+  r.S = 1 << 20;
+  r.T = 1 << 19;  // T < S violates S <= T
+  r.q = 1 << 10;
+  r.m = 1 << 10;
+  r.s = (1 << 19) + 1;  // s > S/2 violates s <= S/c for c=2
+  EXPECT_FALSE(r.all_satisfied(2.0));
+  bool found_t = false, found_s = false;
+  for (const auto& c : r.checks(2.0)) {
+    if (c.name == "S <= T" && !c.satisfied) found_t = true;
+    if (c.name == "s <= S/c" && !c.satisfied) found_s = true;
+  }
+  EXPECT_TRUE(found_t);
+  EXPECT_TRUE(found_s);
+}
+
+TEST(PaperRegime, Lemma36HZeroWhenPreconditionFails) {
+  PaperRegime r;
+  r.n = 30;  // u = 10, far too small for (log^2 w + 2) log v + log q
+  r.S = 1000;
+  r.T = 100000;
+  r.q = 1 << 10;
+  r.m = 4;
+  r.s = 100;
+  EXPECT_EQ(r.lemma36_h(), 0.0);
+}
+
+TEST(PaperRegime, Lemma36HPositiveInValidRegime) {
+  PaperRegime r;
+  r.n = 1 << 20;  // u ~ 350k dominates the subtracted terms
+  r.S = 1 << 22;
+  r.T = 1 << 24;
+  r.q = 1 << 10;
+  r.m = 16;
+  r.s = 1 << 20;
+  double h = r.lemma36_h();
+  EXPECT_GT(h, 1.0);
+  EXPECT_LT(h, 1e6);
+}
+
+// Parameter sweep: derived layouts always fit (the constructor guarantees).
+class ParamsSweepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> {};
+
+TEST_P(ParamsSweepTest, LayoutInvariants) {
+  auto [u, v, w] = GetParam();
+  std::uint64_t n = 3 * u + 20;  // roomy
+  LineParams p = LineParams::make(n, u, v, w);
+  EXPECT_LE(p.index_bits + 2 * p.u, p.n);
+  EXPECT_LE(p.ell_bits + p.u, p.n);
+  EXPECT_EQ(p.z_bits() + p.ell_bits + p.u, p.n);
+  EXPECT_GE(1ULL << p.ell_bits, p.v);
+  EXPECT_GE(1ULL << p.index_bits, p.w + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParamsSweepTest,
+    ::testing::Combine(::testing::Values(4, 8, 16, 24), ::testing::Values(2, 4, 7, 16, 100),
+                       ::testing::Values(1, 2, 100, 4096)));
+
+}  // namespace
+}  // namespace mpch::core

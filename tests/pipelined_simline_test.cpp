@@ -1,0 +1,110 @@
+#include "strategies/pipelined_simline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/simline.hpp"
+#include "hash/random_oracle.hpp"
+#include "util/rng.hpp"
+
+namespace mpch::strategies {
+namespace {
+
+core::LineParams params(std::uint64_t w) { return core::LineParams::make(64, 16, 8, w); }
+
+struct Fix {
+  core::LineParams p;
+  std::shared_ptr<hash::LazyRandomOracle> oracle;
+  core::LineInput input;
+  util::BitString expected;
+
+  Fix(std::uint64_t w, std::uint64_t seed)
+      : p(params(w)),
+        oracle(std::make_shared<hash::LazyRandomOracle>(p.n, p.n, seed)),
+        input(make_input(p, seed)),
+        expected(core::SimLineFunction(p).evaluate(*oracle, input)) {}
+
+  static core::LineInput make_input(const core::LineParams& p, std::uint64_t seed) {
+    util::Rng rng(seed * 13 + 5);
+    return core::LineInput::random(p, rng);
+  }
+};
+
+mpc::MpcConfig config(const PipelinedSimLineStrategy& strat, std::uint64_t m) {
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = strat.required_local_memory();
+  c.query_budget = 1 << 20;
+  c.max_rounds = 10000;
+  c.tape_seed = 5;
+  return c;
+}
+
+TEST(PipelinedSimLine, ComputesTheCorrectOutput) {
+  Fix setup(64, 1);
+  const std::uint64_t m = 4;
+  PipelinedSimLineStrategy strat(setup.p, OwnershipPlan::windows(setup.p, m, 2));
+  mpc::MpcSimulation sim(config(strat, m), setup.oracle);
+  auto result = sim.run(strat, strat.make_initial_memory(setup.input));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.output, setup.expected);
+}
+
+TEST(PipelinedSimLine, MeasuredRoundsMatchClosedForm) {
+  for (std::uint64_t window : {1ULL, 2ULL, 4ULL}) {
+    Fix setup(128, window + 10);
+    const std::uint64_t m = 4;
+    PipelinedSimLineStrategy strat(setup.p, OwnershipPlan::windows(setup.p, m, window));
+    mpc::MpcSimulation sim(config(strat, m), setup.oracle);
+    auto result = sim.run(strat, strat.make_initial_memory(setup.input));
+    ASSERT_TRUE(result.completed) << "window=" << window;
+    EXPECT_EQ(result.rounds_used, strat.predicted_rounds()) << "window=" << window;
+    EXPECT_EQ(result.output, setup.expected) << "window=" << window;
+  }
+}
+
+TEST(PipelinedSimLine, RoundsScaleInverselyWithWindow) {
+  // rounds ≈ w / window: the Θ(T·u/s) upper bound of Theorem A.1.
+  Fix s1(256, 3), s2(256, 3);
+  const std::uint64_t m = 4;
+  PipelinedSimLineStrategy small(s1.p, OwnershipPlan::windows(s1.p, m, 1));
+  PipelinedSimLineStrategy large(s2.p, OwnershipPlan::windows(s2.p, m, 4));
+  mpc::MpcSimulation sim1(config(small, m), s1.oracle);
+  mpc::MpcSimulation sim2(config(large, m), s2.oracle);
+  auto r1 = sim1.run(small, small.make_initial_memory(s1.input));
+  auto r2 = sim2.run(large, large.make_initial_memory(s2.input));
+  ASSERT_TRUE(r1.completed);
+  ASSERT_TRUE(r2.completed);
+  EXPECT_EQ(r1.rounds_used, 256u);      // window 1: one node per round
+  EXPECT_EQ(r2.rounds_used, 256u / 4);  // window 4: four nodes per round
+}
+
+TEST(PipelinedSimLine, WholeInputWindowOneRound) {
+  Fix setup(64, 9);
+  PipelinedSimLineStrategy strat(setup.p, OwnershipPlan::windows(setup.p, 1, 8));
+  mpc::MpcSimulation sim(config(strat, 1), setup.oracle);
+  auto result = sim.run(strat, strat.make_initial_memory(setup.input));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds_used, 1u);
+  EXPECT_EQ(result.output, setup.expected);
+}
+
+TEST(PipelinedSimLine, HonestQueryCountIsW) {
+  Fix setup(128, 11);
+  const std::uint64_t m = 2;
+  PipelinedSimLineStrategy strat(setup.p, OwnershipPlan::windows(setup.p, m, 4));
+  mpc::MpcSimulation sim(config(strat, m), setup.oracle);
+  auto result = sim.run(strat, strat.make_initial_memory(setup.input));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.trace.total_oracle_queries(), setup.p.w);
+}
+
+TEST(PipelinedSimLine, PredictedRoundsFormula) {
+  core::LineParams p = params(128);  // v = 8
+  // window=2, m=4: windows [1,2],[3,4],[5,6],[7,8] on machines 0..3; the
+  // schedule walks blocks 1..8 cyclically, 16 cycles of 4 hand-offs each.
+  PipelinedSimLineStrategy strat(p, OwnershipPlan::windows(p, 4, 2));
+  EXPECT_EQ(strat.predicted_rounds(), 64u);
+}
+
+}  // namespace
+}  // namespace mpch::strategies

@@ -1,0 +1,149 @@
+#include "strategies/pointer_chasing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/line.hpp"
+#include "hash/random_oracle.hpp"
+#include "util/rng.hpp"
+
+namespace mpch::strategies {
+namespace {
+
+core::LineParams params(std::uint64_t w = 64) {
+  return core::LineParams::make(64, 16, 8, w);
+}
+
+struct Fix {
+  core::LineParams p;
+  std::shared_ptr<hash::LazyRandomOracle> oracle;
+  core::LineInput input;
+  util::BitString expected;
+
+  Fix(std::uint64_t w, std::uint64_t seed)
+      : p(params(w)),
+        oracle(std::make_shared<hash::LazyRandomOracle>(p.n, p.n, seed)),
+        input(make_input(p, seed)),
+        expected(core::LineFunction(p).evaluate(*oracle, input)) {}
+
+  static core::LineInput make_input(const core::LineParams& p, std::uint64_t seed) {
+    util::Rng rng(seed * 7 + 1);
+    return core::LineInput::random(p, rng);
+  }
+};
+
+mpc::MpcConfig config(const PointerChasingStrategy& strat, std::uint64_t m,
+                      std::uint64_t max_rounds = 10000) {
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = strat.required_local_memory();
+  c.query_budget = 1 << 20;
+  c.max_rounds = max_rounds;
+  c.tape_seed = 5;
+  return c;
+}
+
+TEST(PointerChasing, ComputesTheCorrectOutput) {
+  Fix setup(64, 1);
+  const std::uint64_t m = 4;
+  PointerChasingStrategy strat(setup.p, OwnershipPlan::round_robin(setup.p, m));
+  mpc::MpcSimulation sim(config(strat, m), setup.oracle);
+  auto result = sim.run(strat, strat.make_initial_memory(setup.input));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.output, setup.expected);
+}
+
+TEST(PointerChasing, SingleMachineOwningEverythingFinishesInOneRound) {
+  Fix setup(64, 2);
+  PointerChasingStrategy strat(setup.p, OwnershipPlan::round_robin(setup.p, 1));
+  mpc::MpcSimulation sim(config(strat, 1), setup.oracle);
+  auto result = sim.run(strat, strat.make_initial_memory(setup.input));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds_used, 1u);
+  EXPECT_EQ(result.output, setup.expected);
+}
+
+TEST(PointerChasing, RoundsGrowWithMachineCount) {
+  // More machines => smaller per-machine fraction f => more rounds.
+  Fix s2(256, 3), s8(256, 3);
+  PointerChasingStrategy strat2(s2.p, OwnershipPlan::round_robin(s2.p, 2));
+  PointerChasingStrategy strat8(s8.p, OwnershipPlan::round_robin(s8.p, 8));
+  mpc::MpcSimulation sim2(config(strat2, 2), s2.oracle);
+  mpc::MpcSimulation sim8(config(strat8, 8), s8.oracle);
+  auto r2 = sim2.run(strat2, strat2.make_initial_memory(s2.input));
+  auto r8 = sim8.run(strat8, strat8.make_initial_memory(s8.input));
+  ASSERT_TRUE(r2.completed);
+  ASSERT_TRUE(r8.completed);
+  EXPECT_LT(r2.rounds_used, r8.rounds_used);
+  EXPECT_EQ(r2.output, s2.expected);
+  EXPECT_EQ(r8.output, s8.expected);
+}
+
+TEST(PointerChasing, ReplicationReducesRounds) {
+  Fix setup(256, 4);
+  const std::uint64_t m = 4;
+  // Partitioned: 2 blocks/machine (f = 1/4). Replicated: 6 blocks/machine.
+  PointerChasingStrategy part(setup.p, OwnershipPlan::round_robin(setup.p, m));
+  PointerChasingStrategy repl(setup.p, OwnershipPlan::replicated(setup.p, m, 6));
+  mpc::MpcSimulation sim_part(config(part, m), setup.oracle);
+  auto r_part = sim_part.run(part, part.make_initial_memory(setup.input));
+  Fix setup2(256, 4);  // fresh oracle object with same seed (same function)
+  mpc::MpcSimulation sim_repl(config(repl, m), setup2.oracle);
+  auto r_repl = sim_repl.run(repl, repl.make_initial_memory(setup2.input));
+  ASSERT_TRUE(r_part.completed);
+  ASSERT_TRUE(r_repl.completed);
+  EXPECT_EQ(r_part.output, setup.expected);
+  EXPECT_EQ(r_repl.output, setup.expected);
+  EXPECT_LT(r_repl.rounds_used, r_part.rounds_used);
+}
+
+TEST(PointerChasing, AdvanceAnnotationsSumToW) {
+  Fix setup(128, 5);
+  const std::uint64_t m = 4;
+  PointerChasingStrategy strat(setup.p, OwnershipPlan::round_robin(setup.p, m));
+  mpc::MpcSimulation sim(config(strat, m), setup.oracle);
+  auto result = sim.run(strat, strat.make_initial_memory(setup.input));
+  ASSERT_TRUE(result.completed);
+  std::uint64_t total = 0;
+  for (std::uint64_t a : result.trace.annotation("advance")) total += a;
+  EXPECT_EQ(total, setup.p.w);
+  // Queries = exactly w (honest: one per node).
+  EXPECT_EQ(result.trace.total_oracle_queries(), setup.p.w);
+}
+
+TEST(PointerChasing, RequiredMemoryIsTight) {
+  Fix setup(64, 6);
+  const std::uint64_t m = 4;
+  PointerChasingStrategy strat(setup.p, OwnershipPlan::round_robin(setup.p, m));
+  // One bit less than required must blow up the inbox check.
+  mpc::MpcConfig c = config(strat, m);
+  c.local_memory_bits = strat.required_local_memory() - 1 -
+                        Frontier::encoded_bits(setup.p) - kTagBits;
+  mpc::MpcSimulation sim(c, setup.oracle);
+  EXPECT_THROW(sim.run(strat, strat.make_initial_memory(setup.input)), mpc::MemoryViolation);
+}
+
+TEST(PointerChasing, DeterministicAcrossRuns) {
+  Fix a(128, 7), b(128, 7);
+  const std::uint64_t m = 4;
+  PointerChasingStrategy sa(a.p, OwnershipPlan::round_robin(a.p, m));
+  PointerChasingStrategy sb(b.p, OwnershipPlan::round_robin(b.p, m));
+  mpc::MpcSimulation sim_a(config(sa, m), a.oracle);
+  mpc::MpcSimulation sim_b(config(sb, m), b.oracle);
+  auto ra = sim_a.run(sa, sa.make_initial_memory(a.input));
+  auto rb = sim_b.run(sb, sb.make_initial_memory(b.input));
+  EXPECT_EQ(ra.rounds_used, rb.rounds_used);
+  EXPECT_EQ(ra.output, rb.output);
+}
+
+TEST(PointerChasing, MoreMachinesThanBlocks) {
+  Fix setup(32, 8);
+  const std::uint64_t m = 16;  // v = 8 < m: half the machines own nothing
+  PointerChasingStrategy strat(setup.p, OwnershipPlan::round_robin(setup.p, m));
+  mpc::MpcSimulation sim(config(strat, m), setup.oracle);
+  auto result = sim.run(strat, strat.make_initial_memory(setup.input));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.output, setup.expected);
+}
+
+}  // namespace
+}  // namespace mpch::strategies

@@ -1,0 +1,151 @@
+#include "strategies/ram_emulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ram/machine.hpp"
+
+namespace mpch::strategies {
+namespace {
+
+using namespace ram::asm_ops;
+
+/// The array-sum loop: mem[0..n-1] summed into R0.
+std::vector<ram::Instruction> sum_program(std::uint64_t n) {
+  return {
+      loadi(0, 0),   // acc
+      loadi(1, 0),   // i
+      loadi(2, n),   // n
+      loadi(5, 1),   // 1
+      lt(3, 1, 2),   // 4: i < n
+      jz(3, 10),     // 5
+      load(4, 1),    // 6
+      add(0, 0, 4),  // 7
+      add(1, 1, 5),  // 8
+      jmp(4),        // 9
+      halt(),        // 10
+  };
+}
+
+/// In-place reversal of mem[0..n-1] via loads and stores.
+std::vector<ram::Instruction> reverse_program(std::uint64_t n) {
+  return {
+      loadi(1, 0),      // 0: i = 0
+      loadi(2, n - 1),  // 1: j = n-1
+      loadi(5, 1),      // 2: one
+      lt(3, 1, 2),      // 3: i < j
+      jz(3, 12),        // 4
+      load(4, 1),       // 5: R4 = mem[i]
+      load(6, 2),       // 6: R6 = mem[j]
+      store(6, 1),      // 7: mem[i] = R6
+      store(4, 2),      // 8: mem[j] = R4
+      add(1, 1, 5),     // 9: i += 1
+      sub(2, 2, 5),     // 10: j -= 1
+      jmp(3),           // 11
+      halt(),           // 12
+  };
+}
+
+mpc::MpcRunResult run_emulated(const std::vector<ram::Instruction>& prog,
+                               const std::vector<std::uint64_t>& memory, std::uint64_t machines,
+                               std::uint64_t steps_per_round, RamEmulationStrategy** out_strat,
+                               std::unique_ptr<RamEmulationStrategy>& holder) {
+  holder = std::make_unique<RamEmulationStrategy>(prog, machines, steps_per_round);
+  if (out_strat != nullptr) *out_strat = holder.get();
+  mpc::MpcConfig c;
+  c.machines = machines;
+  c.local_memory_bits = holder->required_local_memory(memory.size());
+  c.query_budget = 1;
+  c.max_rounds = 1 << 20;
+  mpc::MpcSimulation sim(c, nullptr);
+  return sim.run(*holder, holder->make_initial_memory(memory));
+}
+
+TEST(RamEmulation, MatchesNativeExecutionOnSum) {
+  std::vector<std::uint64_t> memory = {3, 1, 4, 1, 5, 9, 2, 6};
+  auto prog = sum_program(memory.size());
+
+  ram::RamMachine native(prog, memory);
+  native.run();
+
+  std::unique_ptr<RamEmulationStrategy> holder;
+  auto result = run_emulated(prog, memory, 4, 1, nullptr, holder);
+  ASSERT_TRUE(result.completed);
+  ram::RamState final_state = RamEmulationStrategy::parse_output(result.output);
+  EXPECT_TRUE(final_state == native.state());
+  EXPECT_EQ(final_state.regs[0], 31u);
+}
+
+TEST(RamEmulation, StoresVisibleToLaterLoads) {
+  std::vector<std::uint64_t> memory = {1, 2, 3, 4, 5, 6};
+  auto prog = reverse_program(memory.size());
+
+  ram::RamMachine native(prog, memory);
+  native.run();
+
+  std::unique_ptr<RamEmulationStrategy> holder;
+  auto result = run_emulated(prog, memory, 3, 1, nullptr, holder);
+  ASSERT_TRUE(result.completed);
+  ram::RamState final_state = RamEmulationStrategy::parse_output(result.output);
+  EXPECT_TRUE(final_state == native.state());
+}
+
+TEST(RamEmulation, RoundsScaleWithInstructionCountAtOneStepPerRound) {
+  // "an MPC algorithm can compute the function in T rounds by emulating the
+  // RAM computation step by step": rounds within a small constant of steps.
+  for (std::uint64_t n : {4, 8, 16}) {
+    std::vector<std::uint64_t> memory(n, 1);
+    auto prog = sum_program(n);
+    ram::RamMachine native(prog, memory);
+    native.run();
+    std::uint64_t steps = native.steps_executed();
+
+    std::unique_ptr<RamEmulationStrategy> holder;
+    auto result = run_emulated(prog, memory, 4, 1, nullptr, holder);
+    ASSERT_TRUE(result.completed) << n;
+    EXPECT_GE(result.rounds_used, steps);          // at least one round per step
+    EXPECT_LE(result.rounds_used, 3 * steps + 4);  // loads cost extra round-trips
+  }
+}
+
+TEST(RamEmulation, UnboundedStepsPerRoundCollapsesToLoadCount) {
+  const std::uint64_t n = 16;
+  std::vector<std::uint64_t> memory(n, 2);
+  auto prog = sum_program(n);
+
+  std::unique_ptr<RamEmulationStrategy> holder;
+  auto result = run_emulated(prog, memory, 4, 0, nullptr, holder);
+  ASSERT_TRUE(result.completed);
+  // n loads, each costing ~3 rounds of round trip; far below total steps.
+  EXPECT_LE(result.rounds_used, 3 * n + 4);
+  EXPECT_EQ(RamEmulationStrategy::parse_output(result.output).regs[0], 2 * n);
+}
+
+TEST(RamEmulation, CpuMemoryFootprintIsLogarithmic) {
+  // The CPU carries O(1) words regardless of RAM size — the "O(log S) local
+  // memory" part of the paper's remark. Verify the strategy's CPU share of
+  // required memory does not grow with memory_words.
+  RamEmulationStrategy strat(sum_program(4), 9, 1);
+  // With more servers, per-server share shrinks; CPU cost is the floor.
+  std::uint64_t small = strat.required_local_memory(8);
+  std::uint64_t big = strat.required_local_memory(8000);
+  EXPECT_GT(big, small);  // server share grows...
+  RamEmulationStrategy many_servers(sum_program(4), 801, 1);
+  // ...but with enough servers the bound approaches the constant CPU state.
+  EXPECT_LT(many_servers.required_local_memory(8000), small * 4);
+}
+
+TEST(RamEmulation, NeedsTwoMachines) {
+  EXPECT_THROW(RamEmulationStrategy(sum_program(2), 1, 1), std::invalid_argument);
+}
+
+TEST(RamEmulation, ProgramWithNoMemoryOps) {
+  std::vector<ram::Instruction> prog = {loadi(0, 5), loadi(1, 7), mul(2, 0, 1), halt()};
+  std::unique_ptr<RamEmulationStrategy> holder;
+  auto result = run_emulated(prog, {}, 2, 1, nullptr, holder);
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(RamEmulationStrategy::parse_output(result.output).regs[2], 35u);
+  EXPECT_EQ(result.rounds_used, 4u);  // one instruction per round
+}
+
+}  // namespace
+}  // namespace mpch::strategies

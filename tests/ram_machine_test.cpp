@@ -1,0 +1,131 @@
+#include "ram/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpch::ram {
+namespace {
+
+using namespace asm_ops;
+
+TEST(RamMachine, StraightLineArithmetic) {
+  std::vector<Instruction> prog = {
+      loadi(0, 21), loadi(1, 2), mul(2, 0, 1),  // R2 = 42
+      sub(3, 2, 1),                             // R3 = 40
+      bxor(4, 2, 3),                            // R4 = 42 ^ 40
+      halt(),
+  };
+  RamMachine machine(prog, {});
+  machine.run();
+  EXPECT_TRUE(machine.state().halted);
+  EXPECT_EQ(machine.state().regs[2], 42u);
+  EXPECT_EQ(machine.state().regs[3], 40u);
+  EXPECT_EQ(machine.state().regs[4], 42u ^ 40u);
+  EXPECT_EQ(machine.steps_executed(), 6u);
+}
+
+TEST(RamMachine, LoadStore) {
+  std::vector<Instruction> prog = {
+      loadi(1, 3),   // addr 3
+      load(0, 1),    // R0 = mem[3]
+      loadi(2, 99),  // value
+      loadi(3, 0),   // addr 0
+      store(2, 3),   // mem[0] = 99
+      halt(),
+  };
+  RamMachine machine(prog, {1, 2, 3, 7});
+  machine.run();
+  EXPECT_EQ(machine.state().regs[0], 7u);
+  EXPECT_EQ(machine.memory()[0], 99u);
+}
+
+TEST(RamMachine, LoopSumsArray) {
+  std::vector<Instruction> prog = {
+      loadi(0, 0),    // 0: R0 = acc
+      loadi(1, 0),    // 1: R1 = i
+      loadi(2, 5),    // 2: R2 = n
+      loadi(5, 1),    // 3: R5 = 1
+      lt(3, 1, 2),    // 4: R3 = i < n
+      jz(3, 10),      // 5: exit loop
+      load(4, 1),     // 6: R4 = mem[i]
+      add(0, 0, 4),   // 7: acc += R4
+      add(1, 1, 5),   // 8: i += 1
+      jmp(4),         // 9: loop
+      halt(),         // 10
+  };
+  RamMachine machine(prog, {10, 20, 30, 40, 50});
+  machine.run();
+  EXPECT_EQ(machine.state().regs[0], 150u);
+  EXPECT_TRUE(machine.state().halted);
+}
+
+TEST(RamMachine, BranchesTakenAndNot) {
+  std::vector<Instruction> prog = {
+      loadi(0, 0),
+      jz(0, 3),      // taken
+      loadi(1, 111),  // skipped
+      loadi(2, 5),
+      jnz(2, 6),     // taken
+      loadi(3, 222),  // skipped
+      halt(),
+  };
+  RamMachine machine(prog, {});
+  machine.run();
+  EXPECT_EQ(machine.state().regs[1], 0u);
+  EXPECT_EQ(machine.state().regs[3], 0u);
+  EXPECT_EQ(machine.state().regs[2], 5u);
+}
+
+TEST(RamMachine, ShiftOps) {
+  std::vector<Instruction> prog = {
+      loadi(0, 1), loadi(1, 10),
+      {Opcode::kShl, 2, 0, 1, 0},  // R2 = 1 << 10
+      {Opcode::kShr, 3, 2, 0, 0},  // R3 = R2 >> 1
+      halt(),
+  };
+  RamMachine machine(prog, {});
+  machine.run();
+  EXPECT_EQ(machine.state().regs[2], 1024u);
+  EXPECT_EQ(machine.state().regs[3], 512u);
+}
+
+TEST(RamMachine, OutOfBoundsMemoryThrows) {
+  std::vector<Instruction> prog = {loadi(1, 10), load(0, 1), halt()};
+  RamMachine machine(prog, {1, 2});
+  EXPECT_THROW(machine.run(), std::out_of_range);
+}
+
+TEST(RamMachine, StepBudgetStopsInfiniteLoop) {
+  std::vector<Instruction> prog = {jmp(0)};
+  RamMachine machine(prog, {});
+  EXPECT_EQ(machine.run(100), 100u);
+  EXPECT_FALSE(machine.state().halted);
+}
+
+TEST(RamMachine, StepAfterHaltThrows) {
+  std::vector<Instruction> prog = {halt()};
+  RamMachine machine(prog, {});
+  machine.run();
+  EXPECT_THROW(RamMachine::step(prog, machine.state()), std::logic_error);
+}
+
+TEST(RamMachine, RejectsEmptyProgram) {
+  EXPECT_THROW(RamMachine({}, {}), std::invalid_argument);
+}
+
+TEST(RamMachine, BadRegisterThrows) {
+  std::vector<Instruction> prog = {{Opcode::kMov, 9, 0, 0, 0}};
+  RamMachine machine(prog, {});
+  EXPECT_THROW(machine.run(), std::out_of_range);
+}
+
+TEST(RamMachine, StepEffectIsPure) {
+  std::vector<Instruction> prog = {loadi(0, 7), halt()};
+  RamState s;
+  StepEffect e1 = RamMachine::step(prog, s);
+  StepEffect e2 = RamMachine::step(prog, s);
+  EXPECT_TRUE(e1.next == e2.next);
+  EXPECT_EQ(s.pc, 0u);  // input untouched
+}
+
+}  // namespace
+}  // namespace mpch::ram

@@ -1,0 +1,51 @@
+#include "ram/ram_meter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpch::ram {
+namespace {
+
+TEST(RamMeter, ChargesQueriesAtOracleCost) {
+  RamMeter meter(64);
+  meter.charge_query();
+  meter.charge_query();
+  EXPECT_EQ(meter.costs().oracle_queries, 2u);
+  EXPECT_EQ(meter.costs().time_units, 128u);
+}
+
+TEST(RamMeter, ChargesWordOps) {
+  RamMeter meter(10);
+  meter.charge_ops(5);
+  meter.charge_ops();
+  EXPECT_EQ(meter.costs().word_ops, 6u);
+  EXPECT_EQ(meter.costs().time_units, 6u);
+}
+
+TEST(RamMeter, TracksPeakMemory) {
+  RamMeter meter(1);
+  meter.allocate_bits(100);
+  meter.allocate_bits(50);
+  EXPECT_EQ(meter.costs().peak_memory_bits, 150u);
+  meter.free_bits(120);
+  EXPECT_EQ(meter.live_bits(), 30u);
+  meter.allocate_bits(60);
+  EXPECT_EQ(meter.costs().peak_memory_bits, 150u);  // peak unchanged
+  meter.allocate_bits(100);
+  EXPECT_EQ(meter.costs().peak_memory_bits, 190u);  // new peak
+}
+
+TEST(RamMeter, OverFreeingThrows) {
+  RamMeter meter(1);
+  meter.allocate_bits(10);
+  EXPECT_THROW(meter.free_bits(11), std::logic_error);
+}
+
+TEST(RamMeter, TimeCombinesQueriesAndOps) {
+  RamMeter meter(7);
+  meter.charge_query();
+  meter.charge_ops(3);
+  EXPECT_EQ(meter.costs().time_units, 10u);
+}
+
+}  // namespace
+}  // namespace mpch::ram

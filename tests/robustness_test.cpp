@@ -1,0 +1,135 @@
+// robustness_test.cpp — failure injection: corrupted and truncated inputs
+// must produce typed exceptions, never silent wrong answers or crashes.
+#include <gtest/gtest.h>
+
+#include "compress/simline_codec.hpp"
+#include "core/line.hpp"
+#include "core/simline.hpp"
+#include "mpclib/primitives.hpp"
+#include "strategies/block_store.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace mpch {
+namespace {
+
+using util::BitString;
+
+TEST(Robustness, TruncatedBlockSetThrows) {
+  core::LineParams p = core::LineParams::make(64, 16, 8, 16);
+  strategies::BlockSet set(p);
+  util::Rng rng(1);
+  set.add(3, BitString::random(p.u, [&] { return rng.next_u64(); }));
+  BitString wire = set.encode();
+  wire.truncate(wire.size() - 4);
+  EXPECT_THROW(strategies::BlockSet::decode(p, wire), std::out_of_range);
+}
+
+TEST(Robustness, BlockSetCountLyingHighThrows) {
+  core::LineParams p = core::LineParams::make(64, 16, 8, 16);
+  // A count field claiming more records than the payload holds.
+  util::BitWriter w;
+  w.write_uint(5, 32);
+  w.write_uint(1, p.ell_bits);
+  w.write_bits(BitString(p.u));
+  EXPECT_THROW(strategies::BlockSet::decode(p, w.take()), std::out_of_range);
+}
+
+TEST(Robustness, BlockSetBadIndexThrows) {
+  core::LineParams p = core::LineParams::make(64, 16, 8, 16);
+  util::BitWriter w;
+  w.write_uint(1, 32);
+  w.write_uint(15, p.ell_bits);  // index > v = 8
+  w.write_bits(BitString(p.u));
+  EXPECT_THROW(strategies::BlockSet::decode(p, w.take()), std::out_of_range);
+}
+
+TEST(Robustness, TruncatedFrontierThrows) {
+  core::LineParams p = core::LineParams::make(64, 16, 8, 16);
+  strategies::Frontier f;
+  f.r = BitString(p.u);
+  BitString wire = f.encode(p);
+  wire.truncate(wire.size() / 2);
+  EXPECT_THROW(strategies::Frontier::decode(p, wire), std::out_of_range);
+}
+
+TEST(Robustness, TruncatedU64PayloadThrows) {
+  BitString wire = mpclib::pack_u64s(1, {1, 2, 3});
+  wire.truncate(wire.size() - 30);
+  EXPECT_THROW(mpclib::unpack_u64s(wire), std::out_of_range);
+}
+
+TEST(Robustness, CompressorDecodeOfTruncatedMessageThrows) {
+  core::LineParams p = core::LineParams::make(14, 4, 8, 16);
+  util::Rng rng(2);
+  hash::ExhaustiveRandomOracle oracle(p.n, p.n, rng);
+  core::LineInput input = core::LineInput::random(p, rng);
+  core::SimLineFunction fn(p);
+  core::SimLineChain chain = fn.evaluate_chain(oracle, input);
+
+  std::vector<std::pair<std::uint64_t, BitString>> blocks = {{1, input.block(1)}};
+  BitString memory = compress::SimLineWindowProgram::make_memory(p, 1, chain.nodes[0].r, blocks);
+  compress::SimLineCompressor comp(p, 16);
+  compress::SimLineWindowProgram program(p);
+  auto enc =
+      comp.encode(oracle, input, memory, program, {chain.nodes[0].query}, {1});
+
+  BitString truncated = enc.message;
+  truncated.truncate(truncated.size() - p.u);  // drop part of the residual
+  EXPECT_THROW(comp.decode(truncated, program), std::out_of_range);
+}
+
+TEST(Robustness, CompressorPointerPastQueryStreamThrows) {
+  core::LineParams p = core::LineParams::make(14, 4, 8, 16);
+  util::Rng rng(3);
+  hash::ExhaustiveRandomOracle oracle(p.n, p.n, rng);
+  core::LineInput input = core::LineInput::random(p, rng);
+  core::SimLineFunction fn(p);
+  core::SimLineChain chain = fn.evaluate_chain(oracle, input);
+
+  std::vector<std::pair<std::uint64_t, BitString>> blocks = {{1, input.block(1)}};
+  BitString memory = compress::SimLineWindowProgram::make_memory(p, 1, chain.nodes[0].r, blocks);
+  compress::SimLineCompressor comp(p, 16);
+  compress::SimLineWindowProgram program(p);
+  auto enc = comp.encode(oracle, input, memory, program, {chain.nodes[0].query}, {1});
+  ASSERT_EQ(enc.covered, 1u);
+
+  // Corrupt the pointer's query position to the maximum: the decoder's
+  // replayed query stream is far shorter.
+  BitString msg = enc.message;
+  std::uint64_t pointer_pos = oracle.table_bits() + 32 + memory.size() + 32;
+  msg.set_uint(pointer_pos, 4, 15);  // qpos field = 15 >> actual stream length
+  EXPECT_THROW(comp.decode(msg, program), std::invalid_argument);
+}
+
+TEST(Robustness, BitStringOperationsRejectCorruptRanges) {
+  BitString b(16);
+  EXPECT_THROW(b.slice(10, 10), std::out_of_range);
+  EXPECT_THROW(b.splice(10, BitString(10)), std::out_of_range);
+  EXPECT_THROW(b.set_uint(0, 65, 0), std::invalid_argument);
+}
+
+TEST(Robustness, CorruptedChainAnswerChangesLineOutput) {
+  // Flip one bit in an intermediate oracle answer: the final output must
+  // change — no silent error absorption along the chain.
+  core::LineParams p = core::LineParams::make(14, 4, 8, 16);
+  util::Rng rng(4);
+  hash::ExhaustiveRandomOracle oracle(p.n, p.n, rng);
+  core::LineInput input = core::LineInput::random(p, rng);
+  core::LineFunction f(p);
+  core::LineChain chain = f.evaluate_chain(oracle, input);
+
+  hash::ExhaustiveRandomOracle corrupted = oracle;
+  const auto& mid = chain.nodes[p.w / 2];
+  BitString answer = mid.answer;
+  answer.set(p.n - 1, !answer.get(p.n - 1));  // flip a z-bit... still changes entry
+  corrupted.set_entry(mid.query.get_uint(0, p.n), answer);
+  // Flipping only z does not change the walk; flip an r-bit instead.
+  BitString answer2 = mid.answer;
+  answer2.set(p.ell_bits, !answer2.get(p.ell_bits));  // first r bit
+  corrupted.set_entry(mid.query.get_uint(0, p.n), answer2);
+  EXPECT_NE(f.evaluate(corrupted, input), chain.output);
+}
+
+}  // namespace
+}  // namespace mpch

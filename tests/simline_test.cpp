@@ -1,0 +1,111 @@
+#include "core/simline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/line.hpp"
+
+#include "hash/random_oracle.hpp"
+#include "util/rng.hpp"
+
+namespace mpch::core {
+namespace {
+
+using util::BitString;
+
+LineParams params() { return LineParams::make(64, 16, 8, 64); }
+
+TEST(SimLineFunction, ScheduleIsPeriodicModV) {
+  LineParams p = params();
+  SimLineFunction f(p);
+  EXPECT_EQ(f.scheduled_block(1), 1u);
+  EXPECT_EQ(f.scheduled_block(8), 8u);
+  EXPECT_EQ(f.scheduled_block(9), 1u);
+  EXPECT_EQ(f.scheduled_block(17), 1u);
+  EXPECT_EQ(f.scheduled_block(16), 8u);
+}
+
+TEST(SimLineFunction, Deterministic) {
+  LineParams p = params();
+  SimLineFunction f(p);
+  hash::LazyRandomOracle oracle(p.n, p.n, 1);
+  util::Rng rng(2);
+  LineInput input = LineInput::random(p, rng);
+  EXPECT_EQ(f.evaluate(oracle, input), f.evaluate(oracle, input));
+}
+
+TEST(SimLineFunction, ChainMatchesEvaluate) {
+  LineParams p = params();
+  SimLineFunction f(p);
+  hash::LazyRandomOracle oracle(p.n, p.n, 3);
+  util::Rng rng(4);
+  LineInput input = LineInput::random(p, rng);
+  SimLineChain chain = f.evaluate_chain(oracle, input);
+  EXPECT_EQ(chain.nodes.size(), p.w);
+  EXPECT_EQ(chain.output, f.evaluate(oracle, input));
+}
+
+TEST(SimLineFunction, ChainStructure) {
+  LineParams p = params();
+  SimLineFunction f(p);
+  SimLineCodec codec(p);
+  hash::LazyRandomOracle oracle(p.n, p.n, 5);
+  util::Rng rng(6);
+  LineInput input = LineInput::random(p, rng);
+  SimLineChain chain = f.evaluate_chain(oracle, input);
+
+  EXPECT_EQ(chain.nodes[0].r, BitString(p.u));
+  for (std::size_t i = 0; i < chain.nodes.size(); ++i) {
+    const auto& node = chain.nodes[i];
+    EXPECT_EQ(node.block, f.scheduled_block(node.index));
+    SimLineQuery parsed = codec.decode_query(node.query);
+    EXPECT_EQ(parsed.x, input.block(node.block));
+    EXPECT_EQ(parsed.r, node.r);
+    if (i + 1 < chain.nodes.size()) {
+      EXPECT_EQ(chain.nodes[i + 1].r, codec.decode_answer(node.answer).r);
+    }
+  }
+}
+
+TEST(SimLineFunction, EveryBlockMattersWhenWCoversV) {
+  // With w >= v every block is visited, so flipping any block changes the
+  // output (w.h.p. over the oracle).
+  LineParams p = params();
+  SimLineFunction f(p);
+  hash::LazyRandomOracle oracle(p.n, p.n, 7);
+  util::Rng rng(8);
+  LineInput input = LineInput::random(p, rng);
+  BitString base = f.evaluate(oracle, input);
+  for (std::uint64_t b = 1; b <= p.v; ++b) {
+    BitString bits = input.bits();
+    bits.set((b - 1) * p.u, !bits.get((b - 1) * p.u));
+    EXPECT_NE(f.evaluate(oracle, LineInput(p, bits)), base) << "block " << b;
+  }
+}
+
+TEST(SimLineFunction, MeterMatchesUpperBound) {
+  LineParams p = params();
+  SimLineFunction f(p);
+  hash::LazyRandomOracle oracle(p.n, p.n, 9);
+  util::Rng rng(10);
+  LineInput input = LineInput::random(p, rng);
+  ram::RamMeter meter(p.n);
+  f.evaluate(oracle, input, &meter);
+  EXPECT_EQ(meter.costs().oracle_queries, p.w);
+  EXPECT_GE(meter.costs().time_units, p.w * p.n);
+  EXPECT_LE(meter.costs().peak_memory_bits, p.input_bits() + 2 * p.n + 64);
+  EXPECT_EQ(meter.live_bits(), 0u);
+}
+
+TEST(SimLineFunction, DistinctFromLineOnSameOracle) {
+  // Line and SimLine are different functions of the same oracle and input.
+  LineParams p = params();
+  SimLineFunction sim(p);
+  hash::LazyRandomOracle oracle(p.n, p.n, 11);
+  util::Rng rng(12);
+  LineInput input = LineInput::random(p, rng);
+  LineFunction line(p);
+  EXPECT_NE(sim.evaluate(oracle, input), line.evaluate(oracle, input));
+}
+
+}  // namespace
+}  // namespace mpch::core

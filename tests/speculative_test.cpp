@@ -1,0 +1,123 @@
+#include "strategies/speculative.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/line.hpp"
+#include "hash/random_oracle.hpp"
+#include "strategies/pointer_chasing.hpp"
+#include "util/rng.hpp"
+
+namespace mpch::strategies {
+namespace {
+
+struct Fix {
+  core::LineParams p;
+  std::shared_ptr<hash::LazyRandomOracle> oracle;
+  core::LineInput input;
+  util::BitString expected;
+
+  Fix(std::uint64_t u, std::uint64_t w, std::uint64_t seed)
+      : p(core::LineParams::make(3 * u + 16, u, 8, w)),
+        oracle(std::make_shared<hash::LazyRandomOracle>(p.n, p.n, seed)),
+        input(make_input(p, seed)),
+        expected(core::LineFunction(p).evaluate(*oracle, input)) {}
+
+  static core::LineInput make_input(const core::LineParams& p, std::uint64_t seed) {
+    util::Rng rng(seed * 3 + 11);
+    return core::LineInput::random(p, rng);
+  }
+};
+
+mpc::MpcConfig config(std::uint64_t local_bits, std::uint64_t m, std::uint64_t q) {
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = local_bits;
+  c.query_budget = q;
+  c.max_rounds = 20000;
+  c.tape_seed = 77;
+  return c;
+}
+
+TEST(Speculative, WithZeroGuessesMatchesPointerChasing) {
+  Fix setup(16, 128, 1);
+  const std::uint64_t m = 4;
+  OwnershipPlan plan = OwnershipPlan::round_robin(setup.p, m);
+  SpeculativeStrategy spec(setup.p, plan, {0, false}, setup.input);
+  PointerChasingStrategy honest(setup.p, plan);
+
+  mpc::MpcSimulation sim1(config(spec.required_local_memory(), m, 1 << 20), setup.oracle);
+  auto r_spec = sim1.run(spec, spec.make_initial_memory(setup.input));
+  Fix setup2(16, 128, 1);
+  mpc::MpcSimulation sim2(config(honest.required_local_memory(), m, 1 << 20), setup2.oracle);
+  auto r_honest = sim2.run(honest, honest.make_initial_memory(setup2.input));
+
+  ASSERT_TRUE(r_spec.completed);
+  ASSERT_TRUE(r_honest.completed);
+  EXPECT_EQ(r_spec.rounds_used, r_honest.rounds_used);
+  EXPECT_EQ(r_spec.output, setup.expected);
+  EXPECT_EQ(spec.lucky_escapes(), 0u);
+}
+
+TEST(Speculative, EnumerationAtTinyUCollapsesRounds) {
+  // u = 4: 16 candidate blocks; enumerating all escapes every stall, so the
+  // carrier machine walks the whole chain in round 0.
+  Fix setup(4, 64, 2);
+  const std::uint64_t m = 4;
+  OwnershipPlan plan = OwnershipPlan::round_robin(setup.p, m);
+  SpeculativeConfig cfg{16, true};
+  SpeculativeStrategy spec(setup.p, plan, cfg, setup.input);
+  mpc::MpcSimulation sim(config(spec.required_local_memory(), m, 1 << 20), setup.oracle);
+  auto result = sim.run(spec, spec.make_initial_memory(setup.input));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds_used, 1u);
+  EXPECT_EQ(result.output, setup.expected);
+  EXPECT_GT(spec.lucky_escapes(), 0u);
+}
+
+TEST(Speculative, LargeUGuessingNeverEscapes) {
+  // u = 16 with only 64 random guesses per stall: escape probability
+  // 64/2^16 per stall — effectively never; rounds match honest behaviour.
+  Fix setup(16, 128, 3);
+  const std::uint64_t m = 4;
+  OwnershipPlan plan = OwnershipPlan::round_robin(setup.p, m);
+  SpeculativeStrategy spec(setup.p, plan, {64, false}, setup.input);
+  mpc::MpcSimulation sim(config(spec.required_local_memory(), m, 1 << 20), setup.oracle);
+  auto result = sim.run(spec, spec.make_initial_memory(setup.input));
+  ASSERT_TRUE(result.completed);
+  EXPECT_EQ(spec.lucky_escapes(), 0u);
+  EXPECT_EQ(result.output, setup.expected);
+  EXPECT_GT(result.rounds_used, setup.p.w / 4);  // no shortcut materialised
+}
+
+TEST(Speculative, QueryBudgetCapsGuessing) {
+  // With q = 4 the enumerate-16 attack cannot finish a stall's enumeration;
+  // escapes become rare and the budget is never exceeded.
+  Fix setup(4, 64, 4);
+  const std::uint64_t m = 4;
+  OwnershipPlan plan = OwnershipPlan::round_robin(setup.p, m);
+  SpeculativeStrategy spec(setup.p, plan, {16, true}, setup.input);
+  mpc::MpcSimulation sim(config(spec.required_local_memory(), m, 4), setup.oracle);
+  auto result = sim.run(spec, spec.make_initial_memory(setup.input));
+  ASSERT_TRUE(result.completed);  // still finishes eventually via hand-offs
+  EXPECT_EQ(result.output, setup.expected);
+  // Every round respects q: check the trace.
+  for (const auto& round : result.trace.rounds()) {
+    EXPECT_LE(round.oracle_queries, 4u * m);
+  }
+}
+
+TEST(Speculative, OutputAlwaysCorrectDespiteGuessing) {
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    Fix setup(6, 48, seed);
+    const std::uint64_t m = 3;
+    OwnershipPlan plan = OwnershipPlan::round_robin(setup.p, m);
+    SpeculativeStrategy spec(setup.p, plan, {8, false}, setup.input);
+    mpc::MpcSimulation sim(config(spec.required_local_memory(), m, 1 << 20), setup.oracle);
+    auto result = sim.run(spec, spec.make_initial_memory(setup.input));
+    ASSERT_TRUE(result.completed) << seed;
+    EXPECT_EQ(result.output, setup.expected) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mpch::strategies

@@ -1,0 +1,64 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mpch::util {
+namespace {
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add("alpha", 1);
+  t.add("b", 22222);
+  std::ostringstream os;
+  t.print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add(1, 2.5);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2.5\n");
+}
+
+TEST(Table, MixedCellTypes) {
+  Table t({"s", "i", "d", "b"});
+  t.add("str", 42, 3.14159, true);
+  EXPECT_EQ(t.rows(), 1u);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "s,i,d,b\nstr,42,3.1416,yes\n");
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(1.5), "1.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.12345, 3), "0.123");
+  EXPECT_EQ(format_double(-3.1000), "-3.1");
+}
+
+TEST(FormatLog2Prob, ShowsBothForms) {
+  std::string s = format_log2_prob(-3.0L);
+  EXPECT_NE(s.find("2^-3"), std::string::npos);
+  EXPECT_NE(s.find("0.125"), std::string::npos);
+  // Extremely small probabilities: exponent form only.
+  std::string tiny = format_log2_prob(-500.0L);
+  EXPECT_NE(tiny.find("2^-500"), std::string::npos);
+  EXPECT_EQ(tiny.find('('), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpch::util

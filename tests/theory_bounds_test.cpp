@@ -1,0 +1,185 @@
+#include "theory/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mpch::theory {
+namespace {
+
+core::LineParams paperish_params() {
+  // A regime where the Lemma 3.6 precondition genuinely holds:
+  // u = 4096 >> (log²w + 2)·log v + log q = (100+2)·4 + 10 = 418.
+  return core::LineParams::make(3 * 4096 + 64, 4096, 16, 1024);
+}
+
+MpcBoundParams mp(std::uint64_t m, std::uint64_t q, std::uint64_t s) {
+  MpcBoundParams p;
+  p.m = m;
+  p.q = q;
+  p.s = s;
+  return p;
+}
+
+TEST(Lemma33, MatchesDirectFormulaAtSmallParams) {
+  core::LineParams p = core::LineParams::make(64, 16, 4, 4);
+  MpcBoundParams b = mp(2, 8, 32);
+  // log2(w · v^{log²w} · (k+1)·m·q·2^{-u}) with w=4: log²w = 4.
+  long double expected = std::log2(4.0L) + 4.0L * std::log2(4.0L) + std::log2(3.0L) +
+                         std::log2(2.0L) + std::log2(8.0L) - 16.0L;
+  EXPECT_NEAR(static_cast<double>(lemma33_log2_prob(p, b, 2)), static_cast<double>(expected),
+              1e-9);
+}
+
+TEST(Lemma33, MonotoneInRoundsAndMachines) {
+  core::LineParams p = paperish_params();
+  MpcBoundParams b = mp(16, 1024, 1 << 14);
+  EXPECT_LT(lemma33_log2_prob(p, b, 1), lemma33_log2_prob(p, b, 10));
+  MpcBoundParams more_machines = mp(64, 1024, 1 << 14);
+  EXPECT_LT(lemma33_log2_prob(p, b, 1), lemma33_log2_prob(p, more_machines, 1));
+}
+
+TEST(Lemma33, ClampedAtProbabilityOne) {
+  // Tiny u makes the bound vacuous: clamp to 0 (= probability 1).
+  core::LineParams p = core::LineParams::make(28, 4, 8, 64);
+  EXPECT_EQ(static_cast<double>(lemma33_log2_prob(p, mp(64, 1024, 64), 10)), 0.0);
+}
+
+TEST(Lemma36, DenominatorAndH) {
+  core::LineParams p = paperish_params();
+  MpcBoundParams b = mp(16, 1024, 1 << 14);
+  long double denom = lemma36_denominator(p, b);
+  EXPECT_GT(denom, 0.0L);
+  long double h = lemma36_h(p, b);
+  EXPECT_NEAR(static_cast<double>(h), static_cast<double>(b.s) / static_cast<double>(denom) + 1.0,
+              1e-6);
+  // Probability bound = 2^{-denominator}.
+  EXPECT_NEAR(static_cast<double>(lemma36_log2_prob(p, b)), -static_cast<double>(denom), 1e-9);
+}
+
+TEST(Lemma36, VacuousWhenPreconditionFails) {
+  core::LineParams p = core::LineParams::make(28, 4, 8, 1024);
+  MpcBoundParams b = mp(4, 1024, 64);
+  EXPECT_GT(lemma36_h(p, b), static_cast<long double>(p.v));
+  EXPECT_EQ(static_cast<double>(lemma36_log2_prob(p, b)), 0.0);
+}
+
+TEST(Claim39, BetweenComponentBounds) {
+  core::LineParams p = paperish_params();
+  MpcBoundParams b = mp(16, 1024, 1 << 14);
+  long double total = claim39_log2_prob(p, b, 5);
+  // The union bound exceeds each individual term.
+  EXPECT_GE(total, lemma36_log2_prob(p, b) + std::log2(6.0L) + std::log2(16.0L) - 1e-9);
+  EXPECT_LE(total, 0.0L);
+}
+
+TEST(Lemma32, RoundLowerBound) {
+  core::LineParams p = paperish_params();  // w = 1024, log²w = 100
+  EXPECT_NEAR(static_cast<double>(lemma32_round_lower_bound(p)), 1024.0 / 100.0, 1e-9);
+}
+
+TEST(Lemma32, SuccessProbabilityTinyInTheoremRegime) {
+  core::LineParams p = paperish_params();
+  MpcBoundParams b = mp(16, 1024, 1 << 14);
+  // With u = 4096 and s = S/4 the dominating (h/v)^{log²w} term alone puts
+  // the bound below 2^{-100}.
+  EXPECT_LT(static_cast<double>(lemma32_success_log2_prob(p, b)), -100.0);
+}
+
+TEST(LemmaA2, HAndRoundBound) {
+  core::LineParams p = core::LineParams::make(3 * 64 + 16, 64, 16, 4096);
+  MpcBoundParams b = mp(8, 256, 512);
+  // h = s/(u - log q - log v) + 1 = 512/(64-8-4)+1.
+  long double h = lemmaA2_h(p, b);
+  EXPECT_NEAR(static_cast<double>(h), 512.0 / 52.0 + 1.0, 1e-9);
+  EXPECT_NEAR(static_cast<double>(lemmaA2_round_lower_bound(p, b)), 4096.0 / (512.0 / 52.0 + 1.0),
+              1e-6);
+}
+
+TEST(LemmaA2, RoundBoundScalesLikeTOverS) {
+  core::LineParams p = core::LineParams::make(3 * 64 + 16, 64, 16, 1 << 14);
+  long double r_small_s = lemmaA2_round_lower_bound(p, mp(8, 256, 256));
+  long double r_big_s = lemmaA2_round_lower_bound(p, mp(8, 256, 2048));
+  EXPECT_GT(r_small_s, r_big_s);
+  // Doubling w doubles the bound.
+  core::LineParams p2 = core::LineParams::make(3 * 64 + 16, 64, 16, 1 << 15);
+  EXPECT_NEAR(static_cast<double>(lemmaA2_round_lower_bound(p2, mp(8, 256, 256)) / r_small_s),
+              2.0, 1e-9);
+}
+
+TEST(LemmaA3, ExponentLinearInAlpha) {
+  core::LineParams p = core::LineParams::make(3 * 64 + 16, 64, 16, 4096);
+  MpcBoundParams b = mp(8, 256, 100);
+  long double lp1 = lemmaA3_log2_prob(p, b, 4.0L);
+  long double lp2 = lemmaA3_log2_prob(p, b, 8.0L);
+  // Each extra unit of α multiplies the bound by 2^{-(u - log q - log v)}.
+  long double per_alpha = 64.0L - 8.0L - 4.0L;
+  EXPECT_NEAR(static_cast<double>(lp1 - lp2), static_cast<double>(4.0L * per_alpha), 1e-6);
+}
+
+TEST(LemmaA7, IsExactlyMinusU) {
+  core::LineParams p = core::LineParams::make(64, 16, 8, 64);
+  EXPECT_EQ(static_cast<double>(lemmaA7_log2_prob(p)), -16.0);
+}
+
+TEST(ClaimA8, GrowsLinearlyInK) {
+  core::LineParams p = core::LineParams::make(3 * 64 + 16, 64, 16, 4096);
+  MpcBoundParams b = mp(8, 256, 512);
+  long double k0 = claimA8_log2_prob(p, b, 0);
+  long double k3 = claimA8_log2_prob(p, b, 3);
+  EXPECT_NEAR(static_cast<double>(k3 - k0), std::log2(4.0), 1e-9);
+}
+
+TEST(EncodingBounds, ClaimA4AndClaim37Formulas) {
+  core::LineParams p = core::LineParams::make(3 * 64 + 16, 64, 16, 1024);
+  MpcBoundParams b = mp(8, 256, 512);
+  long double table = 1000.0L;
+  // α = 0: bound = s + v·u + table.
+  EXPECT_NEAR(static_cast<double>(claimA4_encoding_bound_bits(p, b, 0.0L, table)),
+              512.0 + 16.0 * 64.0 + 1000.0, 1e-6);
+  // Every covered block trades u bits for (log q + log v).
+  long double a0 = claimA4_encoding_bound_bits(p, b, 0.0L, table);
+  long double a1 = claimA4_encoding_bound_bits(p, b, 1.0L, table);
+  EXPECT_NEAR(static_cast<double>(a0 - a1), 64.0 - (8.0 + 4.0), 1e-6);
+  // Claim 3.7 trades u for (log²w + 2)log v + log q per unit of h.
+  long double c0 = claim37_encoding_bound_bits(p, b, 0.0L, table);
+  long double c1 = claim37_encoding_bound_bits(p, b, 1.0L, table);
+  long double log_w = std::log2(1024.0L);
+  EXPECT_NEAR(static_cast<double>(c0 - c1),
+              64.0 - static_cast<double>((log_w * log_w + 2.0L) * 4.0L + 8.0L), 1e-6);
+}
+
+TEST(EncodingBounds, InformationFloor) {
+  core::LineParams p = core::LineParams::make(64, 16, 8, 64);
+  // eps = 1: floor = table + uv - 1.
+  EXPECT_NEAR(static_cast<double>(information_floor_bits(p, 500.0L, 0.0L)),
+              500.0 + 128.0 - 1.0, 1e-9);
+  // Smaller eps lowers the floor.
+  EXPECT_LT(information_floor_bits(p, 500.0L, -10.0L), information_floor_bits(p, 500.0L, 0.0L));
+}
+
+TEST(PointerChasingModel, ExpectedRounds) {
+  core::LineParams p = core::LineParams::make(64, 16, 8, 1001);
+  EXPECT_NEAR(static_cast<double>(pointer_chasing_expected_rounds(p, 0.0L)), 1001.0, 1e-9);
+  EXPECT_NEAR(static_cast<double>(pointer_chasing_expected_rounds(p, 0.5L)), 1.0 + 500.0, 1e-9);
+  EXPECT_EQ(static_cast<double>(pointer_chasing_expected_rounds(p, 1.0L)), 1.0);
+}
+
+TEST(Consistency, Lemma32RoundBoundIndependentOfSAndNearLinearInW) {
+  // The Line bound w/log²w does not degrade as s grows (only the success
+  // probability side conditions do) — unlike the SimLine bound w/h, which
+  // collapses as s -> S. That contrast is the paper's headline.
+  core::LineParams p = paperish_params();
+  EXPECT_EQ(static_cast<double>(lemma32_round_lower_bound(p)),
+            static_cast<double>(lemma32_round_lower_bound(p)));
+  MpcBoundParams small_s = mp(16, 1024, 1 << 10);
+  MpcBoundParams big_s = mp(16, 1024, 1 << 18);
+  EXPECT_GT(lemmaA2_round_lower_bound(p, small_s), lemmaA2_round_lower_bound(p, big_s));
+  // Near-linear in w: a 16x larger w grows the bound by more than 8x, since
+  // the log²w denominator grows only polylogarithmically.
+  core::LineParams p16 = core::LineParams::make(p.n, p.u, p.v, p.w * 16);
+  EXPECT_GT(lemma32_round_lower_bound(p16), 8.0L * lemma32_round_lower_bound(p));
+}
+
+}  // namespace
+}  // namespace mpch::theory

@@ -1,0 +1,84 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace mpch::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelChunksCoverExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t kTotal = 10007;  // prime: uneven chunking
+  std::vector<std::atomic<int>> touched(kTotal);
+  pool.parallel_chunks(kTotal, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelChunksChunkIndicesAreDistinct) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::vector<std::size_t> seen;
+  pool.parallel_chunks(
+      100,
+      [&](std::size_t chunk, std::size_t, std::size_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        seen.push_back(chunk);
+      },
+      10);
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST(ThreadPool, ZeroTotalIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_chunks(0, [&](std::size_t, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, MoreChunksThanItemsClamped) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_chunks(
+      3, [&](std::size_t, std::size_t begin, std::size_t end) {
+        EXPECT_EQ(end - begin, 1u);
+        calls.fetch_add(1);
+      },
+      50);
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> n{0};
+  global_pool().parallel_chunks(10, [&](std::size_t, std::size_t b, std::size_t e) {
+    n.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mpch::util
