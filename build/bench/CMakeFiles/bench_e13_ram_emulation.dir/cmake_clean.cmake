@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_ram_emulation.dir/bench_e13_ram_emulation.cpp.o"
+  "CMakeFiles/bench_e13_ram_emulation.dir/bench_e13_ram_emulation.cpp.o.d"
+  "bench_e13_ram_emulation"
+  "bench_e13_ram_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_ram_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

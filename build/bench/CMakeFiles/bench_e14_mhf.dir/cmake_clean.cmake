@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_mhf.dir/bench_e14_mhf.cpp.o"
+  "CMakeFiles/bench_e14_mhf.dir/bench_e14_mhf.cpp.o.d"
+  "bench_e14_mhf"
+  "bench_e14_mhf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_mhf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

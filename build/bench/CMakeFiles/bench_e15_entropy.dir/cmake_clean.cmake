@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_entropy.dir/bench_e15_entropy.cpp.o"
+  "CMakeFiles/bench_e15_entropy.dir/bench_e15_entropy.cpp.o.d"
+  "bench_e15_entropy"
+  "bench_e15_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

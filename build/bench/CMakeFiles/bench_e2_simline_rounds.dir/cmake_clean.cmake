@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_simline_rounds.dir/bench_e2_simline_rounds.cpp.o"
+  "CMakeFiles/bench_e2_simline_rounds.dir/bench_e2_simline_rounds.cpp.o.d"
+  "bench_e2_simline_rounds"
+  "bench_e2_simline_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_simline_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

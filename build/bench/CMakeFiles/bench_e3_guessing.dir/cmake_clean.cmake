@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_guessing.dir/bench_e3_guessing.cpp.o"
+  "CMakeFiles/bench_e3_guessing.dir/bench_e3_guessing.cpp.o.d"
+  "bench_e3_guessing"
+  "bench_e3_guessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_guessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_bset.dir/bench_e4_bset.cpp.o"
+  "CMakeFiles/bench_e4_bset.dir/bench_e4_bset.cpp.o.d"
+  "bench_e4_bset"
+  "bench_e4_bset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_bset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

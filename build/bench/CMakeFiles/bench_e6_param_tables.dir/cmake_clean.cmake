@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_param_tables.dir/bench_e6_param_tables.cpp.o"
+  "CMakeFiles/bench_e6_param_tables.dir/bench_e6_param_tables.cpp.o.d"
+  "bench_e6_param_tables"
+  "bench_e6_param_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_param_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

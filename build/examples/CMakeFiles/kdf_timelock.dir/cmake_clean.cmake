@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdf_timelock.dir/kdf_timelock.cpp.o"
+  "CMakeFiles/kdf_timelock.dir/kdf_timelock.cpp.o.d"
+  "kdf_timelock"
+  "kdf_timelock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdf_timelock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

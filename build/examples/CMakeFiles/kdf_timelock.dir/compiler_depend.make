@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kdf_timelock.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for kdf_timelock.
+# This may be replaced when dependencies are built.

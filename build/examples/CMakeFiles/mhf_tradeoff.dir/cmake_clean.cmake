@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhf_tradeoff.dir/mhf_tradeoff.cpp.o"
+  "CMakeFiles/mhf_tradeoff.dir/mhf_tradeoff.cpp.o.d"
+  "mhf_tradeoff"
+  "mhf_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhf_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_connectivity.dir/mpc_connectivity.cpp.o"
+  "CMakeFiles/mpc_connectivity.dir/mpc_connectivity.cpp.o.d"
+  "mpc_connectivity"
+  "mpc_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/accounting.cpp" "src/CMakeFiles/mpch.dir/compress/accounting.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/compress/accounting.cpp.o.d"
+  "/root/repo/src/compress/line_codec.cpp" "src/CMakeFiles/mpch.dir/compress/line_codec.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/compress/line_codec.cpp.o.d"
+  "/root/repo/src/compress/simline_codec.cpp" "src/CMakeFiles/mpch.dir/compress/simline_codec.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/compress/simline_codec.cpp.o.d"
+  "/root/repo/src/core/codec.cpp" "src/CMakeFiles/mpch.dir/core/codec.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/core/codec.cpp.o.d"
+  "/root/repo/src/core/input.cpp" "src/CMakeFiles/mpch.dir/core/input.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/core/input.cpp.o.d"
+  "/root/repo/src/core/line.cpp" "src/CMakeFiles/mpch.dir/core/line.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/core/line.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/mpch.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/simline.cpp" "src/CMakeFiles/mpch.dir/core/simline.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/core/simline.cpp.o.d"
+  "/root/repo/src/hash/blake2s.cpp" "src/CMakeFiles/mpch.dir/hash/blake2s.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/hash/blake2s.cpp.o.d"
+  "/root/repo/src/hash/oracle_transcript.cpp" "src/CMakeFiles/mpch.dir/hash/oracle_transcript.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/hash/oracle_transcript.cpp.o.d"
+  "/root/repo/src/hash/random_oracle.cpp" "src/CMakeFiles/mpch.dir/hash/random_oracle.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/hash/random_oracle.cpp.o.d"
+  "/root/repo/src/hash/sha256.cpp" "src/CMakeFiles/mpch.dir/hash/sha256.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/hash/sha256.cpp.o.d"
+  "/root/repo/src/mhf/romix.cpp" "src/CMakeFiles/mpch.dir/mhf/romix.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/mhf/romix.cpp.o.d"
+  "/root/repo/src/mpc/fanin_circuit.cpp" "src/CMakeFiles/mpch.dir/mpc/fanin_circuit.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/mpc/fanin_circuit.cpp.o.d"
+  "/root/repo/src/mpc/simulation.cpp" "src/CMakeFiles/mpch.dir/mpc/simulation.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/mpc/simulation.cpp.o.d"
+  "/root/repo/src/mpclib/connectivity.cpp" "src/CMakeFiles/mpch.dir/mpclib/connectivity.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/mpclib/connectivity.cpp.o.d"
+  "/root/repo/src/mpclib/matching.cpp" "src/CMakeFiles/mpch.dir/mpclib/matching.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/mpclib/matching.cpp.o.d"
+  "/root/repo/src/mpclib/mis.cpp" "src/CMakeFiles/mpch.dir/mpclib/mis.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/mpclib/mis.cpp.o.d"
+  "/root/repo/src/mpclib/primitives.cpp" "src/CMakeFiles/mpch.dir/mpclib/primitives.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/mpclib/primitives.cpp.o.d"
+  "/root/repo/src/mpclib/sort.cpp" "src/CMakeFiles/mpch.dir/mpclib/sort.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/mpclib/sort.cpp.o.d"
+  "/root/repo/src/ram/machine.cpp" "src/CMakeFiles/mpch.dir/ram/machine.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/ram/machine.cpp.o.d"
+  "/root/repo/src/stats/estimator.cpp" "src/CMakeFiles/mpch.dir/stats/estimator.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/stats/estimator.cpp.o.d"
+  "/root/repo/src/stats/trials.cpp" "src/CMakeFiles/mpch.dir/stats/trials.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/stats/trials.cpp.o.d"
+  "/root/repo/src/strategies/batch_pointer_chasing.cpp" "src/CMakeFiles/mpch.dir/strategies/batch_pointer_chasing.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/strategies/batch_pointer_chasing.cpp.o.d"
+  "/root/repo/src/strategies/block_store.cpp" "src/CMakeFiles/mpch.dir/strategies/block_store.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/strategies/block_store.cpp.o.d"
+  "/root/repo/src/strategies/colluding.cpp" "src/CMakeFiles/mpch.dir/strategies/colluding.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/strategies/colluding.cpp.o.d"
+  "/root/repo/src/strategies/dictionary.cpp" "src/CMakeFiles/mpch.dir/strategies/dictionary.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/strategies/dictionary.cpp.o.d"
+  "/root/repo/src/strategies/full_memory.cpp" "src/CMakeFiles/mpch.dir/strategies/full_memory.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/strategies/full_memory.cpp.o.d"
+  "/root/repo/src/strategies/guess_ahead.cpp" "src/CMakeFiles/mpch.dir/strategies/guess_ahead.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/strategies/guess_ahead.cpp.o.d"
+  "/root/repo/src/strategies/pipelined_simline.cpp" "src/CMakeFiles/mpch.dir/strategies/pipelined_simline.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/strategies/pipelined_simline.cpp.o.d"
+  "/root/repo/src/strategies/pointer_chasing.cpp" "src/CMakeFiles/mpch.dir/strategies/pointer_chasing.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/strategies/pointer_chasing.cpp.o.d"
+  "/root/repo/src/strategies/ram_emulation.cpp" "src/CMakeFiles/mpch.dir/strategies/ram_emulation.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/strategies/ram_emulation.cpp.o.d"
+  "/root/repo/src/strategies/speculative.cpp" "src/CMakeFiles/mpch.dir/strategies/speculative.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/strategies/speculative.cpp.o.d"
+  "/root/repo/src/theory/bounds.cpp" "src/CMakeFiles/mpch.dir/theory/bounds.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/theory/bounds.cpp.o.d"
+  "/root/repo/src/util/bitstring.cpp" "src/CMakeFiles/mpch.dir/util/bitstring.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/util/bitstring.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/mpch.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/mpch.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/mpch.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/mpch.dir/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for mpch.
+# This may be replaced when dependencies are built.

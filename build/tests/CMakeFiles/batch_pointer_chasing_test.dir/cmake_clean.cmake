@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_pointer_chasing_test.dir/batch_pointer_chasing_test.cpp.o"
+  "CMakeFiles/batch_pointer_chasing_test.dir/batch_pointer_chasing_test.cpp.o.d"
+  "batch_pointer_chasing_test"
+  "batch_pointer_chasing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_pointer_chasing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitstring_test.dir/bitstring_test.cpp.o"
+  "CMakeFiles/bitstring_test.dir/bitstring_test.cpp.o.d"
+  "bitstring_test"
+  "bitstring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blake2s_test.dir/blake2s_test.cpp.o"
+  "CMakeFiles/blake2s_test.dir/blake2s_test.cpp.o.d"
+  "blake2s_test"
+  "blake2s_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blake2s_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

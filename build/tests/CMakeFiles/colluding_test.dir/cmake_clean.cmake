@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colluding_test.dir/colluding_test.cpp.o"
+  "CMakeFiles/colluding_test.dir/colluding_test.cpp.o.d"
+  "colluding_test"
+  "colluding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colluding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

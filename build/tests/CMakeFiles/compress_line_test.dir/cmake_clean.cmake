@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_line_test.dir/compress_line_test.cpp.o"
+  "CMakeFiles/compress_line_test.dir/compress_line_test.cpp.o.d"
+  "compress_line_test"
+  "compress_line_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_line_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_simline_test.dir/compress_simline_test.cpp.o"
+  "CMakeFiles/compress_simline_test.dir/compress_simline_test.cpp.o.d"
+  "compress_simline_test"
+  "compress_simline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_simline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fanin_circuit_test.dir/fanin_circuit_test.cpp.o"
+  "CMakeFiles/fanin_circuit_test.dir/fanin_circuit_test.cpp.o.d"
+  "fanin_circuit_test"
+  "fanin_circuit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fanin_circuit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

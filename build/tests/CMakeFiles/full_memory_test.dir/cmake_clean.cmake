@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_memory_test.dir/full_memory_test.cpp.o"
+  "CMakeFiles/full_memory_test.dir/full_memory_test.cpp.o.d"
+  "full_memory_test"
+  "full_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guess_ahead_test.dir/guess_ahead_test.cpp.o"
+  "CMakeFiles/guess_ahead_test.dir/guess_ahead_test.cpp.o.d"
+  "guess_ahead_test"
+  "guess_ahead_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guess_ahead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/line_properties_test.dir/line_properties_test.cpp.o"
+  "CMakeFiles/line_properties_test.dir/line_properties_test.cpp.o.d"
+  "line_properties_test"
+  "line_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/line_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhf_romix_test.dir/mhf_romix_test.cpp.o"
+  "CMakeFiles/mhf_romix_test.dir/mhf_romix_test.cpp.o.d"
+  "mhf_romix_test"
+  "mhf_romix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhf_romix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpc_simulation_test.dir/mpc_simulation_test.cpp.o"
+  "CMakeFiles/mpc_simulation_test.dir/mpc_simulation_test.cpp.o.d"
+  "mpc_simulation_test"
+  "mpc_simulation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpc_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpclib_connectivity_test.dir/mpclib_connectivity_test.cpp.o"
+  "CMakeFiles/mpclib_connectivity_test.dir/mpclib_connectivity_test.cpp.o.d"
+  "mpclib_connectivity_test"
+  "mpclib_connectivity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpclib_connectivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

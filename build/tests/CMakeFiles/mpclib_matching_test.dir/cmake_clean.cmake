@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpclib_matching_test.dir/mpclib_matching_test.cpp.o"
+  "CMakeFiles/mpclib_matching_test.dir/mpclib_matching_test.cpp.o.d"
+  "mpclib_matching_test"
+  "mpclib_matching_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpclib_matching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpclib_mis_test.dir/mpclib_mis_test.cpp.o"
+  "CMakeFiles/mpclib_mis_test.dir/mpclib_mis_test.cpp.o.d"
+  "mpclib_mis_test"
+  "mpclib_mis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpclib_mis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

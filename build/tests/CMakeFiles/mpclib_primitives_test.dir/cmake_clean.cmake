@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpclib_primitives_test.dir/mpclib_primitives_test.cpp.o"
+  "CMakeFiles/mpclib_primitives_test.dir/mpclib_primitives_test.cpp.o.d"
+  "mpclib_primitives_test"
+  "mpclib_primitives_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpclib_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpclib_sort_test.dir/mpclib_sort_test.cpp.o"
+  "CMakeFiles/mpclib_sort_test.dir/mpclib_sort_test.cpp.o.d"
+  "mpclib_sort_test"
+  "mpclib_sort_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpclib_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_transcript_test.dir/oracle_transcript_test.cpp.o"
+  "CMakeFiles/oracle_transcript_test.dir/oracle_transcript_test.cpp.o.d"
+  "oracle_transcript_test"
+  "oracle_transcript_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_transcript_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipelined_simline_test.dir/pipelined_simline_test.cpp.o"
+  "CMakeFiles/pipelined_simline_test.dir/pipelined_simline_test.cpp.o.d"
+  "pipelined_simline_test"
+  "pipelined_simline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipelined_simline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_chasing_test.dir/pointer_chasing_test.cpp.o"
+  "CMakeFiles/pointer_chasing_test.dir/pointer_chasing_test.cpp.o.d"
+  "pointer_chasing_test"
+  "pointer_chasing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_chasing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ram_emulation_test.dir/ram_emulation_test.cpp.o"
+  "CMakeFiles/ram_emulation_test.dir/ram_emulation_test.cpp.o.d"
+  "ram_emulation_test"
+  "ram_emulation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ram_emulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

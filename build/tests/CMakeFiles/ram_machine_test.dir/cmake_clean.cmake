@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ram_machine_test.dir/ram_machine_test.cpp.o"
+  "CMakeFiles/ram_machine_test.dir/ram_machine_test.cpp.o.d"
+  "ram_machine_test"
+  "ram_machine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ram_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

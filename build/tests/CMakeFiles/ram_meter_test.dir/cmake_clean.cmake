@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ram_meter_test.dir/ram_meter_test.cpp.o"
+  "CMakeFiles/ram_meter_test.dir/ram_meter_test.cpp.o.d"
+  "ram_meter_test"
+  "ram_meter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ram_meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_oracle_test.dir/random_oracle_test.cpp.o"
+  "CMakeFiles/random_oracle_test.dir/random_oracle_test.cpp.o.d"
+  "random_oracle_test"
+  "random_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simline_test.dir/simline_test.cpp.o"
+  "CMakeFiles/simline_test.dir/simline_test.cpp.o.d"
+  "simline_test"
+  "simline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
