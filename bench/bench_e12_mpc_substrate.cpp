@@ -5,6 +5,8 @@
 // in 4, connected components in O(diameter) — plus the model's enforcement
 // (memory caps, query budgets) demonstrated against the Line workload.
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "mpclib/connectivity.hpp"
@@ -151,8 +153,38 @@ int main() {
   }
   t5.print(std::cout);
 
+  std::cout << "\nparallel round execution on sample sort (hardware threads available: "
+            << std::thread::hardware_concurrency() << "):\n";
+  util::Table t6({"threads", "m", "keys", "wall_ms", "rounds_per_sec", "output_identical"});
+  {
+    const std::uint64_t m = 16, total = 16384;
+    std::vector<std::uint64_t> sorted_serial;
+    for (std::uint64_t threads : {1, 2, 4, 8}) {
+      util::Rng rng(m * 31 + total);
+      std::vector<std::vector<std::uint64_t>> parts(m);
+      for (std::uint64_t i = 0; i < total; ++i) {
+        parts[rng.next_below(m)].push_back(rng.next_u64() % 1000000);
+      }
+      mpc::MpcConfig c = cfg(m, 1 << 22);
+      c.threads = threads;
+      mpc::MpcSimulation sim(c, nullptr);
+      mpclib::SampleSortAlgorithm algo(m, 16);
+      auto t0 = std::chrono::steady_clock::now();
+      auto result = sim.run(algo, mpclib::SampleSortAlgorithm::make_initial_memory(parts));
+      auto t1 = std::chrono::steady_clock::now();
+      double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      auto sorted = mpclib::SampleSortAlgorithm::parse_output(result.output);
+      if (threads == 1) sorted_serial = sorted;
+      t6.add(threads, m, total, util::format_double(ms, 1),
+             util::format_double(1000.0 * result.rounds_used / ms, 0), sorted == sorted_serial);
+    }
+  }
+  t6.print(std::cout);
+
   std::cout << "\ninterpretation: every classic MPC workload lands on its textbook round\n"
                "count inside the same simulator that enforces the hardness experiments —\n"
-               "the substrate, not the Line function, is what makes E1-E10 meaningful.\n";
+               "the substrate, not the Line function, is what makes E1-E10 meaningful.\n"
+               "The threads table shows the round loop itself parallelises (identical\n"
+               "output at every thread count); wall-clock gains require multiple cores.\n";
   return 0;
 }

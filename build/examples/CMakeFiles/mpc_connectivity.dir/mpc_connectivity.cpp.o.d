@@ -211,13 +211,31 @@ examples/CMakeFiles/mpc_connectivity.dir/mpc_connectivity.cpp.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/hash/oracle_transcript.hpp /usr/include/c++/12/limits \
- /root/repo/src/hash/random_oracle.hpp /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/hash/random_oracle.hpp /usr/include/c++/12/array \
+ /usr/include/c++/12/atomic /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/util/bitstring.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/array \
- /root/repo/src/mpc/message.hpp /root/repo/src/mpc/shared_tape.hpp \
- /root/repo/src/mpc/trace.hpp /root/repo/src/mpclib/connectivity.hpp \
+ /root/repo/src/util/rng.hpp /root/repo/src/mpc/message.hpp \
+ /root/repo/src/mpc/shared_tape.hpp /root/repo/src/mpc/trace.hpp \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /root/repo/src/mpclib/connectivity.hpp \
  /root/repo/src/mpclib/primitives.hpp /root/repo/src/util/cli.hpp \
  /root/repo/src/util/table.hpp

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_concurrency_test.dir/oracle_concurrency_test.cpp.o"
+  "CMakeFiles/oracle_concurrency_test.dir/oracle_concurrency_test.cpp.o.d"
+  "oracle_concurrency_test"
+  "oracle_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -319,12 +319,29 @@ tests/CMakeFiles/robustness_test.dir/robustness_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/theory/bounds.hpp \
  /root/repo/src/compress/round_program.hpp \
- /root/repo/src/hash/random_oracle.hpp /root/repo/src/util/bitstring.hpp \
+ /root/repo/src/hash/random_oracle.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/bitstring.hpp \
  /root/repo/src/util/rng.hpp /root/repo/src/core/codec.hpp \
  /root/repo/src/core/input.hpp /root/repo/src/core/line.hpp \
  /root/repo/src/ram/ram_meter.hpp /root/repo/src/core/simline.hpp \
  /root/repo/src/mpclib/primitives.hpp /root/repo/src/mpc/simulation.hpp \
  /root/repo/src/hash/oracle_transcript.hpp /root/repo/src/mpc/message.hpp \
  /root/repo/src/mpc/shared_tape.hpp /root/repo/src/mpc/trace.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
  /root/repo/src/strategies/block_store.hpp \
  /root/repo/src/util/serialize.hpp

@@ -1,8 +1,17 @@
 #include "hash/oracle_transcript.hpp"
 
+#include <algorithm>
+#include <tuple>
 #include <unordered_set>
 
 namespace mpch::hash {
+
+void OracleTranscript::sort_canonical() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::sort(records_.begin(), records_.end(), [](const QueryRecord& a, const QueryRecord& b) {
+    return std::tie(a.round, a.machine, a.seq) < std::tie(b.round, b.machine, b.seq);
+  });
+}
 
 std::vector<util::BitString> OracleTranscript::queries_of(std::uint64_t machine,
                                                           std::uint64_t round) const {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -18,25 +19,45 @@
 
 namespace mpch::hash {
 
-/// One logged oracle query.
+/// One logged oracle query. `seq` is the query's 0-based position within its
+/// machine's round — (round, machine, seq) is a total order on records that
+/// is independent of thread interleaving, which is what lets a parallel round
+/// reproduce the serial transcript bit-for-bit (the compression codecs
+/// consume transcripts and need a stable order to key their encodings on).
 struct QueryRecord {
   std::uint64_t round = 0;
   std::uint64_t machine = 0;
+  std::uint64_t seq = 0;
   util::BitString input;
   util::BitString output;
 };
 
-/// Append-only log of queries across an entire MPC execution.
+/// Append-only log of queries across an entire MPC execution. Appends are
+/// mutex-serialised so machines of a parallel round can share one log;
+/// `sort_canonical()` restores the deterministic (round, machine, seq) order
+/// after the interleaved appends.
 class OracleTranscript {
  public:
   void record(std::uint64_t round, std::uint64_t machine, const util::BitString& input,
-              const util::BitString& output) {
-    records_.push_back({round, machine, input, output});
+              const util::BitString& output, std::uint64_t seq = 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.push_back({round, machine, seq, input, output});
   }
 
   const std::vector<QueryRecord>& records() const { return records_; }
-  std::size_t size() const { return records_.size(); }
-  void clear() { records_.clear(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_.size();
+  }
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+  }
+
+  /// Sort records by (round, machine, seq) — a no-op on serially-built logs,
+  /// and the canonicalisation step after a parallel round. The key is unique
+  /// per record, so the result is a single deterministic order.
+  void sort_canonical();
 
   /// Q_i^{(k)}: inputs queried by `machine` in round `round`.
   std::vector<util::BitString> queries_of(std::uint64_t machine, std::uint64_t round) const;
@@ -50,6 +71,7 @@ class OracleTranscript {
                               const std::vector<util::BitString>& targets) const;
 
  private:
+  mutable std::mutex mu_;
   std::vector<QueryRecord> records_;
 };
 
@@ -63,6 +85,12 @@ class QueryBudgetExceeded : public std::runtime_error {
 /// / Theorem 3.1 (q < 2^{n/4}) and records every query into the shared
 /// transcript. The underlying oracle is shared by all machines (it is *the*
 /// RO of the model).
+///
+/// Threading: each CountingOracle belongs to exactly one machine, and a
+/// machine runs on one thread per round, so the budget counters need no
+/// atomics — the budget check is race-free by ownership. The shared pieces
+/// (inner oracle, transcript) are independently thread-safe; cross-round
+/// visibility of the counters comes from the simulation's round barrier.
 class CountingOracle final : public RandomOracle {
  public:
   CountingOracle(std::shared_ptr<RandomOracle> inner, std::uint64_t machine_id,
@@ -87,10 +115,11 @@ class CountingOracle final : public RandomOracle {
                                 std::to_string(budget_) + " queries in round " +
                                 std::to_string(round_));
     }
+    std::uint64_t seq = used_this_round_;
     ++used_this_round_;
     ++total_;
     util::BitString out = inner_->query(input);
-    if (transcript_) transcript_->record(round_, machine_id_, input, out);
+    if (transcript_) transcript_->record(round_, machine_id_, input, out, seq);
     return out;
   }
 

@@ -59,16 +59,36 @@ util::BitString LazyRandomOracle::derive(const util::BitString& input) const {
 
 util::BitString LazyRandomOracle::query(const util::BitString& input) {
   check_input(input);
-  ++total_queries_;
-  auto it = table_.find(input);
-  if (it != table_.end()) return it->second;
+  total_queries_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_for(input);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.table.find(input);
+    if (it != shard.table.end()) return it->second;
+  }
+  // Derive outside the lock (SHA work); two racing threads derive the same
+  // pure value, so whichever emplace wins the table is unchanged either way.
   util::BitString answer = derive(input);
-  table_.emplace(input, answer);
-  return answer;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.table.emplace(input, std::move(answer));
+  return it->second;
+}
+
+std::size_t LazyRandomOracle::touched_entries() const {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.table.size();
+  }
+  return total;
 }
 
 std::vector<std::pair<util::BitString, util::BitString>> LazyRandomOracle::touched_table() const {
-  std::vector<std::pair<util::BitString, util::BitString>> out(table_.begin(), table_.end());
+  std::vector<std::pair<util::BitString, util::BitString>> out;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    out.insert(out.end(), s.table.begin(), s.table.end());
+  }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
@@ -92,7 +112,7 @@ ExhaustiveRandomOracle::ExhaustiveRandomOracle(std::size_t in_bits, std::size_t 
 
 util::BitString ExhaustiveRandomOracle::query(const util::BitString& input) {
   check_input(input);
-  ++total_queries_;
+  total_queries_.fetch_add(1, std::memory_order_relaxed);
   return table_[input.get_uint(0, in_bits_)];
 }
 
@@ -119,7 +139,7 @@ Sha256Oracle::Sha256Oracle(std::size_t in_bits, std::size_t out_bits)
 
 util::BitString Sha256Oracle::query(const util::BitString& input) {
   check_input(input);
-  ++total_queries_;
+  total_queries_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::uint8_t> prefix;
   prefix.reserve(3 + input.bytes().size() + 8);
   prefix.push_back('S');

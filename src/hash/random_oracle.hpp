@@ -25,9 +25,12 @@
 //                           behaviour under LazyRandomOracle vs Sha256Oracle.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -56,6 +59,13 @@ class RandomOracle {
 
 /// Secret-seeded PRF oracle; see file comment. The default RO for all
 /// strategy and round-complexity experiments.
+///
+/// Thread-safe: the memo table is sharded behind per-shard mutexes and the
+/// query counter is atomic, so all machines of a parallel MPC round can hit
+/// the one shared RO concurrently. Because `derive` is a pure function of
+/// (seed, input), the materialised sub-function is independent of thread
+/// interleaving — `touched_table()` after a parallel run is bit-identical to
+/// a serial replay of the same query multiset.
 class LazyRandomOracle final : public RandomOracle {
  public:
   LazyRandomOracle(std::size_t in_bits, std::size_t out_bits, std::uint64_t seed);
@@ -63,23 +73,35 @@ class LazyRandomOracle final : public RandomOracle {
   util::BitString query(const util::BitString& input) override;
   std::size_t input_bits() const override { return in_bits_; }
   std::size_t output_bits() const override { return out_bits_; }
-  std::uint64_t total_queries() const override { return total_queries_; }
+  std::uint64_t total_queries() const override {
+    return total_queries_.load(std::memory_order_relaxed);
+  }
 
   /// Number of distinct inputs seen so far (the lazily-materialised table).
-  std::size_t touched_entries() const { return table_.size(); }
+  std::size_t touched_entries() const;
 
   /// The materialised sub-function, ordered by input, for serialisation and
   /// for the compression argument's by-reference oracle part.
   std::vector<std::pair<util::BitString, util::BitString>> touched_table() const;
 
  private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<util::BitString, util::BitString, util::BitStringHash> table;
+  };
+
   util::BitString derive(const util::BitString& input) const;
+  Shard& shard_for(const util::BitString& input) {
+    return shards_[util::BitStringHash{}(input) % kShards];
+  }
 
   std::size_t in_bits_;
   std::size_t out_bits_;
   std::uint64_t seed_;
-  std::uint64_t total_queries_ = 0;
-  std::unordered_map<util::BitString, util::BitString, util::BitStringHash> table_;
+  std::atomic<std::uint64_t> total_queries_{0};
+  std::array<Shard, kShards> shards_;
 };
 
 /// Fully materialised uniform table over {0,1}^in_bits. in_bits <= 22.
@@ -87,10 +109,27 @@ class ExhaustiveRandomOracle final : public RandomOracle {
  public:
   ExhaustiveRandomOracle(std::size_t in_bits, std::size_t out_bits, util::Rng& rng);
 
+  // Copyable (the compression codecs clone scratch oracles); the atomic
+  // counter needs explicit copy operations.
+  ExhaustiveRandomOracle(const ExhaustiveRandomOracle& rhs)
+      : in_bits_(rhs.in_bits_),
+        out_bits_(rhs.out_bits_),
+        total_queries_(rhs.total_queries()),
+        table_(rhs.table_) {}
+  ExhaustiveRandomOracle& operator=(const ExhaustiveRandomOracle& rhs) {
+    in_bits_ = rhs.in_bits_;
+    out_bits_ = rhs.out_bits_;
+    total_queries_.store(rhs.total_queries(), std::memory_order_relaxed);
+    table_ = rhs.table_;
+    return *this;
+  }
+
   util::BitString query(const util::BitString& input) override;
   std::size_t input_bits() const override { return in_bits_; }
   std::size_t output_bits() const override { return out_bits_; }
-  std::uint64_t total_queries() const override { return total_queries_; }
+  std::uint64_t total_queries() const override {
+    return total_queries_.load(std::memory_order_relaxed);
+  }
 
   /// Direct table access (index = input value, MSB-first). Mutable so the
   /// compression decoder can reconstruct an oracle from an encoding and so
@@ -109,7 +148,7 @@ class ExhaustiveRandomOracle final : public RandomOracle {
  private:
   std::size_t in_bits_;
   std::size_t out_bits_;
-  std::uint64_t total_queries_ = 0;
+  std::atomic<std::uint64_t> total_queries_{0};
   std::vector<util::BitString> table_;
 };
 
@@ -123,12 +162,14 @@ class Sha256Oracle final : public RandomOracle {
   util::BitString query(const util::BitString& input) override;
   std::size_t input_bits() const override { return in_bits_; }
   std::size_t output_bits() const override { return out_bits_; }
-  std::uint64_t total_queries() const override { return total_queries_; }
+  std::uint64_t total_queries() const override {
+    return total_queries_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::size_t in_bits_;
   std::size_t out_bits_;
-  std::uint64_t total_queries_ = 0;
+  std::atomic<std::uint64_t> total_queries_{0};
 };
 
 /// Expand (domain-separated) SHA-256 output to an arbitrary number of bits by

@@ -1,6 +1,7 @@
 #include "mpc/simulation.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace mpch::mpc {
 
@@ -12,6 +13,44 @@ MpcSimulation::MpcSimulation(MpcConfig config, std::shared_ptr<hash::RandomOracl
   }
 }
 
+/// Per-machine slot for one round: everything a machine produces lands here,
+/// written by exactly one thread, then merged in machine index order after
+/// the round barrier. The slot is what makes the parallel path deterministic:
+/// no shared accumulator is touched while machines run.
+struct MpcSimulation::MachineSlot {
+  MachineIo io;
+  RoundTrace scratch;                    ///< per-machine annotation buffer
+  hash::CountingOracle* oracle = nullptr;
+  std::exception_ptr error;
+
+  /// Run this slot's machine. Exceptions are captured, not thrown: the round
+  /// must reach its barrier so the merge can rethrow the *lowest-index*
+  /// machine's failure — the same exception a serial sweep surfaces first.
+  void run(MpcAlgorithm& algo, const SharedTape& tape) {
+    try {
+      if (oracle != nullptr) oracle->begin_round(io.round);
+      algo.run_machine(io, oracle, tape, scratch);
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+};
+
+void MpcSimulation::run_round_serial(MpcAlgorithm& algo, std::vector<MachineSlot>& slots,
+                                     const SharedTape& tape) {
+  for (auto& slot : slots) slot.run(algo, tape);
+}
+
+void MpcSimulation::run_round_parallel(MpcAlgorithm& algo, std::vector<MachineSlot>& slots,
+                                       const SharedTape& tape) {
+  pool_->parallel_chunks(slots.size(),
+                         [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) {
+                             slots[i].run(algo, tape);
+                           }
+                         });
+}
+
 MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
                                 const std::vector<util::BitString>& initial_memory) {
   if (initial_memory.size() > config_.machines) {
@@ -21,6 +60,16 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
   MpcRunResult result;
   result.transcript = std::make_shared<hash::OracleTranscript>();
   SharedTape tape(config_.tape_seed);
+
+  // A machine runs on one thread at a time, so parallelism beyond m is idle;
+  // never run concurrently inside a ThreadPool worker (a nested simulation
+  // would multiply threads for no per-round win).
+  const bool parallel =
+      config_.threads > 1 && config_.machines > 1 && !util::ThreadPool::in_worker();
+  if (parallel && !pool_) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(std::min<std::uint64_t>(config_.threads, config_.machines)));
+  }
 
   // Per-machine budgeted oracle views, all over the one shared RO.
   std::vector<std::unique_ptr<hash::CountingOracle>> oracles;
@@ -51,24 +100,41 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
 
   for (std::uint64_t round = 0; round < config_.max_rounds; ++round) {
     result.trace.begin_round(round);
-    std::vector<std::vector<Message>> next_inboxes(config_.machines);
     std::uint64_t queries_before = oracle_ ? oracle_->total_queries() : 0;
 
+    // Phase A — run all machines of the round into their slots. Within a
+    // round a machine sees only its own inbox, the shared tape, and its
+    // budgeted oracle view, so machines are independent and any execution
+    // order (including concurrent) is model-equivalent.
+    std::vector<MachineSlot> slots(config_.machines);
     for (std::uint64_t i = 0; i < config_.machines; ++i) {
-      MachineIo io;
-      io.round = round;
-      io.machine = i;
-      io.inbox = &inboxes[i];
-      hash::CountingOracle* mo = oracle_ ? oracles[i].get() : nullptr;
-      if (mo) mo->begin_round(round);
+      slots[i].io.round = round;
+      slots[i].io.machine = i;
+      slots[i].io.inbox = &inboxes[i];
+      slots[i].oracle = oracle_ ? oracles[i].get() : nullptr;
+      slots[i].scratch.begin_round(round);
+    }
+    if (parallel) {
+      run_round_parallel(algo, slots, tape);
+    } else {
+      run_round_serial(algo, slots, tape);
+    }
 
-      algo.run_machine(io, mo, tape, result.trace);
+    // Phase B — deterministic merge in machine index order. The first
+    // failing machine (lowest index) wins, exactly as in a serial sweep.
+    for (const auto& slot : slots) {
+      if (slot.error) std::rethrow_exception(slot.error);
+    }
 
-      if (io.output.has_value()) {
-        outputs.push_back(*io.output);
+    std::vector<std::vector<Message>> next_inboxes(config_.machines);
+    for (std::uint64_t i = 0; i < config_.machines; ++i) {
+      MachineSlot& slot = slots[i];
+      result.trace.merge_round_from(slot.scratch);
+      if (slot.io.output.has_value()) {
+        outputs.push_back(std::move(*slot.io.output));
         any_output = true;
       }
-      for (auto& msg : io.outbox) {
+      for (auto& msg : slot.io.outbox) {
         if (msg.to >= config_.machines) {
           throw std::invalid_argument("MpcSimulation: message to machine " +
                                       std::to_string(msg.to) + " >= m");
@@ -107,6 +173,10 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
     inboxes = std::move(next_inboxes);
   }
 
+  // Canonicalise the transcript to the (round, machine, seq) order — a no-op
+  // after serial rounds, the determinism step after parallel ones.
+  result.transcript->sort_canonical();
+
   // "the union of outputs of all the machines" — concatenated in machine
   // order of emission.
   for (const auto& o : outputs) result.output += o;
@@ -115,6 +185,9 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
 
 std::vector<util::BitString> partition_blocks_round_robin(
     const std::vector<util::BitString>& tagged_blocks, std::uint64_t machines) {
+  if (machines == 0) {
+    throw std::invalid_argument("partition_blocks_round_robin: zero machines");
+  }
   std::vector<util::BitString> shares(machines);
   for (std::size_t b = 0; b < tagged_blocks.size(); ++b) {
     shares[b % machines] += tagged_blocks[b];

@@ -16,6 +16,16 @@
 // channel. (Read-only configuration — parameters, codecs — is part of the
 // algorithm description and is allowed, exactly as the model allows each
 // machine to run an arbitrary known program.)
+//
+// Round execution is the paper's "all m machines run concurrently" made
+// literal: with MpcConfig::threads > 1, the machines of a round execute on a
+// worker pool, with a barrier before any cross-machine state is touched.
+// Every run — serial or parallel, any thread count — produces bit-identical
+// results: per-machine outputs/outboxes/annotations land in per-machine
+// slots and merge in machine index order, and the oracle transcript sorts on
+// the stable key (round, machine, per-machine seq). The differential suite
+// in tests/parallel_simulation_test.cpp pins this equivalence down for every
+// strategy in the tree.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +40,7 @@
 #include "mpc/shared_tape.hpp"
 #include "mpc/trace.hpp"
 #include "util/bitstring.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mpch::mpc {
 
@@ -45,6 +56,14 @@ struct MpcConfig {
   std::uint64_t query_budget = 0;       ///< q, per machine per round
   std::uint64_t max_rounds = 1 << 20;   ///< safety cap for non-terminating algorithms
   std::uint64_t tape_seed = 0;          ///< seed of the shared random tape
+  /// Worker threads running the machines of a round concurrently. 0 or 1 =
+  /// serial (the default). Results are bit-identical to the serial path for
+  /// any value: outputs/messages merge in machine index order after the
+  /// round barrier, trace counters reduce deterministically, and the oracle
+  /// transcript carries a stable (round, machine, seq) sort key. Requires
+  /// the algorithm's run_machine to be safe to call concurrently for
+  /// *different* machines (all in-tree strategies are).
+  std::uint64_t threads = 0;
 };
 
 /// Per-machine, per-round context handed to the algorithm.
@@ -92,8 +111,20 @@ class MpcSimulation {
   const MpcConfig& config() const { return config_; }
 
  private:
+  struct MachineSlot;
+
+  void run_round_serial(MpcAlgorithm& algo, std::vector<MachineSlot>& slots,
+                        const SharedTape& tape);
+  void run_round_parallel(MpcAlgorithm& algo, std::vector<MachineSlot>& slots,
+                          const SharedTape& tape);
+
   MpcConfig config_;
   std::shared_ptr<hash::RandomOracle> oracle_;
+  /// Lazily-created pool sized to config_.threads (not the host's core
+  /// count): the parallelism degree is part of the experiment configuration,
+  /// and a dedicated pool keeps nested simulations (e.g. inside stats/trials
+  /// workers) deadlock-free since no simulation ever blocks on its own pool.
+  std::unique_ptr<util::ThreadPool> pool_;
 };
 
 /// Helper: split a LineInput-style block vector across machines round-robin,

@@ -7,6 +7,7 @@
 // they do not smuggle state around the s-bit memory cap.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -41,6 +42,30 @@ class RoundTrace {
     static const std::vector<std::uint64_t> kEmpty;
     auto it = annotations_.find(key);
     return it == annotations_.end() ? kEmpty : it->second;
+  }
+
+  const std::map<std::string, std::vector<std::uint64_t>>& annotations() const {
+    return annotations_;
+  }
+
+  /// Fold one machine's per-round scratch trace into this trace: annotation
+  /// values append in the scratch's order, stats sum (max for inbox peaks).
+  /// The simulation calls this once per machine, in machine index order,
+  /// after the round barrier — so a parallel round accumulates exactly the
+  /// sequence a serial round would have produced, regardless of which worker
+  /// ran which machine.
+  void merge_round_from(const RoundTrace& scratch) {
+    for (const auto& [key, values] : scratch.annotations_) {
+      auto& dst = annotations_[key];
+      dst.insert(dst.end(), values.begin(), values.end());
+    }
+    if (scratch.stats_.empty() || stats_.empty()) return;
+    const RoundStats& s = scratch.stats_.back();
+    RoundStats& dst = stats_.back();
+    dst.messages += s.messages;
+    dst.communicated_bits += s.communicated_bits;
+    dst.oracle_queries += s.oracle_queries;
+    dst.max_inbox_bits = std::max(dst.max_inbox_bits, s.max_inbox_bits);
   }
 
   std::uint64_t total_communicated_bits() const {

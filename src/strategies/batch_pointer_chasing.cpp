@@ -102,13 +102,20 @@ void BatchPointerChasingStrategy::run_machine(mpc::MachineIo& io, hash::Counting
         w.write_bits(body.slice(0, consumed));
         util::BitString exact = w.take();
         std::uint64_t key = exact.hash();
-        auto it = parse_cache_.find(key);
         std::shared_ptr<const BlockSet> parsed;
-        if (it != parse_cache_.end()) {
-          parsed = it->second;
-        } else {
-          parsed = std::make_shared<const BlockSet>(std::move(set));
-          parse_cache_.emplace(key, parsed);
+        {
+          // The decode already happened above; only the cache lookup and
+          // first-wins insert need the lock (machines of a parallel round
+          // share the strategy object).
+          std::lock_guard<std::mutex> lock(parse_cache_mu_);
+          auto it = parse_cache_.find(key);
+          if (it != parse_cache_.end()) {
+            parsed = it->second;
+          } else {
+            parsed = parse_cache_
+                         .emplace(key, std::make_shared<const BlockSet>(std::move(set)))
+                         .first->second;
+          }
         }
         blocks[inst] = {std::move(exact), parsed};
         rest = body.slice(consumed, body.size() - consumed);

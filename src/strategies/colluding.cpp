@@ -38,15 +38,21 @@ ColludingStrategy::ParsedInbox ColludingStrategy::parse_inbox(
     if (tag == PayloadTag::kBlocks) {
       out.blocks_payload = msg.payload;
       std::uint64_t key = msg.payload.hash();
-      auto it = parse_cache_.find(key);
-      if (it != parse_cache_.end()) {
-        out.blocks = it->second;
-      } else {
-        util::BitString body = msg.payload.slice(kTagBits, msg.payload.size() - kTagBits);
-        auto parsed = std::make_shared<const BlockSet>(BlockSet::decode(params_, body));
-        parse_cache_.emplace(key, parsed);
-        out.blocks = parsed;
+      std::shared_ptr<const BlockSet> parsed;
+      {
+        std::lock_guard<std::mutex> lock(parse_cache_mu_);
+        auto it = parse_cache_.find(key);
+        if (it != parse_cache_.end()) parsed = it->second;
       }
+      if (!parsed) {
+        // Decode outside the lock; if two machines race on the same payload
+        // the first emplace wins and both use the winner's parse.
+        util::BitString body = msg.payload.slice(kTagBits, msg.payload.size() - kTagBits);
+        parsed = std::make_shared<const BlockSet>(BlockSet::decode(params_, body));
+        std::lock_guard<std::mutex> lock(parse_cache_mu_);
+        parsed = parse_cache_.emplace(key, std::move(parsed)).first->second;
+      }
+      out.blocks = std::move(parsed);
     } else if (tag == PayloadTag::kFrontier) {
       util::BitString body = msg.payload.slice(kTagBits, msg.payload.size() - kTagBits);
       Frontier f = Frontier::decode(params_, body);

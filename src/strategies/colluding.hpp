@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/line.hpp"
@@ -49,6 +50,8 @@ class ColludingStrategy final : public mpc::MpcAlgorithm {
   core::LineCodec codec_;
   OwnershipPlan plan_;
   std::uint64_t machines_;
+  // Mutex-guarded: machines of a parallel round share the strategy object.
+  std::mutex parse_cache_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const BlockSet>> parse_cache_;
 };
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/simline.hpp"
@@ -51,6 +52,8 @@ class PipelinedSimLineStrategy final : public mpc::MpcAlgorithm {
   core::LineParams params_;
   core::SimLineCodec codec_;
   OwnershipPlan plan_;
+  // Mutex-guarded: machines of a parallel round share the strategy object.
+  std::mutex parse_cache_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const BlockSet>> parse_cache_;
 };
 

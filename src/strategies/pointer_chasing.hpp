@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/line.hpp"
@@ -65,6 +66,8 @@ class PointerChasingStrategy final : public mpc::MpcAlgorithm {
   OwnershipPlan plan_;
   // Memoised parse of immutable block payloads (pure function of payload —
   // not cross-round state, just a cache to keep long simulations fast).
+  // Mutex-guarded: machines of a parallel round share the strategy object.
+  std::mutex parse_cache_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const BlockSet>> parse_cache_;
 };
 

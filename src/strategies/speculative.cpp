@@ -43,15 +43,21 @@ SpeculativeStrategy::ParsedInbox SpeculativeStrategy::parse_inbox(
     if (tag == PayloadTag::kBlocks) {
       out.blocks_payload = msg.payload;
       std::uint64_t key = msg.payload.hash();
-      auto it = parse_cache_.find(key);
-      if (it != parse_cache_.end()) {
-        out.blocks = it->second;
-      } else {
-        util::BitString body = msg.payload.slice(kTagBits, msg.payload.size() - kTagBits);
-        auto parsed = std::make_shared<const BlockSet>(BlockSet::decode(params_, body));
-        parse_cache_.emplace(key, parsed);
-        out.blocks = parsed;
+      std::shared_ptr<const BlockSet> parsed;
+      {
+        std::lock_guard<std::mutex> lock(parse_cache_mu_);
+        auto it = parse_cache_.find(key);
+        if (it != parse_cache_.end()) parsed = it->second;
       }
+      if (!parsed) {
+        // Decode outside the lock; if two machines race on the same payload
+        // the first emplace wins and both use the winner's parse.
+        util::BitString body = msg.payload.slice(kTagBits, msg.payload.size() - kTagBits);
+        parsed = std::make_shared<const BlockSet>(BlockSet::decode(params_, body));
+        std::lock_guard<std::mutex> lock(parse_cache_mu_);
+        parsed = parse_cache_.emplace(key, std::move(parsed)).first->second;
+      }
+      out.blocks = std::move(parsed);
     } else if (tag == PayloadTag::kFrontier) {
       util::BitString body = msg.payload.slice(kTagBits, msg.payload.size() - kTagBits);
       out.frontier = Frontier::decode(params_, body);
@@ -120,7 +126,7 @@ void SpeculativeStrategy::run_machine(mpc::MachineIo& io, hash::CountingOracle* 
             last_answer = answer;
             have_answer = true;
             hit = true;
-            ++lucky_escapes_;
+            lucky_escapes_.fetch_add(1, std::memory_order_relaxed);
             break;
           }
           if (oracle->remaining_budget() == 0) break;

@@ -19,7 +19,9 @@
 // charitable adversary at cryptographic u.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "core/input.hpp"
 #include "core/line.hpp"
@@ -50,7 +52,7 @@ class SpeculativeStrategy final : public mpc::MpcAlgorithm {
   std::uint64_t required_local_memory() const;
 
   /// Total stalls escaped by a correct guess across the run so far.
-  std::uint64_t lucky_escapes() const { return lucky_escapes_; }
+  std::uint64_t lucky_escapes() const { return lucky_escapes_.load(std::memory_order_relaxed); }
 
  private:
   struct ParsedInbox {
@@ -66,7 +68,10 @@ class SpeculativeStrategy final : public mpc::MpcAlgorithm {
   OwnershipPlan plan_;
   SpeculativeConfig config_;
   const core::LineInput* truth_;
-  std::uint64_t lucky_escapes_ = 0;
+  // Incremented by machines of a parallel round; relaxed is fine (counter).
+  std::atomic<std::uint64_t> lucky_escapes_{0};
+  // Mutex-guarded: machines of a parallel round share the strategy object.
+  std::mutex parse_cache_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<const BlockSet>> parse_cache_;
 };
 

@@ -4,6 +4,12 @@
 
 namespace mpch::util {
 
+namespace {
+thread_local bool t_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::in_worker() { return t_pool_worker; }
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -26,6 +32,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

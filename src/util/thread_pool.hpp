@@ -29,6 +29,11 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
+  /// True when the calling thread is a worker of *any* ThreadPool. Callers
+  /// that block on futures of the pool they run in would deadlock; nested
+  /// parallel code uses this to degrade to serial execution instead.
+  static bool in_worker();
+
   /// Enqueue a nullary task; returns a future for its completion.
   template <typename Fn>
   std::future<void> submit(Fn&& fn) {

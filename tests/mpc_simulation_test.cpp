@@ -197,5 +197,26 @@ TEST(PartitionBlocksRoundRobin, SpreadsBlocks) {
   EXPECT_EQ(shares[1].size(), 16u);  // 2 blocks
 }
 
+TEST(PartitionBlocksRoundRobin, ZeroMachinesThrows) {
+  std::vector<BitString> blocks = {BitString(8)};
+  EXPECT_THROW(partition_blocks_round_robin(blocks, 0), std::invalid_argument);
+  // Zero machines is rejected even with nothing to distribute.
+  EXPECT_THROW(partition_blocks_round_robin({}, 0), std::invalid_argument);
+}
+
+TEST(MpcSimulation, ParallelRingMatchesSerial) {
+  const std::uint64_t m = 5;
+  MpcConfig c = config(m, 1024, 1);
+  c.threads = 4;
+  MpcSimulation sim(c, nullptr);
+  RingAlgorithm algo(m);
+  util::BitWriter w;
+  w.write_uint(0, 16);
+  MpcRunResult result = sim.run(algo, {w.take()});
+  EXPECT_TRUE(result.completed);
+  EXPECT_EQ(result.rounds_used, m + 1);
+  EXPECT_EQ(result.output.get_uint(0, 16), m);
+}
+
 }  // namespace
 }  // namespace mpch::mpc

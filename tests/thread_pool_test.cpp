@@ -80,5 +80,20 @@ TEST(ThreadPool, DefaultThreadCountPositive) {
   EXPECT_GE(pool.thread_count(), 1u);
 }
 
+TEST(ThreadPool, InWorkerReflectsCallingThread) {
+  EXPECT_FALSE(ThreadPool::in_worker());
+  ThreadPool pool(2);
+  std::atomic<int> inside{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(pool.submit([&inside] {
+      if (ThreadPool::in_worker()) inside.fetch_add(1);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(inside.load(), 8);
+  EXPECT_FALSE(ThreadPool::in_worker());  // main thread is still not a worker
+}
+
 }  // namespace
 }  // namespace mpch::util
