@@ -110,6 +110,7 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
     for (std::uint64_t i = 0; i < config_.machines; ++i) {
       slots[i].io.round = round;
       slots[i].io.machine = i;
+      slots[i].io.machines = config_.machines;
       slots[i].io.inbox = &inboxes[i];
       slots[i].oracle = oracle_ ? oracles[i].get() : nullptr;
       slots[i].scratch.begin_round(round);
@@ -135,9 +136,13 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
         any_output = true;
       }
       for (auto& msg : slot.io.outbox) {
+        // send() already validates; this backstop covers outboxes filled
+        // directly (bypassing send) by tests or future callers.
         if (msg.to >= config_.machines) {
-          throw std::invalid_argument("MpcSimulation: message to machine " +
-                                      std::to_string(msg.to) + " >= m");
+          throw RoutingViolation("machine " + std::to_string(i) + " sent a message to machine " +
+                                 std::to_string(msg.to) + " >= m=" +
+                                 std::to_string(config_.machines) + " in round " +
+                                 std::to_string(round));
         }
         msg.from = i;
         result.trace.current().messages += 1;

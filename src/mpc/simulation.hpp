@@ -50,6 +50,14 @@ class MemoryViolation : public std::runtime_error {
   explicit MemoryViolation(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a machine addresses a message to a machine index >= m. The
+/// diagnostic names the sending machine and round (the static analogue lives
+/// in analysis::check_spec, which rejects such protocols before execution).
+class RoutingViolation : public std::runtime_error {
+ public:
+  explicit RoutingViolation(const std::string& what) : std::runtime_error(what) {}
+};
+
 struct MpcConfig {
   std::uint64_t machines = 0;           ///< m
   std::uint64_t local_memory_bits = 0;  ///< s
@@ -70,11 +78,17 @@ struct MpcConfig {
 struct MachineIo {
   std::uint64_t round = 0;
   std::uint64_t machine = 0;
+  std::uint64_t machines = 0;  ///< m; when nonzero, send() rejects to >= m eagerly
   const std::vector<Message>* inbox = nullptr;  ///< this machine's memory M_i^k
   std::vector<Message> outbox;                  ///< messages to deliver next round
   std::optional<util::BitString> output;        ///< set to contribute to the final output
 
   void send(std::uint64_t to, util::BitString payload) {
+    if (machines != 0 && to >= machines) {
+      throw RoutingViolation("machine " + std::to_string(machine) + " sent a message to machine " +
+                             std::to_string(to) + " >= m=" + std::to_string(machines) +
+                             " in round " + std::to_string(round));
+    }
     outbox.push_back({machine, to, std::move(payload)});
   }
 };

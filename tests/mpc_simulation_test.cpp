@@ -166,11 +166,37 @@ TEST(MpcSimulation, RejectsMessageToNonexistentMachine) {
    public:
     void run_machine(MachineIo& io, hash::CountingOracle*, const SharedTape&,
                      RoundTrace&) override {
-      if (io.round == 0 && io.machine == 0) io.send(5, BitString(1));
+      if (io.round == 1 && io.machine == 1) io.send(5, BitString(1));
+      io.send(io.machine, BitString(1));
     }
     std::string name() const override { return "bad-target"; }
   } algo;
-  EXPECT_THROW(sim.run(algo, {BitString(1)}), std::invalid_argument);
+  try {
+    sim.run(algo, {BitString(1), BitString(1)});
+    FAIL() << "expected RoutingViolation";
+  } catch (const RoutingViolation& e) {
+    // Provenance: the diagnostic names the sender, the destination, and the
+    // round in which the bad send happened.
+    std::string what = e.what();
+    EXPECT_NE(what.find("machine 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("machine 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("round 1"), std::string::npos) << what;
+  }
+}
+
+TEST(MpcSimulation, RoutingViolationRaisedEvenForDirectOutboxWrites) {
+  // Outbox entries pushed without going through send() are caught by the
+  // merge-time backstop with the same exception type.
+  MpcSimulation sim(config(2, 64, 1), nullptr);
+  class RawOutbox final : public MpcAlgorithm {
+   public:
+    void run_machine(MachineIo& io, hash::CountingOracle*, const SharedTape&,
+                     RoundTrace&) override {
+      if (io.round == 0 && io.machine == 0) io.outbox.push_back({0, 9, BitString(1)});
+    }
+    std::string name() const override { return "raw-outbox"; }
+  } algo;
+  EXPECT_THROW(sim.run(algo, {BitString(1)}), RoutingViolation);
 }
 
 TEST(MpcSimulation, SharedTapeIsCommonAndDeterministic) {
@@ -202,6 +228,34 @@ TEST(PartitionBlocksRoundRobin, ZeroMachinesThrows) {
   EXPECT_THROW(partition_blocks_round_robin(blocks, 0), std::invalid_argument);
   // Zero machines is rejected even with nothing to distribute.
   EXPECT_THROW(partition_blocks_round_robin({}, 0), std::invalid_argument);
+}
+
+TEST(PartitionBlocksRoundRobin, MoreMachinesThanBlocks) {
+  std::vector<BitString> blocks = {BitString(8), BitString(8)};
+  auto shares = partition_blocks_round_robin(blocks, 5);
+  ASSERT_EQ(shares.size(), 5u);
+  EXPECT_EQ(shares[0].size(), 8u);
+  EXPECT_EQ(shares[1].size(), 8u);
+  for (std::size_t j = 2; j < 5; ++j) EXPECT_EQ(shares[j].size(), 0u);
+}
+
+TEST(PartitionBlocksRoundRobin, NoBlocksYieldsEmptyShares) {
+  auto shares = partition_blocks_round_robin({}, 3);
+  ASSERT_EQ(shares.size(), 3u);
+  for (const auto& s : shares) EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(PartitionBlocksRoundRobin, ShareExceedingSIsRejectedAtRunTime) {
+  // The partition itself is size-agnostic; the simulation's input check is
+  // what rejects a share that outgrows s. 3 blocks of 16 bits on 1 machine
+  // = 48 bits > s = 32.
+  std::vector<BitString> blocks = {BitString(16), BitString(16), BitString(16)};
+  auto shares = partition_blocks_round_robin(blocks, 1);
+  ASSERT_EQ(shares.size(), 1u);
+  EXPECT_EQ(shares[0].size(), 48u);
+  MpcSimulation sim(config(1, 32, 1), nullptr);
+  RingAlgorithm algo(1);
+  EXPECT_THROW(sim.run(algo, shares), MemoryViolation);
 }
 
 TEST(MpcSimulation, ParallelRingMatchesSerial) {
