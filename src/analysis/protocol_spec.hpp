@@ -1,0 +1,110 @@
+// protocol_spec.hpp — MPC protocols as declarative, statically-checkable
+// objects.
+//
+// Theorem 3.1 only binds algorithms that genuinely obey Definitions 2.1/2.2:
+// local memory <= s bits, per-round per-machine oracle budget q, no
+// intra-round cross-machine visibility. The simulator enforces those
+// invariants at *runtime*, mid-execution, after cycles are spent. A
+// ProtocolSpec is the same contract stated *declaratively*: each strategy
+// publishes its worst-case per-round resource envelope (memory footprint,
+// message fan-in/fan-out and payload sizes, oracle queries, round count as a
+// function of its Params), and analysis/static_checker.hpp proves or refutes
+// budget conformance against an MpcConfig before a single oracle call — the
+// way an ML compiler shape-checks a graph before launching kernels.
+//
+// Specs cannot silently rot: analysis/spec_soundness.hpp cross-validates a
+// declared spec against the per-round peaks an instrumented simulation run
+// actually observed (RoundStats::peak_*), so every strategy's spec is pinned
+// to reality by tests.
+//
+// This header is dependency-free on purpose (no mpc/, no strategies/):
+// strategies include it to publish specs, and the checkers include it plus
+// whatever they compare against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpch::analysis {
+
+/// Worst-case per-machine resource bounds for one round. "Worst case" is over
+/// machines; `witness_machine` names a machine that attains (or dominates)
+/// the bound so diagnostics carry provenance — e.g. the gather target in
+/// full-memory, or the frontier carrier in pointer-chasing.
+struct RoundEnvelope {
+  std::uint64_t memory_bits = 0;       ///< round-start memory (inbox union) M_i^k
+  std::uint64_t oracle_queries = 0;    ///< oracle queries issued by one machine
+  std::uint64_t fan_out = 0;           ///< messages sent by one machine
+  std::uint64_t fan_in = 0;            ///< messages delivered to one machine
+  std::uint64_t sent_bits = 0;         ///< total bits sent by one machine
+  std::uint64_t recv_bits = 0;         ///< total bits delivered to one machine
+  std::uint64_t max_message_bits = 0;  ///< largest single payload
+  std::uint64_t witness_machine = 0;   ///< machine attaining the worst case
+};
+
+/// The declarative surface of an MPC protocol: everything the static checker
+/// needs to decide "does this protocol fit inside this MpcConfig" without
+/// executing it. All bounds are worst-case functions of the strategy's own
+/// parameters (LineParams, plan, instance count, ...), never of the runtime
+/// input.
+struct ProtocolSpec {
+  std::string protocol;  ///< strategy name() this spec describes
+
+  /// Machine indices the protocol addresses are in [0, machines). Running
+  /// under an MpcConfig with fewer machines is a (static) routing violation.
+  std::uint64_t machines = 0;
+
+  /// Declared worst-case round count R(params). The protocol commits to
+  /// producing output within R rounds; exceeding it at runtime is a
+  /// spec-soundness failure, and R > MpcConfig::max_rounds is a static
+  /// round-count blowup.
+  std::uint64_t max_rounds = 0;
+
+  /// Definition 2.2 protocols need the oracle; plain-model (Definition 2.1)
+  /// protocols set false and declare zero queries everywhere.
+  bool needs_oracle = false;
+
+  /// True for strategies that adaptively stop querying when the per-round
+  /// budget runs out (all the pointer-chasing family do — they check
+  /// remaining_budget() and carry the frontier over). For such protocols the
+  /// effective per-round query bound is min(envelope, q) and the static
+  /// query check can never fail; protocols that do NOT clamp must declare an
+  /// envelope <= q or be rejected.
+  bool clamps_queries_to_budget = false;
+
+  /// Rounds 0..prologue.size()-1 get their own envelopes (gather protocols
+  /// have a shape change between round 0 and 1); every later round is bound
+  /// by `steady`.
+  std::vector<RoundEnvelope> prologue;
+  RoundEnvelope steady;
+
+  const RoundEnvelope& envelope(std::uint64_t round) const {
+    return round < prologue.size() ? prologue[round] : steady;
+  }
+
+  /// Number of distinct round shapes worth checking statically: each
+  /// prologue round, plus `steady` once if rounds extend past the prologue.
+  std::uint64_t distinct_round_shapes() const {
+    std::uint64_t shapes = prologue.size();
+    if (max_rounds > prologue.size()) shapes += 1;
+    return shapes;
+  }
+
+  /// Highest machine index any message may be addressed to.
+  std::uint64_t max_destination() const { return machines == 0 ? 0 : machines - 1; }
+
+  /// One-line human-readable summary (worst envelope over all shapes).
+  std::string summary() const;
+};
+
+/// Implemented by strategies that publish a ProtocolSpec. Kept separate from
+/// mpc::MpcAlgorithm so algorithms without a spec (mpclib, test fakes) are
+/// untouched; callers discover the spec with dynamic_cast.
+class ProtocolSpecProvider {
+ public:
+  virtual ~ProtocolSpecProvider() = default;
+  virtual ProtocolSpec protocol_spec() const = 0;
+};
+
+}  // namespace mpch::analysis

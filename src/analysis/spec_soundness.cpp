@@ -1,0 +1,65 @@
+#include "analysis/spec_soundness.hpp"
+
+#include <string>
+
+namespace mpch::analysis {
+
+namespace {
+
+void check_peak(ViolationKind kind, const mpc::Peak& observed, std::uint64_t limit,
+                std::uint64_t round, const std::string& what, const std::string& unit,
+                AnalysisReport& report) {
+  if (observed.value <= limit) return;
+  Diagnostic d;
+  d.kind = kind;
+  d.round = round;
+  d.machine = observed.machine;
+  d.value = observed.value;
+  d.limit = limit;
+  d.message = "observed " + what + " " + std::to_string(observed.value) + unit +
+              " > declared " + std::to_string(limit) + unit;
+  report.violations.push_back(d);
+}
+
+}  // namespace
+
+AnalysisReport check_soundness(const ProtocolSpec& spec, const mpc::MpcRunResult& result,
+                               const mpc::MpcConfig& config) {
+  AnalysisReport report;
+  report.protocol = spec.protocol;
+
+  if (result.rounds_used > spec.max_rounds) {
+    Diagnostic d;
+    d.kind = ViolationKind::kRoundCount;
+    d.round = result.rounds_used;
+    d.machine = 0;
+    d.value = result.rounds_used;
+    d.limit = spec.max_rounds;
+    d.message = "run used " + std::to_string(result.rounds_used) + " rounds > declared " +
+                std::to_string(spec.max_rounds);
+    report.violations.push_back(d);
+  }
+
+  for (const auto& stats : result.trace.rounds()) {
+    const RoundEnvelope& env = spec.envelope(stats.round);
+    check_peak(ViolationKind::kMemory, stats.peak_memory_bits, env.memory_bits, stats.round,
+               "round-start memory", " bits", report);
+    check_peak(ViolationKind::kQueryBudget, stats.peak_queries,
+               effective_query_bound(spec, env, config), stats.round, "oracle queries", "",
+               report);
+    check_peak(ViolationKind::kFanOut, stats.peak_fan_out, env.fan_out, stats.round, "fan-out",
+               " messages", report);
+    check_peak(ViolationKind::kFanIn, stats.peak_fan_in, env.fan_in, stats.round, "fan-in",
+               " messages", report);
+    check_peak(ViolationKind::kSentBits, stats.peak_sent_bits, env.sent_bits, stats.round,
+               "sent volume", " bits", report);
+    check_peak(ViolationKind::kInboxCapacity, stats.peak_recv_bits, env.recv_bits, stats.round,
+               "delivered volume", " bits", report);
+    check_peak(ViolationKind::kMessageSize, stats.peak_message_bits, env.max_message_bits,
+               stats.round, "message payload", " bits", report);
+  }
+
+  return report;
+}
+
+}  // namespace mpch::analysis

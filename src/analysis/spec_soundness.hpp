@@ -1,0 +1,28 @@
+// spec_soundness.hpp — the dynamic half of the conformance story.
+//
+// A static checker is only as good as the specs it is fed: a strategy whose
+// declared envelope understates its real footprint would pass check_spec and
+// then blow the runtime guards anyway. This pass closes the loop: run the
+// protocol under the instrumented simulation (RoundStats::peak_* record each
+// round's per-machine maxima with witness machines) and assert the observed
+// trace never exceeds the declared ProtocolSpec. Tests run it for every
+// in-tree strategy, so a spec that rots fails CI with machine/round
+// provenance instead of silently weakening the static pass.
+#pragma once
+
+#include "analysis/protocol_spec.hpp"
+#include "analysis/static_checker.hpp"
+#include "mpc/simulation.hpp"
+#include "mpc/trace.hpp"
+
+namespace mpch::analysis {
+
+/// Compare an executed run against `spec`: every per-round observed peak must
+/// be <= the declared envelope for that round (queries compared against the
+/// budget-clamped bound via effective_query_bound), and the run must finish
+/// within the declared round count. Diagnostics carry the observed value,
+/// the declared limit, and the witness machine/round.
+AnalysisReport check_soundness(const ProtocolSpec& spec, const mpc::MpcRunResult& result,
+                               const mpc::MpcConfig& config);
+
+}  // namespace mpch::analysis

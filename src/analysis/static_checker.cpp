@@ -1,0 +1,170 @@
+#include "analysis/static_checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpch::analysis {
+
+const char* violation_kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kMemory:
+      return "memory";
+    case ViolationKind::kInboxCapacity:
+      return "inbox-capacity";
+    case ViolationKind::kQueryBudget:
+      return "query-budget";
+    case ViolationKind::kRouting:
+      return "routing";
+    case ViolationKind::kRoundCount:
+      return "round-count";
+    case ViolationKind::kOracleMissing:
+      return "oracle-missing";
+    case ViolationKind::kFanIn:
+      return "fan-in";
+    case ViolationKind::kFanOut:
+      return "fan-out";
+    case ViolationKind::kSentBits:
+      return "sent-bits";
+    case ViolationKind::kMessageSize:
+      return "message-size";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << "[" << violation_kind_name(kind) << "] round " << round << ", machine " << machine
+     << ": " << message;
+  return os.str();
+}
+
+std::string AnalysisReport::format() const {
+  std::ostringstream os;
+  os << protocol << ": " << (ok() ? "PASS" : "FAIL");
+  if (!ok()) {
+    os << " (" << violations.size() << (violations.size() == 1 ? " violation" : " violations")
+       << ")";
+    for (const auto& d : violations) os << "\n  " << d.to_string();
+  }
+  return os.str();
+}
+
+std::string ProtocolSpec::summary() const {
+  RoundEnvelope worst;
+  for (std::uint64_t r = 0; r < distinct_round_shapes(); ++r) {
+    const RoundEnvelope& e = envelope(r == prologue.size() ? max_rounds : r);
+    worst.memory_bits = std::max(worst.memory_bits, e.memory_bits);
+    worst.oracle_queries = std::max(worst.oracle_queries, e.oracle_queries);
+    worst.fan_in = std::max(worst.fan_in, e.fan_in);
+    worst.fan_out = std::max(worst.fan_out, e.fan_out);
+  }
+  std::ostringstream os;
+  os << protocol << ": m=" << machines << " rounds<=" << max_rounds << " mem<="
+     << worst.memory_bits << "b queries<=" << worst.oracle_queries
+     << (clamps_queries_to_budget ? " (clamped to q)" : "") << " fan-in<=" << worst.fan_in
+     << " fan-out<=" << worst.fan_out << (needs_oracle ? " oracle" : " plain-model");
+  return os.str();
+}
+
+std::uint64_t effective_query_bound(const ProtocolSpec& spec, const RoundEnvelope& env,
+                                    const mpc::MpcConfig& config) {
+  if (spec.clamps_queries_to_budget) {
+    return std::min(env.oracle_queries, config.query_budget);
+  }
+  return env.oracle_queries;
+}
+
+namespace {
+
+Diagnostic make_diag(ViolationKind kind, std::uint64_t round, std::uint64_t machine,
+                     std::uint64_t value, std::uint64_t limit, const std::string& message) {
+  Diagnostic d;
+  d.kind = kind;
+  d.round = round;
+  d.machine = machine;
+  d.value = value;
+  d.limit = limit;
+  d.message = message;
+  return d;
+}
+
+/// Static checks for one round shape. `round` is the concrete round index
+/// used for provenance (for the steady-state shape, the first steady round).
+void check_round(const ProtocolSpec& spec, const RoundEnvelope& env, std::uint64_t round,
+                 const mpc::MpcConfig& config, AnalysisReport& report) {
+  if (env.memory_bits > config.local_memory_bits) {
+    report.violations.push_back(make_diag(
+        ViolationKind::kMemory, round, env.witness_machine, env.memory_bits,
+        config.local_memory_bits,
+        "declared round-start memory " + std::to_string(env.memory_bits) + " bits > s=" +
+            std::to_string(config.local_memory_bits)));
+  }
+  if (env.recv_bits > config.local_memory_bits) {
+    report.violations.push_back(make_diag(
+        ViolationKind::kInboxCapacity, round, env.witness_machine, env.recv_bits,
+        config.local_memory_bits,
+        "declared delivery of " + std::to_string(env.recv_bits) + " bits (fan-in " +
+            std::to_string(env.fan_in) + ") > s=" + std::to_string(config.local_memory_bits)));
+  }
+  std::uint64_t queries = effective_query_bound(spec, env, config);
+  if (queries > config.query_budget) {
+    report.violations.push_back(make_diag(
+        ViolationKind::kQueryBudget, round, env.witness_machine, queries, config.query_budget,
+        "declared " + std::to_string(queries) + " oracle queries > q=" +
+            std::to_string(config.query_budget)));
+  }
+}
+
+}  // namespace
+
+AnalysisReport check_spec(const ProtocolSpec& spec, const mpc::MpcConfig& config) {
+  if (spec.machines == 0) {
+    throw std::invalid_argument("check_spec: malformed spec (zero machines): " + spec.protocol);
+  }
+  if (spec.max_rounds == 0) {
+    throw std::invalid_argument("check_spec: malformed spec (zero rounds): " + spec.protocol);
+  }
+
+  AnalysisReport report;
+  report.protocol = spec.protocol;
+
+  // Routing: every destination the protocol may address must exist.
+  if (spec.machines > config.machines) {
+    report.violations.push_back(make_diag(
+        ViolationKind::kRouting, 0, spec.max_destination(), spec.max_destination(),
+        config.machines,
+        "protocol addresses machine " + std::to_string(spec.max_destination()) + " but m=" +
+            std::to_string(config.machines) + " (destinations must be < m)"));
+  }
+
+  // Round-count blowup: the declared R must fit under the configured cap.
+  if (spec.max_rounds > config.max_rounds) {
+    report.violations.push_back(make_diag(
+        ViolationKind::kRoundCount, config.max_rounds, 0, spec.max_rounds, config.max_rounds,
+        "declared round count " + std::to_string(spec.max_rounds) + " > max_rounds=" +
+            std::to_string(config.max_rounds)));
+  }
+
+  // Oracle availability: a Definition 2.2 protocol under q=0 can never issue
+  // the queries it declares (budget-adaptive ones would stall forever).
+  if (spec.needs_oracle && config.query_budget == 0) {
+    report.violations.push_back(
+        make_diag(ViolationKind::kOracleMissing, 0, 0, 0, 0,
+                  "protocol requires an oracle but the config grants q=0 queries per round"));
+  }
+
+  // Per-round envelopes: each prologue round, then the steady state once
+  // (provenance: the first round the steady envelope governs).
+  std::uint64_t rounds_to_check = std::min<std::uint64_t>(spec.prologue.size(), spec.max_rounds);
+  for (std::uint64_t r = 0; r < rounds_to_check; ++r) {
+    check_round(spec, spec.prologue[r], r, config, report);
+  }
+  if (spec.max_rounds > spec.prologue.size()) {
+    check_round(spec, spec.steady, spec.prologue.size(), config, report);
+  }
+
+  return report;
+}
+
+}  // namespace mpch::analysis

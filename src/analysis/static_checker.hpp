@@ -1,0 +1,77 @@
+// static_checker.hpp — prove or refute ProtocolSpec-vs-MpcConfig conformance
+// without executing the protocol.
+//
+// The checks mirror, one for one, the runtime guards of MpcSimulation and
+// CountingOracle:
+//
+//   runtime guard                      static check
+//   ---------------------------------------------------------------------
+//   MemoryViolation (inbox union > s)  kMemory / kInboxCapacity
+//   QueryBudgetExceeded                kQueryBudget
+//   RoutingViolation (to >= m)         kRouting
+//   max_rounds cap hit                 kRoundCount
+//   null-oracle crash                  kOracleMissing
+//
+// Every diagnostic carries machine/round provenance (the envelope's witness
+// machine and the first offending round), so a rejected protocol reads the
+// same as a runtime violation would — just before any cycles are spent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/protocol_spec.hpp"
+#include "mpc/simulation.hpp"
+
+namespace mpch::analysis {
+
+enum class ViolationKind {
+  kMemory,         ///< declared round-start memory exceeds s
+  kInboxCapacity,  ///< declared per-round delivery exceeds s
+  kQueryBudget,    ///< declared per-round queries exceed q (unclamped protocols)
+  kRouting,        ///< protocol addresses machine indices >= m
+  kRoundCount,     ///< declared round count exceeds the configured cap
+  kOracleMissing,  ///< protocol needs an oracle the config cannot provide
+  kFanIn,          ///< observed fan-in exceeded the declared envelope
+  kFanOut,         ///< observed fan-out exceeded the declared envelope
+  kSentBits,       ///< observed sent bits exceeded the declared envelope
+  kMessageSize,    ///< observed payload exceeded the declared envelope
+};
+
+const char* violation_kind_name(ViolationKind kind);
+
+/// One conformance failure with provenance: which bound, where, by how much.
+struct Diagnostic {
+  ViolationKind kind = ViolationKind::kMemory;
+  std::uint64_t round = 0;    ///< first offending round
+  std::uint64_t machine = 0;  ///< witness machine
+  std::uint64_t value = 0;    ///< declared (static pass) or observed (soundness pass)
+  std::uint64_t limit = 0;    ///< the bound that was exceeded
+  std::string message;        ///< full human-readable diagnostic
+
+  std::string to_string() const;
+};
+
+struct AnalysisReport {
+  std::string protocol;
+  std::vector<Diagnostic> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// Multi-line report: "PASS"/"FAIL" headline plus one line per diagnostic.
+  std::string format() const;
+};
+
+/// The static pass: verify `spec` fits inside `config`. Does not execute
+/// anything. Throws std::invalid_argument on a malformed spec (zero machines
+/// or zero rounds) — that is a bug in the spec, not a conformance result.
+AnalysisReport check_spec(const ProtocolSpec& spec, const mpc::MpcConfig& config);
+
+/// Effective per-round query bound of `spec` under `config` — the declared
+/// envelope, clamped to q for budget-adaptive protocols. Shared by the
+/// static and soundness passes so they can never disagree about what a
+/// protocol promised.
+std::uint64_t effective_query_bound(const ProtocolSpec& spec, const RoundEnvelope& env,
+                                    const mpc::MpcConfig& config);
+
+}  // namespace mpch::analysis

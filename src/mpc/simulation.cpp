@@ -102,6 +102,14 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
     result.trace.begin_round(round);
     std::uint64_t queries_before = oracle_ ? oracle_->total_queries() : 0;
 
+    // Round-start memory per machine (the inbox union M_i^k) — the observed
+    // counterpart of a ProtocolSpec's declared memory envelope.
+    for (std::uint64_t i = 0; i < config_.machines; ++i) {
+      std::uint64_t held = 0;
+      for (const auto& msg : inboxes[i]) held += msg.bits();
+      result.trace.current().peak_memory_bits.observe(held, i);
+    }
+
     // Phase A — run all machines of the round into their slots. Within a
     // round a machine sees only its own inbox, the shared tape, and its
     // budgeted oracle view, so machines are independent and any execution
@@ -131,10 +139,15 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
     for (std::uint64_t i = 0; i < config_.machines; ++i) {
       MachineSlot& slot = slots[i];
       result.trace.merge_round_from(slot.scratch);
+      if (slot.oracle != nullptr) {
+        result.trace.current().peak_queries.observe(slot.oracle->queries_this_round(), i);
+      }
       if (slot.io.output.has_value()) {
         outputs.push_back(std::move(*slot.io.output));
         any_output = true;
       }
+      std::uint64_t sent_bits = 0;
+      result.trace.current().peak_fan_out.observe(slot.io.outbox.size(), i);
       for (auto& msg : slot.io.outbox) {
         // send() already validates; this backstop covers outboxes filled
         // directly (bypassing send) by tests or future callers.
@@ -147,8 +160,11 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
         msg.from = i;
         result.trace.current().messages += 1;
         result.trace.current().communicated_bits += msg.bits();
+        result.trace.current().peak_message_bits.observe(msg.bits(), i);
+        sent_bits += msg.bits();
         next_inboxes[msg.to].push_back(std::move(msg));
       }
+      result.trace.current().peak_sent_bits.observe(sent_bits, i);
     }
 
     // Enforce the inbox capacity: "each machine receives no more
@@ -158,6 +174,8 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
       for (const auto& msg : next_inboxes[j]) total += msg.bits();
       result.trace.current().max_inbox_bits =
           std::max(result.trace.current().max_inbox_bits, total);
+      result.trace.current().peak_fan_in.observe(next_inboxes[j].size(), j);
+      result.trace.current().peak_recv_bits.observe(total, j);
       if (total > config_.local_memory_bits) {
         throw MemoryViolation("machine " + std::to_string(j) + " would receive " +
                               std::to_string(total) + " bits > s=" +

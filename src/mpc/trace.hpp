@@ -15,12 +15,38 @@
 
 namespace mpch::mpc {
 
+/// A per-round maximum together with the machine that achieved it — the
+/// witness the analysis layer's spec-soundness diagnostics name.
+struct Peak {
+  std::uint64_t value = 0;
+  std::uint64_t machine = 0;
+
+  void observe(std::uint64_t v, std::uint64_t m) {
+    if (v > value) {
+      value = v;
+      machine = m;
+    }
+  }
+  void merge(const Peak& rhs) { observe(rhs.value, rhs.machine); }
+};
+
 struct RoundStats {
   std::uint64_t round = 0;
   std::uint64_t messages = 0;
   std::uint64_t communicated_bits = 0;
   std::uint64_t oracle_queries = 0;
   std::uint64_t max_inbox_bits = 0;  ///< largest per-machine delivery this round
+
+  // Per-machine worst cases observed this round, recorded by the simulation
+  // during the deterministic merge. These are what the spec-soundness pass
+  // (analysis/spec_soundness.hpp) compares against a declared ProtocolSpec.
+  Peak peak_memory_bits;   ///< largest round-start memory (inbox union)
+  Peak peak_queries;       ///< most oracle queries by one machine
+  Peak peak_fan_out;       ///< most messages sent by one machine
+  Peak peak_fan_in;        ///< most messages delivered to one machine
+  Peak peak_sent_bits;     ///< most bits sent by one machine
+  Peak peak_recv_bits;     ///< most bits delivered to one machine
+  Peak peak_message_bits;  ///< largest single message payload
 };
 
 class RoundTrace {
@@ -66,6 +92,13 @@ class RoundTrace {
     dst.communicated_bits += s.communicated_bits;
     dst.oracle_queries += s.oracle_queries;
     dst.max_inbox_bits = std::max(dst.max_inbox_bits, s.max_inbox_bits);
+    dst.peak_memory_bits.merge(s.peak_memory_bits);
+    dst.peak_queries.merge(s.peak_queries);
+    dst.peak_fan_out.merge(s.peak_fan_out);
+    dst.peak_fan_in.merge(s.peak_fan_in);
+    dst.peak_sent_bits.merge(s.peak_sent_bits);
+    dst.peak_recv_bits.merge(s.peak_recv_bits);
+    dst.peak_message_bits.merge(s.peak_message_bits);
   }
 
   std::uint64_t total_communicated_bits() const {

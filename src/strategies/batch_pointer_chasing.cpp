@@ -54,6 +54,38 @@ std::uint64_t BatchPointerChasingStrategy::required_local_memory() const {
   return instances_ * per_instance_blocks + frontiers + done + collected;
 }
 
+analysis::ProtocolSpec BatchPointerChasingStrategy::protocol_spec() const {
+  const std::uint64_t block_rec =
+      kTagBits + kInstBits + BlockSet::encoded_bits(params_, plan_.max_owned());
+  const std::uint64_t frontier_rec = kTagBits + kInstBits + Frontier::encoded_bits(params_);
+  const std::uint64_t done_rec = kTagBits + kInstBits + params_.n;
+  const std::uint64_t collected_rec = kTagBits + 16 + instances_ * (kInstBits + params_.n);
+
+  analysis::ProtocolSpec spec;
+  spec.protocol = name();
+  spec.machines = plan_.machines();
+  spec.max_rounds = instances_ * params_.w + 2;
+  spec.needs_oracle = true;
+  spec.clamps_queries_to_budget = true;
+
+  analysis::RoundEnvelope env;
+  env.memory_bits = required_local_memory();
+  env.oracle_queries = instances_ * params_.w;
+  // Per held instance: one frontier/done plus the blocks-to-self re-send;
+  // machine 0 adds the collected set.
+  env.fan_out = 2 * instances_ + 1;
+  // Machine 0 worst case: own blocks + a frontier and a done per instance,
+  // plus its previous collected set.
+  env.fan_in = 3 * instances_ + 1;
+  env.sent_bits = required_local_memory();
+  env.recv_bits = required_local_memory();
+  env.max_message_bits =
+      std::max({block_rec, frontier_rec, done_rec, collected_rec});
+  env.witness_machine = 0;  // collector
+  spec.steady = env;
+  return spec;
+}
+
 std::vector<util::BitString> BatchPointerChasingStrategy::parse_outputs(
     const core::LineParams& params, const util::BitString& output, std::uint64_t instances) {
   std::vector<util::BitString> answers(instances);

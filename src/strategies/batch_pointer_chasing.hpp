@@ -18,6 +18,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "analysis/protocol_spec.hpp"
 #include "core/line.hpp"
 #include "mpc/simulation.hpp"
 #include "strategies/block_store.hpp"
@@ -25,7 +26,8 @@
 
 namespace mpch::strategies {
 
-class BatchPointerChasingStrategy final : public mpc::MpcAlgorithm {
+class BatchPointerChasingStrategy final : public mpc::MpcAlgorithm,
+                                          public analysis::ProtocolSpecProvider {
  public:
   /// One ownership plan shared by all instances (round-robin).
   BatchPointerChasingStrategy(const core::LineParams& params, OwnershipPlan plan,
@@ -42,6 +44,13 @@ class BatchPointerChasingStrategy final : public mpc::MpcAlgorithm {
 
   /// s needed: per-instance block shares plus up to `instances` frontiers.
   std::uint64_t required_local_memory() const;
+
+  /// Declared envelope: all k frontiers may pile onto one machine, so the
+  /// per-round worst case is k of everything (queries k·w, budget-clamped)
+  /// plus the collector's running answer set on machine 0; the declared
+  /// round bound k·w + 2 covers fully serialized instances plus the final
+  /// done → collect → output hand-off.
+  analysis::ProtocolSpec protocol_spec() const override;
 
   /// Outputs are emitted per instance as [inst:16][answer:n], concatenated
   /// in completion order; parse into per-instance answers.

@@ -150,4 +150,12 @@ std::uint64_t OwnershipPlan::max_owned() const {
   return best;
 }
 
+std::uint64_t OwnershipPlan::heaviest_machine() const {
+  std::uint64_t best = 0;
+  for (std::uint64_t j = 1; j < owners_.size(); ++j) {
+    if (owners_[j].size() > owners_[best].size()) best = j;
+  }
+  return best;
+}
+
 }  // namespace mpch::strategies

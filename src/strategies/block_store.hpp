@@ -95,6 +95,10 @@ class OwnershipPlan {
   /// Max blocks owned by any machine (for memory sizing).
   std::uint64_t max_owned() const;
 
+  /// A machine attaining max_owned() — the witness machine ProtocolSpec
+  /// memory envelopes name (lowest index wins ties).
+  std::uint64_t heaviest_machine() const;
+
  private:
   std::vector<std::vector<std::uint64_t>> owners_;           // machine -> blocks
   std::unordered_map<std::uint64_t, std::uint64_t> lookup_;  // block -> some owner

@@ -1,5 +1,6 @@
 #include "strategies/colluding.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/serialize.hpp"
@@ -27,6 +28,31 @@ std::vector<util::BitString> ColludingStrategy::make_initial_memory(
 std::uint64_t ColludingStrategy::required_local_memory() const {
   return kTagBits + BlockSet::encoded_bits(params_, plan_.max_owned()) +
          machines_ * (kTagBits + Frontier::encoded_bits(params_));
+}
+
+analysis::ProtocolSpec ColludingStrategy::protocol_spec() const {
+  const std::uint64_t blocks_bits =
+      kTagBits + BlockSet::encoded_bits(params_, plan_.max_owned());
+  const std::uint64_t frontier_bits = kTagBits + Frontier::encoded_bits(params_);
+
+  analysis::ProtocolSpec spec;
+  spec.protocol = name();
+  spec.machines = machines_;
+  spec.max_rounds = params_.w;
+  spec.needs_oracle = true;
+  spec.clamps_queries_to_budget = true;
+
+  analysis::RoundEnvelope env;
+  env.memory_bits = required_local_memory();
+  env.oracle_queries = params_.w;
+  env.fan_out = 1 + machines_;  // blocks-to-self + frontier broadcast to all m
+  env.fan_in = 1 + machines_;   // own blocks + a frontier copy from every machine
+  env.sent_bits = blocks_bits + machines_ * frontier_bits;
+  env.recv_bits = required_local_memory();
+  env.max_message_bits = std::max(blocks_bits, frontier_bits);
+  env.witness_machine = plan_.heaviest_machine();
+  spec.steady = env;
+  return spec;
 }
 
 ColludingStrategy::ParsedInbox ColludingStrategy::parse_inbox(

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "analysis/protocol_spec.hpp"
 #include "core/line.hpp"
 #include "mpc/simulation.hpp"
 #include "strategies/block_store.hpp"
@@ -23,7 +24,8 @@
 
 namespace mpch::strategies {
 
-class ColludingStrategy final : public mpc::MpcAlgorithm {
+class ColludingStrategy final : public mpc::MpcAlgorithm,
+                                public analysis::ProtocolSpecProvider {
  public:
   ColludingStrategy(const core::LineParams& params, OwnershipPlan plan);
 
@@ -36,6 +38,11 @@ class ColludingStrategy final : public mpc::MpcAlgorithm {
 
   /// Inbox worst case: own blocks + one frontier from every machine.
   std::uint64_t required_local_memory() const;
+
+  /// Declared envelope: the broadcast pattern inflates fan-in/out to m+1
+  /// (blocks-to-self + one frontier copy per machine) while the round count
+  /// stays at w — the communication-vs-rounds contrast in spec form.
+  analysis::ProtocolSpec protocol_spec() const override;
 
  private:
   struct ParsedInbox {

@@ -72,6 +72,45 @@ std::uint64_t DictionaryStrategy::gathered_bits(std::uint64_t distinct) const {
          machines_ * (kTagBits + 32);
 }
 
+analysis::ProtocolSpec DictionaryStrategy::protocol_spec() const {
+  // Worst case (uniform X): distinct = v, and the round-robin split gives
+  // every machine at most ceil(v/m) dictionary entries and map entries.
+  const std::uint64_t per_machine = (params_.v + machines_ - 1) / machines_;
+  const std::uint64_t share_bits = kTagBits + 32 + per_machine * (16 + params_.u) +
+                                   per_machine * (params_.ell_bits + 16);
+  const std::uint64_t gathered = gathered_bits(params_.v);
+
+  analysis::ProtocolSpec spec;
+  spec.protocol = name();
+  spec.machines = machines_;
+  spec.max_rounds = 2;
+  spec.needs_oracle = true;
+  spec.clamps_queries_to_budget = false;
+
+  analysis::RoundEnvelope scatter;
+  scatter.memory_bits = share_bits;
+  scatter.oracle_queries = 0;
+  scatter.fan_out = 1;
+  scatter.fan_in = machines_;
+  scatter.sent_bits = share_bits;
+  scatter.recv_bits = gathered;
+  scatter.max_message_bits = share_bits;
+  scatter.witness_machine = 0;
+  spec.prologue.push_back(scatter);
+
+  analysis::RoundEnvelope walk;
+  walk.memory_bits = gathered;
+  walk.oracle_queries = params_.w;
+  walk.fan_out = 0;
+  walk.fan_in = 0;
+  walk.sent_bits = 0;
+  walk.recv_bits = 0;
+  walk.max_message_bits = 0;
+  walk.witness_machine = 0;
+  spec.steady = walk;
+  return spec;
+}
+
 void DictionaryStrategy::run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle,
                                      const mpc::SharedTape& /*tape*/, mpc::RoundTrace& trace) {
   if (oracle == nullptr) throw std::invalid_argument("DictionaryStrategy requires an oracle");

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 
+#include "analysis/protocol_spec.hpp"
 #include "core/line.hpp"
 #include "mpc/simulation.hpp"
 #include "strategies/block_store.hpp"
@@ -23,7 +24,8 @@
 
 namespace mpch::strategies {
 
-class DictionaryStrategy final : public mpc::MpcAlgorithm {
+class DictionaryStrategy final : public mpc::MpcAlgorithm,
+                                 public analysis::ProtocolSpecProvider {
  public:
   DictionaryStrategy(const core::LineParams& params, std::uint64_t machines);
 
@@ -43,6 +45,12 @@ class DictionaryStrategy final : public mpc::MpcAlgorithm {
 
   /// Number of distinct block values in `input` (host-side analysis).
   static std::uint64_t distinct_blocks(const core::LineInput& input);
+
+  /// Declared envelope: the two-round gather shape sized for the worst-case
+  /// input (distinct = v — uniform X, where the dictionary encoding is
+  /// *larger* than X). Queries are NOT budget-clamped; the round-1 walk
+  /// unconditionally spends w.
+  analysis::ProtocolSpec protocol_spec() const override;
 
  private:
   core::LineParams params_;

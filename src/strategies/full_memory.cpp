@@ -29,6 +29,45 @@ std::uint64_t FullMemoryStrategy::required_local_memory() const {
   return plan_.machines() * (kTagBits + 32) + params_.v * (params_.ell_bits + params_.u);
 }
 
+analysis::ProtocolSpec FullMemoryStrategy::protocol_spec() const {
+  const std::uint64_t share_bits =
+      kTagBits + BlockSet::encoded_bits(params_, plan_.max_owned());
+  const std::uint64_t gathered_bits = required_local_memory();
+
+  analysis::ProtocolSpec spec;
+  spec.protocol = name();
+  spec.machines = plan_.machines();
+  spec.max_rounds = 2;
+  spec.needs_oracle = true;
+  spec.clamps_queries_to_budget = false;
+
+  // Round 0: every machine forwards its share to machine 0. The fan-in /
+  // recv peaks of round 0 are the arrivals *for* round 1, all at machine 0.
+  analysis::RoundEnvelope scatter;
+  scatter.memory_bits = share_bits;
+  scatter.oracle_queries = 0;
+  scatter.fan_out = 1;
+  scatter.fan_in = plan_.machines();
+  scatter.sent_bits = share_bits;
+  scatter.recv_bits = gathered_bits;
+  scatter.max_message_bits = share_bits;
+  scatter.witness_machine = 0;
+  spec.prologue.push_back(scatter);
+
+  // Round 1: machine 0 holds everything and walks the chain locally.
+  analysis::RoundEnvelope walk;
+  walk.memory_bits = gathered_bits;
+  walk.oracle_queries = params_.w;
+  walk.fan_out = 0;
+  walk.fan_in = 0;
+  walk.sent_bits = 0;
+  walk.recv_bits = 0;
+  walk.max_message_bits = 0;
+  walk.witness_machine = 0;
+  spec.steady = walk;
+  return spec;
+}
+
 void FullMemoryStrategy::run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle,
                                      const mpc::SharedTape& /*tape*/, mpc::RoundTrace& trace) {
   if (oracle == nullptr) throw std::invalid_argument("FullMemoryStrategy requires an oracle");

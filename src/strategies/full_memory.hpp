@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "analysis/protocol_spec.hpp"
 #include "core/line.hpp"
 #include "mpc/simulation.hpp"
 #include "strategies/block_store.hpp"
@@ -18,7 +19,8 @@
 
 namespace mpch::strategies {
 
-class FullMemoryStrategy final : public mpc::MpcAlgorithm {
+class FullMemoryStrategy final : public mpc::MpcAlgorithm,
+                                 public analysis::ProtocolSpecProvider {
  public:
   FullMemoryStrategy(const core::LineParams& params, OwnershipPlan plan);
 
@@ -31,6 +33,11 @@ class FullMemoryStrategy final : public mpc::MpcAlgorithm {
 
   /// Memory the gather target needs: all v blocks plus tags.
   std::uint64_t required_local_memory() const;
+
+  /// Declared envelope: a two-round prologue (scatter to machine 0, then a
+  /// local walk of all w nodes). Queries are NOT budget-clamped — the walk
+  /// unconditionally spends w, so q < w is a static violation.
+  analysis::ProtocolSpec protocol_spec() const override;
 
  private:
   core::LineParams params_;

@@ -1,5 +1,6 @@
 #include "strategies/pipelined_simline.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/serialize.hpp"
@@ -48,6 +49,50 @@ std::uint64_t PipelinedSimLineStrategy::predicted_rounds() const {
     }
   }
   return rounds;
+}
+
+std::uint64_t PipelinedSimLineStrategy::worst_round_advance() const {
+  // Same scan as predicted_rounds, keeping the longest run instead of the
+  // run count. O(w), like the schedule itself.
+  std::uint64_t worst = 0;
+  std::uint64_t i = 1;
+  while (i <= params_.w) {
+    std::uint64_t block = (i - 1) % params_.v + 1;
+    auto owner = plan_.owner_of(block);
+    if (!owner.has_value()) throw std::logic_error("worst_round_advance: uncovered block");
+    std::uint64_t run = 0;
+    while (i <= params_.w && plan_.owner_of((i - 1) % params_.v + 1) == owner) {
+      ++i;
+      ++run;
+    }
+    worst = std::max(worst, run);
+  }
+  return worst;
+}
+
+analysis::ProtocolSpec PipelinedSimLineStrategy::protocol_spec() const {
+  const std::uint64_t blocks_bits =
+      kTagBits + BlockSet::encoded_bits(params_, plan_.max_owned());
+  const std::uint64_t frontier_bits = kTagBits + Frontier::encoded_bits(params_);
+
+  analysis::ProtocolSpec spec;
+  spec.protocol = name();
+  spec.machines = plan_.machines();
+  spec.max_rounds = params_.w;
+  spec.needs_oracle = true;
+  spec.clamps_queries_to_budget = true;
+
+  analysis::RoundEnvelope env;
+  env.memory_bits = blocks_bits + frontier_bits;
+  env.oracle_queries = worst_round_advance();
+  env.fan_out = 2;
+  env.fan_in = 2;
+  env.sent_bits = blocks_bits + frontier_bits;
+  env.recv_bits = blocks_bits + frontier_bits;
+  env.max_message_bits = std::max(blocks_bits, frontier_bits);
+  env.witness_machine = plan_.heaviest_machine();
+  spec.steady = env;
+  return spec;
 }
 
 PipelinedSimLineStrategy::ParsedInbox PipelinedSimLineStrategy::parse_inbox(

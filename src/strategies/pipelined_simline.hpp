@@ -15,6 +15,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "analysis/protocol_spec.hpp"
 #include "core/simline.hpp"
 #include "mpc/simulation.hpp"
 #include "strategies/block_store.hpp"
@@ -22,7 +23,8 @@
 
 namespace mpch::strategies {
 
-class PipelinedSimLineStrategy final : public mpc::MpcAlgorithm {
+class PipelinedSimLineStrategy final : public mpc::MpcAlgorithm,
+                                       public analysis::ProtocolSpecProvider {
  public:
   /// Plan must be a `windows` plan; the strategy exploits contiguity.
   PipelinedSimLineStrategy(const core::LineParams& params, OwnershipPlan plan);
@@ -39,6 +41,16 @@ class PipelinedSimLineStrategy final : public mpc::MpcAlgorithm {
   /// the number of window hand-offs to cover w nodes (exact, deterministic —
   /// tested against measured rounds).
   std::uint64_t predicted_rounds() const;
+
+  /// Longest run of consecutively-owned scheduled blocks — the per-round
+  /// advance (and query) worst case the spec declares.
+  std::uint64_t worst_round_advance() const;
+
+  /// Declared envelope: window-walking keeps fan-in/out at 2 while the
+  /// per-round query bound is the longest owned run in the public schedule;
+  /// the declared round count is w (sound for any q >= 1 — the achieved
+  /// count is predicted_rounds() when q covers a full window).
+  analysis::ProtocolSpec protocol_spec() const override;
 
  private:
   struct ParsedInbox {

@@ -1,5 +1,6 @@
 #include "strategies/pointer_chasing.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/serialize.hpp"
@@ -27,6 +28,31 @@ std::vector<util::BitString> PointerChasingStrategy::make_initial_memory(
 std::uint64_t PointerChasingStrategy::required_local_memory() const {
   return kTagBits + BlockSet::encoded_bits(params_, plan_.max_owned()) + kTagBits +
          Frontier::encoded_bits(params_);
+}
+
+analysis::ProtocolSpec PointerChasingStrategy::protocol_spec() const {
+  const std::uint64_t blocks_bits =
+      kTagBits + BlockSet::encoded_bits(params_, plan_.max_owned());
+  const std::uint64_t frontier_bits = kTagBits + Frontier::encoded_bits(params_);
+
+  analysis::ProtocolSpec spec;
+  spec.protocol = name();
+  spec.machines = plan_.machines();
+  spec.max_rounds = params_.w;
+  spec.needs_oracle = true;
+  spec.clamps_queries_to_budget = true;
+
+  analysis::RoundEnvelope env;
+  env.memory_bits = blocks_bits + frontier_bits;
+  env.oracle_queries = params_.w;  // whole remaining chain, if locally owned
+  env.fan_out = 2;                 // blocks-to-self + frontier hand-off
+  env.fan_in = 2;                  // own blocks + the single global frontier
+  env.sent_bits = blocks_bits + frontier_bits;
+  env.recv_bits = blocks_bits + frontier_bits;
+  env.max_message_bits = std::max(blocks_bits, frontier_bits);
+  env.witness_machine = plan_.heaviest_machine();
+  spec.steady = env;
+  return spec;
 }
 
 PointerChasingStrategy::ParsedInbox PointerChasingStrategy::parse_inbox(

@@ -20,6 +20,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "analysis/protocol_spec.hpp"
 #include "core/line.hpp"
 #include "mpc/simulation.hpp"
 #include "strategies/block_store.hpp"
@@ -30,7 +31,8 @@ namespace mpch::strategies {
 enum class PayloadTag : std::uint64_t { kBlocks = 0, kFrontier = 1 };
 constexpr std::uint64_t kTagBits = 2;
 
-class PointerChasingStrategy final : public mpc::MpcAlgorithm {
+class PointerChasingStrategy final : public mpc::MpcAlgorithm,
+                                     public analysis::ProtocolSpecProvider {
  public:
   /// `plan` decides which machine owns which blocks (partitioned or
   /// replicated — replication models machines using their full s to store a
@@ -48,6 +50,12 @@ class PointerChasingStrategy final : public mpc::MpcAlgorithm {
   /// Local memory (bits) a machine needs under this plan: its block set plus
   /// one frontier plus tags. Pass to MpcConfig::local_memory_bits.
   std::uint64_t required_local_memory() const;
+
+  /// Declared worst-case envelope: one block set + one frontier of memory,
+  /// fan-in/out 2 (blocks-to-self + the single global frontier), up to w
+  /// budget-clamped queries per round, and at most w rounds (>= 1 advance
+  /// per round once bootstrapped, since hand-offs go to the block's owner).
+  analysis::ProtocolSpec protocol_spec() const override;
 
   const OwnershipPlan& plan() const { return plan_; }
 

@@ -1,5 +1,6 @@
 #include "strategies/ram_emulation.hpp"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 
@@ -49,8 +50,13 @@ util::BitString encode_words(std::uint64_t tag,
 
 RamEmulationStrategy::RamEmulationStrategy(std::vector<ram::Instruction> program,
                                            std::uint64_t machines,
-                                           std::uint64_t steps_per_round)
-    : program_(std::move(program)), machines_(machines), steps_per_round_(steps_per_round) {
+                                           std::uint64_t steps_per_round,
+                                           std::uint64_t memory_words, std::uint64_t max_steps)
+    : program_(std::move(program)),
+      machines_(machines),
+      steps_per_round_(steps_per_round),
+      memory_words_(memory_words),
+      max_steps_(max_steps) {
   if (machines_ < 2) {
     throw std::invalid_argument("RamEmulationStrategy: need a CPU plus >= 1 memory server");
   }
@@ -78,6 +84,49 @@ std::uint64_t RamEmulationStrategy::required_local_memory(std::uint64_t memory_w
   std::uint64_t server_bits = kTagBits + 32 + per_server * 128 +
                               2 * (kTagBits + 128);  // words + in-flight req/store
   return std::max(cpu_bits, server_bits);
+}
+
+analysis::ProtocolSpec RamEmulationStrategy::protocol_spec() const {
+  if (max_steps_ == 0) {
+    throw std::logic_error(
+        "RamEmulationStrategy::protocol_spec: construct with memory_words/max_steps hints");
+  }
+  const std::uint64_t state_bits = kTagBits + 64 + 1 + 64 * ram::kNumRegisters + 8;
+  const std::uint64_t req_bits = kTagBits + 64;    // load request / reply
+  const std::uint64_t store_bits = kTagBits + 128;  // store {addr, value}
+  const std::uint64_t per_server = util::ceil_div(memory_words_, machines_ - 1);
+  const std::uint64_t words_bits = kTagBits + 32 + per_server * 128;
+  const std::uint64_t steps =
+      steps_per_round_ == 0 ? max_steps_ : std::min(steps_per_round_, max_steps_);
+
+  analysis::ProtocolSpec spec;
+  spec.protocol = name();
+  spec.machines = machines_;
+  // Worst case every step is a LOAD: issue, server turn-around, resume.
+  spec.max_rounds = 3 * max_steps_ + 2;
+  spec.needs_oracle = false;
+  spec.clamps_queries_to_budget = false;
+
+  const std::uint64_t cpu_sent = state_bits + req_bits + steps * store_bits;
+  const std::uint64_t server_sent = words_bits + req_bits;
+  const std::uint64_t cpu_recv = state_bits + req_bits;
+  const std::uint64_t server_recv = words_bits + req_bits + steps * store_bits;
+
+  analysis::RoundEnvelope env;
+  env.memory_bits = required_local_memory(memory_words_);
+  env.oracle_queries = 0;
+  // CPU: up to `steps` stores + one load request + the state-to-self;
+  // server: one reply + the words-to-self.
+  env.fan_out = steps + 2;
+  // Server: words-to-self + up to `steps` stores + one load request.
+  env.fan_in = steps + 2;
+  env.sent_bits = std::max(cpu_sent, server_sent);
+  env.recv_bits = std::max(cpu_recv, server_recv);
+  env.max_message_bits = std::max(state_bits, words_bits);
+  const std::uint64_t cpu_mem = state_bits + req_bits;
+  env.witness_machine = env.memory_bits > cpu_mem ? 1 : 0;  // a server, else the CPU
+  spec.steady = env;
+  return spec;
 }
 
 ram::RamState RamEmulationStrategy::parse_output(const util::BitString& output) {

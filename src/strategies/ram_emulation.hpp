@@ -15,16 +15,24 @@
 #include <cstdint>
 #include <optional>
 
+#include "analysis/protocol_spec.hpp"
 #include "mpc/simulation.hpp"
 #include "ram/machine.hpp"
 
 namespace mpch::strategies {
 
-class RamEmulationStrategy final : public mpc::MpcAlgorithm {
+class RamEmulationStrategy final : public mpc::MpcAlgorithm,
+                                   public analysis::ProtocolSpecProvider {
  public:
   /// `machines` must be >= 2 (one CPU + at least one memory server).
+  ///
+  /// `memory_words` and `max_steps` are optional spec hints for
+  /// protocol_spec(): an upper bound on distinct addresses the program ever
+  /// touches and on RAM steps until HALT. They do not change execution;
+  /// protocol_spec() throws std::logic_error when max_steps is 0.
   RamEmulationStrategy(std::vector<ram::Instruction> program, std::uint64_t machines,
-                       std::uint64_t steps_per_round = 1);
+                       std::uint64_t steps_per_round = 1, std::uint64_t memory_words = 0,
+                       std::uint64_t max_steps = 0);
 
   void run_machine(mpc::MachineIo& io, hash::CountingOracle* oracle, const mpc::SharedTape& tape,
                    mpc::RoundTrace& trace) override;
@@ -42,12 +50,20 @@ class RamEmulationStrategy final : public mpc::MpcAlgorithm {
   /// Parse the CPU's final output back into a RamState.
   static ram::RamState parse_output(const util::BitString& output);
 
+  /// Declared envelope from the ctor hints: no oracle; every LOAD costs a
+  /// request/round-trip/resume (<= 3 rounds per step, + gather slack); the
+  /// per-round fan/byte worst case is `steps_per_round` stores plus the
+  /// load/state traffic. Throws std::logic_error if max_steps was 0.
+  analysis::ProtocolSpec protocol_spec() const override;
+
  private:
   std::uint64_t owner_of(std::uint64_t addr) const { return 1 + addr % (machines_ - 1); }
 
   std::vector<ram::Instruction> program_;
   std::uint64_t machines_;
   std::uint64_t steps_per_round_;
+  std::uint64_t memory_words_;
+  std::uint64_t max_steps_;
 
   // Payload tags.
   static constexpr std::uint64_t kCpuState = 0;   // running CPU state

@@ -34,6 +34,32 @@ std::uint64_t SpeculativeStrategy::required_local_memory() const {
          Frontier::encoded_bits(params_);
 }
 
+analysis::ProtocolSpec SpeculativeStrategy::protocol_spec() const {
+  const std::uint64_t blocks_bits =
+      kTagBits + BlockSet::encoded_bits(params_, plan_.max_owned());
+  const std::uint64_t frontier_bits = kTagBits + Frontier::encoded_bits(params_);
+
+  analysis::ProtocolSpec spec;
+  spec.protocol = name();
+  spec.machines = plan_.machines();
+  spec.max_rounds = params_.w;
+  spec.needs_oracle = true;
+  spec.clamps_queries_to_budget = true;
+
+  analysis::RoundEnvelope env;
+  env.memory_bits = blocks_bits + frontier_bits;
+  env.oracle_queries =
+      params_.w * std::max<std::uint64_t>(1, config_.guesses_per_stall);
+  env.fan_out = 2;
+  env.fan_in = 2;
+  env.sent_bits = blocks_bits + frontier_bits;
+  env.recv_bits = blocks_bits + frontier_bits;
+  env.max_message_bits = std::max(blocks_bits, frontier_bits);
+  env.witness_machine = plan_.heaviest_machine();
+  spec.steady = env;
+  return spec;
+}
+
 SpeculativeStrategy::ParsedInbox SpeculativeStrategy::parse_inbox(
     const std::vector<mpc::Message>& inbox) {
   ParsedInbox out;

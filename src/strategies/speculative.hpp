@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <mutex>
 
+#include "analysis/protocol_spec.hpp"
 #include "core/input.hpp"
 #include "core/line.hpp"
 #include "mpc/simulation.hpp"
@@ -36,7 +37,8 @@ struct SpeculativeConfig {
   bool enumerate = false;               ///< guess x̂ = 0,1,2,... instead of randomly
 };
 
-class SpeculativeStrategy final : public mpc::MpcAlgorithm {
+class SpeculativeStrategy final : public mpc::MpcAlgorithm,
+                                  public analysis::ProtocolSpecProvider {
  public:
   /// `truth` is analysis-side instrumentation for charitable verification
   /// (see file comment); it must outlive the strategy.
@@ -50,6 +52,11 @@ class SpeculativeStrategy final : public mpc::MpcAlgorithm {
 
   std::vector<util::BitString> make_initial_memory(const core::LineInput& input) const;
   std::uint64_t required_local_memory() const;
+
+  /// Declared envelope: pointer-chasing's shape, with the per-round query
+  /// bound inflated to w * max(1, guesses_per_stall) — every node may cost a
+  /// full burst of guesses (budget-clamped).
+  analysis::ProtocolSpec protocol_spec() const override;
 
   /// Total stalls escaped by a correct guess across the run so far.
   std::uint64_t lucky_escapes() const { return lucky_escapes_.load(std::memory_order_relaxed); }

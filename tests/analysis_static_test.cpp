@@ -1,0 +1,249 @@
+// The static pass: ProtocolSpec-vs-MpcConfig conformance decided without
+// executing. The seeded-violation fixtures here are the checker's acceptance
+// contract: a memory overflow, a query-budget overflow, a fan-in/inbox
+// overflow, a routing violation, and a round-count blowup must each be
+// rejected with machine/round provenance.
+#include "analysis/static_checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/line.hpp"
+#include "strategies/batch_pointer_chasing.hpp"
+#include "strategies/colluding.hpp"
+#include "strategies/dictionary.hpp"
+#include "strategies/full_memory.hpp"
+#include "strategies/pipelined_simline.hpp"
+#include "strategies/pointer_chasing.hpp"
+#include "strategies/ram_emulation.hpp"
+#include "strategies/speculative.hpp"
+
+namespace mpch::analysis {
+namespace {
+
+core::LineParams params(std::uint64_t w = 64) { return core::LineParams::make(64, 16, 8, w); }
+
+/// The config a spec documents for itself: s covering the declared envelope,
+/// the declared round count, and the given q.
+mpc::MpcConfig documented(const ProtocolSpec& spec, std::uint64_t q) {
+  mpc::MpcConfig c;
+  c.machines = spec.machines;
+  c.max_rounds = spec.max_rounds;
+  c.query_budget = q;
+  for (std::uint64_t shape = 0; shape < spec.distinct_round_shapes(); ++shape) {
+    std::uint64_t round = shape < spec.prologue.size() ? shape : spec.prologue.size();
+    const RoundEnvelope& env = spec.envelope(round);
+    c.local_memory_bits = std::max({c.local_memory_bits, env.memory_bits, env.recv_bits});
+  }
+  return c;
+}
+
+const Diagnostic* find(const AnalysisReport& report, ViolationKind kind) {
+  for (const auto& d : report.violations) {
+    if (d.kind == kind) return &d;
+  }
+  return nullptr;
+}
+
+// --- clean passes: every in-tree strategy under its documented config ---
+
+TEST(StaticChecker, AllLineStrategiesPassTheirDocumentedConfig) {
+  core::LineParams p = params();
+  const std::uint64_t m = 4;
+  auto plan = strategies::OwnershipPlan::round_robin(p, m);
+
+  strategies::PointerChasingStrategy chase(p, plan);
+  strategies::ColludingStrategy collude(p, plan);
+  strategies::PipelinedSimLineStrategy pipe(p, strategies::OwnershipPlan::windows(p, m, 2));
+  strategies::SpeculativeStrategy spec_strat(p, plan, {4, true},
+                                             core::LineInput(p, util::BitString(p.input_bits())));
+  strategies::FullMemoryStrategy full(p, plan);
+  strategies::DictionaryStrategy dict(p, m);
+  strategies::BatchPointerChasingStrategy batch(p, plan, 3);
+
+  std::vector<std::pair<ProtocolSpec, std::uint64_t>> cases = {
+      {chase.protocol_spec(), 4},  {collude.protocol_spec(), 4},
+      {pipe.protocol_spec(), 4},   {spec_strat.protocol_spec(), 4},
+      {full.protocol_spec(), p.w}, {dict.protocol_spec(), p.w},
+      {batch.protocol_spec(), 4},
+  };
+  for (const auto& [spec, q] : cases) {
+    AnalysisReport report = check_spec(spec, documented(spec, q));
+    EXPECT_TRUE(report.ok()) << report.format();
+  }
+}
+
+TEST(StaticChecker, RamEmulationPassesPlainModelWithZeroBudget) {
+  strategies::RamEmulationStrategy ram({ram::asm_ops::halt()}, 4, 1, 8, 10);
+  ProtocolSpec spec = ram.protocol_spec();
+  EXPECT_FALSE(spec.needs_oracle);
+  AnalysisReport report = check_spec(spec, documented(spec, 0));
+  EXPECT_TRUE(report.ok()) << report.format();
+}
+
+TEST(StaticChecker, RamEmulationSpecRequiresCtorHints) {
+  strategies::RamEmulationStrategy ram({ram::asm_ops::halt()}, 4);
+  EXPECT_THROW(ram.protocol_spec(), std::logic_error);
+}
+
+// --- seeded violation fixtures ---
+
+TEST(StaticChecker, RejectsMemoryOverflowWithProvenance) {
+  // full-memory's round-1 footprint is the whole gathered input; shrink s
+  // below it and the checker must name the gather target (machine 0).
+  core::LineParams p = params();
+  strategies::FullMemoryStrategy full(p, strategies::OwnershipPlan::round_robin(p, 4));
+  ProtocolSpec spec = full.protocol_spec();
+  mpc::MpcConfig c = documented(spec, p.w);
+  c.local_memory_bits = full.required_local_memory() - 1;
+
+  AnalysisReport report = check_spec(spec, c);
+  ASSERT_FALSE(report.ok());
+  const Diagnostic* d = find(report, ViolationKind::kMemory);
+  ASSERT_NE(d, nullptr) << report.format();
+  EXPECT_EQ(d->machine, 0u);  // the gather target
+  EXPECT_EQ(d->round, 1u);    // the local-walk round
+  EXPECT_EQ(d->value, full.required_local_memory());
+  EXPECT_EQ(d->limit, c.local_memory_bits);
+  EXPECT_NE(d->to_string().find("round 1, machine 0"), std::string::npos);
+}
+
+TEST(StaticChecker, RejectsQueryBudgetOverflowForUnclampedProtocols) {
+  // full-memory walks all w nodes in one round and does not clamp; q < w is
+  // statically impossible.
+  core::LineParams p = params();
+  strategies::FullMemoryStrategy full(p, strategies::OwnershipPlan::round_robin(p, 4));
+  ProtocolSpec spec = full.protocol_spec();
+  mpc::MpcConfig c = documented(spec, p.w - 1);
+
+  AnalysisReport report = check_spec(spec, c);
+  ASSERT_FALSE(report.ok());
+  const Diagnostic* d = find(report, ViolationKind::kQueryBudget);
+  ASSERT_NE(d, nullptr) << report.format();
+  EXPECT_EQ(d->machine, 0u);
+  EXPECT_EQ(d->round, 1u);
+  EXPECT_EQ(d->value, p.w);
+  EXPECT_EQ(d->limit, p.w - 1);
+}
+
+TEST(StaticChecker, ClampedProtocolsPassAnyPositiveBudget) {
+  // pointer-chasing declares up to w queries but adapts to the budget; the
+  // same q that rejects full-memory must pass here.
+  core::LineParams p = params();
+  strategies::PointerChasingStrategy chase(p, strategies::OwnershipPlan::round_robin(p, 4));
+  ProtocolSpec spec = chase.protocol_spec();
+  EXPECT_TRUE(spec.clamps_queries_to_budget);
+  AnalysisReport report = check_spec(spec, documented(spec, 1));
+  EXPECT_TRUE(report.ok()) << report.format();
+}
+
+TEST(StaticChecker, RejectsInboxOverflowWithProvenance) {
+  // dictionary's round-0 delivery is the whole gathered encoding; a config
+  // whose s admits the round-start memory but not the delivery must be
+  // rejected as an inbox-capacity violation at round 0, machine 0.
+  core::LineParams p = params();
+  strategies::DictionaryStrategy dict(p, 4);
+  ProtocolSpec spec = dict.protocol_spec();
+  mpc::MpcConfig c = documented(spec, p.w);
+  c.local_memory_bits = spec.prologue[0].recv_bits - 1;
+
+  AnalysisReport report = check_spec(spec, c);
+  ASSERT_FALSE(report.ok());
+  const Diagnostic* d = find(report, ViolationKind::kInboxCapacity);
+  ASSERT_NE(d, nullptr) << report.format();
+  EXPECT_EQ(d->machine, 0u);
+  EXPECT_EQ(d->round, 0u);
+  EXPECT_EQ(d->value, spec.prologue[0].recv_bits);
+}
+
+TEST(StaticChecker, RejectsRoutingToNonexistentMachines) {
+  // A spec built for 8 machines cannot run on a 4-machine config: some
+  // destination indices would be out of range.
+  core::LineParams p = params();
+  strategies::PointerChasingStrategy chase(p, strategies::OwnershipPlan::round_robin(p, 8));
+  ProtocolSpec spec = chase.protocol_spec();
+  mpc::MpcConfig c = documented(spec, 4);
+  c.machines = 4;
+
+  AnalysisReport report = check_spec(spec, c);
+  ASSERT_FALSE(report.ok());
+  const Diagnostic* d = find(report, ViolationKind::kRouting);
+  ASSERT_NE(d, nullptr) << report.format();
+  EXPECT_EQ(d->machine, 7u);  // highest addressed machine
+  EXPECT_EQ(d->limit, 4u);
+}
+
+TEST(StaticChecker, RejectsRoundCountBlowup) {
+  core::LineParams p = params(256);
+  strategies::PointerChasingStrategy chase(p, strategies::OwnershipPlan::round_robin(p, 4));
+  ProtocolSpec spec = chase.protocol_spec();
+  mpc::MpcConfig c = documented(spec, 4);
+  c.max_rounds = 50;
+
+  AnalysisReport report = check_spec(spec, c);
+  ASSERT_FALSE(report.ok());
+  const Diagnostic* d = find(report, ViolationKind::kRoundCount);
+  ASSERT_NE(d, nullptr) << report.format();
+  EXPECT_EQ(d->value, 256u);
+  EXPECT_EQ(d->limit, 50u);
+}
+
+TEST(StaticChecker, RejectsOracleProtocolUnderZeroBudget) {
+  core::LineParams p = params();
+  strategies::PointerChasingStrategy chase(p, strategies::OwnershipPlan::round_robin(p, 4));
+  ProtocolSpec spec = chase.protocol_spec();
+  AnalysisReport report = check_spec(spec, documented(spec, 0));
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(find(report, ViolationKind::kOracleMissing), nullptr) << report.format();
+}
+
+TEST(StaticChecker, ThrowsOnMalformedSpec) {
+  ProtocolSpec spec;
+  spec.protocol = "broken";
+  spec.machines = 0;
+  spec.max_rounds = 1;
+  mpc::MpcConfig c;
+  c.machines = 1;
+  EXPECT_THROW(check_spec(spec, c), std::invalid_argument);
+  spec.machines = 1;
+  spec.max_rounds = 0;
+  EXPECT_THROW(check_spec(spec, c), std::invalid_argument);
+}
+
+TEST(StaticChecker, EffectiveQueryBoundClampsOnlyWhenDeclared) {
+  ProtocolSpec spec;
+  spec.steady.oracle_queries = 100;
+  mpc::MpcConfig c;
+  c.query_budget = 7;
+  spec.clamps_queries_to_budget = true;
+  EXPECT_EQ(effective_query_bound(spec, spec.steady, c), 7u);
+  spec.clamps_queries_to_budget = false;
+  EXPECT_EQ(effective_query_bound(spec, spec.steady, c), 100u);
+}
+
+TEST(StaticChecker, PrologueRoundsCheckedIndividually) {
+  // A spec whose prologue fits but whose steady state overflows must point
+  // at the first steady round, not round 0.
+  ProtocolSpec spec;
+  spec.protocol = "synthetic";
+  spec.machines = 2;
+  spec.max_rounds = 10;
+  RoundEnvelope small;
+  small.memory_bits = 10;
+  spec.prologue.push_back(small);
+  spec.steady.memory_bits = 1000;
+  spec.steady.witness_machine = 1;
+
+  mpc::MpcConfig c;
+  c.machines = 2;
+  c.local_memory_bits = 100;
+  c.max_rounds = 10;
+  AnalysisReport report = check_spec(spec, c);
+  ASSERT_FALSE(report.ok());
+  const Diagnostic* d = find(report, ViolationKind::kMemory);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->round, 1u);  // first round the steady envelope governs
+  EXPECT_EQ(d->machine, 1u);
+}
+
+}  // namespace
+}  // namespace mpch::analysis
