@@ -169,10 +169,10 @@ int main() {
       c.threads = threads;
       mpc::MpcSimulation sim(c, nullptr);
       mpclib::SampleSortAlgorithm algo(m, 16);
-      auto t0 = std::chrono::steady_clock::now();
+      auto start = std::chrono::steady_clock::now();
       auto result = sim.run(algo, mpclib::SampleSortAlgorithm::make_initial_memory(parts));
-      auto t1 = std::chrono::steady_clock::now();
-      double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+      auto stop = std::chrono::steady_clock::now();
+      double ms = std::chrono::duration<double, std::milli>(stop - start).count();
       auto sorted = mpclib::SampleSortAlgorithm::parse_output(result.output);
       if (threads == 1) sorted_serial = sorted;
       t6.add(threads, m, total, util::format_double(ms, 1),

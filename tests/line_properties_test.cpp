@@ -102,8 +102,8 @@ constexpr GridPoint kGrid[] = {{8, 4, 16, 2},    {8, 8, 64, 4},   {16, 8, 32, 3}
                                {12, 16, 48, 16}};
 
 INSTANTIATE_TEST_SUITE_P(Grid, LineGridTest, ::testing::ValuesIn(kGrid),
-                         [](const ::testing::TestParamInfo<GridPoint>& info) {
-                           const GridPoint& g = info.param;
+                         [](const ::testing::TestParamInfo<GridPoint>& param_info) {
+                           const GridPoint& g = param_info.param;
                            return "u" + std::to_string(g.u) + "v" + std::to_string(g.v) + "w" +
                                   std::to_string(g.w) + "m" + std::to_string(g.machines);
                          });
