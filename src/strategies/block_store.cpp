@@ -82,6 +82,7 @@ std::uint64_t Frontier::encoded_bits(const core::LineParams& params) {
 }
 
 OwnershipPlan OwnershipPlan::round_robin(const core::LineParams& params, std::uint64_t machines) {
+  if (machines == 0) throw std::invalid_argument("OwnershipPlan::round_robin: zero machines");
   OwnershipPlan plan;
   plan.owners_.resize(machines);
   for (std::uint64_t b = 1; b <= params.v; ++b) {
@@ -94,6 +95,7 @@ OwnershipPlan OwnershipPlan::round_robin(const core::LineParams& params, std::ui
 
 OwnershipPlan OwnershipPlan::windows(const core::LineParams& params, std::uint64_t machines,
                                      std::uint64_t window) {
+  if (machines == 0) throw std::invalid_argument("OwnershipPlan::windows: zero machines");
   if (window == 0) throw std::invalid_argument("OwnershipPlan::windows: zero window");
   OwnershipPlan plan;
   plan.owners_.resize(machines);
@@ -111,6 +113,7 @@ OwnershipPlan OwnershipPlan::windows(const core::LineParams& params, std::uint64
 
 OwnershipPlan OwnershipPlan::replicated(const core::LineParams& params, std::uint64_t machines,
                                         std::uint64_t per_machine) {
+  if (machines == 0) throw std::invalid_argument("OwnershipPlan::replicated: zero machines");
   per_machine = std::min(per_machine, params.v);
   OwnershipPlan plan;
   plan.owners_.resize(machines);

@@ -129,6 +129,13 @@ TEST(OwnershipPlan, ReplicatedRejectsUncoverablePlans) {
   EXPECT_NO_THROW(OwnershipPlan::replicated(p, 16, 4));
 }
 
+TEST(OwnershipPlan, AllFactoriesRejectZeroMachines) {
+  core::LineParams p = params();
+  EXPECT_THROW(OwnershipPlan::round_robin(p, 0), std::invalid_argument);
+  EXPECT_THROW(OwnershipPlan::windows(p, 0, 2), std::invalid_argument);
+  EXPECT_THROW(OwnershipPlan::replicated(p, 0, 2), std::invalid_argument);
+}
+
 TEST(OwnershipPlan, MaxOwned) {
   core::LineParams p = params();
   OwnershipPlan plan = OwnershipPlan::round_robin(p, 3);
