@@ -6,6 +6,7 @@
 // ~flat in k while the sequential baseline grows k-fold — MPC parallelism
 // survives as a throughput tool exactly where the paper leaves room for it.
 #include <chrono>
+#include <fstream>
 #include <thread>
 
 #include "bench_common.hpp"
@@ -76,6 +77,12 @@ int main() {
   util::Table tp({"threads", "wall_ms", "rounds_per_sec", "speedup_vs_serial", "output_identical"});
   util::BitString serial_output;
   double serial_ms = 0.0;
+  struct JsonRow {
+    std::uint64_t threads;
+    std::uint64_t rounds;
+    double wall_ms;
+  };
+  std::vector<JsonRow> json_rows;
   for (std::uint64_t threads : {1, 2, 4, 8}) {
     auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 90);
     core::LineFunction f(p);
@@ -108,8 +115,24 @@ int main() {
     tp.add(threads, util::format_double(ms, 1),
            util::format_double(1000.0 * result.rounds_used / ms, 0),
            util::format_double(serial_ms / ms, 2), result.output == serial_output);
+    json_rows.push_back({threads, result.rounds_used, ms});
   }
   tp.print(std::cout);
+
+  // Machine-readable mirror of the throughput table for dashboards and
+  // regression tracking (EXPERIMENTS.md workflow).
+  {
+    std::ofstream json("BENCH_e17.json");
+    json << "[\n";
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      json << "  {\"strategy\": \"batch-pointer-chasing\", \"threads\": " << json_rows[i].threads
+           << ", \"rounds\": " << json_rows[i].rounds << ", \"wall_ms\": "
+           << util::format_double(json_rows[i].wall_ms, 3) << "}"
+           << (i + 1 < json_rows.size() ? "," : "") << "\n";
+    }
+    json << "]\n";
+  }
+  std::cout << "\nwrote BENCH_e17.json (strategy, threads, rounds, wall_ms per row)\n";
   std::cout << "\nnote: speedup tracks min(threads, m, hardware cores); on a single-core\n"
                "host the table demonstrates determinism (output_identical) rather than\n"
                "speed. Record multi-core numbers in EXPERIMENTS.md.\n";

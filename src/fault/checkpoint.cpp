@@ -1,0 +1,326 @@
+#include "fault/checkpoint.hpp"
+
+#include <algorithm>
+
+#include "util/serialize.hpp"
+
+namespace mpch::fault {
+
+namespace {
+
+constexpr std::uint8_t kMagic[8] = {'M', 'P', 'C', 'H', 'K', 'P', 'T', 0x01};
+
+std::uint64_t payload_checksum(const util::BitString& payload) {
+  // SHA-256-derived 64-bit digest over (bit length, packed bytes); domain
+  // separated from every other sha256_expand use in the tree.
+  std::vector<std::uint8_t> prefix;
+  const auto& bytes = payload.bytes();
+  prefix.reserve(4 + 8 + bytes.size());
+  prefix.push_back('C');
+  prefix.push_back('K');
+  prefix.push_back('P');
+  prefix.push_back('T');
+  std::uint64_t len = payload.size();
+  for (int i = 0; i < 8; ++i) prefix.push_back(static_cast<std::uint8_t>(len >> (i * 8)));
+  prefix.insert(prefix.end(), bytes.begin(), bytes.end());
+  return hash::sha256_expand(prefix, 64).get_uint(0, 64);
+}
+
+void write_peak(util::BitWriter& w, const mpc::Peak& p) {
+  w.write_uint(p.value, 64);
+  w.write_uint(p.machine, 64);
+}
+
+mpc::Peak read_peak(util::BitReader& r) {
+  mpc::Peak p;
+  p.value = r.read_uint(64);
+  p.machine = r.read_uint(64);
+  return p;
+}
+
+util::BitString serialize_payload(const Checkpoint& cp) {
+  util::BitWriter w;
+  w.write_uint(cp.next_round, 64);
+  w.write_uint(cp.machines, 64);
+  w.write_uint(cp.local_memory_bits, 64);
+  w.write_uint(cp.query_budget, 64);
+  w.write_uint(cp.tape_seed, 64);
+
+  w.write_uint(cp.inboxes.size(), 64);
+  for (const auto& inbox : cp.inboxes) {
+    w.write_uint(inbox.size(), 64);
+    for (const auto& msg : inbox) {
+      w.write_uint(msg.from, 64);
+      w.write_uint(msg.to, 64);
+      util::write_bitstring_field(w, msg.payload);
+    }
+  }
+
+  w.write_uint(cp.rounds.size(), 64);
+  for (const auto& s : cp.rounds) {
+    w.write_uint(s.round, 64);
+    w.write_uint(s.messages, 64);
+    w.write_uint(s.communicated_bits, 64);
+    w.write_uint(s.oracle_queries, 64);
+    w.write_uint(s.max_inbox_bits, 64);
+    write_peak(w, s.peak_memory_bits);
+    write_peak(w, s.peak_queries);
+    write_peak(w, s.peak_fan_out);
+    write_peak(w, s.peak_fan_in);
+    write_peak(w, s.peak_sent_bits);
+    write_peak(w, s.peak_recv_bits);
+    write_peak(w, s.peak_message_bits);
+  }
+
+  w.write_uint(cp.annotations.size(), 64);
+  for (const auto& [key, values] : cp.annotations) {
+    util::write_string_field(w, key);
+    w.write_uint(values.size(), 64);
+    for (std::uint64_t v : values) w.write_uint(v, 64);
+  }
+
+  w.write_uint(cp.transcript.size(), 64);
+  for (const auto& rec : cp.transcript) {
+    w.write_uint(rec.round, 64);
+    w.write_uint(rec.machine, 64);
+    w.write_uint(rec.seq, 64);
+    util::write_bitstring_field(w, rec.input);
+    util::write_bitstring_field(w, rec.output);
+  }
+
+  w.write_bool(cp.has_oracle);
+  if (cp.has_oracle) {
+    w.write_uint(cp.oracle_in_bits, 64);
+    w.write_uint(cp.oracle_out_bits, 64);
+    w.write_uint(cp.oracle_total_queries, 64);
+    w.write_uint(cp.oracle_memo.size(), 64);
+    for (const auto& [input, output] : cp.oracle_memo) {
+      util::write_bitstring_field(w, input);
+      util::write_bitstring_field(w, output);
+    }
+  }
+  return w.take();
+}
+
+Checkpoint deserialize_payload(util::BitReader& r) {
+  Checkpoint cp;
+  cp.next_round = r.read_uint(64);
+  cp.machines = r.read_uint(64);
+  cp.local_memory_bits = r.read_uint(64);
+  cp.query_budget = r.read_uint(64);
+  cp.tape_seed = r.read_uint(64);
+
+  std::uint64_t n_inboxes = r.read_uint(64);
+  cp.inboxes.resize(n_inboxes);
+  for (auto& inbox : cp.inboxes) {
+    std::uint64_t n_msgs = r.read_uint(64);
+    inbox.resize(n_msgs);
+    for (auto& msg : inbox) {
+      msg.from = r.read_uint(64);
+      msg.to = r.read_uint(64);
+      msg.payload = util::read_bitstring_field(r);
+    }
+  }
+
+  std::uint64_t n_rounds = r.read_uint(64);
+  cp.rounds.resize(n_rounds);
+  for (auto& s : cp.rounds) {
+    s.round = r.read_uint(64);
+    s.messages = r.read_uint(64);
+    s.communicated_bits = r.read_uint(64);
+    s.oracle_queries = r.read_uint(64);
+    s.max_inbox_bits = r.read_uint(64);
+    s.peak_memory_bits = read_peak(r);
+    s.peak_queries = read_peak(r);
+    s.peak_fan_out = read_peak(r);
+    s.peak_fan_in = read_peak(r);
+    s.peak_sent_bits = read_peak(r);
+    s.peak_recv_bits = read_peak(r);
+    s.peak_message_bits = read_peak(r);
+  }
+
+  std::uint64_t n_annotations = r.read_uint(64);
+  for (std::uint64_t i = 0; i < n_annotations; ++i) {
+    std::string key = util::read_string_field(r);
+    std::uint64_t n_values = r.read_uint(64);
+    std::vector<std::uint64_t> values(n_values);
+    for (auto& v : values) v = r.read_uint(64);
+    cp.annotations.emplace(std::move(key), std::move(values));
+  }
+
+  std::uint64_t n_records = r.read_uint(64);
+  cp.transcript.resize(n_records);
+  for (auto& rec : cp.transcript) {
+    rec.round = r.read_uint(64);
+    rec.machine = r.read_uint(64);
+    rec.seq = r.read_uint(64);
+    rec.input = util::read_bitstring_field(r);
+    rec.output = util::read_bitstring_field(r);
+  }
+
+  cp.has_oracle = r.read_bool();
+  if (cp.has_oracle) {
+    cp.oracle_in_bits = r.read_uint(64);
+    cp.oracle_out_bits = r.read_uint(64);
+    cp.oracle_total_queries = r.read_uint(64);
+    std::uint64_t n_memo = r.read_uint(64);
+    cp.oracle_memo.resize(n_memo);
+    for (auto& [input, output] : cp.oracle_memo) {
+      input = util::read_bitstring_field(r);
+      output = util::read_bitstring_field(r);
+    }
+  }
+  return cp;
+}
+
+}  // namespace
+
+Checkpoint capture(const mpc::RoundSnapshot& snapshot, const mpc::MpcConfig& config,
+                   const hash::LazyRandomOracle* oracle) {
+  Checkpoint cp;
+  cp.next_round = snapshot.round + 1;
+  cp.machines = config.machines;
+  cp.local_memory_bits = config.local_memory_bits;
+  cp.query_budget = config.query_budget;
+  cp.tape_seed = config.tape_seed;
+  cp.inboxes = *snapshot.next_inboxes;
+  cp.rounds = snapshot.trace->rounds();
+  cp.annotations = snapshot.trace->annotations();
+  if (snapshot.transcript != nullptr) cp.transcript = snapshot.transcript->canonical_records();
+  if (oracle != nullptr) {
+    cp.has_oracle = true;
+    cp.oracle_in_bits = oracle->input_bits();
+    cp.oracle_out_bits = oracle->output_bits();
+    cp.oracle_total_queries = oracle->total_queries();
+    cp.oracle_memo = oracle->touched_table();
+  }
+  return cp;
+}
+
+Checkpoint initial_checkpoint(const mpc::MpcConfig& config,
+                              const std::vector<util::BitString>& initial_memory,
+                              const hash::LazyRandomOracle* oracle) {
+  Checkpoint cp;
+  cp.next_round = 0;
+  cp.machines = config.machines;
+  cp.local_memory_bits = config.local_memory_bits;
+  cp.query_budget = config.query_budget;
+  cp.tape_seed = config.tape_seed;
+  cp.inboxes.resize(config.machines);
+  for (std::uint64_t i = 0; i < initial_memory.size() && i < config.machines; ++i) {
+    if (!initial_memory[i].empty()) cp.inboxes[i].push_back({i, i, initial_memory[i]});
+  }
+  if (oracle != nullptr) {
+    cp.has_oracle = true;
+    cp.oracle_in_bits = oracle->input_bits();
+    cp.oracle_out_bits = oracle->output_bits();
+    // A pristine oracle: no queries, empty memo. (Taking the initial
+    // checkpoint after the oracle has been used would make rollback-to-start
+    // under-erase; recovery policies take it before running.)
+    cp.oracle_total_queries = oracle->total_queries();
+    cp.oracle_memo = oracle->touched_table();
+  }
+  return cp;
+}
+
+util::BitString serialize(const Checkpoint& cp) {
+  util::BitString payload = serialize_payload(cp);
+  util::BitWriter w;
+  for (std::uint8_t b : kMagic) w.write_uint(b, 8);
+  w.write_uint(Checkpoint::kVersion, 64);
+  w.write_uint(payload.size(), 64);
+  w.write_uint(payload_checksum(payload), 64);
+  w.write_bits(payload);
+  return w.take();
+}
+
+Checkpoint deserialize(const util::BitString& bits) {
+  util::BitReader r(bits);
+  try {
+    for (std::size_t i = 0; i < 8; ++i) {
+      std::uint64_t b = r.read_uint(8);
+      if (b != kMagic[i]) {
+        throw CheckpointError("not a checkpoint snapshot: magic byte " + std::to_string(i) +
+                              " is 0x" + std::to_string(b) + ", want 0x" +
+                              std::to_string(kMagic[i]));
+      }
+    }
+    std::uint64_t version = r.read_uint(64);
+    if (version != Checkpoint::kVersion) {
+      throw CheckpointError("unsupported checkpoint version " + std::to_string(version) +
+                            " (this build reads version " +
+                            std::to_string(Checkpoint::kVersion) + ")");
+    }
+    std::uint64_t payload_bits = r.read_uint(64);
+    std::uint64_t stored_checksum = r.read_uint(64);
+    if (payload_bits != r.remaining()) {
+      throw CheckpointError("checkpoint truncated or padded: header declares " +
+                            std::to_string(payload_bits) + " payload bits, " +
+                            std::to_string(r.remaining()) + " present");
+    }
+    util::BitString payload = r.read_bits(static_cast<std::size_t>(payload_bits));
+    std::uint64_t computed = payload_checksum(payload);
+    if (computed != stored_checksum) {
+      throw CheckpointError("checkpoint corrupted: checksum mismatch (stored " +
+                            std::to_string(stored_checksum) + ", computed " +
+                            std::to_string(computed) + ") — refusing to resume");
+    }
+    util::BitReader pr(std::move(payload));
+    Checkpoint cp = deserialize_payload(pr);
+    if (!pr.exhausted()) {
+      throw CheckpointError("checkpoint corrupted: " + std::to_string(pr.remaining()) +
+                            " trailing payload bits after the last field");
+    }
+    if (cp.inboxes.size() != cp.machines) {
+      throw CheckpointError("checkpoint inconsistent: " + std::to_string(cp.inboxes.size()) +
+                            " inboxes for m=" + std::to_string(cp.machines));
+    }
+    return cp;
+  } catch (const std::out_of_range& e) {
+    throw CheckpointError(std::string("checkpoint truncated: ") + e.what());
+  }
+}
+
+void save_checkpoint_file(const std::string& path, const Checkpoint& cp) {
+  util::write_bits_file(path, serialize(cp));
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+  util::BitString bits;
+  try {
+    bits = util::read_bits_file(path);
+  } catch (const std::runtime_error& e) {
+    throw CheckpointError(std::string("cannot load checkpoint: ") + e.what());
+  }
+  return deserialize(bits);
+}
+
+mpc::MpcResumeState make_resume_state(const Checkpoint& cp, hash::LazyRandomOracle* fresh_oracle) {
+  if (cp.has_oracle) {
+    if (fresh_oracle == nullptr) {
+      throw CheckpointError("checkpoint carries oracle state but no oracle was supplied");
+    }
+    if (fresh_oracle->input_bits() != cp.oracle_in_bits ||
+        fresh_oracle->output_bits() != cp.oracle_out_bits) {
+      throw CheckpointError(
+          "checkpoint oracle domain/range (" + std::to_string(cp.oracle_in_bits) + " -> " +
+          std::to_string(cp.oracle_out_bits) + ") does not match the supplied oracle (" +
+          std::to_string(fresh_oracle->input_bits()) + " -> " +
+          std::to_string(fresh_oracle->output_bits()) + ")");
+    }
+    try {
+      fresh_oracle->restore_table(cp.oracle_memo, cp.oracle_total_queries);
+    } catch (const std::invalid_argument& e) {
+      throw CheckpointError(std::string("checkpoint oracle memo rejected: ") + e.what());
+    }
+  }
+  mpc::MpcResumeState state;
+  state.next_round = cp.next_round;
+  state.inboxes = cp.inboxes;
+  state.trace.restore(cp.rounds, cp.annotations);
+  state.transcript = std::make_shared<hash::OracleTranscript>();
+  state.transcript->restore(cp.transcript);
+  return state;
+}
+
+}  // namespace mpch::fault

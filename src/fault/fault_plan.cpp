@@ -1,0 +1,153 @@
+#include "fault/fault_plan.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mpch::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::CrashMachine: return "crash";
+    case FaultKind::DropMessage: return "drop";
+    case FaultKind::DuplicateMessage: return "dup";
+    case FaultKind::KillSimulation: return "kill";
+  }
+  return "?";
+}
+
+std::string FaultEvent::describe() const {
+  switch (kind) {
+    case FaultKind::CrashMachine:
+      return "crash machine " + std::to_string(machine) + " in round " + std::to_string(round);
+    case FaultKind::DropMessage:
+      return "drop message " + std::to_string(index) + " delivered to machine " +
+             std::to_string(machine) + " after round " + std::to_string(round);
+    case FaultKind::DuplicateMessage:
+      return "duplicate message " + std::to_string(index) + " delivered to machine " +
+             std::to_string(machine) + " after round " + std::to_string(round);
+    case FaultKind::KillSimulation:
+      return "kill the simulation before round " + std::to_string(round);
+  }
+  return "?";
+}
+
+namespace {
+
+/// Parse one `kind:key=value,...` token into an event (or a random:...
+/// sub-plan). Throws with the token quoted on any malformed piece.
+void parse_event(const std::string& token, FaultPlan& plan) {
+  auto fail = [&token](const std::string& why) {
+    throw std::invalid_argument("FaultPlan::parse: " + why + " in '" + token + "'");
+  };
+  std::size_t colon = token.find(':');
+  std::string kind_str = colon == std::string::npos ? token : token.substr(0, colon);
+
+  std::map<std::string, std::uint64_t> kv;
+  if (colon != std::string::npos) {
+    std::stringstream rest(token.substr(colon + 1));
+    std::string pair;
+    while (std::getline(rest, pair, ',')) {
+      std::size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0) fail("expected key=value, got '" + pair + "'");
+      std::string key = pair.substr(0, eq);
+      std::string value = pair.substr(eq + 1);
+      try {
+        std::size_t used = 0;
+        std::uint64_t parsed = std::stoull(value, &used);
+        if (used != value.size()) throw std::invalid_argument(value);
+        kv[key] = parsed;
+      } catch (const std::exception&) {
+        fail("value of '" + key + "' is not a number");
+      }
+    }
+  }
+  auto need = [&](const char* key) {
+    auto it = kv.find(key);
+    if (it == kv.end()) fail(std::string("missing '") + key + "='");
+    std::uint64_t v = it->second;
+    kv.erase(it);
+    return v;
+  };
+
+  FaultEvent ev;
+  if (kind_str == "crash") {
+    ev.kind = FaultKind::CrashMachine;
+    ev.machine = need("machine");
+    ev.round = need("round");
+  } else if (kind_str == "drop" || kind_str == "dup") {
+    ev.kind = kind_str == "drop" ? FaultKind::DropMessage : FaultKind::DuplicateMessage;
+    ev.round = need("round");
+    ev.machine = need("to");
+    ev.index = need("index");
+  } else if (kind_str == "kill") {
+    ev.kind = FaultKind::KillSimulation;
+    ev.round = need("round");
+  } else if (kind_str == "random") {
+    std::uint64_t seed = need("seed");
+    std::uint64_t events = need("events");
+    std::uint64_t rounds = need("rounds");
+    std::uint64_t machines = need("machines");
+    if (!kv.empty()) fail("unknown key '" + kv.begin()->first + "'");
+    FaultPlan sub = FaultPlan::random(seed, events, rounds, machines);
+    plan.events.insert(plan.events.end(), sub.events.begin(), sub.events.end());
+    return;
+  } else {
+    fail("unknown fault kind '" + kind_str + "' (want crash|drop|dup|kill|random)");
+  }
+  if (!kv.empty()) fail("unknown key '" + kv.begin()->first + "'");
+  plan.events.push_back(ev);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::stringstream ss(spec);
+  std::string token;
+  while (std::getline(ss, token, ';')) {
+    if (token.empty()) continue;
+    parse_event(token, plan);
+  }
+  if (plan.events.empty()) {
+    throw std::invalid_argument("FaultPlan::parse: no events in '" + spec + "'");
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, std::uint64_t events, std::uint64_t max_round,
+                            std::uint64_t machines) {
+  if (max_round == 0 || machines == 0) {
+    throw std::invalid_argument("FaultPlan::random: rounds and machines must be nonzero");
+  }
+  util::Rng rng(seed ^ 0xFA17'FA17'FA17'FA17ULL);
+  FaultPlan plan;
+  plan.events.reserve(events);
+  for (std::uint64_t i = 0; i < events; ++i) {
+    FaultEvent ev;
+    switch (rng.next_u64() % 4) {
+      case 0: ev.kind = FaultKind::CrashMachine; break;
+      case 1: ev.kind = FaultKind::DropMessage; break;
+      case 2: ev.kind = FaultKind::DuplicateMessage; break;
+      default: ev.kind = FaultKind::KillSimulation; break;
+    }
+    ev.round = rng.next_u64() % max_round;
+    ev.machine = rng.next_u64() % machines;
+    ev.index = rng.next_u64() % 4;  // small indices hit real messages most of the time
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (const auto& ev : events) {
+    if (!out.empty()) out += "; ";
+    out += ev.describe();
+  }
+  return out.empty() ? "(no faults)" : out;
+}
+
+}  // namespace mpch::fault

@@ -1,0 +1,66 @@
+// fault_plan.hpp — deterministic fault schedules for MPC executions.
+//
+// A FaultPlan is a list of events, each pinned to a round (and, where it
+// applies, a machine / message index). Plans are data, not code: the same
+// plan against the same (strategy, seed, threads) configuration injects the
+// same faults at the same barriers on every run, which is what lets the
+// chaos suite assert bit-identical recovery. Plans come from three places:
+// explicit construction, the CLI grammar parsed by parse(), or the seeded
+// generator random() (a util::Rng stream, so a seed fully determines the
+// schedule).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpch::fault {
+
+enum class FaultKind {
+  CrashMachine,       ///< machine does not run in the round; its state is lost
+  DropMessage,        ///< one delivered message vanishes at the barrier
+  DuplicateMessage,   ///< one delivered message arrives twice
+  KillSimulation,     ///< the whole execution dies between rounds
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::KillSimulation;
+  std::uint64_t round = 0;
+  /// CrashMachine: the machine that dies. Drop/Duplicate: the receiving
+  /// machine whose post-merge inbox is tampered with. Unused for kill.
+  std::uint64_t machine = 0;
+  /// Drop/Duplicate: index into the receiver's merged inbox for the round.
+  std::uint64_t index = 0;
+
+  /// Human-readable provenance, e.g. "crash machine 2 in round 3".
+  std::string describe() const;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Parse the CLI grammar: semicolon-separated events, each
+  /// `kind:key=value,...`:
+  ///   crash:machine=2,round=3
+  ///   drop:round=1,to=0,index=0
+  ///   dup:round=2,to=3,index=1
+  ///   kill:round=4
+  ///   random:seed=7,events=3,rounds=10,machines=4
+  /// Throws std::invalid_argument naming the offending token.
+  static FaultPlan parse(const std::string& spec);
+
+  /// A seeded schedule of `events` faults over rounds [0, max_round) and
+  /// machines [0, machines): same seed, same plan, every time.
+  static FaultPlan random(std::uint64_t seed, std::uint64_t events, std::uint64_t max_round,
+                          std::uint64_t machines);
+
+  std::string describe() const;
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+}  // namespace mpch::fault

@@ -1,0 +1,71 @@
+#include "fault/injector.hpp"
+
+namespace mpch::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, bool fail_stop)
+    : plan_(std::move(plan)), consumed_(plan_.events.size(), false), fail_stop_(fail_stop) {}
+
+void FaultInjector::before_round(std::uint64_t round) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& ev = plan_.events[i];
+    if (consumed_[i] || ev.kind != FaultKind::KillSimulation || ev.round != round) continue;
+    consumed_[i] = true;
+    fired_.push_back(ev);
+    // A kill is never silent — there is no state left to continue on.
+    throw SimulationKilled(ev, "injected fault: " + ev.describe());
+  }
+}
+
+bool FaultInjector::machine_runs(std::uint64_t round, std::uint64_t machine) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& ev = plan_.events[i];
+    if (consumed_[i] || ev.kind != FaultKind::CrashMachine || ev.round != round ||
+        ev.machine != machine) {
+      continue;
+    }
+    consumed_[i] = true;
+    fired_.push_back(ev);
+    if (fail_stop_) pending_crash_ = ev;  // detected at the round barrier
+    return false;
+  }
+  return true;
+}
+
+void FaultInjector::after_merge(std::uint64_t round,
+                                std::vector<std::vector<mpc::Message>>& next_inboxes) {
+  // Crash detection first: the crash happened in phase A of this round, so
+  // it is the earliest fault of the barrier and must win over message
+  // tampering scheduled for the same round.
+  if (pending_crash_.has_value()) {
+    FaultEvent ev = *pending_crash_;
+    pending_crash_.reset();
+    throw MachineCrash(ev, "injected fault: " + ev.describe() +
+                               " (detected at the round " + std::to_string(round) + " barrier)");
+  }
+
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& ev = plan_.events[i];
+    if (consumed_[i] || ev.round != round) continue;
+    if (ev.kind != FaultKind::DropMessage && ev.kind != FaultKind::DuplicateMessage) continue;
+    consumed_[i] = true;
+    fired_.push_back(ev);
+    if (ev.machine >= next_inboxes.size() || ev.index >= next_inboxes[ev.machine].size()) {
+      // The plan names a delivery that does not exist this round; nothing to
+      // tamper with, so nothing to detect either.
+      continue;
+    }
+    auto& inbox = next_inboxes[ev.machine];
+    if (ev.kind == FaultKind::DropMessage) {
+      inbox.erase(inbox.begin() + static_cast<std::ptrdiff_t>(ev.index));
+    } else {
+      inbox.push_back(inbox[ev.index]);  // duplicate delivery, appended
+    }
+    if (fail_stop_) {
+      throw MessageFault(ev, "injected fault: " + ev.describe() +
+                                 " (detected at the round " + std::to_string(round) +
+                                 " barrier)");
+    }
+  }
+}
+
+}  // namespace mpch::fault

@@ -1,0 +1,80 @@
+// injector.hpp — drives a FaultPlan through the round-loop hooks.
+//
+// Faults are applied at the simulation's deterministic barrier points (the
+// RoundObserver hooks), never mid-phase-A, so an injected run is as
+// reproducible as a clean one. Detection follows the fail-stop model: in the
+// default detecting mode every applied fault surfaces as an InjectedFault
+// exception at the barrier (real clusters detect crashes and lost messages
+// via heartbeats/acks; here the injector doubles as the detector), and the
+// recovery policies in recovery.hpp catch it, roll back, and resume. Each
+// event fires at most once — after recovery, the re-executed rounds run
+// clean, which is exactly what makes restored runs comparable bit-for-bit
+// against uninterrupted ones.
+//
+// With detection off (`fail_stop=false`), crash/drop/duplicate faults are
+// applied silently and the run continues on corrupted state — the
+// "unprotected cluster" baseline the CLI uses to show divergence.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "mpc/simulation.hpp"
+
+namespace mpch::fault {
+
+/// Base of all injected faults; carries the event for provenance.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(FaultEvent event, const std::string& what)
+      : std::runtime_error(what), event_(event) {}
+  const FaultEvent& event() const { return event_; }
+
+ private:
+  FaultEvent event_;
+};
+
+class MachineCrash : public InjectedFault {
+ public:
+  using InjectedFault::InjectedFault;
+};
+
+class MessageFault : public InjectedFault {
+ public:
+  using InjectedFault::InjectedFault;
+};
+
+class SimulationKilled : public InjectedFault {
+ public:
+  using InjectedFault::InjectedFault;
+};
+
+class FaultInjector : public mpc::RoundObserver {
+ public:
+  explicit FaultInjector(FaultPlan plan, bool fail_stop = true);
+
+  // RoundObserver hooks (see the file comment for the detection model).
+  void before_round(std::uint64_t round) override;
+  bool machine_runs(std::uint64_t round, std::uint64_t machine) override;
+  void after_merge(std::uint64_t round,
+                   std::vector<std::vector<mpc::Message>>& next_inboxes) override;
+
+  /// Events that have fired so far (in firing order), for cost reports.
+  const std::vector<FaultEvent>& fired() const { return fired_; }
+  std::uint64_t faults_fired() const { return fired_.size(); }
+  /// Events that can never fire anymore because their round has passed
+  /// without a match (e.g. drop index beyond the inbox) are still counted in
+  /// fired(); events whose round was never reached are pending.
+  std::uint64_t events_planned() const { return plan_.events.size(); }
+
+ private:
+  FaultPlan plan_;
+  std::vector<bool> consumed_;  ///< one-shot latch per plan event
+  bool fail_stop_;
+  std::optional<FaultEvent> pending_crash_;  ///< thrown at the next barrier
+  std::vector<FaultEvent> fired_;
+};
+
+}  // namespace mpch::fault

@@ -1,0 +1,198 @@
+#include "fault/recovery.hpp"
+
+#include <utility>
+
+#include "util/serialize.hpp"
+
+namespace mpch::fault {
+
+Checkpointer::Checkpointer(mpc::MpcConfig config, const hash::LazyRandomOracle* oracle,
+                           std::uint64_t every, std::string file_path, bool capture_final)
+    : config_(config),
+      oracle_(oracle),
+      every_(every),
+      file_path_(std::move(file_path)),
+      capture_final_(capture_final) {
+  if (every_ == 0) throw std::invalid_argument("Checkpointer: snapshot cadence must be >= 1");
+}
+
+void Checkpointer::after_round(const mpc::RoundSnapshot& snapshot) {
+  if (snapshot.completed && !capture_final_) return;  // the run is over; nothing to resume
+  if (!snapshot.completed && (snapshot.round + 1) % every_ != 0) return;
+  Checkpoint cp = capture(snapshot, config_, oracle_);
+  util::BitString encoded = serialize(cp);
+  bytes_last_ = (encoded.size() + 7) / 8;
+  bytes_total_ += bytes_last_;
+  ++checkpoints_taken_;
+  if (!file_path_.empty()) util::write_bits_file(file_path_, encoded);
+  latest_ = std::move(cp);
+}
+
+ChaosHarness::ChaosHarness(mpc::MpcConfig config, OracleFactory oracle_factory)
+    : config_(config), oracle_factory_(std::move(oracle_factory)) {}
+
+std::shared_ptr<hash::LazyRandomOracle> ChaosHarness::fresh_oracle() const {
+  return oracle_factory_ ? oracle_factory_() : nullptr;
+}
+
+ChaosResult ChaosHarness::run_restart(mpc::MpcAlgorithm& algo,
+                                      const std::vector<util::BitString>& initial_memory,
+                                      const FaultPlan& plan, std::uint64_t checkpoint_every,
+                                      const std::string& checkpoint_file) {
+  ChaosResult out;
+  std::shared_ptr<hash::LazyRandomOracle> oracle = fresh_oracle();
+  FaultInjector injector(plan, /*fail_stop=*/true);
+  Checkpointer checkpointer(config_, oracle.get(), checkpoint_every, checkpoint_file);
+  ObserverChain chain({&injector, &checkpointer});
+
+  auto fill_cost = [&] {
+    out.cost.checkpoints_taken = checkpointer.checkpoints_taken();
+    out.cost.checkpoint_bytes_last = checkpointer.bytes_last();
+    out.cost.checkpoint_bytes_total = checkpointer.bytes_total();
+  };
+
+  std::optional<mpc::MpcResumeState> state;  // empty = fresh start
+  const std::size_t max_attempts = plan.events.size() + 1;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    mpc::MpcSimulation sim(config_, oracle);
+    try {
+      out.run = state.has_value() ? sim.resume(algo, std::move(*state), &chain)
+                                  : sim.run(algo, initial_memory, &chain);
+      out.oracle = std::move(oracle);
+      fill_cost();
+      return out;
+    } catch (const InjectedFault& fault) {
+      ++out.cost.faults_injected;
+      out.fault_log.emplace_back(fault.what());
+      if (!checkpointer.latest().has_value()) {
+        fill_cost();
+        throw UnrecoverableFault(std::string(fault.what()) +
+                                 " — no checkpoint exists yet (cadence: every " +
+                                 std::to_string(checkpoint_every) +
+                                 " round(s)); nothing to restore, cannot recover");
+      }
+      const Checkpoint& cp = *checkpointer.latest();
+      // A kill fires *before* its round executes; crash/message faults
+      // poison the round they fire in, so that round re-executes too.
+      const bool is_kill = dynamic_cast<const SimulationKilled*>(&fault) != nullptr;
+      std::uint64_t lost = fault.event().round - cp.next_round + (is_kill ? 0 : 1);
+      ++out.cost.recoveries;
+      out.cost.rounds_reexecuted += lost;
+      out.cost.machine_rounds_reexecuted += lost * config_.machines;
+
+      // Discard the poisoned execution wholesale: fresh oracle (same seed),
+      // memo and counters restored from the snapshot, state rebuilt.
+      oracle = fresh_oracle();
+      state = make_resume_state(cp, oracle.get());
+      checkpointer.rebind_oracle(oracle.get());
+      out.fault_log.push_back("recovered: restored checkpoint at round boundary " +
+                              std::to_string(cp.next_round) + ", re-executing " +
+                              std::to_string(lost) + " round(s)");
+    }
+  }
+  fill_cost();
+  throw UnrecoverableFault("fault plan still firing after " + std::to_string(max_attempts) +
+                           " recovery attempts — plan: " + plan.describe());
+}
+
+ChaosResult ChaosHarness::run_replicate(mpc::MpcAlgorithm& algo,
+                                        const std::vector<util::BitString>& initial_memory,
+                                        const FaultPlan& plan) {
+  ChaosResult out;
+  std::shared_ptr<hash::LazyRandomOracle> oracle = fresh_oracle();
+  FaultInjector injector(plan, /*fail_stop=*/true);
+  // Shadow every round boundary, starting from the pre-round-0 state, so any
+  // faulted round has its exact start state on hand.
+  Checkpointer shadow(config_, oracle.get(), /*every=*/1);
+  shadow.set_latest(initial_checkpoint(config_, initial_memory, oracle.get()));
+  ObserverChain chain({&injector, &shadow});
+
+  auto fill_cost = [&] {
+    out.cost.checkpoints_taken = shadow.checkpoints_taken();
+    out.cost.checkpoint_bytes_last = shadow.bytes_last();
+    out.cost.checkpoint_bytes_total = shadow.bytes_total();
+  };
+
+  // Re-execute the faulted round from `cp` on a fresh one-round replica;
+  // returns its end-of-round snapshot and run result.
+  auto run_replica = [&](const Checkpoint& cp, std::uint64_t round,
+                         std::shared_ptr<hash::LazyRandomOracle>& replica_oracle)
+      -> std::pair<mpc::MpcRunResult, Checkpoint> {
+    replica_oracle = fresh_oracle();
+    mpc::MpcResumeState rs = make_resume_state(cp, replica_oracle.get());
+    mpc::MpcConfig one_round = config_;
+    one_round.max_rounds = round + 1;
+    Checkpointer capturer(config_, replica_oracle.get(), /*every=*/1, "", /*capture_final=*/true);
+    mpc::MpcSimulation replica(one_round, replica_oracle);
+    mpc::MpcRunResult res = replica.resume(algo, std::move(rs), &capturer);
+    if (!capturer.latest().has_value()) {
+      throw ReplicaDivergence("replica of round " + std::to_string(round) +
+                              " produced no end-of-round snapshot");
+    }
+    return {std::move(res), *capturer.latest()};
+  };
+
+  std::optional<mpc::MpcResumeState> state;
+  const std::size_t max_attempts = plan.events.size() + 1;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    mpc::MpcSimulation sim(config_, oracle);
+    try {
+      out.run = state.has_value() ? sim.resume(algo, std::move(*state), &chain)
+                                  : sim.run(algo, initial_memory, &chain);
+      out.oracle = std::move(oracle);
+      fill_cost();
+      return out;
+    } catch (const InjectedFault& fault) {
+      ++out.cost.faults_injected;
+      out.fault_log.emplace_back(fault.what());
+      Checkpoint cp = *shadow.latest();  // always present (seeded with initial state)
+      ++out.cost.recoveries;
+
+      if (dynamic_cast<const SimulationKilled*>(&fault) != nullptr) {
+        // Nothing executed past the shadow; restore and carry on.
+        oracle = fresh_oracle();
+        state = make_resume_state(cp, oracle.get());
+        shadow.rebind_oracle(oracle.get());
+        out.fault_log.push_back("recovered: resumed from round boundary " +
+                                std::to_string(cp.next_round));
+        continue;
+      }
+
+      // Crash or message fault inside round r (== cp.next_round, since the
+      // shadow tracks every boundary): re-execute r on two independent
+      // restored replicas and demand bit-identical end states.
+      std::uint64_t round = fault.event().round;
+      std::shared_ptr<hash::LazyRandomOracle> oracle_a;
+      std::shared_ptr<hash::LazyRandomOracle> oracle_b;
+      auto [res_a, cp_a] = run_replica(cp, round, oracle_a);
+      auto [res_b, cp_b] = run_replica(cp, round, oracle_b);
+      ++out.cost.replica_verifications;
+      out.cost.rounds_reexecuted += 2;
+      out.cost.machine_rounds_reexecuted += 2 * config_.machines;
+      if (serialize(cp_a) != serialize(cp_b) || res_a.output != res_b.output) {
+        throw ReplicaDivergence("round " + std::to_string(round) +
+                                " re-executed twice from the same state produced different "
+                                "results — determinism broken, refusing to continue");
+      }
+      out.fault_log.push_back("recovered: round " + std::to_string(round) +
+                              " re-executed on two replicas, merged states bit-identical");
+
+      if (res_b.completed) {
+        out.run = std::move(res_b);
+        out.oracle = std::move(oracle_b);
+        fill_cost();
+        return out;
+      }
+      // Adopt replica B: its oracle is already at the end-of-round state.
+      oracle = std::move(oracle_b);
+      state = make_resume_state(cp_b, oracle.get());
+      shadow.rebind_oracle(oracle.get());
+      shadow.set_latest(std::move(cp_b));
+    }
+  }
+  fill_cost();
+  throw UnrecoverableFault("fault plan still firing after " + std::to_string(max_attempts) +
+                           " recovery attempts — plan: " + plan.describe());
+}
+
+}  // namespace mpch::fault

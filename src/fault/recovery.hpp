@@ -1,0 +1,168 @@
+// recovery.hpp — recovery policies over checkpoints and fault injection.
+//
+// Two policies, both exploiting the determinism PR 1 bought:
+//
+//  * RestartFromCheckpoint (ChaosHarness::run_restart) — snapshot every j
+//    rounds; when a fault is detected, discard the poisoned execution
+//    entirely (including its oracle, whose query counter the aborted rounds
+//    inflated), rebuild a fresh oracle from the seed, restore the memo from
+//    the snapshot, and resume. Because every run is bit-deterministic, the
+//    resumed execution is indistinguishable from one that never faulted.
+//
+//  * ReplicateRound (ChaosHarness::run_replicate) — keep a shadow snapshot
+//    of every round boundary (j = 1, plus the pre-round-0 state); on a
+//    fault, re-execute just the faulted round on TWO independent restored
+//    replicas and require their serialised end states to be bit-identical
+//    before adopting one. The comparison is the determinism theorem used as
+//    a runtime check: any divergence means the substrate itself broke, and
+//    it surfaces as ReplicaDivergence instead of silently continuing.
+//
+// Both report RecoveryCost: what the faults cost in re-executed rounds,
+// machine-rounds, and snapshot bytes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/checkpoint.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "mpc/simulation.hpp"
+
+namespace mpch::fault {
+
+/// RoundObserver that snapshots the execution every `every` rounds at the
+/// barrier. Keeps the latest checkpoint in memory, optionally mirrors it to
+/// a file, and tracks byte costs. Rebind the oracle after a restore — the
+/// replacement oracle is a different object at the same logical state.
+class Checkpointer : public mpc::RoundObserver {
+ public:
+  Checkpointer(mpc::MpcConfig config, const hash::LazyRandomOracle* oracle, std::uint64_t every,
+               std::string file_path = "", bool capture_final = false);
+
+  void after_round(const mpc::RoundSnapshot& snapshot) override;
+
+  void rebind_oracle(const hash::LazyRandomOracle* oracle) { oracle_ = oracle; }
+  /// Seed the checkpointer with a pre-existing snapshot (e.g. the initial
+  /// state) so rollback before the first periodic snapshot is possible.
+  void set_latest(Checkpoint cp) { latest_ = std::move(cp); }
+
+  const std::optional<Checkpoint>& latest() const { return latest_; }
+  std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  std::uint64_t bytes_last() const { return bytes_last_; }
+  std::uint64_t bytes_total() const { return bytes_total_; }
+
+ private:
+  mpc::MpcConfig config_;
+  const hash::LazyRandomOracle* oracle_;
+  std::uint64_t every_;
+  std::string file_path_;
+  bool capture_final_;
+  std::optional<Checkpoint> latest_;
+  std::uint64_t checkpoints_taken_ = 0;
+  std::uint64_t bytes_last_ = 0;
+  std::uint64_t bytes_total_ = 0;
+};
+
+/// Fans every hook out to its children in order. Children that throw abort
+/// the chain — order therefore encodes detection priority (the harness puts
+/// the injector before the checkpointer so a faulted round is never
+/// snapshotted).
+class ObserverChain : public mpc::RoundObserver {
+ public:
+  explicit ObserverChain(std::vector<mpc::RoundObserver*> children)
+      : children_(std::move(children)) {}
+
+  void before_round(std::uint64_t round) override {
+    for (auto* c : children_) c->before_round(round);
+  }
+  bool machine_runs(std::uint64_t round, std::uint64_t machine) override {
+    bool runs = true;
+    for (auto* c : children_) runs = c->machine_runs(round, machine) && runs;
+    return runs;
+  }
+  void after_merge(std::uint64_t round,
+                   std::vector<std::vector<mpc::Message>>& next_inboxes) override {
+    for (auto* c : children_) c->after_merge(round, next_inboxes);
+  }
+  void after_round(const mpc::RoundSnapshot& snapshot) override {
+    for (auto* c : children_) c->after_round(snapshot);
+  }
+
+ private:
+  std::vector<mpc::RoundObserver*> children_;
+};
+
+/// What the faults cost, beyond the fault-free execution.
+struct RecoveryCost {
+  std::uint64_t faults_injected = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t rounds_reexecuted = 0;          ///< extra rounds vs fault-free
+  std::uint64_t machine_rounds_reexecuted = 0;  ///< extra machine-rounds
+  std::uint64_t replica_verifications = 0;      ///< ReplicateRound equality checks
+  std::uint64_t checkpoints_taken = 0;
+  std::uint64_t checkpoint_bytes_last = 0;
+  std::uint64_t checkpoint_bytes_total = 0;
+};
+
+struct ChaosResult {
+  mpc::MpcRunResult run;
+  RecoveryCost cost;
+  std::vector<std::string> fault_log;  ///< provenance of every fired fault + recovery
+  /// The surviving execution's oracle (the fresh instance installed by the
+  /// last restore), for transcript/memo inspection. Null for plain-model.
+  std::shared_ptr<hash::LazyRandomOracle> oracle;
+};
+
+/// A detected fault that no policy could recover from; carries provenance.
+class UnrecoverableFault : public std::runtime_error {
+ public:
+  explicit UnrecoverableFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// ReplicateRound's verification failed: two fault-free re-executions of the
+/// same round from the same state diverged. Determinism is broken.
+class ReplicaDivergence : public std::runtime_error {
+ public:
+  explicit ReplicaDivergence(const std::string& what) : std::runtime_error(what) {}
+};
+
+class ChaosHarness {
+ public:
+  /// Builds a *fresh* oracle at the pre-execution state (same seed every
+  /// call); null for plain-model algorithms. Called once per execution
+  /// attempt — restores re-derive the memo into a new instance so wasted
+  /// queries from aborted rounds vanish.
+  using OracleFactory = std::function<std::shared_ptr<hash::LazyRandomOracle>()>;
+
+  ChaosHarness(mpc::MpcConfig config, OracleFactory oracle_factory);
+
+  /// RestartFromCheckpoint: snapshot every `checkpoint_every` rounds; on a
+  /// fault, restore the latest snapshot and resume. Throws UnrecoverableFault
+  /// if a fault lands before the first snapshot. `checkpoint_file`, when
+  /// nonempty, mirrors each snapshot to disk.
+  ChaosResult run_restart(mpc::MpcAlgorithm& algo,
+                          const std::vector<util::BitString>& initial_memory,
+                          const FaultPlan& plan, std::uint64_t checkpoint_every,
+                          const std::string& checkpoint_file = "");
+
+  /// ReplicateRound: shadow-snapshot every round; on a fault, re-execute the
+  /// faulted round twice on independent restored replicas, require their end
+  /// states to serialise identically (ReplicaDivergence otherwise), then
+  /// adopt the verified state and continue.
+  ChaosResult run_replicate(mpc::MpcAlgorithm& algo,
+                            const std::vector<util::BitString>& initial_memory,
+                            const FaultPlan& plan);
+
+ private:
+  std::shared_ptr<hash::LazyRandomOracle> fresh_oracle() const;
+
+  mpc::MpcConfig config_;
+  OracleFactory oracle_factory_;
+};
+
+}  // namespace mpch::fault

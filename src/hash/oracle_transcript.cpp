@@ -13,6 +13,23 @@ void OracleTranscript::sort_canonical() {
   });
 }
 
+std::vector<QueryRecord> OracleTranscript::canonical_records() const {
+  std::vector<QueryRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = records_;
+  }
+  std::sort(out.begin(), out.end(), [](const QueryRecord& a, const QueryRecord& b) {
+    return std::tie(a.round, a.machine, a.seq) < std::tie(b.round, b.machine, b.seq);
+  });
+  return out;
+}
+
+void OracleTranscript::restore(std::vector<QueryRecord> records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_ = std::move(records);
+}
+
 std::vector<util::BitString> OracleTranscript::queries_of(std::uint64_t machine,
                                                           std::uint64_t round) const {
   std::vector<util::BitString> out;

@@ -30,6 +30,8 @@ struct QueryRecord {
   std::uint64_t seq = 0;
   util::BitString input;
   util::BitString output;
+
+  bool operator==(const QueryRecord&) const = default;
 };
 
 /// Append-only log of queries across an entire MPC execution. Appends are
@@ -58,6 +60,15 @@ class OracleTranscript {
   /// and the canonicalisation step after a parallel round. The key is unique
   /// per record, so the result is a single deterministic order.
   void sort_canonical();
+
+  /// A copy of the log in canonical (round, machine, seq) order, leaving the
+  /// live log untouched. Checkpoints snapshot through this so a mid-run
+  /// parallel log serialises in its deterministic order.
+  std::vector<QueryRecord> canonical_records() const;
+
+  /// Replace the log wholesale with `records` (a deserialised checkpoint's
+  /// transcript); subsequent record() calls append after them.
+  void restore(std::vector<QueryRecord> records);
 
   /// Q_i^{(k)}: inputs queried by `machine` in round `round`.
   std::vector<util::BitString> queries_of(std::uint64_t machine, std::uint64_t round) const;

@@ -94,6 +94,23 @@ std::vector<std::pair<util::BitString, util::BitString>> LazyRandomOracle::touch
   return out;
 }
 
+void LazyRandomOracle::restore_table(
+    const std::vector<std::pair<util::BitString, util::BitString>>& entries,
+    std::uint64_t total_queries) {
+  for (const auto& [input, output] : entries) {
+    check_input(input);
+    if (derive(input) != output) {
+      throw std::invalid_argument(
+          "LazyRandomOracle::restore_table: stored answer for input " + input.to_hex_string() +
+          " does not match this oracle's seed (snapshot from a different oracle, or corrupted)");
+    }
+    Shard& s = shard_for(input);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.table.emplace(input, output);
+  }
+  total_queries_.store(total_queries, std::memory_order_relaxed);
+}
+
 // ---------------------------------------------------------- Exhaustive RO
 
 ExhaustiveRandomOracle::ExhaustiveRandomOracle(std::size_t in_bits, std::size_t out_bits,

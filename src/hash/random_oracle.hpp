@@ -84,6 +84,16 @@ class LazyRandomOracle final : public RandomOracle {
   /// for the compression argument's by-reference oracle part.
   std::vector<std::pair<util::BitString, util::BitString>> touched_table() const;
 
+  /// Restore a serialised sub-function (e.g. a checkpoint's memo) into this
+  /// oracle and set the lifetime query counter, so a fresh oracle constructed
+  /// from the same seed resumes exactly where the snapshotted one stopped.
+  /// Every entry is re-derived from the seed and must match the stored
+  /// answer; a mismatch (wrong seed, or a tampered snapshot) throws
+  /// std::invalid_argument instead of silently installing a different
+  /// function.
+  void restore_table(const std::vector<std::pair<util::BitString, util::BitString>>& entries,
+                     std::uint64_t total_queries);
+
  private:
   static constexpr std::size_t kShards = 16;
 

@@ -19,6 +19,8 @@ struct Message {
   util::BitString payload;
 
   std::size_t bits() const { return payload.size(); }
+
+  bool operator==(const Message&) const = default;
 };
 
 }  // namespace mpch::mpc

@@ -21,6 +21,7 @@ struct MpcSimulation::MachineSlot {
   MachineIo io;
   RoundTrace scratch;                    ///< per-machine annotation buffer
   hash::CountingOracle* oracle = nullptr;
+  bool crashed = false;  ///< fault injection: consume the inbox, run nothing
   std::exception_ptr error;
 
   /// Run this slot's machine. Exceptions are captured, not thrown: the round
@@ -29,6 +30,7 @@ struct MpcSimulation::MachineSlot {
   void run(MpcAlgorithm& algo, const SharedTape& tape) {
     try {
       if (oracle != nullptr) oracle->begin_round(io.round);
+      if (crashed) return;
       algo.run_machine(io, oracle, tape, scratch);
     } catch (...) {
       error = std::current_exception();
@@ -52,33 +54,10 @@ void MpcSimulation::run_round_parallel(MpcAlgorithm& algo, std::vector<MachineSl
 }
 
 MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
-                                const std::vector<util::BitString>& initial_memory) {
+                                const std::vector<util::BitString>& initial_memory,
+                                RoundObserver* observer) {
   if (initial_memory.size() > config_.machines) {
     throw std::invalid_argument("MpcSimulation::run: more input shares than machines");
-  }
-
-  MpcRunResult result;
-  result.transcript = std::make_shared<hash::OracleTranscript>();
-  SharedTape tape(config_.tape_seed);
-
-  // A machine runs on one thread at a time, so parallelism beyond m is idle;
-  // never run concurrently inside a ThreadPool worker (a nested simulation
-  // would multiply threads for no per-round win).
-  const bool parallel =
-      config_.threads > 1 && config_.machines > 1 && !util::ThreadPool::in_worker();
-  if (parallel && !pool_) {
-    pool_ = std::make_unique<util::ThreadPool>(
-        static_cast<std::size_t>(std::min<std::uint64_t>(config_.threads, config_.machines)));
-  }
-
-  // Per-machine budgeted oracle views, all over the one shared RO.
-  std::vector<std::unique_ptr<hash::CountingOracle>> oracles;
-  if (oracle_) {
-    oracles.reserve(config_.machines);
-    for (std::uint64_t i = 0; i < config_.machines; ++i) {
-      oracles.push_back(std::make_unique<hash::CountingOracle>(
-          oracle_, i, config_.query_budget, result.transcript));
-    }
   }
 
   // Round-0 memory: the input partition (Definition 2.1: "the given input is
@@ -95,10 +74,65 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
     }
   }
 
+  return run_rounds(algo, 0, std::move(inboxes), RoundTrace{},
+                    std::make_shared<hash::OracleTranscript>(), observer);
+}
+
+MpcRunResult MpcSimulation::resume(MpcAlgorithm& algo, MpcResumeState state,
+                                   RoundObserver* observer) {
+  if (state.inboxes.size() != config_.machines) {
+    throw std::invalid_argument("MpcSimulation::resume: state has " +
+                                std::to_string(state.inboxes.size()) + " inboxes for m=" +
+                                std::to_string(config_.machines) + " machines");
+  }
+  if (state.next_round >= config_.max_rounds) {
+    throw std::invalid_argument("MpcSimulation::resume: next_round " +
+                                std::to_string(state.next_round) + " >= max_rounds " +
+                                std::to_string(config_.max_rounds));
+  }
+  auto transcript =
+      state.transcript ? std::move(state.transcript) : std::make_shared<hash::OracleTranscript>();
+  return run_rounds(algo, state.next_round, std::move(state.inboxes), std::move(state.trace),
+                    std::move(transcript), observer);
+}
+
+MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_round,
+                                       std::vector<std::vector<Message>> inboxes,
+                                       RoundTrace trace,
+                                       std::shared_ptr<hash::OracleTranscript> transcript,
+                                       RoundObserver* observer) {
+  MpcRunResult result;
+  result.trace = std::move(trace);
+  result.transcript = std::move(transcript);
+  SharedTape tape(config_.tape_seed);
+
+  // A machine runs on one thread at a time, so parallelism beyond m is idle;
+  // never run concurrently inside a ThreadPool worker (a nested simulation
+  // would multiply threads for no per-round win).
+  const bool parallel =
+      config_.threads > 1 && config_.machines > 1 && !util::ThreadPool::in_worker();
+  if (parallel && !pool_) {
+    pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(std::min<std::uint64_t>(config_.threads, config_.machines)));
+  }
+
+  // Per-machine budgeted oracle views, all over the one shared RO. Budget
+  // counters reset at every round start, so a resumed execution's views are
+  // indistinguishable from the originals at the same round boundary.
+  std::vector<std::unique_ptr<hash::CountingOracle>> oracles;
+  if (oracle_) {
+    oracles.reserve(config_.machines);
+    for (std::uint64_t i = 0; i < config_.machines; ++i) {
+      oracles.push_back(std::make_unique<hash::CountingOracle>(
+          oracle_, i, config_.query_budget, result.transcript));
+    }
+  }
+
   std::vector<util::BitString> outputs;
   bool any_output = false;
 
-  for (std::uint64_t round = 0; round < config_.max_rounds; ++round) {
+  for (std::uint64_t round = start_round; round < config_.max_rounds; ++round) {
+    if (observer != nullptr) observer->before_round(round);
     result.trace.begin_round(round);
     std::uint64_t queries_before = oracle_ ? oracle_->total_queries() : 0;
 
@@ -121,6 +155,7 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
       slots[i].io.machines = config_.machines;
       slots[i].io.inbox = &inboxes[i];
       slots[i].oracle = oracle_ ? oracles[i].get() : nullptr;
+      slots[i].crashed = observer != nullptr && !observer->machine_runs(round, i);
       slots[i].scratch.begin_round(round);
     }
     if (parallel) {
@@ -167,6 +202,10 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
       result.trace.current().peak_sent_bits.observe(sent_bits, i);
     }
 
+    // Fault-injection window: dropped/duplicated deliveries are applied at
+    // the barrier, after the honest merge and before capacity enforcement.
+    if (observer != nullptr) observer->after_merge(round, next_inboxes);
+
     // Enforce the inbox capacity: "each machine receives no more
     // communication than its memory".
     for (std::uint64_t j = 0; j < config_.machines; ++j) {
@@ -189,6 +228,15 @@ MpcRunResult MpcSimulation::run(MpcAlgorithm& algo,
     }
 
     result.rounds_used = round + 1;
+    if (observer != nullptr) {
+      RoundSnapshot snapshot;
+      snapshot.round = round;
+      snapshot.completed = any_output;
+      snapshot.next_inboxes = &next_inboxes;
+      snapshot.trace = &result.trace;
+      snapshot.transcript = result.transcript.get();
+      observer->after_round(snapshot);
+    }
     if (any_output) {
       result.completed = true;
       break;

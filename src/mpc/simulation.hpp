@@ -105,6 +105,59 @@ class MpcAlgorithm {
   virtual std::string name() const = 0;
 };
 
+/// View of the committed state at a round barrier, handed to
+/// RoundObserver::after_round. `next_inboxes` is the message state the next
+/// round will start from — together with the trace, the transcript, and the
+/// oracle's memo this is the *complete* resumable state of an execution
+/// (machines are stateless across rounds by construction), which is what
+/// makes fault/checkpoint.hpp's snapshots sufficient for bit-identical
+/// recovery.
+struct RoundSnapshot {
+  std::uint64_t round = 0;   ///< the round that just committed
+  bool completed = false;    ///< an output was produced; the run is over
+  const std::vector<std::vector<Message>>* next_inboxes = nullptr;
+  const RoundTrace* trace = nullptr;
+  const hash::OracleTranscript* transcript = nullptr;
+};
+
+/// Hooks driven by the round loop at its deterministic single-threaded
+/// points (never while machines are running). The fault subsystem
+/// (src/fault) implements these for checkpointing and fault injection; all
+/// defaults are no-ops, so plain runs pay nothing. Any hook may throw to
+/// abort the run — the exception propagates out of run()/resume() with the
+/// round uncommitted.
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+
+  /// Called before the machines of `round` execute.
+  virtual void before_round(std::uint64_t /*round*/) {}
+
+  /// Phase-A gate: return false to keep `machine` from running this round
+  /// (a crash fault). The machine's inbox is still consumed and it sends
+  /// nothing — exactly a machine that died at the round boundary.
+  virtual bool machine_runs(std::uint64_t /*round*/, std::uint64_t /*machine*/) { return true; }
+
+  /// Called after the deterministic merge with the next round's inboxes,
+  /// before the inbox-capacity check. May mutate them (message drop /
+  /// duplicate faults).
+  virtual void after_merge(std::uint64_t /*round*/,
+                           std::vector<std::vector<Message>>& /*next_inboxes*/) {}
+
+  /// Called once the round has fully committed (capacity enforced, stats
+  /// merged). Checkpoints are taken here.
+  virtual void after_round(const RoundSnapshot& /*snapshot*/) {}
+};
+
+/// Mid-execution state accepted by MpcSimulation::resume — the deserialised
+/// form of a RoundSnapshot (see fault/checkpoint.hpp for the on-disk format).
+struct MpcResumeState {
+  std::uint64_t next_round = 0;                   ///< first round to execute
+  std::vector<std::vector<Message>> inboxes;      ///< per-machine memory M_i^{next_round}
+  RoundTrace trace;                               ///< trace of rounds [0, next_round)
+  std::shared_ptr<hash::OracleTranscript> transcript;  ///< restored log; null = fresh
+};
+
 struct MpcRunResult {
   bool completed = false;             ///< some machine produced output
   std::uint64_t rounds_used = 0;      ///< R of "R-round MPC computation"
@@ -120,12 +173,27 @@ class MpcSimulation {
 
   /// Run `algo` from the given input partition (initial_memory[i] = M_i^0).
   /// Each share must fit in s bits; shares beyond `machines` are an error.
-  MpcRunResult run(MpcAlgorithm& algo, const std::vector<util::BitString>& initial_memory);
+  /// `observer`, when non-null, receives the round-loop hooks above.
+  MpcRunResult run(MpcAlgorithm& algo, const std::vector<util::BitString>& initial_memory,
+                   RoundObserver* observer = nullptr);
+
+  /// Continue an execution from a round boundary (a restored checkpoint).
+  /// The caller is responsible for handing this simulation an oracle whose
+  /// memo and counters were restored to the same boundary (see
+  /// fault/checkpoint.hpp) — with that, the resumed run is bit-identical to
+  /// an uninterrupted one: same outputs, transcript, trace, and oracle state.
+  MpcRunResult resume(MpcAlgorithm& algo, MpcResumeState state,
+                      RoundObserver* observer = nullptr);
 
   const MpcConfig& config() const { return config_; }
 
  private:
   struct MachineSlot;
+
+  MpcRunResult run_rounds(MpcAlgorithm& algo, std::uint64_t start_round,
+                          std::vector<std::vector<Message>> inboxes, RoundTrace trace,
+                          std::shared_ptr<hash::OracleTranscript> transcript,
+                          RoundObserver* observer);
 
   void run_round_serial(MpcAlgorithm& algo, std::vector<MachineSlot>& slots,
                         const SharedTape& tape);

@@ -16,18 +16,23 @@
 namespace mpch::mpc {
 
 /// A per-round maximum together with the machine that achieved it — the
-/// witness the analysis layer's spec-soundness diagnostics name.
+/// witness the analysis layer's spec-soundness diagnostics name. Ties go to
+/// the lowest machine index, so the named witness is a function of the
+/// observed values alone, not of observation order (serial sweeps, parallel
+/// merges, and checkpoint-resumed replays all name the same machine).
 struct Peak {
   std::uint64_t value = 0;
   std::uint64_t machine = 0;
 
   void observe(std::uint64_t v, std::uint64_t m) {
-    if (v > value) {
+    if (v > value || (v == value && m < machine)) {
       value = v;
       machine = m;
     }
   }
   void merge(const Peak& rhs) { observe(rhs.value, rhs.machine); }
+
+  bool operator==(const Peak&) const = default;
 };
 
 struct RoundStats {
@@ -47,6 +52,8 @@ struct RoundStats {
   Peak peak_sent_bits;     ///< most bits sent by one machine
   Peak peak_recv_bits;     ///< most bits delivered to one machine
   Peak peak_message_bits;  ///< largest single message payload
+
+  bool operator==(const RoundStats&) const = default;
 };
 
 class RoundTrace {
@@ -111,6 +118,14 @@ class RoundTrace {
     std::uint64_t total = 0;
     for (const auto& r : stats_) total += r.oracle_queries;
     return total;
+  }
+
+  /// Replace the whole trace with deserialised checkpoint state; later
+  /// begin_round/merge_round_from calls continue after the restored rounds.
+  void restore(std::vector<RoundStats> stats,
+               std::map<std::string, std::vector<std::uint64_t>> annotations) {
+    stats_ = std::move(stats);
+    annotations_ = std::move(annotations);
   }
 
  private:

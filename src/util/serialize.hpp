@@ -1,7 +1,10 @@
 // serialize.hpp — byte/bit-level writer and reader used by the compression
-// argument (src/compress). The proof's Enc/Dec schemes are literal encodings
-// whose *length in bits* is the whole point, so the writer tracks bit-exact
-// sizes and supports fixed-width fields like "log q bits for a query index".
+// argument (src/compress) and the fault subsystem's checkpoints (src/fault).
+// The proof's Enc/Dec schemes are literal encodings whose *length in bits* is
+// the whole point, so the writer tracks bit-exact sizes and supports
+// fixed-width fields like "log q bits for a query index". The field helpers
+// below add the self-describing (length-prefixed) layer checkpoints need,
+// where the reader cannot know field widths a priori.
 #pragma once
 
 #include <cstdint>
@@ -75,5 +78,34 @@ class BitReader {
   BitString bits_;
   std::size_t pos_ = 0;
 };
+
+// --------------------------------------------------------------------------
+// Self-describing fields: a 64-bit length prefix followed by the payload, so
+// a reader with no schema knowledge of the value can still skip or load it.
+
+/// Write `bits` as a length-prefixed field.
+void write_bitstring_field(BitWriter& w, const BitString& bits);
+
+/// Read a field written by write_bitstring_field.
+BitString read_bitstring_field(BitReader& r);
+
+/// Write a UTF-8/byte string as a length-prefixed field (length in bytes).
+void write_string_field(BitWriter& w, const std::string& s);
+
+/// Read a field written by write_string_field.
+std::string read_string_field(BitReader& r);
+
+// --------------------------------------------------------------------------
+// File round-trip for encodings. The on-disk layout is an 8-byte
+// little-endian bit count followed by the packed bytes, so a BitString of any
+// (non-byte-aligned) length survives save -> load exactly.
+
+/// Write `bits` to `path`, replacing any existing file. Throws
+/// std::runtime_error on IO failure.
+void write_bits_file(const std::string& path, const BitString& bits);
+
+/// Read a file written by write_bits_file. Throws std::runtime_error on IO
+/// failure or a malformed (truncated) file.
+BitString read_bits_file(const std::string& path);
 
 }  // namespace mpch::util

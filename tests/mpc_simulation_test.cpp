@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <utility>
+
 #include "hash/random_oracle.hpp"
 #include "util/serialize.hpp"
 
@@ -256,6 +259,105 @@ TEST(PartitionBlocksRoundRobin, ShareExceedingSIsRejectedAtRunTime) {
   MpcSimulation sim(config(1, 32, 1), nullptr);
   RingAlgorithm algo(1);
   EXPECT_THROW(sim.run(algo, shares), MemoryViolation);
+}
+
+TEST(Peak, TieGoesToTheLowestMachineIndex) {
+  Peak p;
+  p.observe(5, 3);
+  EXPECT_EQ(p.machine, 3u);
+  p.observe(5, 1);  // equal value, lower index: the witness moves
+  EXPECT_EQ(p.value, 5u);
+  EXPECT_EQ(p.machine, 1u);
+  p.observe(5, 2);  // equal value, higher index: the witness stays
+  EXPECT_EQ(p.machine, 1u);
+  p.observe(4, 0);  // smaller value never wins
+  EXPECT_EQ(p.value, 5u);
+  EXPECT_EQ(p.machine, 1u);
+  p.observe(6, 2);
+  EXPECT_EQ(p.value, 6u);
+  EXPECT_EQ(p.machine, 2u);
+}
+
+TEST(Peak, WitnessIsObservationOrderIndependent) {
+  // The same multiset of (value, machine) observations must name the same
+  // witness in any order — serial sweeps, parallel merges, and resumed
+  // replays all agree.
+  const std::pair<std::uint64_t, std::uint64_t> obs[] = {{7, 2}, {7, 0}, {3, 1}, {7, 3}};
+  Peak forward;
+  for (const auto& [v, m] : obs) forward.observe(v, m);
+  Peak backward;
+  for (auto it = std::rbegin(obs); it != std::rend(obs); ++it) {
+    backward.observe(it->first, it->second);
+  }
+  EXPECT_EQ(forward, backward);
+  EXPECT_EQ(forward.value, 7u);
+  EXPECT_EQ(forward.machine, 0u);
+
+  // merge() follows the same rule: merging per-machine peaks in any grouping
+  // names the lowest-index machine among the maxima.
+  Peak left, right;
+  left.observe(7, 2);
+  right.observe(7, 0);
+  Peak merged_lr = left;
+  merged_lr.merge(right);
+  Peak merged_rl = right;
+  merged_rl.merge(left);
+  EXPECT_EQ(merged_lr, merged_rl);
+  EXPECT_EQ(merged_lr.machine, 0u);
+}
+
+TEST(MpcSimulation, MemoryViolationProvenanceTextIsStable) {
+  // Recovery tooling and CI greps key off these diagnostics; pin the exact
+  // wording of both MemoryViolation sites.
+  MpcSimulation sim(config(2, 64, 1), nullptr);
+  FloodAlgorithm algo(100);  // machine 0 sends itself 100 bits > s=64
+  try {
+    sim.run(algo, {BitString(1), BitString(1)});
+    FAIL() << "expected MemoryViolation";
+  } catch (const MemoryViolation& e) {
+    EXPECT_STREQ(e.what(), "machine 0 would receive 100 bits > s=64 after round 0");
+  }
+
+  MpcSimulation sim2(config(2, 64, 1), nullptr);
+  RingAlgorithm ring(2);
+  try {
+    sim2.run(ring, {BitString(80)});
+    FAIL() << "expected MemoryViolation";
+  } catch (const MemoryViolation& e) {
+    EXPECT_STREQ(e.what(), "input share for machine 0 has 80 bits > s=64");
+  }
+}
+
+TEST(MpcSimulation, RoutingViolationProvenanceTextIsStable) {
+  // Both detection sites — send()'s eager check and the merge-time backstop
+  // for direct outbox writes — must produce the identical diagnostic.
+  class BadSend final : public MpcAlgorithm {
+   public:
+    explicit BadSend(bool direct) : direct_(direct) {}
+    void run_machine(MachineIo& io, hash::CountingOracle*, const SharedTape&,
+                     RoundTrace&) override {
+      if (io.machine != 1 || io.round != 0) return;
+      if (direct_) {
+        io.outbox.push_back({1, 7, BitString(1)});
+      } else {
+        io.send(7, BitString(1));
+      }
+    }
+    std::string name() const override { return "bad-send"; }
+
+   private:
+    bool direct_;
+  };
+  for (bool direct : {false, true}) {
+    MpcSimulation sim(config(2, 64, 1), nullptr);
+    BadSend algo(direct);
+    try {
+      sim.run(algo, {BitString(1), BitString(1)});
+      FAIL() << "expected RoutingViolation (direct=" << direct << ")";
+    } catch (const RoutingViolation& e) {
+      EXPECT_STREQ(e.what(), "machine 1 sent a message to machine 7 >= m=2 in round 0") << direct;
+    }
+  }
 }
 
 TEST(MpcSimulation, ParallelRingMatchesSerial) {

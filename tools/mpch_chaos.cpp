@@ -1,0 +1,357 @@
+// mpch-chaos — fault-injection and recovery driver for the MPC strategies.
+//
+//   mpch-chaos --plan crash:machine=2,round=3 --policy restart --every 2
+//   mpch-chaos --strategy colluding --plan kill:round=4 --policy replicate
+//   mpch-chaos --strategy ram-emulation --plan "drop:round=2,to=0,index=0" \
+//              --policy restart --every 1 --threads 8
+//   mpch-chaos --plan crash:machine=1,round=2 --policy none   # unprotected
+//
+// Runs one strategy twice: once fault-free (the reference), once under the
+// fault plan with the chosen recovery policy. Because the simulator is
+// bit-deterministic, a correct recovery is *verifiable*: the recovered run's
+// output, round stats, oracle transcript, and materialised oracle table must
+// all be identical to the fault-free run, and this tool checks every one of
+// them. It then prints a recovery-cost report (extra rounds, re-executed
+// machine-rounds, snapshot bytes).
+//
+// Policies: restart (RestartFromCheckpoint, snapshot every --every rounds),
+// replicate (ReplicateRound, dual re-execution + equality check), none
+// (apply faults silently, no detection — the unprotected baseline, expected
+// to diverge).
+//
+// Exit status: 0 recovered and verified; 1 unrecoverable fault, replica
+// divergence, or verification mismatch; 2 usage error.
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/line.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "fault/recovery.hpp"
+#include "hash/random_oracle.hpp"
+#include "mpc/simulation.hpp"
+#include "ram/machine.hpp"
+#include "strategies/batch_pointer_chasing.hpp"
+#include "strategies/colluding.hpp"
+#include "strategies/dictionary.hpp"
+#include "strategies/full_memory.hpp"
+#include "strategies/pipelined_simline.hpp"
+#include "strategies/pointer_chasing.hpp"
+#include "strategies/ram_emulation.hpp"
+#include "strategies/speculative.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+using namespace mpch;
+
+namespace {
+
+const char* const kStrategies[] = {
+    "pointer-chasing", "batch-pointer-chasing", "speculative", "pipelined-simline",
+    "colluding",       "dictionary",            "full-memory", "ram-emulation",
+};
+
+/// One runnable (config, algorithm, input, oracle recipe) bundle. Built fresh
+/// per execution so strategy-internal counters never leak between the
+/// reference run and the chaos run.
+struct Scenario {
+  mpc::MpcConfig config;
+  std::shared_ptr<mpc::MpcAlgorithm> algo;
+  std::vector<util::BitString> initial;
+  fault::ChaosHarness::OracleFactory oracle_factory;  // returns null for plain model
+  std::shared_ptr<const core::LineInput> truth;  // outlives algo (speculative holds a pointer)
+};
+
+mpc::MpcConfig base_config(std::uint64_t m, std::uint64_t s, std::uint64_t q,
+                           std::uint64_t threads, std::uint64_t max_rounds = 20000) {
+  mpc::MpcConfig c;
+  c.machines = m;
+  c.local_memory_bits = s;
+  c.query_budget = q;
+  c.max_rounds = max_rounds;
+  c.tape_seed = 5;
+  c.threads = threads;
+  return c;
+}
+
+Scenario make_scenario(const std::string& name, std::uint64_t seed, std::uint64_t threads) {
+  Scenario s;
+  auto oracle_for = [seed](std::uint64_t n) -> fault::ChaosHarness::OracleFactory {
+    return [n, seed] { return std::make_shared<hash::LazyRandomOracle>(n, n, seed); };
+  };
+
+  if (name == "pointer-chasing") {
+    core::LineParams p = core::LineParams::make(64, 16, 8, 96);
+    util::Rng rng(seed + 1);
+    core::LineInput input = core::LineInput::random(p, rng);
+    auto strat = std::make_shared<strategies::PointerChasingStrategy>(
+        p, strategies::OwnershipPlan::round_robin(p, 4));
+    s.config = base_config(4, strat->required_local_memory(), 1 << 20, threads);
+    s.initial = strat->make_initial_memory(input);
+    s.algo = strat;
+    s.oracle_factory = oracle_for(p.n);
+  } else if (name == "batch-pointer-chasing") {
+    core::LineParams p = core::LineParams::make(64, 16, 8, 128);
+    std::vector<core::LineInput> inputs;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      util::Rng rng(seed * 100 + i);
+      inputs.push_back(core::LineInput::random(p, rng));
+    }
+    auto strat = std::make_shared<strategies::BatchPointerChasingStrategy>(
+        p, strategies::OwnershipPlan::round_robin(p, 4), 4);
+    s.config = base_config(4, strat->required_local_memory(), 1 << 20, threads);
+    s.initial = strat->make_initial_memory(inputs);
+    s.algo = strat;
+    s.oracle_factory = oracle_for(p.n);
+  } else if (name == "speculative") {
+    // u = 16 with a small guess budget: stalls essentially never escape, so
+    // the run lasts long enough for mid-flight faults to land.
+    core::LineParams p = core::LineParams::make(64, 16, 8, 96);
+    util::Rng rng(seed * 3 + 7);
+    auto input = std::make_shared<core::LineInput>(core::LineInput::random(p, rng));
+    s.truth = input;
+    auto strat = std::make_shared<strategies::SpeculativeStrategy>(
+        p, strategies::OwnershipPlan::round_robin(p, 4), strategies::SpeculativeConfig{4, true},
+        *input);
+    s.config = base_config(4, strat->required_local_memory(), 1 << 20, threads);
+    s.initial = strat->make_initial_memory(*input);
+    s.algo = strat;
+    s.oracle_factory = oracle_for(p.n);
+  } else if (name == "pipelined-simline") {
+    core::LineParams p = core::LineParams::make(64, 16, 16, 256);
+    util::Rng rng(seed + 2);
+    core::LineInput input = core::LineInput::random(p, rng);
+    auto strat = std::make_shared<strategies::PipelinedSimLineStrategy>(
+        p, strategies::OwnershipPlan::windows(p, 4, 4));
+    s.config = base_config(4, strat->required_local_memory(), 1 << 20, threads);
+    s.initial = strat->make_initial_memory(input);
+    s.algo = strat;
+    s.oracle_factory = oracle_for(p.n);
+  } else if (name == "colluding") {
+    core::LineParams p = core::LineParams::make(64, 16, 8, 96);
+    util::Rng rng(seed + 3);
+    core::LineInput input = core::LineInput::random(p, rng);
+    auto strat = std::make_shared<strategies::ColludingStrategy>(
+        p, strategies::OwnershipPlan::round_robin(p, 4));
+    s.config = base_config(4, strat->required_local_memory(), 1 << 20, threads);
+    s.initial = strat->make_initial_memory(input);
+    s.algo = strat;
+    s.oracle_factory = oracle_for(p.n);
+  } else if (name == "dictionary") {
+    core::LineParams p = core::LineParams::make(64, 16, 32, 128);
+    util::Rng rng(seed + 4);
+    core::LineInput input = strategies::make_low_entropy_input(p, 2, rng);
+    auto strat = std::make_shared<strategies::DictionaryStrategy>(p, 4);
+    s.config = base_config(4, strat->gathered_bits(2), p.w + 1, threads, 10);
+    s.initial = strat->make_initial_memory(input);
+    s.algo = strat;
+    s.oracle_factory = oracle_for(p.n);
+  } else if (name == "full-memory") {
+    core::LineParams p = core::LineParams::make(64, 16, 8, 256);
+    util::Rng rng(seed + 5);
+    core::LineInput input = core::LineInput::random(p, rng);
+    auto strat = std::make_shared<strategies::FullMemoryStrategy>(
+        p, strategies::OwnershipPlan::round_robin(p, 4));
+    s.config = base_config(4, strat->required_local_memory(), p.w + 1, threads, 10);
+    s.initial = strat->make_initial_memory(input);
+    s.algo = strat;
+    s.oracle_factory = oracle_for(p.n);
+  } else if (name == "ram-emulation") {
+    using namespace ram::asm_ops;
+    const std::uint64_t n = 8;
+    std::vector<std::uint64_t> memory(n);
+    for (std::uint64_t i = 0; i < n; ++i) memory[i] = (seed * 7 + i * 3) % 97;
+    std::vector<ram::Instruction> prog = {
+        loadi(0, 0), loadi(1, 0), loadi(2, n), loadi(5, 1),
+        lt(3, 1, 2), jz(3, 10),   load(4, 1),  add(0, 0, 4),
+        add(1, 1, 5), jmp(4),     halt(),
+    };
+    auto strat = std::make_shared<strategies::RamEmulationStrategy>(prog, 4, 1);
+    s.config = base_config(4, strat->required_local_memory(memory.size()), 1, threads, 1 << 20);
+    s.initial = strat->make_initial_memory(memory);
+    s.algo = strat;
+    s.oracle_factory = [] { return std::shared_ptr<hash::LazyRandomOracle>(); };
+  } else {
+    throw std::invalid_argument("unknown strategy '" + name + "' (try --list)");
+  }
+  return s;
+}
+
+/// Compare the recovered run against the fault-free reference across every
+/// observable surface; returns human-readable mismatch descriptions.
+std::vector<std::string> verify_against(const mpc::MpcRunResult& ref,
+                                        const hash::LazyRandomOracle* ref_oracle,
+                                        const mpc::MpcRunResult& got,
+                                        const hash::LazyRandomOracle* got_oracle) {
+  std::vector<std::string> bad;
+  if (ref.completed != got.completed) bad.push_back("completed flag differs");
+  if (ref.rounds_used != got.rounds_used) {
+    bad.push_back("rounds_used: " + std::to_string(ref.rounds_used) + " vs " +
+                  std::to_string(got.rounds_used));
+  }
+  if (ref.output != got.output) bad.push_back("output bits differ");
+  if (ref.trace.rounds() != got.trace.rounds()) bad.push_back("per-round stats differ");
+  if (ref.trace.annotations() != got.trace.annotations()) bad.push_back("annotations differ");
+  if (ref.transcript->records() != got.transcript->records()) {
+    bad.push_back("oracle transcript differs (" + std::to_string(ref.transcript->records().size()) +
+                  " vs " + std::to_string(got.transcript->records().size()) + " records)");
+  }
+  if ((ref_oracle == nullptr) != (got_oracle == nullptr)) {
+    bad.push_back("oracle presence differs");
+  } else if (ref_oracle != nullptr) {
+    if (ref_oracle->total_queries() != got_oracle->total_queries()) {
+      bad.push_back("oracle query count: " + std::to_string(ref_oracle->total_queries()) + " vs " +
+                    std::to_string(got_oracle->total_queries()));
+    }
+    if (ref_oracle->touched_table() != got_oracle->touched_table()) {
+      bad.push_back("materialised oracle table differs");
+    }
+  }
+  return bad;
+}
+
+void print_cost(const fault::RecoveryCost& cost) {
+  std::cout << "recovery cost:\n"
+            << "  faults injected:              " << cost.faults_injected << "\n"
+            << "  recoveries:                   " << cost.recoveries << "\n"
+            << "  extra rounds re-executed:     " << cost.rounds_reexecuted << "\n"
+            << "  extra machine-rounds:         " << cost.machine_rounds_reexecuted << "\n"
+            << "  replica verifications:        " << cost.replica_verifications << "\n"
+            << "  checkpoints taken:            " << cost.checkpoints_taken << "\n"
+            << "  checkpoint bytes (last/total): " << cost.checkpoint_bytes_last << " / "
+            << cost.checkpoint_bytes_total << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  if (args.get_bool("help", false)) {
+    std::cout << "usage: mpch-chaos --plan SPEC [--strategy NAME] [--policy restart|replicate|none]\n"
+                 "                  [--every N] [--threads N] [--seed N] [--checkpoint-file PATH]\n"
+                 "                  [--list]\n"
+                 "  plan grammar : semicolon-separated events —\n"
+                 "                 crash:machine=M,round=R | drop:round=R,to=M,index=I\n"
+                 "                 | dup:round=R,to=M,index=I | kill:round=R\n"
+                 "                 | random:seed=S,events=E,rounds=R,machines=M\n"
+                 "  --policy     : restart   = RestartFromCheckpoint (snapshot every --every rounds)\n"
+                 "                 replicate = ReplicateRound (dual re-execution + equality check)\n"
+                 "                 none      = apply faults silently, no recovery (baseline)\n";
+    return 0;
+  }
+  if (args.get_bool("list", false)) {
+    for (const char* name : kStrategies) std::cout << name << "\n";
+    return 0;
+  }
+
+  const std::string strategy = args.get_string("strategy", "pointer-chasing");
+  const std::string plan_spec = args.get_string("plan", "");
+  const std::string policy = args.get_string("policy", "restart");
+  const std::uint64_t every = args.get_u64("every", 2);
+  const std::uint64_t threads = args.get_u64("threads", 0);
+  const std::uint64_t seed = args.get_u64("seed", 11);
+  const std::string checkpoint_file = args.get_string("checkpoint-file", "");
+
+  if (plan_spec.empty()) {
+    std::cerr << "mpch-chaos: --plan is required (try --help)\n";
+    return 2;
+  }
+  if (policy != "restart" && policy != "replicate" && policy != "none") {
+    std::cerr << "mpch-chaos: unknown policy '" << policy << "' (want restart|replicate|none)\n";
+    return 2;
+  }
+
+  fault::FaultPlan plan;
+  Scenario reference;
+  try {
+    plan = fault::FaultPlan::parse(plan_spec);
+    reference = make_scenario(strategy, seed, threads);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "mpch-chaos: " << e.what() << "\n";
+    return 2;
+  }
+  for (const auto& unused : args.unused()) {
+    std::cerr << "mpch-chaos: unknown flag --" << unused << "\n";
+    return 2;
+  }
+
+  std::cout << "mpch-chaos: strategy=" << strategy << " threads=" << threads << " seed=" << seed
+            << "\n  plan:   " << plan.describe() << "\n  policy: " << policy;
+  if (policy == "restart") std::cout << " (checkpoint every " << every << " round(s))";
+  std::cout << "\n\n";
+
+  // Fault-free reference run: the ground truth recovery must reproduce.
+  auto ref_oracle = reference.oracle_factory();
+  mpc::MpcRunResult ref_run;
+  try {
+    mpc::MpcSimulation ref_sim(reference.config, ref_oracle);
+    ref_run = ref_sim.run(*reference.algo, reference.initial);
+  } catch (const std::exception& e) {
+    std::cerr << "mpch-chaos: fault-free reference run failed: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << "reference run: " << (ref_run.completed ? "completed" : "hit max_rounds") << " in "
+            << ref_run.rounds_used << " round(s)\n";
+
+  // Chaos run under the chosen policy. Fresh scenario: strategy-internal
+  // counters must not carry over from the reference run.
+  Scenario chaos = make_scenario(strategy, seed, threads);
+  try {
+    if (policy == "none") {
+      // Unprotected baseline: faults applied silently, no detection. Expected
+      // to diverge (or trip a model guard) — that is the point.
+      fault::FaultInjector injector(plan, /*fail_stop=*/false);
+      auto oracle = chaos.oracle_factory();
+      mpc::MpcSimulation sim(chaos.config, oracle);
+      mpc::MpcRunResult run = sim.run(*chaos.algo, chaos.initial, &injector);
+      std::cout << "unprotected run: " << (run.completed ? "completed" : "hit max_rounds")
+                << " in " << run.rounds_used << " round(s), " << injector.faults_fired() << "/"
+                << injector.events_planned() << " fault(s) applied\n";
+      auto bad = verify_against(ref_run, ref_oracle.get(), run, oracle.get());
+      if (bad.empty()) {
+        std::cout << "divergence: none (the faults did not land on live state)\n";
+      } else {
+        std::cout << "divergence (expected without recovery):\n";
+        for (const auto& b : bad) std::cout << "  - " << b << "\n";
+      }
+      return 0;
+    }
+
+    fault::ChaosHarness harness(chaos.config, chaos.oracle_factory);
+    fault::ChaosResult result = policy == "restart"
+        ? harness.run_restart(*chaos.algo, chaos.initial, plan, every, checkpoint_file)
+        : harness.run_replicate(*chaos.algo, chaos.initial, plan);
+
+    std::cout << "fault log:\n";
+    for (const auto& line : result.fault_log) std::cout << "  - " << line << "\n";
+    if (result.fault_log.empty()) std::cout << "  (no fault fired before completion)\n";
+    std::cout << "recovered run: " << (result.run.completed ? "completed" : "hit max_rounds")
+              << " in " << result.run.rounds_used << " round(s)\n\n";
+    print_cost(result.cost);
+    if (!checkpoint_file.empty()) {
+      std::cout << "latest checkpoint mirrored to: " << checkpoint_file << "\n";
+    }
+
+    auto bad = verify_against(ref_run, ref_oracle.get(), result.run, result.oracle.get());
+    if (!bad.empty()) {
+      std::cout << "\nverification: FAILED — recovered run differs from fault-free run:\n";
+      for (const auto& b : bad) std::cout << "  - " << b << "\n";
+      return 1;
+    }
+    std::cout << "\nverification: recovered run is bit-identical to the fault-free run\n"
+                 "  (output, round stats, annotations, oracle transcript, oracle table)\n";
+    return 0;
+  } catch (const fault::UnrecoverableFault& e) {
+    std::cerr << "mpch-chaos: unrecoverable: " << e.what() << "\n";
+    return 1;
+  } catch (const fault::ReplicaDivergence& e) {
+    std::cerr << "mpch-chaos: replica divergence: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "mpch-chaos: " << e.what() << "\n";
+    return 1;
+  }
+}
