@@ -1,0 +1,32 @@
+// libFuzzer harness for the checkpoint wire format (fault/checkpoint.hpp).
+//
+// Two paths per input:
+//  1. raw — the bytes straight into deserialize(), exercising the header
+//     gates (magic, version, length, checksum);
+//  2. framed — the same bytes wrapped in a *valid* header via
+//     frame_checkpoint_payload(), driving the payload field parser that the
+//     checksum otherwise shields from anything a fuzzer can produce. This is
+//     where hostile element counts and truncated length-prefixed fields live.
+//
+// CheckpointError is the defined rejection path; anything else that escapes
+// (std::length_error from an unguarded resize, ASan findings, ...) is a bug.
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fault/checkpoint.hpp"
+#include "util/bitstring.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::vector<std::uint8_t> bytes(data, data + size);
+  mpch::util::BitString bits = mpch::util::BitString::from_bytes(bytes);
+  try {
+    mpch::fault::deserialize(bits);
+  } catch (const mpch::fault::CheckpointError&) {
+  }
+  try {
+    mpch::fault::deserialize(mpch::fault::frame_checkpoint_payload(bits));
+  } catch (const mpch::fault::CheckpointError&) {
+  }
+  return 0;
+}

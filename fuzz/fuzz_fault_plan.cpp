@@ -1,0 +1,22 @@
+// libFuzzer harness for the FaultPlan CLI grammar (fault/fault_plan.hpp).
+//
+// parse() consumes attacker-adjacent text (the mpch-chaos --plan flag);
+// std::invalid_argument is its defined rejection path. A plan that parses is
+// also pushed through describe() so the formatting of every accepted event
+// is exercised too. Anything else escaping is a bug.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault_plan.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string spec(reinterpret_cast<const char*>(data), size);
+  try {
+    mpch::fault::FaultPlan plan = mpch::fault::FaultPlan::parse(spec);
+    (void)plan.describe();
+  } catch (const std::invalid_argument&) {
+  }
+  return 0;
+}

@@ -96,6 +96,16 @@ struct ProtocolSpec {
 
   /// One-line human-readable summary (worst envelope over all shapes).
   std::string summary() const;
+
+  /// The same protocol under authenticated messaging: every message sent
+  /// carries a `tag_bits` MAC (mpc::kMessageTagBits when run through the
+  /// simulator), which the runtime meters against the budgets. Traffic
+  /// bounds grow by one tag per message (sent += fan_out·tag, recv +=
+  /// fan_in·tag, max_message += tag); round-start memory at round r >= 1
+  /// grows by fan_in(r-1)·tag because the inbox union holds the previous
+  /// barrier's tagged deliveries — round 0's input partition is untagged.
+  /// `steady` takes the worst incoming fan-in over the rounds it covers.
+  ProtocolSpec with_authentication(std::uint64_t tag_bits) const;
 };
 
 /// Implemented by strategies that publish a ProtocolSpec. Kept separate from

@@ -67,6 +67,30 @@ std::string ProtocolSpec::summary() const {
   return os.str();
 }
 
+ProtocolSpec ProtocolSpec::with_authentication(std::uint64_t tag_bits) const {
+  ProtocolSpec spec = *this;
+  auto bump_traffic = [tag_bits](RoundEnvelope& e) {
+    e.sent_bits += e.fan_out * tag_bits;
+    e.recv_bits += e.fan_in * tag_bits;
+    if (e.fan_out > 0 || e.max_message_bits > 0) e.max_message_bits += tag_bits;
+  };
+  // Round-start memory at round r is the inbox union of round r-1's tagged
+  // deliveries; round 0 starts from the untagged input partition.
+  std::uint64_t prev_fan_in = 0;
+  for (RoundEnvelope& e : spec.prologue) {
+    e.memory_bits += prev_fan_in * tag_bits;
+    prev_fan_in = e.fan_in;
+    bump_traffic(e);
+  }
+  // `steady` bounds every round past the prologue; its incoming fan-in is
+  // the last prologue round's (first steady round) or its own (later ones).
+  std::uint64_t steady_incoming = std::max(prev_fan_in, spec.steady.fan_in);
+  if (spec.prologue.empty() && spec.max_rounds <= 1) steady_incoming = 0;  // only round 0
+  spec.steady.memory_bits += steady_incoming * tag_bits;
+  bump_traffic(spec.steady);
+  return spec;
+}
+
 std::uint64_t effective_query_bound(const ProtocolSpec& spec, const RoundEnvelope& env,
                                     const mpc::MpcConfig& config) {
   if (spec.clamps_queries_to_budget) {

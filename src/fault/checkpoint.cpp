@@ -102,6 +102,20 @@ util::BitString serialize_payload(const Checkpoint& cp) {
   return w.take();
 }
 
+/// Read an element count and reject it unless `min_bits_per_item` elements
+/// could actually fit in the remaining payload — a hostile count would
+/// otherwise drive the resize() below it into std::length_error / OOM
+/// before the bit reader ever notices the truncation.
+std::uint64_t read_count(util::BitReader& r, std::uint64_t min_bits_per_item, const char* what) {
+  std::uint64_t n = r.read_uint(64);
+  if (n > r.remaining() / min_bits_per_item) {
+    throw CheckpointError("checkpoint corrupted: " + std::string(what) + " count " +
+                          std::to_string(n) + " cannot fit in the remaining " +
+                          std::to_string(r.remaining()) + " payload bits");
+  }
+  return n;
+}
+
 Checkpoint deserialize_payload(util::BitReader& r) {
   Checkpoint cp;
   cp.next_round = r.read_uint(64);
@@ -110,10 +124,10 @@ Checkpoint deserialize_payload(util::BitReader& r) {
   cp.query_budget = r.read_uint(64);
   cp.tape_seed = r.read_uint(64);
 
-  std::uint64_t n_inboxes = r.read_uint(64);
+  std::uint64_t n_inboxes = read_count(r, 64, "inbox");
   cp.inboxes.resize(n_inboxes);
   for (auto& inbox : cp.inboxes) {
-    std::uint64_t n_msgs = r.read_uint(64);
+    std::uint64_t n_msgs = read_count(r, 192, "message");
     inbox.resize(n_msgs);
     for (auto& msg : inbox) {
       msg.from = r.read_uint(64);
@@ -122,7 +136,7 @@ Checkpoint deserialize_payload(util::BitReader& r) {
     }
   }
 
-  std::uint64_t n_rounds = r.read_uint(64);
+  std::uint64_t n_rounds = read_count(r, 5 * 64 + 7 * 128, "round-stats");
   cp.rounds.resize(n_rounds);
   for (auto& s : cp.rounds) {
     s.round = r.read_uint(64);
@@ -139,16 +153,16 @@ Checkpoint deserialize_payload(util::BitReader& r) {
     s.peak_message_bits = read_peak(r);
   }
 
-  std::uint64_t n_annotations = r.read_uint(64);
+  std::uint64_t n_annotations = read_count(r, 128, "annotation");
   for (std::uint64_t i = 0; i < n_annotations; ++i) {
     std::string key = util::read_string_field(r);
-    std::uint64_t n_values = r.read_uint(64);
+    std::uint64_t n_values = read_count(r, 64, "annotation-value");
     std::vector<std::uint64_t> values(n_values);
     for (auto& v : values) v = r.read_uint(64);
     cp.annotations.emplace(std::move(key), std::move(values));
   }
 
-  std::uint64_t n_records = r.read_uint(64);
+  std::uint64_t n_records = read_count(r, 5 * 64, "transcript-record");
   cp.transcript.resize(n_records);
   for (auto& rec : cp.transcript) {
     rec.round = r.read_uint(64);
@@ -163,7 +177,7 @@ Checkpoint deserialize_payload(util::BitReader& r) {
     cp.oracle_in_bits = r.read_uint(64);
     cp.oracle_out_bits = r.read_uint(64);
     cp.oracle_total_queries = r.read_uint(64);
-    std::uint64_t n_memo = r.read_uint(64);
+    std::uint64_t n_memo = read_count(r, 128, "oracle-memo");
     cp.oracle_memo.resize(n_memo);
     for (auto& [input, output] : cp.oracle_memo) {
       input = util::read_bitstring_field(r);
@@ -224,7 +238,10 @@ Checkpoint initial_checkpoint(const mpc::MpcConfig& config,
 }
 
 util::BitString serialize(const Checkpoint& cp) {
-  util::BitString payload = serialize_payload(cp);
+  return frame_checkpoint_payload(serialize_payload(cp));
+}
+
+util::BitString frame_checkpoint_payload(const util::BitString& payload) {
   util::BitWriter w;
   for (std::uint8_t b : kMagic) w.write_uint(b, 8);
   w.write_uint(Checkpoint::kVersion, 64);

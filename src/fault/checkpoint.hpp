@@ -91,6 +91,12 @@ util::BitString serialize(const Checkpoint& cp);
 /// diagnostic naming what failed.
 Checkpoint deserialize(const util::BitString& bits);
 
+/// Wrap arbitrary payload bits in a valid header (magic, version, length,
+/// checksum). A fuzzing/testing hook: the checksum otherwise shields the
+/// payload parser from any input a fuzzer can realistically produce, and the
+/// parser is exactly the code that must survive hostile field counts.
+util::BitString frame_checkpoint_payload(const util::BitString& payload);
+
 /// File round-trip (write_bits_file framing). save overwrites; load throws
 /// CheckpointError on a missing, truncated, or corrupted file.
 void save_checkpoint_file(const std::string& path, const Checkpoint& cp);

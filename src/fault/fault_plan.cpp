@@ -14,6 +14,10 @@ const char* to_string(FaultKind kind) {
     case FaultKind::DropMessage: return "drop";
     case FaultKind::DuplicateMessage: return "dup";
     case FaultKind::KillSimulation: return "kill";
+    case FaultKind::FlipBit: return "flip";
+    case FaultKind::ForgeMessage: return "forge";
+    case FaultKind::GarbleOracle: return "garble-oracle";
+    case FaultKind::TamperCheckpoint: return "tamper-ckpt";
   }
   return "?";
 }
@@ -30,6 +34,19 @@ std::string FaultEvent::describe() const {
              std::to_string(machine) + " after round " + std::to_string(round);
     case FaultKind::KillSimulation:
       return "kill the simulation before round " + std::to_string(round);
+    case FaultKind::FlipBit:
+      return "flip bit " + std::to_string(index) + " of machine " + std::to_string(machine) +
+             "'s inbox after round " + std::to_string(round);
+    case FaultKind::ForgeMessage:
+      return "forge sender of message " + std::to_string(index) + " delivered to machine " +
+             std::to_string(machine) + " after round " + std::to_string(round) +
+             " (claim machine " + std::to_string(aux) + ")";
+    case FaultKind::GarbleOracle:
+      return "garble memoised oracle entry " + std::to_string(index) + " before round " +
+             std::to_string(round);
+    case FaultKind::TamperCheckpoint:
+      return "tamper bit " + std::to_string(index) + " of the checkpoint taken after round " +
+             std::to_string(round);
   }
   return "?";
 }
@@ -85,6 +102,25 @@ void parse_event(const std::string& token, FaultPlan& plan) {
   } else if (kind_str == "kill") {
     ev.kind = FaultKind::KillSimulation;
     ev.round = need("round");
+  } else if (kind_str == "flip") {
+    ev.kind = FaultKind::FlipBit;
+    ev.machine = need("machine");
+    ev.round = need("round");
+    ev.index = need("bit");
+  } else if (kind_str == "forge") {
+    ev.kind = FaultKind::ForgeMessage;
+    ev.round = need("round");
+    ev.machine = need("to");
+    ev.index = need("index");
+    ev.aux = need("from");
+  } else if (kind_str == "garble-oracle") {
+    ev.kind = FaultKind::GarbleOracle;
+    ev.round = need("round");
+    ev.index = need("entry");
+  } else if (kind_str == "tamper-ckpt") {
+    ev.kind = FaultKind::TamperCheckpoint;
+    ev.round = need("round");
+    ev.index = need("bit");
   } else if (kind_str == "random") {
     std::uint64_t seed = need("seed");
     std::uint64_t events = need("events");
@@ -95,7 +131,8 @@ void parse_event(const std::string& token, FaultPlan& plan) {
     plan.events.insert(plan.events.end(), sub.events.begin(), sub.events.end());
     return;
   } else {
-    fail("unknown fault kind '" + kind_str + "' (want crash|drop|dup|kill|random)");
+    fail("unknown fault kind '" + kind_str +
+         "' (want crash|drop|dup|kill|flip|forge|garble-oracle|tamper-ckpt|random)");
   }
   if (!kv.empty()) fail("unknown key '" + kv.begin()->first + "'");
   plan.events.push_back(ev);

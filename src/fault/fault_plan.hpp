@@ -21,6 +21,13 @@ enum class FaultKind {
   DropMessage,        ///< one delivered message vanishes at the barrier
   DuplicateMessage,   ///< one delivered message arrives twice
   KillSimulation,     ///< the whole execution dies between rounds
+  // Byzantine (value-fault) verbs: the adversary corrupts state instead of
+  // losing it. Silent by construction — detection is the job of
+  // authenticated messaging and the quarantine policy, not the injector.
+  FlipBit,            ///< one bit of a delivered inbox flips at the barrier
+  ForgeMessage,       ///< one delivered message claims a spoofed sender
+  GarbleOracle,       ///< one memoised random-oracle answer is corrupted
+  TamperCheckpoint,   ///< a saved checkpoint is mutated after the fact
 };
 
 const char* to_string(FaultKind kind);
@@ -28,11 +35,18 @@ const char* to_string(FaultKind kind);
 struct FaultEvent {
   FaultKind kind = FaultKind::KillSimulation;
   std::uint64_t round = 0;
-  /// CrashMachine: the machine that dies. Drop/Duplicate: the receiving
-  /// machine whose post-merge inbox is tampered with. Unused for kill.
+  /// CrashMachine: the machine that dies. Drop/Duplicate/Flip/Forge: the
+  /// receiving machine whose post-merge inbox is tampered with. Unused for
+  /// kill, garble-oracle, and tamper-ckpt.
   std::uint64_t machine = 0;
-  /// Drop/Duplicate: index into the receiver's merged inbox for the round.
+  /// Drop/Duplicate/Forge: index into the receiver's merged inbox for the
+  /// round. FlipBit: flat bit offset into the receiver's concatenated inbox
+  /// payloads. GarbleOracle: index into the oracle's memo (sorted input
+  /// order). TamperCheckpoint: bit offset into the encoded snapshot.
   std::uint64_t index = 0;
+  /// ForgeMessage: the spoofed sender id written into the message. Unused
+  /// by every other kind (kept 0 so plans compare and describe stably).
+  std::uint64_t aux = 0;
 
   /// Human-readable provenance, e.g. "crash machine 2 in round 3".
   std::string describe() const;
@@ -49,6 +63,10 @@ struct FaultPlan {
   ///   drop:round=1,to=0,index=0
   ///   dup:round=2,to=3,index=1
   ///   kill:round=4
+  ///   flip:machine=1,round=2,bit=5
+  ///   forge:round=2,to=0,index=0,from=3
+  ///   garble-oracle:round=3,entry=0
+  ///   tamper-ckpt:round=3,bit=100
   ///   random:seed=7,events=3,rounds=10,machines=4
   /// Throws std::invalid_argument naming the offending token.
   static FaultPlan parse(const std::string& spec);

@@ -8,11 +8,24 @@ FaultInjector::FaultInjector(FaultPlan plan, bool fail_stop)
 void FaultInjector::before_round(std::uint64_t round) {
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& ev = plan_.events[i];
-    if (consumed_[i] || ev.kind != FaultKind::KillSimulation || ev.round != round) continue;
-    consumed_[i] = true;
-    fired_.push_back(ev);
-    // A kill is never silent — there is no state left to continue on.
-    throw SimulationKilled(ev, "injected fault: " + ev.describe());
+    if (consumed_[i] || ev.round != round) continue;
+    if (ev.kind == FaultKind::KillSimulation) {
+      consumed_[i] = true;
+      fired_.push_back(ev);
+      // A kill is never silent — there is no state left to continue on.
+      throw SimulationKilled(ev, "injected fault: " + ev.describe());
+    }
+    if (ev.kind == FaultKind::GarbleOracle) {
+      consumed_[i] = true;
+      fired_.push_back(ev);
+      // The memo is shared state, corrupted before the round's machines
+      // query it. Unbound oracle or out-of-range entry: fired, no-op.
+      if (oracle_ == nullptr || !oracle_->corrupt_memo_entry(ev.index)) continue;
+      if (fail_stop_) {
+        throw ByzantineFault(ev, "injected fault: " + ev.describe() +
+                                     " (detected before round " + std::to_string(round) + ")");
+      }
+    }
   }
 }
 
@@ -46,24 +59,68 @@ void FaultInjector::after_merge(std::uint64_t round,
   for (std::size_t i = 0; i < plan_.events.size(); ++i) {
     const FaultEvent& ev = plan_.events[i];
     if (consumed_[i] || ev.round != round) continue;
-    if (ev.kind != FaultKind::DropMessage && ev.kind != FaultKind::DuplicateMessage) continue;
-    consumed_[i] = true;
-    fired_.push_back(ev);
-    if (ev.machine >= next_inboxes.size() || ev.index >= next_inboxes[ev.machine].size()) {
-      // The plan names a delivery that does not exist this round; nothing to
-      // tamper with, so nothing to detect either.
+
+    if (ev.kind == FaultKind::DropMessage || ev.kind == FaultKind::DuplicateMessage) {
+      consumed_[i] = true;
+      fired_.push_back(ev);
+      if (ev.machine >= next_inboxes.size() || ev.index >= next_inboxes[ev.machine].size()) {
+        // The plan names a delivery that does not exist this round; nothing
+        // to tamper with, so nothing to detect either.
+        continue;
+      }
+      auto& inbox = next_inboxes[ev.machine];
+      if (ev.kind == FaultKind::DropMessage) {
+        inbox.erase(inbox.begin() + static_cast<std::ptrdiff_t>(ev.index));
+      } else {
+        inbox.push_back(inbox[ev.index]);  // duplicate delivery, appended
+      }
+      if (fail_stop_) {
+        throw MessageFault(ev, "injected fault: " + ev.describe() +
+                                   " (detected at the round " + std::to_string(round) +
+                                   " barrier)");
+      }
       continue;
     }
-    auto& inbox = next_inboxes[ev.machine];
-    if (ev.kind == FaultKind::DropMessage) {
-      inbox.erase(inbox.begin() + static_cast<std::ptrdiff_t>(ev.index));
-    } else {
-      inbox.push_back(inbox[ev.index]);  // duplicate delivery, appended
+
+    if (ev.kind == FaultKind::FlipBit) {
+      consumed_[i] = true;
+      fired_.push_back(ev);
+      if (ev.machine >= next_inboxes.size()) continue;
+      // ev.index addresses a flat bit offset across the receiver's
+      // concatenated payloads; walk to the owning message.
+      auto& inbox = next_inboxes[ev.machine];
+      std::uint64_t offset = ev.index;
+      bool applied = false;
+      for (auto& msg : inbox) {
+        if (offset < msg.payload.size()) {
+          msg.payload.set(offset, !msg.payload.get(offset));
+          applied = true;
+          break;
+        }
+        offset -= msg.payload.size();
+      }
+      if (!applied) continue;  // offset beyond the inbox: fired, no-op
+      if (fail_stop_) {
+        throw ByzantineFault(ev, "injected fault: " + ev.describe() +
+                                     " (detected at the round " + std::to_string(round) +
+                                     " barrier)");
+      }
+      continue;
     }
-    if (fail_stop_) {
-      throw MessageFault(ev, "injected fault: " + ev.describe() +
-                                 " (detected at the round " + std::to_string(round) +
-                                 " barrier)");
+
+    if (ev.kind == FaultKind::ForgeMessage) {
+      consumed_[i] = true;
+      fired_.push_back(ev);
+      if (ev.machine >= next_inboxes.size() || ev.index >= next_inboxes[ev.machine].size()) {
+        continue;
+      }
+      next_inboxes[ev.machine][ev.index].from = ev.aux;  // spoof the sender
+      if (fail_stop_) {
+        throw ByzantineFault(ev, "injected fault: " + ev.describe() +
+                                     " (detected at the round " + std::to_string(round) +
+                                     " barrier)");
+      }
+      continue;
     }
   }
 }

@@ -14,6 +14,16 @@
 // With detection off (`fail_stop=false`), crash/drop/duplicate faults are
 // applied silently and the run continues on corrupted state — the
 // "unprotected cluster" baseline the CLI uses to show divergence.
+//
+// The Byzantine verbs (flip/forge/garble-oracle) follow the same split:
+// under fail_stop they apply and then throw ByzantineFault at the barrier
+// (an omniscient detector, useful for the checkpoint-rollback policies);
+// silent, they corrupt state and keep going — which is the honest Byzantine
+// model, where detection belongs to authenticated messaging
+// (mpc::TamperViolation) and the quarantine policy's attestation
+// cross-check, not to the injector. tamper-ckpt events are not applied
+// here at all — they live in recovery.hpp's CheckpointTamperer, which
+// needs access to the saved snapshot.
 #pragma once
 
 #include <optional>
@@ -51,9 +61,19 @@ class SimulationKilled : public InjectedFault {
   using InjectedFault::InjectedFault;
 };
 
+/// A Byzantine value fault (flip/forge/garble) applied in fail_stop mode.
+class ByzantineFault : public InjectedFault {
+ public:
+  using InjectedFault::InjectedFault;
+};
+
 class FaultInjector : public mpc::RoundObserver {
  public:
   explicit FaultInjector(FaultPlan plan, bool fail_stop = true);
+
+  /// Target for garble-oracle events. Unbound (the default), such events
+  /// fire as no-ops — plain-model runs have no oracle to corrupt.
+  void bind_oracle(hash::LazyRandomOracle* oracle) { oracle_ = oracle; }
 
   // RoundObserver hooks (see the file comment for the detection model).
   void before_round(std::uint64_t round) override;
@@ -73,6 +93,7 @@ class FaultInjector : public mpc::RoundObserver {
   FaultPlan plan_;
   std::vector<bool> consumed_;  ///< one-shot latch per plan event
   bool fail_stop_;
+  hash::LazyRandomOracle* oracle_ = nullptr;  ///< garble-oracle target
   std::optional<FaultEvent> pending_crash_;  ///< thrown at the next barrier
   std::vector<FaultEvent> fired_;
 };

@@ -26,6 +26,32 @@ void Checkpointer::after_round(const mpc::RoundSnapshot& snapshot) {
   ++checkpoints_taken_;
   if (!file_path_.empty()) util::write_bits_file(file_path_, encoded);
   latest_ = std::move(cp);
+  encoded_latest_ = std::move(encoded);
+}
+
+void Checkpointer::set_latest(Checkpoint cp) {
+  encoded_latest_ = serialize(cp);
+  latest_ = std::move(cp);
+}
+
+bool Checkpointer::corrupt_latest_encoded(std::uint64_t bit) {
+  if (!encoded_latest_.has_value() || encoded_latest_->empty()) return false;
+  std::size_t pos = static_cast<std::size_t>(bit % encoded_latest_->size());
+  encoded_latest_->set(pos, !encoded_latest_->get(pos));
+  if (!file_path_.empty()) util::write_bits_file(file_path_, *encoded_latest_);
+  return true;
+}
+
+void CheckpointTamperer::after_round(const mpc::RoundSnapshot& snapshot) {
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const FaultEvent& ev = plan_.events[i];
+    if (consumed_[i] || ev.kind != FaultKind::TamperCheckpoint || ev.round != snapshot.round) {
+      continue;
+    }
+    consumed_[i] = true;
+    fired_.push_back(ev);
+    if (target_ != nullptr) target_->corrupt_latest_encoded(ev.index);
+  }
 }
 
 ChaosHarness::ChaosHarness(mpc::MpcConfig config, OracleFactory oracle_factory)
@@ -42,10 +68,15 @@ ChaosResult ChaosHarness::run_restart(mpc::MpcAlgorithm& algo,
   ChaosResult out;
   std::shared_ptr<hash::LazyRandomOracle> oracle = fresh_oracle();
   FaultInjector injector(plan, /*fail_stop=*/true);
+  injector.bind_oracle(oracle.get());
   Checkpointer checkpointer(config_, oracle.get(), checkpoint_every, checkpoint_file);
-  ObserverChain chain({&injector, &checkpointer});
+  CheckpointTamperer tamperer(plan);
+  tamperer.set_target(&checkpointer);
+  ObserverChain chain({&injector, &checkpointer, &tamperer});
 
+  std::uint64_t caught_faults = 0;
   auto fill_cost = [&] {
+    out.cost.faults_injected = caught_faults + tamperer.fired().size();
     out.cost.checkpoints_taken = checkpointer.checkpoints_taken();
     out.cost.checkpoint_bytes_last = checkpointer.bytes_last();
     out.cost.checkpoint_bytes_total = checkpointer.bytes_total();
@@ -62,20 +93,24 @@ ChaosResult ChaosHarness::run_restart(mpc::MpcAlgorithm& algo,
       fill_cost();
       return out;
     } catch (const InjectedFault& fault) {
-      ++out.cost.faults_injected;
+      ++caught_faults;
       out.fault_log.emplace_back(fault.what());
-      if (!checkpointer.latest().has_value()) {
+      if (!checkpointer.latest_encoded().has_value()) {
         fill_cost();
         throw UnrecoverableFault(std::string(fault.what()) +
                                  " — no checkpoint exists yet (cadence: every " +
                                  std::to_string(checkpoint_every) +
                                  " round(s)); nothing to restore, cannot recover");
       }
-      const Checkpoint& cp = *checkpointer.latest();
-      // A kill fires *before* its round executes; crash/message faults
+      // Restore from the serialised snapshot so the wire format's integrity
+      // checks guard the rollback (CheckpointError on a tampered save).
+      Checkpoint cp = deserialize(*checkpointer.latest_encoded());
+      // A kill (and a garbled oracle, corrupted before the round ran) fires
+      // *before* its round executes; crash/message/byzantine-delivery faults
       // poison the round they fire in, so that round re-executes too.
-      const bool is_kill = dynamic_cast<const SimulationKilled*>(&fault) != nullptr;
-      std::uint64_t lost = fault.event().round - cp.next_round + (is_kill ? 0 : 1);
+      const bool pre_round = dynamic_cast<const SimulationKilled*>(&fault) != nullptr ||
+                             fault.event().kind == FaultKind::GarbleOracle;
+      std::uint64_t lost = fault.event().round - cp.next_round + (pre_round ? 0 : 1);
       ++out.cost.recoveries;
       out.cost.rounds_reexecuted += lost;
       out.cost.machine_rounds_reexecuted += lost * config_.machines;
@@ -85,6 +120,7 @@ ChaosResult ChaosHarness::run_restart(mpc::MpcAlgorithm& algo,
       oracle = fresh_oracle();
       state = make_resume_state(cp, oracle.get());
       checkpointer.rebind_oracle(oracle.get());
+      injector.bind_oracle(oracle.get());
       out.fault_log.push_back("recovered: restored checkpoint at round boundary " +
                               std::to_string(cp.next_round) + ", re-executing " +
                               std::to_string(lost) + " round(s)");
@@ -101,13 +137,18 @@ ChaosResult ChaosHarness::run_replicate(mpc::MpcAlgorithm& algo,
   ChaosResult out;
   std::shared_ptr<hash::LazyRandomOracle> oracle = fresh_oracle();
   FaultInjector injector(plan, /*fail_stop=*/true);
+  injector.bind_oracle(oracle.get());
   // Shadow every round boundary, starting from the pre-round-0 state, so any
   // faulted round has its exact start state on hand.
   Checkpointer shadow(config_, oracle.get(), /*every=*/1);
   shadow.set_latest(initial_checkpoint(config_, initial_memory, oracle.get()));
-  ObserverChain chain({&injector, &shadow});
+  CheckpointTamperer tamperer(plan);
+  tamperer.set_target(&shadow);
+  ObserverChain chain({&injector, &shadow, &tamperer});
 
+  std::uint64_t caught_faults = 0;
   auto fill_cost = [&] {
+    out.cost.faults_injected = caught_faults + tamperer.fired().size();
     out.cost.checkpoints_taken = shadow.checkpoints_taken();
     out.cost.checkpoint_bytes_last = shadow.bytes_last();
     out.cost.checkpoint_bytes_total = shadow.bytes_total();
@@ -143,9 +184,11 @@ ChaosResult ChaosHarness::run_replicate(mpc::MpcAlgorithm& algo,
       fill_cost();
       return out;
     } catch (const InjectedFault& fault) {
-      ++out.cost.faults_injected;
+      ++caught_faults;
       out.fault_log.emplace_back(fault.what());
-      Checkpoint cp = *shadow.latest();  // always present (seeded with initial state)
+      // Always present (seeded with the initial state); restored through the
+      // checksummed wire form so a tampered shadow is rejected, not resumed.
+      Checkpoint cp = deserialize(*shadow.latest_encoded());
       ++out.cost.recoveries;
 
       if (dynamic_cast<const SimulationKilled*>(&fault) != nullptr) {
@@ -153,6 +196,7 @@ ChaosResult ChaosHarness::run_replicate(mpc::MpcAlgorithm& algo,
         oracle = fresh_oracle();
         state = make_resume_state(cp, oracle.get());
         shadow.rebind_oracle(oracle.get());
+        injector.bind_oracle(oracle.get());
         out.fault_log.push_back("recovered: resumed from round boundary " +
                                 std::to_string(cp.next_round));
         continue;
@@ -187,12 +231,218 @@ ChaosResult ChaosHarness::run_replicate(mpc::MpcAlgorithm& algo,
       oracle = std::move(oracle_b);
       state = make_resume_state(cp_b, oracle.get());
       shadow.rebind_oracle(oracle.get());
+      injector.bind_oracle(oracle.get());
       shadow.set_latest(std::move(cp_b));
     }
   }
   fill_cost();
   throw UnrecoverableFault("fault plan still firing after " + std::to_string(max_attempts) +
                            " recovery attempts — plan: " + plan.describe());
+}
+
+ChaosResult ChaosHarness::run_quarantine(mpc::MpcAlgorithm& algo,
+                                         const std::vector<util::BitString>& initial_memory,
+                                         const FaultPlan& plan, const QuarantineConfig& qc) {
+  if (qc.checkpoint_every == 0) {
+    throw std::invalid_argument("run_quarantine: checkpoint cadence must be >= 1");
+  }
+  ChaosResult out;
+  // Byzantine mode: the injector corrupts silently; detection is ours.
+  FaultInjector injector(plan, /*fail_stop=*/false);
+  CheckpointTamperer tamperer(plan);
+  std::vector<std::uint64_t> strikes(config_.machines, 0);
+
+  // The last *verified* round boundary and the periodic escalation target,
+  // both kept in serialised form so every restore passes the wire format's
+  // integrity checks.
+  util::BitString good;
+  {
+    std::shared_ptr<hash::LazyRandomOracle> oracle0 = fresh_oracle();
+    good = serialize(initial_checkpoint(config_, initial_memory, oracle0.get()));
+  }
+  util::BitString periodic = good;
+  std::uint64_t next_round = 0;
+
+  struct Step {
+    mpc::MpcRunResult res;
+    util::BitString encoded;  ///< end-of-round snapshot (post-tamper, if any)
+    std::shared_ptr<hash::LazyRandomOracle> oracle;
+  };
+  // Execute exactly one round from the boundary `enc`. The live attempt
+  // carries the injector and the checkpoint tamperer; the clean replica
+  // runs bare. Either way the end-of-round state comes back serialised.
+  auto step = [&](const util::BitString& enc, bool with_faults) -> Step {
+    Step s;
+    Checkpoint cp = deserialize(enc);
+    s.oracle = fresh_oracle();
+    mpc::MpcResumeState rs = make_resume_state(cp, s.oracle.get());
+    mpc::MpcConfig one_round = config_;
+    one_round.max_rounds = cp.next_round + 1;
+    Checkpointer capturer(config_, s.oracle.get(), /*every=*/1, "", /*capture_final=*/true);
+    mpc::MpcSimulation sim(one_round, s.oracle);
+    if (with_faults) {
+      injector.bind_oracle(s.oracle.get());
+      tamperer.set_target(&capturer);
+      ObserverChain chain({&injector, &capturer, &tamperer});
+      s.res = sim.resume(algo, std::move(rs), &chain);
+    } else {
+      s.res = sim.resume(algo, std::move(rs), &capturer);
+    }
+    if (!capturer.latest_encoded().has_value()) {
+      throw ReplicaDivergence("round " + std::to_string(cp.next_round) +
+                              " produced no end-of-round snapshot");
+    }
+    ++out.cost.checkpoints_taken;
+    out.cost.checkpoint_bytes_last = capturer.bytes_last();
+    out.cost.checkpoint_bytes_total += capturer.bytes_last();
+    s.encoded = *capturer.latest_encoded();
+    return s;
+  };
+
+  auto finalize = [&] {
+    out.cost.faults_injected = injector.faults_fired() + tamperer.fired().size();
+  };
+
+  // Adopt a verified end-of-round state. Returns true when the run is over.
+  auto commit = [&](Step&& s) -> bool {
+    good = std::move(s.encoded);
+    ++next_round;
+    if (next_round % qc.checkpoint_every == 0) periodic = good;
+    out.run = std::move(s.res);
+    out.oracle = std::move(s.oracle);
+    return out.run.completed;
+  };
+
+  const std::uint64_t escalation_budget = plan.events.size() + 1;
+  while (next_round < config_.max_rounds) {
+    bool run_done = false;
+    bool committed = false;
+    for (std::uint64_t attempt = 0; !committed; ++attempt) {
+      bool detected = false;
+      std::optional<std::uint64_t> struck;  // machine localised this attempt
+      auto strike = [&](std::uint64_t machine, const std::string& why) {
+        struck = machine;
+        strikes[machine] += 1;
+        ++out.cost.quarantine_strikes;
+        out.fault_log.push_back(why);
+        out.fault_log.push_back("quarantine: machine " + std::to_string(machine) + " struck (" +
+                                std::to_string(strikes[machine]) +
+                                " strike(s)), its round " + std::to_string(next_round) +
+                                " execution discarded");
+      };
+
+      std::optional<Step> live;
+      try {
+        live = step(good, /*with_faults=*/true);
+      } catch (const mpc::TamperViolation& tv) {
+        // Authenticated messaging caught the corruption at the faulted
+        // round's own barrier, with the machine already named.
+        detected = true;
+        strike(tv.machine(), std::string("detected: ") + tv.what());
+      } catch (const SimulationKilled& kill) {
+        detected = true;
+        out.fault_log.push_back(std::string("detected: ") + kill.what());
+      } catch (const std::exception& e) {
+        // A model guard (capacity, query budget) or the algorithm itself
+        // tripping over corrupted state is detection too: quarantine the
+        // attempt and re-run. A genuine harness bug shows the same way but
+        // cannot loop — the retry/escalation budget bounds it and the last
+        // message lands in the UnrecoverableFault provenance.
+        detected = true;
+        out.fault_log.push_back(std::string("detected: live round failed — ") + e.what());
+      }
+
+      // Cross-check replica: the same round, re-executed clean from the
+      // same verified boundary. Determinism makes inequality == corruption.
+      Step ref = step(good, /*with_faults=*/false);
+      ++out.cost.attestation_checks;
+      ++out.cost.replica_verifications;
+      ++out.cost.rounds_reexecuted;
+      out.cost.machine_rounds_reexecuted += config_.machines;
+
+      if (!detected && live.has_value()) {
+        std::optional<Checkpoint> cp_live;
+        try {
+          cp_live = deserialize(live->encoded);
+        } catch (const CheckpointError& e) {
+          detected = true;
+          out.fault_log.push_back("detected: round " + std::to_string(next_round) +
+                                  " snapshot audit failed — " + e.what());
+        }
+        if (!detected && live->encoded == ref.encoded) {
+          run_done = commit(std::move(*live));
+          committed = true;
+          break;
+        }
+        if (!detected) {
+          detected = true;
+          // Localise the offender: first machine whose end-of-round
+          // attestation digest disagrees with the clean replica's.
+          Checkpoint cp_ref = deserialize(ref.encoded);
+          std::vector<std::uint64_t> att_live =
+              mpc::attestation_digests(config_.tape_seed, next_round, cp_live->inboxes);
+          std::vector<std::uint64_t> att_ref =
+              mpc::attestation_digests(config_.tape_seed, next_round, cp_ref.inboxes);
+          std::optional<std::uint64_t> culprit;
+          for (std::uint64_t mch = 0; mch < att_live.size() && mch < att_ref.size(); ++mch) {
+            if (att_live[mch] != att_ref[mch]) {
+              culprit = mch;
+              break;
+            }
+          }
+          if (culprit.has_value()) {
+            strike(*culprit, "detected: round " + std::to_string(next_round) +
+                                 " attestation mismatch at machine " + std::to_string(*culprit) +
+                                 " (live digest " + std::to_string(att_live[*culprit]) +
+                                 " != replica digest " + std::to_string(att_ref[*culprit]) + ")");
+          } else {
+            out.fault_log.push_back("detected: round " + std::to_string(next_round) +
+                                    " diverged from its clean replica in shared state (oracle "
+                                    "memo or trace) — all machine attestations agree");
+          }
+        }
+      }
+
+      // detected == true from here on: decide retry vs escalation.
+      const bool machine_over_limit =
+          struck.has_value() && strikes[*struck] >= qc.escalate_after_strikes;
+      if (attempt >= qc.max_round_retries || machine_over_limit) {
+        if (out.cost.escalations >= escalation_budget) {
+          finalize();
+          throw UnrecoverableFault(
+              "quarantine exhausted its escalation budget (" +
+              std::to_string(escalation_budget) + ") and round " + std::to_string(next_round) +
+              " still diverges — plan: " + plan.describe());
+        }
+        ++out.cost.escalations;
+        ++out.cost.recoveries;
+        Checkpoint pc = deserialize(periodic);
+        out.cost.rounds_reexecuted += next_round - pc.next_round;
+        out.cost.machine_rounds_reexecuted += (next_round - pc.next_round) * config_.machines;
+        out.fault_log.push_back(
+            (machine_over_limit
+                 ? "escalation: machine " + std::to_string(*struck) + " reached " +
+                       std::to_string(strikes[*struck]) + " strike(s); "
+                 : "escalation: round " + std::to_string(next_round) + " exhausted its " +
+                       std::to_string(qc.max_round_retries) + " retries; ") +
+            "restarting from the periodic checkpoint at round boundary " +
+            std::to_string(pc.next_round));
+        good = periodic;
+        next_round = pc.next_round;
+        break;  // re-enter the outer loop from the rolled-back boundary
+      }
+      ++out.cost.retries_used;
+      ++out.cost.recoveries;
+      out.fault_log.push_back("recovered: re-running round " + std::to_string(next_round) +
+                              " on fresh replicas (retry " + std::to_string(attempt + 1) + ")");
+    }
+    if (run_done) {
+      finalize();
+      return out;
+    }
+  }
+  finalize();
+  return out;  // max_rounds exhausted without completion, like a plain run
 }
 
 }  // namespace mpch::fault

@@ -1,6 +1,6 @@
 // recovery.hpp — recovery policies over checkpoints and fault injection.
 //
-// Two policies, both exploiting the determinism PR 1 bought:
+// Three policies, all exploiting the determinism PR 1 bought:
 //
 //  * RestartFromCheckpoint (ChaosHarness::run_restart) — snapshot every j
 //    rounds; when a fault is detected, discard the poisoned execution
@@ -17,9 +17,33 @@
 //    a runtime check: any divergence means the substrate itself broke, and
 //    it surfaces as ReplicaDivergence instead of silently continuing.
 //
-// Both report RecoveryCost: what the faults cost in re-executed rounds,
-// machine-rounds, and snapshot bytes.
+//  * Quarantine (ChaosHarness::run_quarantine) — the Byzantine policy. The
+//    first two assume fail-stop detection (the injector throws); quarantine
+//    assumes nothing: faults apply *silently* and the policy itself detects
+//    them by stepping the live execution one round at a time from the last
+//    verified boundary and cross-checking each committed round against a
+//    clean replica of the same round (serialised-state equality, the
+//    determinism theorem as an integrity oracle). On divergence it
+//    localises the offending machine by comparing per-machine attestation
+//    digests (mpc/auth.hpp), records a strike against it, quarantines the
+//    faulty attempt (all of its state is discarded — the stateless-machine
+//    model makes a re-executed machine indistinguishable from a replaced
+//    one), and re-runs the round with bounded retries; repeated divergence
+//    escalates to a RestartFromCheckpoint-style rollback to the last
+//    periodic checkpoint. With MpcConfig::authenticate_messages on,
+//    flip/forge faults additionally surface as typed mpc::TamperViolation
+//    at the faulted round's own barrier, before any cross-check runs.
+//
+// All report RecoveryCost: what the faults cost in re-executed rounds,
+// machine-rounds, verification replicas, and snapshot bytes.
+//
+// Restores always go through the serialised (checksummed) snapshot, never
+// the in-memory struct, so post-save checkpoint tampering (the tamper-ckpt
+// verb, applied by CheckpointTamperer) is caught by the wire format's
+// integrity checks at restore time instead of resuming corrupted state.
 #pragma once
+
+#include <exception>
 
 #include <cstdint>
 #include <functional>
@@ -49,9 +73,20 @@ class Checkpointer : public mpc::RoundObserver {
   void rebind_oracle(const hash::LazyRandomOracle* oracle) { oracle_ = oracle; }
   /// Seed the checkpointer with a pre-existing snapshot (e.g. the initial
   /// state) so rollback before the first periodic snapshot is possible.
-  void set_latest(Checkpoint cp) { latest_ = std::move(cp); }
+  void set_latest(Checkpoint cp);
 
   const std::optional<Checkpoint>& latest() const { return latest_; }
+  /// The latest snapshot in its serialised wire form — what recovery
+  /// policies restore from, so the checksummed format actually guards the
+  /// rollback path (a post-save mutation throws CheckpointError on restore).
+  const std::optional<util::BitString>& latest_encoded() const { return encoded_latest_; }
+  /// Chaos hook (the tamper-ckpt verb): XOR-flip bit `bit % size` of the
+  /// stored encoded snapshot and of its file mirror, modelling storage
+  /// corruption after a successful save. Returns false if no snapshot
+  /// exists yet. The in-memory decoded `latest()` is left intact — the
+  /// point is that restores must not trust it.
+  bool corrupt_latest_encoded(std::uint64_t bit);
+
   std::uint64_t checkpoints_taken() const { return checkpoints_taken_; }
   std::uint64_t bytes_last() const { return bytes_last_; }
   std::uint64_t bytes_total() const { return bytes_total_; }
@@ -63,37 +98,78 @@ class Checkpointer : public mpc::RoundObserver {
   std::string file_path_;
   bool capture_final_;
   std::optional<Checkpoint> latest_;
+  std::optional<util::BitString> encoded_latest_;
   std::uint64_t checkpoints_taken_ = 0;
   std::uint64_t bytes_last_ = 0;
   std::uint64_t bytes_total_ = 0;
 };
 
-/// Fans every hook out to its children in order. Children that throw abort
-/// the chain — order therefore encodes detection priority (the harness puts
-/// the injector before the checkpointer so a faulted round is never
-/// snapshotted).
+/// Applies TamperCheckpoint events: at the named round's barrier, after the
+/// target Checkpointer has saved, flip one bit of the saved encoded
+/// snapshot (and its file mirror). Chain it *after* the Checkpointer so the
+/// save happens first. All other event kinds are ignored — pass the same
+/// plan given to the FaultInjector; each half consumes its own verbs.
+class CheckpointTamperer : public mpc::RoundObserver {
+ public:
+  explicit CheckpointTamperer(FaultPlan plan)
+      : plan_(std::move(plan)), consumed_(plan_.events.size(), false) {}
+
+  /// The Checkpointer whose saved snapshot gets mutated. Rebind freely —
+  /// the quarantine policy re-creates its per-round capturer every step.
+  void set_target(Checkpointer* target) { target_ = target; }
+
+  void after_round(const mpc::RoundSnapshot& snapshot) override;
+
+  const std::vector<FaultEvent>& fired() const { return fired_; }
+
+ private:
+  FaultPlan plan_;
+  std::vector<bool> consumed_;
+  Checkpointer* target_ = nullptr;
+  std::vector<FaultEvent> fired_;
+};
+
+/// Fans every hook out to its children in order. Every child sees every
+/// barrier even when an earlier child throws: exceptions are collected and
+/// the *first* one rethrown after the sweep, so e.g. a Checkpointer chained
+/// after a throwing Injector still observes the hook (an injector firing in
+/// before_round must not blind the observers behind it to the barrier).
+/// Order still encodes detection priority — the first thrower wins.
 class ObserverChain : public mpc::RoundObserver {
  public:
   explicit ObserverChain(std::vector<mpc::RoundObserver*> children)
       : children_(std::move(children)) {}
 
   void before_round(std::uint64_t round) override {
-    for (auto* c : children_) c->before_round(round);
+    sweep([&](mpc::RoundObserver* c) { c->before_round(round); });
   }
   bool machine_runs(std::uint64_t round, std::uint64_t machine) override {
     bool runs = true;
-    for (auto* c : children_) runs = c->machine_runs(round, machine) && runs;
+    sweep([&](mpc::RoundObserver* c) { runs = c->machine_runs(round, machine) && runs; });
     return runs;
   }
   void after_merge(std::uint64_t round,
                    std::vector<std::vector<mpc::Message>>& next_inboxes) override {
-    for (auto* c : children_) c->after_merge(round, next_inboxes);
+    sweep([&](mpc::RoundObserver* c) { c->after_merge(round, next_inboxes); });
   }
   void after_round(const mpc::RoundSnapshot& snapshot) override {
-    for (auto* c : children_) c->after_round(snapshot);
+    sweep([&](mpc::RoundObserver* c) { c->after_round(snapshot); });
   }
 
  private:
+  template <typename Deliver>
+  void sweep(Deliver&& deliver) {
+    std::exception_ptr first;
+    for (auto* c : children_) {
+      try {
+        deliver(c);
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    if (first) std::rethrow_exception(first);
+  }
+
   std::vector<mpc::RoundObserver*> children_;
 };
 
@@ -103,10 +179,28 @@ struct RecoveryCost {
   std::uint64_t recoveries = 0;
   std::uint64_t rounds_reexecuted = 0;          ///< extra rounds vs fault-free
   std::uint64_t machine_rounds_reexecuted = 0;  ///< extra machine-rounds
-  std::uint64_t replica_verifications = 0;      ///< ReplicateRound equality checks
+  std::uint64_t replica_verifications = 0;      ///< per-round equality checks
   std::uint64_t checkpoints_taken = 0;
   std::uint64_t checkpoint_bytes_last = 0;
   std::uint64_t checkpoint_bytes_total = 0;
+  // Quarantine-policy accounting.
+  std::uint64_t attestation_checks = 0;   ///< rounds cross-checked against a replica
+  std::uint64_t quarantine_strikes = 0;   ///< machine-localised divergences
+  std::uint64_t retries_used = 0;         ///< round re-runs after a detection
+  std::uint64_t escalations = 0;          ///< rollbacks to the periodic checkpoint
+};
+
+/// Retry/backoff schedule of the quarantine policy.
+struct QuarantineConfig {
+  /// Re-runs of a diverged round before escalating (faults are one-shot, so
+  /// the first retry is normally already clean).
+  std::uint64_t max_round_retries = 2;
+  /// Strikes against one machine before escalating even if retries remain —
+  /// the analogue of taking a persistently flaky node out of rotation.
+  std::uint64_t escalate_after_strikes = 3;
+  /// Cadence of the periodic checkpoint that escalation rolls back to (the
+  /// RestartFromCheckpoint fallback inside quarantine).
+  std::uint64_t checkpoint_every = 4;
 };
 
 struct ChaosResult {
@@ -157,6 +251,17 @@ class ChaosHarness {
   ChaosResult run_replicate(mpc::MpcAlgorithm& algo,
                             const std::vector<util::BitString>& initial_memory,
                             const FaultPlan& plan);
+
+  /// Quarantine (Byzantine) policy: faults apply silently; every round is
+  /// stepped from the last verified boundary and cross-checked against a
+  /// clean replica (see the file comment for the full state machine).
+  /// Detection provenance — typed violations, localised machines, strikes,
+  /// escalations — lands in the fault log; the returned run is bit-identical
+  /// to a fault-free execution or an exception explains why not
+  /// (UnrecoverableFault after the retry/escalation budget is exhausted).
+  ChaosResult run_quarantine(mpc::MpcAlgorithm& algo,
+                             const std::vector<util::BitString>& initial_memory,
+                             const FaultPlan& plan, const QuarantineConfig& qc = {});
 
  private:
   std::shared_ptr<hash::LazyRandomOracle> fresh_oracle() const;

@@ -111,6 +111,29 @@ void LazyRandomOracle::restore_table(
   total_queries_.store(total_queries, std::memory_order_relaxed);
 }
 
+bool LazyRandomOracle::corrupt_memo_entry(std::size_t entry_index, std::size_t bit_index) {
+  // Resolve the sorted-order index to its input first; the flip itself then
+  // happens under the owning shard's lock.
+  auto entries = touched_table();
+  if (entry_index >= entries.size()) return false;
+  const util::BitString& input = entries[entry_index].first;
+  Shard& s = shard_for(input);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.table.find(input);
+  if (it == s.table.end()) return false;
+  std::size_t bit = bit_index % out_bits_;
+  it->second.set(bit, !it->second.get(bit));
+  return true;
+}
+
+std::vector<util::BitString> LazyRandomOracle::verify_memo() const {
+  std::vector<util::BitString> bad;
+  for (const auto& [input, output] : touched_table()) {
+    if (derive(input) != output) bad.push_back(input);
+  }
+  return bad;
+}
+
 // ---------------------------------------------------------- Exhaustive RO
 
 ExhaustiveRandomOracle::ExhaustiveRandomOracle(std::size_t in_bits, std::size_t out_bits,

@@ -94,6 +94,19 @@ class LazyRandomOracle final : public RandomOracle {
   void restore_table(const std::vector<std::pair<util::BitString, util::BitString>>& entries,
                      std::uint64_t total_queries);
 
+  /// Chaos-testing hook: XOR-flip bit `bit_index % output_bits()` of the
+  /// `entry_index`-th memoised answer (sorted input order, the same order
+  /// touched_table() reports). After this, the oracle silently answers the
+  /// corrupted value for that input — a Byzantine value fault inside the
+  /// oracle layer. Returns false (no-op) when the memo has no such entry.
+  bool corrupt_memo_entry(std::size_t entry_index, std::size_t bit_index = 0);
+
+  /// Integrity audit: re-derive every memoised answer from the seed and
+  /// return the inputs whose stored answer no longer matches (empty = memo
+  /// intact). The detection dual of corrupt_memo_entry, used by the chaos
+  /// CLI's unprotected-baseline audit.
+  std::vector<util::BitString> verify_memo() const;
+
  private:
   static constexpr std::size_t kShards = 16;
 

@@ -1,0 +1,109 @@
+#include "mpc/auth.hpp"
+
+#include "hash/random_oracle.hpp"
+
+namespace mpch::mpc {
+
+namespace {
+
+void append_u64(std::vector<std::uint8_t>& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<std::uint8_t>(v >> (i * 8)));
+}
+
+void append_message(std::vector<std::uint8_t>& buf, const Message& msg) {
+  append_u64(buf, msg.from);
+  append_u64(buf, msg.to);
+  append_u64(buf, msg.payload.size());
+  const auto& bytes = msg.payload.bytes();
+  buf.insert(buf.end(), bytes.begin(), bytes.end());
+}
+
+}  // namespace
+
+util::BitString message_tag(std::uint64_t tape_seed, std::uint64_t round, std::uint64_t from,
+                            std::uint64_t to, const util::BitString& payload) {
+  // PRF(seed, round || from || to || payload), domain-separated by "MMAC"
+  // from every other sha256_expand use (tape "TAPE", oracle "LRO",
+  // checkpoint checksum "CKPT", attestation "ATST").
+  std::vector<std::uint8_t> prefix;
+  prefix.reserve(4 + 8 * 5 + payload.bytes().size());
+  prefix.push_back('M');
+  prefix.push_back('M');
+  prefix.push_back('A');
+  prefix.push_back('C');
+  append_u64(prefix, tape_seed);
+  append_u64(prefix, round);
+  append_u64(prefix, from);
+  append_u64(prefix, to);
+  append_u64(prefix, payload.size());
+  const auto& bytes = payload.bytes();
+  prefix.insert(prefix.end(), bytes.begin(), bytes.end());
+  return hash::sha256_expand(prefix, kMessageTagBits);
+}
+
+std::uint64_t attestation_digest(std::uint64_t tape_seed, std::uint64_t round,
+                                 std::uint64_t machine, const std::vector<Message>& inbox) {
+  std::vector<std::uint8_t> prefix;
+  prefix.reserve(4 + 8 * 3 + inbox.size() * 24);
+  prefix.push_back('A');
+  prefix.push_back('T');
+  prefix.push_back('S');
+  prefix.push_back('T');
+  append_u64(prefix, tape_seed);
+  append_u64(prefix, round);
+  append_u64(prefix, machine);
+  for (const auto& msg : inbox) append_message(prefix, msg);
+  return hash::sha256_expand(prefix, 64).get_uint(0, 64);
+}
+
+std::vector<std::uint64_t> attestation_digests(std::uint64_t tape_seed, std::uint64_t round,
+                                               const std::vector<std::vector<Message>>& inboxes) {
+  std::vector<std::uint64_t> out;
+  out.reserve(inboxes.size());
+  for (std::size_t i = 0; i < inboxes.size(); ++i) {
+    out.push_back(attestation_digest(tape_seed, round, i, inboxes[i]));
+  }
+  return out;
+}
+
+void verify_inbox_tags(std::uint64_t tape_seed, std::uint64_t round, std::uint64_t machine,
+                       const std::vector<Message>& inbox) {
+  std::uint64_t offset_bits = 0;
+  for (std::size_t idx = 0; idx < inbox.size(); ++idx) {
+    const Message& msg = inbox[idx];
+    const std::uint64_t byte_offset = offset_bits / 8;
+    if (msg.payload.size() < kMessageTagBits) {
+      throw TamperViolation(machine, round, idx, byte_offset,
+                            "authentication failed: message " + std::to_string(idx) +
+                                " delivered to machine " + std::to_string(machine) +
+                                " after round " + std::to_string(round) + " (byte offset " +
+                                std::to_string(byte_offset) + " in the inbox) is " +
+                                std::to_string(msg.payload.size()) +
+                                " bits, too short to carry a tag");
+    }
+    const std::size_t body_bits = msg.payload.size() - kMessageTagBits;
+    util::BitString body = msg.payload.slice(0, body_bits);
+    util::BitString tag = msg.payload.slice(body_bits, kMessageTagBits);
+    if (tag != message_tag(tape_seed, round, msg.from, msg.to, body)) {
+      throw TamperViolation(machine, round, idx, byte_offset,
+                            "authentication failed: message " + std::to_string(idx) +
+                                " delivered to machine " + std::to_string(machine) +
+                                " after round " + std::to_string(round) +
+                                " (claimed sender " + std::to_string(msg.from) +
+                                ", byte offset " + std::to_string(byte_offset) +
+                                " in the inbox) does not match its MAC tag");
+    }
+    offset_bits += msg.payload.size();
+  }
+}
+
+std::vector<Message> strip_tags(const std::vector<Message>& inbox) {
+  std::vector<Message> plain;
+  plain.reserve(inbox.size());
+  for (const auto& msg : inbox) {
+    plain.push_back({msg.from, msg.to, msg.payload.slice(0, msg.payload.size() - kMessageTagBits)});
+  }
+  return plain;
+}
+
+}  // namespace mpch::mpc

@@ -105,6 +105,17 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
   result.trace = std::move(trace);
   result.transcript = std::move(transcript);
   SharedTape tape(config_.tape_seed);
+  const bool auth = config_.authenticate_messages;
+
+  // A resumed authenticated execution starts from inboxes that crossed the
+  // round (start_round - 1) barrier, so they carry tags; re-verify them here
+  // rather than trusting the resume state (checkpoints are checksummed, but
+  // resume states can also be built by hand).
+  if (auth && start_round > 0) {
+    for (std::uint64_t j = 0; j < config_.machines; ++j) {
+      verify_inbox_tags(config_.tape_seed, start_round - 1, j, inboxes[j]);
+    }
+  }
 
   // A machine runs on one thread at a time, so parallelism beyond m is idle;
   // never run concurrently inside a ThreadPool worker (a nested simulation
@@ -144,6 +155,19 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
       result.trace.current().peak_memory_bits.observe(held, i);
     }
 
+    // Authenticated inboxes carry tags the algorithm must not see: hand each
+    // machine a tag-stripped view. Round-0 inboxes are the input partition
+    // (never tagged — they did not cross a barrier); the memory observation
+    // above metered the tagged sizes, which is what occupies s.
+    std::vector<std::vector<Message>> plain_inboxes;
+    const bool stripped = auth && round > 0;
+    if (stripped) {
+      plain_inboxes.reserve(config_.machines);
+      for (std::uint64_t i = 0; i < config_.machines; ++i) {
+        plain_inboxes.push_back(strip_tags(inboxes[i]));
+      }
+    }
+
     // Phase A — run all machines of the round into their slots. Within a
     // round a machine sees only its own inbox, the shared tape, and its
     // budgeted oracle view, so machines are independent and any execution
@@ -153,7 +177,9 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
       slots[i].io.round = round;
       slots[i].io.machine = i;
       slots[i].io.machines = config_.machines;
-      slots[i].io.inbox = &inboxes[i];
+      slots[i].io.authenticate = auth;
+      slots[i].io.tape_seed = config_.tape_seed;
+      slots[i].io.inbox = stripped ? &plain_inboxes[i] : &inboxes[i];
       slots[i].oracle = oracle_ ? oracles[i].get() : nullptr;
       slots[i].crashed = observer != nullptr && !observer->machine_runs(round, i);
       slots[i].scratch.begin_round(round);
@@ -206,6 +232,16 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
     // the barrier, after the honest merge and before capacity enforcement.
     if (observer != nullptr) observer->after_merge(round, next_inboxes);
 
+    // Authenticated delivery: every message that crossed the barrier must
+    // carry a valid tag, checked *after* the tamper window so an injected
+    // flip or forged sender is caught at this round's barrier, with the
+    // failing message's machine/round/byte-offset in the diagnostic.
+    if (auth) {
+      for (std::uint64_t j = 0; j < config_.machines; ++j) {
+        verify_inbox_tags(config_.tape_seed, round, j, next_inboxes[j]);
+      }
+    }
+
     // Enforce the inbox capacity: "each machine receives no more
     // communication than its memory".
     for (std::uint64_t j = 0; j < config_.machines; ++j) {
@@ -229,12 +265,15 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
 
     result.rounds_used = round + 1;
     if (observer != nullptr) {
+      std::vector<std::uint64_t> attestations =
+          attestation_digests(config_.tape_seed, round, next_inboxes);
       RoundSnapshot snapshot;
       snapshot.round = round;
       snapshot.completed = any_output;
       snapshot.next_inboxes = &next_inboxes;
       snapshot.trace = &result.trace;
       snapshot.transcript = result.transcript.get();
+      snapshot.attestations = &attestations;
       observer->after_round(snapshot);
     }
     if (any_output) {

@@ -36,6 +36,7 @@
 
 #include "hash/oracle_transcript.hpp"
 #include "hash/random_oracle.hpp"
+#include "mpc/auth.hpp"
 #include "mpc/message.hpp"
 #include "mpc/shared_tape.hpp"
 #include "mpc/trace.hpp"
@@ -72,6 +73,17 @@ struct MpcConfig {
   /// the algorithm's run_machine to be safe to call concurrently for
   /// *different* machines (all in-tree strategies are).
   std::uint64_t threads = 0;
+  /// Authenticated messaging (off by default — zero behavior change when
+  /// off). When on, MachineIo::send appends a kMessageTagBits MAC derived
+  /// from the shared tape seed + round + sender/receiver to every payload,
+  /// and the round loop verifies every delivery at the barrier, throwing
+  /// mpc::TamperViolation with machine/round/byte-offset provenance on a
+  /// mismatch. Algorithms see tag-stripped inboxes and need no changes, but
+  /// the tag bits ride inside the messages, so they count against s, the
+  /// communication stats, and the ProtocolSpec envelopes (see
+  /// analysis::with_authentication) — authentication is not free, and the
+  /// model meters it.
+  bool authenticate_messages = false;
 };
 
 /// Per-machine, per-round context handed to the algorithm.
@@ -79,6 +91,8 @@ struct MachineIo {
   std::uint64_t round = 0;
   std::uint64_t machine = 0;
   std::uint64_t machines = 0;  ///< m; when nonzero, send() rejects to >= m eagerly
+  bool authenticate = false;   ///< MpcConfig::authenticate_messages, per-round copy
+  std::uint64_t tape_seed = 0;  ///< MAC key material when authenticate is set
   const std::vector<Message>* inbox = nullptr;  ///< this machine's memory M_i^k
   std::vector<Message> outbox;                  ///< messages to deliver next round
   std::optional<util::BitString> output;        ///< set to contribute to the final output
@@ -88,6 +102,11 @@ struct MachineIo {
       throw RoutingViolation("machine " + std::to_string(machine) + " sent a message to machine " +
                              std::to_string(to) + " >= m=" + std::to_string(machines) +
                              " in round " + std::to_string(round));
+    }
+    if (authenticate) {
+      // Tag over the plain payload; the tag travels inside the message, so
+      // every meter (s, sent/recv bits, message size peaks) sees it.
+      payload += message_tag(tape_seed, round, machine, to, payload);
     }
     outbox.push_back({machine, to, std::move(payload)});
   }
@@ -118,6 +137,11 @@ struct RoundSnapshot {
   const std::vector<std::vector<Message>>* next_inboxes = nullptr;
   const RoundTrace* trace = nullptr;
   const hash::OracleTranscript* transcript = nullptr;
+  /// Per-machine end-of-round attestation digests (auth.hpp), machine index
+  /// order. Computed whenever an observer is attached — a pure function of
+  /// (tape seed, round, next_inboxes), so recovery policies can recompute
+  /// them from a checkpoint and cross-check which machine diverged.
+  const std::vector<std::uint64_t>* attestations = nullptr;
 };
 
 /// Hooks driven by the round loop at its deterministic single-threaded

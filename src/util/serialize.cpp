@@ -22,6 +22,13 @@ void write_string_field(BitWriter& w, const std::string& s) {
 
 std::string read_string_field(BitReader& r) {
   std::uint64_t len = r.read_uint(64);
+  // Guard the byte->bit multiply: a hostile length near 2^61 would wrap and
+  // read_bits would see a tiny (aliased) request instead of rejecting it.
+  if (len > r.remaining() / 8) {
+    throw std::out_of_range("read_string_field: declared length " + std::to_string(len) +
+                            " bytes exceeds the remaining " + std::to_string(r.remaining()) +
+                            " bits");
+  }
   BitString bits = r.read_bits(static_cast<std::size_t>(len) * 8);
   const auto& bytes = bits.bytes();
   return std::string(bytes.begin(), bytes.end());

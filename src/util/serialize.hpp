@@ -68,7 +68,9 @@ class BitReader {
 
  private:
   void check(std::size_t len) const {
-    if (pos_ + len > bits_.size()) {
+    // Compare against the remainder, not pos_ + len: a hostile 64-bit length
+    // near SIZE_MAX would overflow the sum and slip past the bound.
+    if (len > bits_.size() - pos_) {
       throw std::out_of_range("BitReader: read past end (pos=" + std::to_string(pos_) +
                               " len=" + std::to_string(len) +
                               " size=" + std::to_string(bits_.size()) + ")");

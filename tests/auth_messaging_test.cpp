@@ -1,0 +1,230 @@
+// auth_messaging_test.cpp — MAC-tagged messaging and round attestation.
+//
+// The authentication layer (mpc/auth.hpp) must be invisible when off — the
+// acceptance bar is *byte*-identical transcripts and checkpoints — and
+// deterministic when on, across thread counts, with every tampering caught
+// as a typed TamperViolation carrying machine/round/byte-offset provenance.
+#include "mpc/auth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/checkpoint.hpp"
+#include "fault/recovery.hpp"
+#include "hash/random_oracle.hpp"
+#include "mpc/simulation.hpp"
+#include "util/serialize.hpp"
+
+namespace mpch::mpc {
+namespace {
+
+using util::BitString;
+
+/// Plain-model ring: pass a token once around, origin outputs the hop count.
+/// 16-bit payloads make tag arithmetic easy to eyeball (16 + 64 on the wire).
+class RingAlgorithm final : public MpcAlgorithm {
+ public:
+  explicit RingAlgorithm(std::uint64_t machines) : machines_(machines) {}
+
+  void run_machine(MachineIo& io, hash::CountingOracle*, const SharedTape&, RoundTrace&) override {
+    for (const auto& msg : *io.inbox) {
+      util::BitReader r(msg.payload);
+      std::uint64_t hops = r.read_uint(16);
+      if (hops >= machines_) {
+        io.output = BitString::from_uint(hops, 16);
+        return;
+      }
+      util::BitWriter w;
+      w.write_uint(hops + 1, 16);
+      io.send((io.machine + 1) % machines_, w.take());
+    }
+  }
+
+  std::string name() const override { return "ring"; }
+
+ private:
+  std::uint64_t machines_;
+};
+
+MpcConfig ring_config(bool authenticate, std::uint64_t threads = 0) {
+  MpcConfig c;
+  c.machines = 3;
+  c.local_memory_bits = 256;
+  c.query_budget = 1;
+  c.max_rounds = 16;
+  c.tape_seed = 9;
+  c.threads = threads;
+  c.authenticate_messages = authenticate;
+  return c;
+}
+
+std::vector<BitString> ring_input() {
+  // Machine 0 holds the token with hop count 0.
+  return {BitString::from_uint(0, 16), BitString(), BitString()};
+}
+
+MpcRunResult run_ring(const MpcConfig& c, RoundObserver* observer = nullptr) {
+  RingAlgorithm algo(c.machines);
+  MpcSimulation sim(c, nullptr);
+  return sim.run(algo, ring_input(), observer);
+}
+
+TEST(MessageTag, DeterministicAndKeyedOnEveryInput) {
+  BitString payload = BitString::from_uint(0xBEEF, 16);
+  BitString tag = message_tag(9, 2, 0, 1, payload);
+  EXPECT_EQ(tag.size(), kMessageTagBits);
+  EXPECT_EQ(tag, message_tag(9, 2, 0, 1, payload));
+  // Any input to the PRF changes the tag: seed, round, sender, receiver,
+  // payload. That is what binds a tag to one delivery of one message.
+  EXPECT_NE(tag, message_tag(10, 2, 0, 1, payload));
+  EXPECT_NE(tag, message_tag(9, 3, 0, 1, payload));
+  EXPECT_NE(tag, message_tag(9, 2, 2, 1, payload));
+  EXPECT_NE(tag, message_tag(9, 2, 0, 2, payload));
+  EXPECT_NE(tag, message_tag(9, 2, 0, 1, BitString::from_uint(0xBEEE, 16)));
+}
+
+TEST(MessageTag, VerifyAcceptsTaggedAndStripRecovers) {
+  BitString payload = BitString::from_uint(0x1234, 16);
+  Message msg{0, 1, payload + message_tag(9, 2, 0, 1, payload)};
+  std::vector<Message> inbox = {msg};
+  EXPECT_NO_THROW(verify_inbox_tags(9, 2, 1, inbox));
+  std::vector<Message> plain = strip_tags(inbox);
+  ASSERT_EQ(plain.size(), 1u);
+  EXPECT_EQ(plain[0].payload, payload);
+  EXPECT_EQ(plain[0].from, 0u);
+}
+
+TEST(MessageTag, TamperViolationCarriesProvenance) {
+  BitString payload = BitString::from_uint(0x1234, 16);
+  std::vector<Message> inbox = {{0, 1, payload + message_tag(9, 2, 0, 1, payload)},
+                                {2, 1, payload + message_tag(9, 2, 2, 1, payload)}};
+  // Flip one bit in the *second* message's payload (bit 3 of its bytes).
+  inbox[1].payload.set(3, !inbox[1].payload.get(3));
+  try {
+    verify_inbox_tags(9, 2, 1, inbox);
+    FAIL() << "tampered inbox verified";
+  } catch (const TamperViolation& tv) {
+    EXPECT_EQ(tv.machine(), 1u);
+    EXPECT_EQ(tv.round(), 2u);
+    EXPECT_EQ(tv.message_index(), 1u);
+    // Bit offsets are reported at byte granularity from the inbox start:
+    // message 0 occupies (16+64)/8 = 10 bytes.
+    EXPECT_EQ(tv.byte_offset(), 10u);
+  }
+  // A payload shorter than one tag cannot be authentic at all.
+  std::vector<Message> runt = {{0, 1, BitString::from_uint(1, 8)}};
+  EXPECT_THROW(verify_inbox_tags(9, 2, 1, runt), TamperViolation);
+}
+
+TEST(Attestation, DigestsAreDeterministicAndContentBound) {
+  std::vector<Message> inbox = {{0, 1, BitString::from_uint(7, 24)}};
+  std::uint64_t d = attestation_digest(9, 4, 1, inbox);
+  EXPECT_EQ(d, attestation_digest(9, 4, 1, inbox));
+  EXPECT_NE(d, attestation_digest(9, 5, 1, inbox));
+  EXPECT_NE(d, attestation_digest(9, 4, 2, inbox));
+  std::vector<Message> other = {{0, 1, BitString::from_uint(8, 24)}};
+  EXPECT_NE(d, attestation_digest(9, 4, 1, other));
+
+  std::vector<std::vector<Message>> inboxes = {inbox, other};
+  std::vector<std::uint64_t> ds = attestation_digests(9, 4, inboxes);
+  ASSERT_EQ(ds.size(), 2u);
+  EXPECT_EQ(ds[0], attestation_digest(9, 4, 0, inbox));
+  EXPECT_EQ(ds[1], attestation_digest(9, 4, 1, other));
+}
+
+TEST(AuthMessaging, OffMeansByteIdenticalTranscriptsAndCheckpoints) {
+  // Two auth-off runs serialise to byte-identical checkpoints (determinism),
+  // and the wire shows no tag: a ring hop is exactly 16 payload bits.
+  fault::Checkpointer a(ring_config(false), nullptr, 1, "", true);
+  fault::Checkpointer b(ring_config(false), nullptr, 1, "", true);
+  MpcRunResult ra = run_ring(ring_config(false), &a);
+  MpcRunResult rb = run_ring(ring_config(false), &b);
+  ASSERT_TRUE(ra.completed);
+  ASSERT_TRUE(a.latest_encoded().has_value());
+  EXPECT_EQ(*a.latest_encoded(), *b.latest_encoded());
+  for (const auto& stats : ra.trace.rounds()) {
+    if (stats.peak_message_bits.value != 0) {
+      EXPECT_EQ(stats.peak_message_bits.value, 16u);
+    }
+  }
+  EXPECT_EQ(ra.output, rb.output);
+}
+
+TEST(AuthMessaging, OnAddsExactlyOneTagPerMessageAndPreservesOutput) {
+  MpcRunResult off = run_ring(ring_config(false));
+  MpcRunResult on = run_ring(ring_config(true));
+  ASSERT_TRUE(off.completed);
+  ASSERT_TRUE(on.completed);
+  // The algorithm sees stripped payloads: behaviour (output, round count)
+  // is unchanged; only the wire accounting grows by kMessageTagBits.
+  EXPECT_EQ(off.output, on.output);
+  EXPECT_EQ(off.rounds_used, on.rounds_used);
+  for (const auto& stats : on.trace.rounds()) {
+    if (stats.peak_message_bits.value != 0) {
+      EXPECT_EQ(stats.peak_message_bits.value, 16u + kMessageTagBits);
+    }
+  }
+}
+
+TEST(AuthMessaging, OnIsDeterministicAcrossThreadCounts) {
+  MpcRunResult base = run_ring(ring_config(true, 1));
+  for (std::uint64_t threads : {std::uint64_t{2}, std::uint64_t{8}}) {
+    MpcRunResult r = run_ring(ring_config(true, threads));
+    EXPECT_EQ(base.output, r.output) << "threads=" << threads;
+    EXPECT_EQ(base.rounds_used, r.rounds_used) << "threads=" << threads;
+    EXPECT_EQ(base.trace.rounds(), r.trace.rounds()) << "threads=" << threads;
+  }
+}
+
+/// Observer that copies every round's attestation vector.
+struct AttestationRecorder : RoundObserver {
+  std::vector<std::vector<std::uint64_t>> per_round;
+  void after_round(const RoundSnapshot& snapshot) override {
+    ASSERT_NE(snapshot.attestations, nullptr);
+    per_round.push_back(*snapshot.attestations);
+  }
+};
+
+TEST(Attestation, SnapshotDigestsAreThreadInvariant) {
+  AttestationRecorder serial;
+  AttestationRecorder parallel;
+  run_ring(ring_config(true, 1), &serial);
+  run_ring(ring_config(true, 8), &parallel);
+  ASSERT_FALSE(serial.per_round.empty());
+  EXPECT_EQ(serial.per_round, parallel.per_round);
+}
+
+TEST(AuthMessaging, CheckpointResumeReverifiesTags) {
+  // Capture a mid-run snapshot under auth, corrupt one inbox payload bit in
+  // the decoded struct, and resume: the tag re-verification at entry must
+  // throw TamperViolation instead of running on the poisoned state.
+  MpcConfig c = ring_config(true);
+  c.max_rounds = 2;  // stop mid-ring so the snapshot has an in-flight message
+  fault::Checkpointer ckpt(c, nullptr, 1, "", false);
+  run_ring(c, &ckpt);
+  ASSERT_TRUE(ckpt.latest().has_value());
+  fault::Checkpoint cp = *ckpt.latest();
+  ASSERT_GT(cp.next_round, 0u);
+  bool corrupted = false;
+  for (auto& inbox : cp.inboxes) {
+    for (auto& msg : inbox) {
+      msg.payload.set(0, !msg.payload.get(0));
+      corrupted = true;
+      break;
+    }
+    if (corrupted) break;
+  }
+  ASSERT_TRUE(corrupted) << "no message crossed the final barrier";
+  MpcResumeState rs = fault::make_resume_state(cp, nullptr);
+  RingAlgorithm algo(c.machines);
+  MpcConfig resumed = c;
+  resumed.max_rounds = 16;  // room to continue past the captured boundary
+  MpcSimulation sim(resumed, nullptr);
+  EXPECT_THROW(sim.resume(algo, std::move(rs)), TamperViolation);
+}
+
+}  // namespace
+}  // namespace mpch::mpc

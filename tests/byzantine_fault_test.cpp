@@ -1,0 +1,424 @@
+// byzantine_fault_test.cpp — Byzantine verbs and the quarantine policy.
+//
+// fault_recovery_test.cpp pins the fail-stop story: faults announce
+// themselves and recovery replays checkpoints. This suite pins the Byzantine
+// story: flip/forge/garble-oracle/tamper-ckpt apply *silently*, and the
+// quarantine policy (ChaosHarness::run_quarantine) must detect them by
+// cross-checking every round against a clean replica, localise the offender
+// via attestation digests (or a typed TamperViolation when authenticated
+// messaging is on), and still finish bit-identical to a fault-free run.
+// Satellite coverage rides along: the ObserverChain throw-delivery contract,
+// dup under ReplicateRound, and drop aimed at an empty inbox.
+#include "fault/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/line.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "hash/random_oracle.hpp"
+#include "mpc/auth.hpp"
+#include "mpc/simulation.hpp"
+#include "ram/machine.hpp"
+#include "strategies/pointer_chasing.hpp"
+#include "strategies/ram_emulation.hpp"
+#include "util/rng.hpp"
+
+namespace mpch {
+namespace {
+
+using util::BitString;
+
+constexpr std::uint64_t kSeed = 11;
+
+struct Scenario {
+  mpc::MpcConfig config;
+  std::shared_ptr<mpc::MpcAlgorithm> algo;
+  std::vector<BitString> initial;
+  fault::ChaosHarness::OracleFactory oracle_factory;
+};
+
+/// One oracle-model and one plain-model scenario, built fresh per run (same
+/// shapes as fault_recovery_test.cpp). `authenticate` turns tagged messaging
+/// on and widens s for the tag bits, mirroring what mpch-chaos does.
+Scenario make_scenario(const std::string& name, std::uint64_t threads, bool authenticate) {
+  Scenario s;
+  if (name == "pointer-chasing") {
+    core::LineParams p = core::LineParams::make(64, 16, 8, 96);
+    util::Rng rng(kSeed + 1);
+    core::LineInput input = core::LineInput::random(p, rng);
+    auto strat = std::make_shared<strategies::PointerChasingStrategy>(
+        p, strategies::OwnershipPlan::round_robin(p, 4));
+    s.config.machines = 4;
+    s.config.local_memory_bits = strat->required_local_memory();
+    s.config.query_budget = 1 << 20;
+    s.initial = strat->make_initial_memory(input);
+    s.algo = strat;
+    s.oracle_factory = [n = p.n] { return std::make_shared<hash::LazyRandomOracle>(n, n, kSeed); };
+  } else if (name == "ram-emulation") {
+    using namespace ram::asm_ops;
+    const std::uint64_t n = 8;
+    std::vector<std::uint64_t> memory(n);
+    for (std::uint64_t i = 0; i < n; ++i) memory[i] = (kSeed * 7 + i * 3) % 97;
+    std::vector<ram::Instruction> prog = {
+        loadi(0, 0), loadi(1, 0), loadi(2, n), loadi(5, 1),
+        lt(3, 1, 2), jz(3, 10),   load(4, 1),  add(0, 0, 4),
+        add(1, 1, 5), jmp(4),     halt(),
+    };
+    auto strat = std::make_shared<strategies::RamEmulationStrategy>(prog, 4, 1);
+    s.config.machines = 4;
+    s.config.local_memory_bits = strat->required_local_memory(memory.size());
+    s.config.query_budget = 1;
+    s.initial = strat->make_initial_memory(memory);
+    s.algo = strat;
+    s.oracle_factory = [] { return std::shared_ptr<hash::LazyRandomOracle>(); };
+  } else {
+    throw std::invalid_argument("unknown scenario " + name);
+  }
+  s.config.max_rounds = 20000;
+  s.config.tape_seed = 5;
+  s.config.threads = threads;
+  if (authenticate) {
+    s.config.authenticate_messages = true;
+    s.config.local_memory_bits += 1 << 16;  // headroom for the per-message tags
+  }
+  return s;
+}
+
+struct Artifacts {
+  bool completed = false;
+  std::uint64_t rounds_used = 0;
+  BitString output;
+  std::vector<mpc::RoundStats> rounds;
+  std::map<std::string, std::vector<std::uint64_t>> annotations;
+  std::vector<hash::QueryRecord> records;
+  std::vector<std::pair<BitString, BitString>> touched;
+  std::uint64_t oracle_total = 0;
+};
+
+Artifacts extract(const mpc::MpcRunResult& result, const hash::LazyRandomOracle* oracle) {
+  Artifacts a;
+  a.completed = result.completed;
+  a.rounds_used = result.rounds_used;
+  a.output = result.output;
+  a.rounds = result.trace.rounds();
+  a.annotations = result.trace.annotations();
+  a.records = result.transcript->records();
+  if (oracle != nullptr) {
+    a.touched = oracle->touched_table();
+    a.oracle_total = oracle->total_queries();
+  }
+  return a;
+}
+
+void expect_identical(const Artifacts& clean, const Artifacts& recovered) {
+  EXPECT_EQ(clean.completed, recovered.completed);
+  EXPECT_EQ(clean.rounds_used, recovered.rounds_used);
+  EXPECT_EQ(clean.output, recovered.output);
+  EXPECT_EQ(clean.rounds, recovered.rounds);
+  EXPECT_EQ(clean.annotations, recovered.annotations);
+  EXPECT_EQ(clean.records, recovered.records);
+  EXPECT_EQ(clean.oracle_total, recovered.oracle_total);
+  EXPECT_EQ(clean.touched, recovered.touched);
+}
+
+Artifacts run_clean(const std::string& name, std::uint64_t threads, bool authenticate) {
+  Scenario s = make_scenario(name, threads, authenticate);
+  auto oracle = s.oracle_factory();
+  mpc::MpcSimulation sim(s.config, oracle);
+  mpc::MpcRunResult result = sim.run(*s.algo, s.initial);
+  EXPECT_TRUE(result.completed) << name;
+  return extract(result, oracle.get());
+}
+
+bool log_contains(const std::vector<std::string>& log, const std::string& needle) {
+  for (const auto& line : log) {
+    if (line.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(ByzantineFaultPlan, ParsesEveryVerbWithFullProvenance) {
+  fault::FaultPlan plan = fault::FaultPlan::parse(
+      "flip:machine=1,round=2,bit=5;forge:round=2,to=0,index=1,from=3;"
+      "garble-oracle:round=3,entry=7;tamper-ckpt:round=4,bit=100");
+  ASSERT_EQ(plan.events.size(), 4u);
+
+  EXPECT_EQ(plan.events[0].kind, fault::FaultKind::FlipBit);
+  EXPECT_EQ(plan.events[0].machine, 1u);
+  EXPECT_EQ(plan.events[0].round, 2u);
+  EXPECT_EQ(plan.events[0].index, 5u);
+
+  EXPECT_EQ(plan.events[1].kind, fault::FaultKind::ForgeMessage);
+  EXPECT_EQ(plan.events[1].machine, 0u);
+  EXPECT_EQ(plan.events[1].index, 1u);
+  EXPECT_EQ(plan.events[1].aux, 3u);  // the spoofed sender
+
+  EXPECT_EQ(plan.events[2].kind, fault::FaultKind::GarbleOracle);
+  EXPECT_EQ(plan.events[2].index, 7u);
+
+  EXPECT_EQ(plan.events[3].kind, fault::FaultKind::TamperCheckpoint);
+  EXPECT_EQ(plan.events[3].index, 100u);
+
+  // describe() names each verb so fault logs read as provenance.
+  for (const auto& ev : plan.events) EXPECT_FALSE(ev.describe().empty());
+}
+
+TEST(ByzantineFaultPlan, RejectsMalformedByzantineTokens) {
+  EXPECT_THROW(fault::FaultPlan::parse("flip:round=1"), std::invalid_argument);  // missing bit
+  EXPECT_THROW(fault::FaultPlan::parse("flip:machine=0,round=1,bits=2"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("forge:round=1,to=0,index=0"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("garble-oracle:round=1"), std::invalid_argument);
+  EXPECT_THROW(fault::FaultPlan::parse("tamper-ckpt:bit=1"), std::invalid_argument);
+}
+
+TEST(Quarantine, RecoversEveryByzantineVerbBitIdentical) {
+  const std::pair<const char*, const char*> kCases[] = {
+      {"pointer-chasing", "flip:machine=1,round=3,bit=2"},
+      {"pointer-chasing", "forge:round=3,to=1,index=0,from=99"},
+      {"pointer-chasing", "garble-oracle:round=3,entry=0"},
+      {"pointer-chasing", "tamper-ckpt:round=3,bit=100"},
+      {"ram-emulation", "flip:machine=0,round=2,bit=0"},
+      {"ram-emulation", "forge:round=2,to=0,index=0,from=99"},
+  };
+  for (const auto& [name, spec] : kCases) {
+    SCOPED_TRACE(std::string(name) + " " + spec);
+    Artifacts clean = run_clean(name, 1, false);
+    Scenario s = make_scenario(name, 1, false);
+    fault::ChaosHarness harness(s.config, s.oracle_factory);
+    fault::ChaosResult chaos =
+        harness.run_quarantine(*s.algo, s.initial, fault::FaultPlan::parse(spec));
+    EXPECT_EQ(chaos.cost.faults_injected, 1u);
+    EXPECT_GE(chaos.cost.recoveries, 1u);
+    EXPECT_GT(chaos.cost.attestation_checks, 0u);
+    EXPECT_TRUE(log_contains(chaos.fault_log, "detected")) << spec;
+    expect_identical(clean, extract(chaos.run, chaos.oracle.get()));
+  }
+}
+
+TEST(Quarantine, IsThreadInvariant) {
+  for (std::uint64_t threads : {std::uint64_t{1}, std::uint64_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    Artifacts clean = run_clean("pointer-chasing", threads, false);
+    Scenario s = make_scenario("pointer-chasing", threads, false);
+    fault::ChaosHarness harness(s.config, s.oracle_factory);
+    fault::ChaosResult chaos = harness.run_quarantine(
+        *s.algo, s.initial, fault::FaultPlan::parse("flip:machine=1,round=3,bit=2"));
+    expect_identical(clean, extract(chaos.run, chaos.oracle.get()));
+  }
+}
+
+TEST(Quarantine, AuthenticatedFlipIsTypedAndStrikesTheReceiver) {
+  // With authenticate_messages on, the flipped payload fails MAC
+  // verification at the faulted round's own barrier: detection is a typed
+  // TamperViolation naming the machine, and quarantine strikes it directly
+  // instead of needing the attestation cross-check to localise.
+  Artifacts clean = run_clean("pointer-chasing", 1, true);
+  Scenario s = make_scenario("pointer-chasing", 1, true);
+  fault::ChaosHarness harness(s.config, s.oracle_factory);
+  fault::ChaosResult chaos = harness.run_quarantine(
+      *s.algo, s.initial, fault::FaultPlan::parse("flip:machine=1,round=3,bit=2"));
+  EXPECT_GE(chaos.cost.quarantine_strikes, 1u);
+  EXPECT_TRUE(log_contains(chaos.fault_log, "machine 1 struck"));
+  EXPECT_TRUE(log_contains(chaos.fault_log, "detected"));
+  expect_identical(clean, extract(chaos.run, chaos.oracle.get()));
+}
+
+TEST(Quarantine, SilentFlipIsLocalisedByAttestationDigests) {
+  // No authentication: the flip corrupts machine 1's round-start memory
+  // silently, the clean-replica cross-check sees the divergence, and the
+  // per-machine attestation digests name machine 1 as the one that differs.
+  Scenario s = make_scenario("pointer-chasing", 1, false);
+  fault::ChaosHarness harness(s.config, s.oracle_factory);
+  fault::ChaosResult chaos = harness.run_quarantine(
+      *s.algo, s.initial, fault::FaultPlan::parse("flip:machine=1,round=3,bit=2"));
+  EXPECT_TRUE(log_contains(chaos.fault_log, "attestation mismatch at machine 1"));
+  EXPECT_TRUE(log_contains(chaos.fault_log, "machine 1 struck"));
+}
+
+TEST(Quarantine, EscalatesToPeriodicCheckpointWhenRetriesExhausted) {
+  Artifacts clean = run_clean("pointer-chasing", 1, false);
+  Scenario s = make_scenario("pointer-chasing", 1, false);
+  fault::ChaosHarness harness(s.config, s.oracle_factory);
+  fault::QuarantineConfig qc;
+  qc.max_round_retries = 0;  // any detection escalates immediately
+  qc.checkpoint_every = 2;
+  fault::ChaosResult chaos = harness.run_quarantine(
+      *s.algo, s.initial, fault::FaultPlan::parse("flip:machine=1,round=3,bit=2"), qc);
+  EXPECT_GE(chaos.cost.escalations, 1u);
+  EXPECT_TRUE(log_contains(chaos.fault_log, "escalation:"));
+  EXPECT_TRUE(log_contains(chaos.fault_log, "periodic checkpoint"));
+  expect_identical(clean, extract(chaos.run, chaos.oracle.get()));
+}
+
+TEST(Quarantine, RejectsZeroCheckpointCadence) {
+  Scenario s = make_scenario("ram-emulation", 1, false);
+  fault::ChaosHarness harness(s.config, s.oracle_factory);
+  fault::QuarantineConfig qc;
+  qc.checkpoint_every = 0;
+  EXPECT_THROW(
+      harness.run_quarantine(*s.algo, s.initial, fault::FaultPlan::parse("kill:round=1"), qc),
+      std::invalid_argument);
+}
+
+TEST(TamperCheckpoint, CorruptedSnapshotFailsIntegrityCheckAtRestore) {
+  // Unit level: a post-save bit flip in the encoded snapshot must be caught
+  // by the wire format's checksum, never resumed from.
+  Scenario s = make_scenario("ram-emulation", 1, false);
+  fault::Checkpointer ckpt(s.config, nullptr, 1, "", true);
+  mpc::MpcSimulation sim(s.config, nullptr);
+  sim.run(*s.algo, s.initial, &ckpt);
+  ASSERT_TRUE(ckpt.latest_encoded().has_value());
+  EXPECT_NO_THROW(fault::deserialize(*ckpt.latest_encoded()));
+  ASSERT_TRUE(ckpt.corrupt_latest_encoded(12345));
+  EXPECT_THROW(fault::deserialize(*ckpt.latest_encoded()), fault::CheckpointError);
+  // The in-memory decoded struct is deliberately left intact — the point of
+  // the verb is that restores must not trust it over the encoded form.
+  EXPECT_TRUE(ckpt.latest().has_value());
+}
+
+TEST(TamperCheckpoint, RestartPolicyRefusesToResumeFromTamperedSnapshot) {
+  // End to end: tamper the round-1 snapshot, then kill at round 2 so the
+  // restart policy has to restore exactly the tampered image. CheckpointError
+  // (not a silent resume of corrupted state) is the required outcome.
+  Scenario s = make_scenario("ram-emulation", 1, false);
+  fault::ChaosHarness harness(s.config, s.oracle_factory);
+  EXPECT_THROW(harness.run_restart(*s.algo, s.initial,
+                                   fault::FaultPlan::parse("tamper-ckpt:round=1,bit=9;kill:round=2"),
+                                   /*checkpoint_every=*/1),
+               fault::CheckpointError);
+}
+
+TEST(GarbleOracle, CorruptsMemoAndVerifyMemoNamesTheInput) {
+  hash::LazyRandomOracle oracle(16, 16, kSeed);
+  for (std::uint64_t i = 0; i < 3; ++i) oracle.query(BitString::from_uint(i, 16));
+  EXPECT_TRUE(oracle.verify_memo().empty());
+
+  ASSERT_TRUE(oracle.corrupt_memo_entry(1, 4));
+  std::vector<BitString> bad = oracle.verify_memo();
+  ASSERT_EQ(bad.size(), 1u);
+  // Entry 1 in sorted input order is input value 1.
+  EXPECT_EQ(bad[0], BitString::from_uint(1, 16));
+
+  // Restoring a fresh oracle from the tampered table must be refused: the
+  // memo is a materialised pure function of the seed, and restore_table
+  // re-derives every entry.
+  hash::LazyRandomOracle fresh(16, 16, kSeed);
+  EXPECT_THROW(fresh.restore_table(oracle.touched_table(), oracle.total_queries()),
+               std::invalid_argument);
+
+  EXPECT_FALSE(oracle.corrupt_memo_entry(99));  // out of range: fired no-op
+}
+
+// ---- satellite: ObserverChain must deliver hooks past a throwing child ----
+
+struct ThrowingObserver final : mpc::RoundObserver {
+  std::string tag;
+  explicit ThrowingObserver(std::string t) : tag(std::move(t)) {}
+  void before_round(std::uint64_t) override { throw std::runtime_error(tag); }
+  void after_merge(std::uint64_t, std::vector<std::vector<mpc::Message>>&) override {
+    throw std::runtime_error(tag);
+  }
+  void after_round(const mpc::RoundSnapshot&) override { throw std::runtime_error(tag); }
+};
+
+struct CountingObserver final : mpc::RoundObserver {
+  int before = 0, merges = 0, afters = 0;
+  void before_round(std::uint64_t) override { ++before; }
+  void after_merge(std::uint64_t, std::vector<std::vector<mpc::Message>>&) override { ++merges; }
+  void after_round(const mpc::RoundSnapshot&) override { ++afters; }
+};
+
+TEST(ObserverChain, DeliversEveryHookEvenWhenAnEarlierChildThrows) {
+  ThrowingObserver thrower("boom");
+  CountingObserver counter;
+  fault::ObserverChain chain({&thrower, &counter});
+  std::vector<std::vector<mpc::Message>> inboxes;
+  mpc::RoundSnapshot snapshot;
+
+  EXPECT_THROW(chain.before_round(0), std::runtime_error);
+  EXPECT_THROW(chain.after_merge(0, inboxes), std::runtime_error);
+  EXPECT_THROW(chain.after_round(snapshot), std::runtime_error);
+  // The child *behind* the thrower saw every barrier anyway: a throwing
+  // injector must not blind the checkpointer chained after it.
+  EXPECT_EQ(counter.before, 1);
+  EXPECT_EQ(counter.merges, 1);
+  EXPECT_EQ(counter.afters, 1);
+}
+
+TEST(ObserverChain, FirstThrowerWinsWhenSeveralThrow) {
+  ThrowingObserver first("first");
+  ThrowingObserver second("second");
+  fault::ObserverChain chain({&first, &second});
+  try {
+    chain.before_round(0);
+    FAIL() << "expected the collected exception to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");  // chain order encodes detection priority
+  }
+}
+
+// ---- satellite: dup under ReplicateRound, drop aimed at an empty inbox ----
+
+TEST(MessageFaults, DuplicateRecoversUnderReplicateRound) {
+  Artifacts clean = run_clean("ram-emulation", 1, false);
+  Scenario s = make_scenario("ram-emulation", 1, false);
+  fault::ChaosHarness harness(s.config, s.oracle_factory);
+  fault::ChaosResult chaos =
+      harness.run_replicate(*s.algo, s.initial, fault::FaultPlan::parse("dup:round=2,to=0,index=0"));
+  EXPECT_EQ(chaos.cost.faults_injected, 1u);
+  EXPECT_EQ(chaos.cost.replica_verifications, 1u);
+  EXPECT_EQ(chaos.cost.rounds_reexecuted, 2u);  // two replicas of the one round
+  expect_identical(clean, extract(chaos.run, chaos.oracle.get()));
+}
+
+/// Nobody ever sends; machine 0 outputs in round 1. Every inbox past round 0
+/// is empty, so a drop aimed at one names a delivery that does not exist.
+class SilentAlgorithm final : public mpc::MpcAlgorithm {
+ public:
+  void run_machine(mpc::MachineIo& io, hash::CountingOracle*, const mpc::SharedTape&,
+                   mpc::RoundTrace&) override {
+    if (io.round == 1 && io.machine == 0) io.output = BitString::from_uint(1, 8);
+  }
+  std::string name() const override { return "silent"; }
+};
+
+TEST(MessageFaults, DropOnEmptyInboxFiresAsNoOpAndNeedsNoRecovery) {
+  mpc::MpcConfig c;
+  c.machines = 2;
+  c.local_memory_bits = 64;
+  c.query_budget = 1;
+  c.max_rounds = 4;
+  c.tape_seed = 5;
+  SilentAlgorithm algo;
+
+  // Even fail-stop injection has nothing to detect: the event fires (it is
+  // consumed and logged) but there is no delivery to remove and no throw.
+  fault::FaultInjector injector(fault::FaultPlan::parse("drop:round=0,to=1,index=0"),
+                                /*fail_stop=*/true);
+  mpc::MpcSimulation sim(c, nullptr);
+  mpc::MpcRunResult run = sim.run(algo, {BitString(), BitString()}, &injector);
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(injector.faults_fired(), 1u);
+
+  // Same contract through a recovery policy: nothing is detected (the
+  // policies count *caught* faults), so nothing is recovered or re-executed.
+  SilentAlgorithm algo2;
+  fault::ChaosHarness harness(c, [] { return std::shared_ptr<hash::LazyRandomOracle>(); });
+  fault::ChaosResult chaos = harness.run_replicate(
+      algo2, {BitString(), BitString()}, fault::FaultPlan::parse("drop:round=0,to=1,index=0"));
+  EXPECT_TRUE(chaos.run.completed);
+  EXPECT_EQ(chaos.cost.faults_injected, 0u);
+  EXPECT_EQ(chaos.cost.recoveries, 0u);
+  EXPECT_EQ(chaos.cost.rounds_reexecuted, 0u);
+}
+
+}  // namespace
+}  // namespace mpch

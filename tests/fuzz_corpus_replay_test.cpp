@@ -1,0 +1,114 @@
+// Replays the checked-in fuzz seed corpora (fuzz/corpus/) through the same
+// entry points the libFuzzer harnesses drive. The harnesses themselves need
+// clang (MPCH_FUZZ); this test keeps the corpus contract enforced under the
+// stock g++ build: every corpus input must either parse or be rejected
+// through the *typed* error path — CheckpointError for snapshots,
+// std::invalid_argument for plans — never via std::length_error, bad_alloc,
+// or a crash. New fuzzer-found inputs get checked in here as regressions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/checkpoint.hpp"
+#include "fault/fault_plan.hpp"
+#include "util/bitstring.hpp"
+
+namespace {
+
+using mpch::fault::Checkpoint;
+using mpch::fault::CheckpointError;
+using mpch::fault::FaultPlan;
+using mpch::util::BitString;
+
+std::filesystem::path corpus_root() { return MPCH_FUZZ_CORPUS_DIR; }
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open corpus file " << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(FuzzCorpusReplay, CheckpointCorpusRejectsOrParsesTyped) {
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_root() / "checkpoint")) {
+    SCOPED_TRACE(entry.path().string());
+    BitString bits = BitString::from_bytes(read_file(entry.path()));
+    // Raw header path and checksummed-framed payload path, exactly as in
+    // fuzz/fuzz_checkpoint_load.cpp. CheckpointError is the only acceptable
+    // rejection; any other escape fails the test.
+    try {
+      (void)mpch::fault::deserialize(bits);
+    } catch (const CheckpointError&) {
+    }
+    try {
+      (void)mpch::fault::deserialize(mpch::fault::frame_checkpoint_payload(bits));
+    } catch (const CheckpointError&) {
+    }
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 5u) << "checkpoint corpus went missing — check fuzz/corpus/checkpoint";
+}
+
+TEST(FuzzCorpusReplay, FaultPlanCorpusRejectsOrParsesTyped) {
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_root() / "fault_plan")) {
+    SCOPED_TRACE(entry.path().string());
+    std::vector<std::uint8_t> bytes = read_file(entry.path());
+    std::string spec(bytes.begin(), bytes.end());
+    try {
+      FaultPlan plan = FaultPlan::parse(spec);
+      (void)plan.describe();
+    } catch (const std::invalid_argument&) {
+    }
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 10u) << "fault-plan corpus went missing — check fuzz/corpus/fault_plan";
+}
+
+// The bug class the framed harness exists for: element counts larger than
+// the remaining payload must be rejected as CheckpointError before any
+// resize() can turn them into std::length_error or an OOM.
+TEST(FuzzCorpusReplay, HostileInboxCountIsTypedRejection) {
+  BitString payload;
+  for (int i = 0; i < 5; ++i) payload += BitString::from_uint(0, 64);  // header fields
+  payload += BitString::from_uint(0xffff'ffff'ffffULL, 64);            // inbox count
+  EXPECT_THROW((void)mpch::fault::deserialize(mpch::fault::frame_checkpoint_payload(payload)),
+               CheckpointError);
+}
+
+TEST(FuzzCorpusReplay, HostileStringLengthIsTypedRejection) {
+  // Annotation key whose byte length would wrap the bits multiply.
+  BitString payload;
+  for (int i = 0; i < 5; ++i) payload += BitString::from_uint(0, 64);
+  payload += BitString::from_uint(0, 64);                        // no inboxes
+  payload += BitString::from_uint(0, 64);                        // no round stats
+  payload += BitString::from_uint(1, 64);                        // one annotation
+  payload += BitString::from_uint(0x2000'0000'0000'0000ULL, 64); // its key length, in bytes
+  EXPECT_THROW((void)mpch::fault::deserialize(mpch::fault::frame_checkpoint_payload(payload)),
+               CheckpointError);
+}
+
+TEST(FuzzCorpusReplay, ValidCorpusSeedStillDecodes) {
+  // empty_payload.bin is a checksummed frame around zero payload bits: it
+  // must fail *inside* the payload parser (truncated), proving the corpus
+  // still reaches past the header gates.
+  BitString bits = BitString::from_bytes(read_file(corpus_root() / "checkpoint" /
+                                                   "empty_payload.bin"));
+  EXPECT_THROW(
+      {
+        try {
+          (void)mpch::fault::deserialize(bits);
+        } catch (const CheckpointError& e) {
+          EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+          throw;
+        }
+      },
+      CheckpointError);
+}
+
+}  // namespace

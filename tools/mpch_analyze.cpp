@@ -84,12 +84,16 @@ int main(int argc, char** argv) {
   util::CliArgs args(argc, argv);
   if (args.get_bool("help", false)) {
     std::cout
-        << "usage: mpch-analyze [--strategy all|<name>] [--soundness] [--list]\n"
+        << "usage: mpch-analyze [--strategy all|<name>] [--soundness] [--authenticate] [--list]\n"
            "  problem size : --u N --v N --w N --machines N --instances N\n"
            "                 --guesses N --steps-per-round N --seed N\n"
            "  config knobs : --s BITS --q N --rounds N --m-cap N\n"
            "                 (shrink below the documented config to seed "
-           "violations)\n";
+           "violations)\n"
+           "  --authenticate : check (and with --soundness, run) every strategy under\n"
+           "                   MAC-tagged messaging; specs are lifted via\n"
+           "                   ProtocolSpec::with_authentication so per-message tag\n"
+           "                   overhead is part of the declared envelope\n";
     return 0;
   }
 
@@ -104,6 +108,7 @@ int main(int argc, char** argv) {
   const std::uint64_t n = 64;
   const std::string which = args.get_string("strategy", "all");
   const bool soundness = args.get_bool("soundness", false);
+  const bool authenticate = args.get_bool("authenticate", false);
 
   core::LineParams p = core::LineParams::make(n, u, v, w);
 
@@ -147,8 +152,11 @@ int main(int argc, char** argv) {
                                        native.steps_executed());
 
   std::vector<Target> targets;
-  auto add = [&](const analysis::ProtocolSpec& spec, std::uint64_t q,
+  auto add = [&](analysis::ProtocolSpec spec, std::uint64_t q,
                  std::function<mpc::MpcRunResult(const mpc::MpcConfig&)> run) {
+    // Under --authenticate the declared envelope must absorb the per-message
+    // tag the runtime meters, and the documented config follows suit.
+    if (authenticate) spec = spec.with_authentication(mpc::kMessageTagBits);
     targets.push_back({spec.protocol, spec, documented_config(spec, q), std::move(run)});
   };
   add(chase.protocol_spec(), 4, line_run(chase, [&] { return chase.make_initial_memory(input); },
@@ -181,6 +189,7 @@ int main(int argc, char** argv) {
 
     // Apply config overrides (shrinking below documented seeds violations).
     mpc::MpcConfig c = t.config;
+    c.authenticate_messages = authenticate;
     if (args.has("s")) c.local_memory_bits = args.get_u64("s", c.local_memory_bits);
     if (args.has("q")) c.query_budget = args.get_u64("q", c.query_budget);
     if (args.has("rounds")) c.max_rounds = args.get_u64("rounds", c.max_rounds);

@@ -15,12 +15,22 @@
 // machine-rounds, snapshot bytes).
 //
 // Policies: restart (RestartFromCheckpoint, snapshot every --every rounds),
-// replicate (ReplicateRound, dual re-execution + equality check), none
-// (apply faults silently, no detection — the unprotected baseline, expected
-// to diverge).
+// replicate (ReplicateRound, dual re-execution + equality check), quarantine
+// (Byzantine: silent faults, per-round replica cross-check + attestation
+// localisation, strikes, escalation), none (apply faults silently — the
+// unprotected baseline; Byzantine verbs are still *audited* after the fact,
+// so a landed flip/forge/garble/tamper-ckpt is reported typed, never silent).
+//
+// Byzantine verbs: flip:machine=M,round=R,bit=B | forge:round=R,to=M,index=I,
+// from=F | garble-oracle:round=R,entry=E | tamper-ckpt:round=R,bit=B.
+// --authenticate turns on MAC-tagged messaging (MpcConfig::
+// authenticate_messages) in both the reference and the chaos run; under
+// --policy none it is auto-enabled when the plan carries flip/forge, since
+// MACs are what makes those detectable.
 //
 // Exit status: 0 recovered and verified; 1 unrecoverable fault, replica
-// divergence, or verification mismatch; 2 usage error.
+// divergence, verification mismatch, or a typed Byzantine detection under
+// --policy none; 2 usage error.
 #include <iostream>
 #include <memory>
 #include <string>
@@ -223,6 +233,36 @@ void print_cost(const fault::RecoveryCost& cost) {
             << "  checkpoints taken:            " << cost.checkpoints_taken << "\n"
             << "  checkpoint bytes (last/total): " << cost.checkpoint_bytes_last << " / "
             << cost.checkpoint_bytes_total << "\n";
+  if (cost.attestation_checks > 0 || cost.quarantine_strikes > 0 || cost.retries_used > 0 ||
+      cost.escalations > 0) {
+    std::cout << "  attestation cross-checks:     " << cost.attestation_checks << "\n"
+              << "  quarantine strikes:           " << cost.quarantine_strikes << "\n"
+              << "  round retries used:           " << cost.retries_used << "\n"
+              << "  escalations:                  " << cost.escalations << "\n";
+  }
+}
+
+/// Policy-none storage scrubber: re-decodes the stored snapshot at every
+/// barrier (chained after the CheckpointTamperer), so a tampered save is
+/// caught before the next round's save overwrites it.
+struct CheckpointAuditor : mpc::RoundObserver {
+  const fault::Checkpointer* ckpt = nullptr;
+  std::vector<std::string> failures;
+  void after_round(const mpc::RoundSnapshot&) override {
+    if (ckpt == nullptr || !ckpt->latest_encoded().has_value()) return;
+    try {
+      fault::deserialize(*ckpt->latest_encoded());
+    } catch (const fault::CheckpointError& e) {
+      failures.emplace_back(e.what());
+    }
+  }
+};
+
+bool plan_has(const fault::FaultPlan& plan, fault::FaultKind kind) {
+  for (const auto& ev : plan.events) {
+    if (ev.kind == kind) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -230,16 +270,27 @@ void print_cost(const fault::RecoveryCost& cost) {
 int main(int argc, char** argv) {
   util::CliArgs args(argc, argv);
   if (args.get_bool("help", false)) {
-    std::cout << "usage: mpch-chaos --plan SPEC [--strategy NAME] [--policy restart|replicate|none]\n"
-                 "                  [--every N] [--threads N] [--seed N] [--checkpoint-file PATH]\n"
-                 "                  [--list]\n"
+    std::cout << "usage: mpch-chaos --plan SPEC [--strategy NAME]\n"
+                 "                  [--policy restart|replicate|quarantine|none]\n"
+                 "                  [--every N] [--retries N] [--strikes N] [--authenticate]\n"
+                 "                  [--threads N] [--seed N] [--checkpoint-file PATH] [--list]\n"
                  "  plan grammar : semicolon-separated events —\n"
                  "                 crash:machine=M,round=R | drop:round=R,to=M,index=I\n"
                  "                 | dup:round=R,to=M,index=I | kill:round=R\n"
+                 "                 | flip:machine=M,round=R,bit=B\n"
+                 "                 | forge:round=R,to=M,index=I,from=F\n"
+                 "                 | garble-oracle:round=R,entry=E | tamper-ckpt:round=R,bit=B\n"
                  "                 | random:seed=S,events=E,rounds=R,machines=M\n"
-                 "  --policy     : restart   = RestartFromCheckpoint (snapshot every --every rounds)\n"
-                 "                 replicate = ReplicateRound (dual re-execution + equality check)\n"
-                 "                 none      = apply faults silently, no recovery (baseline)\n";
+                 "  --policy     : restart    = RestartFromCheckpoint (snapshot every --every rounds)\n"
+                 "                 replicate  = ReplicateRound (dual re-execution + equality check)\n"
+                 "                 quarantine = Byzantine: silent faults, per-round replica\n"
+                 "                              cross-check, attestation localisation, strikes\n"
+                 "                              (--retries per-round re-runs, --strikes before\n"
+                 "                              escalating, --every periodic-checkpoint cadence)\n"
+                 "                 none       = apply faults silently, no recovery (baseline);\n"
+                 "                              Byzantine verbs still audited typed (exit 1)\n"
+                 "  --authenticate : MAC-tag every cross-round message (detects flip/forge at the\n"
+                 "                   barrier as mpc::TamperViolation with provenance)\n";
     return 0;
   }
   if (args.get_bool("list", false)) {
@@ -251,6 +302,9 @@ int main(int argc, char** argv) {
   const std::string plan_spec = args.get_string("plan", "");
   const std::string policy = args.get_string("policy", "restart");
   const std::uint64_t every = args.get_u64("every", 2);
+  const std::uint64_t retries = args.get_u64("retries", 2);
+  const std::uint64_t strikes = args.get_u64("strikes", 3);
+  bool authenticate = args.get_bool("authenticate", false);
   const std::uint64_t threads = args.get_u64("threads", 0);
   const std::uint64_t seed = args.get_u64("seed", 11);
   const std::string checkpoint_file = args.get_string("checkpoint-file", "");
@@ -259,8 +313,9 @@ int main(int argc, char** argv) {
     std::cerr << "mpch-chaos: --plan is required (try --help)\n";
     return 2;
   }
-  if (policy != "restart" && policy != "replicate" && policy != "none") {
-    std::cerr << "mpch-chaos: unknown policy '" << policy << "' (want restart|replicate|none)\n";
+  if (policy != "restart" && policy != "replicate" && policy != "quarantine" && policy != "none") {
+    std::cerr << "mpch-chaos: unknown policy '" << policy
+              << "' (want restart|replicate|quarantine|none)\n";
     return 2;
   }
 
@@ -278,9 +333,31 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Under --policy none, flip/forge would otherwise corrupt silently: MACs
+  // are the detector, so turn them on (affects reference and chaos alike).
+  const bool needs_mac =
+      plan_has(plan, fault::FaultKind::FlipBit) || plan_has(plan, fault::FaultKind::ForgeMessage);
+  bool auth_auto = false;
+  if (policy == "none" && needs_mac && !authenticate) {
+    authenticate = true;
+    auth_auto = true;
+  }
+  // Tag bits count against the memory budget; give every machine headroom
+  // for its per-message 64-bit tags so tight strategies stay inside s.
+  auto enable_auth = [](Scenario& sc) {
+    sc.config.authenticate_messages = true;
+    sc.config.local_memory_bits += 1 << 16;
+  };
+  if (authenticate) enable_auth(reference);
+
   std::cout << "mpch-chaos: strategy=" << strategy << " threads=" << threads << " seed=" << seed
+            << (authenticate ? (auth_auto ? " authenticate=on (auto)" : " authenticate=on") : "")
             << "\n  plan:   " << plan.describe() << "\n  policy: " << policy;
   if (policy == "restart") std::cout << " (checkpoint every " << every << " round(s))";
+  if (policy == "quarantine") {
+    std::cout << " (retries " << retries << ", strikes " << strikes << ", periodic checkpoint every "
+              << every << " round(s))";
+  }
   std::cout << "\n\n";
 
   // Fault-free reference run: the ground truth recovery must reproduce.
@@ -299,16 +376,44 @@ int main(int argc, char** argv) {
   // Chaos run under the chosen policy. Fresh scenario: strategy-internal
   // counters must not carry over from the reference run.
   Scenario chaos = make_scenario(strategy, seed, threads);
+  if (authenticate) enable_auth(chaos);
   try {
     if (policy == "none") {
-      // Unprotected baseline: faults applied silently, no detection. Expected
-      // to diverge (or trip a model guard) — that is the point.
+      // Unprotected baseline: faults applied silently, no recovery. Crash-
+      // model faults show up as divergence from the reference (exit 0 — the
+      // report is the product); Byzantine faults are *audited* afterwards —
+      // MAC verification, oracle memo re-derivation, checkpoint decode — and
+      // any landed corruption exits 1 with a typed report, never silently.
       fault::FaultInjector injector(plan, /*fail_stop=*/false);
       auto oracle = chaos.oracle_factory();
+      injector.bind_oracle(oracle.get());
+      const bool audit_ckpt = plan_has(plan, fault::FaultKind::TamperCheckpoint);
+      fault::Checkpointer ckpt(chaos.config, oracle.get(), /*every=*/1, "",
+                               /*capture_final=*/true);
+      fault::CheckpointTamperer tamperer(plan);
+      tamperer.set_target(&ckpt);
+      CheckpointAuditor auditor;
+      auditor.ckpt = &ckpt;
+      std::vector<mpc::RoundObserver*> children{&injector};
+      if (audit_ckpt) {
+        children.push_back(&ckpt);
+        children.push_back(&tamperer);
+        children.push_back(&auditor);
+      }
+      fault::ObserverChain chain(children);
       mpc::MpcSimulation sim(chaos.config, oracle);
-      mpc::MpcRunResult run = sim.run(*chaos.algo, chaos.initial, &injector);
+      mpc::MpcRunResult run;
+      try {
+        run = sim.run(*chaos.algo, chaos.initial, &chain);
+      } catch (const mpc::TamperViolation& tv) {
+        std::cout << "detected (typed): " << tv.what() << "\n  provenance: machine=" << tv.machine()
+                  << " round=" << tv.round() << " message_index=" << tv.message_index()
+                  << " byte_offset=" << tv.byte_offset() << "\n";
+        return 1;
+      }
       std::cout << "unprotected run: " << (run.completed ? "completed" : "hit max_rounds")
-                << " in " << run.rounds_used << " round(s), " << injector.faults_fired() << "/"
+                << " in " << run.rounds_used << " round(s), "
+                << injector.faults_fired() + tamperer.fired().size() << "/"
                 << injector.events_planned() << " fault(s) applied\n";
       auto bad = verify_against(ref_run, ref_oracle.get(), run, oracle.get());
       if (bad.empty()) {
@@ -317,13 +422,36 @@ int main(int argc, char** argv) {
         std::cout << "divergence (expected without recovery):\n";
         for (const auto& b : bad) std::cout << "  - " << b << "\n";
       }
-      return 0;
+      int detections = 0;
+      if (oracle != nullptr) {
+        auto bad_memo = oracle->verify_memo();
+        if (!bad_memo.empty()) {
+          ++detections;
+          std::cout << "detected (typed): oracle memo audit — " << bad_memo.size()
+                    << " entr" << (bad_memo.size() == 1 ? "y" : "ies")
+                    << " no longer re-derive from the seed\n";
+        }
+      }
+      for (const auto& failure : auditor.failures) {
+        ++detections;
+        std::cout << "detected (typed): checkpoint audit — " << failure << "\n";
+      }
+      return detections > 0 ? 1 : 0;
     }
 
     fault::ChaosHarness harness(chaos.config, chaos.oracle_factory);
-    fault::ChaosResult result = policy == "restart"
-        ? harness.run_restart(*chaos.algo, chaos.initial, plan, every, checkpoint_file)
-        : harness.run_replicate(*chaos.algo, chaos.initial, plan);
+    fault::ChaosResult result;
+    if (policy == "restart") {
+      result = harness.run_restart(*chaos.algo, chaos.initial, plan, every, checkpoint_file);
+    } else if (policy == "replicate") {
+      result = harness.run_replicate(*chaos.algo, chaos.initial, plan);
+    } else {
+      fault::QuarantineConfig qc;
+      qc.max_round_retries = retries;
+      qc.escalate_after_strikes = strikes;
+      qc.checkpoint_every = every;
+      result = harness.run_quarantine(*chaos.algo, chaos.initial, plan, qc);
+    }
 
     std::cout << "fault log:\n";
     for (const auto& line : result.fault_log) std::cout << "  - " << line << "\n";
