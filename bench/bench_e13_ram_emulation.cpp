@@ -9,22 +9,10 @@
 // Θ̃(T).
 #include "bench_common.hpp"
 #include "ram/machine.hpp"
+#include "ram/programs.hpp"
 #include "strategies/ram_emulation.hpp"
 
 using namespace mpch;
-using namespace mpch::ram::asm_ops;
-
-namespace {
-
-std::vector<ram::Instruction> sum_program(std::uint64_t n) {
-  return {
-      loadi(0, 0), loadi(1, 0), loadi(2, n), loadi(5, 1),
-      lt(3, 1, 2), jz(3, 10),   load(4, 1),  add(0, 0, 4),
-      add(1, 1, 5), jmp(4),     halt(),
-  };
-}
-
-}  // namespace
 
 int main() {
   bench::header("E13", "The trivial T-round upper bound (Introduction)",
@@ -36,7 +24,7 @@ int main() {
   for (std::uint64_t n : {8, 32, 128}) {
     std::vector<std::uint64_t> memory(n);
     for (std::uint64_t i = 0; i < n; ++i) memory[i] = i + 1;
-    auto prog = sum_program(n);
+    auto prog = ram::programs::sum(n);
     ram::RamMachine native(prog, memory);
     native.run();
     std::uint64_t steps = native.steps_executed();

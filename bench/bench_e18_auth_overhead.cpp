@@ -15,6 +15,7 @@
 #include "bench_common.hpp"
 #include "core/line.hpp"
 #include "ram/machine.hpp"
+#include "ram/programs.hpp"
 #include "strategies/pointer_chasing.hpp"
 #include "strategies/ram_emulation.hpp"
 #include "util/rng.hpp"
@@ -106,15 +107,10 @@ int main() {
   }
 
   {
-    using namespace ram::asm_ops;
     const std::uint64_t n = 64;
     std::vector<std::uint64_t> memory(n);
     for (std::uint64_t i = 0; i < n; ++i) memory[i] = (18 * 7 + i * 3) % 997;
-    std::vector<ram::Instruction> prog = {
-        loadi(0, 0), loadi(1, 0), loadi(2, n), loadi(5, 1),
-        lt(3, 1, 2), jz(3, 10),   load(4, 1),  add(0, 0, 4),
-        add(1, 1, 5), jmp(4),     halt(),
-    };
+    std::vector<ram::Instruction> prog = ram::programs::sum(n);
     strategies::RamEmulationStrategy strat(prog, 4, 1);
     mpc::MpcConfig c;
     c.machines = 4;

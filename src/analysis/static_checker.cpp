@@ -142,6 +142,76 @@ void check_round(const ProtocolSpec& spec, const RoundEnvelope& env, std::uint64
 
 }  // namespace
 
+namespace {
+
+/// Compare one pair of round shapes for dominance; `round` is provenance.
+void check_round_dominance(const RoundEnvelope& in, const RoundEnvelope& out, std::uint64_t round,
+                           AnalysisReport& report) {
+  auto expect = [&](ViolationKind kind, std::uint64_t inner_value, std::uint64_t outer_value,
+                    const char* what) {
+    if (inner_value <= outer_value) return;
+    report.violations.push_back(make_diag(
+        kind, round, in.witness_machine, inner_value, outer_value,
+        std::string("inner spec ") + what + " " + std::to_string(inner_value) +
+            " exceeds outer bound " + std::to_string(outer_value)));
+  };
+  expect(ViolationKind::kMemory, in.memory_bits, out.memory_bits, "memory bits");
+  expect(ViolationKind::kQueryBudget, in.oracle_queries, out.oracle_queries, "oracle queries");
+  expect(ViolationKind::kFanOut, in.fan_out, out.fan_out, "fan-out");
+  expect(ViolationKind::kFanIn, in.fan_in, out.fan_in, "fan-in");
+  expect(ViolationKind::kSentBits, in.sent_bits, out.sent_bits, "sent bits");
+  expect(ViolationKind::kInboxCapacity, in.recv_bits, out.recv_bits, "recv bits");
+  expect(ViolationKind::kMessageSize, in.max_message_bits, out.max_message_bits, "message bits");
+}
+
+}  // namespace
+
+AnalysisReport check_spec_dominance(const ProtocolSpec& inner, const ProtocolSpec& outer) {
+  if (inner.machines == 0) {
+    throw std::invalid_argument("check_spec_dominance: malformed inner spec (zero machines): " +
+                                inner.protocol);
+  }
+  if (outer.machines == 0) {
+    throw std::invalid_argument("check_spec_dominance: malformed outer spec (zero machines): " +
+                                outer.protocol);
+  }
+
+  AnalysisReport report;
+  report.protocol = inner.protocol + " <= " + outer.protocol;
+
+  if (inner.machines > outer.machines) {
+    report.violations.push_back(make_diag(
+        ViolationKind::kRouting, 0, inner.max_destination(), inner.machines, outer.machines,
+        "inner spec addresses " + std::to_string(inner.machines) + " machines but outer declares " +
+            std::to_string(outer.machines)));
+  }
+  if (inner.max_rounds > outer.max_rounds) {
+    report.violations.push_back(make_diag(
+        ViolationKind::kRoundCount, outer.max_rounds, 0, inner.max_rounds, outer.max_rounds,
+        "inner spec declares " + std::to_string(inner.max_rounds) + " rounds but outer declares " +
+            std::to_string(outer.max_rounds)));
+  }
+  if (inner.needs_oracle && !outer.needs_oracle) {
+    report.violations.push_back(
+        make_diag(ViolationKind::kOracleMissing, 0, 0, 0, 0,
+                  "inner spec needs an oracle but the outer spec is plain-model"));
+  }
+
+  // Compare every distinct shape pair: each round covered by either prologue,
+  // plus one steady-vs-steady comparison past both prologues. Clamp to the
+  // rounds the inner spec can actually run.
+  const std::uint64_t shapes =
+      std::max<std::uint64_t>(inner.prologue.size(), outer.prologue.size());
+  const std::uint64_t rounds_to_check = std::min(shapes, inner.max_rounds);
+  for (std::uint64_t r = 0; r < rounds_to_check; ++r) {
+    check_round_dominance(inner.envelope(r), outer.envelope(r), r, report);
+  }
+  if (inner.max_rounds > shapes) {
+    check_round_dominance(inner.steady, outer.steady, shapes, report);
+  }
+  return report;
+}
+
 AnalysisReport check_spec(const ProtocolSpec& spec, const mpc::MpcConfig& config) {
   if (spec.machines == 0) {
     throw std::invalid_argument("check_spec: malformed spec (zero machines): " + spec.protocol);

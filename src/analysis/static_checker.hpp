@@ -74,4 +74,13 @@ AnalysisReport check_spec(const ProtocolSpec& spec, const mpc::MpcConfig& config
 std::uint64_t effective_query_bound(const ProtocolSpec& spec, const RoundEnvelope& env,
                                     const mpc::MpcConfig& config);
 
+/// Fieldwise spec dominance: does `inner` fit inside `outer`? Every resource
+/// `inner` may use per round (memory, queries, fan-in/out, traffic, message
+/// size), its machine count, and its round count must be <= what `outer`
+/// declares. Diagnostics reuse the check_spec vocabulary (kRouting for
+/// machines, kRoundCount for rounds, kOracleMissing when inner needs an
+/// oracle outer does not). This is the middle link of the verifier's sandwich
+/// check: observed peaks <= inferred spec <= hand-declared spec.
+AnalysisReport check_spec_dominance(const ProtocolSpec& inner, const ProtocolSpec& outer);
+
 }  // namespace mpch::analysis

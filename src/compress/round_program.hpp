@@ -36,7 +36,10 @@ class LoggingOracle final : public hash::RandomOracle {
 
   std::size_t input_bits() const override { return inner_->input_bits(); }
   std::size_t output_bits() const override { return inner_->output_bits(); }
-  std::uint64_t total_queries() const override { return log_.size(); }
+  /// Delegates: the inner oracle may have been queried before (or around)
+  /// this wrapper, and total_queries() must report the true global count.
+  /// The wrapper's own view of the stream is log().size().
+  std::uint64_t total_queries() const override { return inner_->total_queries(); }
 
   const std::vector<util::BitString>& log() const { return log_; }
 

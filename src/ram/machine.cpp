@@ -2,9 +2,39 @@
 
 namespace mpch::ram {
 
+void validate_program(const std::vector<Instruction>& program) {
+  for (std::size_t pc = 0; pc < program.size(); ++pc) {
+    const Instruction& ins = program[pc];
+    const auto raw_op = static_cast<std::uint8_t>(ins.op);
+    if (raw_op > static_cast<std::uint8_t>(Opcode::kHalt)) {
+      throw std::invalid_argument("validate_program: pc " + std::to_string(pc) +
+                                  ": opcode " + std::to_string(raw_op) + " out of range");
+    }
+    auto check_reg = [&](std::uint8_t r, const char* field) {
+      if (r >= kNumRegisters) {
+        throw std::invalid_argument("validate_program: pc " + std::to_string(pc) +
+                                    ": register " + field + "=" + std::to_string(r) +
+                                    " out of range");
+      }
+    };
+    check_reg(ins.a, "a");
+    check_reg(ins.b, "b");
+    check_reg(ins.c, "c");
+    if (ins.op == Opcode::kJump || ins.op == Opcode::kJumpIfZero ||
+        ins.op == Opcode::kJumpIfNotZero) {
+      if (ins.imm >= program.size()) {
+        throw std::invalid_argument("validate_program: pc " + std::to_string(pc) +
+                                    ": jump target " + std::to_string(ins.imm) +
+                                    " past program end " + std::to_string(program.size()));
+      }
+    }
+  }
+}
+
 RamMachine::RamMachine(std::vector<Instruction> program, std::vector<std::uint64_t> memory)
     : program_(std::move(program)), memory_(std::move(memory)) {
   if (program_.empty()) throw std::invalid_argument("RamMachine: empty program");
+  validate_program(program_);
 }
 
 StepEffect RamMachine::step(const std::vector<Instruction>& program, const RamState& state) {

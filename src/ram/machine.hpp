@@ -44,7 +44,16 @@ struct Instruction {
   std::uint8_t b = 0;
   std::uint8_t c = 0;
   std::uint64_t imm = 0;
+
+  bool operator==(const Instruction&) const = default;
 };
+
+/// Structural validation shared by the RamMachine constructor and the static
+/// verifier (verify/verifier.hpp): every opcode within the enum, every
+/// register index < kNumRegisters, every jump target within the program.
+/// Throws std::invalid_argument naming the offending instruction; a program
+/// that passes can never trip step()'s per-instruction guards.
+void validate_program(const std::vector<Instruction>& program);
 
 /// Assembly-ish helpers so programs read decently in tests/benches.
 namespace asm_ops {

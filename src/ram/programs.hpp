@@ -1,0 +1,157 @@
+// programs.hpp — the canonical word-RAM programs checked into this repo.
+//
+// One definition instead of seven copies: tests, benches, and tools all pull
+// the same instruction sequences from here, and corpus() enumerates every
+// program together with a runnable memory image so mpch-verify (and the CI
+// lint job behind it) can statically verify each checked-in program exactly
+// as it is executed elsewhere in the tree.
+//
+// Every loop below uses the same guard idiom — a counter incremented by a
+// constant, compared with kLessThan against a bound, followed by the
+// conditional exit branch — which is the pattern the verifier's loop-bound
+// analysis (verify/abstract_interpreter) knows how to prove terminating.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ram/machine.hpp"
+
+namespace mpch::ram::programs {
+
+/// Sum mem[0..n-1] into R0 — the workhorse program used by the RAM-emulation
+/// tests, benches, and the chaos/Byzantine harnesses.
+inline std::vector<Instruction> sum(std::uint64_t n) {
+  using namespace asm_ops;
+  return {
+      loadi(0, 0),   //  0: acc = 0
+      loadi(1, 0),   //  1: i = 0
+      loadi(2, n),   //  2: n
+      loadi(5, 1),   //  3: one
+      lt(3, 1, 2),   //  4: i < n ?
+      jz(3, 10),     //  5: done
+      load(4, 1),    //  6: mem[i]
+      add(0, 0, 4),  //  7: acc += mem[i]
+      add(1, 1, 5),  //  8: ++i
+      jmp(4),        //  9
+      halt(),        // 10
+  };
+}
+
+/// In-place reversal of mem[0..n-1] via paired loads/stores.
+inline std::vector<Instruction> reverse(std::uint64_t n) {
+  using namespace asm_ops;
+  return {
+      loadi(1, 0),      //  0: lo = 0
+      loadi(2, n - 1),  //  1: hi = n-1
+      loadi(5, 1),      //  2: one
+      lt(3, 1, 2),      //  3: lo < hi ?
+      jz(3, 12),        //  4: done
+      load(4, 1),       //  5: a = mem[lo]
+      load(6, 2),       //  6: b = mem[hi]
+      store(6, 1),      //  7: mem[lo] = b
+      store(4, 2),      //  8: mem[hi] = a
+      add(1, 1, 5),     //  9: ++lo
+      sub(2, 2, 5),     // 10: --hi
+      jmp(3),           // 11
+      halt(),           // 12
+  };
+}
+
+/// Pointer chasing: R0 = mem[R0], repeated `hops` times, starting from
+/// address 0. The RAM-side mirror of the paper's pointer-chasing hard
+/// instances: every load address is data-dependent, so a static bound on the
+/// memory footprint must come from the memory *contents* (the verifier's
+/// MemoryModel), not from the program text.
+inline std::vector<Instruction> pointer_chase(std::uint64_t hops) {
+  using namespace asm_ops;
+  return {
+      loadi(0, 0),    // 0: cursor = 0
+      loadi(1, 0),    // 1: i = 0
+      loadi(2, hops), // 2: hops
+      loadi(5, 1),    // 3: one
+      lt(3, 1, 2),    // 4: i < hops ?
+      jz(3, 9),       // 5: done
+      load(0, 0),     // 6: cursor = mem[cursor]
+      add(1, 1, 5),   // 7: ++i
+      jmp(4),         // 8
+      halt(),         // 9
+  };
+}
+
+/// Iterative Fibonacci entirely in registers (no memory traffic): R0 = F(k).
+inline std::vector<Instruction> fibonacci(std::uint64_t k) {
+  using namespace asm_ops;
+  return {
+      loadi(0, 0),   //  0: a = F(0)
+      loadi(1, 1),   //  1: b = F(1)
+      loadi(2, 0),   //  2: i = 0
+      loadi(3, k),   //  3: k
+      loadi(5, 1),   //  4: one
+      lt(4, 2, 3),   //  5: i < k ?
+      jz(4, 12),     //  6: done
+      add(6, 0, 1),  //  7: t = a + b
+      mov(0, 1),     //  8: a = b
+      mov(1, 6),     //  9: b = t
+      add(2, 2, 5),  // 10: ++i
+      jmp(5),        // 11
+      halt(),        // 12
+  };
+}
+
+/// Store loop: mem[i] = base + i for i in 0..n-1 — exercises store-address
+/// range inference (the footprint comes from the stores, not the image).
+inline std::vector<Instruction> fill(std::uint64_t n, std::uint64_t base) {
+  using namespace asm_ops;
+  return {
+      loadi(0, base),  //  0: val = base
+      loadi(1, 0),     //  1: i = 0
+      loadi(2, n),     //  2: n
+      loadi(5, 1),     //  3: one
+      lt(3, 1, 2),     //  4: i < n ?
+      jz(3, 10),       //  5: done
+      store(0, 1),     //  6: mem[i] = val
+      add(0, 0, 5),    //  7: ++val
+      add(1, 1, 5),    //  8: ++i
+      jmp(4),          //  9
+      halt(),          // 10
+  };
+}
+
+/// A checked-in program plus the memory image it runs against. `memory` is a
+/// valid native RamMachine image (loads and stores stay in range), so every
+/// corpus entry is both statically verifiable and concretely runnable.
+struct NamedProgram {
+  std::string name;
+  std::vector<Instruction> program;
+  std::vector<std::uint64_t> memory;
+  std::uint64_t steps_per_round = 1;  ///< emulation cadence used by the tools
+};
+
+/// Every checked-in RAM program. mpch-verify iterates this list; keep new
+/// programs registered here so the CI lint job verifies them.
+inline std::vector<NamedProgram> corpus() {
+  std::vector<NamedProgram> all;
+  {
+    std::vector<std::uint64_t> memory(8);
+    for (std::size_t i = 0; i < memory.size(); ++i) memory[i] = i + 1;
+    all.push_back({"sum", sum(memory.size()), memory, 1});
+  }
+  {
+    std::vector<std::uint64_t> memory{1, 2, 3, 4, 5, 6};
+    all.push_back({"reverse", reverse(memory.size()), memory, 2});
+  }
+  {
+    // A 16-cycle ring: mem[i] = (i+1) mod 16, chased for 8 hops. Contents
+    // stay in [0, 15], which is exactly what bounds the load range.
+    std::vector<std::uint64_t> memory(16);
+    for (std::size_t i = 0; i < memory.size(); ++i) memory[i] = (i + 1) % memory.size();
+    all.push_back({"pointer-chase", pointer_chase(8), memory, 1});
+  }
+  all.push_back({"fibonacci", fibonacci(10), {}, 4});
+  all.push_back({"fill", fill(8, 100), std::vector<std::uint64_t>(8, 0), 2});
+  return all;
+}
+
+}  // namespace mpch::ram::programs

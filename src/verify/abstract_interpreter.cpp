@@ -1,0 +1,524 @@
+#include "verify/abstract_interpreter.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "verify/cfg.hpp"
+
+namespace mpch::verify {
+
+using ram::Instruction;
+using ram::Opcode;
+
+namespace {
+
+/// Joins absorbed by one program point before widening kicks in.
+constexpr int kWidenThreshold = 8;
+
+constexpr std::uint64_t kMax = Interval::kMax;
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return add_overflows(a, b) ? kMax : a + b;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > kMax / b ? kMax : a * b;
+}
+
+struct RegState {
+  std::array<Interval, ram::kNumRegisters> regs{};  // registers start as {0}
+
+  bool operator==(const RegState&) const = default;
+
+  RegState join(const RegState& rhs) const {
+    RegState out;
+    for (std::size_t i = 0; i < regs.size(); ++i) out.regs[i] = regs[i].join(rhs.regs[i]);
+    return out;
+  }
+};
+
+/// True when the instruction writes register `ins.a`.
+bool writes_register(const Instruction& ins) {
+  switch (ins.op) {
+    case Opcode::kStore:
+    case Opcode::kJump:
+    case Opcode::kJumpIfZero:
+    case Opcode::kJumpIfNotZero:
+    case Opcode::kHalt:
+      return false;
+    default:
+      return true;
+  }
+}
+
+class Interpreter {
+ public:
+  Interpreter(const std::vector<Instruction>& program, const MemoryModel& memory)
+      : program_(program), memory_(memory), cfg_(program) {
+    in_.resize(program.size());
+    join_count_.assign(program.size(), 0);
+    branch_target_.assign(program.size(), false);
+    widen_point_.assign(program.size(), false);
+    for (std::uint64_t pc = 0; pc < program.size(); ++pc) {
+      const Instruction& ins = program[pc];
+      if (ins.op == Opcode::kJump || ins.op == Opcode::kJumpIfZero ||
+          ins.op == Opcode::kJumpIfNotZero) {
+        branch_target_[ins.imm] = true;
+        // Every pc-graph cycle contains a backward jump, so widening at the
+        // targets of backward jumps (plus the memory summary's own counter)
+        // cuts every cycle — straight-line code keeps refined bounds intact.
+        if (ins.imm <= pc) widen_point_[ins.imm] = true;
+      }
+    }
+    if (memory.words > 0) mem_values_ = memory.values;
+  }
+
+  ProgramFacts run() {
+    fixpoint();
+    ProgramFacts facts = collect_memory_facts();
+    bound_loops(facts);
+    count_steps(facts);
+    return facts;
+  }
+
+ private:
+  const std::vector<Instruction>& program_;
+  MemoryModel memory_;
+  Cfg cfg_;
+  std::vector<std::optional<RegState>> in_;
+  std::vector<int> join_count_;
+  std::vector<bool> branch_target_;
+  std::vector<bool> widen_point_;
+  std::optional<Interval> mem_values_;  ///< initial contents joined with stored values
+  int mem_join_count_ = 0;
+  std::vector<LoopFact> loop_facts_;
+
+  Interval memory_value() const { return mem_values_ ? *mem_values_ : Interval::all(); }
+
+  // ---- fixpoint ----------------------------------------------------------
+
+  void fixpoint() {
+    std::deque<std::uint64_t> work{0};
+    std::vector<bool> queued(program_.size(), false);
+    in_[0] = RegState{};
+    queued[0] = true;
+
+    auto enqueue = [&](std::uint64_t pc) {
+      if (!queued[pc]) {
+        queued[pc] = true;
+        work.push_back(pc);
+      }
+    };
+
+    while (!work.empty()) {
+      const std::uint64_t pc = work.front();
+      work.pop_front();
+      queued[pc] = false;
+      const RegState state = *in_[pc];
+
+      const bool mem_grew = apply_store_effect(pc, state);
+      if (mem_grew) {
+        for (std::uint64_t p = 0; p < program_.size(); ++p) {
+          if (program_[p].op == Opcode::kLoad && in_[p]) enqueue(p);
+        }
+      }
+
+      for (auto& [succ, out] : transfer(pc, state)) {
+        if (!in_[succ]) {
+          in_[succ] = out;
+          enqueue(succ);
+          continue;
+        }
+        RegState joined = in_[succ]->join(out);
+        if (joined == *in_[succ]) continue;
+        if (widen_point_[succ] && ++join_count_[succ] > kWidenThreshold) {
+          for (std::size_t i = 0; i < joined.regs.size(); ++i) {
+            joined.regs[i] = joined.regs[i].widen_from(in_[succ]->regs[i]);
+          }
+        }
+        in_[succ] = joined;
+        enqueue(succ);
+      }
+    }
+  }
+
+  /// Fold a store's value into the summarized memory interval; returns true
+  /// when the interval grew (loads must then be revisited).
+  bool apply_store_effect(std::uint64_t pc, const RegState& state) {
+    const Instruction& ins = program_[pc];
+    if (ins.op != Opcode::kStore) return false;
+    const Interval value = state.regs[ins.a];
+    if (!mem_values_) {
+      mem_values_ = value;
+      return true;
+    }
+    Interval joined = mem_values_->join(value);
+    if (joined == *mem_values_) return false;
+    if (++mem_join_count_ > kWidenThreshold) joined = joined.widen_from(*mem_values_);
+    mem_values_ = joined;
+    return true;
+  }
+
+  std::vector<std::pair<std::uint64_t, RegState>> transfer(std::uint64_t pc,
+                                                           const RegState& state) {
+    const Instruction& ins = program_[pc];
+    RegState out = state;
+    const Interval x = state.regs[ins.b];
+    const Interval y = state.regs[ins.c];
+
+    switch (ins.op) {
+      case Opcode::kLoadImm: out.regs[ins.a] = Interval::constant(ins.imm); break;
+      case Opcode::kLoad: out.regs[ins.a] = memory_value(); break;
+      case Opcode::kStore: break;  // side effect handled in apply_store_effect
+      case Opcode::kMov: out.regs[ins.a] = x; break;
+      case Opcode::kAdd: out.regs[ins.a] = interval_add(x, y); break;
+      case Opcode::kSub: out.regs[ins.a] = interval_sub(x, y); break;
+      case Opcode::kMul: out.regs[ins.a] = interval_mul(x, y); break;
+      case Opcode::kAnd: out.regs[ins.a] = interval_and(x, y); break;
+      case Opcode::kOr: out.regs[ins.a] = interval_or(x, y); break;
+      case Opcode::kXor: out.regs[ins.a] = interval_xor(x, y); break;
+      case Opcode::kShl: out.regs[ins.a] = interval_shl(x, y); break;
+      case Opcode::kShr: out.regs[ins.a] = interval_shr(x, y); break;
+      case Opcode::kLessThan: out.regs[ins.a] = interval_lt(x, y); break;
+      case Opcode::kJump: return {{ins.imm, out}};
+      case Opcode::kJumpIfZero:
+        return branch_edges(pc, state, /*taken_when_zero=*/true);
+      case Opcode::kJumpIfNotZero:
+        return branch_edges(pc, state, /*taken_when_zero=*/false);
+      case Opcode::kHalt: return {};
+    }
+    return {{pc + 1, out}};
+  }
+
+  /// Edges of a conditional branch, refined by the tested register and — when
+  /// the branch directly follows the `lt` that produced it — by the compared
+  /// operands. Infeasible edges (empty meet) are pruned.
+  std::vector<std::pair<std::uint64_t, RegState>> branch_edges(std::uint64_t pc,
+                                                               const RegState& state,
+                                                               bool taken_when_zero) {
+    const Instruction& ins = program_[pc];
+    std::vector<std::pair<std::uint64_t, RegState>> edges;
+    auto add_edge = [&](std::uint64_t succ, bool cond_zero) {
+      RegState out = state;
+      const Interval cond = cond_zero ? Interval::constant(0) : Interval{1, kMax};
+      auto refined = interval_meet(state.regs[ins.a], cond);
+      if (!refined) return;  // this edge cannot be taken
+      out.regs[ins.a] = *refined;
+      if (!refine_by_guard(pc, cond_zero, out)) return;
+      edges.emplace_back(succ, out);
+    };
+    add_edge(ins.imm, taken_when_zero);
+    add_edge(pc + 1, !taken_when_zero);
+    return edges;
+  }
+
+  /// If `program[pc-1]` is `lt rc, x, y` feeding this branch (and pc has no
+  /// other predecessor), refine x and y on each edge: rc == 0 means x >= y,
+  /// rc != 0 means x < y. Returns false when the edge is infeasible.
+  bool refine_by_guard(std::uint64_t pc, bool cond_zero, RegState& out) {
+    if (pc == 0 || branch_target_[pc]) return true;
+    const Instruction& prev = program_[pc - 1];
+    const Instruction& branch = program_[pc];
+    if (prev.op != Opcode::kLessThan || prev.a != branch.a) return true;
+    if (prev.a == prev.b || prev.a == prev.c || prev.b == prev.c) return true;
+    Interval& x = out.regs[prev.b];
+    Interval& y = out.regs[prev.c];
+    if (cond_zero) {  // x >= y
+      auto rx = interval_meet(x, {y.lo, kMax});
+      auto ry = interval_meet(y, {0, x.hi});
+      if (!rx || !ry) return false;
+      x = *rx;
+      y = *ry;
+    } else {  // x < y, hence y >= 1 and x <= y.hi - 1
+      if (y.hi == 0 || x.lo == kMax) return false;
+      auto rx = interval_meet(x, {0, y.hi - 1});
+      auto ry = interval_meet(y, {x.lo + 1, kMax});
+      if (!rx || !ry) return false;
+      x = *rx;
+      y = *ry;
+    }
+    return true;
+  }
+
+  // ---- memory facts ------------------------------------------------------
+
+  ProgramFacts collect_memory_facts() {
+    ProgramFacts facts;
+    std::uint64_t first_oob_load_pc = 0;
+    bool oob_load = false;
+    for (std::uint64_t pc = 0; pc < program_.size(); ++pc) {
+      if (!in_[pc]) continue;
+      const Instruction& ins = program_[pc];
+      if (ins.op == Opcode::kLoad) {
+        const Interval addr = in_[pc]->regs[ins.b];
+        facts.load_addrs = facts.has_loads ? facts.load_addrs.join(addr) : addr;
+        facts.has_loads = true;
+      } else if (ins.op == Opcode::kStore) {
+        const Interval addr = in_[pc]->regs[ins.b];
+        facts.store_addrs = facts.has_stores ? facts.store_addrs.join(addr) : addr;
+        facts.has_stores = true;
+      }
+    }
+
+    facts.touched_words = memory_.words;
+    if (facts.has_stores) {
+      if (facts.store_addrs.hi == kMax) {
+        facts.findings.push_back({FindingKind::kOobStore, Severity::kWarning, 0,
+                                  "store address range unbounded; memory footprint unknown"});
+        facts.touched_words = kMax;
+      } else {
+        facts.touched_words = std::max(facts.touched_words, sat_add(facts.store_addrs.hi, 1));
+      }
+    }
+    if (facts.has_loads) {
+      for (std::uint64_t pc = 0; pc < program_.size(); ++pc) {
+        if (!in_[pc] || program_[pc].op != Opcode::kLoad) continue;
+        if (in_[pc]->regs[program_[pc].b].hi >= facts.touched_words) {
+          first_oob_load_pc = pc;
+          oob_load = true;
+          break;
+        }
+      }
+    }
+    if (oob_load) {
+      const std::string range = facts.load_addrs.to_string();
+      facts.findings.push_back({FindingKind::kOobLoad, Severity::kWarning, first_oob_load_pc,
+                                "load address range " + range + " may leave the " +
+                                    (facts.touched_words == kMax
+                                         ? std::string("unbounded")
+                                         : std::to_string(facts.touched_words) + "-word") +
+                                    " footprint"});
+    }
+    return facts;
+  }
+
+  // ---- loop bounds -------------------------------------------------------
+
+  struct Guard {
+    std::uint64_t lt_pc = 0;
+    std::uint64_t branch_pc = 0;
+    std::uint8_t x = 0;  ///< non-decreasing side of `lt rc, x, y`
+    std::uint8_t y = 0;  ///< non-increasing side
+  };
+
+  /// pcs covered by a loop's member blocks.
+  std::vector<std::uint64_t> loop_pcs(const NaturalLoop& loop) const {
+    std::vector<std::uint64_t> pcs;
+    for (std::uint64_t b : loop.blocks) {
+      for (std::uint64_t pc = cfg_.blocks()[b].first; pc <= cfg_.blocks()[b].last; ++pc) {
+        pcs.push_back(pc);
+      }
+    }
+    std::sort(pcs.begin(), pcs.end());
+    return pcs;
+  }
+
+  bool block_dominates_all_latches(std::uint64_t block, const NaturalLoop& loop) const {
+    return std::all_of(loop.latches.begin(), loop.latches.end(),
+                       [&](std::uint64_t latch) { return cfg_.dominates(block, latch); });
+  }
+
+  /// Guards inside a loop nested within `loop` run many times per outer
+  /// circuit, which breaks the once-per-circuit gap argument — skip them.
+  bool inside_nested_loop(std::uint64_t block, const NaturalLoop& loop) const {
+    for (const NaturalLoop& other : cfg_.loops()) {
+      if (other.header == loop.header) continue;
+      if (loop.contains_block(other.header) && other.contains_block(block)) return true;
+    }
+    return false;
+  }
+
+  std::optional<Guard> find_guard(const NaturalLoop& loop,
+                                  const std::vector<std::uint64_t>& pcs) const {
+    for (std::uint64_t pc : pcs) {
+      const Instruction& ins = program_[pc];
+      if (ins.op != Opcode::kLessThan) continue;
+      if (pc + 1 >= program_.size()) continue;
+      const Instruction& branch = program_[pc + 1];
+      if (branch.a != ins.a || ins.a == ins.b || ins.a == ins.c || ins.b == ins.c) continue;
+      if (cfg_.block_of(pc) != cfg_.block_of(pc + 1)) continue;
+      std::uint64_t exit_pc = 0;
+      if (branch.op == Opcode::kJumpIfZero) {
+        exit_pc = branch.imm;  // rc == 0 (x >= y) exits
+      } else if (branch.op == Opcode::kJumpIfNotZero) {
+        if (pc + 2 >= program_.size()) continue;
+        if (!loop.contains_block(cfg_.block_of(branch.imm))) continue;  // taken must stay in
+        exit_pc = pc + 2;  // fallthrough (rc == 0) exits
+      } else {
+        continue;
+      }
+      if (loop.contains_block(cfg_.block_of(exit_pc))) continue;  // not an exit
+      const std::uint64_t guard_block = cfg_.block_of(pc + 1);
+      if (!block_dominates_all_latches(guard_block, loop)) continue;
+      if (inside_nested_loop(guard_block, loop)) continue;
+      return Guard{pc, pc + 1, ins.b, ins.c};
+    }
+    return std::nullopt;
+  }
+
+  /// Sum of the constant strides by which the loop provably closes the
+  /// x-vs-y gap each circuit: every write to `reg` must be the allowed
+  /// monotone form; strides only count when their block dominates the
+  /// latches. Returns nullopt when monotonicity cannot be established.
+  std::optional<std::uint64_t> stride_toward_guard(std::uint8_t reg, bool increasing,
+                                                   const NaturalLoop& loop,
+                                                   const std::vector<std::uint64_t>& pcs) const {
+    auto loop_writes = [&](std::uint8_t r) {
+      return std::any_of(pcs.begin(), pcs.end(), [&](std::uint64_t pc) {
+        return writes_register(program_[pc]) && program_[pc].a == r;
+      });
+    };
+    std::uint64_t progress = 0;
+    for (std::uint64_t pc : pcs) {
+      const Instruction& ins = program_[pc];
+      if (!writes_register(ins) || ins.a != reg) continue;
+      if (!in_[pc]) continue;  // unreachable write: no effect on any execution
+      std::uint8_t stride_reg = 0;
+      if (increasing && ins.op == Opcode::kAdd && ins.b == reg) {
+        stride_reg = ins.c;
+      } else if (increasing && ins.op == Opcode::kAdd && ins.c == reg) {
+        stride_reg = ins.b;
+      } else if (!increasing && ins.op == Opcode::kSub && ins.b == reg) {
+        stride_reg = ins.c;
+      } else {
+        return std::nullopt;  // not a recognized monotone update
+      }
+      if (stride_reg == reg || loop_writes(stride_reg)) return std::nullopt;
+      const Interval stride = in_[pc]->regs[stride_reg];
+      if (!stride.is_constant()) return std::nullopt;
+      const Interval value = in_[pc]->regs[reg];
+      if (increasing) {
+        if (add_overflows(value.hi, stride.lo)) return std::nullopt;  // could wrap forward
+      } else {
+        if (value.lo < stride.lo) return std::nullopt;  // could wrap below zero
+      }
+      if (block_dominates_all_latches(cfg_.block_of(pc), loop)) {
+        progress = sat_add(progress, stride.lo);
+      }
+    }
+    return progress;
+  }
+
+  void bound_loops(ProgramFacts& facts) {
+    if (!cfg_.reducible()) {
+      facts.findings.push_back({FindingKind::kIrreducibleFlow, Severity::kWarning, 0,
+                                "control flow is not reducible; termination analysis declined"});
+      return;
+    }
+    for (const NaturalLoop& loop : cfg_.loops()) {
+      LoopFact fact;
+      fact.header_pc = cfg_.blocks()[loop.header].first;
+      const std::vector<std::uint64_t> pcs = loop_pcs(loop);
+      const auto guard = find_guard(loop, pcs);
+      if (!guard) {
+        fact.note = "no `lt; jz/jnz` exit guard recognized";
+      } else if (!in_[guard->lt_pc]) {
+        fact.note = "guard unreachable in the abstract execution";
+      } else {
+        const auto up = stride_toward_guard(guard->x, /*increasing=*/true, loop, pcs);
+        const auto down = stride_toward_guard(guard->y, /*increasing=*/false, loop, pcs);
+        if (!up || !down) {
+          fact.note = "guard operands not provably monotone with constant stride";
+        } else if (sat_add(*up, *down) == 0) {
+          fact.note = "no constant-stride progress toward the guard";
+        } else {
+          const RegState& header_in = *in_[cfg_.blocks()[loop.header].first];
+          const std::uint64_t x0 = header_in.regs[guard->x].lo;
+          const std::uint64_t y0 = header_in.regs[guard->y].hi;
+          if (y0 == kMax) {
+            fact.note = "guard bound register has no finite upper bound";
+          } else {
+            const std::uint64_t gap = y0 > x0 ? y0 - x0 : 0;
+            const std::uint64_t stride = sat_add(*up, *down);
+            fact.bounded = true;
+            fact.max_trips = gap == 0 ? 0 : (gap + stride - 1) / stride;
+            fact.note = "guard at pc " + std::to_string(guard->lt_pc) + ", gap " +
+                        std::to_string(gap) + ", stride " + std::to_string(stride);
+          }
+        }
+      }
+      if (!fact.bounded) {
+        facts.findings.push_back({FindingKind::kUnboundedLoop, Severity::kWarning,
+                                  fact.header_pc,
+                                  "loop at pc " + std::to_string(fact.header_pc) +
+                                      " has no proven trip bound: " + fact.note});
+      }
+      facts.loops.push_back(std::move(fact));
+    }
+    loop_facts_ = facts.loops;
+  }
+
+  // ---- step counting -----------------------------------------------------
+
+  /// Worst-case executions of one pc: product of (trips + 1) over every loop
+  /// containing it (nested loops multiply), saturating.
+  std::uint64_t pc_multiplier(std::uint64_t pc) const {
+    std::uint64_t mult = 1;
+    const std::uint64_t block = cfg_.block_of(pc);
+    const auto& loops = cfg_.loops();
+    for (std::size_t i = 0; i < loops.size(); ++i) {
+      if (!loops[i].contains_block(block)) continue;
+      mult = sat_mul(mult, sat_add(loop_facts_[i].max_trips, 1));
+    }
+    return mult;
+  }
+
+  void count_steps(ProgramFacts& facts) {
+    const bool all_bounded = std::all_of(facts.loops.begin(), facts.loops.end(),
+                                         [](const LoopFact& f) { return f.bounded; });
+    facts.terminates = cfg_.reducible() && all_bounded;
+    if (!facts.terminates) return;
+    for (std::uint64_t pc = 0; pc < program_.size(); ++pc) {
+      if (!in_[pc]) continue;  // never reached in the abstract execution
+      const std::uint64_t mult = pc_multiplier(pc);
+      facts.max_steps = sat_add(facts.max_steps, mult);
+      if (program_[pc].op == Opcode::kLoad) facts.max_loads = sat_add(facts.max_loads, mult);
+      if (program_[pc].op == Opcode::kStore) facts.max_stores = sat_add(facts.max_stores, mult);
+    }
+  }
+};
+
+}  // namespace
+
+MemoryModel MemoryModel::from_words(const std::vector<std::uint64_t>& memory) {
+  MemoryModel model;
+  model.words = memory.size();
+  if (!memory.empty()) {
+    model.values = Interval::constant(memory[0]);
+    for (std::uint64_t word : memory) model.values = model.values.join(Interval::constant(word));
+  }
+  return model;
+}
+
+std::string ProgramFacts::summary() const {
+  std::string out;
+  if (terminates) {
+    out = "terminates: steps <= " + std::to_string(max_steps);
+  } else {
+    out = "termination unproven";
+  }
+  if (has_loads) {
+    out += ", loads";
+    if (terminates) out += " <= " + std::to_string(max_loads);
+    out += " in " + load_addrs.to_string();
+  }
+  if (has_stores) {
+    out += ", stores";
+    if (terminates) out += " <= " + std::to_string(max_stores);
+    out += " in " + store_addrs.to_string();
+  }
+  out += ", footprint " +
+         (touched_words == Interval::kMax ? std::string("unbounded")
+                                          : std::to_string(touched_words) + " words");
+  return out;
+}
+
+ProgramFacts analyze_program(const std::vector<ram::Instruction>& program,
+                             const MemoryModel& memory) {
+  return Interpreter(program, memory).run();
+}
+
+}  // namespace mpch::verify

@@ -1,0 +1,71 @@
+// abstract_interpreter.hpp — interval analysis over word-RAM programs.
+//
+// A classic worklist fixpoint over the interval domain (verify/interval.hpp),
+// with widening for termination and branch refinement on the `lt; jz/jnz`
+// guard idiom so loop counters keep tight bounds. On top of the fixpoint sits
+// a loop-bound pass: for each natural loop (verify/cfg.hpp) it looks for a
+// guard `lt rc, x, y` feeding the exit branch, proves x non-decreasing and y
+// non-increasing by constant strides, and bounds the trip count by
+// ceil((y0 - x0) / stride). The per-pc products of (trips + 1) then give a
+// worst-case step count, and load/store address intervals give the touched
+// memory footprint — the facts verify/envelope.hpp turns into a derived
+// RAM-emulation ProtocolSpec.
+//
+// Everything here over-approximates: `terminates == true` and the bounds are
+// proofs; `terminates == false` merely means no proof was found.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ram/machine.hpp"
+#include "verify/diagnostics.hpp"
+#include "verify/interval.hpp"
+
+namespace mpch::verify {
+
+/// What the analyzer assumes about the initial memory image: addresses
+/// [0, words) are mapped and every initial word's value lies in `values`.
+/// Data-dependent addressing (pointer chasing) is only boundable when the
+/// contents are bounded, which is why the model carries a value interval.
+struct MemoryModel {
+  std::uint64_t words = 0;
+  Interval values = Interval::constant(0);
+
+  static MemoryModel from_words(const std::vector<std::uint64_t>& memory);
+};
+
+struct LoopFact {
+  std::uint64_t header_pc = 0;  ///< first pc of the loop header block
+  bool bounded = false;
+  std::uint64_t max_trips = 0;  ///< guard passes (body iterations), valid iff bounded
+  std::string note;             ///< guard description, or why no bound was proven
+};
+
+struct ProgramFacts {
+  bool terminates = false;      ///< true only with a proof
+  std::uint64_t max_steps = 0;  ///< worst-case executed instructions, valid iff terminates
+
+  bool has_loads = false;
+  bool has_stores = false;
+  Interval load_addrs;            ///< valid iff has_loads
+  Interval store_addrs;           ///< valid iff has_stores
+  std::uint64_t max_loads = 0;    ///< valid iff terminates
+  std::uint64_t max_stores = 0;   ///< valid iff terminates
+  std::uint64_t touched_words = 0;  ///< mapped image plus store range (saturating)
+
+  std::vector<LoopFact> loops;
+  std::vector<Finding> findings;
+
+  std::string summary() const;
+};
+
+/// Run the full analysis (fixpoint + loop bounds + footprint). The program
+/// must already be structurally valid (verify_program runs those checks
+/// first and only calls this afterwards).
+ProgramFacts analyze_program(const std::vector<ram::Instruction>& program,
+                             const MemoryModel& memory);
+
+}  // namespace mpch::verify

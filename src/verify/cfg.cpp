@@ -1,0 +1,176 @@
+#include "verify/cfg.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace mpch::verify {
+
+using ram::Instruction;
+using ram::Opcode;
+
+bool NaturalLoop::contains_block(std::uint64_t block) const {
+  return std::binary_search(blocks.begin(), blocks.end(), block);
+}
+
+std::vector<std::uint64_t> Cfg::successor_pcs(const std::vector<Instruction>& program,
+                                              std::uint64_t pc) {
+  const Instruction& ins = program[pc];
+  switch (ins.op) {
+    case Opcode::kHalt:
+      return {};
+    case Opcode::kJump:
+      return {ins.imm};
+    case Opcode::kJumpIfZero:
+    case Opcode::kJumpIfNotZero:
+      if (ins.imm == pc + 1) return {pc + 1};  // degenerate branch to fallthrough
+      return {ins.imm, pc + 1};
+    default:
+      return {pc + 1};
+  }
+}
+
+Cfg::Cfg(const std::vector<Instruction>& program) {
+  if (program.empty()) throw std::invalid_argument("Cfg: empty program");
+
+  // Leaders: pc 0, every branch target, and every pc following a control
+  // transfer (jump, conditional, halt).
+  std::set<std::uint64_t> leaders{0};
+  for (std::uint64_t pc = 0; pc < program.size(); ++pc) {
+    const Instruction& ins = program[pc];
+    const bool is_control = ins.op == Opcode::kJump || ins.op == Opcode::kJumpIfZero ||
+                            ins.op == Opcode::kJumpIfNotZero || ins.op == Opcode::kHalt;
+    if (!is_control) continue;
+    if (ins.op != Opcode::kHalt) {
+      if (ins.imm >= program.size()) throw std::invalid_argument("Cfg: jump target out of range");
+      leaders.insert(ins.imm);
+    }
+    if (pc + 1 < program.size()) leaders.insert(pc + 1);
+  }
+
+  block_of_.assign(program.size(), 0);
+  for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+    CfgBlock block;
+    block.first = *it;
+    auto next = std::next(it);
+    block.last = (next == leaders.end() ? program.size() : *next) - 1;
+    for (std::uint64_t pc = block.first; pc <= block.last; ++pc) block_of_[pc] = blocks_.size();
+    blocks_.push_back(block);
+  }
+
+  for (std::uint64_t b = 0; b < blocks_.size(); ++b) {
+    std::set<std::uint64_t> succ_blocks;
+    for (std::uint64_t pc : successor_pcs(program, blocks_[b].last)) {
+      if (pc >= program.size()) continue;  // fall-off is flagged upstream
+      succ_blocks.insert(block_of_[pc]);
+    }
+    for (std::uint64_t s : succ_blocks) {
+      blocks_[b].succ.push_back(s);
+      blocks_[s].pred.push_back(b);
+    }
+  }
+
+  reachable_.assign(blocks_.size(), false);
+  std::vector<std::uint64_t> stack{0};
+  reachable_[0] = true;
+  while (!stack.empty()) {
+    const std::uint64_t b = stack.back();
+    stack.pop_back();
+    for (std::uint64_t s : blocks_[b].succ) {
+      if (!reachable_[s]) {
+        reachable_[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+
+  compute_dominators();
+  find_back_edges_and_loops();
+}
+
+void Cfg::compute_dominators() {
+  const std::uint64_t n = blocks_.size();
+  words_per_block_ = (n + 63) / 64;
+  const std::vector<std::uint64_t> full(words_per_block_, ~std::uint64_t{0});
+  dom_.assign(n, full);
+  dom_[0].assign(words_per_block_, 0);
+  dom_[0][0] = 1;  // entry dominated only by itself
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::uint64_t b = 1; b < n; ++b) {
+      if (!reachable_[b]) continue;
+      std::vector<std::uint64_t> meet(full);
+      bool any_pred = false;
+      for (std::uint64_t p : blocks_[b].pred) {
+        if (!reachable_[p]) continue;
+        any_pred = true;
+        for (std::uint64_t w = 0; w < words_per_block_; ++w) meet[w] &= dom_[p][w];
+      }
+      if (!any_pred) meet.assign(words_per_block_, 0);
+      meet[b / 64] |= std::uint64_t{1} << (b % 64);
+      if (meet != dom_[b]) {
+        dom_[b] = std::move(meet);
+        changed = true;
+      }
+    }
+  }
+}
+
+bool Cfg::dominates(std::uint64_t a, std::uint64_t b) const {
+  if (!reachable_[a] || !reachable_[b]) return false;
+  return (dom_[b][a / 64] >> (a % 64)) & 1;
+}
+
+void Cfg::find_back_edges_and_loops() {
+  // DFS from the entry; an edge into a gray (on-stack) node closes a cycle.
+  // Reducible iff every such edge targets a dominator of its source.
+  enum class Color : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Color> color(blocks_.size(), Color::kWhite);
+  std::map<std::uint64_t, std::vector<std::uint64_t>> latches_by_header;
+
+  std::vector<std::pair<std::uint64_t, std::size_t>> stack;
+  stack.emplace_back(0, 0);
+  color[0] = Color::kGray;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    if (next < blocks_[b].succ.size()) {
+      const std::uint64_t s = blocks_[b].succ[next++];
+      if (color[s] == Color::kWhite) {
+        color[s] = Color::kGray;
+        stack.emplace_back(s, 0);
+      } else if (color[s] == Color::kGray) {
+        if (dominates(s, b)) {
+          latches_by_header[s].push_back(b);
+        } else {
+          reducible_ = false;
+        }
+      }
+    } else {
+      color[b] = Color::kBlack;
+      stack.pop_back();
+    }
+  }
+
+  for (const auto& [header, latches] : latches_by_header) {
+    NaturalLoop loop;
+    loop.header = header;
+    loop.latches = latches;
+    std::set<std::uint64_t> members{header};
+    std::vector<std::uint64_t> work(latches.begin(), latches.end());
+    while (!work.empty()) {
+      const std::uint64_t b = work.back();
+      work.pop_back();
+      if (!members.insert(b).second) continue;
+      for (std::uint64_t p : blocks_[b].pred) {
+        if (reachable_[p]) work.push_back(p);
+      }
+    }
+    loop.blocks.assign(members.begin(), members.end());
+    loops_.push_back(std::move(loop));
+  }
+}
+
+}  // namespace mpch::verify

@@ -1,0 +1,74 @@
+// cfg.hpp — control-flow graph over word-RAM bytecode.
+//
+// Basic blocks, reachability, iterative dominators, a reducibility check, and
+// natural-loop discovery. The loop-bound pass in abstract_interpreter builds
+// on these: a back edge u -> h (h dominating u) defines a natural loop, and a
+// reducible CFG guarantees every cycle goes through such a back edge — the
+// structural precondition for proving termination loop by loop.
+//
+// Construction requires a structurally valid program (jump targets in range,
+// no fall-off-the-end): run the structural checks in verify/verifier.hpp
+// first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ram/machine.hpp"
+
+namespace mpch::verify {
+
+struct CfgBlock {
+  std::uint64_t first = 0;  ///< first pc of the block
+  std::uint64_t last = 0;   ///< last pc of the block (inclusive)
+  std::vector<std::uint64_t> succ;  ///< successor block ids
+  std::vector<std::uint64_t> pred;  ///< predecessor block ids
+};
+
+struct NaturalLoop {
+  std::uint64_t header = 0;             ///< header block id
+  std::vector<std::uint64_t> latches;   ///< back-edge source block ids
+  std::vector<std::uint64_t> blocks;    ///< member block ids, sorted, incl. header
+  bool contains_block(std::uint64_t block) const;
+};
+
+class Cfg {
+ public:
+  explicit Cfg(const std::vector<ram::Instruction>& program);
+
+  /// Successor pcs of one instruction; may include program.size() when a
+  /// non-jump path steps past the end (flagged upstream as kFallsOffEnd and
+  /// dropped from the block graph here).
+  static std::vector<std::uint64_t> successor_pcs(const std::vector<ram::Instruction>& program,
+                                                  std::uint64_t pc);
+
+  const std::vector<CfgBlock>& blocks() const { return blocks_; }
+  std::uint64_t block_of(std::uint64_t pc) const { return block_of_[pc]; }
+  bool block_reachable(std::uint64_t block) const { return reachable_[block]; }
+
+  /// Does block `a` dominate block `b`? Unreachable blocks dominate nothing
+  /// and are dominated by everything (vacuous).
+  bool dominates(std::uint64_t a, std::uint64_t b) const;
+
+  /// Reducible iff every cycle edge found by DFS targets a dominator of its
+  /// source (i.e. every retreating edge is a back edge).
+  bool reducible() const { return reducible_; }
+
+  /// Natural loops, one per header (multiple back edges to the same header
+  /// are merged). Meaningful only when reducible().
+  const std::vector<NaturalLoop>& loops() const { return loops_; }
+
+ private:
+  std::vector<CfgBlock> blocks_;
+  std::vector<std::uint64_t> block_of_;
+  std::vector<bool> reachable_;
+  std::vector<std::vector<std::uint64_t>> dom_;  ///< bitset words per block
+  std::uint64_t words_per_block_ = 0;
+  bool reducible_ = true;
+  std::vector<NaturalLoop> loops_;
+
+  void compute_dominators();
+  void find_back_edges_and_loops();
+};
+
+}  // namespace mpch::verify

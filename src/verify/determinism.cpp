@@ -1,0 +1,79 @@
+#include "verify/determinism.hpp"
+
+namespace mpch::verify {
+
+util::BitString TranscriptReplayOracle::query(const util::BitString& input) {
+  const std::uint64_t index = position_++;
+  if (index >= transcript_.size()) {
+    if (!diverged_) {
+      diverged_ = true;
+      first_divergence_ = index;
+    }
+    return util::BitString(output_bits_);  // zeros; the stream already diverged
+  }
+  const auto& [recorded_query, recorded_answer] = transcript_[index];
+  if (!(input == recorded_query) && !diverged_) {
+    diverged_ = true;
+    first_divergence_ = index;
+  }
+  return recorded_answer;
+}
+
+ReplayAuditReport audit_round_program(compress::RoundProgram& program,
+                                      const util::BitString& memory,
+                                      hash::RandomOracle& oracle) {
+  // Pass 1: record the transcript.
+  compress::LoggingOracle logger(oracle);
+  std::vector<util::BitString> answers;
+  class AnswerTap final : public hash::RandomOracle {
+   public:
+    AnswerTap(hash::RandomOracle& inner, std::vector<util::BitString>& answers)
+        : inner_(&inner), answers_(&answers) {}
+    util::BitString query(const util::BitString& input) override {
+      util::BitString answer = inner_->query(input);
+      answers_->push_back(answer);
+      return answer;
+    }
+    std::size_t input_bits() const override { return inner_->input_bits(); }
+    std::size_t output_bits() const override { return inner_->output_bits(); }
+    std::uint64_t total_queries() const override { return inner_->total_queries(); }
+
+   private:
+    hash::RandomOracle* inner_;
+    std::vector<util::BitString>* answers_;
+  } tap(logger, answers);
+  program.run(memory, tap);
+
+  std::vector<std::pair<util::BitString, util::BitString>> transcript;
+  transcript.reserve(logger.log().size());
+  for (std::size_t i = 0; i < logger.log().size(); ++i) {
+    transcript.emplace_back(logger.log()[i], answers[i]);
+  }
+
+  // Pass 2: replay with the recorded answers and compare the query stream.
+  TranscriptReplayOracle replay(transcript, oracle.input_bits(), oracle.output_bits());
+  program.run(memory, replay);
+
+  ReplayAuditReport report;
+  report.recorded_queries = transcript.size();
+  report.replayed_queries = replay.position();
+  if (replay.diverged()) {
+    report.deterministic = false;
+    report.first_divergence = replay.first_divergence();
+    report.message = "query stream diverged at query " +
+                     std::to_string(replay.first_divergence()) + " of " +
+                     std::to_string(transcript.size()) + " recorded";
+  } else if (replay.position() != transcript.size()) {
+    report.deterministic = false;
+    report.first_divergence = replay.position();
+    report.message = "replay issued " + std::to_string(replay.position()) + " queries but " +
+                     std::to_string(transcript.size()) + " were recorded";
+  } else {
+    report.deterministic = true;
+    report.message = "query stream is a pure function of (memory, answers): " +
+                     std::to_string(transcript.size()) + " queries replayed identically";
+  }
+  return report;
+}
+
+}  // namespace mpch::verify

@@ -1,0 +1,68 @@
+// determinism.hpp — replay audit of the A2 purity contract.
+//
+// The compression proofs (Claims 3.7/A.4) re-run a machine's round program
+// during decoding and assume its query stream is a pure function of (memory,
+// answers so far). audit_round_program certifies that operationally: run A2
+// once recording the (query, answer) transcript, then run it again against a
+// replay oracle that serves the recorded answers positionally and checks the
+// query stream matches byte for byte. A divergence means the program consults
+// hidden state (global RNG, mutable members, wall clock) and would break the
+// encoder/decoder agreement the counting argument depends on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compress/round_program.hpp"
+#include "hash/random_oracle.hpp"
+#include "util/bitstring.hpp"
+
+namespace mpch::verify {
+
+/// Oracle that replays a recorded transcript: query i is answered with the
+/// recorded answer i, and a mismatch between the incoming query and the
+/// recorded one is tallied as a divergence. Queries past the transcript end
+/// are divergences answered with zeros.
+class TranscriptReplayOracle final : public hash::RandomOracle {
+ public:
+  TranscriptReplayOracle(std::vector<std::pair<util::BitString, util::BitString>> transcript,
+                         std::size_t input_bits, std::size_t output_bits)
+      : transcript_(std::move(transcript)), input_bits_(input_bits), output_bits_(output_bits) {}
+
+  util::BitString query(const util::BitString& input) override;
+
+  std::size_t input_bits() const override { return input_bits_; }
+  std::size_t output_bits() const override { return output_bits_; }
+  std::uint64_t total_queries() const override { return position_; }
+
+  std::uint64_t position() const { return position_; }
+  bool diverged() const { return diverged_; }
+  std::uint64_t first_divergence() const { return first_divergence_; }
+
+ private:
+  std::vector<std::pair<util::BitString, util::BitString>> transcript_;
+  std::size_t input_bits_;
+  std::size_t output_bits_;
+  std::uint64_t position_ = 0;
+  bool diverged_ = false;
+  std::uint64_t first_divergence_ = 0;
+};
+
+struct ReplayAuditReport {
+  bool deterministic = false;
+  std::uint64_t recorded_queries = 0;
+  std::uint64_t replayed_queries = 0;
+  std::uint64_t first_divergence = 0;  ///< query index, valid iff !deterministic
+  std::string message;
+};
+
+/// Record `program`'s query transcript against `oracle`, then replay it and
+/// compare the streams. Deterministic programs (the contract) pass; any
+/// divergence is reported with the first offending query index.
+ReplayAuditReport audit_round_program(compress::RoundProgram& program,
+                                      const util::BitString& memory,
+                                      hash::RandomOracle& oracle);
+
+}  // namespace mpch::verify

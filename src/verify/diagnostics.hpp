@@ -1,0 +1,52 @@
+// diagnostics.hpp — finding/severity vocabulary for the static verifier.
+//
+// Mirrors analysis/static_checker's Diagnostic style (typed kind + provenance
+// + human-readable message) but anchored to bytecode program counters instead
+// of protocol rounds. Errors are contract violations (the program cannot run
+// or cannot be admitted); warnings are soundness hazards the analysis could
+// not rule out (unbounded loop, possibly out-of-range address); notes are
+// informational. mpch-verify exits 1 on errors, and on warnings under
+// --strict.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpch::verify {
+
+enum class Severity : std::uint8_t { kError, kWarning, kNote };
+
+enum class FindingKind : std::uint8_t {
+  kEmptyProgram,      ///< no instructions at all
+  kTruncatedProgram,  ///< byte stream not a whole number of instructions
+  kBadOpcode,         ///< opcode byte outside the Opcode enum
+  kBadRegister,       ///< register index >= kNumRegisters
+  kBadJumpTarget,     ///< jump immediate past the program end
+  kFallsOffEnd,       ///< a non-jump path can step past the last instruction
+  kUnreachableCode,   ///< instruction not reachable from pc 0
+  kUseBeforeDef,      ///< register read before any write (implicit zero)
+  kIrreducibleFlow,   ///< CFG not reducible; loop analysis declines
+  kUnboundedLoop,     ///< no trip-count bound proven for a natural loop
+  kOobLoad,           ///< load address may leave the touched-memory footprint
+  kOobStore,          ///< store address range could not be bounded
+  kNonReplayable,     ///< round-program query stream diverged under replay
+};
+
+const char* severity_name(Severity severity);
+const char* finding_kind_name(FindingKind kind);
+
+struct Finding {
+  FindingKind kind = FindingKind::kEmptyProgram;
+  Severity severity = Severity::kError;
+  std::uint64_t pc = 0;  ///< instruction index the finding anchors to
+  std::string message;
+
+  /// "[error/bad-jump-target] pc 3: target 999 past program end 5"
+  std::string to_string() const;
+};
+
+bool has_errors(const std::vector<Finding>& findings);
+bool has_warnings(const std::vector<Finding>& findings);
+
+}  // namespace mpch::verify

@@ -1,0 +1,32 @@
+#include "verify/envelope.hpp"
+
+#include <stdexcept>
+
+#include "strategies/ram_emulation.hpp"
+
+namespace mpch::verify {
+
+InferredRamSpec infer_ram_emulation_spec(const std::vector<ram::Instruction>& program,
+                                         const ProgramFacts& facts, std::uint64_t machines,
+                                         std::uint64_t steps_per_round) {
+  if (!facts.terminates) {
+    throw std::invalid_argument(
+        "infer_ram_emulation_spec: termination unproven; no finite round bound exists");
+  }
+  if (facts.touched_words == Interval::kMax) {
+    throw std::invalid_argument(
+        "infer_ram_emulation_spec: memory footprint unbounded; no finite envelope exists");
+  }
+  InferredRamSpec inferred;
+  inferred.memory_words = facts.touched_words;
+  // A program touching no memory still needs max_steps >= 1 for a
+  // well-formed spec (max_steps == 0 means "no hint" to the strategy).
+  inferred.max_steps = facts.max_steps == 0 ? 1 : facts.max_steps;
+  const strategies::RamEmulationStrategy strategy(program, machines, steps_per_round,
+                                                  inferred.memory_words, inferred.max_steps);
+  inferred.spec = strategy.protocol_spec();
+  inferred.spec.protocol += " (inferred)";
+  return inferred;
+}
+
+}  // namespace mpch::verify

@@ -1,0 +1,35 @@
+// envelope.hpp — derive a RAM-emulation ProtocolSpec from verified facts.
+//
+// The RAM-emulation strategy's declared spec is a function of two hand-fed
+// hints: the memory footprint (distinct addresses touched) and the worst-case
+// step count. With the abstract interpreter those hints stop being trusted
+// inputs: termination + max_steps + touched_words are *proven* upper bounds,
+// and the spec built from them is the inferred envelope. The sandwich check
+// then pins it from both sides — runtime RoundStats peaks must fit under it
+// (spec_soundness), and it must fit under whatever a human declared
+// (check_spec_dominance).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/protocol_spec.hpp"
+#include "ram/machine.hpp"
+#include "verify/abstract_interpreter.hpp"
+
+namespace mpch::verify {
+
+struct InferredRamSpec {
+  std::uint64_t memory_words = 0;  ///< derived footprint hint
+  std::uint64_t max_steps = 0;     ///< derived step-bound hint
+  analysis::ProtocolSpec spec;     ///< RAM-emulation envelope built from the derived hints
+};
+
+/// Build the RAM-emulation spec for `machines`/`steps_per_round` from
+/// `facts`. Throws std::invalid_argument when the facts cannot support a
+/// finite envelope: termination unproven, or an unbounded store range.
+InferredRamSpec infer_ram_emulation_spec(const std::vector<ram::Instruction>& program,
+                                         const ProgramFacts& facts, std::uint64_t machines,
+                                         std::uint64_t steps_per_round);
+
+}  // namespace mpch::verify

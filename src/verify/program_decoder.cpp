@@ -1,0 +1,59 @@
+#include "verify/program_decoder.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mpch::verify {
+
+using ram::Instruction;
+using ram::Opcode;
+
+std::vector<std::uint8_t> encode_program(const std::vector<Instruction>& program) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(program.size() * kInstructionBytes);
+  for (const Instruction& ins : program) {
+    bytes.push_back(static_cast<std::uint8_t>(ins.op));
+    bytes.push_back(ins.a);
+    bytes.push_back(ins.b);
+    bytes.push_back(ins.c);
+    for (int shift = 0; shift < 64; shift += 8) {
+      bytes.push_back(static_cast<std::uint8_t>(ins.imm >> shift));
+    }
+  }
+  return bytes;
+}
+
+std::vector<Instruction> decode_program(const std::uint8_t* data, std::size_t size) {
+  if (size % kInstructionBytes != 0) {
+    throw std::invalid_argument("decode_program: " + std::to_string(size) +
+                                " bytes is not a whole number of " +
+                                std::to_string(kInstructionBytes) + "-byte instructions");
+  }
+  std::vector<Instruction> program;
+  program.reserve(size / kInstructionBytes);
+  for (std::size_t off = 0; off < size; off += kInstructionBytes) {
+    const std::uint8_t raw_op = data[off];
+    if (raw_op > static_cast<std::uint8_t>(Opcode::kHalt)) {
+      throw std::invalid_argument("decode_program: instruction " +
+                                  std::to_string(off / kInstructionBytes) + ": opcode byte " +
+                                  std::to_string(raw_op) + " outside the instruction set");
+    }
+    Instruction ins;
+    ins.op = static_cast<Opcode>(raw_op);
+    ins.a = data[off + 1];
+    ins.b = data[off + 2];
+    ins.c = data[off + 3];
+    ins.imm = 0;
+    for (int byte = 0; byte < 8; ++byte) {
+      ins.imm |= static_cast<std::uint64_t>(data[off + 4 + byte]) << (8 * byte);
+    }
+    program.push_back(ins);
+  }
+  return program;
+}
+
+std::vector<Instruction> decode_program(const std::vector<std::uint8_t>& bytes) {
+  return decode_program(bytes.data(), bytes.size());
+}
+
+}  // namespace mpch::verify

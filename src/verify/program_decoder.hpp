@@ -1,0 +1,30 @@
+// program_decoder.hpp — fixed-width binary codec for word-RAM programs.
+//
+// 12 bytes per instruction: op(1) a(1) b(1) c(1) imm(8, little-endian). The
+// decoder is the hostile-input boundary (and the fuzz target): it rejects
+// truncated streams and opcode bytes outside the enum with typed
+// std::invalid_argument, while out-of-range registers and jump targets pass
+// through so the static verifier can report them as findings — mirroring how
+// a checkpoint payload is framed before deserialization elsewhere in the
+// tree.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ram/machine.hpp"
+
+namespace mpch::verify {
+
+constexpr std::size_t kInstructionBytes = 12;
+
+std::vector<std::uint8_t> encode_program(const std::vector<ram::Instruction>& program);
+
+/// Throws std::invalid_argument on truncation (size not a multiple of 12) or
+/// an opcode byte outside the Opcode enum. An empty stream decodes to an
+/// empty program (which verify_program then rejects as kEmptyProgram).
+std::vector<ram::Instruction> decode_program(const std::uint8_t* data, std::size_t size);
+std::vector<ram::Instruction> decode_program(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace mpch::verify

@@ -9,6 +9,8 @@
 
 #include "core/line.hpp"
 #include "hash/random_oracle.hpp"
+#include "ram/machine.hpp"
+#include "ram/programs.hpp"
 #include "strategies/batch_pointer_chasing.hpp"
 #include "strategies/colluding.hpp"
 #include "strategies/dictionary.hpp"
@@ -121,13 +123,8 @@ TEST(SpecSoundness, BatchPointerChasing) {
 }
 
 TEST(SpecSoundness, RamEmulation) {
-  using namespace ram::asm_ops;
   const std::uint64_t n = 8;
-  std::vector<ram::Instruction> prog = {
-      loadi(0, 0), loadi(1, 0), loadi(2, n), loadi(5, 1),
-      lt(3, 1, 2), jz(3, 10),   load(4, 1),  add(0, 0, 4),
-      add(1, 1, 5), jmp(4),     halt(),
-  };
+  std::vector<ram::Instruction> prog = ram::programs::sum(n);
   std::vector<std::uint64_t> memory(n);
   for (std::uint64_t i = 0; i < n; ++i) memory[i] = i + 1;
   ram::RamMachine native(prog, memory);

@@ -209,6 +209,61 @@ TEST(StaticChecker, ThrowsOnMalformedSpec) {
   EXPECT_THROW(check_spec(spec, c), std::invalid_argument);
 }
 
+TEST(StaticChecker, MalformedSpecErrorNamesTheProtocol) {
+  ProtocolSpec spec;
+  spec.protocol = "zero-machine-proto";
+  spec.machines = 0;
+  spec.max_rounds = 1;
+  mpc::MpcConfig c;
+  c.machines = 4;
+  try {
+    check_spec(spec, c);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("zero-machine-proto"), std::string::npos) << e.what();
+  }
+}
+
+TEST(StaticChecker, EnvelopeExactlyAtTheBudgetPasses) {
+  // Conformance is <=, not <: a spec that meets every bound exactly is legal,
+  // and one bit/query over any single bound is not.
+  ProtocolSpec spec;
+  spec.protocol = "boundary";
+  spec.machines = 4;
+  spec.max_rounds = 10;
+  spec.needs_oracle = true;
+  spec.steady.memory_bits = 100;
+  spec.steady.recv_bits = 100;
+  spec.steady.oracle_queries = 7;
+
+  mpc::MpcConfig c;
+  c.machines = 4;
+  c.max_rounds = 10;
+  c.local_memory_bits = 100;
+  c.query_budget = 7;
+  EXPECT_TRUE(check_spec(spec, c).ok());
+
+  ProtocolSpec over = spec;
+  over.steady.memory_bits = 101;
+  EXPECT_NE(find(check_spec(over, c), ViolationKind::kMemory), nullptr);
+  over = spec;
+  over.steady.oracle_queries = 8;
+  EXPECT_NE(find(check_spec(over, c), ViolationKind::kQueryBudget), nullptr);
+  over = spec;
+  over.steady.recv_bits = 101;
+  EXPECT_NE(find(check_spec(over, c), ViolationKind::kInboxCapacity), nullptr);
+}
+
+TEST(StaticChecker, OracleMissingDiagnosticExplainsItself) {
+  core::LineParams p = params();
+  strategies::PointerChasingStrategy chase(p, strategies::OwnershipPlan::round_robin(p, 4));
+  ProtocolSpec spec = chase.protocol_spec();
+  AnalysisReport report = check_spec(spec, documented(spec, 0));
+  const Diagnostic* d = find(report, ViolationKind::kOracleMissing);
+  ASSERT_NE(d, nullptr) << report.format();
+  EXPECT_NE(d->message.find("oracle"), std::string::npos) << d->message;
+}
+
 TEST(StaticChecker, EffectiveQueryBoundClampsOnlyWhenDeclared) {
   ProtocolSpec spec;
   spec.steady.oracle_queries = 100;

@@ -27,6 +27,7 @@
 #include "mpc/auth.hpp"
 #include "mpc/simulation.hpp"
 #include "ram/machine.hpp"
+#include "ram/programs.hpp"
 #include "strategies/pointer_chasing.hpp"
 #include "strategies/ram_emulation.hpp"
 #include "util/rng.hpp"
@@ -63,15 +64,10 @@ Scenario make_scenario(const std::string& name, std::uint64_t threads, bool auth
     s.algo = strat;
     s.oracle_factory = [n = p.n] { return std::make_shared<hash::LazyRandomOracle>(n, n, kSeed); };
   } else if (name == "ram-emulation") {
-    using namespace ram::asm_ops;
     const std::uint64_t n = 8;
     std::vector<std::uint64_t> memory(n);
     for (std::uint64_t i = 0; i < n; ++i) memory[i] = (kSeed * 7 + i * 3) % 97;
-    std::vector<ram::Instruction> prog = {
-        loadi(0, 0), loadi(1, 0), loadi(2, n), loadi(5, 1),
-        lt(3, 1, 2), jz(3, 10),   load(4, 1),  add(0, 0, 4),
-        add(1, 1, 5), jmp(4),     halt(),
-    };
+    std::vector<ram::Instruction> prog = ram::programs::sum(n);
     auto strat = std::make_shared<strategies::RamEmulationStrategy>(prog, 4, 1);
     s.config.machines = 4;
     s.config.local_memory_bits = strat->required_local_memory(memory.size());

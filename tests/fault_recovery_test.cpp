@@ -25,6 +25,7 @@
 #include "hash/random_oracle.hpp"
 #include "mpc/simulation.hpp"
 #include "ram/machine.hpp"
+#include "ram/programs.hpp"
 #include "strategies/batch_pointer_chasing.hpp"
 #include "strategies/colluding.hpp"
 #include "strategies/dictionary.hpp"
@@ -154,15 +155,10 @@ Scenario make_scenario(const std::string& name, std::uint64_t threads) {
     s.fault_round = 1;
     s.checkpoint_every = 1;
   } else if (name == "ram-emulation") {
-    using namespace ram::asm_ops;
     const std::uint64_t n = 8;
     std::vector<std::uint64_t> memory(n);
     for (std::uint64_t i = 0; i < n; ++i) memory[i] = (kSeed * 7 + i * 3) % 97;
-    std::vector<ram::Instruction> prog = {
-        loadi(0, 0), loadi(1, 0), loadi(2, n), loadi(5, 1),
-        lt(3, 1, 2), jz(3, 10),   load(4, 1),  add(0, 0, 4),
-        add(1, 1, 5), jmp(4),     halt(),
-    };
+    std::vector<ram::Instruction> prog = ram::programs::sum(n);
     auto strat = std::make_shared<strategies::RamEmulationStrategy>(prog, 4, 1);
     s.config = cfg(4, strat->required_local_memory(memory.size()), 1, threads, 1 << 20);
     s.initial = strat->make_initial_memory(memory);

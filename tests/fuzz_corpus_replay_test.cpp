@@ -16,7 +16,10 @@
 
 #include "fault/checkpoint.hpp"
 #include "fault/fault_plan.hpp"
+#include "ram/machine.hpp"
 #include "util/bitstring.hpp"
+#include "verify/program_decoder.hpp"
+#include "verify/verifier.hpp"
 
 namespace {
 
@@ -68,6 +71,36 @@ TEST(FuzzCorpusReplay, FaultPlanCorpusRejectsOrParsesTyped) {
     ++replayed;
   }
   EXPECT_GE(replayed, 10u) << "fault-plan corpus went missing — check fuzz/corpus/fault_plan";
+}
+
+TEST(FuzzCorpusReplay, RamProgramCorpusRejectsOrVerifiesTyped) {
+  // Mirrors fuzz/fuzz_ram_verify.cpp: decode, attempt construction, run the
+  // full verifier pipeline, render both report formats. std::invalid_argument
+  // is the only acceptable rejection at each layer.
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_root() / "ram_program")) {
+    SCOPED_TRACE(entry.path().string());
+    std::vector<std::uint8_t> bytes = read_file(entry.path());
+    try {
+      const std::vector<mpch::ram::Instruction> program =
+          mpch::verify::decode_program(bytes.data(), bytes.size());
+      try {
+        mpch::ram::RamMachine machine(program, {});
+        (void)machine;
+      } catch (const std::invalid_argument&) {
+      }
+      mpch::verify::VerifyOptions options;
+      options.memory.words = 8;
+      options.memory.values = {0, 7};
+      const mpch::verify::VerifyReport report =
+          mpch::verify::verify_program("corpus", program, options);
+      (void)report.format();
+      (void)report.to_json();
+    } catch (const std::invalid_argument&) {
+    }
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 8u) << "RAM-program corpus went missing — check fuzz/corpus/ram_program";
 }
 
 // The bug class the framed harness exists for: element counts larger than

@@ -23,6 +23,7 @@
 #include "hash/random_oracle.hpp"
 #include "mpclib/primitives.hpp"
 #include "ram/machine.hpp"
+#include "ram/programs.hpp"
 #include "strategies/batch_pointer_chasing.hpp"
 #include "strategies/colluding.hpp"
 #include "strategies/dictionary.hpp"
@@ -267,15 +268,10 @@ TEST(ParallelDifferential, RamEmulation) {
   // Plain model (no oracle): the CPU/server message choreography must still
   // merge identically. Memory contents vary with the seed.
   run_differential([](std::uint64_t seed, std::uint64_t threads) {
-    using namespace ram::asm_ops;
     const std::uint64_t n = 8;
     std::vector<std::uint64_t> memory(n);
     for (std::uint64_t i = 0; i < n; ++i) memory[i] = (seed * 7 + i * 3) % 97;
-    std::vector<ram::Instruction> prog = {
-        loadi(0, 0), loadi(1, 0), loadi(2, n), loadi(5, 1),
-        lt(3, 1, 2), jz(3, 10),   load(4, 1),  add(0, 0, 4),
-        add(1, 1, 5), jmp(4),     halt(),
-    };
+    std::vector<ram::Instruction> prog = ram::programs::sum(n);
     strategies::RamEmulationStrategy strat(prog, 4, 1);
     mpc::MpcConfig c = cfg(4, strat.required_local_memory(memory.size()), 1, threads, 1 << 20);
     mpc::MpcSimulation sim(c, nullptr);

@@ -3,47 +3,12 @@
 #include <gtest/gtest.h>
 
 #include "ram/machine.hpp"
+#include "ram/programs.hpp"
 
 namespace mpch::strategies {
 namespace {
 
 using namespace ram::asm_ops;
-
-/// The array-sum loop: mem[0..n-1] summed into R0.
-std::vector<ram::Instruction> sum_program(std::uint64_t n) {
-  return {
-      loadi(0, 0),   // acc
-      loadi(1, 0),   // i
-      loadi(2, n),   // n
-      loadi(5, 1),   // 1
-      lt(3, 1, 2),   // 4: i < n
-      jz(3, 10),     // 5
-      load(4, 1),    // 6
-      add(0, 0, 4),  // 7
-      add(1, 1, 5),  // 8
-      jmp(4),        // 9
-      halt(),        // 10
-  };
-}
-
-/// In-place reversal of mem[0..n-1] via loads and stores.
-std::vector<ram::Instruction> reverse_program(std::uint64_t n) {
-  return {
-      loadi(1, 0),      // 0: i = 0
-      loadi(2, n - 1),  // 1: j = n-1
-      loadi(5, 1),      // 2: one
-      lt(3, 1, 2),      // 3: i < j
-      jz(3, 12),        // 4
-      load(4, 1),       // 5: R4 = mem[i]
-      load(6, 2),       // 6: R6 = mem[j]
-      store(6, 1),      // 7: mem[i] = R6
-      store(4, 2),      // 8: mem[j] = R4
-      add(1, 1, 5),     // 9: i += 1
-      sub(2, 2, 5),     // 10: j -= 1
-      jmp(3),           // 11
-      halt(),           // 12
-  };
-}
 
 mpc::MpcRunResult run_emulated(const std::vector<ram::Instruction>& prog,
                                const std::vector<std::uint64_t>& memory, std::uint64_t machines,
@@ -62,7 +27,7 @@ mpc::MpcRunResult run_emulated(const std::vector<ram::Instruction>& prog,
 
 TEST(RamEmulation, MatchesNativeExecutionOnSum) {
   std::vector<std::uint64_t> memory = {3, 1, 4, 1, 5, 9, 2, 6};
-  auto prog = sum_program(memory.size());
+  auto prog = ram::programs::sum(memory.size());
 
   ram::RamMachine native(prog, memory);
   native.run();
@@ -77,7 +42,7 @@ TEST(RamEmulation, MatchesNativeExecutionOnSum) {
 
 TEST(RamEmulation, StoresVisibleToLaterLoads) {
   std::vector<std::uint64_t> memory = {1, 2, 3, 4, 5, 6};
-  auto prog = reverse_program(memory.size());
+  auto prog = ram::programs::reverse(memory.size());
 
   ram::RamMachine native(prog, memory);
   native.run();
@@ -94,7 +59,7 @@ TEST(RamEmulation, RoundsScaleWithInstructionCountAtOneStepPerRound) {
   // RAM computation step by step": rounds within a small constant of steps.
   for (std::uint64_t n : {4, 8, 16}) {
     std::vector<std::uint64_t> memory(n, 1);
-    auto prog = sum_program(n);
+    auto prog = ram::programs::sum(n);
     ram::RamMachine native(prog, memory);
     native.run();
     std::uint64_t steps = native.steps_executed();
@@ -110,7 +75,7 @@ TEST(RamEmulation, RoundsScaleWithInstructionCountAtOneStepPerRound) {
 TEST(RamEmulation, UnboundedStepsPerRoundCollapsesToLoadCount) {
   const std::uint64_t n = 16;
   std::vector<std::uint64_t> memory(n, 2);
-  auto prog = sum_program(n);
+  auto prog = ram::programs::sum(n);
 
   std::unique_ptr<RamEmulationStrategy> holder;
   auto result = run_emulated(prog, memory, 4, 0, nullptr, holder);
@@ -124,18 +89,18 @@ TEST(RamEmulation, CpuMemoryFootprintIsLogarithmic) {
   // The CPU carries O(1) words regardless of RAM size — the "O(log S) local
   // memory" part of the paper's remark. Verify the strategy's CPU share of
   // required memory does not grow with memory_words.
-  RamEmulationStrategy strat(sum_program(4), 9, 1);
+  RamEmulationStrategy strat(ram::programs::sum(4), 9, 1);
   // With more servers, per-server share shrinks; CPU cost is the floor.
   std::uint64_t small = strat.required_local_memory(8);
   std::uint64_t big = strat.required_local_memory(8000);
   EXPECT_GT(big, small);  // server share grows...
-  RamEmulationStrategy many_servers(sum_program(4), 801, 1);
+  RamEmulationStrategy many_servers(ram::programs::sum(4), 801, 1);
   // ...but with enough servers the bound approaches the constant CPU state.
   EXPECT_LT(many_servers.required_local_memory(8000), small * 4);
 }
 
 TEST(RamEmulation, NeedsTwoMachines) {
-  EXPECT_THROW(RamEmulationStrategy(sum_program(2), 1, 1), std::invalid_argument);
+  EXPECT_THROW(RamEmulationStrategy(ram::programs::sum(2), 1, 1), std::invalid_argument);
 }
 
 TEST(RamEmulation, ProgramWithNoMemoryOps) {

@@ -112,10 +112,45 @@ TEST(RamMachine, RejectsEmptyProgram) {
   EXPECT_THROW(RamMachine({}, {}), std::invalid_argument);
 }
 
-TEST(RamMachine, BadRegisterThrows) {
+TEST(RamMachine, RejectsBadRegisterAtConstruction) {
+  std::vector<Instruction> prog = {{Opcode::kMov, 9, 0, 0, 0}, halt()};
+  EXPECT_THROW(RamMachine(prog, {}), std::invalid_argument);
+}
+
+TEST(RamMachine, RejectsOutOfRangeJumpAtConstruction) {
+  EXPECT_THROW(RamMachine({loadi(0, 1), jmp(999), halt()}, {}), std::invalid_argument);
+  EXPECT_THROW(RamMachine({jz(0, 3), halt()}, {}), std::invalid_argument);
+  EXPECT_THROW(RamMachine({jnz(0, 100), halt()}, {}), std::invalid_argument);
+}
+
+TEST(RamMachine, RejectsBadOpcodeAtConstruction) {
+  std::vector<Instruction> prog = {{static_cast<Opcode>(200), 0, 0, 0, 0}, halt()};
+  EXPECT_THROW(RamMachine(prog, {}), std::invalid_argument);
+}
+
+TEST(RamMachine, ValidateProgramNamesOffendingPc) {
+  std::vector<Instruction> prog = {loadi(0, 1), jmp(999), halt()};
+  try {
+    validate_program(prog);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("pc 1"), std::string::npos) << e.what();
+  }
+}
+
+// Construction validates eagerly, but the static step() stays guarded too:
+// callers can feed it unvalidated programs directly (defense in depth).
+TEST(RamMachine, StepStillGuardsBadRegister) {
   std::vector<Instruction> prog = {{Opcode::kMov, 9, 0, 0, 0}};
-  RamMachine machine(prog, {});
-  EXPECT_THROW(machine.run(), std::out_of_range);
+  RamState s;
+  EXPECT_THROW(RamMachine::step(prog, s), std::out_of_range);
+}
+
+TEST(RamMachine, StepStillGuardsPcPastEnd) {
+  std::vector<Instruction> prog = {halt()};
+  RamState s;
+  s.pc = 5;
+  EXPECT_THROW(RamMachine::step(prog, s), std::out_of_range);
 }
 
 TEST(RamMachine, StepEffectIsPure) {

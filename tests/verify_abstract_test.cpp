@@ -1,0 +1,141 @@
+// Abstract-interpretation pass: termination proofs, step bounds, memory
+// footprints, and the precision properties the envelope inference depends on
+// (tight load ranges, dead-branch pruning, contents-bounded pointer chasing).
+#include "verify/abstract_interpreter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ram/machine.hpp"
+#include "ram/programs.hpp"
+
+namespace mpch::verify {
+namespace {
+
+using namespace ram::asm_ops;
+
+bool has_finding(const ProgramFacts& facts, FindingKind kind) {
+  return std::any_of(facts.findings.begin(), facts.findings.end(),
+                     [kind](const Finding& f) { return f.kind == kind; });
+}
+
+std::vector<std::uint64_t> iota_memory(std::size_t n) {
+  std::vector<std::uint64_t> memory(n);
+  for (std::size_t i = 0; i < n; ++i) memory[i] = i + 1;
+  return memory;
+}
+
+TEST(VerifyAbstract, SumBoundIsSoundAndTight) {
+  const auto memory = iota_memory(8);
+  const auto prog = ram::programs::sum(memory.size());
+  const ProgramFacts facts = analyze_program(prog, MemoryModel::from_words(memory));
+
+  ASSERT_TRUE(facts.terminates) << facts.summary();
+
+  ram::RamMachine native(prog, memory);
+  native.run();
+  ASSERT_TRUE(native.state().halted);
+  // Sound: the static bound covers the concrete run. Tight: within a small
+  // constant of it (the proof over-counts at most one guard pass per loop).
+  EXPECT_GE(facts.max_steps, native.steps_executed());
+  EXPECT_LE(facts.max_steps, native.steps_executed() + 16);
+
+  EXPECT_TRUE(facts.has_loads);
+  EXPECT_FALSE(facts.has_stores);
+  EXPECT_EQ(facts.load_addrs, (Interval{0, 7}));
+  EXPECT_GE(facts.max_loads, 8u);
+  EXPECT_LE(facts.max_loads, 9u);
+  EXPECT_EQ(facts.touched_words, 8u);
+
+  ASSERT_EQ(facts.loops.size(), 1u);
+  EXPECT_TRUE(facts.loops[0].bounded);
+  EXPECT_EQ(facts.loops[0].max_trips, 8u);
+}
+
+TEST(VerifyAbstract, ReverseIsBoundedWithStoresInRange) {
+  const std::vector<std::uint64_t> memory{1, 2, 3, 4, 5, 6};
+  const auto prog = ram::programs::reverse(memory.size());
+  const ProgramFacts facts = analyze_program(prog, MemoryModel::from_words(memory));
+
+  ASSERT_TRUE(facts.terminates) << facts.summary();
+  EXPECT_TRUE(facts.has_stores);
+  EXPECT_LE(facts.store_addrs.hi, 5u);
+  EXPECT_EQ(facts.touched_words, 6u);
+
+  ram::RamMachine native(prog, memory);
+  native.run();
+  EXPECT_GE(facts.max_steps, native.steps_executed());
+}
+
+TEST(VerifyAbstract, PointerChaseBoundedByMemoryContents) {
+  // Ring of 16: contents in [0, 15], so every data-dependent load address is
+  // bounded by the *memory model*, not the program text.
+  std::vector<std::uint64_t> memory(16);
+  for (std::size_t i = 0; i < memory.size(); ++i) memory[i] = (i + 1) % memory.size();
+  const auto prog = ram::programs::pointer_chase(8);
+  const ProgramFacts facts = analyze_program(prog, MemoryModel::from_words(memory));
+
+  ASSERT_TRUE(facts.terminates) << facts.summary();
+  EXPECT_TRUE(facts.has_loads);
+  EXPECT_LE(facts.load_addrs.hi, 15u);
+  EXPECT_EQ(facts.touched_words, 16u);
+  EXPECT_FALSE(has_finding(facts, FindingKind::kOobLoad));
+}
+
+TEST(VerifyAbstract, PointerChaseWithUnboundedContentsWarnsOob) {
+  // Same program, but the model admits arbitrary word values: the cursor can
+  // escape the mapped image and the analyzer must say so.
+  MemoryModel model;
+  model.words = 16;
+  model.values = Interval::all();
+  const ProgramFacts facts = analyze_program(ram::programs::pointer_chase(8), model);
+  EXPECT_TRUE(has_finding(facts, FindingKind::kOobLoad));
+}
+
+TEST(VerifyAbstract, InfiniteLoopHasNoTerminationProof) {
+  const ProgramFacts facts = analyze_program({jmp(0)}, MemoryModel{});
+  EXPECT_FALSE(facts.terminates);
+  EXPECT_TRUE(has_finding(facts, FindingKind::kUnboundedLoop));
+}
+
+TEST(VerifyAbstract, FibonacciTouchesNoMemory) {
+  const ProgramFacts facts = analyze_program(ram::programs::fibonacci(10), MemoryModel{});
+  ASSERT_TRUE(facts.terminates) << facts.summary();
+  EXPECT_FALSE(facts.has_loads);
+  EXPECT_FALSE(facts.has_stores);
+  EXPECT_EQ(facts.touched_words, 0u);
+  ASSERT_EQ(facts.loops.size(), 1u);
+  EXPECT_EQ(facts.loops[0].max_trips, 10u);
+}
+
+TEST(VerifyAbstract, StoresExtendTheFootprintPastTheImage) {
+  // fill(8) writes mem[0..7] even though the model only maps 4 words: the
+  // footprint must come from the store range, not the image size.
+  const std::vector<std::uint64_t> memory(4, 0);
+  const ProgramFacts facts =
+      analyze_program(ram::programs::fill(8, 100), MemoryModel::from_words(memory));
+  ASSERT_TRUE(facts.terminates) << facts.summary();
+  EXPECT_TRUE(facts.has_stores);
+  EXPECT_EQ(facts.store_addrs, (Interval{0, 7}));
+  EXPECT_EQ(facts.touched_words, 8u);
+}
+
+TEST(VerifyAbstract, ConstantBranchPrunesTheDeadArm) {
+  // R0 is the constant 0, so jz always jumps: the skipped loadi must not
+  // count toward the step bound (the interpreter prunes the infeasible edge).
+  const ProgramFacts facts =
+      analyze_program({loadi(0, 0), jz(0, 3), loadi(1, 1), halt()}, MemoryModel{});
+  ASSERT_TRUE(facts.terminates);
+  EXPECT_EQ(facts.max_steps, 3u);
+}
+
+TEST(VerifyAbstract, SummaryMentionsTheStepBound) {
+  const ProgramFacts facts =
+      analyze_program(ram::programs::sum(8), MemoryModel::from_words(iota_memory(8)));
+  const std::string s = facts.summary();
+  EXPECT_NE(s.find("steps"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace mpch::verify

@@ -1,0 +1,77 @@
+// Binary program codec: the hostile-input boundary the fuzz harness drives.
+// Round-trips must be exact; truncation and out-of-enum opcodes must throw;
+// decodable-but-invalid programs (bad jumps) must pass through to the
+// verifier, which rejects them as findings.
+#include "verify/program_decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ram/programs.hpp"
+#include "verify/verifier.hpp"
+
+namespace mpch::verify {
+namespace {
+
+using namespace ram::asm_ops;
+
+TEST(VerifyDecoder, RoundTripsEveryCorpusProgram) {
+  for (const auto& entry : ram::programs::corpus()) {
+    const std::vector<std::uint8_t> bytes = encode_program(entry.program);
+    EXPECT_EQ(bytes.size(), entry.program.size() * kInstructionBytes);
+    const std::vector<ram::Instruction> decoded = decode_program(bytes);
+    EXPECT_EQ(decoded, entry.program) << entry.name;
+  }
+}
+
+TEST(VerifyDecoder, RoundTripsLargeImmediates) {
+  const std::vector<ram::Instruction> prog = {
+      loadi(0, 0xDEADBEEFCAFEF00Dull), loadi(7, ~0ull), halt()};
+  EXPECT_EQ(decode_program(encode_program(prog)), prog);
+}
+
+TEST(VerifyDecoder, RejectsTruncatedStreams) {
+  std::vector<std::uint8_t> bytes = encode_program({halt()});
+  bytes.push_back(0);  // 13 bytes: not a whole instruction
+  EXPECT_THROW(decode_program(bytes), std::invalid_argument);
+}
+
+TEST(VerifyDecoder, RejectsOpcodeBytesOutsideTheEnum) {
+  std::vector<std::uint8_t> bytes(kInstructionBytes, 0);
+  bytes[0] = 200;
+  EXPECT_THROW(decode_program(bytes), std::invalid_argument);
+}
+
+TEST(VerifyDecoder, EmptyStreamDecodesToTheEmptyProgram) {
+  const std::vector<ram::Instruction> decoded = decode_program({});
+  EXPECT_TRUE(decoded.empty());
+  // ...which the verifier then rejects rather than admits.
+  const VerifyReport report = verify_program("empty", decoded);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(VerifyDecoder, BadJumpsDecodeButNeverReachExecution) {
+  // Registers/jumps are not the decoder's business: the stream decodes, the
+  // verifier flags it, and the machine constructor refuses it — three
+  // independent layers, each catching the same hostile program.
+  const std::vector<ram::Instruction> hostile = {loadi(0, 1), jmp(999), halt()};
+  const std::vector<ram::Instruction> decoded = decode_program(encode_program(hostile));
+  EXPECT_EQ(decoded, hostile);
+
+  const VerifyReport report = verify_program("hostile", decoded);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(std::any_of(report.findings.begin(), report.findings.end(), [](const Finding& f) {
+    return f.kind == FindingKind::kBadJumpTarget;
+  }));
+
+  EXPECT_THROW(ram::RamMachine(decoded, {}), std::invalid_argument);
+}
+
+TEST(VerifyDecoder, PointerOverloadMatchesVectorOverload) {
+  const std::vector<std::uint8_t> bytes = encode_program(ram::programs::sum(4));
+  EXPECT_EQ(decode_program(bytes.data(), bytes.size()), decode_program(bytes));
+}
+
+}  // namespace
+}  // namespace mpch::verify

@@ -1,0 +1,115 @@
+// Replay audit of the A2 purity contract (compression proofs re-run round
+// programs during decoding and assume the query stream is a pure function of
+// memory and answers-so-far), plus the LoggingOracle delegation regression.
+#include "verify/determinism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "compress/round_program.hpp"
+#include "hash/random_oracle.hpp"
+#include "util/bitstring.hpp"
+
+namespace mpch::verify {
+namespace {
+
+using util::BitString;
+
+/// Pure A2: first query is the memory image, second query chains on the
+/// first answer. The stream is a function of (memory, answers) only.
+class ChainedQueryProgram final : public compress::RoundProgram {
+ public:
+  void run(const BitString& memory, hash::RandomOracle& oracle) override {
+    const BitString first = oracle.query(memory);
+    oracle.query(first);
+  }
+};
+
+/// Impure A2: a mutable member leaks across runs, so the recorded and the
+/// replayed executions issue different queries.
+class HiddenCounterProgram final : public compress::RoundProgram {
+ public:
+  void run(const BitString& memory, hash::RandomOracle& oracle) override {
+    (void)memory;
+    oracle.query(BitString::from_uint(counter_++, 8));
+  }
+
+ private:
+  std::uint64_t counter_ = 0;
+};
+
+/// Impure A2 that issues one extra query on every subsequent run.
+class GrowingQueryProgram final : public compress::RoundProgram {
+ public:
+  void run(const BitString& memory, hash::RandomOracle& oracle) override {
+    for (std::uint64_t i = 0; i <= runs_; ++i) oracle.query(memory);
+    ++runs_;
+  }
+
+ private:
+  std::uint64_t runs_ = 0;
+};
+
+TEST(VerifyDeterminism, PureProgramPassesTheAudit) {
+  hash::LazyRandomOracle oracle(8, 8, 42);
+  ChainedQueryProgram program;
+  const ReplayAuditReport report =
+      audit_round_program(program, BitString::from_uint(0xA5, 8), oracle);
+  EXPECT_TRUE(report.deterministic) << report.message;
+  EXPECT_EQ(report.recorded_queries, 2u);
+  EXPECT_EQ(report.replayed_queries, 2u);
+}
+
+TEST(VerifyDeterminism, HiddenStateIsFlaggedWithTheFirstDivergence) {
+  hash::LazyRandomOracle oracle(8, 8, 42);
+  HiddenCounterProgram program;
+  const ReplayAuditReport report =
+      audit_round_program(program, BitString::from_uint(0, 8), oracle);
+  EXPECT_FALSE(report.deterministic);
+  EXPECT_EQ(report.first_divergence, 0u);
+  EXPECT_FALSE(report.message.empty());
+}
+
+TEST(VerifyDeterminism, ExtraQueriesAreFlagged) {
+  hash::LazyRandomOracle oracle(8, 8, 42);
+  GrowingQueryProgram program;
+  const ReplayAuditReport report =
+      audit_round_program(program, BitString::from_uint(3, 8), oracle);
+  EXPECT_FALSE(report.deterministic);
+  EXPECT_EQ(report.recorded_queries, 1u);
+  EXPECT_EQ(report.replayed_queries, 2u);
+}
+
+TEST(VerifyDeterminism, ReplayOracleAnswersZerosPastTheTranscript) {
+  TranscriptReplayOracle oracle({{BitString::from_uint(1, 8), BitString::from_uint(9, 8)}}, 8, 8);
+  EXPECT_TRUE(oracle.query(BitString::from_uint(1, 8)) == BitString::from_uint(9, 8));
+  EXPECT_FALSE(oracle.diverged());
+  // A query past the transcript end is a divergence answered with zeros.
+  EXPECT_TRUE(oracle.query(BitString::from_uint(2, 8)) == BitString(8));
+  EXPECT_TRUE(oracle.diverged());
+  EXPECT_EQ(oracle.first_divergence(), 1u);
+}
+
+TEST(VerifyDeterminism, ReplayOracleFlagsMismatchedQueries) {
+  TranscriptReplayOracle oracle({{BitString::from_uint(1, 8), BitString::from_uint(9, 8)}}, 8, 8);
+  oracle.query(BitString::from_uint(7, 8));  // not the recorded query
+  EXPECT_TRUE(oracle.diverged());
+  EXPECT_EQ(oracle.first_divergence(), 0u);
+}
+
+// Regression: LoggingOracle::total_queries() must delegate to the inner
+// oracle (the true global count), not report its own log size — the inner
+// oracle may be queried before or around the wrapper.
+TEST(VerifyDeterminism, LoggingOracleTotalQueriesDelegates) {
+  hash::LazyRandomOracle inner(8, 8, 7);
+  inner.query(BitString::from_uint(1, 8));  // queried before wrapping
+
+  compress::LoggingOracle logging(inner);
+  logging.query(BitString::from_uint(2, 8));
+
+  EXPECT_EQ(logging.log().size(), 1u);       // the wrapper saw one query
+  EXPECT_EQ(logging.total_queries(), 2u);    // the oracle answered two
+  EXPECT_EQ(inner.total_queries(), 2u);
+}
+
+}  // namespace
+}  // namespace mpch::verify
