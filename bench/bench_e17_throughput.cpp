@@ -5,6 +5,7 @@
 // batches k instances of Line over the same machines and shows rounds stay
 // ~flat in k while the sequential baseline grows k-fold — MPC parallelism
 // survives as a throughput tool exactly where the paper leaves room for it.
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <thread>
@@ -12,11 +13,35 @@
 #include "bench_common.hpp"
 #include "core/line.hpp"
 #include "strategies/batch_pointer_chasing.hpp"
+#include "transport/transport.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 
 using namespace mpch;
 
-int main() {
+namespace {
+
+/// Order statistic over a (small) latency sample; q in [0, 1].
+double percentile(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t idx = std::min(
+      samples.size() - 1, static_cast<std::size_t>(q * static_cast<double>(samples.size())));
+  return samples[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliArgs args(argc, argv);
+  const std::string transport_name = args.get_string("transport", "in-process");
+  const transport::TransportKind transport_kind = transport::parse_transport_kind(transport_name);
+  const std::uint64_t repeats = args.get_u64("repeats", 5);
+  if (!args.unused().empty()) {
+    std::cerr << "unknown flag --" << args.unused().front()
+              << " (supported: --transport, --repeats)\n";
+    return 2;
+  }
+
   bench::header("E17", "Latency vs throughput (what Theorem 3.1 leaves open)",
                 "k batched chains finish in ~1x rounds, not k x — the bound is per-chain "
                 "latency only");
@@ -69,53 +94,74 @@ int main() {
                "the machines hold k inputs; the per-chain storage fraction f is unchanged.)\n";
 
   // Wall-clock throughput of the simulator itself: the same batched workload
-  // with the round loop running machines concurrently (MpcConfig::threads).
-  // Output must stay bit-identical to the serial run at every thread count.
-  std::cout << "\nparallel round execution (hardware threads available: "
-            << std::thread::hardware_concurrency() << "):\n";
+  // with the round loop running machines concurrently (MpcConfig::threads)
+  // over the selected transport backend. Each cell is `repeats` full runs:
+  // runs/sec is the sustained rate, p50/p99 the per-run latency order
+  // statistics. Output must stay bit-identical to the serial run at every
+  // thread count (the conformance matrix proves it per backend; here it
+  // doubles as a sanity check on the measured configuration).
+  std::cout << "\nparallel round execution over transport \"" << transport_name
+            << "\" (repeats per cell: " << repeats
+            << ", hardware threads available: " << std::thread::hardware_concurrency() << "):\n";
   const std::uint64_t kBig = 16, mBig = 8;
-  util::Table tp({"threads", "wall_ms", "rounds_per_sec", "speedup_vs_serial", "output_identical"});
+  util::Table tp({"threads", "runs_per_sec", "p50_ms", "p99_ms", "speedup_vs_serial",
+                  "output_identical"});
   util::BitString serial_output;
-  double serial_ms = 0.0;
+  double serial_p50 = 0.0;
   struct JsonRow {
     std::uint64_t threads;
     std::uint64_t rounds;
-    double wall_ms;
+    double runs_per_sec;
+    double p50_ms;
+    double p99_ms;
   };
   std::vector<JsonRow> json_rows;
   for (std::uint64_t threads : {1, 2, 4, 8}) {
-    auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 90);
     core::LineFunction f(p);
     std::vector<core::LineInput> inputs;
     for (std::uint64_t i = 0; i < kBig; ++i) {
       util::Rng rng(900 + i);
       inputs.push_back(core::LineInput::random(p, rng));
     }
-    strategies::BatchPointerChasingStrategy strat(
-        p, strategies::OwnershipPlan::round_robin(p, mBig), kBig);
-    mpc::MpcConfig c;
-    c.machines = mBig;
-    c.local_memory_bits = strat.required_local_memory();
-    c.query_budget = 1 << 20;
-    c.max_rounds = 100000;
-    c.threads = threads;
-    mpc::MpcSimulation sim(c, oracle);
-    auto t0 = std::chrono::steady_clock::now();
-    auto result = sim.run(strat, strat.make_initial_memory(inputs));
-    auto t1 = std::chrono::steady_clock::now();
-    if (!result.completed) {
-      std::cerr << "parallel batch did not complete\n";
-      return 1;
+    std::vector<double> latencies_ms;
+    util::BitString output;
+    std::uint64_t rounds_used = 0;
+    for (std::uint64_t rep = 0; rep < repeats; ++rep) {
+      auto oracle = std::make_shared<hash::LazyRandomOracle>(p.n, p.n, 90);
+      strategies::BatchPointerChasingStrategy strat(
+          p, strategies::OwnershipPlan::round_robin(p, mBig), kBig);
+      mpc::MpcConfig c;
+      c.machines = mBig;
+      c.local_memory_bits = strat.required_local_memory();
+      c.query_budget = 1 << 20;
+      c.max_rounds = 100000;
+      c.threads = threads;
+      c.transport = transport_kind;
+      mpc::MpcSimulation sim(c, oracle);
+      auto t0 = std::chrono::steady_clock::now();
+      auto result = sim.run(strat, strat.make_initial_memory(inputs));
+      auto t1 = std::chrono::steady_clock::now();
+      if (!result.completed) {
+        std::cerr << "parallel batch did not complete\n";
+        return 1;
+      }
+      latencies_ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+      output = result.output;
+      rounds_used = result.rounds_used;
     }
-    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    double total_ms = 0.0;
+    for (double ms : latencies_ms) total_ms += ms;
+    const double runs_per_sec = 1000.0 * static_cast<double>(repeats) / total_ms;
+    const double p50 = percentile(latencies_ms, 0.50);
+    const double p99 = percentile(latencies_ms, 0.99);
     if (threads == 1) {
-      serial_output = result.output;
-      serial_ms = ms;
+      serial_output = output;
+      serial_p50 = p50;
     }
-    tp.add(threads, util::format_double(ms, 1),
-           util::format_double(1000.0 * result.rounds_used / ms, 0),
-           util::format_double(serial_ms / ms, 2), result.output == serial_output);
-    json_rows.push_back({threads, result.rounds_used, ms});
+    tp.add(threads, util::format_double(runs_per_sec, 2), util::format_double(p50, 1),
+           util::format_double(p99, 1), util::format_double(serial_p50 / p50, 2),
+           output == serial_output);
+    json_rows.push_back({threads, rounds_used, runs_per_sec, p50, p99});
   }
   tp.print(std::cout);
 
@@ -125,14 +171,18 @@ int main() {
     std::ofstream json("BENCH_e17.json");
     json << "[\n";
     for (std::size_t i = 0; i < json_rows.size(); ++i) {
-      json << "  {\"strategy\": \"batch-pointer-chasing\", \"threads\": " << json_rows[i].threads
-           << ", \"rounds\": " << json_rows[i].rounds << ", \"wall_ms\": "
-           << util::format_double(json_rows[i].wall_ms, 3) << "}"
+      json << "  {\"strategy\": \"batch-pointer-chasing\", \"transport\": \"" << transport_name
+           << "\", \"threads\": " << json_rows[i].threads
+           << ", \"rounds\": " << json_rows[i].rounds
+           << ", \"runs_per_sec\": " << util::format_double(json_rows[i].runs_per_sec, 3)
+           << ", \"p50_ms\": " << util::format_double(json_rows[i].p50_ms, 3)
+           << ", \"p99_ms\": " << util::format_double(json_rows[i].p99_ms, 3) << "}"
            << (i + 1 < json_rows.size() ? "," : "") << "\n";
     }
     json << "]\n";
   }
-  std::cout << "\nwrote BENCH_e17.json (strategy, threads, rounds, wall_ms per row)\n";
+  std::cout << "\nwrote BENCH_e17.json (strategy, transport, threads, rounds, runs_per_sec, "
+               "p50_ms, p99_ms per row)\n";
   std::cout << "\nnote: speedup tracks min(threads, m, hardware cores); on a single-core\n"
                "host the table demonstrates determinism (output_identical) rather than\n"
                "speed. Record multi-core numbers in EXPERIMENTS.md.\n";

@@ -21,7 +21,9 @@ struct MpcSimulation::MachineSlot {
   MachineIo io;
   RoundTrace scratch;                    ///< per-machine annotation buffer
   hash::CountingOracle* oracle = nullptr;
+  transport::Transport* transport = nullptr;
   bool crashed = false;  ///< fault injection: consume the inbox, run nothing
+  bool staged = false;   ///< the transport took the outbox bytes in phase A
   std::exception_ptr error;
 
   /// Run this slot's machine. Exceptions are captured, not thrown: the round
@@ -32,11 +34,26 @@ struct MpcSimulation::MachineSlot {
       if (oracle != nullptr) oracle->begin_round(io.round);
       if (crashed) return;
       algo.run_machine(io, oracle, tape, scratch);
+      // Byte-moving transports serialise the outbox here, on the worker
+      // thread, while other machines are still running (the shared-memory
+      // backend's rings see genuinely concurrent traffic); the barrier
+      // collects it back with collect_staged() before the merge.
+      if (transport != nullptr) {
+        staged = transport->stage(io.round, io.machine, io.outbox);
+        if (staged) io.outbox.clear();
+      }
     } catch (...) {
       error = std::current_exception();
     }
   }
 };
+
+std::unique_ptr<transport::Transport> MpcSimulation::make_run_transport() const {
+  if (transport_factory_) return transport_factory_();
+  transport::TransportOptions options;
+  options.processes = config_.transport_processes;
+  return transport::make_transport(config_.transport, options);
+}
 
 void MpcSimulation::run_round_serial(MpcAlgorithm& algo, std::vector<MachineSlot>& slots,
                                      const SharedTape& tape) {
@@ -117,6 +134,13 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
     }
   }
 
+  // Message delivery backend, created per execution (a resume gets a fresh
+  // one). start() runs before the worker pool exists: the socket backend
+  // forks its router processes there, and forking before this simulation
+  // spins up threads keeps the children single-threaded.
+  std::unique_ptr<transport::Transport> transport = make_run_transport();
+  transport->start(config_.machines);
+
   // A machine runs on one thread at a time, so parallelism beyond m is idle;
   // never run concurrently inside a ThreadPool worker (a nested simulation
   // would multiply threads for no per-round win).
@@ -181,6 +205,7 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
       slots[i].io.tape_seed = config_.tape_seed;
       slots[i].io.inbox = stripped ? &plain_inboxes[i] : &inboxes[i];
       slots[i].oracle = oracle_ ? oracles[i].get() : nullptr;
+      slots[i].transport = transport.get();
       slots[i].crashed = observer != nullptr && !observer->machine_runs(round, i);
       slots[i].scratch.begin_round(round);
     }
@@ -196,7 +221,6 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
       if (slot.error) std::rethrow_exception(slot.error);
     }
 
-    std::vector<std::vector<Message>> next_inboxes(config_.machines);
     for (std::uint64_t i = 0; i < config_.machines; ++i) {
       MachineSlot& slot = slots[i];
       result.trace.merge_round_from(slot.scratch);
@@ -207,9 +231,15 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
         outputs.push_back(std::move(*slot.io.output));
         any_output = true;
       }
+      // The outbox to meter: either still in the slot, or — for byte-moving
+      // backends — staged as wire frames in phase A and decoded back here.
+      // Validation and metering always run on the barrier thread, against
+      // the exact payloads the transport will carry.
+      std::vector<Message> outbox =
+          slot.staged ? transport->collect_staged(round, i) : std::move(slot.io.outbox);
       std::uint64_t sent_bits = 0;
-      result.trace.current().peak_fan_out.observe(slot.io.outbox.size(), i);
-      for (auto& msg : slot.io.outbox) {
+      result.trace.current().peak_fan_out.observe(outbox.size(), i);
+      for (auto& msg : outbox) {
         // send() already validates; this backstop covers outboxes filled
         // directly (bypassing send) by tests or future callers.
         if (msg.to >= config_.machines) {
@@ -223,9 +253,23 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
         result.trace.current().communicated_bits += msg.bits();
         result.trace.current().peak_message_bits.observe(msg.bits(), i);
         sent_bits += msg.bits();
-        next_inboxes[msg.to].push_back(std::move(msg));
       }
       result.trace.current().peak_sent_bits.observe(sent_bits, i);
+      transport->send(round, i, std::move(outbox));
+    }
+
+    // Round barrier: the transport moves every byte of the round, then each
+    // machine's merged deliveries come back in the canonical (sender index,
+    // send order) inbox order — identical across backends.
+    transport->flush(round);
+    std::vector<std::vector<Message>> next_inboxes(config_.machines);
+    for (std::uint64_t j = 0; j < config_.machines; ++j) {
+      next_inboxes[j] = transport->receive(round, j);
+    }
+    if (!transport->idle()) {
+      throw transport::TransportError(
+          transport->name() + " transport not quiescent at the round " + std::to_string(round) +
+          " barrier (in-flight wire state would make the round snapshot incomplete)");
     }
 
     // Fault-injection window: dropped/duplicated deliveries are applied at

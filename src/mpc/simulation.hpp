@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -40,6 +41,7 @@
 #include "mpc/message.hpp"
 #include "mpc/shared_tape.hpp"
 #include "mpc/trace.hpp"
+#include "transport/transport.hpp"
 #include "util/bitstring.hpp"
 #include "util/thread_pool.hpp"
 
@@ -84,6 +86,20 @@ struct MpcConfig {
   /// analysis::with_authentication) — authentication is not free, and the
   /// model meters it.
   bool authenticate_messages = false;
+  /// Message delivery backend (src/transport/). Every backend produces
+  /// bit-identical results — same outputs, traces, RoundStats, transcripts,
+  /// checkpoints — because deliveries arrive in the canonical (sender index,
+  /// send order) merge order and every transport is quiescent at each round
+  /// barrier. The default moves messages in-process with zero copies;
+  /// kSharedMemory round-trips every payload through per-machine byte rings
+  /// (staged by the worker threads); kSocket forks router processes and
+  /// moves every message over AF_UNIX sockets with binomial-tree broadcast
+  /// dissemination. tests/transport_conformance_test.cpp pins the
+  /// equivalence for every strategy in the tree.
+  transport::TransportKind transport = transport::TransportKind::kInProcess;
+  /// Socket backend: shard-group router process count. 0 = auto (2 for
+  /// m > 1); clamped to [1, machines]. Ignored by the other backends.
+  std::uint64_t transport_processes = 0;
 };
 
 /// Per-machine, per-round context handed to the algorithm.
@@ -211,6 +227,16 @@ class MpcSimulation {
 
   const MpcConfig& config() const { return config_; }
 
+  /// Test/tooling hook: build the transport for subsequent executions from
+  /// this factory instead of config().transport — e.g. a SocketTransport
+  /// with a wire-tamper hook installed. Each run/resume calls the factory
+  /// once (transports are per-execution; the socket backend forks its
+  /// routers in start()).
+  using TransportFactory = std::function<std::unique_ptr<transport::Transport>()>;
+  void set_transport_factory(TransportFactory factory) {
+    transport_factory_ = std::move(factory);
+  }
+
  private:
   struct MachineSlot;
 
@@ -224,8 +250,11 @@ class MpcSimulation {
   void run_round_parallel(MpcAlgorithm& algo, std::vector<MachineSlot>& slots,
                           const SharedTape& tape);
 
+  std::unique_ptr<transport::Transport> make_run_transport() const;
+
   MpcConfig config_;
   std::shared_ptr<hash::RandomOracle> oracle_;
+  TransportFactory transport_factory_;
   /// Lazily-created pool sized to config_.threads (not the host's core
   /// count): the parallelism degree is part of the experiment configuration,
   /// and a dedicated pool keeps nested simulations (e.g. inside stats/trials

@@ -1,0 +1,72 @@
+// shared_memory.hpp — same-host byte-ring backend.
+//
+// Each machine owns a byte ring buffer. The worker thread that ran the
+// machine serialises its outbox into the ring as MPCF data frames *during
+// phase A* (the stage() hook), concurrently with other machines' workers;
+// the barrier thread drains the ring and decodes the frames back into the
+// outbox before the normal validate/meter/bucket merge. Every payload
+// therefore round-trips through wire bytes, across threads, without the
+// merge order or any meter changing — which is exactly what the conformance
+// matrix checks, and what runs under TSan in CI (the ring's single-writer /
+// single-reader handoff is synchronised by the thread pool's round barrier;
+// a pool regression shows up here as a real race on real bytes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "transport/transport.hpp"
+#include "transport/wire.hpp"
+
+namespace mpch::transport {
+
+/// Byte ring with wraparound and growth. One writer (the worker thread that
+/// ran the owning machine this round), one reader (the barrier thread),
+/// never concurrently — the pool join between phase A and phase B is the
+/// happens-before edge, the ring adds no locking of its own.
+class ByteRing {
+ public:
+  explicit ByteRing(std::size_t capacity = 1 << 12) : data_(capacity) {}
+
+  void write(const std::uint8_t* bytes, std::size_t size);
+  /// Remove and return all buffered bytes, oldest first.
+  std::vector<std::uint8_t> drain();
+  std::size_t size() const { return size_; }
+
+ private:
+  void grow(std::size_t need);
+
+  std::vector<std::uint8_t> data_;
+  std::size_t head_ = 0;  ///< read position
+  std::size_t size_ = 0;  ///< buffered byte count
+};
+
+class SharedMemoryTransport final : public Transport {
+ public:
+  explicit SharedMemoryTransport(const TransportOptions& options = {});
+
+  std::string name() const override { return "shared-memory"; }
+
+  void start(std::uint64_t machines) override;
+
+  bool stage(std::uint64_t round, std::uint64_t machine,
+             const std::vector<mpc::Message>& outbox) override;
+  std::vector<mpc::Message> collect_staged(std::uint64_t round, std::uint64_t machine) override;
+
+  void send(std::uint64_t round, std::uint64_t from,
+            std::vector<mpc::Message> outbox) override;
+  void flush(std::uint64_t round) override;
+  std::vector<mpc::Message> receive(std::uint64_t round, std::uint64_t to) override;
+
+  bool idle() const override;
+
+ private:
+  std::uint64_t max_payload_bits_;
+  std::uint64_t machines_ = 0;
+  std::vector<ByteRing> rings_;          ///< one per machine, indexed by sender
+  std::vector<std::uint8_t> staged_;     ///< per-machine "ring holds this round's outbox"
+  std::vector<std::vector<mpc::Message>> buckets_;  ///< post-merge routing, as in-process
+};
+
+}  // namespace mpch::transport

@@ -9,13 +9,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "fault/checkpoint.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
 #include "fault/recovery.hpp"
 #include "hash/random_oracle.hpp"
 #include "mpc/simulation.hpp"
+#include "transport/socket.hpp"
 #include "util/serialize.hpp"
 
 namespace mpch::mpc {
@@ -224,6 +230,102 @@ TEST(AuthMessaging, CheckpointResumeReverifiesTags) {
   resumed.max_rounds = 16;  // room to continue past the captured boundary
   MpcSimulation sim(resumed, nullptr);
   EXPECT_THROW(sim.resume(algo, std::move(rs)), TamperViolation);
+}
+
+// ---- RO-MAC over the socket wire path ----
+//
+// With the socket backend the tagged payloads cross a real process boundary
+// as MPCF frames. The ring is the sharpest possible lens for provenance
+// equality: exactly one message per round, so a wire-level attack and its
+// in-process FaultInjector twin must yield *identical* TamperViolations.
+// (Round r's token travels machine r%3 -> (r+1)%3; round 2 delivers to
+// machine 0.)
+
+// TSan cannot follow fork()ed routers; MPCH_SKIP_SOCKET_TRANSPORT=1 skips
+// the socket-path tests so the rest of this suite still runs under it.
+bool skip_socket_backend() {
+  const char* v = std::getenv("MPCH_SKIP_SOCKET_TRANSPORT");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+MpcRunResult run_ring_over_socket(const MpcConfig& c,
+                                  std::function<void(transport::WireFrame&)> tamper) {
+  RingAlgorithm algo(c.machines);
+  MpcSimulation sim(c, nullptr);
+  sim.set_transport_factory([tamper = std::move(tamper)] {
+    transport::TransportOptions options;
+    options.processes = 2;
+    auto t = std::make_unique<transport::SocketTransport>(options);
+    if (tamper) t->set_wire_tamper(tamper);
+    return t;
+  });
+  return sim.run(algo, ring_input());
+}
+
+TEST(AuthMessaging, UntamperedSocketRunMatchesInProcess) {
+  if (skip_socket_backend()) GTEST_SKIP() << "MPCH_SKIP_SOCKET_TRANSPORT set";
+  MpcRunResult in_process = run_ring(ring_config(true));
+  MpcRunResult socket = run_ring_over_socket(ring_config(true), nullptr);
+  ASSERT_TRUE(socket.completed);
+  EXPECT_EQ(in_process.output, socket.output);
+  EXPECT_EQ(in_process.rounds_used, socket.rounds_used);
+  EXPECT_EQ(in_process.trace.rounds(), socket.trace.rounds());
+}
+
+std::optional<TamperViolation> catch_violation(const std::function<void()>& run) {
+  try {
+    run();
+  } catch (const TamperViolation& tv) {
+    return tv;
+  }
+  return std::nullopt;
+}
+
+TEST(AuthMessaging, WireFlipOverSocketMatchesInProcessTamperProvenance) {
+  if (skip_socket_backend()) GTEST_SKIP() << "MPCH_SKIP_SOCKET_TRANSPORT set";
+  fault::FaultInjector injector(fault::FaultPlan::parse("flip:machine=0,round=2,bit=2"),
+                                /*fail_stop=*/false);
+  std::optional<TamperViolation> in_process =
+      catch_violation([&] { run_ring(ring_config(true), &injector); });
+  std::optional<TamperViolation> wire = catch_violation([] {
+    run_ring_over_socket(ring_config(true), [](transport::WireFrame& frame) {
+      if (frame.round == 2) frame.payload.set(2, !frame.payload.get(2));
+    });
+  });
+  ASSERT_TRUE(in_process.has_value()) << "in-process flip went undetected";
+  ASSERT_TRUE(wire.has_value()) << "wire flip went undetected";
+  EXPECT_EQ(wire->machine(), 0u);
+  EXPECT_EQ(wire->round(), 2u);
+  EXPECT_EQ(wire->message_index(), 0u);
+  EXPECT_EQ(wire->byte_offset(), 0u);
+  EXPECT_EQ(in_process->machine(), wire->machine());
+  EXPECT_EQ(in_process->round(), wire->round());
+  EXPECT_EQ(in_process->message_index(), wire->message_index());
+  EXPECT_EQ(in_process->byte_offset(), wire->byte_offset());
+}
+
+TEST(AuthMessaging, WireForgeOverSocketMatchesInProcessTamperProvenance) {
+  // Round 2's token genuinely comes from machine 2; spoof it as machine 1.
+  // The tag binds the true sender, so verification at the receiver rejects
+  // the forged provenance on both paths identically.
+  if (skip_socket_backend()) GTEST_SKIP() << "MPCH_SKIP_SOCKET_TRANSPORT set";
+  fault::FaultInjector injector(fault::FaultPlan::parse("forge:round=2,to=0,index=0,from=1"),
+                                /*fail_stop=*/false);
+  std::optional<TamperViolation> in_process =
+      catch_violation([&] { run_ring(ring_config(true), &injector); });
+  std::optional<TamperViolation> wire = catch_violation([] {
+    run_ring_over_socket(ring_config(true), [](transport::WireFrame& frame) {
+      if (frame.round == 2) frame.from = 1;
+    });
+  });
+  ASSERT_TRUE(in_process.has_value()) << "in-process forge went undetected";
+  ASSERT_TRUE(wire.has_value()) << "wire forge went undetected";
+  EXPECT_EQ(wire->machine(), 0u);
+  EXPECT_EQ(wire->round(), 2u);
+  EXPECT_EQ(in_process->machine(), wire->machine());
+  EXPECT_EQ(in_process->round(), wire->round());
+  EXPECT_EQ(in_process->message_index(), wire->message_index());
+  EXPECT_EQ(in_process->byte_offset(), wire->byte_offset());
 }
 
 }  // namespace

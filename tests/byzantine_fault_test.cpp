@@ -13,8 +13,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -30,6 +32,7 @@
 #include "ram/programs.hpp"
 #include "strategies/pointer_chasing.hpp"
 #include "strategies/ram_emulation.hpp"
+#include "transport/socket.hpp"
 #include "util/rng.hpp"
 
 namespace mpch {
@@ -414,6 +417,102 @@ TEST(MessageFaults, DropOnEmptyInboxFiresAsNoOpAndNeedsNoRecovery) {
   EXPECT_EQ(chaos.cost.faults_injected, 0u);
   EXPECT_EQ(chaos.cost.recoveries, 0u);
   EXPECT_EQ(chaos.cost.rounds_reexecuted, 0u);
+}
+
+// ---- the socket wire path (transport/socket.hpp) ----
+//
+// The verbs above tamper with in-process state. With the socket backend the
+// message bytes cross a real process boundary, so the same attacks can be
+// mounted *on the wire* — a flipped frame off a router socket is
+// indistinguishable from a compromised router's output. Detection must be
+// the identical typed path with the identical provenance, and quarantine
+// recovery over forked routers must still converge to the fault-free run.
+
+// TSan cannot follow fork()ed routers; MPCH_SKIP_SOCKET_TRANSPORT=1 skips
+// the socket-path tests so the rest of this suite still runs under it.
+bool skip_socket_backend() {
+  const char* v = std::getenv("MPCH_SKIP_SOCKET_TRANSPORT");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+TEST(Quarantine, FlipAndForgeOverSocketTransportRecoverBitIdentical) {
+  // The clean reference runs in-process: recovery over the socket backend
+  // must reproduce it bit for bit, not merely recover to *something*.
+  if (skip_socket_backend()) GTEST_SKIP() << "MPCH_SKIP_SOCKET_TRANSPORT set";
+  const char* kSpecs[] = {"flip:machine=1,round=3,bit=2", "forge:round=3,to=1,index=0,from=99"};
+  for (const char* spec : kSpecs) {
+    SCOPED_TRACE(spec);
+    Artifacts clean = run_clean("pointer-chasing", 1, false);
+    Scenario s = make_scenario("pointer-chasing", 1, false);
+    s.config.transport = transport::TransportKind::kSocket;
+    s.config.transport_processes = 2;
+    fault::ChaosHarness harness(s.config, s.oracle_factory);
+    fault::ChaosResult chaos =
+        harness.run_quarantine(*s.algo, s.initial, fault::FaultPlan::parse(spec));
+    EXPECT_EQ(chaos.cost.faults_injected, 1u);
+    EXPECT_GE(chaos.cost.recoveries, 1u);
+    EXPECT_TRUE(log_contains(chaos.fault_log, "detected")) << spec;
+    expect_identical(clean, extract(chaos.run, chaos.oracle.get()));
+  }
+}
+
+TEST(ByzantineWire, SocketWireFlipIsTypedWithInProcessProvenance) {
+  // Flip the same logical bits two ways — in-process (mutating machine 1's
+  // merged round-3 inbox through an observer) and on the wire (mutating the
+  // decoded frames off the router socket) — and require the *same*
+  // TamperViolation: machine, round, message index, byte offset.
+  if (skip_socket_backend()) GTEST_SKIP() << "MPCH_SKIP_SOCKET_TRANSPORT set";
+  struct InboxFlip final : mpc::RoundObserver {
+    void after_merge(std::uint64_t round,
+                     std::vector<std::vector<mpc::Message>>& next_inboxes) override {
+      if (round != 3) return;
+      for (auto& msg : next_inboxes[1]) msg.payload.set(2, !msg.payload.get(2));
+    }
+  };
+
+  std::optional<mpc::TamperViolation> in_process;
+  {
+    Scenario s = make_scenario("pointer-chasing", 1, true);
+    mpc::MpcSimulation sim(s.config, s.oracle_factory());
+    InboxFlip flip;
+    try {
+      sim.run(*s.algo, s.initial, &flip);
+      FAIL() << "in-process flip went undetected";
+    } catch (const mpc::TamperViolation& tv) {
+      in_process = tv;
+    }
+  }
+
+  std::optional<mpc::TamperViolation> wire;
+  {
+    Scenario s = make_scenario("pointer-chasing", 1, true);
+    mpc::MpcSimulation sim(s.config, s.oracle_factory());
+    sim.set_transport_factory([] {
+      transport::TransportOptions options;
+      options.processes = 2;
+      auto t = std::make_unique<transport::SocketTransport>(options);
+      t->set_wire_tamper([](transport::WireFrame& frame) {
+        if (frame.round == 3 && frame.to == 1) {
+          frame.payload.set(2, !frame.payload.get(2));
+        }
+      });
+      return t;
+    });
+    try {
+      sim.run(*s.algo, s.initial);
+      FAIL() << "wire flip went undetected";
+    } catch (const mpc::TamperViolation& tv) {
+      wire = tv;
+    }
+  }
+
+  ASSERT_TRUE(in_process.has_value());
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_EQ(in_process->machine(), wire->machine());
+  EXPECT_EQ(in_process->round(), 3u);
+  EXPECT_EQ(wire->round(), 3u);
+  EXPECT_EQ(in_process->message_index(), wire->message_index());
+  EXPECT_EQ(in_process->byte_offset(), wire->byte_offset());
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "fault/checkpoint.hpp"
 #include "fault/fault_plan.hpp"
 #include "ram/machine.hpp"
+#include "transport/wire.hpp"
 #include "util/bitstring.hpp"
 #include "verify/program_decoder.hpp"
 #include "verify/verifier.hpp"
@@ -142,6 +143,47 @@ TEST(FuzzCorpusReplay, ValidCorpusSeedStillDecodes) {
         }
       },
       CheckpointError);
+}
+
+TEST(FuzzCorpusReplay, WireFrameCorpusRejectsOrAssemblesTyped) {
+  // Mirrors fuzz/fuzz_wire_frame.cpp: decode with the shrunk payload cap,
+  // then push every data/broadcast frame through an InboxAssembler. WireError
+  // is the only acceptable rejection; std::length_error, bad_alloc, or a
+  // crash from a trusted length prefix fails the test.
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_root() / "wire_frame")) {
+    SCOPED_TRACE(entry.path().string());
+    std::vector<std::uint8_t> bytes = read_file(entry.path());
+    try {
+      std::vector<mpch::transport::WireFrame> frames =
+          mpch::transport::decode_frames(bytes, /*max_payload_bits=*/1 << 16);
+      mpch::transport::InboxAssembler assembler(/*machine=*/0, /*round=*/0);
+      for (auto& frame : frames) {
+        if (frame.type == mpch::transport::FrameType::kData) {
+          assembler.add(frame.from, frame.seq, std::move(frame.payload));
+        } else if (frame.type == mpch::transport::FrameType::kBroadcast) {
+          for (const auto& [to, seq] : frame.fanout) {
+            if (to == 0) assembler.add(frame.from, seq, frame.payload);
+          }
+        }
+      }
+      (void)assembler.take();
+    } catch (const mpch::transport::WireError&) {
+    }
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 12u) << "wire-frame corpus went missing — check fuzz/corpus/wire_frame";
+}
+
+TEST(FuzzCorpusReplay, WireFrameValidSeedsStillDecode) {
+  // The valid seeds must actually pass every gate — a corpus that rejects
+  // everything no longer covers the happy path the fuzzer mutates from.
+  for (const char* name : {"valid_data.bin", "valid_two_senders.bin", "valid_broadcast.bin",
+                           "valid_controls.bin"}) {
+    SCOPED_TRACE(name);
+    std::vector<std::uint8_t> bytes = read_file(corpus_root() / "wire_frame" / name);
+    EXPECT_NO_THROW((void)mpch::transport::decode_frames(bytes));
+  }
 }
 
 }  // namespace

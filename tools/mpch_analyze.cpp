@@ -87,7 +87,11 @@ int main(int argc, char** argv) {
            "  --authenticate : check (and with --soundness, run) every strategy under\n"
            "                   MAC-tagged messaging; specs are lifted via\n"
            "                   ProtocolSpec::with_authentication so per-message tag\n"
-           "                   overhead is part of the declared envelope\n";
+           "                   overhead is part of the declared envelope\n"
+           "  --transport  : in-process|shared-memory|socket — backend for --soundness\n"
+           "                 runs (--transport-procs N for socket router count). The\n"
+           "                 measured envelope is transport-invariant; running the\n"
+           "                 soundness pass over a byte backend demonstrates it\n";
     return 0;
   }
 
@@ -103,6 +107,14 @@ int main(int argc, char** argv) {
   const std::string which = args.get_string("strategy", "all");
   const bool soundness = args.get_bool("soundness", false);
   const bool authenticate = args.get_bool("authenticate", false);
+  transport::TransportKind transport_kind = transport::TransportKind::kInProcess;
+  try {
+    transport_kind = transport::parse_transport_kind(args.get_string("transport", "in-process"));
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "mpch-analyze: " << e.what() << "\n";
+    return 2;
+  }
+  const std::uint64_t transport_procs = args.get_u64("transport-procs", 0);
 
   core::LineParams p = core::LineParams::make(n, u, v, w);
 
@@ -194,6 +206,8 @@ int main(int argc, char** argv) {
     // Apply config overrides (shrinking below documented seeds violations).
     mpc::MpcConfig c = t.config;
     c.authenticate_messages = authenticate;
+    c.transport = transport_kind;
+    c.transport_processes = transport_procs;
     if (args.has("s")) c.local_memory_bits = args.get_u64("s", c.local_memory_bits);
     if (args.has("q")) c.query_budget = args.get_u64("q", c.query_budget);
     if (args.has("rounds")) c.max_rounds = args.get_u64("rounds", c.max_rounds);

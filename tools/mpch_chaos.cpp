@@ -270,6 +270,7 @@ int main(int argc, char** argv) {
                  "                  [--policy restart|replicate|quarantine|none]\n"
                  "                  [--every N] [--retries N] [--strikes N] [--authenticate]\n"
                  "                  [--threads N] [--seed N] [--checkpoint-file PATH] [--list]\n"
+                 "                  [--transport in-process|shared-memory|socket] [--transport-procs N]\n"
                  "  plan grammar : semicolon-separated events —\n"
                  "                 crash:machine=M,round=R | drop:round=R,to=M,index=I\n"
                  "                 | dup:round=R,to=M,index=I | kill:round=R\n"
@@ -286,7 +287,10 @@ int main(int argc, char** argv) {
                  "                 none       = apply faults silently, no recovery (baseline);\n"
                  "                              Byzantine verbs still audited typed (exit 1)\n"
                  "  --authenticate : MAC-tag every cross-round message (detects flip/forge at the\n"
-                 "                   barrier as mpc::TamperViolation with provenance)\n";
+                 "                   barrier as mpc::TamperViolation with provenance)\n"
+                 "  --transport  : message delivery backend (default in-process). socket forks\n"
+                 "                 one router process per shard group (--transport-procs, default\n"
+                 "                 auto) — recovery runs bit-identical over any backend\n";
     return 0;
   }
   if (args.get_bool("list", false)) {
@@ -304,6 +308,8 @@ int main(int argc, char** argv) {
   const std::uint64_t threads = args.get_u64("threads", 0);
   const std::uint64_t seed = args.get_u64("seed", 11);
   const std::string checkpoint_file = args.get_string("checkpoint-file", "");
+  const std::string transport_name = args.get_string("transport", "in-process");
+  const std::uint64_t transport_procs = args.get_u64("transport-procs", 0);
 
   if (plan_spec.empty()) {
     std::cerr << "mpch-chaos: --plan is required (try --help)\n";
@@ -317,13 +323,23 @@ int main(int argc, char** argv) {
 
   fault::FaultPlan plan;
   Scenario reference;
+  transport::TransportKind transport_kind = transport::TransportKind::kInProcess;
   try {
     plan = fault::FaultPlan::parse(plan_spec);
+    transport_kind = transport::parse_transport_kind(transport_name);
     reference = make_scenario(strategy, seed, threads);
   } catch (const std::invalid_argument& e) {
     std::cerr << "mpch-chaos: " << e.what() << "\n";
     return 2;
   }
+  // Every execution of this invocation — the fault-free reference, the
+  // chaotic run, and the recovery policy's internal replicas — moves its
+  // bytes over the selected backend.
+  auto select_transport = [&](Scenario& sc) {
+    sc.config.transport = transport_kind;
+    sc.config.transport_processes = transport_procs;
+  };
+  select_transport(reference);
   for (const auto& unused : args.unused()) {
     std::cerr << "mpch-chaos: unknown flag --" << unused << "\n";
     return 2;
@@ -347,6 +363,7 @@ int main(int argc, char** argv) {
   if (authenticate) enable_auth(reference);
 
   std::cout << "mpch-chaos: strategy=" << strategy << " threads=" << threads << " seed=" << seed
+            << " transport=" << transport::to_string(transport_kind)
             << (authenticate ? (auth_auto ? " authenticate=on (auto)" : " authenticate=on") : "")
             << "\n  plan:   " << plan.describe() << "\n  policy: " << policy;
   if (policy == "restart") std::cout << " (checkpoint every " << every << " round(s))";
@@ -372,6 +389,7 @@ int main(int argc, char** argv) {
   // Chaos run under the chosen policy. Fresh scenario: strategy-internal
   // counters must not carry over from the reference run.
   Scenario chaos = make_scenario(strategy, seed, threads);
+  select_transport(chaos);
   if (authenticate) enable_auth(chaos);
   try {
     if (policy == "none") {
