@@ -1,0 +1,32 @@
+// libFuzzer harness for the mpch-model counterexample trace loader
+// (check/trace.hpp).
+//
+// Trace files are fuzzer- and user-supplied input: `mpch-model --replay`
+// reads them straight off disk, and fuzz/corpus/model_trace/ is checked in
+// as a regression corpus. Two layers per input:
+//  1. parse — the bytes straight into parse_trace(), exercising every gate
+//     (header, field order, line caps, action-count ceiling, u64 overflow,
+//     CR rejection, truncation, trailing bytes).
+//  2. round-trip — a trace that parses must re-encode to bytes that parse
+//     back equal; canonicality failures here mean the corpus and the
+//     --replay path can disagree about the same schedule.
+//
+// TraceError is the defined rejection path; anything else that escapes
+// (std::length_error from an unguarded reserve, bad_alloc from a trusted
+// count, ASan findings, ...) is a bug.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "check/trace.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const mpch::check::TraceFile trace = mpch::check::parse_trace(text);
+    const std::string encoded = mpch::check::encode_trace(trace);
+    if (mpch::check::parse_trace(encoded) != trace) __builtin_trap();
+  } catch (const mpch::check::TraceError&) {
+  }
+  return 0;
+}

@@ -50,6 +50,38 @@ std::string AnalysisReport::format() const {
   return os.str();
 }
 
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string AnalysisReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"protocol\":\"" << json_escape(protocol)
+     << "\",\"ok\":" << (ok() ? "true" : "false") << ",\"violations\":[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Diagnostic& d = violations[i];
+    os << (i ? "," : "") << "{\"kind\":\"" << violation_kind_name(d.kind)
+       << "\",\"round\":" << d.round << ",\"machine\":" << d.machine << ",\"value\":" << d.value
+       << ",\"limit\":" << d.limit << ",\"message\":\"" << json_escape(d.message) << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
 std::string ProtocolSpec::summary() const {
   RoundEnvelope worst;
   for (std::uint64_t r = 0; r < distinct_round_shapes(); ++r) {

@@ -60,6 +60,11 @@ struct AnalysisReport {
   bool ok() const { return violations.empty(); }
   /// Multi-line report: "PASS"/"FAIL" headline plus one line per diagnostic.
   std::string format() const;
+  /// One JSON object per report — the machine-readable twin of format(),
+  /// mirroring mpch-verify's report shape so `--format json` consumers can
+  /// share parsing code: {"protocol":...,"ok":...,"violations":[{"kind":...,
+  /// "round":...,"machine":...,"value":...,"limit":...,"message":...}]}.
+  std::string to_json() const;
 };
 
 /// The static pass: verify `spec` fits inside `config`. Does not execute

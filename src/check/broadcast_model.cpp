@@ -1,0 +1,222 @@
+// broadcast_model.cpp — broadcast dedup and canonical merge order, checked
+// against the real RouterCore.
+//
+// One broadcast (from machine 0, one fanout entry per machine) is
+// disseminated to G router groups. The binomial dissemination tree delivers
+// every group at least one copy and — whenever G is not a power of two —
+// some groups more than one; the model therefore lets the adversary deliver
+// the broadcast to each group once for free and re-deliver within its fault
+// budget, in any interleaving with the round's point-to-point data frames.
+// At the barrier each group's take_local() must hold exactly one frame per
+// owned destination, in canonical (to, from, seq) order: the (from, seq)
+// dedup set is the only thing standing between a re-delivery and a
+// duplicated inbox, which is precisely what the `skip-broadcast-dedup`
+// mutation disables.
+#include <optional>
+#include <tuple>
+#include <utility>
+
+#include "check/models.hpp"
+#include "transport/router_core.hpp"
+
+namespace mpch::check {
+
+namespace {
+
+constexpr std::uint64_t kKindBroadcast = 1;
+constexpr std::uint64_t kKindData = 2;
+constexpr std::uint64_t kKindBarrier = 3;
+
+std::uint64_t pack_key(std::uint64_t kind, std::uint64_t arg) {
+  return (kind << 40) | arg;
+}
+
+class BroadcastModel final : public Model {
+ public:
+  BroadcastModel(const ModelBounds& bounds, transport::RouterCoreOptions options)
+      : groups_(bounds.machines), group_size_(bounds.messages), dup_budget_(bounds.faults),
+        options_(options) {
+    BroadcastModel::reset();
+  }
+
+  std::string name() const override { return "broadcast"; }
+
+  void reset() override {
+    routers_.clear();
+    const std::uint64_t machines = groups_ * group_size_;
+    for (std::uint64_t g = 0; g < groups_; ++g) {
+      routers_.emplace_back(g, groups_, group_size_, machines, options_);
+    }
+    bcast_delivered_.assign(groups_, 0);
+    data_delivered_.assign(machines, false);
+    dup_used_ = 0;
+    barrier_done_ = false;
+    violation_.reset();
+    outcome_.clear();
+  }
+
+  std::vector<Action> enabled() const override {
+    std::vector<Action> out;
+    if (barrier_done_ || group_size_ == 0) return out;
+    bool all_covered = true;
+    for (std::uint64_t g = 0; g < groups_; ++g) {
+      if (bcast_delivered_[g] == 0) {
+        all_covered = false;
+        out.push_back(Action{pack_key(kKindBroadcast, g),
+                             "deliver broadcast to group " + std::to_string(g)});
+      } else if (dup_used_ < dup_budget_) {
+        out.push_back(Action{pack_key(kKindBroadcast, g),
+                             "re-deliver broadcast to group " + std::to_string(g)});
+      }
+    }
+    for (std::uint64_t t = 0; t < data_delivered_.size(); ++t) {
+      if (!data_delivered_[t]) {
+        all_covered = false;
+        out.push_back(
+            Action{pack_key(kKindData, t), "deliver data frame to machine " + std::to_string(t)});
+      }
+    }
+    if (all_covered) out.push_back(Action{pack_key(kKindBarrier, 0), "barrier"});
+    return out;
+  }
+
+  void apply(std::uint64_t key) override {
+    const std::uint64_t kind = key >> 40;
+    const std::uint64_t arg = key & 0xffffffffffULL;
+    if (kind == kKindBroadcast) {
+      if (bcast_delivered_.at(arg) > 0) ++dup_used_;
+      ++bcast_delivered_.at(arg);
+      routers_[arg].accept_broadcast(broadcast_frame());
+      return;
+    }
+    if (kind == kKindData) {
+      data_delivered_.at(arg) = true;
+      transport::WireFrame frame = data_frame(arg);
+      const std::uint64_t g = routers_[0].group_of(arg);
+      if (routers_[g].accept_data(frame).has_value()) {
+        throw std::logic_error("broadcast model: own-group data frame was not buffered");
+      }
+      return;
+    }
+    if (kind == kKindBarrier) {
+      barrier();
+      return;
+    }
+    throw std::logic_error("broadcast model: unknown action key " + std::to_string(key));
+  }
+
+  std::optional<std::string> violation() const override { return violation_; }
+
+  std::uint64_t fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(0xbca5);  // model tag
+    for (std::uint64_t n : bcast_delivered_) fp.mix(n);
+    for (bool d : data_delivered_) fp.mix(d ? 1 : 0);
+    fp.mix(dup_used_);
+    fp.mix(barrier_done_ ? 1 : 0);
+    for (const transport::RouterCore& r : routers_) fp.mix(r.pending_local());
+    return fp.value();
+  }
+
+  bool terminal_comparable() const override { return barrier_done_; }
+
+  std::uint64_t outcome_fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(outcome_.size());
+    for (const auto& [to, from, seq] : outcome_) fp.mix(to).mix(from).mix(seq);
+    return fp.value();
+  }
+
+  bool independent(const Action& a, const Action& b) const override {
+    const std::uint64_t kind_a = a.key >> 40;
+    const std::uint64_t kind_b = b.key >> 40;
+    if (kind_a == kKindBarrier || kind_b == kKindBarrier) return false;
+    // All deliveries commute: broadcasts are deduped (or re-expanded) per
+    // group independently of data-frame arrival, and take_local sorts, so
+    // the resulting state does not depend on the order.
+    return a.key != b.key;
+  }
+
+ private:
+  /// The round's one broadcast: machine 0 to everyone, seq 0 per entry.
+  transport::WireFrame broadcast_frame() const {
+    transport::WireFrame frame;
+    frame.type = transport::FrameType::kBroadcast;
+    frame.round = 0;
+    frame.from = 0;
+    frame.seq = 0;  // the sender's broadcast id the dedup set keys on
+    for (std::uint64_t t = 0; t < groups_ * group_size_; ++t) frame.fanout.emplace_back(t, 0);
+    return frame;
+  }
+
+  /// One point-to-point frame per machine, from machine 1, seq 1 (disjoint
+  /// from the broadcast's per-destination seq 0).
+  transport::WireFrame data_frame(std::uint64_t to) const {
+    transport::WireFrame frame;
+    frame.type = transport::FrameType::kData;
+    frame.round = 0;
+    frame.from = 1 % (groups_ * group_size_);
+    frame.seq = 1;
+    frame.to = to;
+    return frame;
+  }
+
+  void barrier() {
+    barrier_done_ = true;
+    for (std::uint64_t g = 0; g < groups_ && !violation_.has_value(); ++g) {
+      const std::vector<transport::WireFrame> local = routers_[g].take_local();
+      for (const transport::WireFrame& f : local) outcome_.emplace_back(f.to, f.from, f.seq);
+      // Expected: per owned machine, the broadcast (from 0, seq 0) and the
+      // data frame (from 1, seq 1) exactly once, destinations ascending.
+      const std::uint64_t expected = group_size_ * 2;
+      if (local.size() != expected) {
+        violation_ = "broadcast: group " + std::to_string(g) + " delivered " +
+                     std::to_string(local.size()) + " frame(s) for its " +
+                     std::to_string(group_size_) +
+                     " machine(s), expected " + std::to_string(expected) +
+                     " — a re-delivered broadcast expanded into duplicate inbox entries";
+        return;
+      }
+      for (std::uint64_t i = 0; i < group_size_; ++i) {
+        const std::uint64_t to = g * group_size_ + i;
+        const transport::WireFrame& bcast = local[2 * i];
+        const transport::WireFrame& data = local[2 * i + 1];
+        if (bcast.to != to || bcast.from != 0 || bcast.seq != 0 || data.to != to ||
+            data.from != data_frame(to).from || data.seq != 1) {
+          violation_ = "broadcast: group " + std::to_string(g) + " slot " + std::to_string(i) +
+                       " is not the canonical (to, from, seq) merge for machine " +
+                       std::to_string(to);
+          return;
+        }
+      }
+    }
+  }
+
+  std::uint64_t groups_;
+  std::uint64_t group_size_;
+  std::uint64_t dup_budget_;
+  transport::RouterCoreOptions options_;
+
+  std::vector<transport::RouterCore> routers_;
+  std::vector<std::uint64_t> bcast_delivered_;  ///< copies delivered per group
+  std::vector<bool> data_delivered_;            ///< per destination machine
+  std::uint64_t dup_used_ = 0;
+  bool barrier_done_ = false;
+  std::optional<std::string> violation_;
+  std::vector<std::tuple<std::uint64_t, std::uint64_t, std::uint64_t>> outcome_;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> make_broadcast_model(const ModelBounds& bounds,
+                                            const std::string& mutation) {
+  transport::RouterCoreOptions options;
+  if (mutation == "skip-broadcast-dedup") {
+    options.dedup_broadcasts = false;
+  } else if (mutation != "none" && !mutation.empty()) {
+    throw std::invalid_argument("broadcast model: unknown mutation '" + mutation + "'");
+  }
+  return std::make_unique<BroadcastModel>(bounds, options);
+}
+
+}  // namespace mpch::check

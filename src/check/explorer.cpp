@@ -1,0 +1,232 @@
+#include "check/explorer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace mpch::check {
+
+namespace {
+
+std::string livelock_message(std::uint64_t fingerprint) {
+  return "livelock: state fingerprint " + std::to_string(fingerprint) +
+         " repeats along the schedule — the adversary can force this loop forever";
+}
+
+}  // namespace
+
+ExploreResult Explorer::run(Model& model) const {
+  ExploreResult out;
+  model.reset();
+  std::uint64_t model_depth = 0;  // actions applied since the last reset
+
+  std::vector<Action> path;           // the schedule prefix under exploration
+  std::vector<std::uint64_t> path_fps;  // fingerprint after each prefix
+  // Bring the model to state(path[0..depth)). Backtracking is
+  // reset-and-replay: models are pure functions of their action sequence.
+  auto ensure_at = [&](std::size_t depth) {
+    if (model_depth == depth) return;
+    model.reset();
+    for (std::size_t i = 0; i < depth; ++i) model.apply(path[i].key);
+    model_depth = depth;
+  };
+
+  std::unordered_set<std::uint64_t> visited;       // membership only
+  std::unordered_set<std::uint64_t> terminal_fps;  // membership only
+  std::optional<std::uint64_t> confluence_fp;      // first terminal state seen
+
+  // The initial state is judged like any other.
+  if (std::optional<std::string> v = model.violation()) {
+    out.counterexample = Counterexample{{}, *v};
+    return out;
+  }
+  const std::uint64_t fp0 = model.fingerprint();
+  visited.insert(fp0);
+  out.stats.states_explored = 1;
+  path_fps.push_back(fp0);
+
+  struct Frame {
+    std::vector<Action> acts;   ///< siblings still to explore at this state
+    std::vector<Action> sleep;  ///< choices pruned as commuting re-orders
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  {
+    std::vector<Action> en = model.enabled();
+    if (en.empty()) {
+      out.stats.terminal_states = 1;
+      out.stats.terminal_fingerprints = 1;
+      return out;
+    }
+    stack.push_back(Frame{std::move(en), {}, 0});
+  }
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.acts.size()) {
+      stack.pop_back();
+      if (!path.empty()) path.pop_back();
+      path_fps.pop_back();
+      continue;
+    }
+    const std::size_t depth = stack.size() - 1;  // == path.size()
+    ensure_at(depth);
+
+    const Action action = frame.acts[frame.next];
+    // Sleep-set inheritance, judged at the parent state: a sibling already
+    // fully explored (or already sleeping) keeps sleeping below `action`
+    // only while the two commute — executing a dependent action wakes it.
+    std::vector<Action> child_sleep;
+    if (options_.sleep_sets) {
+      for (std::size_t i = 0; i < frame.next; ++i) {
+        if (model.independent(frame.acts[i], action)) child_sleep.push_back(frame.acts[i]);
+      }
+      for (const Action& s : frame.sleep) {
+        if (model.independent(s, action)) child_sleep.push_back(s);
+      }
+    }
+    ++frame.next;
+
+    model.apply(action.key);
+    ++model_depth;
+    ++out.stats.transitions;
+    path.push_back(action);
+    out.stats.deepest = std::max<std::uint64_t>(out.stats.deepest, path.size());
+
+    if (std::optional<std::string> v = model.violation()) {
+      out.counterexample = Counterexample{path, *v};
+      break;
+    }
+    const std::uint64_t fp = model.fingerprint();
+    if (options_.detect_livelock &&
+        std::find(path_fps.begin(), path_fps.end(), fp) != path_fps.end()) {
+      out.counterexample = Counterexample{path, livelock_message(fp)};
+      break;
+    }
+
+    std::vector<Action> en = model.enabled();
+    if (en.empty()) {
+      ++out.stats.terminal_states;
+      if (terminal_fps.insert(fp).second) ++out.stats.terminal_fingerprints;
+      if (options_.check_confluence && model.terminal_comparable()) {
+        const std::uint64_t outcome = model.outcome_fingerprint();
+        if (!confluence_fp.has_value()) {
+          confluence_fp = outcome;
+        } else if (*confluence_fp != outcome) {
+          out.counterexample = Counterexample{
+              path, "confluence violation: this schedule ends with outcome fingerprint " +
+                        std::to_string(outcome) + " but earlier schedules ended with " +
+                        std::to_string(*confluence_fp) +
+                        " — the delivery order is observable in the outcome"};
+          break;
+        }
+      }
+      path.pop_back();
+      continue;
+    }
+    if (path.size() >= options_.max_depth) {
+      out.stats.depth_bound_hit = true;
+      path.pop_back();
+      continue;
+    }
+    if (options_.prune_converged && visited.count(fp) != 0) {
+      ++out.stats.pruned_converged;
+      path.pop_back();
+      continue;
+    }
+    visited.insert(fp);
+    ++out.stats.states_explored;
+    if (out.stats.states_explored >= options_.max_states) {
+      out.stats.state_bound_hit = true;
+      break;
+    }
+
+    std::vector<Action> filtered;
+    if (options_.sleep_sets && !child_sleep.empty()) {
+      for (const Action& a : en) {
+        bool sleeping = false;
+        for (const Action& s : child_sleep) sleeping = sleeping || s.key == a.key;
+        if (!sleeping) filtered.push_back(a);
+      }
+      out.stats.pruned_sleep += en.size() - filtered.size();
+    } else {
+      filtered = std::move(en);
+    }
+    path_fps.push_back(fp);
+    stack.push_back(Frame{std::move(filtered), std::move(child_sleep), 0});
+  }
+
+  if (out.counterexample.has_value() && options_.shrink) {
+    out.counterexample = shrink(model, std::move(*out.counterexample));
+  }
+  return out;
+}
+
+ReplayOutcome Explorer::replay(Model& model, const std::vector<Action>& schedule) const {
+  model.reset();
+  ReplayOutcome out;
+  std::unordered_set<std::uint64_t> fps;  // membership only
+  if (std::optional<std::string> v = model.violation()) {
+    out.violation = std::move(v);
+    return out;
+  }
+  fps.insert(model.fingerprint());
+  for (const Action& action : schedule) {
+    const std::vector<Action> en = model.enabled();
+    const bool offered = std::any_of(en.begin(), en.end(),
+                                     [&](const Action& e) { return e.key == action.key; });
+    if (!offered) {
+      throw ReplayError("replay: action '" + action.label + "' (key " +
+                        std::to_string(action.key) + ") is not enabled at step " +
+                        std::to_string(out.steps + 1) + " of protocol '" + model.name() + "'");
+    }
+    model.apply(action.key);
+    ++out.steps;
+    if (std::optional<std::string> v = model.violation()) {
+      out.violation = std::move(v);
+      return out;
+    }
+    if (options_.detect_livelock && !fps.insert(model.fingerprint()).second) {
+      out.violation = livelock_message(model.fingerprint());
+      return out;
+    }
+  }
+  return out;
+}
+
+std::optional<ReplayOutcome> Explorer::try_replay(Model& model,
+                                                  const std::vector<Action>& schedule) const {
+  try {
+    return replay(model, schedule);
+  } catch (const ReplayError&) {
+    return std::nullopt;
+  }
+}
+
+Counterexample Explorer::shrink(Model& model, Counterexample found) const {
+  // Truncate at the firing step first; DFS hands us the schedule up to the
+  // violation, but a replayed livelock may fire earlier than the tail.
+  if (std::optional<ReplayOutcome> r = try_replay(model, found.schedule);
+      r.has_value() && r->violation.has_value()) {
+    found.schedule.resize(r->steps);
+    found.violation = *r->violation;
+  }
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i < found.schedule.size(); ++i) {
+      std::vector<Action> trial = found.schedule;
+      trial.erase(trial.begin() + static_cast<std::ptrdiff_t>(i));
+      std::optional<ReplayOutcome> r = try_replay(model, trial);
+      if (!r.has_value() || !r->violation.has_value()) continue;
+      trial.resize(r->steps);
+      found.schedule = std::move(trial);
+      found.violation = *r->violation;
+      improved = true;
+      break;
+    }
+  }
+  return found;
+}
+
+}  // namespace mpch::check

@@ -1,0 +1,227 @@
+// inbox_model.cpp — exactly-once canonical inbox order, checked against the
+// real InboxAssembler.
+//
+// The network the model quantifies over is the one the stream transports
+// actually present: each sender's frames arrive in seq order (TCP/unix
+// streams do not reorder one connection), the interleaving *across* senders
+// is arbitrary, and the adversary may re-deliver any frame already sent
+// (retransmission, or a Byzantine router) within its fault budget. The
+// assembler must end every barrier with each (sender, seq) exactly once, in
+// canonical (sender, seq) order — or reject the hostile delivery with a
+// typed WireError, which the model treats as a defensive terminal state,
+// not a violation.
+//
+// The seeded mutations drive the two gates: `skip-dedup` silently accepts a
+// re-delivered current seq; `drop-seq-check` silently accepts an older seq
+// — which also *lowers* the high-water mark (the real code updates it
+// unconditionally), the subtle second-order bug the explorer finds a
+// multi-step schedule for.
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "check/models.hpp"
+#include "transport/wire.hpp"
+
+namespace mpch::check {
+
+namespace {
+
+constexpr std::uint64_t kKindDeliver = 1;
+constexpr std::uint64_t kKindDuplicate = 2;
+constexpr std::uint64_t kKindBarrier = 3;
+
+std::uint64_t pack_key(std::uint64_t kind, std::uint64_t a, std::uint64_t b) {
+  return (kind << 40) | (a << 20) | b;
+}
+
+class InboxModel final : public Model {
+ public:
+  InboxModel(const ModelBounds& bounds, transport::InboxAssemblerOptions options)
+      : senders_(bounds.machines),
+        per_sender_(bounds.messages),
+        dup_budget_(bounds.faults),
+        options_(options) {
+    InboxModel::reset();
+  }
+
+  std::string name() const override { return "inbox"; }
+
+  void reset() override {
+    assembler_.emplace(/*machine=*/0, /*round=*/0, options_);
+    delivered_.assign(senders_, 0);
+    shadow_counts_.clear();
+    shadow_high_.clear();
+    dup_used_ = 0;
+    abort_gate_.reset();
+    barrier_done_ = false;
+    violation_.reset();
+    outcome_.clear();
+  }
+
+  std::vector<Action> enabled() const override {
+    std::vector<Action> out;
+    if (abort_gate_.has_value() || barrier_done_) return out;
+    bool all_delivered = true;
+    for (std::uint64_t ch = 0; ch < senders_; ++ch) {
+      if (delivered_[ch] < per_sender_) {
+        all_delivered = false;
+        out.push_back(Action{pack_key(kKindDeliver, ch, 0),
+                             "deliver from=" + std::to_string(ch) +
+                                 " seq=" + std::to_string(delivered_[ch])});
+      }
+    }
+    if (dup_used_ < dup_budget_) {
+      for (std::uint64_t ch = 0; ch < senders_; ++ch) {
+        for (std::uint64_t seq = 0; seq < delivered_[ch]; ++seq) {
+          out.push_back(Action{pack_key(kKindDuplicate, ch, seq),
+                               "duplicate from=" + std::to_string(ch) +
+                                   " seq=" + std::to_string(seq)});
+        }
+      }
+    }
+    if (all_delivered) out.push_back(Action{pack_key(kKindBarrier, 0, 0), "barrier"});
+    return out;
+  }
+
+  void apply(std::uint64_t key) override {
+    const std::uint64_t kind = key >> 40;
+    const std::uint64_t ch = (key >> 20) & 0xfffffU;
+    const std::uint64_t seq = key & 0xfffffU;
+    if (kind == kKindDeliver) {
+      deliver(ch, delivered_[ch], /*is_duplicate=*/false);
+      return;
+    }
+    if (kind == kKindDuplicate) {
+      ++dup_used_;
+      deliver(ch, seq, /*is_duplicate=*/true);
+      return;
+    }
+    if (kind == kKindBarrier) {
+      barrier();
+      return;
+    }
+    throw std::logic_error("inbox model: unknown action key " + std::to_string(key));
+  }
+
+  std::optional<std::string> violation() const override { return violation_; }
+
+  std::uint64_t fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(0x1b0e);  // model tag
+    for (std::uint64_t d : delivered_) fp.mix(d);
+    fp.mix(dup_used_);
+    fp.mix(abort_gate_.has_value() ? 1 : 0);
+    if (abort_gate_.has_value()) fp.mix(*abort_gate_);
+    fp.mix(barrier_done_ ? 1 : 0);
+    // Accepted deliveries as a sorted multiset: delivery orders that accept
+    // the same frames are the same state.
+    fp.mix(shadow_counts_.size());
+    for (const auto& [from_seq, count] : shadow_counts_) {
+      fp.mix(from_seq.first).mix(from_seq.second).mix(count);
+    }
+    fp.mix(shadow_high_.size());
+    for (const auto& [ch2, high] : shadow_high_) fp.mix(ch2).mix(high);
+    return fp.value();
+  }
+
+  bool terminal_comparable() const override {
+    return barrier_done_ && !abort_gate_.has_value();
+  }
+
+  std::uint64_t outcome_fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(outcome_.size());
+    for (const auto& [from, value] : outcome_) fp.mix(from).mix(value);
+    return fp.value();
+  }
+
+  bool independent(const Action& a, const Action& b) const override {
+    const std::uint64_t kind_a = a.key >> 40;
+    const std::uint64_t kind_b = b.key >> 40;
+    if (kind_a == kKindBarrier || kind_b == kKindBarrier) return false;
+    // Deliveries touch per-sender assembler state only: different senders
+    // commute (the barrier inbox is sorted, and the fingerprint hashes the
+    // accepted multiset, not the arrival order).
+    return ((a.key >> 20) & 0xfffffU) != ((b.key >> 20) & 0xfffffU);
+  }
+
+ private:
+  std::uint64_t payload_value(std::uint64_t ch, std::uint64_t seq) const {
+    return ch * per_sender_ + seq;
+  }
+
+  void deliver(std::uint64_t ch, std::uint64_t seq, bool is_duplicate) {
+    try {
+      assembler_->add(ch, seq, util::BitString::from_uint(payload_value(ch, seq), 32));
+    } catch (const transport::WireError& e) {
+      abort_gate_ = e.what();  // defense fired: terminal, not a violation
+      return;
+    }
+    shadow_counts_[{ch, seq}] += 1;
+    shadow_high_[ch] = seq;  // the real code updates the mark unconditionally
+    if (!is_duplicate) ++delivered_[ch];
+  }
+
+  void barrier() {
+    barrier_done_ = true;
+    std::vector<mpc::Message> inbox = assembler_->take();
+    outcome_.reserve(inbox.size());
+    for (const mpc::Message& msg : inbox) {
+      outcome_.emplace_back(msg.from,
+                            msg.payload.size() == 32 ? msg.payload.get_uint(0, 32) : ~0ULL);
+    }
+    const std::uint64_t expected = senders_ * per_sender_;
+    if (inbox.size() != expected) {
+      violation_ = "inbox: barrier delivered " + std::to_string(inbox.size()) +
+                   " message(s) where the senders sent " + std::to_string(expected) +
+                   " — exactly-once broken (a duplicate or loss survived the seq gates)";
+      return;
+    }
+    std::size_t i = 0;
+    for (std::uint64_t ch = 0; ch < senders_; ++ch) {
+      for (std::uint64_t seq = 0; seq < per_sender_; ++seq, ++i) {
+        if (outcome_[i].first != ch || outcome_[i].second != payload_value(ch, seq)) {
+          violation_ = "inbox: barrier position " + std::to_string(i) + " holds from=" +
+                       std::to_string(outcome_[i].first) + " payload=" +
+                       std::to_string(outcome_[i].second) + ", expected from=" +
+                       std::to_string(ch) + " payload=" +
+                       std::to_string(payload_value(ch, seq)) +
+                       " — canonical (sender, seq) order broken";
+          return;
+        }
+      }
+    }
+  }
+
+  std::uint64_t senders_;
+  std::uint64_t per_sender_;
+  std::uint64_t dup_budget_;
+  transport::InboxAssemblerOptions options_;
+
+  std::optional<transport::InboxAssembler> assembler_;
+  std::vector<std::uint64_t> delivered_;  ///< per-sender stream position
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint64_t> shadow_counts_;
+  std::map<std::uint64_t, std::uint64_t> shadow_high_;  ///< mirror of the real marks
+  std::uint64_t dup_used_ = 0;
+  std::optional<std::string> abort_gate_;
+  bool barrier_done_ = false;
+  std::optional<std::string> violation_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> outcome_;  ///< (from, payload)
+};
+
+}  // namespace
+
+std::unique_ptr<Model> make_inbox_model(const ModelBounds& bounds, const std::string& mutation) {
+  transport::InboxAssemblerOptions options;
+  if (mutation == "skip-dedup") {
+    options.reject_duplicates = false;
+  } else if (mutation == "drop-seq-check") {
+    options.reject_reordered = false;
+  } else if (mutation != "none" && !mutation.empty()) {
+    throw std::invalid_argument("inbox model: unknown mutation '" + mutation + "'");
+  }
+  return std::make_unique<InboxModel>(bounds, options);
+}
+
+}  // namespace mpch::check

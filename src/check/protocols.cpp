@@ -1,0 +1,63 @@
+// protocols.cpp — name-to-model dispatch and the seeded-mutation registry.
+#include <stdexcept>
+
+#include "check/models.hpp"
+
+namespace mpch::check {
+
+const std::vector<std::string>& protocol_names() {
+  static const std::vector<std::string> kNames = {"inbox", "broadcast", "recovery",
+                                                  "quarantine"};
+  return kNames;
+}
+
+const std::vector<MutationSpec>& mutation_registry() {
+  static const std::vector<MutationSpec> kMutations = {
+      {"skip-dedup", "inbox",
+       "InboxAssembler accepts a re-delivered current seq (wire.hpp reject_duplicates off)"},
+      {"drop-seq-check", "inbox",
+       "InboxAssembler accepts an older seq and lowers its high-water mark "
+       "(wire.hpp reject_reordered off)"},
+      {"skip-broadcast-dedup", "broadcast",
+       "RouterCore re-expands a re-delivered broadcast into duplicate inbox entries "
+       "(router_core.hpp dedup_broadcasts off)"},
+      {"resume-past-fault", "recovery",
+       "plan_restart resumes after the fault instead of the checkpoint, committing the "
+       "poisoned round (recovery_core.hpp resume_from_checkpoint off)"},
+      {"undercount-lost-rounds", "recovery",
+       "plan_restart omits the poisoned round from rounds_lost "
+       "(recovery_core.hpp count_poisoned_round off)"},
+      {"skip-retry-count", "quarantine",
+       "failed attempts never count toward the retry limit "
+       "(recovery_core.hpp count_retries off)"},
+      {"skip-strike-count", "quarantine",
+       "localised offenders never accumulate strikes "
+       "(recovery_core.hpp count_strikes off)"},
+  };
+  return kMutations;
+}
+
+std::unique_ptr<Model> make_model(const std::string& protocol, const ModelBounds& bounds,
+                                  const std::string& mutation) {
+  const std::string m = mutation.empty() ? "none" : mutation;
+  if (m != "none") {
+    bool known = false;
+    for (const MutationSpec& spec : mutation_registry()) {
+      if (spec.name != m) continue;
+      known = true;
+      if (spec.protocol != protocol) {
+        throw std::invalid_argument("mutation '" + m + "' belongs to protocol '" +
+                                    spec.protocol + "', not '" + protocol + "'");
+      }
+    }
+    if (!known) throw std::invalid_argument("unknown mutation '" + m + "'");
+  }
+  if (protocol == "inbox") return make_inbox_model(bounds, m);
+  if (protocol == "broadcast") return make_broadcast_model(bounds, m);
+  if (protocol == "recovery") return make_recovery_model(bounds, m);
+  if (protocol == "quarantine") return make_quarantine_model(bounds, m);
+  throw std::invalid_argument("unknown protocol '" + protocol +
+                              "' — expected inbox, broadcast, recovery, or quarantine");
+}
+
+}  // namespace mpch::check

@@ -1,0 +1,222 @@
+// quarantine_model.cpp — the strike/retry/escalation policy, checked
+// against the real QuarantineCore with a spec shadow.
+//
+// The adversary plays the detection machinery: for every attempt it picks
+// the verdict the harness would report — clean, divergent with a localised
+// culprit, divergent in shared state, or killed — spending its fault budget
+// on every non-clean verdict (the budget mirrors the escalation budget a
+// real fault plan implies). The model keeps an independent transcription of
+// the documented policy (DESIGN.md: attempts per round, strikes per
+// machine, early escalation at the strike limit, rollback to the periodic
+// boundary, hard stop at the escalation budget) and compares the core's
+// returned action *and* its entire visible state against the shadow after
+// every verdict. Any divergence — the `skip-retry-count` and
+// `skip-strike-count` mutations each cause one within two verdicts — is a
+// violation with the exact verdict schedule attached. Termination is the
+// explorer's livelock check: no reachable cycle of states may exist.
+#include <optional>
+
+#include "check/models.hpp"
+#include "fault/recovery.hpp"
+#include "fault/recovery_core.hpp"
+
+namespace mpch::check {
+
+namespace {
+
+constexpr std::uint64_t kKindClean = 1;
+constexpr std::uint64_t kKindDivergentMachine = 2;
+constexpr std::uint64_t kKindDivergentShared = 3;
+constexpr std::uint64_t kKindKilled = 4;
+
+/// The policy, independently transcribed from its documentation. A mutation
+/// in the real core shows up as a state or action mismatch against this.
+struct ShadowPolicy {
+  std::uint64_t max_round_retries;
+  std::uint64_t escalate_after_strikes;
+  std::uint64_t checkpoint_every;
+  std::uint64_t escalation_budget;
+
+  std::uint64_t next_round = 0;
+  std::uint64_t periodic_round = 0;
+  std::uint64_t attempt = 0;
+  std::uint64_t escalations = 0;
+  std::vector<std::uint64_t> strikes;
+
+  fault::QuarantineAction on_verdict(fault::RoundVerdict verdict,
+                                     std::optional<std::uint64_t> culprit) {
+    if (verdict == fault::RoundVerdict::kClean) {
+      ++next_round;
+      attempt = 0;
+      if (next_round % checkpoint_every == 0) periodic_round = next_round;
+      return fault::QuarantineAction::kCommit;
+    }
+    if (culprit.has_value()) strikes.at(*culprit) += 1;
+    const bool over_limit =
+        culprit.has_value() && strikes.at(*culprit) >= escalate_after_strikes;
+    if (attempt >= max_round_retries || over_limit) {
+      if (escalations >= escalation_budget) return fault::QuarantineAction::kUnrecoverable;
+      ++escalations;
+      next_round = periodic_round;
+      attempt = 0;
+      return fault::QuarantineAction::kEscalate;
+    }
+    ++attempt;
+    return fault::QuarantineAction::kRetry;
+  }
+};
+
+const char* action_name(fault::QuarantineAction a) {
+  switch (a) {
+    case fault::QuarantineAction::kCommit: return "commit";
+    case fault::QuarantineAction::kRetry: return "retry";
+    case fault::QuarantineAction::kEscalate: return "escalate";
+    case fault::QuarantineAction::kUnrecoverable: return "unrecoverable";
+  }
+  return "?";
+}
+
+class QuarantineModel final : public Model {
+ public:
+  QuarantineModel(const ModelBounds& bounds, fault::QuarantineCoreOptions options)
+      : machines_(bounds.machines == 0 ? 1 : bounds.machines),
+        rounds_(bounds.rounds),
+        fault_budget_(bounds.faults),
+        options_(options) {
+    // Small limits keep the bounded state space tight while still reaching
+    // every decision edge: one retry, two strikes, a two-round cadence.
+    qc_.max_round_retries = 1;
+    qc_.escalate_after_strikes = 2;
+    qc_.checkpoint_every = 2;
+    QuarantineModel::reset();
+  }
+
+  std::string name() const override { return "quarantine"; }
+
+  void reset() override {
+    core_.emplace(qc_, machines_, /*escalation_budget=*/fault_budget_ + 1, options_);
+    shadow_ = ShadowPolicy{};
+    shadow_.max_round_retries = qc_.max_round_retries;
+    shadow_.escalate_after_strikes = qc_.escalate_after_strikes;
+    shadow_.checkpoint_every = qc_.checkpoint_every;
+    shadow_.escalation_budget = fault_budget_ + 1;
+    shadow_.strikes.assign(machines_, 0);
+    faults_used_ = 0;
+    unrecoverable_ = false;
+    violation_.reset();
+  }
+
+  std::vector<Action> enabled() const override {
+    std::vector<Action> out;
+    if (unrecoverable_ || core_->next_round() >= rounds_) return out;
+    const std::string round = std::to_string(core_->next_round());
+    out.push_back(Action{kKindClean << 40, "round " + round + " verdict: clean"});
+    if (faults_used_ < fault_budget_) {
+      for (std::uint64_t m = 0; m < machines_; ++m) {
+        out.push_back(Action{(kKindDivergentMachine << 40) | m,
+                             "round " + round + " verdict: divergent, machine " +
+                                 std::to_string(m) + " localised"});
+      }
+      out.push_back(Action{kKindDivergentShared << 40,
+                           "round " + round + " verdict: divergent in shared state"});
+      out.push_back(Action{kKindKilled << 40, "round " + round + " verdict: killed"});
+    }
+    return out;
+  }
+
+  void apply(std::uint64_t key) override {
+    const std::uint64_t kind = key >> 40;
+    fault::RoundVerdict verdict;
+    std::optional<std::uint64_t> culprit;
+    switch (kind) {
+      case kKindClean: verdict = fault::RoundVerdict::kClean; break;
+      case kKindDivergentMachine:
+        verdict = fault::RoundVerdict::kDivergentMachine;
+        culprit = key & 0xffffffffffULL;
+        break;
+      case kKindDivergentShared: verdict = fault::RoundVerdict::kDivergentShared; break;
+      case kKindKilled: verdict = fault::RoundVerdict::kKilled; break;
+      default:
+        throw std::logic_error("quarantine model: unknown action key " + std::to_string(key));
+    }
+    if (verdict != fault::RoundVerdict::kClean) ++faults_used_;
+
+    const fault::QuarantineAction got = core_->on_verdict(verdict, culprit);
+    const fault::QuarantineAction want = shadow_.on_verdict(verdict, culprit);
+    if (got == fault::QuarantineAction::kUnrecoverable) unrecoverable_ = true;
+
+    if (got != want) {
+      violation_ = std::string("quarantine: core decided '") + action_name(got) +
+                   "' where the policy spec requires '" + action_name(want) + "'";
+      return;
+    }
+    if (core_->next_round() != shadow_.next_round || core_->attempt() != shadow_.attempt ||
+        core_->periodic_round() != shadow_.periodic_round ||
+        core_->escalations() != shadow_.escalations) {
+      violation_ = "quarantine: core state (round " + std::to_string(core_->next_round()) +
+                   ", attempt " + std::to_string(core_->attempt()) + ", periodic " +
+                   std::to_string(core_->periodic_round()) + ", escalations " +
+                   std::to_string(core_->escalations()) + ") diverged from the spec (round " +
+                   std::to_string(shadow_.next_round) + ", attempt " +
+                   std::to_string(shadow_.attempt) + ", periodic " +
+                   std::to_string(shadow_.periodic_round) + ", escalations " +
+                   std::to_string(shadow_.escalations) + ")";
+      return;
+    }
+    for (std::uint64_t m = 0; m < machines_; ++m) {
+      if (core_->strikes(m) != shadow_.strikes[m]) {
+        violation_ = "quarantine: machine " + std::to_string(m) + " holds " +
+                     std::to_string(core_->strikes(m)) + " strike(s) in the core but " +
+                     std::to_string(shadow_.strikes[m]) +
+                     " in the policy spec — strike bookkeeping diverged";
+        return;
+      }
+    }
+  }
+
+  std::optional<std::string> violation() const override { return violation_; }
+
+  std::uint64_t fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(0x9a7a);  // model tag
+    fp.mix(core_->next_round()).mix(core_->attempt()).mix(core_->periodic_round());
+    fp.mix(core_->escalations());
+    for (std::uint64_t m = 0; m < machines_; ++m) fp.mix(core_->strikes(m));
+    fp.mix(faults_used_).mix(unrecoverable_ ? 1 : 0);
+    return fp.value();
+  }
+
+  /// The verdict schedule legitimately shapes the outcome (strikes,
+  /// escalations); there is no schedule-independence claim to check here.
+  bool terminal_comparable() const override { return false; }
+
+ private:
+  std::uint64_t machines_;
+  std::uint64_t rounds_;
+  std::uint64_t fault_budget_;
+  fault::QuarantineCoreOptions options_;
+  fault::QuarantineConfig qc_;
+
+  std::optional<fault::QuarantineCore> core_;
+  ShadowPolicy shadow_;
+  std::uint64_t faults_used_ = 0;
+  bool unrecoverable_ = false;
+  std::optional<std::string> violation_;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> make_quarantine_model(const ModelBounds& bounds,
+                                             const std::string& mutation) {
+  fault::QuarantineCoreOptions options;
+  if (mutation == "skip-retry-count") {
+    options.count_retries = false;
+  } else if (mutation == "skip-strike-count") {
+    options.count_strikes = false;
+  } else if (mutation != "none" && !mutation.empty()) {
+    throw std::invalid_argument("quarantine model: unknown mutation '" + mutation + "'");
+  }
+  return std::make_unique<QuarantineModel>(bounds, options);
+}
+
+}  // namespace mpch::check

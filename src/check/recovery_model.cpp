@@ -1,0 +1,163 @@
+// recovery_model.cpp — checkpoint-resume transcript equivalence, checked
+// against the real restart decision functions.
+//
+// The model runs an abstract execution of R rounds against the production
+// snapshot_due / plan_restart pair (fault/recovery_core.hpp). The adversary
+// interleaves round commits with budgeted faults, each either pre-round (a
+// kill or garbled oracle: fires before the round executes) or in-round (a
+// crash or message fault: poisons the round it fires in). Two invariants:
+//
+//   * transcript equivalence — when the run completes, no committed round's
+//     result may come from a poisoned execution. The model taints the
+//     faulted round on an in-round fault and clears taint only for rounds
+//     at or past the boundary plan_restart resumes from (those re-execute);
+//     the `resume-past-fault` mutation resumes *after* the fault, leaving
+//     the poisoned result committed, and the explorer finds the schedule
+//     that carries that taint to the end of the run.
+//   * cost accounting — plan_restart's rounds_lost must equal the rounds
+//     the rollback actually discards (fault_round - checkpoint_round, plus
+//     the poisoned round for in-round faults). The `undercount-lost-rounds`
+//     mutation breaks this spec-shadow comparison in one step.
+#include <optional>
+
+#include "check/models.hpp"
+#include "fault/recovery_core.hpp"
+
+namespace mpch::check {
+
+namespace {
+
+constexpr std::uint64_t kKindAdvance = 1;
+constexpr std::uint64_t kKindFaultPre = 2;
+constexpr std::uint64_t kKindFaultIn = 3;
+
+class RecoveryModel final : public Model {
+ public:
+  RecoveryModel(const ModelBounds& bounds, fault::RestartOptions options)
+      : rounds_(bounds.rounds),
+        cadence_(bounds.messages == 0 ? 1 : bounds.messages),
+        fault_budget_(bounds.faults),
+        options_(options) {
+    RecoveryModel::reset();
+  }
+
+  std::string name() const override { return "recovery"; }
+
+  void reset() override {
+    next_round_ = 0;
+    checkpoint_round_ = 0;
+    taint_ = 0;
+    faults_used_ = 0;
+    violation_.reset();
+  }
+
+  std::vector<Action> enabled() const override {
+    std::vector<Action> out;
+    if (next_round_ >= rounds_) return out;
+    out.push_back(Action{kKindAdvance << 40,
+                         "round " + std::to_string(next_round_) + " commits"});
+    if (faults_used_ < fault_budget_) {
+      out.push_back(Action{kKindFaultPre << 40,
+                           "pre-round fault at round " + std::to_string(next_round_)});
+      out.push_back(Action{kKindFaultIn << 40,
+                           "in-round fault at round " + std::to_string(next_round_)});
+    }
+    return out;
+  }
+
+  void apply(std::uint64_t key) override {
+    const std::uint64_t kind = key >> 40;
+    if (kind == kKindAdvance) {
+      taint_ &= ~(1ULL << next_round_);  // a clean execution replaces any poisoned one
+      if (fault::snapshot_due(next_round_, cadence_)) checkpoint_round_ = next_round_ + 1;
+      ++next_round_;
+      if (next_round_ >= rounds_) check_transcript();
+      return;
+    }
+    if (kind != kKindFaultPre && kind != kKindFaultIn) {
+      throw std::logic_error("recovery model: unknown action key " + std::to_string(key));
+    }
+    ++faults_used_;
+    const bool pre_round = kind == kKindFaultPre;
+    if (!pre_round) taint_ |= 1ULL << next_round_;  // the round executed poisoned
+    const fault::RestartDecision decision =
+        fault::plan_restart(pre_round, next_round_, checkpoint_round_, options_);
+    // Spec shadow: the rollback discards every round since the checkpoint,
+    // plus the poisoned round itself for an in-round fault.
+    const std::uint64_t spec_lost = next_round_ - checkpoint_round_ + (pre_round ? 0 : 1);
+    if (decision.rounds_lost != spec_lost) {
+      violation_ = "recovery: plan_restart reported " + std::to_string(decision.rounds_lost) +
+                   " lost round(s) for a " + std::string(pre_round ? "pre" : "in") +
+                   "-round fault at round " + std::to_string(next_round_) +
+                   " with checkpoint at " + std::to_string(checkpoint_round_) +
+                   ", the spec discards " + std::to_string(spec_lost) +
+                   " — cost accounting diverges";
+      return;
+    }
+    // Resume: everything at or past the boundary re-executes, clearing its
+    // taint; anything the decision skips keeps whatever state it had.
+    for (std::uint64_t r = decision.resume_round; r < rounds_ && r < 64; ++r) {
+      taint_ &= ~(1ULL << r);
+    }
+    next_round_ = decision.resume_round;
+    if (next_round_ >= rounds_) check_transcript();
+  }
+
+  std::optional<std::string> violation() const override { return violation_; }
+
+  std::uint64_t fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(0x4ec0);  // model tag
+    fp.mix(next_round_).mix(checkpoint_round_).mix(taint_).mix(faults_used_);
+    return fp.value();
+  }
+
+  /// Adversary choices legitimately change the terminal state (how many
+  /// faults fired); the transcript invariant is what must hold, and it is
+  /// checked directly.
+  bool terminal_comparable() const override { return false; }
+
+ private:
+  void check_transcript() {
+    if (taint_ == 0) return;
+    for (std::uint64_t r = 0; r < rounds_; ++r) {
+      if ((taint_ & (1ULL << r)) != 0) {
+        violation_ = "recovery: the run completed with round " + std::to_string(r) +
+                     "'s committed result coming from a poisoned execution — "
+                     "checkpoint-resume transcript equivalence broken";
+        return;
+      }
+    }
+  }
+
+  std::uint64_t rounds_;
+  std::uint64_t cadence_;
+  std::uint64_t fault_budget_;
+  fault::RestartOptions options_;
+
+  std::uint64_t next_round_ = 0;
+  std::uint64_t checkpoint_round_ = 0;
+  std::uint64_t taint_ = 0;  ///< bit r: round r's committed result is poisoned
+  std::uint64_t faults_used_ = 0;
+  std::optional<std::string> violation_;
+};
+
+}  // namespace
+
+std::unique_ptr<Model> make_recovery_model(const ModelBounds& bounds,
+                                           const std::string& mutation) {
+  fault::RestartOptions options;
+  if (mutation == "resume-past-fault") {
+    options.resume_from_checkpoint = false;
+  } else if (mutation == "undercount-lost-rounds") {
+    options.count_poisoned_round = false;
+  } else if (mutation != "none" && !mutation.empty()) {
+    throw std::invalid_argument("recovery model: unknown mutation '" + mutation + "'");
+  }
+  if (bounds.rounds > 63) {
+    throw std::invalid_argument("recovery model: rounds bound must be <= 63 (taint bitmask)");
+  }
+  return std::make_unique<RecoveryModel>(bounds, options);
+}
+
+}  // namespace mpch::check

@@ -1,0 +1,219 @@
+#include "check/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mpch::check {
+
+namespace {
+
+constexpr const char* kHeader = "mpch-model-trace v1";
+
+/// One-line fields must stay one line and within the line cap.
+void require_field(const std::string& value, const char* name, bool allow_empty) {
+  if (!allow_empty && value.empty()) {
+    throw std::invalid_argument(std::string("trace encode: field '") + name + "' is empty");
+  }
+  if (value.size() > kMaxTraceLineBytes / 2) {
+    throw std::invalid_argument(std::string("trace encode: field '") + name + "' is overlong");
+  }
+  if (value.find('\n') != std::string::npos || value.find('\r') != std::string::npos) {
+    throw std::invalid_argument(std::string("trace encode: field '") + name +
+                                "' contains a line break");
+  }
+}
+
+/// Tokens (protocol/mutation names) additionally reject spaces so the
+/// key-value line grammar stays unambiguous.
+void require_token(const std::string& value, const char* name) {
+  require_field(value, name, /*allow_empty=*/false);
+  if (value.find(' ') != std::string::npos) {
+    throw std::invalid_argument(std::string("trace encode: field '") + name +
+                                "' contains a space");
+  }
+}
+
+/// Field values share encode_trace's length ceiling, so anything the parser
+/// accepts is guaranteed to re-encode (the fuzz harness round-trips on it).
+void require_parsed_field(const std::string& value, const char* name, std::size_t line_no) {
+  if (value.size() > kMaxTraceLineBytes / 2) {
+    throw TraceError("trace: line " + std::to_string(line_no) + ": " + name + " is overlong");
+  }
+}
+
+/// Split "prefix rest-of-line"; throws TraceError when `line` does not start
+/// with `prefix` + space.
+std::string expect_prefixed(const std::string& line, const std::string& prefix,
+                            std::size_t line_no) {
+  if (line.size() <= prefix.size() + 1 || line.compare(0, prefix.size(), prefix) != 0 ||
+      line[prefix.size()] != ' ') {
+    throw TraceError("trace: line " + std::to_string(line_no) + " must be '" + prefix +
+                     " <value>', got '" + line.substr(0, 32) + "'");
+  }
+  std::string value = line.substr(prefix.size() + 1);
+  require_parsed_field(value, prefix.c_str(), line_no);
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& text, const char* what, std::size_t line_no) {
+  if (text.empty() || text.size() > 20) {
+    throw TraceError("trace: line " + std::to_string(line_no) + ": " + what +
+                     " is not a decimal number");
+  }
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      throw TraceError("trace: line " + std::to_string(line_no) + ": " + what +
+                       " is not a decimal number");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      throw TraceError("trace: line " + std::to_string(line_no) + ": " + what +
+                       " overflows u64");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+/// Pull the next '\n'-terminated line; enforces the line cap and rejects
+/// truncation (a final line without '\n' means the file was cut short).
+std::string next_line(const std::string& text, std::size_t& pos, std::size_t& line_no) {
+  ++line_no;
+  if (pos >= text.size()) {
+    throw TraceError("trace: truncated at line " + std::to_string(line_no) +
+                     " — file ends before the schedule does");
+  }
+  const std::size_t nl = text.find('\n', pos);
+  if (nl == std::string::npos) {
+    throw TraceError("trace: line " + std::to_string(line_no) +
+                     " is not newline-terminated (truncated file)");
+  }
+  if (nl - pos > kMaxTraceLineBytes) {
+    throw TraceError("trace: line " + std::to_string(line_no) + " exceeds " +
+                     std::to_string(kMaxTraceLineBytes) + " bytes");
+  }
+  std::string line = text.substr(pos, nl - pos);
+  if (line.find('\r') != std::string::npos) {
+    throw TraceError("trace: line " + std::to_string(line_no) +
+                     " contains a CR byte — traces are LF-only");
+  }
+  pos = nl + 1;
+  return line;
+}
+
+}  // namespace
+
+std::string encode_trace(const TraceFile& trace) {
+  require_token(trace.protocol, "protocol");
+  require_token(trace.mutation, "mutation");
+  require_field(trace.bound, "bound", /*allow_empty=*/true);
+  require_field(trace.violation, "violation", /*allow_empty=*/false);
+  if (trace.schedule.size() > kMaxTraceActions) {
+    throw std::invalid_argument("trace encode: schedule exceeds kMaxTraceActions");
+  }
+  std::ostringstream out;
+  out << kHeader << '\n';
+  out << "protocol " << trace.protocol << '\n';
+  out << "mutation " << trace.mutation << '\n';
+  if (!trace.bound.empty()) out << "bound " << trace.bound << '\n';
+  out << "violation " << trace.violation << '\n';
+  out << "actions " << trace.schedule.size() << '\n';
+  for (const Action& a : trace.schedule) {
+    require_field(a.label, "action label", /*allow_empty=*/false);
+    out << a.key << ' ' << a.label << '\n';
+  }
+  out << "end\n";
+  return out.str();
+}
+
+TraceFile parse_trace(const std::string& text) {
+  if (text.size() > kMaxTraceFileBytes) {
+    throw TraceError("trace: file exceeds " + std::to_string(kMaxTraceFileBytes) + " bytes");
+  }
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  if (next_line(text, pos, line_no) != kHeader) {
+    throw TraceError(std::string("trace: line 1 must be the header '") + kHeader + "'");
+  }
+
+  TraceFile out;
+  // next_line must run (and bump line_no) before expect_prefixed reads it —
+  // keep the calls on separate statements, never nested in an argument list.
+  std::string field = next_line(text, pos, line_no);
+  out.protocol = expect_prefixed(field, "protocol", line_no);
+  if (out.protocol.find(' ') != std::string::npos) {
+    throw TraceError("trace: line " + std::to_string(line_no) + ": protocol contains a space");
+  }
+  field = next_line(text, pos, line_no);
+  out.mutation = expect_prefixed(field, "mutation", line_no);
+  if (out.mutation.find(' ') != std::string::npos) {
+    throw TraceError("trace: line " + std::to_string(line_no) + ": mutation contains a space");
+  }
+
+  std::string line = next_line(text, pos, line_no);
+  if (line.compare(0, 6, "bound ") == 0) {
+    out.bound = line.substr(6);
+    require_parsed_field(out.bound, "bound", line_no);
+    line = next_line(text, pos, line_no);
+  }
+  out.violation = expect_prefixed(line, "violation", line_no);
+
+  field = next_line(text, pos, line_no);
+  const std::uint64_t count =
+      parse_u64(expect_prefixed(field, "actions", line_no), "action count", line_no);
+  if (count > kMaxTraceActions) {
+    throw TraceError("trace: line " + std::to_string(line_no) + ": action count " +
+                     std::to_string(count) + " exceeds the ceiling of " +
+                     std::to_string(kMaxTraceActions));
+  }
+  out.schedule.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    line = next_line(text, pos, line_no);
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 >= line.size()) {
+      throw TraceError("trace: line " + std::to_string(line_no) +
+                       " must be '<key> <label>' for schedule step " + std::to_string(i + 1));
+    }
+    Action a;
+    a.key = parse_u64(line.substr(0, sp), "action key", line_no);
+    a.label = line.substr(sp + 1);
+    require_parsed_field(a.label, "action label", line_no);
+    out.schedule.push_back(std::move(a));
+  }
+  if (next_line(text, pos, line_no) != "end") {
+    throw TraceError("trace: line " + std::to_string(line_no) +
+                     " must be the 'end' terminator after " + std::to_string(count) +
+                     " schedule step(s)");
+  }
+  if (pos != text.size()) {
+    throw TraceError("trace: trailing bytes after the 'end' terminator (line " +
+                     std::to_string(line_no + 1) + ")");
+  }
+  return out;
+}
+
+TraceFile load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceError("trace: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) throw TraceError("trace: read error on '" + path + "'");
+  std::string text = buf.str();
+  if (text.size() > kMaxTraceFileBytes) {
+    throw TraceError("trace: '" + path + "' exceeds " + std::to_string(kMaxTraceFileBytes) +
+                     " bytes");
+  }
+  return parse_trace(text);
+}
+
+void save_trace(const std::string& path, const TraceFile& trace) {
+  const std::string text = encode_trace(trace);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("trace: cannot open '" + path + "' for writing");
+  out << text;
+  out.flush();
+  if (!out) throw std::runtime_error("trace: write failed on '" + path + "'");
+}
+
+}  // namespace mpch::check

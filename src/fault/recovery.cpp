@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "fault/recovery_core.hpp"
 #include "util/serialize.hpp"
 
 namespace mpch::fault {
@@ -18,7 +19,7 @@ Checkpointer::Checkpointer(mpc::MpcConfig config, const hash::LazyRandomOracle* 
 
 void Checkpointer::after_round(const mpc::RoundSnapshot& snapshot) {
   if (snapshot.completed && !capture_final_) return;  // the run is over; nothing to resume
-  if (!snapshot.completed && (snapshot.round + 1) % every_ != 0) return;
+  if (!snapshot.completed && !snapshot_due(snapshot.round, every_)) return;
   Checkpoint cp = capture(snapshot, config_, oracle_);
   util::BitString encoded = serialize(cp);
   bytes_last_ = (encoded.size() + 7) / 8;
@@ -107,10 +108,14 @@ ChaosResult ChaosHarness::run_restart(mpc::MpcAlgorithm& algo,
       Checkpoint cp = deserialize(*checkpointer.latest_encoded());
       // A kill (and a garbled oracle, corrupted before the round ran) fires
       // *before* its round executes; crash/message/byzantine-delivery faults
-      // poison the round they fire in, so that round re-executes too.
+      // poison the round they fire in, so that round re-executes too. The
+      // resume boundary and the lost-round accounting come from the shared
+      // decision core (recovery_core.hpp) that mpch-model explores.
       const bool pre_round = dynamic_cast<const SimulationKilled*>(&fault) != nullptr ||
                              fault.event().kind == FaultKind::GarbleOracle;
-      std::uint64_t lost = fault.event().round - cp.next_round + (pre_round ? 0 : 1);
+      const RestartDecision decision =
+          plan_restart(pre_round, fault.event().round, cp.next_round);
+      const std::uint64_t lost = decision.rounds_lost;
       ++out.cost.recoveries;
       out.cost.rounds_reexecuted += lost;
       out.cost.machine_rounds_reexecuted += lost * config_.machines;
@@ -247,10 +252,14 @@ ChaosResult ChaosHarness::run_quarantine(mpc::MpcAlgorithm& algo,
     throw std::invalid_argument("run_quarantine: checkpoint cadence must be >= 1");
   }
   ChaosResult out;
-  // Byzantine mode: the injector corrupts silently; detection is ours.
+  // Byzantine mode: the injector corrupts silently; detection is ours. The
+  // retry/strike/escalation decisions live in QuarantineCore
+  // (recovery_core.hpp) — the same transition function mpch-model explores —
+  // while this harness supplies verdicts and moves the serialised snapshots
+  // the core's decisions refer to.
   FaultInjector injector(plan, /*fail_stop=*/false);
   CheckpointTamperer tamperer(plan);
-  std::vector<std::uint64_t> strikes(config_.machines, 0);
+  QuarantineCore core(qc, config_.machines, /*escalation_budget=*/plan.events.size() + 1);
 
   // The last *verified* round boundary and the periodic escalation target,
   // both kept in serialised form so every restore passes the wire format's
@@ -261,7 +270,6 @@ ChaosResult ChaosHarness::run_quarantine(mpc::MpcAlgorithm& algo,
     good = serialize(initial_checkpoint(config_, initial_memory, oracle0.get()));
   }
   util::BitString periodic = good;
-  std::uint64_t next_round = 0;
 
   struct Step {
     mpc::MpcRunResult res;
@@ -303,33 +311,13 @@ ChaosResult ChaosHarness::run_quarantine(mpc::MpcAlgorithm& algo,
     out.cost.faults_injected = injector.faults_fired() + tamperer.fired().size();
   };
 
-  // Adopt a verified end-of-round state. Returns true when the run is over.
-  auto commit = [&](Step&& s) -> bool {
-    good = std::move(s.encoded);
-    ++next_round;
-    if (next_round % qc.checkpoint_every == 0) periodic = good;
-    out.run = std::move(s.res);
-    out.oracle = std::move(s.oracle);
-    return out.run.completed;
-  };
-
-  const std::uint64_t escalation_budget = plan.events.size() + 1;
-  while (next_round < config_.max_rounds) {
+  while (core.next_round() < config_.max_rounds) {
     bool run_done = false;
     bool committed = false;
-    for (std::uint64_t attempt = 0; !committed; ++attempt) {
-      bool detected = false;
-      std::optional<std::uint64_t> struck;  // machine localised this attempt
-      auto strike = [&](std::uint64_t machine, const std::string& why) {
-        struck = machine;
-        strikes[machine] += 1;
-        ++out.cost.quarantine_strikes;
-        out.fault_log.push_back(why);
-        out.fault_log.push_back("quarantine: machine " + std::to_string(machine) + " struck (" +
-                                std::to_string(strikes[machine]) +
-                                " strike(s)), its round " + std::to_string(next_round) +
-                                " execution discarded");
-      };
+    while (!committed) {
+      const std::uint64_t round = core.next_round();
+      std::optional<RoundVerdict> verdict;  // set as soon as the attempt is condemned
+      std::optional<std::uint64_t> culprit;  // machine localised this attempt
 
       std::optional<Step> live;
       try {
@@ -337,10 +325,11 @@ ChaosResult ChaosHarness::run_quarantine(mpc::MpcAlgorithm& algo,
       } catch (const mpc::TamperViolation& tv) {
         // Authenticated messaging caught the corruption at the faulted
         // round's own barrier, with the machine already named.
-        detected = true;
-        strike(tv.machine(), std::string("detected: ") + tv.what());
+        verdict = RoundVerdict::kDivergentMachine;
+        culprit = tv.machine();
+        out.fault_log.push_back(std::string("detected: ") + tv.what());
       } catch (const SimulationKilled& kill) {
-        detected = true;
+        verdict = RoundVerdict::kKilled;
         out.fault_log.push_back(std::string("detected: ") + kill.what());
       } catch (const std::exception& e) {
         // A model guard (capacity, query budget) or the algorithm itself
@@ -348,7 +337,7 @@ ChaosResult ChaosHarness::run_quarantine(mpc::MpcAlgorithm& algo,
         // attempt and re-run. A genuine harness bug shows the same way but
         // cannot loop — the retry/escalation budget bounds it and the last
         // message lands in the UnrecoverableFault provenance.
-        detected = true;
+        verdict = RoundVerdict::kDivergentShared;
         out.fault_log.push_back(std::string("detected: live round failed — ") + e.what());
       }
 
@@ -360,30 +349,25 @@ ChaosResult ChaosHarness::run_quarantine(mpc::MpcAlgorithm& algo,
       ++out.cost.rounds_reexecuted;
       out.cost.machine_rounds_reexecuted += config_.machines;
 
-      if (!detected && live.has_value()) {
+      if (!verdict.has_value() && live.has_value()) {
         std::optional<Checkpoint> cp_live;
         try {
           cp_live = deserialize(live->encoded);
         } catch (const CheckpointError& e) {
-          detected = true;
-          out.fault_log.push_back("detected: round " + std::to_string(next_round) +
+          verdict = RoundVerdict::kDivergentShared;
+          out.fault_log.push_back("detected: round " + std::to_string(round) +
                                   " snapshot audit failed — " + e.what());
         }
-        if (!detected && live->encoded == ref.encoded) {
-          run_done = commit(std::move(*live));
-          committed = true;
-          break;
-        }
-        if (!detected) {
-          detected = true;
+        if (!verdict.has_value() && live->encoded == ref.encoded) {
+          verdict = RoundVerdict::kClean;
+        } else if (!verdict.has_value()) {
           // Localise the offender: first machine whose end-of-round
           // attestation digest disagrees with the clean replica's.
           Checkpoint cp_ref = deserialize(ref.encoded);
           std::vector<std::uint64_t> att_live =
-              mpc::attestation_digests(config_.tape_seed, next_round, cp_live->inboxes);
+              mpc::attestation_digests(config_.tape_seed, round, cp_live->inboxes);
           std::vector<std::uint64_t> att_ref =
-              mpc::attestation_digests(config_.tape_seed, next_round, cp_ref.inboxes);
-          std::optional<std::uint64_t> culprit;
+              mpc::attestation_digests(config_.tape_seed, round, cp_ref.inboxes);
           for (std::uint64_t mch = 0; mch < att_live.size() && mch < att_ref.size(); ++mch) {
             if (att_live[mch] != att_ref[mch]) {
               culprit = mch;
@@ -391,50 +375,73 @@ ChaosResult ChaosHarness::run_quarantine(mpc::MpcAlgorithm& algo,
             }
           }
           if (culprit.has_value()) {
-            strike(*culprit, "detected: round " + std::to_string(next_round) +
-                                 " attestation mismatch at machine " + std::to_string(*culprit) +
-                                 " (live digest " + std::to_string(att_live[*culprit]) +
-                                 " != replica digest " + std::to_string(att_ref[*culprit]) + ")");
+            verdict = RoundVerdict::kDivergentMachine;
+            out.fault_log.push_back(
+                "detected: round " + std::to_string(round) + " attestation mismatch at machine " +
+                std::to_string(*culprit) + " (live digest " + std::to_string(att_live[*culprit]) +
+                " != replica digest " + std::to_string(att_ref[*culprit]) + ")");
           } else {
-            out.fault_log.push_back("detected: round " + std::to_string(next_round) +
+            verdict = RoundVerdict::kDivergentShared;
+            out.fault_log.push_back("detected: round " + std::to_string(round) +
                                     " diverged from its clean replica in shared state (oracle "
                                     "memo or trace) — all machine attestations agree");
           }
         }
       }
 
-      // detected == true from here on: decide retry vs escalation.
-      const bool machine_over_limit =
-          struck.has_value() && strikes[*struck] >= qc.escalate_after_strikes;
-      if (attempt >= qc.max_round_retries || machine_over_limit) {
-        if (out.cost.escalations >= escalation_budget) {
-          finalize();
-          throw UnrecoverableFault(
-              "quarantine exhausted its escalation budget (" +
-              std::to_string(escalation_budget) + ") and round " + std::to_string(next_round) +
-              " still diverges — plan: " + plan.describe());
-        }
-        ++out.cost.escalations;
-        ++out.cost.recoveries;
-        Checkpoint pc = deserialize(periodic);
-        out.cost.rounds_reexecuted += next_round - pc.next_round;
-        out.cost.machine_rounds_reexecuted += (next_round - pc.next_round) * config_.machines;
-        out.fault_log.push_back(
-            (machine_over_limit
-                 ? "escalation: machine " + std::to_string(*struck) + " reached " +
-                       std::to_string(strikes[*struck]) + " strike(s); "
-                 : "escalation: round " + std::to_string(next_round) + " exhausted its " +
-                       std::to_string(qc.max_round_retries) + " retries; ") +
-            "restarting from the periodic checkpoint at round boundary " +
-            std::to_string(pc.next_round));
-        good = periodic;
-        next_round = pc.next_round;
-        break;  // re-enter the outer loop from the rolled-back boundary
+      const QuarantineAction action = core.on_verdict(*verdict, culprit);
+      if (culprit.has_value()) {
+        ++out.cost.quarantine_strikes;
+        out.fault_log.push_back("quarantine: machine " + std::to_string(*culprit) + " struck (" +
+                                std::to_string(core.strikes(*culprit)) + " strike(s)), its round " +
+                                std::to_string(round) + " execution discarded");
       }
-      ++out.cost.retries_used;
-      ++out.cost.recoveries;
-      out.fault_log.push_back("recovered: re-running round " + std::to_string(next_round) +
-                              " on fresh replicas (retry " + std::to_string(attempt + 1) + ")");
+      switch (action) {
+        case QuarantineAction::kCommit: {
+          good = std::move(live->encoded);
+          if (core.took_periodic()) periodic = good;
+          out.run = std::move(live->res);
+          out.oracle = std::move(live->oracle);
+          run_done = out.run.completed;
+          committed = true;
+          break;
+        }
+        case QuarantineAction::kUnrecoverable: {
+          finalize();
+          throw UnrecoverableFault("quarantine exhausted its escalation budget (" +
+                                   std::to_string(core.escalation_budget()) + ") and round " +
+                                   std::to_string(round) + " still diverges — plan: " +
+                                   plan.describe());
+        }
+        case QuarantineAction::kEscalate: {
+          const bool machine_over_limit =
+              culprit.has_value() && core.strikes(*culprit) >= qc.escalate_after_strikes;
+          ++out.cost.escalations;
+          ++out.cost.recoveries;
+          Checkpoint pc = deserialize(periodic);
+          out.cost.rounds_reexecuted += round - pc.next_round;
+          out.cost.machine_rounds_reexecuted += (round - pc.next_round) * config_.machines;
+          out.fault_log.push_back(
+              (machine_over_limit
+                   ? "escalation: machine " + std::to_string(*culprit) + " reached " +
+                         std::to_string(core.strikes(*culprit)) + " strike(s); "
+                   : "escalation: round " + std::to_string(round) + " exhausted its " +
+                         std::to_string(qc.max_round_retries) + " retries; ") +
+              "restarting from the periodic checkpoint at round boundary " +
+              std::to_string(pc.next_round));
+          good = periodic;
+          committed = true;  // leave the attempt loop; the round rolled back
+          break;
+        }
+        case QuarantineAction::kRetry: {
+          ++out.cost.retries_used;
+          ++out.cost.recoveries;
+          out.fault_log.push_back("recovered: re-running round " + std::to_string(round) +
+                                  " on fresh replicas (retry " + std::to_string(core.attempt()) +
+                                  ")");
+          break;
+        }
+      }
     }
     if (run_done) {
       finalize();

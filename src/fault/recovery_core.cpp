@@ -1,0 +1,71 @@
+#include "fault/recovery_core.hpp"
+
+#include <stdexcept>
+
+#include "fault/recovery.hpp"
+
+namespace mpch::fault {
+
+bool snapshot_due(std::uint64_t round, std::uint64_t every) {
+  return (round + 1) % every == 0;
+}
+
+RestartDecision plan_restart(bool pre_round_fault, std::uint64_t fault_round,
+                             std::uint64_t checkpoint_round, RestartOptions options) {
+  if (checkpoint_round > fault_round) {
+    throw std::invalid_argument("plan_restart: checkpoint boundary " +
+                                std::to_string(checkpoint_round) + " is past the fault at round " +
+                                std::to_string(fault_round));
+  }
+  RestartDecision d;
+  const std::uint64_t poisoned = (pre_round_fault || !options.count_poisoned_round) ? 0 : 1;
+  d.resume_round = options.resume_from_checkpoint
+                       ? checkpoint_round
+                       : fault_round + (pre_round_fault ? 0 : 1);
+  d.rounds_lost = fault_round - checkpoint_round + poisoned;
+  return d;
+}
+
+QuarantineCore::QuarantineCore(const QuarantineConfig& qc, std::uint64_t machines,
+                               std::uint64_t escalation_budget, QuarantineCoreOptions options)
+    : max_round_retries_(qc.max_round_retries),
+      escalate_after_strikes_(qc.escalate_after_strikes),
+      checkpoint_every_(qc.checkpoint_every),
+      escalation_budget_(escalation_budget),
+      options_(options),
+      strikes_(machines, 0) {
+  if (checkpoint_every_ == 0) {
+    throw std::invalid_argument("QuarantineCore: checkpoint cadence must be >= 1");
+  }
+}
+
+QuarantineAction QuarantineCore::on_verdict(RoundVerdict verdict,
+                                            std::optional<std::uint64_t> culprit) {
+  took_periodic_ = false;
+  if (verdict == RoundVerdict::kClean) {
+    ++next_round_;
+    attempt_ = 0;
+    if (next_round_ % checkpoint_every_ == 0) {
+      periodic_round_ = next_round_;
+      took_periodic_ = true;
+    }
+    return QuarantineAction::kCommit;
+  }
+
+  if (culprit.has_value() && options_.count_strikes) {
+    strikes_.at(*culprit) += 1;
+  }
+  const bool machine_over_limit =
+      culprit.has_value() && strikes_.at(*culprit) >= escalate_after_strikes_;
+  if (attempt_ >= max_round_retries_ || machine_over_limit) {
+    if (escalations_ >= escalation_budget_) return QuarantineAction::kUnrecoverable;
+    ++escalations_;
+    next_round_ = periodic_round_;
+    attempt_ = 0;
+    return QuarantineAction::kEscalate;
+  }
+  if (options_.count_retries) ++attempt_;
+  return QuarantineAction::kRetry;
+}
+
+}  // namespace mpch::fault

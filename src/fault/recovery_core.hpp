@@ -1,0 +1,148 @@
+// recovery_core.hpp — the recovery policies' decision logic, as pure
+// transition functions.
+//
+// ChaosHarness (fault/recovery.hpp) interleaves two very different things:
+// heavyweight mechanics (serialised checkpoints, oracle rebuilds, replica
+// executions) and a small deterministic decision layer — where to resume
+// after a fault, how many rounds that costs, when a diverged round is
+// retried versus escalated, when a struck machine forces the escalation
+// early, when the escalation budget is spent. This file is the decision
+// layer alone, factored out so that:
+//
+//   * the production harness and mpch-model (src/check/) run the *same*
+//     transitions — the explorer enumerates every bounded fault/adversary
+//     schedule against this code, the harness runs the one schedule the
+//     injector drew; and
+//   * the logic is testable without building a single checkpoint.
+//
+// The options structs exist solely for mpch-model's mutation self-check
+// (each disabled rule is a seeded protocol bug the checker must catch);
+// production call sites always construct with defaults.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mpch::fault {
+
+struct QuarantineConfig;  // fault/recovery.hpp
+
+/// True when the Checkpointer's periodic cadence snapshots at the barrier
+/// after `round` (cadence `every`): boundaries every `every` completed
+/// rounds. Shared by Checkpointer::after_round and the recovery model so
+/// the explorer and production can never disagree about where a rollback
+/// can land.
+bool snapshot_due(std::uint64_t round, std::uint64_t every);
+
+/// Mutation hooks for mpch-model. Production restarts use the defaults.
+struct RestartOptions {
+  /// Resume from the checkpoint boundary, re-executing everything after it
+  /// (including the poisoned round). Off = the seeded "resume-past-fault"
+  /// mutation: resume just after the fault instead, committing whatever the
+  /// poisoned execution produced.
+  bool resume_from_checkpoint = true;
+  /// Count the poisoned round itself in rounds_lost for in-round faults.
+  /// Off = the seeded "undercount-lost-rounds" mutation (the off-by-one the
+  /// accounting tests would miss if it were introduced symmetrically).
+  bool count_poisoned_round = true;
+};
+
+/// Where a RestartFromCheckpoint recovery resumes and what it costs.
+struct RestartDecision {
+  std::uint64_t resume_round = 0;  ///< round boundary execution restarts from
+  std::uint64_t rounds_lost = 0;   ///< rounds that must be re-executed
+};
+
+/// The restart policy's decision for a fault at `fault_round` given the
+/// latest checkpoint boundary `checkpoint_round` (<= fault_round). A
+/// pre-round fault (kill, garbled oracle) fires before its round executes,
+/// so that round was never poisoned; an in-round fault poisons the round it
+/// fires in, which therefore re-executes too.
+RestartDecision plan_restart(bool pre_round_fault, std::uint64_t fault_round,
+                             std::uint64_t checkpoint_round, RestartOptions options = {});
+
+/// The verdict of one quarantined round attempt, as the harness's detection
+/// machinery reports it: the live attempt matched its clean replica
+/// (kClean), diverged with the offender localised by attestation digests
+/// (kDivergentMachine), diverged in shared state with all machine
+/// attestations agreeing (kDivergentShared), or died outright (kKilled).
+enum class RoundVerdict : std::uint8_t {
+  kClean,
+  kDivergentMachine,
+  kDivergentShared,
+  kKilled,
+};
+
+/// What the quarantine policy does next.
+enum class QuarantineAction : std::uint8_t {
+  kCommit,         ///< adopt the verified round, advance
+  kRetry,          ///< discard the attempt, re-run the same round
+  kEscalate,       ///< roll back to the periodic checkpoint boundary
+  kUnrecoverable,  ///< escalation budget spent; the harness throws
+};
+
+/// Mutation hooks for mpch-model. Production quarantine uses the defaults.
+struct QuarantineCoreOptions {
+  /// Count failed attempts toward the per-round retry limit. Off = the
+  /// seeded "skip-retry-count" mutation (a persistently diverging round
+  /// retries past its budget instead of escalating).
+  bool count_retries = true;
+  /// Record strikes against localised offenders. Off = the seeded
+  /// "skip-strike-count" mutation (a persistently faulty machine is never
+  /// taken out via early escalation).
+  bool count_strikes = true;
+};
+
+/// The quarantine policy's strike/retry/escalation state machine: feed it
+/// one RoundVerdict per attempt, obey the action it returns. It tracks the
+/// current round, the attempt count on that round, per-machine strikes, the
+/// periodic rollback boundary, and the escalation budget — everything the
+/// policy decides with; the serialised snapshots those decisions move around
+/// stay with the harness.
+class QuarantineCore {
+ public:
+  /// `qc` supplies max_round_retries / escalate_after_strikes /
+  /// checkpoint_every; `escalation_budget` bounds total escalations (the
+  /// harness uses plan size + 1).
+  QuarantineCore(const QuarantineConfig& qc, std::uint64_t machines,
+                 std::uint64_t escalation_budget, QuarantineCoreOptions options = {});
+
+  /// One attempt's verdict for round next_round(). `culprit` names the
+  /// machine attestation localised (kDivergentMachine only). Mutates the
+  /// machine state per the returned action:
+  ///   kCommit       — next_round advanced, attempt reset, periodic boundary
+  ///                   updated when the cadence is due;
+  ///   kRetry        — attempt counted, same round;
+  ///   kEscalate     — next_round rolled back to periodic_round(), attempt
+  ///                   reset, escalation counted;
+  ///   kUnrecoverable — state unchanged; the policy is out of budget.
+  QuarantineAction on_verdict(RoundVerdict verdict, std::optional<std::uint64_t> culprit);
+
+  std::uint64_t next_round() const { return next_round_; }
+  std::uint64_t periodic_round() const { return periodic_round_; }
+  /// Failed attempts already spent on next_round().
+  std::uint64_t attempt() const { return attempt_; }
+  std::uint64_t strikes(std::uint64_t machine) const { return strikes_.at(machine); }
+  std::uint64_t machines() const { return strikes_.size(); }
+  std::uint64_t escalations() const { return escalations_; }
+  std::uint64_t escalation_budget() const { return escalation_budget_; }
+  /// True iff the last kCommit moved the periodic rollback boundary.
+  bool took_periodic() const { return took_periodic_; }
+
+ private:
+  std::uint64_t max_round_retries_;
+  std::uint64_t escalate_after_strikes_;
+  std::uint64_t checkpoint_every_;
+  std::uint64_t escalation_budget_;
+  QuarantineCoreOptions options_;
+
+  std::uint64_t next_round_ = 0;
+  std::uint64_t periodic_round_ = 0;
+  std::uint64_t attempt_ = 0;
+  std::uint64_t escalations_ = 0;
+  bool took_periodic_ = false;
+  std::vector<std::uint64_t> strikes_;
+};
+
+}  // namespace mpch::fault

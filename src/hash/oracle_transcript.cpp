@@ -50,8 +50,10 @@ std::vector<util::BitString> OracleTranscript::queries_up_to(std::uint64_t round
 std::size_t OracleTranscript::intersect_count(
     const std::vector<util::BitString>& transcript_inputs,
     const std::vector<util::BitString>& targets) const {
-  std::unordered_set<util::BitString, util::BitStringHash> seen(transcript_inputs.begin(),
-                                                                transcript_inputs.end());
+  // Membership probe only — nothing iterates, so hash order cannot leak
+  // into any transcript or wire byte.
+  std::unordered_set<util::BitString, util::BitStringHash> seen(  // lint:ordered-exempt
+      transcript_inputs.begin(), transcript_inputs.end());
   std::size_t count = 0;
   for (const auto& t : targets) {
     if (seen.count(t)) ++count;

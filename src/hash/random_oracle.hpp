@@ -112,7 +112,10 @@ class LazyRandomOracle final : public RandomOracle {
 
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<util::BitString, util::BitString, util::BitStringHash> table;
+    // Point lookups only; the ordered paths (verify_memo, corrupt_memo_entry)
+    // sort the keys before touching anything observable.
+    std::unordered_map<util::BitString, util::BitString,  // lint:ordered-exempt
+                       util::BitStringHash> table;
   };
 
   util::BitString derive(const util::BitString& input) const;

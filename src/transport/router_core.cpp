@@ -1,0 +1,60 @@
+#include "transport/router_core.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "transport/transport.hpp"
+
+namespace mpch::transport {
+
+std::optional<std::uint64_t> RouterCore::accept_data(WireFrame& frame) {
+  if (frame.to >= machines_) {
+    throw TransportError("router: data frame for machine " + std::to_string(frame.to) +
+                         " >= m=" + std::to_string(machines_));
+  }
+  const std::uint64_t gd = group_of(frame.to);
+  if (gd == g_) {
+    local_.push_back(std::move(frame));
+    return std::nullopt;
+  }
+  return gd;
+}
+
+bool RouterCore::accept_broadcast(WireFrame frame) {
+  if (options_.dedup_broadcasts && !bcast_seen_.insert({frame.from, frame.seq}).second) {
+    return false;
+  }
+  for (const auto& [to, seq] : frame.fanout) {
+    if (group_of(to) == g_) {
+      WireFrame data;
+      data.type = FrameType::kData;
+      data.round = frame.round;
+      data.from = frame.from;
+      data.seq = seq;
+      data.to = to;
+      data.payload = frame.payload;
+      local_.push_back(std::move(data));
+    }
+  }
+  bcast_known_.push_back(std::move(frame));
+  return true;
+}
+
+std::vector<WireFrame> RouterCore::take_local() {
+  std::sort(local_.begin(), local_.end(), [](const WireFrame& a, const WireFrame& b) {
+    if (a.to != b.to) return a.to < b.to;
+    if (a.from != b.from) return a.from < b.from;
+    return a.seq < b.seq;
+  });
+  std::vector<WireFrame> out = std::move(local_);
+  local_.clear();
+  return out;
+}
+
+void RouterCore::reset_round() {
+  local_.clear();
+  bcast_known_.clear();
+  bcast_seen_.clear();
+}
+
+}  // namespace mpch::transport

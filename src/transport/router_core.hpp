@@ -1,0 +1,100 @@
+// router_core.hpp — the router's per-round routing state machine, as a pure
+// transition core.
+//
+// socket.cpp's forked router process is two things interleaved: byte-moving
+// (socketpairs, poll loops, stage tokens) and a small deterministic protocol
+// — classify each arriving frame, dedup broadcasts on (from, seq), expand
+// the fanout entries that land in the router's own shard group, and hand the
+// group's inboxes back sorted by (to, from, seq) so the parent-side
+// InboxAssembler sees every sender's seqs strictly increasing. This file is
+// the second thing alone. The router process drives a RouterCore for its
+// protocol decisions, and mpch-model (src/check/) drives the *same object*
+// under exhaustively enumerated delivery interleavings and duplications —
+// one code path, checked two ways.
+//
+// The options struct exists solely for mpch-model's mutation self-check:
+// disabling dedup_broadcasts reproduces the bug class the binomial-tree
+// dissemination would have without (from, seq) dedup (a non-power-of-two
+// router count re-delivers broadcasts, and every re-delivery would expand
+// into duplicate inbox entries). Production call sites always construct with
+// defaults.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "transport/wire.hpp"
+
+namespace mpch::transport {
+
+/// Mutation hooks for mpch-model's checker-soundness matrix. Production
+/// routers always use the defaults.
+struct RouterCoreOptions {
+  /// Dedup disseminated broadcasts on (from, seq). Off = the seeded
+  /// "skip-broadcast-dedup" protocol mutation.
+  bool dedup_broadcasts = true;
+};
+
+/// One router's round-scoped routing state: local deliveries collected for
+/// its own shard group, broadcasts known so far (for the dissemination
+/// stages), and the (from, seq) dedup set that absorbs tree duplicates.
+class RouterCore {
+ public:
+  RouterCore(std::uint64_t group, std::uint64_t groups, std::uint64_t group_size,
+             std::uint64_t machines, RouterCoreOptions options = {})
+      : g_(group),
+        groups_(groups),
+        group_size_(group_size),
+        machines_(machines),
+        options_(options) {}
+
+  std::uint64_t group() const { return g_; }
+  std::uint64_t groups() const { return groups_; }
+  std::uint64_t group_of(std::uint64_t machine) const { return machine / group_size_; }
+
+  /// Classify one data frame. An own-group destination is buffered locally
+  /// (the frame is moved from); for any other destination the owning group
+  /// index is returned and the frame is left untouched for the caller to
+  /// forward. Throws TransportError on an out-of-range destination (hostile
+  /// or corrupted addressing).
+  std::optional<std::uint64_t> accept_data(WireFrame& frame);
+
+  /// Accept one broadcast frame (from the parent or a dissemination peer).
+  /// First sighting of a (from, seq): the fanout entries owned by this
+  /// group are expanded into local data frames and the frame is remembered
+  /// for the next dissemination stage; returns true. A duplicate — the
+  /// binomial tree produces them whenever the router count is not a power
+  /// of two — is absorbed and returns false.
+  bool accept_broadcast(WireFrame frame);
+
+  /// Broadcasts known so far, in acceptance order (what the next
+  /// dissemination stage sends).
+  const std::vector<WireFrame>& known_broadcasts() const { return bcast_known_; }
+
+  /// The group's deliveries, sorted by (to, from, seq) — the order that
+  /// keeps every sender's seqs strictly increasing per destination, which
+  /// the parent-side InboxAssembler enforces. Leaves the core empty for the
+  /// next round.
+  std::vector<WireFrame> take_local();
+
+  std::size_t pending_local() const { return local_.size(); }
+
+  /// Drop all round state (deliveries, known broadcasts, dedup set).
+  void reset_round();
+
+ private:
+  std::uint64_t g_;
+  std::uint64_t groups_;
+  std::uint64_t group_size_;
+  std::uint64_t machines_;
+  RouterCoreOptions options_;
+
+  std::vector<WireFrame> local_;       ///< data frames for this group's machines
+  std::vector<WireFrame> bcast_known_; ///< accepted broadcasts, acceptance order
+  std::set<std::pair<std::uint64_t, std::uint64_t>> bcast_seen_;  ///< (from, seq)
+};
+
+}  // namespace mpch::transport

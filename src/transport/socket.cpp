@@ -1,5 +1,7 @@
 #include "transport/socket.hpp"
 
+#include "transport/router_core.hpp"
+
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -14,7 +16,6 @@
 #include <cstring>
 #include <functional>
 #include <map>
-#include <set>
 #include <thread>
 #include <utility>
 
@@ -184,32 +185,14 @@ struct Router {
   }
 
   /// One round transaction. Returns false on parent EOF (orderly shutdown).
+  /// All protocol decisions — routing, broadcast dedup, fanout expansion,
+  /// canonical delivery order — live in RouterCore (router_core.hpp), which
+  /// mpch-model drives under exhaustive interleavings; this function only
+  /// moves the bytes.
   bool run_round() {
     std::uint64_t round = 0;
-    std::vector<WireFrame> local;  ///< data frames for machines of this group
+    RouterCore core(g, groups, group_size, machines);
     std::vector<std::vector<std::uint8_t>> forward(groups);  ///< encoded, per peer
-    std::vector<WireFrame> bcast_known;
-    std::set<std::pair<std::uint64_t, std::uint64_t>> bcast_seen;  ///< (from, seq) dedup
-
-    // A broadcast reaching this router for the first time: deliver the
-    // fanout entries that belong to this group, remember it for the
-    // dissemination stages.
-    auto accept_broadcast = [&](WireFrame& frame) {
-      if (!bcast_seen.insert({frame.from, frame.seq}).second) return;
-      for (const auto& [to, seq] : frame.fanout) {
-        if (group_of(to) == g) {
-          WireFrame data;
-          data.type = FrameType::kData;
-          data.round = frame.round;
-          data.from = frame.from;
-          data.seq = seq;
-          data.to = to;
-          data.payload = frame.payload;
-          local.push_back(std::move(data));
-        }
-      }
-      bcast_known.push_back(std::move(frame));
-    };
 
     // Phase 1 — intake from the parent until the round's kFlush token.
     bool flushed = false;
@@ -221,18 +204,11 @@ struct Router {
           break;
         }
         if (frame->type == FrameType::kData) {
-          if (frame->to >= machines) {
-            throw TransportError("router: data frame for machine " + std::to_string(frame->to) +
-                                 " >= m=" + std::to_string(machines));
-          }
-          const std::uint64_t gd = group_of(frame->to);
-          if (gd == g) {
-            local.push_back(std::move(*frame));
-          } else {
-            append_frame(forward[gd], *frame);
+          if (auto peer = core.accept_data(*frame); peer.has_value()) {
+            append_frame(forward[*peer], *frame);
           }
         } else if (frame->type == FrameType::kBroadcast) {
-          accept_broadcast(*frame);
+          core.accept_broadcast(std::move(*frame));
         } else {
           throw TransportError("router: unexpected frame type " +
                                std::to_string(static_cast<unsigned>(frame->type)) +
@@ -258,10 +234,10 @@ struct Router {
       }
       exchange_frames(channels, [&](WireFrame& frame) {
         if (frame.type == FrameType::kFlush) return true;
-        if (frame.type != FrameType::kData || group_of(frame.to) != g) {
+        if (frame.type != FrameType::kData || group_of(frame.to) != g ||
+            core.accept_data(frame).has_value()) {
           throw TransportError("router: misrouted frame in point-to-point exchange");
         }
-        local.push_back(std::move(frame));
         return false;
       });
     }
@@ -277,7 +253,7 @@ struct Router {
       const std::uint64_t out_peer = (g + hop) % groups;
       const std::uint64_t in_peer = (g + groups - (hop % groups)) % groups;
       std::vector<std::uint8_t> out_bytes;
-      for (const WireFrame& b : bcast_known) append_frame(out_bytes, b);
+      for (const WireFrame& b : core.known_broadcasts()) append_frame(out_bytes, b);
       append_frame(out_bytes, control_frame(FrameType::kStageDone, round, g, k));
       std::vector<Channel> channels;
       {
@@ -299,21 +275,17 @@ struct Router {
         if (frame.type != FrameType::kBroadcast) {
           throw TransportError("router: unexpected frame type in dissemination stage");
         }
-        accept_broadcast(frame);
+        core.accept_broadcast(std::move(frame));
         return false;
       });
     }
 
-    // Phase 4 — deliver this group's inboxes to the parent, sorted by
-    // (to, from, seq) so the parent-side assemblers see each sender's seqs
-    // strictly increasing (the protocol InboxAssembler enforces).
-    std::sort(local.begin(), local.end(), [](const WireFrame& a, const WireFrame& b) {
-      if (a.to != b.to) return a.to < b.to;
-      if (a.from != b.from) return a.from < b.from;
-      return a.seq < b.seq;
-    });
+    // Phase 4 — deliver this group's inboxes to the parent in the canonical
+    // (to, from, seq) order RouterCore::take_local produces, so the
+    // parent-side assemblers see each sender's seqs strictly increasing (the
+    // protocol InboxAssembler enforces).
     std::vector<std::uint8_t> delivery;
-    for (const WireFrame& frame : local) append_frame(delivery, frame);
+    for (const WireFrame& frame : core.take_local()) append_frame(delivery, frame);
     append_frame(delivery, control_frame(FrameType::kFlushDone, round, g));
     write_all(parent_fd, delivery.data(), delivery.size());
     return true;

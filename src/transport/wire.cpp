@@ -150,12 +150,12 @@ std::vector<WireFrame> decode_frames(const std::vector<std::uint8_t>& bytes,
 void InboxAssembler::add(std::uint64_t from, std::uint64_t seq, util::BitString payload) {
   auto it = last_seq_.find(from);
   if (it != last_seq_.end()) {
-    if (seq == it->second) {
+    if (seq == it->second && options_.reject_duplicates) {
       throw WireError("wire frame: duplicated frame — machine " + std::to_string(machine_) +
                       " received seq " + std::to_string(seq) + " from machine " +
                       std::to_string(from) + " twice in round " + std::to_string(round_));
     }
-    if (seq < it->second) {
+    if (seq < it->second && options_.reject_reordered) {
       throw WireError("wire frame: reordered frame — machine " + std::to_string(machine_) +
                       " received seq " + std::to_string(seq) + " from machine " +
                       std::to_string(from) + " after seq " + std::to_string(it->second) +

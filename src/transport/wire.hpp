@@ -120,6 +120,20 @@ class FrameDecoder {
 std::vector<WireFrame> decode_frames(const std::vector<std::uint8_t>& bytes,
                                      std::uint64_t max_payload_bits = kDefaultMaxPayloadBits);
 
+/// Mutation hooks for mpch-model's checker-soundness matrix (src/check/):
+/// each disabled gate is a seeded protocol bug the model checker must find a
+/// schedule exposing. Production assemblers always use the defaults.
+struct InboxAssemblerOptions {
+  /// Reject a seq equal to the sender's high-water mark. Off = the seeded
+  /// "skip-dedup" mutation (a duplicated frame lands in the inbox twice).
+  bool reject_duplicates = true;
+  /// Reject a seq below the sender's high-water mark. Off = the seeded
+  /// "drop-seq-check" mutation (a reordered frame lowers the high-water
+  /// mark, letting a later re-delivery of an already-accepted seq pass the
+  /// duplicate gate).
+  bool reject_reordered = true;
+};
+
 /// Rebuilds one machine's next-round inbox from arriving data frames.
 ///
 /// Stream transports deliver a destination's frames with per-sender seq
@@ -131,8 +145,9 @@ std::vector<WireFrame> decode_frames(const std::vector<std::uint8_t>& bytes,
 /// canonical (sender, seq) order of the in-process merge.
 class InboxAssembler {
  public:
-  InboxAssembler(std::uint64_t machine, std::uint64_t round)
-      : machine_(machine), round_(round) {}
+  InboxAssembler(std::uint64_t machine, std::uint64_t round,
+                 InboxAssemblerOptions options = {})
+      : machine_(machine), round_(round), options_(options) {}
 
   /// Accept one delivery. `from`/`seq` follow WireFrame semantics.
   void add(std::uint64_t from, std::uint64_t seq, util::BitString payload);
@@ -151,6 +166,7 @@ class InboxAssembler {
 
   std::uint64_t machine_;
   std::uint64_t round_;
+  InboxAssemblerOptions options_;
   std::map<std::uint64_t, std::uint64_t> last_seq_;  ///< per-sender high-water
   std::vector<Entry> entries_;
 };

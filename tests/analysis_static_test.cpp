@@ -300,5 +300,48 @@ TEST(StaticChecker, PrologueRoundsCheckedIndividually) {
   EXPECT_EQ(d->machine, 1u);
 }
 
+TEST(StaticChecker, ReportJsonCarriesEveryDiagnosticField) {
+  ProtocolSpec spec;
+  spec.protocol = "synthetic \"quoted\"";
+  spec.machines = 2;
+  spec.max_rounds = 10;
+  spec.steady.memory_bits = 1000;
+  spec.steady.witness_machine = 1;
+
+  mpc::MpcConfig c;
+  c.machines = 2;
+  c.local_memory_bits = 100;
+  c.max_rounds = 10;
+  AnalysisReport report = check_spec(spec, c);
+  ASSERT_FALSE(report.ok());
+
+  const std::string json = report.to_json();
+  // The protocol name is escaped, ok is false, and the diagnostic carries
+  // kind/round/machine/value/limit/message — the same fields format() prints.
+  EXPECT_NE(json.find("\"protocol\":\"synthetic \\\"quoted\\\"\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\":\"memory\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"machine\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"value\":1000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"limit\":100"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"message\":\""), std::string::npos) << json;
+}
+
+TEST(StaticChecker, CleanReportJsonHasEmptyViolations) {
+  ProtocolSpec spec;
+  spec.protocol = "clean";
+  spec.machines = 2;
+  spec.max_rounds = 2;
+  spec.steady.memory_bits = 8;
+
+  mpc::MpcConfig c;
+  c.machines = 2;
+  c.local_memory_bits = 100;
+  c.max_rounds = 2;
+  AnalysisReport report = check_spec(spec, c);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.to_json(), "{\"protocol\":\"clean\",\"ok\":true,\"violations\":[]}");
+}
+
 }  // namespace
 }  // namespace mpch::analysis

@@ -1,0 +1,230 @@
+// check_explorer_test.cpp — the explorer's search mechanics, on toy models
+// whose state spaces are small enough to count by hand.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "check/explorer.hpp"
+#include "check/model.hpp"
+
+namespace mpch::check {
+namespace {
+
+/// k distinct tokens deliverable in any order; terminal once all are
+/// delivered. State = the delivered subset, so the canonical state space is
+/// exactly 2^k subsets regardless of order.
+class TokenModel : public Model {
+ public:
+  explicit TokenModel(std::uint64_t tokens, bool tokens_independent = false)
+      : tokens_(tokens), independent_(tokens_independent) {}
+
+  std::string name() const override { return "tokens"; }
+  void reset() override { mask_ = 0; }
+
+  std::vector<Action> enabled() const override {
+    std::vector<Action> out;
+    for (std::uint64_t t = 0; t < tokens_; ++t) {
+      if ((mask_ & (1ULL << t)) == 0) {
+        out.push_back(Action{t, "token " + std::to_string(t)});
+      }
+    }
+    return out;
+  }
+
+  void apply(std::uint64_t key) override { mask_ |= 1ULL << key; }
+  std::optional<std::string> violation() const override { return std::nullopt; }
+  std::uint64_t fingerprint() const override { return Fingerprint().mix(mask_).value(); }
+  bool independent(const Action&, const Action&) const override { return independent_; }
+
+ protected:
+  std::uint64_t tokens_;
+  bool independent_;
+  std::uint64_t mask_ = 0;
+};
+
+/// TokenModel plus a self-loop action that leaves the state unchanged — the
+/// canonical livelock.
+class LoopModel : public TokenModel {
+ public:
+  explicit LoopModel(std::uint64_t tokens) : TokenModel(tokens) {}
+  std::vector<Action> enabled() const override {
+    std::vector<Action> out = TokenModel::enabled();
+    if (!out.empty()) out.push_back(Action{99, "spin"});
+    return out;
+  }
+  void apply(std::uint64_t key) override {
+    if (key != 99) TokenModel::apply(key);
+  }
+};
+
+/// Two one-step schedules with different outcomes: a confluence breach.
+class ForkModel : public Model {
+ public:
+  std::string name() const override { return "fork"; }
+  void reset() override { taken_ = 0; }
+  std::vector<Action> enabled() const override {
+    if (taken_ != 0) return {};
+    return {Action{1, "left"}, Action{2, "right"}};
+  }
+  void apply(std::uint64_t key) override { taken_ = key; }
+  std::optional<std::string> violation() const override { return std::nullopt; }
+  std::uint64_t fingerprint() const override { return Fingerprint().mix(taken_).value(); }
+
+ private:
+  std::uint64_t taken_ = 0;
+};
+
+/// Violates after a specific two-action prefix (key 1 then key 0), buried
+/// in a larger token space — exercises shrinking down to that pair.
+class NeedleModel : public TokenModel {
+ public:
+  explicit NeedleModel() : TokenModel(4) {}
+  void reset() override {
+    TokenModel::reset();
+    history_.clear();
+  }
+  void apply(std::uint64_t key) override {
+    TokenModel::apply(key);
+    history_.push_back(key);
+  }
+  std::optional<std::string> violation() const override {
+    for (std::size_t i = 0; i + 1 < history_.size(); ++i) {
+      if (history_[i] == 1 && history_[i + 1] == 0) return "needle: 1 then 0";
+    }
+    return std::nullopt;
+  }
+  std::uint64_t fingerprint() const override {
+    Fingerprint fp;
+    fp.mix(mask_);
+    for (std::uint64_t h : history_) fp.mix(h);
+    return fp.value();
+  }
+  // The terminal state carries the whole history, so outcomes legitimately
+  // differ per schedule — no confluence claim to check.
+  bool terminal_comparable() const override { return false; }
+
+ private:
+  std::vector<std::uint64_t> history_;
+};
+
+TEST(CheckExplorer, CountsCanonicalStatesWithConvergencePruning) {
+  TokenModel model(3);
+  ExplorerOptions opts;
+  opts.sleep_sets = false;
+  ExploreResult result = Explorer(opts).run(model);
+  ASSERT_TRUE(result.ok());
+  // Every non-terminal subset of 3 tokens is expanded exactly once.
+  EXPECT_EQ(result.stats.states_explored, 7u);
+  EXPECT_EQ(result.stats.terminal_fingerprints, 1u);
+  EXPECT_GT(result.stats.pruned_converged, 0u);
+  EXPECT_EQ(result.stats.deepest, 3u);
+}
+
+TEST(CheckExplorer, ExploresFullTreeWithoutPruning) {
+  TokenModel model(3);
+  ExplorerOptions opts;
+  opts.prune_converged = false;
+  opts.sleep_sets = false;
+  ExploreResult result = Explorer(opts).run(model);
+  ASSERT_TRUE(result.ok());
+  // Ordered prefixes of length 0..2 over 3 distinct tokens: 1 + 3 + 6.
+  EXPECT_EQ(result.stats.states_explored, 10u);
+  // Every permutation completes.
+  EXPECT_EQ(result.stats.terminal_states, 6u);
+}
+
+TEST(CheckExplorer, SleepSetsCollapseCommutingOrders) {
+  TokenModel model(3, /*tokens_independent=*/true);
+  ExplorerOptions opts;
+  opts.prune_converged = false;
+  ExploreResult result = Explorer(opts).run(model);
+  ASSERT_TRUE(result.ok());
+  // All interleavings commute, so one linearisation suffices.
+  EXPECT_EQ(result.stats.terminal_states, 1u);
+  EXPECT_GT(result.stats.pruned_sleep, 0u);
+}
+
+TEST(CheckExplorer, DepthBoundTruncates) {
+  TokenModel model(6);
+  ExplorerOptions opts;
+  opts.max_depth = 2;
+  ExploreResult result = Explorer(opts).run(model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.stats.depth_bound_hit);
+  EXPECT_EQ(result.stats.terminal_states, 0u);
+  EXPECT_EQ(result.stats.deepest, 2u);
+}
+
+TEST(CheckExplorer, StateBoundStopsSearch) {
+  TokenModel model(10);
+  ExplorerOptions opts;
+  opts.max_states = 5;
+  ExploreResult result = Explorer(opts).run(model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.stats.state_bound_hit);
+  EXPECT_EQ(result.stats.states_explored, 5u);
+}
+
+TEST(CheckExplorer, DetectsLivelockAndShrinksToOneAction) {
+  LoopModel model(2);
+  ExploreResult result = Explorer().run(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.counterexample->violation.find("livelock"), std::string::npos);
+  // The minimal loop is a single spin from the initial state.
+  EXPECT_EQ(result.counterexample->schedule.size(), 1u);
+  EXPECT_EQ(result.counterexample->schedule[0].key, 99u);
+}
+
+TEST(CheckExplorer, DetectsConfluenceViolation) {
+  ForkModel model;
+  ExploreResult result = Explorer().run(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.counterexample->violation.find("confluence"), std::string::npos);
+}
+
+TEST(CheckExplorer, ConfluenceCheckCanBeDisabled) {
+  ForkModel model;
+  ExplorerOptions opts;
+  opts.check_confluence = false;
+  ExploreResult result = Explorer(opts).run(model);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.stats.terminal_fingerprints, 2u);
+}
+
+TEST(CheckExplorer, ShrinksToTheMinimalViolatingPair) {
+  NeedleModel model;
+  ExploreResult result = Explorer().run(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.counterexample->violation, "needle: 1 then 0");
+  ASSERT_EQ(result.counterexample->schedule.size(), 2u);
+  EXPECT_EQ(result.counterexample->schedule[0].key, 1u);
+  EXPECT_EQ(result.counterexample->schedule[1].key, 0u);
+}
+
+TEST(CheckExplorer, ReplayReproducesAndIsStrict) {
+  NeedleModel model;
+  Explorer explorer;
+  ExploreResult result = explorer.run(model);
+  ASSERT_FALSE(result.ok());
+  ReplayOutcome outcome = explorer.replay(model, result.counterexample->schedule);
+  ASSERT_TRUE(outcome.violation.has_value());
+  EXPECT_EQ(*outcome.violation, result.counterexample->violation);
+
+  // A key the model never offers is a ReplayError, not a silent skip.
+  std::vector<Action> bogus = {{42, "not a real action"}};
+  EXPECT_THROW((void)explorer.replay(model, bogus), ReplayError);
+
+  // Applying a token twice: the second occurrence is no longer enabled.
+  std::vector<Action> twice = {{0, "token 0"}, {0, "token 0"}};
+  EXPECT_THROW((void)explorer.replay(model, twice), ReplayError);
+}
+
+TEST(CheckExplorer, EmptyScheduleReplaysClean) {
+  TokenModel model(2);
+  ReplayOutcome outcome = Explorer().replay(model, {});
+  EXPECT_FALSE(outcome.violation.has_value());
+  EXPECT_EQ(outcome.steps, 0u);
+}
+
+}  // namespace
+}  // namespace mpch::check

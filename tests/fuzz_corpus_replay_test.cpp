@@ -14,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "check/explorer.hpp"
+#include "check/models.hpp"
+#include "check/trace.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/fault_plan.hpp"
 #include "ram/machine.hpp"
@@ -143,6 +146,48 @@ TEST(FuzzCorpusReplay, ValidCorpusSeedStillDecodes) {
         }
       },
       CheckpointError);
+}
+
+TEST(FuzzCorpusReplay, ModelTraceCorpusRejectsOrParsesTyped) {
+  // Mirrors fuzz/fuzz_model_trace.cpp: parse, and round-trip whatever
+  // parses. TraceError is the only acceptable rejection.
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_root() / "model_trace")) {
+    SCOPED_TRACE(entry.path().string());
+    std::vector<std::uint8_t> bytes = read_file(entry.path());
+    std::string text(bytes.begin(), bytes.end());
+    try {
+      const mpch::check::TraceFile trace = mpch::check::parse_trace(text);
+      EXPECT_EQ(mpch::check::parse_trace(mpch::check::encode_trace(trace)), trace);
+    } catch (const mpch::check::TraceError&) {
+    }
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 9u) << "model-trace corpus went missing — check fuzz/corpus/model_trace";
+}
+
+TEST(FuzzCorpusReplay, ModelTraceMutationSeedsStillReproduce) {
+  // The seven <mutation>.trace seeds are live counterexamples written by
+  // `mpch-model --mutation-matrix --trace-dir`: each must still load, build
+  // its recorded mutant at the default bounds, and replay to a violation.
+  // A seed that stops reproducing means the trace format, the model, or the
+  // mutation drifted — regenerate the corpus in the same change.
+  std::size_t reproduced = 0;
+  for (const mpch::check::MutationSpec& spec : mpch::check::mutation_registry()) {
+    SCOPED_TRACE(spec.name);
+    const mpch::check::TraceFile trace =
+        mpch::check::load_trace((corpus_root() / "model_trace" / (spec.name + ".trace")).string());
+    EXPECT_EQ(trace.protocol, spec.protocol);
+    EXPECT_EQ(trace.mutation, spec.name);
+    std::unique_ptr<mpch::check::Model> model =
+        mpch::check::make_model(trace.protocol, mpch::check::ModelBounds{}, trace.mutation);
+    const mpch::check::ReplayOutcome outcome =
+        mpch::check::Explorer().replay(*model, trace.schedule);
+    ASSERT_TRUE(outcome.violation.has_value());
+    EXPECT_EQ(*outcome.violation, trace.violation);
+    ++reproduced;
+  }
+  EXPECT_GE(reproduced, 7u);
 }
 
 TEST(FuzzCorpusReplay, WireFrameCorpusRejectsOrAssemblesTyped) {

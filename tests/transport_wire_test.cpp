@@ -260,6 +260,82 @@ TEST(WireAssembler, TakeRestoresCanonicalInboxOrder) {
   EXPECT_EQ(assembler.size(), 0u);  // take() resets
 }
 
+// ---- degenerate topologies: the boundary shapes mpch-model's bounded
+// exploration cannot reach (zero traffic, one machine, the fanout cap) ----
+
+TEST(WireAssembler, ZeroMessageRoundYieldsEmptyCanonicalInbox) {
+  // A round in which nobody sends is legal at every layer: the barrier
+  // simply observes an empty inbox, and the assembler is reusable after.
+  InboxAssembler assembler(/*machine=*/2, /*round=*/5);
+  EXPECT_EQ(assembler.size(), 0u);
+  EXPECT_TRUE(assembler.take().empty());
+  // Still functional after an empty take: the next round's frames assemble.
+  assembler.add(/*from=*/0, /*seq=*/0, BitString::from_uint(7, 8));
+  auto inbox = assembler.take();
+  ASSERT_EQ(inbox.size(), 1u);
+  EXPECT_EQ(inbox[0].payload, BitString::from_uint(7, 8));
+}
+
+TEST(WireAssembler, SingleMachineSelfDeliveryKeepsSeqOrder) {
+  // m=1: every frame is a self-send from machine 0. The per-sender FIFO
+  // gates and the canonical order must hold with one sender exactly as with
+  // many — seq collisions and seq regressions stay typed rejections.
+  InboxAssembler assembler(/*machine=*/0, /*round=*/0);
+  for (std::uint64_t seq = 0; seq < 4; ++seq) {
+    assembler.add(/*from=*/0, seq, BitString::from_uint(seq + 1, 8));
+  }
+  auto inbox = assembler.take();
+  ASSERT_EQ(inbox.size(), 4u);
+  for (std::uint64_t seq = 0; seq < 4; ++seq) {
+    EXPECT_EQ(inbox[seq].from, 0u);
+    EXPECT_EQ(inbox[seq].payload, BitString::from_uint(seq + 1, 8));
+  }
+  assembler.add(0, 4, BitString::from_uint(9, 8));
+  EXPECT_THROW(assembler.add(0, 4, BitString::from_uint(9, 8)), WireError);
+  EXPECT_THROW(assembler.add(0, 1, BitString::from_uint(9, 8)), WireError);
+}
+
+TEST(WireHostile, BroadcastFanoutAtExactCapRoundTrips) {
+  // The cap is a boundary, not a margin: a broadcast addressing exactly
+  // kMaxBroadcastFanout destinations (a 16 MiB fanout section on the wire)
+  // must decode, and every (to, seq) entry must survive.
+  WireFrame f;
+  f.type = FrameType::kBroadcast;
+  f.round = 1;
+  f.from = 0;
+  f.seq = 0;
+  f.payload = BitString::from_uint(0xA5, 8);
+  f.fanout.reserve(transport::kMaxBroadcastFanout);
+  for (std::uint64_t to = 0; to < transport::kMaxBroadcastFanout; ++to) {
+    f.fanout.emplace_back(to, to % 3);
+  }
+  auto frames = transport::decode_frames(transport::encode_frame(f));
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].fanout.size(), transport::kMaxBroadcastFanout);
+  EXPECT_EQ(frames[0].fanout.front(), (std::pair<std::uint64_t, std::uint64_t>{0, 0}));
+  EXPECT_EQ(frames[0].fanout.back(),
+            (std::pair<std::uint64_t, std::uint64_t>{transport::kMaxBroadcastFanout - 1,
+                                                     (transport::kMaxBroadcastFanout - 1) % 3}));
+}
+
+TEST(WireHostile, BroadcastFanoutCapIsStrictlyGreaterThan) {
+  // Header surgery on a 1-entry broadcast: a count of exactly the cap gets
+  // past the fanout gate (the decoder then waits for the 16 MiB body that
+  // never arrives — "truncated frame", not a cap rejection), while cap+1
+  // fires the fanout gate from the header alone. Together with the
+  // at-cap round-trip above this pins the gate to `count > cap`.
+  WireFrame f;
+  f.type = FrameType::kBroadcast;
+  f.fanout = {{0, 0}};
+  auto bytes = transport::encode_frame(f);
+  auto at_cap = bytes;
+  patch_u64(at_cap, 29, transport::kMaxBroadcastFanout);  // fanout-count slot
+  expect_wire_error(at_cap, "truncated frame");
+  auto over_cap = bytes;
+  patch_u64(over_cap, 29, transport::kMaxBroadcastFanout + 1);
+  expect_wire_error(over_cap, "broadcast fanout");
+}
+
 // ---- the shared-memory byte ring ----
 
 TEST(ByteRing, PreservesOrderAcrossWraparoundAndGrowth) {

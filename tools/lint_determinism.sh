@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# lint_determinism.sh — reject unordered containers in determinism-critical
+# code paths.
+#
+# Transcripts, checkpoints, wire frames, and MPC round products are compared
+# bit-for-bit across runs, machines, and recoveries: any iteration over a
+# std::unordered_map/std::unordered_set in those paths can leak hash-table
+# order into observable bytes (ASLR-seeded hashing makes the order differ
+# per process). The repo-wide rule is: ordered containers (std::map,
+# std::set, sorted vectors) in src/transport, src/fault, src/hash, and
+# src/mpc.
+#
+# Escape hatch: a site that provably never iterates (point lookups only, or
+# sorts before exposing anything) may carry `// lint:ordered-exempt` on the
+# flagged line, next to a comment justifying why order cannot leak.
+#
+# Exit status: 0 clean, 1 violations found.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATHS=(src/transport src/fault src/hash src/mpc)
+PATTERN='std::unordered_(map|set)'
+
+violations=0
+while IFS= read -r line; do
+  case "$line" in
+    *"lint:ordered-exempt"*) continue ;;
+  esac
+  if [ "$violations" -eq 0 ]; then
+    echo "lint_determinism: unordered containers in determinism-critical paths:" >&2
+  fi
+  echo "  $line" >&2
+  violations=$((violations + 1))
+done < <(grep -rnE "$PATTERN" "${PATHS[@]}" || true)
+
+if [ "$violations" -ne 0 ]; then
+  echo >&2
+  echo "Iteration order of unordered containers is process-random and must never" >&2
+  echo "reach a transcript, checkpoint, or wire byte. Use std::map/std::set or a" >&2
+  echo "sorted vector; if the site provably never iterates, annotate the flagged" >&2
+  echo "line with '// lint:ordered-exempt' and a justification." >&2
+  exit 1
+fi
+echo "lint_determinism: clean (${PATHS[*]})"

@@ -18,6 +18,7 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -79,6 +80,8 @@ int main(int argc, char** argv) {
   if (args.get_bool("help", false)) {
     std::cout
         << "usage: mpch-analyze [--strategy all|<name>] [--soundness] [--authenticate] [--list]\n"
+           "  --format text|json : json emits {\"strategies\":[...]} with one object per\n"
+           "                       checked strategy (same shape family as mpch-verify)\n"
            "  problem size : --u N --v N --w N --machines N --instances N\n"
            "                 --guesses N --steps-per-round N --seed N\n"
            "  config knobs : --s BITS --q N --rounds N --m-cap N\n"
@@ -107,6 +110,12 @@ int main(int argc, char** argv) {
   const std::string which = args.get_string("strategy", "all");
   const bool soundness = args.get_bool("soundness", false);
   const bool authenticate = args.get_bool("authenticate", false);
+  const std::string format = args.get_string("format", "text");
+  if (format != "text" && format != "json") {
+    std::cerr << "mpch-analyze: unknown --format '" << format << "' (text|json)\n";
+    return 2;
+  }
+  const bool json = format == "json";
   transport::TransportKind transport_kind = transport::TransportKind::kInProcess;
   try {
     transport_kind = transport::parse_transport_kind(args.get_string("transport", "in-process"));
@@ -172,7 +181,7 @@ int main(int argc, char** argv) {
     // Under --authenticate the declared envelope must absorb the per-message
     // tag the runtime meters, and the documented config follows suit.
     if (authenticate) spec = spec.with_authentication(mpc::kMessageTagBits);
-    targets.push_back({spec.protocol, spec, documented_config(spec, q), std::move(run)});
+    targets.push_back({spec.protocol, spec, documented_config(spec, q), std::move(run), {}});
   };
   add(chase.protocol_spec(), 4, line_run(chase, [&] { return chase.make_initial_memory(input); },
                                          true));
@@ -199,9 +208,9 @@ int main(int argc, char** argv) {
 
   bool any_checked = false;
   bool any_violation = false;
+  std::ostringstream json_out;
   for (auto& t : targets) {
     if (which != "all" && which != t.name) continue;
-    any_checked = true;
 
     // Apply config overrides (shrinking below documented seeds violations).
     mpc::MpcConfig c = t.config;
@@ -213,28 +222,48 @@ int main(int argc, char** argv) {
     if (args.has("rounds")) c.max_rounds = args.get_u64("rounds", c.max_rounds);
     if (args.has("m-cap")) c.machines = args.get_u64("m-cap", c.machines);
 
-    std::cout << t.spec.summary() << "\n";
-    if (!t.note.empty()) std::cout << "  " << t.note << "\n";
-    std::cout << "  config: m=" << c.machines << " s=" << c.local_memory_bits
-              << " q=" << c.query_budget << " max_rounds=" << c.max_rounds << "\n";
+    if (!json) {
+      std::cout << t.spec.summary() << "\n";
+      if (!t.note.empty()) std::cout << "  " << t.note << "\n";
+      std::cout << "  config: m=" << c.machines << " s=" << c.local_memory_bits
+                << " q=" << c.query_budget << " max_rounds=" << c.max_rounds << "\n";
+    }
 
     analysis::AnalysisReport report = analysis::check_spec(t.spec, c);
-    std::cout << "  static: " << report.format() << "\n";
+    if (!json) std::cout << "  static: " << report.format() << "\n";
     any_violation = any_violation || !report.ok();
+
+    json_out << (any_checked ? "," : "") << "{\"name\":\"" << t.name << "\",\"config\":{"
+             << "\"machines\":" << c.machines << ",\"local_memory_bits\":" << c.local_memory_bits
+             << ",\"query_budget\":" << c.query_budget << ",\"max_rounds\":" << c.max_rounds
+             << "},\"static\":" << report.to_json();
+    any_checked = true;
 
     if (soundness) {
       if (!report.ok()) {
-        std::cout << "  soundness: skipped (static check failed; the run would "
-                     "trip the same guards at runtime)\n";
+        if (!json) {
+          std::cout << "  soundness: skipped (static check failed; the run would "
+                       "trip the same guards at runtime)\n";
+        }
+        json_out << ",\"soundness\":null";
       } else {
         mpc::MpcRunResult result = t.run(c);
         analysis::AnalysisReport sound = analysis::check_soundness(t.spec, result, c);
-        std::cout << "  soundness: " << sound.format() << " (rounds_used=" << result.rounds_used
-                  << ")\n";
+        if (!json) {
+          std::cout << "  soundness: " << sound.format() << " (rounds_used=" << result.rounds_used
+                    << ")\n";
+        }
+        json_out << ",\"soundness\":" << sound.to_json()
+                 << ",\"rounds_used\":" << result.rounds_used;
         any_violation = any_violation || !sound.ok();
       }
     }
-    std::cout << "\n";
+    json_out << "}";
+    if (!json) std::cout << "\n";
+  }
+  if (json && any_checked) {
+    std::cout << "{\"ok\":" << (any_violation ? "false" : "true") << ",\"strategies\":["
+              << json_out.str() << "]}\n";
   }
 
   if (!any_checked) {

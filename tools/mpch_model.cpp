@@ -1,0 +1,353 @@
+// mpch-model — systematic state-space exploration of the transport and
+// recovery protocols.
+//
+//   mpch-model                                  # explore all four protocols
+//   mpch-model --protocol inbox --bound machines=2,messages=3,faults=1
+//   mpch-model --mutate drop-seq-check --trace-out bug.trace
+//   mpch-model --mutation-matrix                # checker self-check: every
+//                                               # seeded protocol bug must
+//                                               # yield a counterexample
+//   mpch-model --replay bug.trace               # re-run a stored schedule
+//   mpch-model --format json
+//
+// The explorer (src/check/) drives the *production* transition cores —
+// transport/wire.hpp's InboxAssembler, transport/router_core.hpp's
+// RouterCore, fault/recovery_core.hpp's restart and quarantine policies —
+// through every bounded interleaving of deliveries, duplications, faults,
+// and verdicts, checking exactly-once canonical inbox order, broadcast
+// dedup, transcript equivalence, policy-spec conformance, livelock freedom,
+// and outcome confluence. Violations are shrunk to minimal schedules and
+// written as replayable trace files (see src/check/trace.hpp for the
+// format; fuzz/corpus/model_trace/ holds the regression corpus).
+//
+// Exit status: 0 clean (explored with no violation; matrix all-killed;
+// replayed schedule runs clean), 1 violation (counterexample found; matrix
+// survivor; replayed schedule reproduces its violation), 2 usage or
+// malformed trace.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/explorer.hpp"
+#include "check/models.hpp"
+#include "check/trace.hpp"
+#include "util/cli.hpp"
+
+using namespace mpch;
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Parse "machines=2,rounds=3,..." into ModelBounds; throws
+/// std::invalid_argument naming the offending key.
+check::ModelBounds parse_bounds(const std::string& text) {
+  check::ModelBounds bounds;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("--bound item '" + item + "' is not key=value");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value_text = item.substr(eq + 1);
+    std::uint64_t value = 0;
+    try {
+      value = std::stoull(value_text);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--bound " + key + "='" + value_text + "' is not a number");
+    }
+    if (key == "machines") bounds.machines = value;
+    else if (key == "rounds") bounds.rounds = value;
+    else if (key == "messages") bounds.messages = value;
+    else if (key == "faults") bounds.faults = value;
+    else if (key == "depth") bounds.depth = value;
+    else if (key == "states") bounds.states = value;
+    else throw std::invalid_argument("--bound key '" + key + "' is not machines/rounds/messages/faults/depth/states");
+  }
+  return bounds;
+}
+
+std::string bounds_summary(const check::ModelBounds& b) {
+  return "machines=" + std::to_string(b.machines) + ",rounds=" + std::to_string(b.rounds) +
+         ",messages=" + std::to_string(b.messages) + ",faults=" + std::to_string(b.faults) +
+         ",depth=" + std::to_string(b.depth) + ",states=" + std::to_string(b.states);
+}
+
+check::Explorer make_explorer(const check::ModelBounds& bounds) {
+  check::ExplorerOptions options;
+  options.max_depth = bounds.depth;
+  options.max_states = bounds.states;
+  return check::Explorer(options);
+}
+
+/// One explored protocol, for both output formats.
+struct ProtocolRun {
+  std::string protocol;
+  std::string mutation;
+  check::ExploreResult result;
+};
+
+ProtocolRun explore_one(const std::string& protocol, const check::ModelBounds& bounds,
+                        const std::string& mutation) {
+  std::unique_ptr<check::Model> model = check::make_model(protocol, bounds, mutation);
+  ProtocolRun run;
+  run.protocol = protocol;
+  run.mutation = mutation;
+  run.result = make_explorer(bounds).run(*model);
+  return run;
+}
+
+void print_text(const ProtocolRun& run) {
+  const check::ExploreStats& s = run.result.stats;
+  std::cout << run.protocol;
+  if (run.mutation != "none") std::cout << " [mutation: " << run.mutation << "]";
+  std::cout << ": " << (run.result.ok() ? "ok" : "VIOLATION") << " — " << s.states_explored
+            << " state(s), " << s.transitions << " transition(s), " << s.terminal_states
+            << " complete schedule(s) over " << s.terminal_fingerprints
+            << " distinct end state(s), deepest " << s.deepest << ", pruned "
+            << s.pruned_converged << " converged + " << s.pruned_sleep << " sleeping";
+  if (s.depth_bound_hit) std::cout << ", depth bound hit";
+  if (s.state_bound_hit) std::cout << ", state bound hit";
+  std::cout << "\n";
+  if (!run.result.ok()) {
+    const check::Counterexample& ce = *run.result.counterexample;
+    std::cout << "  violation: " << ce.violation << "\n";
+    std::cout << "  minimal schedule (" << ce.schedule.size() << " action(s)):\n";
+    for (const check::Action& a : ce.schedule) {
+      std::cout << "    " << a.label << "\n";
+    }
+  }
+}
+
+std::string to_json(const ProtocolRun& run) {
+  const check::ExploreStats& s = run.result.stats;
+  std::string json = "{\"protocol\":\"" + json_escape(run.protocol) + "\",\"mutation\":\"" +
+                     json_escape(run.mutation) + "\",\"ok\":" +
+                     (run.result.ok() ? "true" : "false") +
+                     ",\"states\":" + std::to_string(s.states_explored) +
+                     ",\"transitions\":" + std::to_string(s.transitions) +
+                     ",\"complete_schedules\":" + std::to_string(s.terminal_states) +
+                     ",\"terminal_fingerprints\":" + std::to_string(s.terminal_fingerprints) +
+                     ",\"deepest\":" + std::to_string(s.deepest) +
+                     ",\"pruned_converged\":" + std::to_string(s.pruned_converged) +
+                     ",\"pruned_sleep\":" + std::to_string(s.pruned_sleep) +
+                     ",\"depth_bound_hit\":" + (s.depth_bound_hit ? "true" : "false") +
+                     ",\"state_bound_hit\":" + (s.state_bound_hit ? "true" : "false");
+  if (!run.result.ok()) {
+    const check::Counterexample& ce = *run.result.counterexample;
+    json += ",\"violation\":\"" + json_escape(ce.violation) + "\",\"schedule\":[";
+    for (std::size_t i = 0; i < ce.schedule.size(); ++i) {
+      json += (i == 0 ? "" : ",");
+      json += "{\"key\":" + std::to_string(ce.schedule[i].key) + ",\"label\":\"" +
+              json_escape(ce.schedule[i].label) + "\"}";
+    }
+    json += "]";
+  }
+  return json + "}";
+}
+
+void save_counterexample(const std::string& path, const ProtocolRun& run,
+                         const check::ModelBounds& bounds) {
+  check::TraceFile trace;
+  trace.protocol = run.protocol;
+  trace.mutation = run.mutation;
+  trace.bound = bounds_summary(bounds);
+  trace.violation = run.result.counterexample->violation;
+  trace.schedule = run.result.counterexample->schedule;
+  check::save_trace(path, trace);
+}
+
+int run_replay(const std::string& path, const check::ModelBounds& bounds,
+               const std::string& format) {
+  check::TraceFile trace = check::load_trace(path);  // TraceError → caller's exit 2
+  std::unique_ptr<check::Model> model = check::make_model(trace.protocol, bounds, trace.mutation);
+  const check::ReplayOutcome outcome = make_explorer(bounds).replay(*model, trace.schedule);
+  const bool reproduced = outcome.violation.has_value();
+  if (format == "json") {
+    std::cout << "{\"replay\":\"" << json_escape(path) << "\",\"protocol\":\""
+              << json_escape(trace.protocol) << "\",\"mutation\":\""
+              << json_escape(trace.mutation) << "\",\"steps\":" << outcome.steps
+              << ",\"violation\":"
+              << (reproduced ? "\"" + json_escape(*outcome.violation) + "\"" : "null") << "}\n";
+  } else {
+    std::cout << "replay " << path << " (" << trace.protocol << ", mutation " << trace.mutation
+              << "): ";
+    if (reproduced) {
+      std::cout << "violation reproduced at step " << outcome.steps << "\n  " << *outcome.violation
+                << "\n";
+    } else {
+      std::cout << "schedule ran clean (" << outcome.steps << " step(s))\n";
+    }
+  }
+  return reproduced ? 1 : 0;
+}
+
+int run_matrix(const check::ModelBounds& bounds, const std::string& format,
+               const std::string& trace_dir) {
+  bool all_good = true;
+  std::string json = "{\"matrix\":[";
+  bool first = true;
+  // Clean baselines first: a checker that flags the unmutated protocol is
+  // as broken as one that misses every mutant.
+  for (const std::string& protocol : check::protocol_names()) {
+    const ProtocolRun run = explore_one(protocol, bounds, "none");
+    all_good = all_good && run.result.ok();
+    if (format == "json") {
+      json += (first ? "" : ",") + to_json(run);
+      first = false;
+    } else {
+      print_text(run);
+    }
+  }
+  for (const check::MutationSpec& spec : check::mutation_registry()) {
+    const ProtocolRun run = explore_one(spec.protocol, bounds, spec.name);
+    const bool killed = !run.result.ok();
+    all_good = all_good && killed;
+    if (killed && !trace_dir.empty()) {
+      save_counterexample(trace_dir + "/" + spec.name + ".trace", run, bounds);
+    }
+    if (format == "json") {
+      json += (first ? "" : ",") + to_json(run);
+      first = false;
+    } else {
+      const check::ExploreStats& s = run.result.stats;
+      std::cout << "mutant " << spec.name << " (" << spec.protocol << "): "
+                << (killed ? "killed" : "SURVIVED — the checker cannot see this bug") << " ("
+                << s.states_explored << " state(s)";
+      if (killed) {
+        std::cout << ", counterexample of " << run.result.counterexample->schedule.size()
+                  << " action(s)";
+      }
+      std::cout << ")\n";
+      if (killed) {
+        std::cout << "  " << run.result.counterexample->violation << "\n";
+      }
+    }
+  }
+  if (format == "json") {
+    std::cout << json << "],\"ok\":" << (all_good ? "true" : "false") << "}\n";
+  } else {
+    std::cout << (all_good ? "mutation matrix: every seeded bug produced a counterexample\n"
+                           : "mutation matrix: FAILED\n");
+  }
+  return all_good ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    util::CliArgs args(argc, argv);
+    if (args.get_bool("help", false)) {
+      std::cout
+          << "usage: mpch-model [--protocol all|inbox|broadcast|recovery|quarantine]\n"
+             "                  [--bound machines=2,rounds=2,messages=2,faults=1,depth=64,states=100000]\n"
+             "                  [--mutate <name>] [--mutation-matrix] [--trace-out <file>]\n"
+             "                  [--trace-dir <dir>] [--replay <file>] [--list-mutations]\n"
+             "                  [--format text|json]\n"
+             "  --mutate          : explore with one seeded protocol bug enabled\n"
+             "  --mutation-matrix : explore every seeded bug; each must be killed\n"
+             "  --trace-out       : write the counterexample as a replayable trace\n"
+             "  --trace-dir       : (matrix) write every mutant's counterexample there\n"
+             "  --replay          : re-run a stored trace against the current tree\n"
+             "exit: 0 clean, 1 violation/survivor/reproduced, 2 usage or bad trace\n";
+      return 0;
+    }
+
+    const std::string format = args.get_string("format", "text");
+    if (format != "text" && format != "json") {
+      std::cerr << "unknown --format '" << format << "' (text|json)\n";
+      return 2;
+    }
+    const check::ModelBounds bounds = parse_bounds(args.get_string("bound", ""));
+
+    if (args.get_bool("list-mutations", false)) {
+      for (const check::MutationSpec& spec : check::mutation_registry()) {
+        std::cout << spec.name << " (" << spec.protocol << "): " << spec.description << "\n";
+      }
+      return 0;
+    }
+    if (args.has("replay")) {
+      try {
+        return run_replay(args.get_string("replay", ""), bounds, format);
+      } catch (const check::TraceError& e) {
+        std::cerr << "mpch-model: " << e.what() << "\n";
+        return 2;
+      } catch (const check::ReplayError& e) {
+        std::cerr << "mpch-model: " << e.what() << "\n";
+        return 2;
+      }
+    }
+    if (args.get_bool("mutation-matrix", false)) {
+      return run_matrix(bounds, format, args.get_string("trace-dir", ""));
+    }
+
+    const std::string mutation = args.get_string("mutate", "none");
+    std::string protocol = args.get_string("protocol", "all");
+    if (mutation != "none") {
+      // A mutation names its protocol; --protocol may confirm but not conflict.
+      for (const check::MutationSpec& spec : check::mutation_registry()) {
+        if (spec.name == mutation && protocol == "all") protocol = spec.protocol;
+      }
+    }
+
+    std::vector<std::string> protocols;
+    if (protocol == "all") {
+      protocols = check::protocol_names();
+    } else {
+      protocols.push_back(protocol);
+    }
+
+    bool violated = false;
+    std::string json = "{\"protocols\":[";
+    bool first = true;
+    for (const std::string& p : protocols) {
+      const ProtocolRun run = explore_one(p, bounds, mutation);
+      violated = violated || !run.result.ok();
+      if (!run.result.ok() && args.has("trace-out")) {
+        save_counterexample(args.get_string("trace-out", ""), run, bounds);
+      }
+      if (format == "json") {
+        json += (first ? "" : ",") + to_json(run);
+        first = false;
+      } else {
+        print_text(run);
+      }
+    }
+    if (format == "json") std::cout << json << "],\"ok\":" << (violated ? "false" : "true") << "}\n";
+
+    for (const auto& unused : args.unused()) {
+      std::cerr << "warning: unused flag --" << unused << "\n";
+    }
+    return violated ? 1 : 0;
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "mpch-model: " << e.what() << "\n";
+    return 2;
+  }
+}
