@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 #include "core/line.hpp"
+#include "serve/service.hpp"
 #include "strategies/batch_pointer_chasing.hpp"
 #include "transport/transport.hpp"
 #include "util/cli.hpp"
@@ -36,9 +37,10 @@ int main(int argc, char** argv) {
   const std::string transport_name = args.get_string("transport", "in-process");
   const transport::TransportKind transport_kind = transport::parse_transport_kind(transport_name);
   const std::uint64_t repeats = args.get_u64("repeats", 5);
+  const bool serve_mode = args.get_bool("serve", false);
   if (!args.unused().empty()) {
     std::cerr << "unknown flag --" << args.unused().front()
-              << " (supported: --transport, --repeats)\n";
+              << " (supported: --transport, --repeats, --serve)\n";
     return 2;
   }
 
@@ -186,5 +188,49 @@ int main(int argc, char** argv) {
   std::cout << "\nnote: speedup tracks min(threads, m, hardware cores); on a single-core\n"
                "host the table demonstrates determinism (output_identical) rather than\n"
                "speed. Record multi-core numbers in EXPERIMENTS.md.\n";
+
+  // --serve: the other axis of throughput — many independent *jobs* through
+  // the mpch-serve worker pool (job-level parallelism) instead of one run
+  // with round-level parallelism. Batch size fixed, worker count swept;
+  // outputs must agree across all worker counts (serve's cornerstone).
+  if (serve_mode) {
+    std::cout << "\nserve mode: " << repeats * 8
+              << " batch-pointer-chasing jobs through the mpch-serve pool:\n";
+    util::Table ts({"workers", "runs_per_sec", "p50_ms", "p99_ms", "results_identical"});
+    std::vector<serve::JobSpec> jobs(repeats * 8);
+    for (std::uint64_t i = 0; i < jobs.size(); ++i) {
+      jobs[i].verb = serve::JobVerb::kSimulate;
+      jobs[i].strategy = "batch-pointer-chasing";
+      jobs[i].seed = 1 + i % 8;
+      jobs[i].transport = transport_kind;
+    }
+    std::vector<util::BitString> baseline;
+    for (std::uint64_t workers : {1, 2, 4, 8}) {
+      serve::ServeService service(serve::ServeOptions{workers, 64, true, true});
+      auto results = service.run_jobs(jobs);
+      std::vector<double> walls;
+      bool identical = true;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].status != serve::JobStatus::kOk) {
+          std::cerr << "serve job failed: " << results[i].error << "\n";
+          return 1;
+        }
+        walls.push_back(results[i].wall_ms);
+        if (workers == 1) {
+          baseline.push_back(results[i].run.output);
+        } else {
+          identical = identical && results[i].run.output == baseline[i];
+        }
+      }
+      ts.add(workers, util::format_double(service.stats().runs_per_sec, 2),
+             util::format_double(percentile(walls, 0.50), 2),
+             util::format_double(percentile(walls, 0.99), 2), identical);
+      if (!identical) {
+        std::cerr << "serve results diverged across worker counts\n";
+        return 1;
+      }
+    }
+    ts.print(std::cout);
+  }
   return 0;
 }

@@ -1,0 +1,24 @@
+// libFuzzer harness for the mpch-serve jobfile grammar (serve/job_spec.hpp).
+//
+// parse_jobfile consumes attacker-adjacent text (jobfiles arrive from
+// scripts, sweep generators, stdin pipes). JobSpecError is its defined
+// rejection path; a jobfile that parses also has every expanded spec pushed
+// through describe() so formatting is exercised. The pre-allocation caps
+// (kMaxRepeat, kMaxJobs) must hold: a hostile repeat count is one
+// comparison, never an allocation — anything escaping besides JobSpecError
+// is a bug.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "serve/job_spec.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const std::vector<mpch::serve::JobSpec> jobs = mpch::serve::parse_jobfile(text);
+    for (const auto& job : jobs) (void)job.describe();
+  } catch (const mpch::serve::JobSpecError&) {
+  }
+  return 0;
+}

@@ -166,6 +166,13 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
   std::vector<util::BitString> outputs;
   bool any_output = false;
 
+  // Per-machine slots live across rounds: their outbox vectors and the slot
+  // array itself keep their capacity, so steady-state rounds run without
+  // re-allocating the phase-A scaffolding. All per-round fields are reset at
+  // the top of each round.
+  std::vector<MachineSlot> slots(config_.machines);
+  RoundArena& buffers = arena();
+
   for (std::uint64_t round = start_round; round < config_.max_rounds; ++round) {
     if (observer != nullptr) observer->before_round(round);
     result.trace.begin_round(round);
@@ -186,9 +193,9 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
     std::vector<std::vector<Message>> plain_inboxes;
     const bool stripped = auth && round > 0;
     if (stripped) {
-      plain_inboxes.reserve(config_.machines);
+      plain_inboxes = buffers.acquire(config_.machines);
       for (std::uint64_t i = 0; i < config_.machines; ++i) {
-        plain_inboxes.push_back(strip_tags(inboxes[i]));
+        plain_inboxes[i] = strip_tags(inboxes[i]);
       }
     }
 
@@ -196,18 +203,23 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
     // round a machine sees only its own inbox, the shared tape, and its
     // budgeted oracle view, so machines are independent and any execution
     // order (including concurrent) is model-equivalent.
-    std::vector<MachineSlot> slots(config_.machines);
     for (std::uint64_t i = 0; i < config_.machines; ++i) {
-      slots[i].io.round = round;
-      slots[i].io.machine = i;
-      slots[i].io.machines = config_.machines;
-      slots[i].io.authenticate = auth;
-      slots[i].io.tape_seed = config_.tape_seed;
-      slots[i].io.inbox = stripped ? &plain_inboxes[i] : &inboxes[i];
-      slots[i].oracle = oracle_ ? oracles[i].get() : nullptr;
-      slots[i].transport = transport.get();
-      slots[i].crashed = observer != nullptr && !observer->machine_runs(round, i);
-      slots[i].scratch.begin_round(round);
+      MachineSlot& slot = slots[i];
+      slot.io.round = round;
+      slot.io.machine = i;
+      slot.io.machines = config_.machines;
+      slot.io.authenticate = auth;
+      slot.io.tape_seed = config_.tape_seed;
+      slot.io.inbox = stripped ? &plain_inboxes[i] : &inboxes[i];
+      slot.io.outbox.clear();
+      slot.io.output.reset();
+      slot.scratch = RoundTrace{};
+      slot.oracle = oracle_ ? oracles[i].get() : nullptr;
+      slot.transport = transport.get();
+      slot.crashed = observer != nullptr && !observer->machine_runs(round, i);
+      slot.staged = false;
+      slot.error = nullptr;
+      slot.scratch.begin_round(round);
     }
     if (parallel) {
       run_round_parallel(algo, slots, tape);
@@ -262,7 +274,7 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
     // machine's merged deliveries come back in the canonical (sender index,
     // send order) inbox order — identical across backends.
     transport->flush(round);
-    std::vector<std::vector<Message>> next_inboxes(config_.machines);
+    std::vector<std::vector<Message>> next_inboxes = buffers.acquire(config_.machines);
     for (std::uint64_t j = 0; j < config_.machines; ++j) {
       next_inboxes[j] = transport->receive(round, j);
     }
@@ -320,12 +332,16 @@ MpcRunResult MpcSimulation::run_rounds(MpcAlgorithm& algo, std::uint64_t start_r
       snapshot.attestations = &attestations;
       observer->after_round(snapshot);
     }
+    if (stripped) buffers.release(std::move(plain_inboxes));
     if (any_output) {
       result.completed = true;
+      buffers.release(std::move(next_inboxes));
       break;
     }
+    buffers.release(std::move(inboxes));
     inboxes = std::move(next_inboxes);
   }
+  buffers.release(std::move(inboxes));
 
   // Canonicalise the transcript to the (round, machine, seq) order — a no-op
   // after serial rounds, the determinism step after parallel ones.

@@ -37,6 +37,7 @@
 
 #include "hash/oracle_transcript.hpp"
 #include "hash/random_oracle.hpp"
+#include "mpc/arena.hpp"
 #include "mpc/auth.hpp"
 #include "mpc/message.hpp"
 #include "mpc/shared_tape.hpp"
@@ -237,6 +238,14 @@ class MpcSimulation {
     transport_factory_ = std::move(factory);
   }
 
+  /// Recycle round-loop buffers through an externally-owned arena instead of
+  /// this simulation's private one — mpch-serve workers pass their per-worker
+  /// arena so buffer capacity survives *across jobs*, not just across rounds.
+  /// The arena is touched only on the thread driving run()/resume(); the
+  /// caller must not share one arena between concurrently-running
+  /// simulations. Pass nullptr to return to the private arena.
+  void set_arena(RoundArena* arena) { external_arena_ = arena; }
+
  private:
   struct MachineSlot;
 
@@ -252,9 +261,16 @@ class MpcSimulation {
 
   std::unique_ptr<transport::Transport> make_run_transport() const;
 
+  RoundArena& arena() { return external_arena_ != nullptr ? *external_arena_ : own_arena_; }
+
   MpcConfig config_;
   std::shared_ptr<hash::RandomOracle> oracle_;
   TransportFactory transport_factory_;
+  /// Buffer recycling for the round loop (mpc/arena.hpp). The private arena
+  /// makes every multi-round run reuse its own inbox-set storage; serve
+  /// workers override it via set_arena to extend the reuse across jobs.
+  RoundArena own_arena_;
+  RoundArena* external_arena_ = nullptr;
   /// Lazily-created pool sized to config_.threads (not the host's core
   /// count): the parallelism degree is part of the experiment configuration,
   /// and a dedicated pool keeps nested simulations (e.g. inside stats/trials

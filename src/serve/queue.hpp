@@ -1,0 +1,84 @@
+// queue.hpp — the bounded job queue that gives mpch-serve backpressure.
+//
+// The submitter thread pushes parsed jobs; worker threads pop them. The
+// capacity bound is the backpressure mechanism: when workers fall behind, a
+// push blocks instead of letting a million-line jobfile materialise a
+// million queued jobs in memory. Instrumented so the service can report how
+// often the submitter actually stalled (backpressure_waits) and how full the
+// queue ever got (high_watermark).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace mpch::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` must be >= 1; a capacity-1 queue serialises submission
+  /// against consumption (the degenerate full-backpressure case the tests
+  /// exercise).
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Block until there is room, then enqueue. Push-after-close is a
+  /// programming error; it is ignored rather than crashing a worker.
+  void push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) {
+      ++backpressure_waits_;
+      not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    }
+    if (closed_) return;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_watermark_) high_watermark_ = items_.size();
+    not_empty_.notify_one();
+  }
+
+  /// Block until an item arrives or the queue is closed and drained.
+  /// Returns false only in the closed-and-drained case.
+  bool pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// No more pushes; poppers drain what is left, then get false.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::uint64_t backpressure_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return backpressure_waits_;
+  }
+
+  std::size_t high_watermark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_watermark_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  std::uint64_t backpressure_waits_ = 0;
+  std::size_t high_watermark_ = 0;
+};
+
+}  // namespace mpch::serve

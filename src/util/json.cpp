@@ -1,0 +1,162 @@
+#include "util/json.hpp"
+
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace mpch::util {
+
+std::string JsonWriter::escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 2);
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[c >> 4];
+          out += hex[c & 0xF];
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::begin_value(bool is_key) {
+  if (started_ && stack_.empty()) {
+    throw std::logic_error("JsonWriter: document already complete");
+  }
+  if (!stack_.empty()) {
+    const bool in_object = stack_.back() == Frame::kObject;
+    if (in_object && !is_key && !expecting_value_) {
+      throw std::logic_error("JsonWriter: object member needs a key first");
+    }
+    if (in_object && is_key && expecting_value_) {
+      throw std::logic_error("JsonWriter: key written twice without a value");
+    }
+    if (!in_object && is_key) {
+      throw std::logic_error("JsonWriter: key inside an array");
+    }
+    // A key opens the member (comma before it); its value follows bare.
+    if (!expecting_value_) {
+      if (!first_in_frame_.back()) out_ += ',';
+      first_in_frame_.back() = false;
+    }
+  } else if (is_key) {
+    throw std::logic_error("JsonWriter: key at top level");
+  }
+  started_ = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value(false);
+  expecting_value_ = false;
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  first_in_frame_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || expecting_value_) {
+    throw std::logic_error("JsonWriter: end_object without a matching open object");
+  }
+  out_ += '}';
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value(false);
+  expecting_value_ = false;
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  first_in_frame_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray) {
+    throw std::logic_error("JsonWriter: end_array without a matching open array");
+  }
+  out_ += ']';
+  stack_.pop_back();
+  first_in_frame_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  begin_value(true);
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  expecting_value_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  begin_value(false);
+  expecting_value_ = false;
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  begin_value(false);
+  expecting_value_ = false;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  begin_value(false);
+  expecting_value_ = false;
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  begin_value(false);
+  expecting_value_ = false;
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_double(double v, int decimals) {
+  begin_value(false);
+  expecting_value_ = false;
+  out_ += format_double(v, decimals);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  begin_value(false);
+  expecting_value_ = false;
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace mpch::util

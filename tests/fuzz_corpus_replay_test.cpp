@@ -20,6 +20,7 @@
 #include "fault/checkpoint.hpp"
 #include "fault/fault_plan.hpp"
 #include "ram/machine.hpp"
+#include "serve/job_spec.hpp"
 #include "transport/wire.hpp"
 #include "util/bitstring.hpp"
 #include "verify/program_decoder.hpp"
@@ -75,6 +76,25 @@ TEST(FuzzCorpusReplay, FaultPlanCorpusRejectsOrParsesTyped) {
     ++replayed;
   }
   EXPECT_GE(replayed, 10u) << "fault-plan corpus went missing — check fuzz/corpus/fault_plan";
+}
+
+TEST(FuzzCorpusReplay, JobSpecCorpusRejectsOrParsesTyped) {
+  // Mirrors fuzz/fuzz_job_spec.cpp: the jobfile grammar must accept or
+  // reject through JobSpecError only — hostile repeat counts, duplicate
+  // keys, unknown verbs, truncation, and binary garbage all included.
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_root() / "job_spec")) {
+    SCOPED_TRACE(entry.path().string());
+    std::vector<std::uint8_t> bytes = read_file(entry.path());
+    std::string text(bytes.begin(), bytes.end());
+    try {
+      const std::vector<mpch::serve::JobSpec> jobs = mpch::serve::parse_jobfile(text);
+      for (const auto& job : jobs) (void)job.describe();
+    } catch (const mpch::serve::JobSpecError&) {
+    }
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 12u) << "job-spec corpus went missing — check fuzz/corpus/job_spec";
 }
 
 TEST(FuzzCorpusReplay, RamProgramCorpusRejectsOrVerifiesTyped) {

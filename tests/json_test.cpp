@@ -1,0 +1,80 @@
+// Tests for util::JsonWriter (util/json.hpp): structural output, escaping,
+// number formatting, and the std::logic_error misuse guards.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace {
+
+using mpch::util::JsonWriter;
+
+TEST(JsonWriter, ProducesExpectedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.member("name", "serve");
+  w.member("count", std::uint64_t{2});
+  w.member("neg", std::int64_t{-4});
+  w.member("flag", false);
+  w.key("xs").begin_array().value(std::uint64_t{1}).value(std::uint64_t{2}).end_array();
+  w.member_double("ms", 1.5);
+  w.key("none").value_null();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"serve\",\"count\":2,\"neg\":-4,\"flag\":false,"
+            "\"xs\":[1,2],\"ms\":1.5,\"none\":null}");
+}
+
+TEST(JsonWriter, EscapesStrings) {
+  JsonWriter w;
+  w.begin_array();
+  w.value("quote\" backslash\\ newline\n tab\t bell\x07");
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\"quote\\\" backslash\\\\ newline\\n tab\\t bell\\u0007\"]");
+}
+
+TEST(JsonWriter, DoubleFormattingTrimsZeros) {
+  JsonWriter w;
+  w.begin_array();
+  w.value_double(3.0);
+  w.value_double(0.125, 3);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[3,0.125]");
+}
+
+TEST(JsonWriter, MisuseThrowsLogicError) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value("no key"), std::logic_error);
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.key("keys only in objects"), std::logic_error);
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("pending");
+    EXPECT_THROW(w.end_object(), std::logic_error);
+  }
+}
+
+TEST(JsonWriter, CompleteOnlyWhenClosed) {
+  JsonWriter w;
+  EXPECT_FALSE(w.complete());
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Tests for the ServeService execution engine (serve/service.hpp): budget
+// admission rejects with static-checker provenance before running,
+// backpressure engages under a tiny queue, the shared oracle memo actually
+// gets hit on repeated-seed sweeps, and every verb produces the result
+// surfaces the CLI reports.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/job_spec.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using mpch::serve::JobResult;
+using mpch::serve::JobSpec;
+using mpch::serve::JobStatus;
+using mpch::serve::JobVerb;
+using mpch::serve::ServeOptions;
+using mpch::serve::ServeService;
+
+JobSpec simulate_spec(const std::string& strategy, std::uint64_t seed) {
+  JobSpec spec;
+  spec.verb = JobVerb::kSimulate;
+  spec.strategy = strategy;
+  spec.seed = seed;
+  spec.source_line = 1;
+  return spec;
+}
+
+TEST(ServeService, BudgetRejectionCarriesProvenance) {
+  JobSpec spec = simulate_spec("dictionary", 11);
+  spec.budget_bits = 512;  // dictionary's declared gather is far larger
+  spec.source_line = 7;
+  ServeService service(ServeOptions{1, 4, true, true});
+  auto results = service.run_jobs({spec});
+  ASSERT_EQ(results.size(), 1u);
+  const JobResult& r = results[0];
+  EXPECT_EQ(r.status, JobStatus::kRejected);
+  // The job never executed: no rounds, no oracle, and the admission report
+  // carries the static checker's diagnostics with machine/round provenance.
+  EXPECT_FALSE(r.run.completed);
+  EXPECT_EQ(r.oracle, nullptr);
+  ASSERT_FALSE(r.admission.violations.empty());
+  EXPECT_NE(r.error.find("line 7"), std::string::npos) << r.error;
+  EXPECT_NE(r.error.find("512"), std::string::npos) << r.error;
+  EXPECT_EQ(service.stats().rejected, 1u);
+  EXPECT_EQ(service.stats().ok, 0u);
+}
+
+TEST(ServeService, GenerousBudgetAdmits) {
+  JobSpec spec = simulate_spec("pointer-chasing", 11);
+  spec.budget_bits = 1 << 20;
+  auto results = ServeService(ServeOptions{1, 4, true, true}).run_jobs({spec});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, JobStatus::kOk);
+  EXPECT_TRUE(results[0].admission.ok());
+  EXPECT_TRUE(results[0].run.completed);
+}
+
+TEST(ServeService, UnknownStrategyFailsTyped) {
+  auto results = ServeService().run_jobs({simulate_spec("nonesuch", 1)});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, JobStatus::kFailed);
+  EXPECT_NE(results[0].error.find("unknown strategy"), std::string::npos) << results[0].error;
+}
+
+TEST(ServeService, BackpressureEngagesUnderTinyQueue) {
+  // queue_depth=1 with a single worker: the submitter can hold at most one
+  // queued job, so pushing 6 jobs must stall it at least once, and the
+  // high watermark can never exceed the capacity bound.
+  std::vector<JobSpec> jobs;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    jobs.push_back(simulate_spec("ram-emulation", seed));
+  }
+  ServeService service(ServeOptions{1, 1, true, true});
+  auto results = service.run_jobs(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (const auto& r : results) EXPECT_EQ(r.status, JobStatus::kOk) << r.error;
+  EXPECT_GE(service.stats().backpressure_waits, 1u);
+  EXPECT_LE(service.stats().queue_high_watermark, 1u);
+}
+
+TEST(ServeService, SharedMemoHitsOnRepeatedSeeds) {
+  // Same strategy + seed twice: the second job's oracle queries the same
+  // sub-function, so with sharing on it must hit the process-wide memo —
+  // and both runs must still be bit-identical to each other.
+  std::vector<JobSpec> jobs = {simulate_spec("pointer-chasing", 11),
+                               simulate_spec("pointer-chasing", 11)};
+  ServeService shared(ServeOptions{1, 4, /*share_memo=*/true, true});
+  auto on = shared.run_jobs(jobs);
+  EXPECT_GT(shared.stats().memo_hits, 0u);
+  EXPECT_EQ(shared.stats().memo_families, 1u);
+
+  ServeService unshared(ServeOptions{1, 4, /*share_memo=*/false, true});
+  auto off = unshared.run_jobs(jobs);
+  EXPECT_EQ(unshared.stats().memo_hits, 0u);
+  EXPECT_EQ(unshared.stats().memo_families, 0u);
+
+  ASSERT_EQ(on.size(), 2u);
+  ASSERT_EQ(off.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(on[i].status, JobStatus::kOk);
+    EXPECT_EQ(on[i].run.output, off[i].run.output);
+    EXPECT_EQ(on[i].run.rounds_used, off[i].run.rounds_used);
+    ASSERT_NE(on[i].oracle, nullptr);
+    EXPECT_EQ(on[i].oracle->total_queries(), off[i].oracle->total_queries());
+    EXPECT_EQ(on[i].oracle->touched_table(), off[i].oracle->touched_table());
+  }
+}
+
+TEST(ServeService, BufferReuseRecyclesAcrossJobs) {
+  std::vector<JobSpec> jobs;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    jobs.push_back(simulate_spec("pointer-chasing", seed));
+  }
+  ServeService service(ServeOptions{1, 4, true, /*reuse_buffers=*/true});
+  auto results = service.run_jobs(jobs);
+  for (const auto& r : results) EXPECT_EQ(r.status, JobStatus::kOk) << r.error;
+  // Rounds far outnumber jobs, so steady-state acquires must be reuses.
+  EXPECT_GT(service.stats().arena_reuses, service.stats().arena_allocations);
+}
+
+TEST(ServeService, VerifyVerbRunsSoundnessCheck) {
+  JobSpec spec = simulate_spec("ram-emulation", 7);
+  spec.verb = JobVerb::kVerify;
+  auto results = ServeService().run_jobs({spec});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, JobStatus::kOk) << results[0].error;
+  EXPECT_TRUE(results[0].soundness.ok());
+  EXPECT_TRUE(results[0].run.completed);
+}
+
+TEST(ServeService, ChaosVerbRecoversAndVerifies) {
+  JobSpec spec = simulate_spec("pointer-chasing", 11);
+  spec.verb = JobVerb::kChaos;
+  spec.plan = "kill:round=4";
+  spec.policy = "restart";
+  spec.every = 2;
+  auto results = ServeService().run_jobs({spec});
+  ASSERT_EQ(results.size(), 1u);
+  const JobResult& r = results[0];
+  EXPECT_EQ(r.status, JobStatus::kOk) << r.error;
+  EXPECT_TRUE(r.mismatches.empty());
+  EXPECT_FALSE(r.fault_log.empty());
+  EXPECT_GE(r.cost.faults_injected, 1u);
+  EXPECT_GE(r.cost.recoveries, 1u);
+}
+
+TEST(ServeService, ResultsKeepJobfileOrderAcrossWorkers) {
+  std::vector<JobSpec> jobs;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    jobs.push_back(simulate_spec("ram-emulation", seed));
+    jobs.back().source_line = seed;
+  }
+  auto results = ServeService(ServeOptions{4, 2, true, true}).run_jobs(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].job_id, i);
+    EXPECT_EQ(results[i].spec.seed, jobs[i].seed);
+  }
+}
+
+}  // namespace

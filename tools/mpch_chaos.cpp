@@ -5,6 +5,7 @@
 //   mpch-chaos --strategy ram-emulation --plan "drop:round=2,to=0,index=0" \
 //              --policy restart --every 1 --threads 8
 //   mpch-chaos --plan crash:machine=1,round=2 --policy none   # unprotected
+//   mpch-chaos --plan kill:round=4 --policy restart --format json
 //
 // Runs one strategy twice: once fault-free (the reference), once under the
 // fault plan with the chosen recovery policy. Because the simulator is
@@ -12,7 +13,9 @@
 // output, round stats, oracle transcript, and materialised oracle table must
 // all be identical to the fault-free run, and this tool checks every one of
 // them. It then prints a recovery-cost report (extra rounds, re-executed
-// machine-rounds, snapshot bytes).
+// machine-rounds, snapshot bytes). Scenarios come from the shared serve
+// catalog (src/serve/scenario.hpp), so a chaos job submitted through
+// mpch-serve runs the exact same construction as this tool.
 //
 // Policies: restart (RestartFromCheckpoint, snapshot every --every rounds),
 // replicate (ReplicateRound, dual re-execution + equality check), quarantine
@@ -28,6 +31,9 @@
 // --policy none it is auto-enabled when the plan carries flip/forge, since
 // MACs are what makes those detectable.
 //
+// --format json emits one machine-readable report object instead of the text
+// report; exit semantics are identical either way.
+//
 // Exit status: 0 recovered and verified; 1 unrecoverable fault, replica
 // divergence, verification mismatch, or a typed Byzantine detection under
 // --policy none; 2 usage error.
@@ -36,187 +42,100 @@
 #include <string>
 #include <vector>
 
-#include "core/line.hpp"
 #include "fault/checkpoint.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "fault/recovery.hpp"
 #include "hash/random_oracle.hpp"
 #include "mpc/simulation.hpp"
-#include "ram/machine.hpp"
-#include "ram/programs.hpp"
-#include "strategies/batch_pointer_chasing.hpp"
-#include "strategies/colluding.hpp"
-#include "strategies/dictionary.hpp"
-#include "strategies/full_memory.hpp"
-#include "strategies/pipelined_simline.hpp"
-#include "strategies/pointer_chasing.hpp"
-#include "strategies/ram_emulation.hpp"
-#include "strategies/speculative.hpp"
+#include "serve/scenario.hpp"
 #include "util/cli.hpp"
-#include "util/rng.hpp"
+#include "util/json.hpp"
 
 using namespace mpch;
 
 namespace {
 
-const char* const kStrategies[] = {
-    "pointer-chasing", "batch-pointer-chasing", "speculative", "pipelined-simline",
-    "colluding",       "dictionary",            "full-memory", "ram-emulation",
+/// Everything one invocation learns, for the --format json emitter. Text
+/// mode prints incrementally (so long runs stream); JSON mode collects here
+/// and emits once at exit.
+struct Report {
+  std::string strategy;
+  std::uint64_t seed = 0;
+  std::uint64_t threads = 0;
+  std::string policy;
+  std::string plan;
+  std::string transport;
+  bool authenticate = false;
+  bool auth_auto = false;
+  bool ref_completed = false;
+  std::uint64_t ref_rounds = 0;
+  bool ran = false;
+  bool run_completed = false;
+  std::uint64_t run_rounds = 0;
+  std::uint64_t faults_applied = 0;
+  std::uint64_t faults_planned = 0;
+  bool has_cost = false;
+  fault::RecoveryCost cost;
+  std::vector<std::string> fault_log;
+  std::vector<std::string> mismatches;
+  std::vector<std::string> detections;
+  std::string error;
 };
 
-/// One runnable (config, algorithm, input, oracle recipe) bundle. Built fresh
-/// per execution so strategy-internal counters never leak between the
-/// reference run and the chaos run.
-struct Scenario {
-  mpc::MpcConfig config;
-  std::shared_ptr<mpc::MpcAlgorithm> algo;
-  std::vector<util::BitString> initial;
-  fault::ChaosHarness::OracleFactory oracle_factory;  // returns null for plain model
-  std::shared_ptr<const core::LineInput> truth;  // outlives algo (speculative holds a pointer)
-};
-
-mpc::MpcConfig base_config(std::uint64_t m, std::uint64_t s, std::uint64_t q,
-                           std::uint64_t threads, std::uint64_t max_rounds = 20000) {
-  mpc::MpcConfig c;
-  c.machines = m;
-  c.local_memory_bits = s;
-  c.query_budget = q;
-  c.max_rounds = max_rounds;
-  c.tape_seed = 5;
-  c.threads = threads;
-  return c;
-}
-
-Scenario make_scenario(const std::string& name, std::uint64_t seed, std::uint64_t threads) {
-  Scenario s;
-  auto oracle_for = [seed](std::uint64_t n) -> fault::ChaosHarness::OracleFactory {
-    return [n, seed] { return std::make_shared<hash::LazyRandomOracle>(n, n, seed); };
-  };
-
-  if (name == "pointer-chasing") {
-    core::LineParams p = core::LineParams::make(64, 16, 8, 96);
-    util::Rng rng(seed + 1);
-    core::LineInput input = core::LineInput::random(p, rng);
-    auto strat = std::make_shared<strategies::PointerChasingStrategy>(
-        p, strategies::OwnershipPlan::round_robin(p, 4));
-    s.config = base_config(4, strat->required_local_memory(), 1 << 20, threads);
-    s.initial = strat->make_initial_memory(input);
-    s.algo = strat;
-    s.oracle_factory = oracle_for(p.n);
-  } else if (name == "batch-pointer-chasing") {
-    core::LineParams p = core::LineParams::make(64, 16, 8, 128);
-    std::vector<core::LineInput> inputs;
-    for (std::uint64_t i = 0; i < 4; ++i) {
-      util::Rng rng(seed * 100 + i);
-      inputs.push_back(core::LineInput::random(p, rng));
-    }
-    auto strat = std::make_shared<strategies::BatchPointerChasingStrategy>(
-        p, strategies::OwnershipPlan::round_robin(p, 4), 4);
-    s.config = base_config(4, strat->required_local_memory(), 1 << 20, threads);
-    s.initial = strat->make_initial_memory(inputs);
-    s.algo = strat;
-    s.oracle_factory = oracle_for(p.n);
-  } else if (name == "speculative") {
-    // u = 16 with a small guess budget: stalls essentially never escape, so
-    // the run lasts long enough for mid-flight faults to land.
-    core::LineParams p = core::LineParams::make(64, 16, 8, 96);
-    util::Rng rng(seed * 3 + 7);
-    auto input = std::make_shared<core::LineInput>(core::LineInput::random(p, rng));
-    s.truth = input;
-    auto strat = std::make_shared<strategies::SpeculativeStrategy>(
-        p, strategies::OwnershipPlan::round_robin(p, 4), strategies::SpeculativeConfig{4, true},
-        *input);
-    s.config = base_config(4, strat->required_local_memory(), 1 << 20, threads);
-    s.initial = strat->make_initial_memory(*input);
-    s.algo = strat;
-    s.oracle_factory = oracle_for(p.n);
-  } else if (name == "pipelined-simline") {
-    core::LineParams p = core::LineParams::make(64, 16, 16, 256);
-    util::Rng rng(seed + 2);
-    core::LineInput input = core::LineInput::random(p, rng);
-    auto strat = std::make_shared<strategies::PipelinedSimLineStrategy>(
-        p, strategies::OwnershipPlan::windows(p, 4, 4));
-    s.config = base_config(4, strat->required_local_memory(), 1 << 20, threads);
-    s.initial = strat->make_initial_memory(input);
-    s.algo = strat;
-    s.oracle_factory = oracle_for(p.n);
-  } else if (name == "colluding") {
-    core::LineParams p = core::LineParams::make(64, 16, 8, 96);
-    util::Rng rng(seed + 3);
-    core::LineInput input = core::LineInput::random(p, rng);
-    auto strat = std::make_shared<strategies::ColludingStrategy>(
-        p, strategies::OwnershipPlan::round_robin(p, 4));
-    s.config = base_config(4, strat->required_local_memory(), 1 << 20, threads);
-    s.initial = strat->make_initial_memory(input);
-    s.algo = strat;
-    s.oracle_factory = oracle_for(p.n);
-  } else if (name == "dictionary") {
-    core::LineParams p = core::LineParams::make(64, 16, 32, 128);
-    util::Rng rng(seed + 4);
-    core::LineInput input = strategies::make_low_entropy_input(p, 2, rng);
-    auto strat = std::make_shared<strategies::DictionaryStrategy>(p, 4);
-    s.config = base_config(4, strat->gathered_bits(2), p.w + 1, threads, 10);
-    s.initial = strat->make_initial_memory(input);
-    s.algo = strat;
-    s.oracle_factory = oracle_for(p.n);
-  } else if (name == "full-memory") {
-    core::LineParams p = core::LineParams::make(64, 16, 8, 256);
-    util::Rng rng(seed + 5);
-    core::LineInput input = core::LineInput::random(p, rng);
-    auto strat = std::make_shared<strategies::FullMemoryStrategy>(
-        p, strategies::OwnershipPlan::round_robin(p, 4));
-    s.config = base_config(4, strat->required_local_memory(), p.w + 1, threads, 10);
-    s.initial = strat->make_initial_memory(input);
-    s.algo = strat;
-    s.oracle_factory = oracle_for(p.n);
-  } else if (name == "ram-emulation") {
-    const std::uint64_t n = 8;
-    std::vector<std::uint64_t> memory(n);
-    for (std::uint64_t i = 0; i < n; ++i) memory[i] = (seed * 7 + i * 3) % 97;
-    std::vector<ram::Instruction> prog = ram::programs::sum(n);
-    auto strat = std::make_shared<strategies::RamEmulationStrategy>(prog, 4, 1);
-    s.config = base_config(4, strat->required_local_memory(memory.size()), 1, threads, 1 << 20);
-    s.initial = strat->make_initial_memory(memory);
-    s.algo = strat;
-    s.oracle_factory = [] { return std::shared_ptr<hash::LazyRandomOracle>(); };
-  } else {
-    throw std::invalid_argument("unknown strategy '" + name + "' (try --list)");
+void emit_json(const Report& r, int exit_code) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.member("strategy", r.strategy);
+  w.member("seed", r.seed);
+  w.member("threads", r.threads);
+  w.member("policy", r.policy);
+  w.member("plan", r.plan);
+  w.member("transport", r.transport);
+  w.member("authenticate", r.authenticate);
+  w.member("authenticate_auto", r.auth_auto);
+  w.key("reference").begin_object();
+  w.member("completed", r.ref_completed);
+  w.member("rounds_used", r.ref_rounds);
+  w.end_object();
+  if (r.ran) {
+    w.key("run").begin_object();
+    w.member("completed", r.run_completed);
+    w.member("rounds_used", r.run_rounds);
+    w.member("faults_applied", r.faults_applied);
+    w.member("faults_planned", r.faults_planned);
+    w.end_object();
   }
-  return s;
-}
-
-/// Compare the recovered run against the fault-free reference across every
-/// observable surface; returns human-readable mismatch descriptions.
-std::vector<std::string> verify_against(const mpc::MpcRunResult& ref,
-                                        const hash::LazyRandomOracle* ref_oracle,
-                                        const mpc::MpcRunResult& got,
-                                        const hash::LazyRandomOracle* got_oracle) {
-  std::vector<std::string> bad;
-  if (ref.completed != got.completed) bad.push_back("completed flag differs");
-  if (ref.rounds_used != got.rounds_used) {
-    bad.push_back("rounds_used: " + std::to_string(ref.rounds_used) + " vs " +
-                  std::to_string(got.rounds_used));
+  if (r.has_cost) {
+    w.key("cost").begin_object();
+    w.member("faults_injected", r.cost.faults_injected);
+    w.member("recoveries", r.cost.recoveries);
+    w.member("rounds_reexecuted", r.cost.rounds_reexecuted);
+    w.member("machine_rounds_reexecuted", r.cost.machine_rounds_reexecuted);
+    w.member("replica_verifications", r.cost.replica_verifications);
+    w.member("checkpoints_taken", r.cost.checkpoints_taken);
+    w.member("checkpoint_bytes_last", r.cost.checkpoint_bytes_last);
+    w.member("checkpoint_bytes_total", r.cost.checkpoint_bytes_total);
+    w.member("attestation_checks", r.cost.attestation_checks);
+    w.member("quarantine_strikes", r.cost.quarantine_strikes);
+    w.member("retries_used", r.cost.retries_used);
+    w.member("escalations", r.cost.escalations);
+    w.end_object();
   }
-  if (ref.output != got.output) bad.push_back("output bits differ");
-  if (ref.trace.rounds() != got.trace.rounds()) bad.push_back("per-round stats differ");
-  if (ref.trace.annotations() != got.trace.annotations()) bad.push_back("annotations differ");
-  if (ref.transcript->records() != got.transcript->records()) {
-    bad.push_back("oracle transcript differs (" + std::to_string(ref.transcript->records().size()) +
-                  " vs " + std::to_string(got.transcript->records().size()) + " records)");
-  }
-  if ((ref_oracle == nullptr) != (got_oracle == nullptr)) {
-    bad.push_back("oracle presence differs");
-  } else if (ref_oracle != nullptr) {
-    if (ref_oracle->total_queries() != got_oracle->total_queries()) {
-      bad.push_back("oracle query count: " + std::to_string(ref_oracle->total_queries()) + " vs " +
-                    std::to_string(got_oracle->total_queries()));
-    }
-    if (ref_oracle->touched_table() != got_oracle->touched_table()) {
-      bad.push_back("materialised oracle table differs");
-    }
-  }
-  return bad;
+  w.key("fault_log").begin_array();
+  for (const auto& line : r.fault_log) w.value(line);
+  w.end_array();
+  w.key("mismatches").begin_array();
+  for (const auto& m : r.mismatches) w.value(m);
+  w.end_array();
+  w.key("detections").begin_array();
+  for (const auto& d : r.detections) w.value(d);
+  w.end_array();
+  if (!r.error.empty()) w.member("error", r.error);
+  w.member("verified", r.ran && r.mismatches.empty() && r.detections.empty() && r.error.empty());
+  w.member("exit_code", std::int64_t(exit_code));
+  w.end_object();
+  std::cout << w.str() << "\n";
 }
 
 void print_cost(const fault::RecoveryCost& cost) {
@@ -271,6 +190,7 @@ int main(int argc, char** argv) {
                  "                  [--every N] [--retries N] [--strikes N] [--authenticate]\n"
                  "                  [--threads N] [--seed N] [--checkpoint-file PATH] [--list]\n"
                  "                  [--transport in-process|shared-memory|socket] [--transport-procs N]\n"
+                 "                  [--format text|json]\n"
                  "  plan grammar : semicolon-separated events —\n"
                  "                 crash:machine=M,round=R | drop:round=R,to=M,index=I\n"
                  "                 | dup:round=R,to=M,index=I | kill:round=R\n"
@@ -290,11 +210,12 @@ int main(int argc, char** argv) {
                  "                   barrier as mpc::TamperViolation with provenance)\n"
                  "  --transport  : message delivery backend (default in-process). socket forks\n"
                  "                 one router process per shard group (--transport-procs, default\n"
-                 "                 auto) — recovery runs bit-identical over any backend\n";
+                 "                 auto) — recovery runs bit-identical over any backend\n"
+                 "  --format     : text (default) or one machine-readable json report object\n";
     return 0;
   }
   if (args.get_bool("list", false)) {
-    for (const char* name : kStrategies) std::cout << name << "\n";
+    for (const auto& name : serve::strategy_names()) std::cout << name << "\n";
     return 0;
   }
 
@@ -310,6 +231,7 @@ int main(int argc, char** argv) {
   const std::string checkpoint_file = args.get_string("checkpoint-file", "");
   const std::string transport_name = args.get_string("transport", "in-process");
   const std::uint64_t transport_procs = args.get_u64("transport-procs", 0);
+  const std::string format = args.get_string("format", "text");
 
   if (plan_spec.empty()) {
     std::cerr << "mpch-chaos: --plan is required (try --help)\n";
@@ -320,14 +242,19 @@ int main(int argc, char** argv) {
               << "' (want restart|replicate|quarantine|none)\n";
     return 2;
   }
+  if (format != "text" && format != "json") {
+    std::cerr << "mpch-chaos: unknown format '" << format << "' (want text|json)\n";
+    return 2;
+  }
+  const bool json = format == "json";
 
   fault::FaultPlan plan;
-  Scenario reference;
+  serve::Scenario reference;
   transport::TransportKind transport_kind = transport::TransportKind::kInProcess;
   try {
     plan = fault::FaultPlan::parse(plan_spec);
     transport_kind = transport::parse_transport_kind(transport_name);
-    reference = make_scenario(strategy, seed, threads);
+    reference = serve::make_scenario(strategy, seed, threads);
   } catch (const std::invalid_argument& e) {
     std::cerr << "mpch-chaos: " << e.what() << "\n";
     return 2;
@@ -335,7 +262,7 @@ int main(int argc, char** argv) {
   // Every execution of this invocation — the fault-free reference, the
   // chaotic run, and the recovery policy's internal replicas — moves its
   // bytes over the selected backend.
-  auto select_transport = [&](Scenario& sc) {
+  auto select_transport = [&](serve::Scenario& sc) {
     sc.config.transport = transport_kind;
     sc.config.transport_processes = transport_procs;
   };
@@ -356,25 +283,41 @@ int main(int argc, char** argv) {
   }
   // Tag bits count against the memory budget; give every machine headroom
   // for its per-message 64-bit tags so tight strategies stay inside s.
-  auto enable_auth = [](Scenario& sc) {
+  auto enable_auth = [](serve::Scenario& sc) {
     sc.config.authenticate_messages = true;
     sc.config.local_memory_bits += 1 << 16;
   };
   if (authenticate) enable_auth(reference);
 
-  std::cout << "mpch-chaos: strategy=" << strategy << " threads=" << threads << " seed=" << seed
-            << " transport=" << transport::to_string(transport_kind)
-            << (authenticate ? (auth_auto ? " authenticate=on (auto)" : " authenticate=on") : "")
-            << "\n  plan:   " << plan.describe() << "\n  policy: " << policy;
-  if (policy == "restart") std::cout << " (checkpoint every " << every << " round(s))";
-  if (policy == "quarantine") {
-    std::cout << " (retries " << retries << ", strikes " << strikes << ", periodic checkpoint every "
-              << every << " round(s))";
+  Report report;
+  report.strategy = strategy;
+  report.seed = seed;
+  report.threads = threads;
+  report.policy = policy;
+  report.plan = plan.describe();
+  report.transport = transport::to_string(transport_kind);
+  report.authenticate = authenticate;
+  report.auth_auto = auth_auto;
+  auto finish = [&](int code) {
+    if (json) emit_json(report, code);
+    return code;
+  };
+
+  if (!json) {
+    std::cout << "mpch-chaos: strategy=" << strategy << " threads=" << threads << " seed=" << seed
+              << " transport=" << transport::to_string(transport_kind)
+              << (authenticate ? (auth_auto ? " authenticate=on (auto)" : " authenticate=on") : "")
+              << "\n  plan:   " << plan.describe() << "\n  policy: " << policy;
+    if (policy == "restart") std::cout << " (checkpoint every " << every << " round(s))";
+    if (policy == "quarantine") {
+      std::cout << " (retries " << retries << ", strikes " << strikes
+                << ", periodic checkpoint every " << every << " round(s))";
+    }
+    std::cout << "\n\n";
   }
-  std::cout << "\n\n";
 
   // Fault-free reference run: the ground truth recovery must reproduce.
-  auto ref_oracle = reference.oracle_factory();
+  auto ref_oracle = reference.make_oracle();
   mpc::MpcRunResult ref_run;
   try {
     mpc::MpcSimulation ref_sim(reference.config, ref_oracle);
@@ -383,12 +326,16 @@ int main(int argc, char** argv) {
     std::cerr << "mpch-chaos: fault-free reference run failed: " << e.what() << "\n";
     return 2;
   }
-  std::cout << "reference run: " << (ref_run.completed ? "completed" : "hit max_rounds") << " in "
-            << ref_run.rounds_used << " round(s)\n";
+  report.ref_completed = ref_run.completed;
+  report.ref_rounds = ref_run.rounds_used;
+  if (!json) {
+    std::cout << "reference run: " << (ref_run.completed ? "completed" : "hit max_rounds")
+              << " in " << ref_run.rounds_used << " round(s)\n";
+  }
 
   // Chaos run under the chosen policy. Fresh scenario: strategy-internal
   // counters must not carry over from the reference run.
-  Scenario chaos = make_scenario(strategy, seed, threads);
+  serve::Scenario chaos = serve::make_scenario(strategy, seed, threads);
   select_transport(chaos);
   if (authenticate) enable_auth(chaos);
   try {
@@ -399,7 +346,7 @@ int main(int argc, char** argv) {
       // MAC verification, oracle memo re-derivation, checkpoint decode — and
       // any landed corruption exits 1 with a typed report, never silently.
       fault::FaultInjector injector(plan, /*fail_stop=*/false);
-      auto oracle = chaos.oracle_factory();
+      auto oracle = chaos.make_oracle();
       injector.bind_oracle(oracle.get());
       const bool audit_ckpt = plan_has(plan, fault::FaultKind::TamperCheckpoint);
       fault::Checkpointer ckpt(chaos.config, oracle.get(), /*every=*/1, "",
@@ -420,40 +367,57 @@ int main(int argc, char** argv) {
       try {
         run = sim.run(*chaos.algo, chaos.initial, &chain);
       } catch (const mpc::TamperViolation& tv) {
-        std::cout << "detected (typed): " << tv.what() << "\n  provenance: machine=" << tv.machine()
-                  << " round=" << tv.round() << " message_index=" << tv.message_index()
-                  << " byte_offset=" << tv.byte_offset() << "\n";
-        return 1;
+        report.detections.push_back(std::string("typed: ") + tv.what());
+        if (!json) {
+          std::cout << "detected (typed): " << tv.what() << "\n  provenance: machine="
+                    << tv.machine() << " round=" << tv.round()
+                    << " message_index=" << tv.message_index()
+                    << " byte_offset=" << tv.byte_offset() << "\n";
+        }
+        return finish(1);
       }
-      std::cout << "unprotected run: " << (run.completed ? "completed" : "hit max_rounds")
-                << " in " << run.rounds_used << " round(s), "
-                << injector.faults_fired() + tamperer.fired().size() << "/"
-                << injector.events_planned() << " fault(s) applied\n";
-      auto bad = verify_against(ref_run, ref_oracle.get(), run, oracle.get());
-      if (bad.empty()) {
-        std::cout << "divergence: none (the faults did not land on live state)\n";
-      } else {
-        std::cout << "divergence (expected without recovery):\n";
-        for (const auto& b : bad) std::cout << "  - " << b << "\n";
+      report.ran = true;
+      report.run_completed = run.completed;
+      report.run_rounds = run.rounds_used;
+      report.faults_applied = injector.faults_fired() + tamperer.fired().size();
+      report.faults_planned = injector.events_planned();
+      if (!json) {
+        std::cout << "unprotected run: " << (run.completed ? "completed" : "hit max_rounds")
+                  << " in " << run.rounds_used << " round(s), " << report.faults_applied << "/"
+                  << report.faults_planned << " fault(s) applied\n";
       }
-      int detections = 0;
+      report.mismatches =
+          serve::artifact_mismatches(ref_run, ref_oracle.get(), run, oracle.get());
+      if (!json) {
+        if (report.mismatches.empty()) {
+          std::cout << "divergence: none (the faults did not land on live state)\n";
+        } else {
+          std::cout << "divergence (expected without recovery):\n";
+          for (const auto& b : report.mismatches) std::cout << "  - " << b << "\n";
+        }
+      }
       if (oracle != nullptr) {
         auto bad_memo = oracle->verify_memo();
         if (!bad_memo.empty()) {
-          ++detections;
-          std::cout << "detected (typed): oracle memo audit — " << bad_memo.size()
-                    << " entr" << (bad_memo.size() == 1 ? "y" : "ies")
-                    << " no longer re-derive from the seed\n";
+          report.detections.push_back("oracle memo audit: " + std::to_string(bad_memo.size()) +
+                                      " entries no longer re-derive from the seed");
+          if (!json) {
+            std::cout << "detected (typed): oracle memo audit — " << bad_memo.size() << " entr"
+                      << (bad_memo.size() == 1 ? "y" : "ies")
+                      << " no longer re-derive from the seed\n";
+          }
         }
       }
       for (const auto& failure : auditor.failures) {
-        ++detections;
-        std::cout << "detected (typed): checkpoint audit — " << failure << "\n";
+        report.detections.push_back("checkpoint audit: " + failure);
+        if (!json) std::cout << "detected (typed): checkpoint audit — " << failure << "\n";
       }
-      return detections > 0 ? 1 : 0;
+      // Divergence without recovery is the expected baseline (exit 0); only
+      // typed detections make the unprotected run exit nonzero.
+      return finish(report.detections.empty() ? 0 : 1);
     }
 
-    fault::ChaosHarness harness(chaos.config, chaos.oracle_factory);
+    fault::ChaosHarness harness(chaos.config, [&chaos] { return chaos.make_oracle(); });
     fault::ChaosResult result;
     if (policy == "restart") {
       result = harness.run_restart(*chaos.algo, chaos.initial, plan, every, checkpoint_file);
@@ -467,33 +431,49 @@ int main(int argc, char** argv) {
       result = harness.run_quarantine(*chaos.algo, chaos.initial, plan, qc);
     }
 
-    std::cout << "fault log:\n";
-    for (const auto& line : result.fault_log) std::cout << "  - " << line << "\n";
-    if (result.fault_log.empty()) std::cout << "  (no fault fired before completion)\n";
-    std::cout << "recovered run: " << (result.run.completed ? "completed" : "hit max_rounds")
-              << " in " << result.run.rounds_used << " round(s)\n\n";
-    print_cost(result.cost);
-    if (!checkpoint_file.empty()) {
-      std::cout << "latest checkpoint mirrored to: " << checkpoint_file << "\n";
+    report.ran = true;
+    report.run_completed = result.run.completed;
+    report.run_rounds = result.run.rounds_used;
+    report.has_cost = true;
+    report.cost = result.cost;
+    report.fault_log = result.fault_log;
+    if (!json) {
+      std::cout << "fault log:\n";
+      for (const auto& line : result.fault_log) std::cout << "  - " << line << "\n";
+      if (result.fault_log.empty()) std::cout << "  (no fault fired before completion)\n";
+      std::cout << "recovered run: " << (result.run.completed ? "completed" : "hit max_rounds")
+                << " in " << result.run.rounds_used << " round(s)\n\n";
+      print_cost(result.cost);
+      if (!checkpoint_file.empty()) {
+        std::cout << "latest checkpoint mirrored to: " << checkpoint_file << "\n";
+      }
     }
 
-    auto bad = verify_against(ref_run, ref_oracle.get(), result.run, result.oracle.get());
-    if (!bad.empty()) {
-      std::cout << "\nverification: FAILED — recovered run differs from fault-free run:\n";
-      for (const auto& b : bad) std::cout << "  - " << b << "\n";
-      return 1;
+    report.mismatches =
+        serve::artifact_mismatches(ref_run, ref_oracle.get(), result.run, result.oracle.get());
+    if (!report.mismatches.empty()) {
+      if (!json) {
+        std::cout << "\nverification: FAILED — recovered run differs from fault-free run:\n";
+        for (const auto& b : report.mismatches) std::cout << "  - " << b << "\n";
+      }
+      return finish(1);
     }
-    std::cout << "\nverification: recovered run is bit-identical to the fault-free run\n"
-                 "  (output, round stats, annotations, oracle transcript, oracle table)\n";
-    return 0;
+    if (!json) {
+      std::cout << "\nverification: recovered run is bit-identical to the fault-free run\n"
+                   "  (output, round stats, annotations, oracle transcript, oracle table)\n";
+    }
+    return finish(0);
   } catch (const fault::UnrecoverableFault& e) {
+    report.error = std::string("unrecoverable: ") + e.what();
     std::cerr << "mpch-chaos: unrecoverable: " << e.what() << "\n";
-    return 1;
+    return finish(1);
   } catch (const fault::ReplicaDivergence& e) {
+    report.error = std::string("replica divergence: ") + e.what();
     std::cerr << "mpch-chaos: replica divergence: " << e.what() << "\n";
-    return 1;
+    return finish(1);
   } catch (const std::exception& e) {
+    report.error = e.what();
     std::cerr << "mpch-chaos: " << e.what() << "\n";
-    return 1;
+    return finish(1);
   }
 }
