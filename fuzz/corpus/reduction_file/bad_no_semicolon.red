@@ -1,0 +1,1 @@
+r: a => b via identity

@@ -1,0 +1,1 @@
+r: a => b via space_scale(99999999999999999999);

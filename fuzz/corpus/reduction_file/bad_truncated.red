@@ -1,0 +1,1 @@
+oops

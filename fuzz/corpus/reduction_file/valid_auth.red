@@ -1,0 +1,1 @@
+auth: pointer-chasing => pointer-chasing+auth via with_authentication(64);

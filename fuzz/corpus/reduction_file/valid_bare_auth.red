@@ -1,0 +1,1 @@
+bare: a => b via with_authentication;

@@ -1,0 +1,3 @@
+# only comments and blank lines
+
+# nothing else

@@ -1,0 +1,1 @@
+n: a => b via compose(space_scale(2), compose(identity, round_compress(3)));

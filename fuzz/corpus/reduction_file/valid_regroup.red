@@ -1,0 +1,1 @@
+regroup: ram-emulation/m8 => ram-emulation via machine_regroup(2);

@@ -1,0 +1,2 @@
+# full sugar list
+c: a => b via space_scale(2), oracle_reindex(4), round_stretch(5);

@@ -1,0 +1,30 @@
+// libFuzzer harness for the mpch-reduce reduction-file grammar
+// (reduce/reduction_file.hpp).
+//
+// Reduction files arrive from scripts and CI matrices, so parse_reduction_file
+// trusts nothing: ReductionError (with 1-based line/column) is its only
+// defined rejection path, and the pre-allocation caps (kMaxFileBytes,
+// kMaxReductions, kMaxTermLeaves, kMaxTermDepth, kMaxNameBytes) must hold —
+// a hostile compose() pyramid or repeat-statement flood is a comparison,
+// never an allocation or a stack overflow. Whatever parses is additionally
+// pushed through describe() (formatting) and leaf_count() (term walking);
+// anything escaping besides ReductionError is a bug.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "reduce/reduction_file.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const std::vector<mpch::reduce::Reduction> reductions =
+        mpch::reduce::parse_reduction_file(text);
+    for (const auto& r : reductions) {
+      (void)r.describe();
+      (void)r.term.leaf_count();
+    }
+  } catch (const mpch::reduce::ReductionError&) {
+  }
+  return 0;
+}

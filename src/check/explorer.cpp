@@ -31,8 +31,10 @@ ExploreResult Explorer::run(Model& model) const {
     model_depth = depth;
   };
 
-  std::unordered_set<std::uint64_t> visited;       // membership only
-  std::unordered_set<std::uint64_t> terminal_fps;  // membership only
+  // Never iterated — point membership tests only, so hash order cannot
+  // reach the (replayable, byte-compared) counterexample trace.
+  std::unordered_set<std::uint64_t> visited;       // lint:ordered-exempt
+  std::unordered_set<std::uint64_t> terminal_fps;  // lint:ordered-exempt
   std::optional<std::uint64_t> confluence_fp;      // first terminal state seen
 
   // The initial state is judged like any other.
@@ -165,7 +167,8 @@ ExploreResult Explorer::run(Model& model) const {
 ReplayOutcome Explorer::replay(Model& model, const std::vector<Action>& schedule) const {
   model.reset();
   ReplayOutcome out;
-  std::unordered_set<std::uint64_t> fps;  // membership only
+  // Membership test only (cycle detection); never iterated.
+  std::unordered_set<std::uint64_t> fps;  // lint:ordered-exempt
   if (std::optional<std::string> v = model.violation()) {
     out.violation = std::move(v);
     return out;

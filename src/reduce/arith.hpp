@@ -1,0 +1,57 @@
+// arith.hpp — saturating u64 envelope arithmetic for the reduction calculus.
+//
+// Every reduction term rewrites ProtocolSpec envelope fields (bits, counts,
+// rounds) with multiplies and adds. Those fields are upper bounds, so the
+// one wrong thing the arithmetic could do is wrap: 2^63 machines regrouped
+// by 4 must not become a *smaller* bound. The transfer functions here reuse
+// the verifier's u64 interval domain (verify/interval.hpp) on singleton
+// intervals: verify::interval_add/interval_mul already detect exactly the
+// overflowing cases (they return top), and we map top to a saturated
+// kMax — a sound, conservative upper bound that any downstream dominance
+// check will reject against any real budget. Callers can observe whether
+// saturation happened via SatFlag to surface it in diagnostics.
+#pragma once
+
+#include <cstdint>
+
+#include "verify/interval.hpp"
+
+namespace mpch::reduce {
+
+/// Sticky saturation marker threaded through a term application; once any
+/// field saturates, the transformed spec is still *sound* but no longer
+/// tight, and reports say so.
+struct SatFlag {
+  bool saturated = false;
+};
+
+// On singleton intervals the domain's transfer functions return a singleton
+// exactly when the operation cannot wrap, and top exactly when it can — so
+// "result is top" is the overflow predicate, for free.
+
+inline std::uint64_t sat_add(std::uint64_t a, std::uint64_t b, SatFlag* flag) {
+  const verify::Interval r =
+      verify::interval_add(verify::Interval::constant(a), verify::Interval::constant(b));
+  if (r.is_top()) {
+    if (flag != nullptr) flag->saturated = true;
+    return verify::Interval::kMax;
+  }
+  return r.hi;
+}
+
+inline std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b, SatFlag* flag) {
+  const verify::Interval r =
+      verify::interval_mul(verify::Interval::constant(a), verify::Interval::constant(b));
+  if (r.is_top()) {
+    if (flag != nullptr) flag->saturated = true;
+    return verify::Interval::kMax;
+  }
+  return r.hi;
+}
+
+/// ceil(a / b); b must be nonzero (terms validate their arguments first).
+inline std::uint64_t ceil_div_nonzero(std::uint64_t a, std::uint64_t b) {
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+}  // namespace mpch::reduce

@@ -1,0 +1,84 @@
+// checker.hpp — statically prove (or refute) claimed reductions.
+//
+// A Reduction claims: "target inherits source's envelope under term T" —
+// i.e. the protocol obtained by simulating the source protocol through T is
+// the target, so every resource the target declares must fit inside the
+// transformed envelope T(source). check_reduction establishes exactly that
+// with analysis::check_spec_dominance (the same dominance pass that pins the
+// verifier's observed <= inferred <= declared sandwich), so a refuted
+// reduction reads like any other static_checker failure: a typed Diagnostic
+// with round/machine provenance, per exceeded bound.
+//
+// Hardness preservation has a second, theory-side leg: when a reduction
+// carries a `floor_rounds` (computed from theory::bounds for the source
+// problem), the target must still declare at least that many rounds — a
+// target claiming fewer rounds than the paper's incompressibility floor is
+// an inconsistent reduction even if every envelope field fits.
+//
+// The dynamic leg (--cross-check) closes the loop the same way
+// spec_soundness does for declared specs: run the *target* strategy
+// instrumented and assert its observed RoundStats peaks stay inside
+// T(source). Together: observed(target) <= declared(target) <= T(source).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/static_checker.hpp"
+#include "mpc/simulation.hpp"
+#include "reduce/reduction_file.hpp"
+#include "reduce/term.hpp"
+
+namespace mpch::util {
+class JsonWriter;
+}
+
+namespace mpch::reduce {
+
+/// Named ProtocolSpecs a reduction file resolves against. Ordered map so
+/// listings are deterministic.
+class SpecCatalog {
+ public:
+  void add(const std::string& name, analysis::ProtocolSpec spec);
+
+  /// Throws std::invalid_argument (exit-2 material: a resolution error, not
+  /// a refuted reduction) when `name` is unknown.
+  const analysis::ProtocolSpec& at(const std::string& name) const;
+
+  const std::map<std::string, analysis::ProtocolSpec>& all() const { return specs_; }
+
+ private:
+  std::map<std::string, analysis::ProtocolSpec> specs_;
+};
+
+/// The static verdict on one claimed reduction.
+struct ReductionReport {
+  Reduction reduction;
+  ApplyResult transformed;             ///< T(source), with saturation/notes
+  analysis::AnalysisReport dominance;  ///< target spec vs T(source)
+  std::uint64_t floor_rounds = 0;      ///< theory round floor (0 = not applicable)
+  bool floor_ok = true;
+
+  bool ok() const { return dominance.ok() && floor_ok; }
+  /// Multi-line report in the static_checker house style.
+  std::string format() const;
+  void to_json(util::JsonWriter& w) const;
+};
+
+/// Statically check one claimed reduction against the catalog. Resolution
+/// failures (unknown source/target name) throw std::invalid_argument with
+/// the reduction's name and line; a *refuted* reduction returns normally
+/// with diagnostics.
+ReductionReport check_reduction(const Reduction& reduction, const SpecCatalog& catalog,
+                                std::uint64_t floor_rounds = 0);
+
+/// The dynamic leg: assert an instrumented run of the target strategy stays
+/// inside the transformed envelope (observed peaks <= T(source), per round,
+/// queries clamped per the spec's budget-adaptivity under `config`).
+analysis::AnalysisReport cross_check_reduction(const ReductionReport& report,
+                                               const mpc::MpcRunResult& result,
+                                               const mpc::MpcConfig& config);
+
+}  // namespace mpch::reduce

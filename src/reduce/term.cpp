@@ -1,0 +1,265 @@
+#include "reduce/term.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "reduce/arith.hpp"
+
+namespace mpch::reduce {
+
+const char* term_kind_name(TermKind kind) {
+  switch (kind) {
+    case TermKind::kIdentity:
+      return "identity";
+    case TermKind::kCompose:
+      return "compose";
+    case TermKind::kRoundCompress:
+      return "round_compress";
+    case TermKind::kRoundStretch:
+      return "round_stretch";
+    case TermKind::kSpaceScale:
+      return "space_scale";
+    case TermKind::kMachineRegroup:
+      return "machine_regroup";
+    case TermKind::kWithAuthentication:
+      return "with_authentication";
+    case TermKind::kOracleReindex:
+      return "oracle_reindex";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Term make_scaled(TermKind kind, std::uint64_t arg, const char* what) {
+  if (arg == 0) {
+    throw std::invalid_argument(std::string(term_kind_name(kind)) + ": " + what +
+                                " must be >= 1 (got 0)");
+  }
+  Term t;
+  t.kind = kind;
+  t.arg = arg;
+  return t;
+}
+
+}  // namespace
+
+Term Term::identity() { return Term{}; }
+
+Term Term::compose(std::vector<Term> terms) {
+  Term t;
+  t.kind = TermKind::kCompose;
+  t.children = std::move(terms);
+  return t;
+}
+
+Term Term::round_compress(std::uint64_t k) {
+  return make_scaled(TermKind::kRoundCompress, k, "compression factor k");
+}
+
+Term Term::round_stretch(std::uint64_t k) {
+  return make_scaled(TermKind::kRoundStretch, k, "stretch factor k");
+}
+
+Term Term::space_scale(std::uint64_t c) {
+  return make_scaled(TermKind::kSpaceScale, c, "scale factor c");
+}
+
+Term Term::machine_regroup(std::uint64_t g) {
+  return make_scaled(TermKind::kMachineRegroup, g, "group size g");
+}
+
+Term Term::with_authentication(std::uint64_t tag_bits) {
+  return make_scaled(TermKind::kWithAuthentication, tag_bits, "tag_bits");
+}
+
+Term Term::oracle_reindex(std::uint64_t c) {
+  return make_scaled(TermKind::kOracleReindex, c, "per-query cost c");
+}
+
+std::string Term::describe() const {
+  if (kind == TermKind::kIdentity) return "identity";
+  if (kind == TermKind::kCompose) {
+    std::string out = "compose(";
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += children[i].describe();
+    }
+    out += ")";
+    return out;
+  }
+  return std::string(term_kind_name(kind)) + "(" + std::to_string(arg) + ")";
+}
+
+std::uint64_t Term::leaf_count() const {
+  if (kind != TermKind::kCompose) return 1;
+  std::uint64_t n = 0;
+  for (const Term& c : children) n += c.leaf_count();
+  return n;
+}
+
+namespace {
+
+/// Scale one round shape's bit/message fields (space_scale semantics).
+void scale_space(analysis::RoundEnvelope& e, std::uint64_t c, SatFlag* sat) {
+  e.memory_bits = sat_mul(e.memory_bits, c, sat);
+  e.sent_bits = sat_mul(e.sent_bits, c, sat);
+  e.recv_bits = sat_mul(e.recv_bits, c, sat);
+  e.max_message_bits = sat_mul(e.max_message_bits, c, sat);
+  e.fan_in = sat_mul(e.fan_in, c, sat);
+  e.fan_out = sat_mul(e.fan_out, c, sat);
+}
+
+/// Scale every per-machine resource of one shape (machine_regroup semantics:
+/// a target machine hosts g source machines, so it pays g of everything
+/// except single-message size — messages are forwarded, not merged).
+void scale_group(analysis::RoundEnvelope& e, std::uint64_t g, SatFlag* sat) {
+  e.memory_bits = sat_mul(e.memory_bits, g, sat);
+  e.oracle_queries = sat_mul(e.oracle_queries, g, sat);
+  e.sent_bits = sat_mul(e.sent_bits, g, sat);
+  e.recv_bits = sat_mul(e.recv_bits, g, sat);
+  e.fan_in = sat_mul(e.fan_in, g, sat);
+  e.fan_out = sat_mul(e.fan_out, g, sat);
+}
+
+/// Fold every distinct round shape of `spec` into one worst-case envelope
+/// (fieldwise max). round_compress merges rounds with different shapes into
+/// one target round, so the per-shape structure is no longer meaningful;
+/// the fold is the standard sound join. Witness: the shape contributing the
+/// memory bound (ties to the earliest shape, matching Peak's tie-break).
+analysis::RoundEnvelope fold_shapes(const analysis::ProtocolSpec& spec) {
+  analysis::RoundEnvelope worst = spec.envelope(0);
+  for (std::uint64_t shape = 1; shape < spec.distinct_round_shapes(); ++shape) {
+    const std::uint64_t round = shape < spec.prologue.size() ? shape : spec.prologue.size();
+    const analysis::RoundEnvelope& e = spec.envelope(round);
+    if (e.memory_bits > worst.memory_bits) worst.witness_machine = e.witness_machine;
+    worst.memory_bits = std::max(worst.memory_bits, e.memory_bits);
+    worst.oracle_queries = std::max(worst.oracle_queries, e.oracle_queries);
+    worst.fan_in = std::max(worst.fan_in, e.fan_in);
+    worst.fan_out = std::max(worst.fan_out, e.fan_out);
+    worst.sent_bits = std::max(worst.sent_bits, e.sent_bits);
+    worst.recv_bits = std::max(worst.recv_bits, e.recv_bits);
+    worst.max_message_bits = std::max(worst.max_message_bits, e.max_message_bits);
+  }
+  return worst;
+}
+
+/// Apply `fn` to every distinct round shape of `spec` in place.
+template <typename Fn>
+void for_each_shape(analysis::ProtocolSpec& spec, Fn fn) {
+  for (analysis::RoundEnvelope& e : spec.prologue) fn(e);
+  fn(spec.steady);
+}
+
+void apply_leaf(const Term& term, analysis::ProtocolSpec& spec, SatFlag* sat,
+                std::vector<std::string>* notes) {
+  switch (term.kind) {
+    case TermKind::kIdentity:
+    case TermKind::kCompose:
+      return;  // handled by the caller
+
+    case TermKind::kRoundCompress: {
+      const std::uint64_t k = term.arg;
+      // One target round simulates k consecutive source rounds, so the
+      // per-shape structure collapses: fold to the worst shape first.
+      if (!spec.prologue.empty()) {
+        notes->push_back("round_compress(" + std::to_string(k) + "): folded " +
+                         std::to_string(spec.distinct_round_shapes()) +
+                         " round shapes into the worst-case envelope");
+      }
+      analysis::RoundEnvelope e = fold_shapes(spec);
+      spec.prologue.clear();
+      // The compressed round performs k rounds' worth of queries and
+      // traffic, and must additionally hold the k-1 intermediate barriers'
+      // deliveries in local memory (they can no longer spill to the
+      // barrier).
+      analysis::RoundEnvelope out = e;
+      out.oracle_queries = sat_mul(e.oracle_queries, k, sat);
+      out.fan_in = sat_mul(e.fan_in, k, sat);
+      out.fan_out = sat_mul(e.fan_out, k, sat);
+      out.sent_bits = sat_mul(e.sent_bits, k, sat);
+      out.recv_bits = sat_mul(e.recv_bits, k, sat);
+      out.memory_bits = sat_add(e.memory_bits, sat_mul(k - 1, e.recv_bits, sat), sat);
+      spec.steady = out;
+      spec.max_rounds = ceil_div_nonzero(spec.max_rounds, k);
+      return;
+    }
+
+    case TermKind::kRoundStretch: {
+      // Each source round is allotted k target rounds; no single target
+      // round ever exceeds the source's per-round envelope, so the shapes
+      // are unchanged and only the round count grows.
+      spec.max_rounds = sat_mul(spec.max_rounds, term.arg, sat);
+      return;
+    }
+
+    case TermKind::kSpaceScale: {
+      for_each_shape(spec, [&](analysis::RoundEnvelope& e) { scale_space(e, term.arg, sat); });
+      return;
+    }
+
+    case TermKind::kMachineRegroup: {
+      const std::uint64_t g = term.arg;
+      for_each_shape(spec, [&](analysis::RoundEnvelope& e) {
+        scale_group(e, g, sat);
+        e.witness_machine /= g;  // the host of the old witness
+      });
+      spec.machines = ceil_div_nonzero(spec.machines, g);
+      return;
+    }
+
+    case TermKind::kWithAuthentication: {
+      // The one true MAC lift. ProtocolSpec::with_authentication's
+      // additions cannot wrap in practice (tag_bits <= 64, fan-in bounded
+      // by the envelope), and it is shared with mpch-analyze and serve's
+      // admission path — duplicating it here with saturating arithmetic
+      // would create the drift this module exists to prevent.
+      spec = spec.with_authentication(term.arg);
+      return;
+    }
+
+    case TermKind::kOracleReindex: {
+      for_each_shape(spec, [&](analysis::RoundEnvelope& e) {
+        e.oracle_queries = sat_mul(e.oracle_queries, term.arg, sat);
+      });
+      // Re-indexed queries are still queries; a clamping source protocol
+      // clamps its re-indexed form too, so the flags carry over unchanged.
+      return;
+    }
+  }
+}
+
+void apply_rec(const Term& term, analysis::ProtocolSpec& spec, SatFlag* sat,
+               std::vector<std::string>* notes) {
+  if (term.kind == TermKind::kCompose) {
+    for (const Term& child : term.children) apply_rec(child, spec, sat, notes);
+    return;
+  }
+  apply_leaf(term, spec, sat, notes);
+}
+
+}  // namespace
+
+ApplyResult apply_term(const Term& term, const analysis::ProtocolSpec& source) {
+  if (source.machines == 0) {
+    throw std::invalid_argument("apply_term: malformed source spec (zero machines): " +
+                                source.protocol);
+  }
+  if (source.max_rounds == 0) {
+    throw std::invalid_argument("apply_term: malformed source spec (zero rounds): " +
+                                source.protocol);
+  }
+  ApplyResult result;
+  result.spec = source;
+  SatFlag sat;
+  apply_rec(term, result.spec, &sat, &result.notes);
+  result.saturated = sat.saturated;
+  if (result.saturated) {
+    result.notes.push_back(
+        "envelope arithmetic saturated at u64 max: the transformed spec is sound but not tight");
+  }
+  return result;
+}
+
+}  // namespace mpch::reduce

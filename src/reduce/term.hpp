@@ -1,0 +1,104 @@
+// term.hpp — the typed reduction calculus over analysis::ProtocolSpec.
+//
+// The paper's central move is transferring hardness between models: Theorem
+// 3.1 turns an MPC protocol that is "too fast" into an impossible
+// compression scheme, and the related MPC-hardness literature
+// (Nanongkai–Scquizzato equivalence classes, Charikar–Ma–Tan query-bound
+// transfer) organizes problems by round- and space-preserving reductions.
+// This module makes those reductions first-class *terms*: each Term rewrites
+// a declared ProtocolSpec envelope with a sound transfer function, and the
+// checker (reduce/checker.hpp) then proves a claimed reduction
+// `SpecA --T--> SpecB` budget-preserving by establishing that SpecB's
+// declared envelope fits inside T(SpecA).
+//
+// Soundness contract per term: if a protocol meeting SpecA exists, then the
+// simulation the term describes yields a protocol whose per-round resource
+// use is bounded by apply(term, SpecA). All arithmetic saturates (no silent
+// u64 wrap — reduce/arith.hpp over the verifier's interval domain), so a
+// transformed envelope is always an over-approximation, never an undercount.
+//
+//   identity                no-op (the unit of compose)
+//   compose(t1, ..., tn)    apply t1 first, then t2, ...
+//   round_compress(k)       simulate k source rounds per target round:
+//                           rounds' = ceil(R/k); per-round queries, fan and
+//                           traffic scale by k; memory grows by the (k-1)
+//                           intermediate barriers' deliveries held locally
+//   round_stretch(k)        spread one source round over k target rounds:
+//                           rounds' = R*k, per-round envelope unchanged (the
+//                           simulating protocol may only idle, never exceed)
+//   space_scale(c)          host a c×-larger instance per machine: all bit
+//                           and message counts scale by c; queries do not
+//   machine_regroup(g)      host g source machines on one target machine:
+//                           machines' = ceil(m/g), all per-machine resources
+//                           scale by g; single-message size is unchanged
+//   with_authentication(t)  the shared MAC lift: delegates to
+//                           ProtocolSpec::with_authentication(t), pricing t
+//                           tag bits on every message into the envelope —
+//                           serve's admission uses this same term
+//   oracle_reindex(c)       re-index queries into another oracle family at a
+//                           cost of c target queries per source query
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/protocol_spec.hpp"
+
+namespace mpch::reduce {
+
+enum class TermKind : std::uint8_t {
+  kIdentity,
+  kCompose,
+  kRoundCompress,
+  kRoundStretch,
+  kSpaceScale,
+  kMachineRegroup,
+  kWithAuthentication,
+  kOracleReindex,
+};
+
+const char* term_kind_name(TermKind kind);
+
+/// One node of a reduction term. Leaf kinds carry `arg` (k, c, g, or tag
+/// bits); kCompose carries children applied left to right. Construct through
+/// the factories — they validate arguments (a zero scale factor is a
+/// malformed term, rejected with std::invalid_argument, not a transfer
+/// function that divides by zero later).
+struct Term {
+  TermKind kind = TermKind::kIdentity;
+  std::uint64_t arg = 0;
+  std::vector<Term> children;  // kCompose only
+
+  static Term identity();
+  static Term compose(std::vector<Term> terms);
+  static Term round_compress(std::uint64_t k);
+  static Term round_stretch(std::uint64_t k);
+  static Term space_scale(std::uint64_t c);
+  static Term machine_regroup(std::uint64_t g);
+  static Term with_authentication(std::uint64_t tag_bits);
+  static Term oracle_reindex(std::uint64_t c);
+
+  /// Canonical text form, re-parseable by the reduction-file grammar:
+  /// `compose(machine_regroup(2), with_authentication(64))`.
+  std::string describe() const;
+
+  /// Leaf count (compose nodes are free); the file parser caps this.
+  std::uint64_t leaf_count() const;
+};
+
+/// A transformed spec plus honesty metadata: whether any envelope field
+/// saturated (still sound, no longer tight), and human-readable notes about
+/// non-obvious rewrites (prologue folding under round_compress).
+struct ApplyResult {
+  analysis::ProtocolSpec spec;
+  bool saturated = false;
+  std::vector<std::string> notes;
+};
+
+/// Apply `term` to `source`, returning the envelope the simulated protocol
+/// is guaranteed to fit in. Throws std::invalid_argument on a malformed
+/// source spec (zero machines or zero rounds — same contract as check_spec).
+ApplyResult apply_term(const Term& term, const analysis::ProtocolSpec& source);
+
+}  // namespace mpch::reduce

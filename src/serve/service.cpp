@@ -7,6 +7,7 @@
 #include "analysis/spec_soundness.hpp"
 #include "fault/fault_plan.hpp"
 #include "mpc/auth.hpp"
+#include "reduce/term.hpp"
 #include "serve/queue.hpp"
 
 namespace mpch::serve {
@@ -82,7 +83,11 @@ JobResult ServeService::execute(const JobSpec& spec, std::uint64_t job_id,
     if (provider != nullptr) {
       declared = provider->protocol_spec();
       if (sc.config.authenticate_messages) {
-        declared = declared.with_authentication(mpc::kMessageTagBits);
+        // The MAC lift is a reduction-calculus term (the same transfer
+        // function mpch-reduce proves sound), not a serve-private rewrite.
+        declared =
+            reduce::apply_term(reduce::Term::with_authentication(mpc::kMessageTagBits), declared)
+                .spec;
       }
       if (spec.budget_bits != 0) {
         mpc::MpcConfig admission_config = sc.config;

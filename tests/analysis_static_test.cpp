@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "core/line.hpp"
+#include "reduce/term.hpp"
 #include "strategies/batch_pointer_chasing.hpp"
 #include "strategies/colluding.hpp"
 #include "strategies/dictionary.hpp"
@@ -341,6 +344,99 @@ TEST(StaticChecker, CleanReportJsonHasEmptyViolations) {
   AnalysisReport report = check_spec(spec, c);
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report.to_json(), "{\"protocol\":\"clean\",\"ok\":true,\"violations\":[]}");
+}
+
+// --- interval edges where check_spec meets the reduction calculus ---
+
+TEST(StaticCheckerIntervalEdges, ExactBudgetBoundaryAfterSpaceScale) {
+  // <= survives the transfer function: a spec sitting exactly on its budget
+  // after space_scale(c) still passes, and one extra source bit (c over
+  // after scaling) fails — the reduction calculus does not erode the
+  // boundary semantics.
+  ProtocolSpec spec;
+  spec.protocol = "boundary-scaled";
+  spec.machines = 4;
+  spec.max_rounds = 10;
+  spec.steady.memory_bits = 25;
+  spec.steady.recv_bits = 20;
+
+  mpc::MpcConfig c;
+  c.machines = 4;
+  c.max_rounds = 10;
+  c.local_memory_bits = 100;  // 25 * 4, exactly
+  const ProtocolSpec scaled =
+      reduce::apply_term(reduce::Term::space_scale(4), spec).spec;
+  EXPECT_EQ(scaled.steady.memory_bits, 100u);
+  EXPECT_TRUE(check_spec(scaled, c).ok());
+
+  ProtocolSpec over = spec;
+  over.steady.memory_bits = 26;  // scales to 104 > 100
+  const ProtocolSpec over_scaled =
+      reduce::apply_term(reduce::Term::space_scale(4), over).spec;
+  const Diagnostic* d = find(check_spec(over_scaled, c), ViolationKind::kMemory);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->value, 104u);
+  EXPECT_EQ(d->limit, 100u);
+}
+
+TEST(StaticCheckerIntervalEdges, ZeroRoundSpecsAreMalformedEverywhere) {
+  // check_spec, check_spec_dominance, and apply_term share the contract:
+  // zero rounds (or machines) is a malformed spec, not a vacuous pass.
+  ProtocolSpec zero;
+  zero.protocol = "zero-rounds";
+  zero.machines = 2;
+  zero.max_rounds = 0;
+  mpc::MpcConfig c;
+  c.machines = 2;
+  EXPECT_THROW(check_spec(zero, c), std::invalid_argument);
+  EXPECT_THROW(reduce::apply_term(reduce::Term::identity(), zero), std::invalid_argument);
+}
+
+TEST(StaticCheckerIntervalEdges, OverflowSaturatesInsteadOfWrapping) {
+  // The hostile case the saturating arithmetic exists for: a near-kMax
+  // envelope pushed through a scale factor must land at kMax (always
+  // rejected against any real budget), never wrap to a tiny bound that
+  // would admit the protocol.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  ProtocolSpec huge;
+  huge.protocol = "huge";
+  huge.machines = 4;
+  huge.max_rounds = 2;
+  huge.steady.memory_bits = kMax / 2 + 1;
+
+  const reduce::ApplyResult scaled =
+      reduce::apply_term(reduce::Term::space_scale(2), huge);
+  EXPECT_TRUE(scaled.saturated);
+  EXPECT_EQ(scaled.spec.steady.memory_bits, kMax);
+
+  mpc::MpcConfig c;
+  c.machines = 4;
+  c.max_rounds = 2;
+  c.local_memory_bits = 1 << 20;
+  const Diagnostic* d = find(check_spec(scaled.spec, c), ViolationKind::kMemory);
+  ASSERT_NE(d, nullptr) << "a wrapped (tiny) bound would have been admitted";
+  EXPECT_EQ(d->value, kMax);
+}
+
+TEST(StaticCheckerIntervalEdges, DominanceRejectsSaturatedInner) {
+  // Dominance direction: a saturated *inner* spec can never hide inside a
+  // finite outer envelope.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  ProtocolSpec outer;
+  outer.protocol = "outer";
+  outer.machines = 4;
+  outer.max_rounds = 8;
+  outer.steady.memory_bits = 1000;
+  ProtocolSpec inner = outer;
+  inner.protocol = "inner";
+  inner.steady.memory_bits = kMax;
+  EXPECT_NE(find(check_spec_dominance(inner, outer), ViolationKind::kMemory), nullptr);
+  // And a saturated outer dominates everything — sound, just not tight.
+  ProtocolSpec top = outer;
+  top.steady.memory_bits = kMax;
+  top.steady.recv_bits = kMax;
+  top.steady.sent_bits = kMax;
+  EXPECT_TRUE(check_spec_dominance(outer, top).ok());
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include "fault/checkpoint.hpp"
 #include "fault/fault_plan.hpp"
 #include "ram/machine.hpp"
+#include "reduce/reduction_file.hpp"
 #include "serve/job_spec.hpp"
 #include "transport/wire.hpp"
 #include "util/bitstring.hpp"
@@ -208,6 +209,42 @@ TEST(FuzzCorpusReplay, ModelTraceMutationSeedsStillReproduce) {
     ++reproduced;
   }
   EXPECT_GE(reproduced, 7u);
+}
+
+TEST(FuzzCorpusReplay, ReductionFileCorpusRejectsOrParsesTyped) {
+  // Mirrors fuzz/fuzz_reduction_file.cpp: parse, and walk whatever parses
+  // through describe()/leaf_count(). ReductionError is the only acceptable
+  // rejection — hostile compose pyramids, zero scales, u64 overflow, binary
+  // garbage, and truncation all included.
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(corpus_root() / "reduction_file")) {
+    SCOPED_TRACE(entry.path().string());
+    std::vector<std::uint8_t> bytes = read_file(entry.path());
+    std::string text(bytes.begin(), bytes.end());
+    try {
+      const std::vector<mpch::reduce::Reduction> reductions =
+          mpch::reduce::parse_reduction_file(text);
+      for (const auto& r : reductions) {
+        (void)r.describe();
+        (void)r.term.leaf_count();
+      }
+    } catch (const mpch::reduce::ReductionError&) {
+    }
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 10u) << "reduction-file corpus went missing — check fuzz/corpus/reduction_file";
+}
+
+TEST(FuzzCorpusReplay, ReductionFileValidSeedsStillParse) {
+  // The valid seeds must pass every gate — a corpus that rejects everything
+  // no longer covers the happy path the fuzzer mutates from.
+  for (const char* name : {"valid_auth.red", "valid_regroup.red", "valid_via_list.red",
+                           "valid_nested.red", "valid_bare_auth.red"}) {
+    SCOPED_TRACE(name);
+    std::vector<std::uint8_t> bytes = read_file(corpus_root() / "reduction_file" / name);
+    std::string text(bytes.begin(), bytes.end());
+    EXPECT_NO_THROW((void)mpch::reduce::parse_reduction_file(text));
+  }
 }
 
 TEST(FuzzCorpusReplay, WireFrameCorpusRejectsOrAssemblesTyped) {

@@ -1,0 +1,173 @@
+// Tests for the reduction checker (reduce/checker.hpp) and the built-in
+// catalog (reduce/catalog.hpp): every shipped reduction must hold statically
+// AND dynamically (observed peaks inside the transformed envelope), every
+// deliberately-broken claim must be refuted with its expected diagnostic
+// kind, the theory round floor must bite, and resolution errors must carry
+// the reduction's provenance.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "analysis/static_checker.hpp"
+#include "reduce/catalog.hpp"
+#include "reduce/checker.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using mpch::analysis::ProtocolSpec;
+using mpch::analysis::ViolationKind;
+using mpch::reduce::BrokenEntry;
+using mpch::reduce::build_builtin_catalog;
+using mpch::reduce::BuiltinCatalog;
+using mpch::reduce::CatalogEntry;
+using mpch::reduce::check_reduction;
+using mpch::reduce::cross_check_reduction;
+using mpch::reduce::Reduction;
+using mpch::reduce::ReductionReport;
+using mpch::reduce::SpecCatalog;
+using mpch::reduce::Term;
+
+TEST(ReduceChecker, EveryBuiltinReductionHoldsStatically) {
+  const BuiltinCatalog lib = build_builtin_catalog(1);
+  EXPECT_GE(lib.entries.size(), 12u);
+  for (const CatalogEntry& entry : lib.entries) {
+    SCOPED_TRACE(entry.reduction.name);
+    const ReductionReport report =
+        check_reduction(entry.reduction, lib.specs, entry.floor_rounds);
+    EXPECT_TRUE(report.ok()) << report.format();
+    EXPECT_FALSE(report.transformed.saturated);
+  }
+}
+
+TEST(ReduceChecker, EveryBuiltinReductionHoldsDynamically) {
+  // The cross-check leg of `mpch-reduce --catalog --cross-check`, pinned in
+  // gtest: run each entry's target strategy instrumented and require the
+  // observed RoundStats peaks to stay inside T(source).
+  const BuiltinCatalog lib = build_builtin_catalog(1);
+  for (const CatalogEntry& entry : lib.entries) {
+    SCOPED_TRACE(entry.reduction.name);
+    ASSERT_TRUE(static_cast<bool>(entry.run_target));
+    const ReductionReport report =
+        check_reduction(entry.reduction, lib.specs, entry.floor_rounds);
+    ASSERT_TRUE(report.ok()) << report.format();
+    mpch::mpc::MpcConfig config;
+    const mpch::mpc::MpcRunResult result = entry.run_target(&config);
+    EXPECT_TRUE(result.completed);
+    const mpch::analysis::AnalysisReport cross = cross_check_reduction(report, result, config);
+    EXPECT_TRUE(cross.ok()) << cross.format();
+  }
+}
+
+TEST(ReduceChecker, BrokenClaimsAreRefutedWithDistinctKinds) {
+  const BuiltinCatalog lib = build_builtin_catalog(1);
+  ASSERT_GE(lib.broken.size(), 3u);
+  std::set<ViolationKind> leading_kinds;
+  for (const BrokenEntry& broken : lib.broken) {
+    SCOPED_TRACE(broken.reduction.name);
+    const ReductionReport report = check_reduction(broken.reduction, lib.specs);
+    EXPECT_FALSE(report.ok()) << "broken claim survived: " << report.format();
+    ASSERT_FALSE(report.dominance.violations.empty());
+    EXPECT_EQ(report.dominance.violations.front().kind, broken.expected)
+        << report.dominance.violations.front().to_string();
+    leading_kinds.insert(report.dominance.violations.front().kind);
+  }
+  // Each broken claim fails for its own distinct reason — the self-check
+  // matrix proves the checker can tell the failure modes apart.
+  EXPECT_EQ(leading_kinds.size(), lib.broken.size());
+}
+
+TEST(ReduceChecker, TheoryFloorRejectsTooFastTargets) {
+  // A claimed reduction into a 2-round protocol cannot preserve a 3-round
+  // hardness floor, even when every envelope field fits.
+  SpecCatalog specs;
+  ProtocolSpec src;
+  src.protocol = "src";
+  src.machines = 4;
+  src.max_rounds = 96;
+  src.steady.memory_bits = 100;
+  ProtocolSpec dst = src;
+  dst.protocol = "dst";
+  dst.max_rounds = 2;
+  specs.add("src", src);
+  specs.add("dst", dst);
+  Reduction r;
+  r.name = "too-fast";
+  r.source = "src";
+  r.target = "dst";
+  r.term = Term::identity();
+  const ReductionReport report = check_reduction(r, specs, /*floor_rounds=*/3);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(report.floor_ok);
+  ASSERT_FALSE(report.dominance.violations.empty());
+  EXPECT_EQ(report.dominance.violations.back().kind, ViolationKind::kRoundCount);
+  EXPECT_NE(report.dominance.violations.back().message.find("incompressibility"),
+            std::string::npos);
+  // The same claim with a floor the target meets is fine.
+  EXPECT_TRUE(check_reduction(r, specs, /*floor_rounds=*/2).ok());
+}
+
+TEST(ReduceChecker, UnknownSpecNamesCarryReductionProvenance) {
+  const BuiltinCatalog lib = build_builtin_catalog(1);
+  Reduction r;
+  r.name = "dangling";
+  r.source = "pointer-chasing";
+  r.target = "no-such-spec";
+  r.term = Term::identity();
+  r.source_line = 17;
+  try {
+    (void)check_reduction(r, lib.specs);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("dangling"), std::string::npos) << what;
+    EXPECT_NE(what.find("line 17"), std::string::npos) << what;
+    EXPECT_NE(what.find("no-such-spec"), std::string::npos) << what;
+  }
+}
+
+TEST(ReduceChecker, ReportFormatsAndSerializes) {
+  const BuiltinCatalog lib = build_builtin_catalog(1);
+  const CatalogEntry& entry = lib.entries.front();
+  const ReductionReport report =
+      check_reduction(entry.reduction, lib.specs, entry.floor_rounds);
+  const std::string text = report.format();
+  EXPECT_NE(text.find(entry.reduction.name), std::string::npos);
+  EXPECT_NE(text.find("dominance"), std::string::npos);
+  mpch::util::JsonWriter w;
+  report.to_json(w);
+  EXPECT_TRUE(w.complete());
+  EXPECT_NE(w.str().find("\"ok\":true"), std::string::npos) << w.str();
+}
+
+TEST(ReduceChecker, CatalogListingIsDeterministic) {
+  // The spec catalog is an ordered map: two builds list identically, so
+  // --list-specs and --catalog output can be byte-compared in CI.
+  const BuiltinCatalog a = build_builtin_catalog(1);
+  const BuiltinCatalog b = build_builtin_catalog(1);
+  auto ia = a.specs.all().begin();
+  auto ib = b.specs.all().begin();
+  for (; ia != a.specs.all().end(); ++ia, ++ib) {
+    EXPECT_EQ(ia->first, ib->first);
+    EXPECT_EQ(ia->second.summary(), ib->second.summary());
+  }
+  EXPECT_GE(a.specs.all().size(), 19u);  // 8 strategies + 8 auth lifts + family points
+}
+
+TEST(ReduceChecker, CrossCheckCatchesAnUndersizedEnvelope) {
+  // Shrink the transformed envelope below what the run really uses: the
+  // dynamic leg must refuse it even though the static leg was never asked.
+  const BuiltinCatalog lib = build_builtin_catalog(1);
+  const CatalogEntry& entry = lib.entries.front();  // auth/pointer-chasing
+  ReductionReport report = check_reduction(entry.reduction, lib.specs, entry.floor_rounds);
+  ASSERT_TRUE(report.ok());
+  report.transformed.spec.max_rounds = 1;  // the chase needs far more
+  mpch::mpc::MpcConfig config;
+  const mpch::mpc::MpcRunResult result = entry.run_target(&config);
+  const mpch::analysis::AnalysisReport cross = cross_check_reduction(report, result, config);
+  EXPECT_FALSE(cross.ok());
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Tests for the reduction-file grammar (reduce/reduction_file.hpp): the
+// hostile-input boundary. Every malformed byte must surface as a typed
+// ReductionError carrying 1-based line AND column provenance, the
+// pre-allocation caps must reject before any container grows, and the happy
+// path must round-trip through Term::describe / Reduction::describe.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "reduce/reduction_file.hpp"
+
+namespace {
+
+using mpch::reduce::kMaxFileBytes;
+using mpch::reduce::kMaxNameBytes;
+using mpch::reduce::kMaxReductions;
+using mpch::reduce::kMaxTermLeaves;
+using mpch::reduce::parse_reduction_file;
+using mpch::reduce::Reduction;
+using mpch::reduce::ReductionError;
+using mpch::reduce::TermKind;
+
+TEST(ReduceFile, ParsesASingleReduction) {
+  const auto rs = parse_reduction_file("r1: a => b via space_scale(2);");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].name, "r1");
+  EXPECT_EQ(rs[0].source, "a");
+  EXPECT_EQ(rs[0].target, "b");
+  EXPECT_EQ(rs[0].term.kind, TermKind::kSpaceScale);
+  EXPECT_EQ(rs[0].term.arg, 2u);
+  EXPECT_EQ(rs[0].source_line, 1u);
+  EXPECT_EQ(rs[0].describe(), "r1: a => b via space_scale(2);");
+}
+
+TEST(ReduceFile, CommentsAndBlankLinesAreFree) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      "r1: a => b via identity;  # trailing comment\n"
+      "# another\n"
+      "r2: b => c via round_stretch(3);\n";
+  const auto rs = parse_reduction_file(text);
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_EQ(rs[0].source_line, 3u);
+  EXPECT_EQ(rs[1].source_line, 5u);
+  EXPECT_EQ(rs[1].term.kind, TermKind::kRoundStretch);
+}
+
+TEST(ReduceFile, ViaListIsComposeSugar) {
+  const auto rs =
+      parse_reduction_file("r: a => b via machine_regroup(2), with_authentication(64);");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].term.kind, TermKind::kCompose);
+  ASSERT_EQ(rs[0].term.children.size(), 2u);
+  EXPECT_EQ(rs[0].term.children[0].kind, TermKind::kMachineRegroup);
+  EXPECT_EQ(rs[0].term.children[1].kind, TermKind::kWithAuthentication);
+  EXPECT_EQ(rs[0].term.describe(), "compose(machine_regroup(2), with_authentication(64))");
+}
+
+TEST(ReduceFile, BareAuthenticationDefaultsToTagBits) {
+  const auto rs = parse_reduction_file("r: a => b via with_authentication;");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].term.kind, TermKind::kWithAuthentication);
+  EXPECT_EQ(rs[0].term.arg, 64u);  // mpc::kMessageTagBits
+}
+
+TEST(ReduceFile, NestedComposeParses) {
+  const auto rs = parse_reduction_file(
+      "r: a => b via compose(space_scale(2), compose(identity, oracle_reindex(3)));");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].term.leaf_count(), 3u);
+}
+
+TEST(ReduceFile, NamesAllowTheSpecAlphabet) {
+  const auto rs = parse_reduction_file(
+      "auth/x-1: ram-emulation/m8 => pointer-chasing+auth via identity;");
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_EQ(rs[0].name, "auth/x-1");
+  EXPECT_EQ(rs[0].source, "ram-emulation/m8");
+  EXPECT_EQ(rs[0].target, "pointer-chasing+auth");
+}
+
+/// Expect a ReductionError whose provenance matches (line, column).
+void expect_error_at(const std::string& text, std::uint64_t line, std::uint64_t column) {
+  try {
+    (void)parse_reduction_file(text);
+    FAIL() << "expected ReductionError for: " << text;
+  } catch (const ReductionError& e) {
+    EXPECT_EQ(e.line(), line) << e.what();
+    EXPECT_EQ(e.column(), column) << e.what();
+  }
+}
+
+TEST(ReduceFile, MissingColonHasColumnProvenance) {
+  // "oops" ends at column 5; the colon is expected there.
+  expect_error_at("oops a => b via identity;", 1, 6);
+}
+
+TEST(ReduceFile, ErrorProvenanceIsOneBasedAcrossLines) {
+  // The bad token is on line 3.
+  try {
+    (void)parse_reduction_file("# c\nok: a => b via identity;\nbad: a -> b via identity;\n");
+    FAIL() << "expected ReductionError";
+  } catch (const ReductionError& e) {
+    EXPECT_EQ(e.line(), 3u) << e.what();
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ReduceFile, RejectsUnknownTerm) {
+  EXPECT_THROW((void)parse_reduction_file("r: a => b via teleport(2);"), ReductionError);
+}
+
+TEST(ReduceFile, RejectsZeroScaleWithProvenance) {
+  try {
+    (void)parse_reduction_file("r: a => b via space_scale(0);");
+    FAIL() << "expected ReductionError";
+  } catch (const ReductionError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_NE(std::string(e.what()).find("space_scale"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ReduceFile, RejectsU64Overflow) {
+  EXPECT_THROW((void)parse_reduction_file("r: a => b via space_scale(99999999999999999999);"),
+               ReductionError);
+}
+
+TEST(ReduceFile, RejectsMissingSemicolonAndTruncation) {
+  EXPECT_THROW((void)parse_reduction_file("r: a => b via identity"), ReductionError);
+  EXPECT_THROW((void)parse_reduction_file("r: a => b via"), ReductionError);
+  EXPECT_THROW((void)parse_reduction_file("r: a =>"), ReductionError);
+  EXPECT_THROW((void)parse_reduction_file("r: a"), ReductionError);
+  EXPECT_THROW((void)parse_reduction_file("r:"), ReductionError);
+}
+
+TEST(ReduceFile, RejectsBinaryGarbage) {
+  EXPECT_THROW((void)parse_reduction_file(std::string("\x00\xff\x01{]", 5)), ReductionError);
+}
+
+TEST(ReduceFile, FileSizeCapIsCheckedFirst) {
+  std::string big(kMaxFileBytes + 1, '#');
+  EXPECT_THROW((void)parse_reduction_file(big), ReductionError);
+}
+
+TEST(ReduceFile, NameLengthIsCapped) {
+  const std::string long_name(kMaxNameBytes + 1, 'a');
+  EXPECT_THROW((void)parse_reduction_file(long_name + ": a => b via identity;"), ReductionError);
+}
+
+TEST(ReduceFile, TermLeafCountIsCappedAcrossNesting) {
+  // A hostile term with kMaxTermLeaves+1 leaves must be rejected by the
+  // shared leaf counter, whether flat or nested.
+  std::string flat = "r: a => b via identity";
+  for (std::uint64_t i = 0; i < kMaxTermLeaves; ++i) flat += ", identity";
+  flat += ";";
+  EXPECT_THROW((void)parse_reduction_file(flat), ReductionError);
+}
+
+TEST(ReduceFile, TermDepthIsCapped) {
+  std::string nest = "r: a => b via ";
+  for (int i = 0; i < 40; ++i) nest += "compose(";
+  nest += "identity";
+  for (int i = 0; i < 40; ++i) nest += ")";
+  nest += ";";
+  EXPECT_THROW((void)parse_reduction_file(nest), ReductionError);
+}
+
+TEST(ReduceFile, ReductionCountIsCapped) {
+  // kMaxReductions is 4096 and each statement is ~25 bytes, so the count cap
+  // fires before the size cap would.
+  std::string many;
+  for (std::uint64_t i = 0; i <= kMaxReductions; ++i) many += "r: a => b via identity;\n";
+  ASSERT_LE(many.size(), kMaxFileBytes);
+  EXPECT_THROW((void)parse_reduction_file(many), ReductionError);
+}
+
+TEST(ReduceFile, EmptyFileIsValid) {
+  EXPECT_TRUE(parse_reduction_file("").empty());
+  EXPECT_TRUE(parse_reduction_file("# only comments\n\n").empty());
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+// Tests for the reduction-calculus terms (reduce/term.hpp): each transfer
+// function's arithmetic, the saturation (no-silent-wrap) contract, compose
+// ordering, and the dedup guarantee that the with_authentication term IS
+// ProtocolSpec::with_authentication (one lift, no drift).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+
+#include "analysis/protocol_spec.hpp"
+#include "reduce/arith.hpp"
+#include "reduce/term.hpp"
+
+namespace {
+
+using mpch::analysis::ProtocolSpec;
+using mpch::analysis::RoundEnvelope;
+using mpch::reduce::apply_term;
+using mpch::reduce::ApplyResult;
+using mpch::reduce::Term;
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+/// A small two-shape spec with distinct values in every field, so a transfer
+/// function that touches the wrong field shows up immediately.
+ProtocolSpec sample_spec() {
+  ProtocolSpec s;
+  s.protocol = "sample";
+  s.machines = 6;
+  s.max_rounds = 10;
+  s.needs_oracle = true;
+  s.clamps_queries_to_budget = true;
+  RoundEnvelope p0;
+  p0.memory_bits = 100;
+  p0.oracle_queries = 3;
+  p0.fan_out = 2;
+  p0.fan_in = 5;
+  p0.sent_bits = 40;
+  p0.recv_bits = 70;
+  p0.max_message_bits = 20;
+  p0.witness_machine = 4;
+  s.prologue.push_back(p0);
+  s.steady.memory_bits = 80;
+  s.steady.oracle_queries = 7;
+  s.steady.fan_out = 3;
+  s.steady.fan_in = 2;
+  s.steady.sent_bits = 30;
+  s.steady.recv_bits = 25;
+  s.steady.max_message_bits = 15;
+  s.steady.witness_machine = 1;
+  return s;
+}
+
+TEST(ReduceTerm, IdentityIsANoOp) {
+  const ProtocolSpec s = sample_spec();
+  const ApplyResult r = apply_term(Term::identity(), s);
+  EXPECT_EQ(r.spec.max_rounds, s.max_rounds);
+  EXPECT_EQ(r.spec.machines, s.machines);
+  EXPECT_EQ(r.spec.steady.memory_bits, s.steady.memory_bits);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_TRUE(r.notes.empty());
+}
+
+TEST(ReduceTerm, RoundStretchOnlyScalesRounds) {
+  const ProtocolSpec s = sample_spec();
+  const ApplyResult r = apply_term(Term::round_stretch(3), s);
+  EXPECT_EQ(r.spec.max_rounds, 30u);
+  EXPECT_EQ(r.spec.steady.memory_bits, s.steady.memory_bits);
+  EXPECT_EQ(r.spec.steady.oracle_queries, s.steady.oracle_queries);
+  EXPECT_EQ(r.spec.prologue.size(), 1u);
+  EXPECT_EQ(r.spec.prologue[0].sent_bits, s.prologue[0].sent_bits);
+}
+
+TEST(ReduceTerm, SpaceScaleScalesBitsAndFanNotQueries) {
+  const ApplyResult r = apply_term(Term::space_scale(4), sample_spec());
+  EXPECT_EQ(r.spec.steady.memory_bits, 320u);
+  EXPECT_EQ(r.spec.steady.sent_bits, 120u);
+  EXPECT_EQ(r.spec.steady.recv_bits, 100u);
+  EXPECT_EQ(r.spec.steady.max_message_bits, 60u);
+  EXPECT_EQ(r.spec.steady.fan_in, 8u);
+  EXPECT_EQ(r.spec.steady.fan_out, 12u);
+  // Queries, rounds, and machines are untouched: space is not query budget.
+  EXPECT_EQ(r.spec.steady.oracle_queries, 7u);
+  EXPECT_EQ(r.spec.max_rounds, 10u);
+  EXPECT_EQ(r.spec.machines, 6u);
+  // Both shapes scale.
+  EXPECT_EQ(r.spec.prologue[0].memory_bits, 400u);
+}
+
+TEST(ReduceTerm, MachineRegroupScalesPerMachineNotMessageSize) {
+  const ApplyResult r = apply_term(Term::machine_regroup(4), sample_spec());
+  EXPECT_EQ(r.spec.machines, 2u);  // ceil(6/4)
+  EXPECT_EQ(r.spec.steady.memory_bits, 320u);
+  EXPECT_EQ(r.spec.steady.oracle_queries, 28u);
+  EXPECT_EQ(r.spec.steady.fan_in, 8u);
+  EXPECT_EQ(r.spec.steady.fan_out, 12u);
+  EXPECT_EQ(r.spec.steady.sent_bits, 120u);
+  EXPECT_EQ(r.spec.steady.recv_bits, 100u);
+  // Messages are forwarded, not merged: the largest single payload is the
+  // same; the old witness machine 4 is hosted by target machine 1.
+  EXPECT_EQ(r.spec.steady.max_message_bits, 15u);
+  EXPECT_EQ(r.spec.prologue[0].witness_machine, 1u);
+  EXPECT_EQ(r.spec.max_rounds, 10u);
+}
+
+TEST(ReduceTerm, RoundCompressFoldsShapesAndHoldsBarriers) {
+  const ApplyResult r = apply_term(Term::round_compress(2), sample_spec());
+  EXPECT_EQ(r.spec.max_rounds, 5u);  // ceil(10/2)
+  // The per-shape structure collapses to the worst-case join...
+  EXPECT_TRUE(r.spec.prologue.empty());
+  // ...then queries/fan/traffic double (two source rounds per target round):
+  // worst queries = max(3,7) = 7, worst fan_in = max(5,2) = 5, worst
+  // recv = max(70,25) = 70, worst sent = max(40,30) = 40.
+  EXPECT_EQ(r.spec.steady.oracle_queries, 14u);
+  EXPECT_EQ(r.spec.steady.fan_in, 10u);
+  EXPECT_EQ(r.spec.steady.fan_out, 6u);
+  EXPECT_EQ(r.spec.steady.sent_bits, 80u);
+  EXPECT_EQ(r.spec.steady.recv_bits, 140u);
+  // Memory pays the worst shape plus (k-1) barriers' worth of deliveries:
+  // max(100,80) + 1*70.
+  EXPECT_EQ(r.spec.steady.memory_bits, 170u);
+  // The fold is called out in the notes.
+  ASSERT_FALSE(r.notes.empty());
+  EXPECT_NE(r.notes[0].find("folded"), std::string::npos);
+}
+
+TEST(ReduceTerm, RoundCompressRoundsUpOddCounts) {
+  ProtocolSpec s = sample_spec();
+  s.max_rounds = 11;
+  EXPECT_EQ(apply_term(Term::round_compress(4), s).spec.max_rounds, 3u);
+}
+
+TEST(ReduceTerm, OracleReindexScalesQueriesOnly) {
+  const ApplyResult r = apply_term(Term::oracle_reindex(5), sample_spec());
+  EXPECT_EQ(r.spec.steady.oracle_queries, 35u);
+  EXPECT_EQ(r.spec.prologue[0].oracle_queries, 15u);
+  EXPECT_EQ(r.spec.steady.memory_bits, 80u);
+  EXPECT_EQ(r.spec.max_rounds, 10u);
+  // Budget-adaptivity carries over: a clamping protocol still clamps.
+  EXPECT_TRUE(r.spec.clamps_queries_to_budget);
+}
+
+TEST(ReduceTerm, WithAuthenticationIsTheSharedLift) {
+  // The dedup contract: the term must produce field-for-field exactly what
+  // ProtocolSpec::with_authentication produces — serve's admission and the
+  // reduce checker share one lift.
+  const ProtocolSpec s = sample_spec();
+  const ProtocolSpec direct = s.with_authentication(64);
+  const ProtocolSpec via_term = apply_term(Term::with_authentication(64), s).spec;
+  EXPECT_EQ(via_term.max_rounds, direct.max_rounds);
+  EXPECT_EQ(via_term.machines, direct.machines);
+  ASSERT_EQ(via_term.prologue.size(), direct.prologue.size());
+  for (std::size_t i = 0; i <= direct.prologue.size(); ++i) {
+    const RoundEnvelope& a =
+        i < direct.prologue.size() ? direct.prologue[i] : direct.steady;
+    const RoundEnvelope& b =
+        i < via_term.prologue.size() ? via_term.prologue[i] : via_term.steady;
+    EXPECT_EQ(a.memory_bits, b.memory_bits) << "shape " << i;
+    EXPECT_EQ(a.sent_bits, b.sent_bits) << "shape " << i;
+    EXPECT_EQ(a.recv_bits, b.recv_bits) << "shape " << i;
+    EXPECT_EQ(a.max_message_bits, b.max_message_bits) << "shape " << i;
+    EXPECT_EQ(a.oracle_queries, b.oracle_queries) << "shape " << i;
+    EXPECT_EQ(a.fan_in, b.fan_in) << "shape " << i;
+    EXPECT_EQ(a.fan_out, b.fan_out) << "shape " << i;
+  }
+}
+
+TEST(ReduceTerm, ComposeAppliesLeftToRight) {
+  // space_scale then round_compress is NOT round_compress then space_scale
+  // in the memory field (the barrier surcharge scales differently); pin the
+  // documented left-to-right order.
+  const ProtocolSpec s = sample_spec();
+  const ApplyResult lr =
+      apply_term(Term::compose({Term::space_scale(2), Term::round_compress(2)}), s);
+  // scale: worst memory 200, worst recv 140 -> compress: 200 + 140 = 340.
+  EXPECT_EQ(lr.spec.steady.memory_bits, 340u);
+  const ApplyResult manual = apply_term(
+      Term::round_compress(2), apply_term(Term::space_scale(2), s).spec);
+  EXPECT_EQ(lr.spec.steady.memory_bits, manual.spec.steady.memory_bits);
+  EXPECT_EQ(lr.spec.max_rounds, manual.spec.max_rounds);
+}
+
+TEST(ReduceTerm, SaturationIsLoudNotSilent) {
+  ProtocolSpec s = sample_spec();
+  s.steady.memory_bits = kMax / 2 + 1;
+  const ApplyResult r = apply_term(Term::space_scale(2), s);
+  // u64 wrap would produce a tiny (unsound) bound; saturation pins the top.
+  EXPECT_EQ(r.spec.steady.memory_bits, kMax);
+  EXPECT_TRUE(r.saturated);
+  ASSERT_FALSE(r.notes.empty());
+  EXPECT_NE(r.notes.back().find("saturated"), std::string::npos);
+}
+
+TEST(ReduceTerm, RoundStretchSaturatesRoundCount) {
+  ProtocolSpec s = sample_spec();
+  s.max_rounds = kMax - 1;
+  const ApplyResult r = apply_term(Term::round_stretch(3), s);
+  EXPECT_EQ(r.spec.max_rounds, kMax);
+  EXPECT_TRUE(r.saturated);
+}
+
+TEST(ReduceTerm, FactoriesRejectZeroArguments) {
+  EXPECT_THROW(Term::round_compress(0), std::invalid_argument);
+  EXPECT_THROW(Term::round_stretch(0), std::invalid_argument);
+  EXPECT_THROW(Term::space_scale(0), std::invalid_argument);
+  EXPECT_THROW(Term::machine_regroup(0), std::invalid_argument);
+  EXPECT_THROW(Term::with_authentication(0), std::invalid_argument);
+  EXPECT_THROW(Term::oracle_reindex(0), std::invalid_argument);
+}
+
+TEST(ReduceTerm, MalformedSourceSpecIsRejected) {
+  ProtocolSpec zero_machines = sample_spec();
+  zero_machines.machines = 0;
+  EXPECT_THROW(apply_term(Term::identity(), zero_machines), std::invalid_argument);
+  ProtocolSpec zero_rounds = sample_spec();
+  zero_rounds.max_rounds = 0;
+  EXPECT_THROW(apply_term(Term::identity(), zero_rounds), std::invalid_argument);
+}
+
+TEST(ReduceTerm, DescribeIsCanonical) {
+  EXPECT_EQ(Term::identity().describe(), "identity");
+  EXPECT_EQ(Term::space_scale(2).describe(), "space_scale(2)");
+  EXPECT_EQ(
+      Term::compose({Term::machine_regroup(2), Term::with_authentication(64)}).describe(),
+      "compose(machine_regroup(2), with_authentication(64))");
+  EXPECT_EQ(Term::compose({Term::compose({Term::identity(), Term::space_scale(3)}),
+                           Term::oracle_reindex(4)})
+                .leaf_count(),
+            3u);
+}
+
+TEST(ReduceArith, SaturatingOpsNeverWrap) {
+  mpch::reduce::SatFlag sat;
+  EXPECT_EQ(mpch::reduce::sat_add(kMax, 1, &sat), kMax);
+  EXPECT_TRUE(sat.saturated);
+  sat = {};
+  EXPECT_EQ(mpch::reduce::sat_mul(kMax / 2 + 1, 2, &sat), kMax);
+  EXPECT_TRUE(sat.saturated);
+  sat = {};
+  EXPECT_EQ(mpch::reduce::sat_add(2, 3, &sat), 5u);
+  EXPECT_EQ(mpch::reduce::sat_mul(6, 7, &sat), 42u);
+  EXPECT_FALSE(sat.saturated);
+}
+
+}  // namespace

@@ -5,9 +5,13 @@
 // surfaces the CLI reports.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
+#include "analysis/static_checker.hpp"
+#include "mpc/auth.hpp"
 #include "serve/job_spec.hpp"
+#include "serve/scenario.hpp"
 #include "serve/service.hpp"
 
 namespace {
@@ -56,6 +60,58 @@ TEST(ServeService, GenerousBudgetAdmits) {
   EXPECT_EQ(results[0].status, JobStatus::kOk);
   EXPECT_TRUE(results[0].admission.ok());
   EXPECT_TRUE(results[0].run.completed);
+}
+
+TEST(ServeService, AuthenticatedAdmissionUsesTheSharedLift) {
+  // Regression for the auth-envelope dedup: serve's admission now lifts the
+  // declared spec through the reduce-calculus with_authentication term. The
+  // rejection decision and its static-checker provenance must be
+  // byte-identical to the direct ProtocolSpec::with_authentication path.
+  mpch::serve::Scenario sc = mpch::serve::make_scenario("pointer-chasing", 11, 0);
+  auto* provider =
+      dynamic_cast<mpch::analysis::ProtocolSpecProvider*>(sc.algo.get());
+  ASSERT_NE(provider, nullptr);
+  const mpch::analysis::ProtocolSpec lifted =
+      provider->protocol_spec().with_authentication(mpch::mpc::kMessageTagBits);
+
+  // A budget between the plain and lifted envelopes: admitted without
+  // authentication, rejected with it.
+  std::uint64_t plain_worst = 0;
+  std::uint64_t lifted_worst = 0;
+  for (std::uint64_t shape = 0; shape < lifted.distinct_round_shapes(); ++shape) {
+    const std::uint64_t round =
+        shape < lifted.prologue.size() ? shape : lifted.prologue.size();
+    plain_worst = std::max(plain_worst,
+                           provider->protocol_spec().envelope(round).memory_bits);
+    lifted_worst = std::max(lifted_worst, lifted.envelope(round).memory_bits);
+  }
+  ASSERT_LT(plain_worst, lifted_worst);
+  const std::uint64_t budget = (plain_worst + lifted_worst) / 2;
+
+  JobSpec plain = simulate_spec("pointer-chasing", 11);
+  plain.budget_bits = budget;
+  auto admitted = ServeService(ServeOptions{1, 4, true, true}).run_jobs({plain});
+  ASSERT_EQ(admitted.size(), 1u);
+  EXPECT_EQ(admitted[0].status, JobStatus::kOk);
+
+  JobSpec authed = plain;
+  authed.authenticate = true;
+  authed.source_line = 5;
+  auto rejected = ServeService(ServeOptions{1, 4, true, true}).run_jobs({authed});
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected[0].status, JobStatus::kRejected);
+  EXPECT_NE(rejected[0].error.find("line 5"), std::string::npos) << rejected[0].error;
+
+  // Byte-identical provenance: recompute the admission report the pre-dedup
+  // way (direct lift, budgeted config) and compare the formatted output.
+  mpch::mpc::MpcConfig admission_config = sc.config;
+  admission_config.authenticate_messages = true;
+  admission_config.local_memory_bits = budget;
+  const mpch::analysis::AnalysisReport expected =
+      mpch::analysis::check_spec(lifted, admission_config);
+  EXPECT_FALSE(expected.ok());
+  EXPECT_EQ(rejected[0].admission.format(), expected.format());
+  EXPECT_EQ(rejected[0].admission.to_json(), expected.to_json());
 }
 
 TEST(ServeService, UnknownStrategyFailsTyped) {

@@ -7,8 +7,11 @@
 # std::unordered_map/std::unordered_set in those paths can leak hash-table
 # order into observable bytes (ASLR-seeded hashing makes the order differ
 # per process). The repo-wide rule is: ordered containers (std::map,
-# std::set, sorted vectors) in src/transport, src/fault, src/hash, and
-# src/mpc.
+# std::set, sorted vectors) in src/transport, src/fault, src/hash, src/mpc,
+# and the verdict-producing subsystems whose reports and listings are
+# byte-compared by tests and CI: src/serve (JobResults are bit-identical to
+# standalone runs), src/check (counterexample traces are replayed), and
+# src/analysis, src/verify, src/reduce (diagnostics and catalog listings).
 #
 # Escape hatch: a site that provably never iterates (point lookups only, or
 # sorts before exposing anything) may carry `// lint:ordered-exempt` on the
@@ -18,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATHS=(src/transport src/fault src/hash src/mpc)
+PATHS=(src/transport src/fault src/hash src/mpc src/serve src/check src/analysis src/verify src/reduce)
 PATTERN='std::unordered_(map|set)'
 
 violations=0
